@@ -1,0 +1,160 @@
+//! Ablation benchmarks for the design choices §4.2 calls out:
+//!
+//! * **Lazy vs. eager collection** — "eager garbage collection of
+//!   unnecessary monitors introduces a very large amount of runtime
+//!   overhead": compare the default lazy expunge window against an eager
+//!   variant that runs a full sweep after every simulated-heap GC.
+//! * **Expunge window size** — how much maintenance each map access pays.
+//! * **ALIVENESS minimization** — §4.2.2's "minimized boolean formula"
+//!   against evaluating the raw Definition 11 disjunction.
+//!
+//! Run: `cargo bench -p rv-bench --bench ablations`
+
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rv_core::{EngineConfig, GcPolicy, PropertyMonitor};
+use rv_heap::Heap;
+use rv_props::Property;
+use rv_workloads::{EventSink, Profile, SimEvent};
+
+const SCALE: f64 = 0.25;
+
+/// A sink like `rv_bench::MonitorSink`, but with a configurable engine
+/// config and an optional eager sweep after every heap collection.
+struct AblationSink {
+    monitor: PropertyMonitor,
+    property: Property,
+    eager: bool,
+    last_collections: u64,
+}
+
+impl AblationSink {
+    fn new(property: Property, config: EngineConfig, eager: bool) -> AblationSink {
+        let spec = rv_props::compiled(property).expect("bundled property");
+        AblationSink {
+            monitor: PropertyMonitor::new(spec, &config),
+            property,
+            eager,
+            last_collections: 0,
+        }
+    }
+}
+
+impl EventSink for AblationSink {
+    fn emit(&mut self, heap: &Heap, event: &SimEvent) {
+        if let Some((name, objs)) = rv_workloads::project(event, self.property) {
+            let spec = self.monitor.spec();
+            let id = spec.alphabet.lookup(name).expect("projected names resolve");
+            let params = &spec.event_params[id.as_usize()];
+            let pairs: Vec<(rv_logic::ParamId, rv_heap::ObjId)> =
+                params.iter().copied().zip(objs.as_slice().iter().copied()).collect();
+            let binding = rv_core::Binding::from_pairs(&pairs);
+            self.monitor.process(heap, id, binding);
+        }
+        if self.eager {
+            // Eager mode: react to every heap collection immediately with
+            // a full sweep of every structure (what the paper warns
+            // against).
+            let collections = heap.stats().collections;
+            if collections != self.last_collections {
+                self.last_collections = collections;
+                self.monitor.finish(heap);
+            }
+        }
+    }
+}
+
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let profile = Profile::bloat();
+    let mut group = c.benchmark_group("ablation_lazy_vs_eager");
+    for (label, eager) in [("lazy", false), ("eager", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sink =
+                    AblationSink::new(Property::UnsafeIter, EngineConfig::default(), eager);
+                rv_workloads::run(&profile, SCALE, &mut sink)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_expunge_window(c: &mut Criterion) {
+    let profile = Profile::bloat();
+    let mut group = c.benchmark_group("ablation_expunge_window");
+    for window in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let config = EngineConfig { expunge_window: w, ..EngineConfig::default() };
+                let mut sink = AblationSink::new(Property::UnsafeIter, config, false);
+                rv_workloads::run(&profile, SCALE, &mut sink)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aliveness_minimization(c: &mut Criterion) {
+    // UNSAFEMAPITER has the richest coenable sets of the suite: the gap
+    // between the raw Definition 11 disjunction and the minimized formula
+    // is widest there.
+    let profile = Profile::xalan();
+    let mut group = c.benchmark_group("ablation_aliveness_minimization");
+    for (label, minimize) in [("minimized", true), ("raw_definition_11", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config =
+                    EngineConfig { minimize_aliveness: minimize, ..EngineConfig::default() };
+                let mut sink = AblationSink::new(Property::UnsafeMapIter, config, false);
+                rv_workloads::run(&profile, 1.0, &mut sink)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gc_policies_on_bloat(c: &mut Criterion) {
+    let profile = Profile::bloat();
+    let mut group = c.benchmark_group("ablation_gc_policy_bloat_unsafeiter");
+    for (label, policy) in [
+        ("no_gc", GcPolicy::None),
+        ("all_params_dead", GcPolicy::AllParamsDead),
+        ("coenable_lazy", GcPolicy::CoenableLazy),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = EngineConfig { policy, ..EngineConfig::default() };
+                let mut sink = AblationSink::new(Property::UnsafeIter, config, false);
+                rv_workloads::run(&profile, SCALE, &mut sink)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_cache(c: &mut Criterion) {
+    // The staged-indexing analog: hot hasNext/next loops on the same
+    // iterator are exactly the monomorphic pattern the cache serves.
+    let profile = Profile::bloat();
+    let mut group = c.benchmark_group("ablation_lookup_cache");
+    for (label, cache) in [("cached", true), ("uncached", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = EngineConfig { lookup_cache: cache, ..EngineConfig::default() };
+                let mut sink = AblationSink::new(Property::HasNext, config, false);
+                rv_workloads::run(&profile, SCALE, &mut sink)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lazy_vs_eager, bench_expunge_window,
+              bench_aliveness_minimization, bench_gc_policies_on_bloat,
+              bench_lookup_cache
+}
+criterion_main!(benches);

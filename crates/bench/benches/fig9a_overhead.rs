@@ -1,0 +1,61 @@
+//! Criterion rendition of Figure 9 (A): monitored-vs-bare workload times
+//! for the three hot benchmarks the paper discusses in depth (bloat,
+//! avrora, pmd) under each system, on the UNSAFEITER property.
+//!
+//! Run: `cargo bench -p rv-bench --bench fig9a_overhead`
+
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rv_bench::{MonitorSink, System};
+use rv_props::Property;
+use rv_workloads::{NullSink, Profile};
+
+const SCALE: f64 = 0.25;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_unsafeiter");
+    for name in ["bloat", "avrora", "pmd", "h2"] {
+        let profile = Profile::by_name(name).expect("known benchmark");
+        group.bench_with_input(BenchmarkId::new("bare", name), &profile, |b, p| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                rv_workloads::run(p, SCALE, &mut sink)
+            });
+        });
+        for system in System::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(system.label(), name),
+                &profile,
+                |b, p| {
+                    b.iter(|| {
+                        let mut sink = MonitorSink::new(system, &[Property::UnsafeIter]);
+                        rv_workloads::run(p, SCALE, &mut sink)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_all_column(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_all_properties_rv");
+    for name in ["bloat", "avrora", "pmd"] {
+        let profile = Profile::by_name(name).expect("known benchmark");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
+            b.iter(|| {
+                let mut sink = MonitorSink::new(System::Rv, &Property::EVALUATED);
+                rv_workloads::run(p, SCALE, &mut sink)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_overhead, bench_all_column
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Microbenchmarks for the engine's hot paths: base-monitor stepping,
+//! weak-map operations, event dispatch through the indexing trees, and
+//! the static coenable analysis itself (which the paper expects to be "a
+//! quick static operation").
+//!
+//! Run: `cargo bench -p rv-bench --bench microbench`
+
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+use criterion::{criterion_group, criterion_main, Criterion};
+use rv_core::{Binding, Engine, EngineConfig, GcPolicy};
+use rv_heap::{Heap, HeapConfig};
+use rv_logic::ere::unsafe_iter_ere;
+use rv_logic::{Alphabet, EventDef, GoalSet, ParamId, ParamSet};
+use std::hint::black_box;
+
+fn unsafe_iter_parts() -> (Alphabet, rv_logic::dfa::Dfa, EventDef) {
+    let alphabet = Alphabet::from_names(&["create", "update", "next"]);
+    let dfa = unsafe_iter_ere(&alphabet).compile(&alphabet, 1_000).unwrap();
+    let def = EventDef::new(
+        &alphabet,
+        &["c", "i"],
+        vec![
+            ParamSet::singleton(ParamId(0)).with(ParamId(1)),
+            ParamSet::singleton(ParamId(0)),
+            ParamSet::singleton(ParamId(1)),
+        ],
+    );
+    (alphabet, dfa, def)
+}
+
+fn bench_dfa_step(c: &mut Criterion) {
+    let (alphabet, dfa, _) = unsafe_iter_parts();
+    let events: Vec<rv_logic::EventId> = alphabet.iter().collect();
+    c.bench_function("dfa_step", |b| {
+        let mut state = dfa.initial();
+        let mut i = 0;
+        b.iter(|| {
+            state = dfa.step(black_box(state), events[i % events.len()]);
+            if state == rv_logic::dfa::DEAD {
+                state = dfa.initial();
+            }
+            i += 1;
+            state
+        });
+    });
+}
+
+fn bench_coenable_analysis(c: &mut Criterion) {
+    let (_, dfa, def) = unsafe_iter_parts();
+    c.bench_function("coenable_analysis", |b| {
+        b.iter(|| {
+            let co = dfa.coenable(GoalSet::MATCH);
+            black_box(co.lift(&def).aliveness())
+        });
+    });
+}
+
+fn bench_engine_dispatch(c: &mut Criterion) {
+    // One collection, a stream of update events dispatched through the
+    // ⟨c⟩-tree — the per-event cost with a warm instance.
+    let (alphabet, dfa, def) = unsafe_iter_parts();
+    let update = alphabet.lookup("update").unwrap();
+    c.bench_function("engine_dispatch_update", |b| {
+        let mut engine = Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig::default());
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let _f = heap.enter_frame();
+        let coll = heap.alloc(cls);
+        let binding = Binding::from_pairs(&[(ParamId(0), coll)]);
+        engine.process(&heap, update, binding);
+        b.iter(|| {
+            engine.process(&heap, update, black_box(binding));
+        });
+    });
+}
+
+fn bench_monitor_creation(c: &mut Criterion) {
+    // Fresh create events: the full creation path (enable checks, tree
+    // registration).
+    let (alphabet, dfa, def) = unsafe_iter_parts();
+    let create = alphabet.lookup("create").unwrap();
+    c.bench_function("engine_monitor_creation", |b| {
+        let mut engine = Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig::default());
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let _f = heap.enter_frame();
+        let coll = heap.alloc(cls);
+        b.iter(|| {
+            let inner = heap.enter_frame();
+            let iter = heap.alloc(cls);
+            let binding = Binding::from_pairs(&[(ParamId(0), coll), (ParamId(1), iter)]);
+            engine.process(&heap, create, binding);
+            heap.exit_frame(inner);
+        });
+    });
+}
+
+fn bench_policy_comparison(c: &mut Criterion) {
+    // The create/next/die loop under each policy: the cost of keeping
+    // (MOP) vs collecting (RV) dead-iterator monitors.
+    let (alphabet, dfa, def) = unsafe_iter_parts();
+    let create = alphabet.lookup("create").unwrap();
+    let update = alphabet.lookup("update").unwrap();
+    let next = alphabet.lookup("next").unwrap();
+    let mut group = c.benchmark_group("policy_iterate_and_die");
+    for (label, policy) in [
+        ("none", GcPolicy::None),
+        ("all_params_dead", GcPolicy::AllParamsDead),
+        ("coenable_lazy", GcPolicy::CoenableLazy),
+    ] {
+        group.bench_function(label, |b| {
+            let mut engine = Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig {
+                policy,
+                ..EngineConfig::default()
+            });
+            let mut heap = Heap::new(HeapConfig::auto(256));
+            let cls = heap.register_class("Obj");
+            let _f = heap.enter_frame();
+            let coll = heap.alloc(cls);
+            heap.pin(coll);
+            let c_binding = Binding::from_pairs(&[(ParamId(0), coll)]);
+            b.iter(|| {
+                let inner = heap.enter_frame();
+                let iter = heap.alloc(cls);
+                heap.add_edge(iter, coll);
+                engine.process(
+                    &heap,
+                    create,
+                    Binding::from_pairs(&[(ParamId(0), coll), (ParamId(1), iter)]),
+                );
+                engine.process(&heap, next, Binding::from_pairs(&[(ParamId(1), iter)]));
+                engine.process(&heap, update, c_binding);
+                heap.exit_frame(inner);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dfa_step, bench_coenable_analysis, bench_engine_dispatch,
+              bench_monitor_creation, bench_policy_comparison
+}
+criterion_main!(benches);

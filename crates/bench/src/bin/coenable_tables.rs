@@ -1,0 +1,73 @@
+//! Prints the coenable artifacts of §3 for every bundled property: the
+//! event-level `COENABLE` sets (the paper's worked UNSAFEITER example
+//! verbatim), the parameter-level lift of Definition 11, and the
+//! minimized ALIVENESS disjuncts of §4.2.2.
+//!
+//! Usage: `cargo run -p rv-bench --bin coenable_tables`
+
+use rv_logic::Formalism as _;
+use rv_props::Property;
+
+fn main() {
+    for property in Property::ALL {
+        let spec = rv_props::compiled(property).expect("bundled properties compile");
+        println!("=== {} ===", property.paper_name());
+        for (i, prop) in spec.properties.iter().enumerate() {
+            if spec.properties.len() > 1 {
+                println!("-- block {} ({:?}, goal {}) --", i + 1, prop.kind, prop.goal);
+            } else {
+                println!("-- goal {} --", prop.goal);
+            }
+            match prop.formalism.coenable(prop.goal) {
+                Some(co) => {
+                    print!("{}", co.display(&spec.alphabet));
+                    let lifted = co.lift(&spec.event_def);
+                    for e in spec.alphabet.iter() {
+                        let sets: Vec<String> = lifted
+                            .of(e)
+                            .iter()
+                            .map(|ps| {
+                                let names: Vec<&str> =
+                                    ps.iter().map(|p| spec.event_def.param_name(p)).collect();
+                                format!("{{{}}}", names.join(", "))
+                            })
+                            .collect();
+                        println!(
+                            "COENABLEˣ({}) = {{{}}}",
+                            spec.alphabet.name(e),
+                            sets.join(", ")
+                        );
+                    }
+                    let aliveness = lifted.aliveness();
+                    for e in spec.alphabet.iter() {
+                        let masks: Vec<String> = aliveness
+                            .masks(e)
+                            .iter()
+                            .map(|ps| {
+                                let names: Vec<String> = ps
+                                    .iter()
+                                    .map(|p| format!("live_{}", spec.event_def.param_name(p)))
+                                    .collect();
+                                if names.is_empty() {
+                                    "true".to_owned()
+                                } else {
+                                    names.join(" ∧ ")
+                                }
+                            })
+                            .collect();
+                        let formula =
+                            if masks.is_empty() { "false".to_owned() } else { masks.join(" ∨ ") };
+                        println!("ALIVENESS({}) = {formula}", spec.alphabet.name(e));
+                    }
+                }
+                None => {
+                    println!(
+                        "coenable sets unavailable for this goal (engine falls back to \
+                         all-params-dead collection)"
+                    );
+                }
+            }
+        }
+        println!();
+    }
+}

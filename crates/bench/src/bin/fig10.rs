@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Figure 10**: monitoring statistics of the RV
+//! system — number of events (E), created monitors (M), monitors flagged
+//! unnecessary by the coenable technique (FM), and monitors collected
+//! (CM) — for every benchmark × evaluated property.
+//!
+//! Usage: `cargo run --release -p rv-bench --bin fig10 -- [--scale X]`
+
+use rv_bench::{fmt_count, MonitorSink, System};
+use rv_props::Property;
+use rv_workloads::Profile;
+
+fn main() {
+    let args = rv_bench::HarnessArgs::from_env();
+    println!("Figure 10: RV monitoring statistics (scale {})", args.scale);
+    print!("{:<12} ", "");
+    for p in Property::EVALUATED {
+        print!("| {:^27} ", p.paper_name().chars().take(27).collect::<String>());
+    }
+    println!();
+    print!("{:<12} ", "benchmark");
+    for _ in Property::EVALUATED {
+        print!("| {:>6} {:>6} {:>6} {:>6} ", "E", "M", "FM", "CM");
+    }
+    println!();
+
+    for profile in Profile::dacapo() {
+        print!("{:<12} ", profile.name);
+        for property in Property::EVALUATED {
+            let mut sink = MonitorSink::new(System::Rv, &[property]);
+            let _ = rv_workloads::run(&profile, args.scale, &mut sink);
+            let stats = sink.engine_stats()[0].1.expect("RV exposes engine stats");
+            print!(
+                "| {:>6} {:>6} {:>6} {:>6} ",
+                fmt_count(stats.events),
+                fmt_count(stats.monitors_created),
+                fmt_count(stats.monitors_flagged),
+                fmt_count(stats.monitors_collected),
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("E events, M monitors created, FM flagged unnecessary, CM collected");
+    println!("(HasNext runs both its FSM and LTL blocks; counts aggregate the two)");
+}

@@ -1,0 +1,71 @@
+//! Regenerates the paper's **Figure 9 (A)**: average percent runtime
+//! overhead of Tracematches (TM), JavaMOP (MOP) and RV on the fifteen
+//! DaCapo-like benchmarks × five Iterator-centric properties, plus RV's
+//! "ALL" column (all five monitored simultaneously).
+//!
+//! Usage: `cargo run --release -p rv-bench --bin fig9a -- [--scale X]
+//! [--deadline SECS] [--reps N]`
+//!
+//! Cells print the percent overhead versus the unmonitored run; `∞` marks
+//! cells that exceeded the deadline (the paper's non-terminating
+//! Tracematches entries).
+
+use rv_bench::{fmt_overhead, measure_baseline, measure_cell, HarnessArgs, System};
+use rv_props::Property;
+use rv_workloads::Profile;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!(
+        "Figure 9 (A): percent runtime overhead (scale {}, deadline {}s, best of {})",
+        args.scale, args.deadline_secs, args.reps
+    );
+    // Group header.
+    print!("{:<12} {:>9} ", "", "");
+    for p in Property::EVALUATED {
+        print!("| {:^20} ", shorten(p.paper_name()));
+    }
+    println!("| {:>7}", "ALL");
+    print!("{:<12} {:>9} ", "benchmark", "base(ms)");
+    for _ in Property::EVALUATED {
+        print!("| {:>6} {:>6} {:>6} ", "TM", "MOP", "RV");
+    }
+    println!("| {:>7}", "RV");
+
+    for profile in Profile::dacapo() {
+        let baseline = measure_baseline(&profile, args.scale, args.reps);
+        print!("{:<12} {:>9.1} ", profile.name, baseline.as_secs_f64() * 1e3);
+        for property in Property::EVALUATED {
+            print!("|");
+            for system in System::ALL {
+                let cell = measure_cell(
+                    &profile,
+                    args.scale,
+                    system,
+                    &[property],
+                    baseline,
+                    args.deadline(),
+                );
+                print!(" {:>6}", fmt_overhead(&cell));
+            }
+            print!(" ");
+        }
+        // The ALL column: five properties at once, RV only (the paper:
+        // "which was not possible in other monitoring systems").
+        let all = measure_cell(
+            &profile,
+            args.scale,
+            System::Rv,
+            &Property::EVALUATED,
+            baseline,
+            args.deadline(),
+        );
+        println!("| {:>7}", fmt_overhead(&all));
+    }
+    println!();
+    println!("cells: percent overhead vs. the unmonitored run; ∞ = deadline exceeded");
+}
+
+fn shorten(name: &str) -> String {
+    name.chars().take(20).collect()
+}

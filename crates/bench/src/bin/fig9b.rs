@@ -1,0 +1,63 @@
+//! Regenerates the paper's **Figure 9 (B)**: peak memory usage of the
+//! three systems on every benchmark × property, plus RV's "ALL" column.
+//!
+//! The measured quantity is the peak monitor-side footprint (monitor
+//! instances, indexing trees, disjunct sets), in KiB — the component of
+//! the paper's JVM heap numbers the monitor GC technique controls. The
+//! simulated program's own heap is identical across systems and omitted.
+//!
+//! Usage: `cargo run --release -p rv-bench --bin fig9b -- [--scale X]
+//! [--deadline SECS]`
+
+use rv_bench::{measure_baseline, measure_cell, HarnessArgs, System};
+use rv_props::Property;
+use rv_workloads::Profile;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!(
+        "Figure 9 (B): peak monitor-side memory in KiB (scale {}, deadline {}s)",
+        args.scale, args.deadline_secs
+    );
+    print!("{:<12} ", "");
+    for p in Property::EVALUATED {
+        print!("| {:^23} ", p.paper_name().chars().take(23).collect::<String>());
+    }
+    println!("| {:>8}", "ALL");
+    print!("{:<12} ", "benchmark");
+    for _ in Property::EVALUATED {
+        print!("| {:>7} {:>7} {:>7} ", "TM", "MOP", "RV");
+    }
+    println!("| {:>8}", "RV");
+
+    for profile in Profile::dacapo() {
+        let baseline = measure_baseline(&profile, args.scale, 1);
+        print!("{:<12} ", profile.name);
+        for property in Property::EVALUATED {
+            print!("|");
+            for system in System::ALL {
+                let cell = measure_cell(
+                    &profile,
+                    args.scale,
+                    system,
+                    &[property],
+                    baseline,
+                    args.deadline(),
+                );
+                print!(" {:>7.1}", cell.peak_kib);
+            }
+            print!(" ");
+        }
+        let all = measure_cell(
+            &profile,
+            args.scale,
+            System::Rv,
+            &Property::EVALUATED,
+            baseline,
+            args.deadline(),
+        );
+        println!("| {:>8.1}", all.peak_kib);
+    }
+    println!();
+    println!("cells: peak KiB of monitors + indexing structures (sampled every 4096 events)");
+}

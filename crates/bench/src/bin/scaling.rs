@@ -1,0 +1,56 @@
+//! The density-scaling experiment behind the paper's `∞` cells: how each
+//! system's overhead grows as the number of *coexisting* monitored
+//! objects grows (more live collections per round, same lifetime shape).
+//!
+//! The Tracematches-style engine scans its per-state disjunct sets on
+//! every event, so its per-event cost grows with the live-binding count;
+//! the indexing-tree engines dispatch through hash lookups and stay flat.
+//! The paper's non-terminating Tracematches runs are the far end of this
+//! curve (bloat keeps 19 605 collections coexisting at peak — 50× the
+//! densest point below).
+//!
+//! Usage: `cargo run --release -p rv-bench --bin scaling -- [--deadline S]`
+
+use rv_bench::{fmt_overhead, measure_baseline, measure_cell, HarnessArgs, System};
+use rv_props::Property;
+use rv_workloads::Profile;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!(
+        "Density scaling on bloat / UNSAFEITER: percent overhead vs. coexisting collections"
+    );
+    println!(
+        "{:<10} {:>12} {:>9} | {:>8} {:>8} {:>8}",
+        "density", "coexisting", "base(ms)", "TM", "MOP", "RV"
+    );
+    for factor in [1u32, 2, 4, 8] {
+        let mut profile = Profile::bloat();
+        // More collections alive at once; fewer rounds so total event
+        // volume stays comparable.
+        profile.colls_per_round *= factor;
+        profile.rounds = (profile.rounds / factor).max(profile.coll_linger_rounds + 2);
+        let coexisting =
+            u64::from(profile.colls_per_round) * u64::from(profile.coll_linger_rounds);
+        let baseline = measure_baseline(&profile, 1.0, args.reps);
+        print!(
+            "{:<10} {:>12} {:>9.1} |",
+            format!("x{factor}"),
+            coexisting,
+            baseline.as_secs_f64() * 1e3
+        );
+        for system in System::ALL {
+            let cell = measure_cell(
+                &profile,
+                1.0,
+                system,
+                &[Property::UnsafeIter],
+                baseline,
+                args.deadline(),
+            );
+            print!(" {:>8}", fmt_overhead(&cell));
+        }
+        println!();
+    }
+    println!("\n(∞ = deadline exceeded; TM's column grows with density, the tree engines stay flat)");
+}

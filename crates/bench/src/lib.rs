@@ -1,0 +1,483 @@
+//! The evaluation harness: everything needed to regenerate the paper's
+//! Figure 9(A) (runtime overhead), Figure 9(B) (peak memory) and
+//! Figure 10 (monitoring statistics) tables, plus the ablation benches.
+//!
+//! The three systems under comparison:
+//!
+//! * **RV** — the `rv-core` engine with [`GcPolicy::CoenableLazy`];
+//! * **MOP** (JavaMOP) — the same engine with [`GcPolicy::AllParamsDead`];
+//! * **TM** (Tracematches) — the `rv-tracematches` disjunct engine with
+//!   state-indexed GC (regex properties only).
+//!
+//! Overhead is measured exactly as the paper defines it: the same workload
+//! is run unmonitored ([`NullSink`]) and monitored, and the overhead is
+//! `time_monitored / time_bare − 1`. Cells that exceed the configured
+//! deadline report `∞`, mirroring the paper's non-terminating
+//! Tracematches cells.
+
+use std::time::{Duration, Instant};
+
+use rv_core::{Binding, EngineConfig, GcPolicy, PropertyMonitor};
+use rv_heap::Heap;
+use rv_logic::{AnyFormalism, EventId};
+use rv_props::Property;
+use rv_tracematches::TraceMatch;
+use rv_workloads::{project, EventSink, NullSink, Profile, SimEvent};
+
+/// Which monitoring system a cell measures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum System {
+    /// Tracematches-style baseline.
+    Tm,
+    /// JavaMOP-style baseline (all-params-dead collection).
+    Mop,
+    /// The paper's RV (coenable-set lazy collection).
+    Rv,
+}
+
+impl System {
+    /// Table order: TM, MOP, RV (as in Figure 9).
+    pub const ALL: [System; 3] = [System::Tm, System::Mop, System::Rv];
+
+    /// The column label used in the tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Tm => "TM",
+            System::Mop => "MOP",
+            System::Rv => "RV",
+        }
+    }
+}
+
+/// One property attached to a system under test.
+enum Attached {
+    Engine(Box<PropertyMonitor>),
+    Tm(Box<TraceMatch>),
+}
+
+/// Pre-resolved event dispatch for one property: spec lookups hoisted out
+/// of the hot path.
+struct Dispatch {
+    property: Property,
+    /// For each possible projected event name: `(event id, param ids)`.
+    /// Resolved lazily on first sight and memoized by name pointer.
+    spec_alphabet: rv_logic::Alphabet,
+    event_params: Vec<Vec<rv_logic::ParamId>>,
+    attached: Attached,
+}
+
+impl Dispatch {
+    fn translate(&self, name: &str, objs: &rv_workloads::ObjList) -> (EventId, Binding) {
+        let event = self
+            .spec_alphabet
+            .lookup(name)
+            .unwrap_or_else(|| panic!("{:?}: unknown event `{name}`", self.property));
+        let params = &self.event_params[event.as_usize()];
+        debug_assert_eq!(params.len(), objs.as_slice().len());
+        let pairs: Vec<(rv_logic::ParamId, rv_heap::ObjId)> =
+            params.iter().copied().zip(objs.as_slice().iter().copied()).collect();
+        (event, Binding::from_pairs(&pairs))
+    }
+}
+
+/// A sink feeding workload events to one or more monitored properties
+/// under a single system, with a deadline and periodic memory sampling.
+pub struct MonitorSink {
+    dispatches: Vec<Dispatch>,
+    deadline: Option<Instant>,
+    timed_out: bool,
+    events_since_sample: u32,
+    /// Peak monitor-side bytes observed (Fig. 9B metric).
+    pub peak_bytes: usize,
+    /// Total events dispatched to at least one property.
+    pub events: u64,
+}
+
+impl MonitorSink {
+    /// Builds a sink monitoring `properties` under `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a CFG property is requested under [`System::Tm`]
+    /// (Tracematches is regex-only — the paper's structural limitation).
+    #[must_use]
+    pub fn new(system: System, properties: &[Property]) -> MonitorSink {
+        let dispatches = properties
+            .iter()
+            .map(|&property| {
+                let spec = rv_props::compiled(property).expect("bundled properties compile");
+                let attached = match system {
+                    System::Rv | System::Mop => {
+                        let config = EngineConfig {
+                            policy: if system == System::Rv {
+                                GcPolicy::CoenableLazy
+                            } else {
+                                GcPolicy::AllParamsDead
+                            },
+                            ..EngineConfig::default()
+                        };
+                        Attached::Engine(Box::new(PropertyMonitor::new(spec.clone(), &config)))
+                    }
+                    System::Tm => {
+                        assert!(
+                            property.tracematches_supported(),
+                            "Tracematches cannot express {property:?} (CFG)"
+                        );
+                        let prop = &spec.properties[0];
+                        let AnyFormalism::Dfa(dfa) = &prop.formalism else {
+                            panic!("{property:?}: TM needs a finite automaton");
+                        };
+                        Attached::Tm(Box::new(TraceMatch::new(
+                            dfa.clone(),
+                            spec.event_def.clone(),
+                            prop.goal,
+                        )))
+                    }
+                };
+                Dispatch {
+                    property,
+                    spec_alphabet: spec.alphabet.clone(),
+                    event_params: spec.event_params.clone(),
+                    attached,
+                }
+            })
+            .collect();
+        MonitorSink {
+            dispatches,
+            deadline: None,
+            timed_out: false,
+            events_since_sample: 0,
+            peak_bytes: 0,
+            events: 0,
+        }
+    }
+
+    /// Aborts monitoring (reporting `∞`) once `duration` has elapsed.
+    pub fn with_deadline(mut self, duration: Duration) -> MonitorSink {
+        self.deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Whether the deadline fired.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Total goal reports across all properties.
+    #[must_use]
+    pub fn triggers(&self) -> u64 {
+        self.dispatches
+            .iter()
+            .map(|d| match &d.attached {
+                Attached::Engine(m) => m.triggers(),
+                Attached::Tm(t) => t.stats().triggers,
+            })
+            .sum()
+    }
+
+    /// Aggregated engine statistics per property (None for TM cells).
+    #[must_use]
+    pub fn engine_stats(&self) -> Vec<(Property, Option<rv_core::EngineStats>)> {
+        self.dispatches
+            .iter()
+            .map(|d| {
+                let stats = match &d.attached {
+                    Attached::Engine(m) => Some(m.stats()),
+                    Attached::Tm(_) => None,
+                };
+                (d.property, stats)
+            })
+            .collect()
+    }
+
+    /// Current monitor-side bytes.
+    #[must_use]
+    pub fn current_bytes(&self) -> usize {
+        self.dispatches
+            .iter()
+            .map(|d| match &d.attached {
+                Attached::Engine(m) => m.estimated_bytes(),
+                Attached::Tm(t) => t.estimated_bytes(),
+            })
+            .sum()
+    }
+
+}
+
+impl EventSink for MonitorSink {
+    fn emit(&mut self, heap: &Heap, event: &SimEvent) {
+        if self.timed_out {
+            return;
+        }
+        for i in 0..self.dispatches.len() {
+            let Some((name, objs)) = project(event, self.dispatches[i].property) else {
+                continue;
+            };
+            self.events += 1;
+            let (event_id, binding) = self.dispatches[i].translate(name, &objs);
+            match &mut self.dispatches[i].attached {
+                Attached::Engine(m) => m.process(heap, event_id, binding),
+                Attached::Tm(t) => t.process(heap, event_id, binding),
+            }
+        }
+        self.events_since_sample += 1;
+        if self.events_since_sample >= 4096 {
+            self.events_since_sample = 0;
+            self.peak_bytes = self.peak_bytes.max(self.current_bytes());
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    self.timed_out = true;
+                }
+            }
+        }
+    }
+
+    fn at_exit(&mut self, _heap: &Heap) {
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes());
+    }
+}
+
+/// The result of one measured cell.
+#[derive(Clone, Copy, Debug)]
+pub struct CellResult {
+    /// Percent runtime overhead versus the unmonitored run (`None` = the
+    /// deadline fired, printed as `∞`).
+    pub overhead_pct: Option<f64>,
+    /// Peak monitor-side memory in KiB.
+    pub peak_kib: f64,
+    /// Engine statistics, when the system exposes them.
+    pub stats: Option<rv_core::EngineStats>,
+    /// Goal reports.
+    pub triggers: u64,
+}
+
+/// Measures the unmonitored baseline time for `profile` at `scale`,
+/// best-of-`reps`.
+#[must_use]
+pub fn measure_baseline(profile: &Profile, scale: f64, reps: u32) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let mut sink = NullSink;
+        let start = Instant::now();
+        let _ = rv_workloads::run(profile, scale, &mut sink);
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Measures one (benchmark, properties, system) cell.
+#[must_use]
+pub fn measure_cell(
+    profile: &Profile,
+    scale: f64,
+    system: System,
+    properties: &[Property],
+    baseline: Duration,
+    deadline: Duration,
+) -> CellResult {
+    let mut sink = MonitorSink::new(system, properties).with_deadline(deadline);
+    let start = Instant::now();
+    let _ = rv_workloads::run(profile, scale, &mut sink);
+    let elapsed = start.elapsed();
+    let overhead_pct = if sink.timed_out() {
+        None
+    } else {
+        let base = baseline.as_secs_f64().max(1e-9);
+        Some(((elapsed.as_secs_f64() / base) - 1.0) * 100.0)
+    };
+    let stats = sink
+        .engine_stats()
+        .into_iter()
+        .filter_map(|(_, s)| s)
+        .reduce(|mut acc, s| {
+            acc.events += s.events;
+            acc.monitors_created += s.monitors_created;
+            acc.monitors_flagged += s.monitors_flagged;
+            acc.monitors_collected += s.monitors_collected;
+            acc.peak_live_monitors += s.peak_live_monitors;
+            acc.live_monitors += s.live_monitors;
+            acc.triggers += s.triggers;
+            acc
+        });
+    CellResult {
+        overhead_pct,
+        peak_kib: sink.peak_bytes as f64 / 1024.0,
+        stats,
+        triggers: sink.triggers(),
+    }
+}
+
+/// Formats an overhead cell: percentage or `∞`.
+#[must_use]
+pub fn fmt_overhead(cell: &CellResult) -> String {
+    match cell.overhead_pct {
+        Some(pct) => format!("{pct:.0}"),
+        None => "∞".to_owned(),
+    }
+}
+
+/// Formats a large count the way the paper does (156M, 1.9M, 44K, 18).
+#[must_use]
+pub fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1_000_000.0)
+    } else if n >= 10_000 {
+        format!("{}K", n / 1_000)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1_000.0)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Parses `--scale X` / `--deadline SECS` style CLI arguments shared by
+/// the harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    /// Workload scale factor (default 1.0 = paper counts / 1000).
+    pub scale: f64,
+    /// Per-cell deadline in seconds (default 30).
+    pub deadline_secs: u64,
+    /// Baseline repetitions (default 3).
+    pub reps: u32,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { scale: 1.0, deadline_secs: 30, reps: 3 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn from_env() -> HarnessArgs {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| {
+                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--scale" => out.scale = take("--scale").parse().expect("numeric --scale"),
+                "--deadline" => {
+                    out.deadline_secs = take("--deadline").parse().expect("numeric --deadline");
+                }
+                "--reps" => out.reps = take("--reps").parse().expect("numeric --reps"),
+                other => panic!("unknown argument `{other}` (known: --scale, --deadline, --reps)"),
+            }
+        }
+        out
+    }
+
+    /// The per-cell deadline.
+    #[must_use]
+    pub fn deadline(&self) -> Duration {
+        Duration::from_secs(self.deadline_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_sink_detects_violations_in_workloads() {
+        // pmd's profile injects concurrent updates: RV must report them.
+        let mut sink = MonitorSink::new(System::Rv, &[Property::UnsafeIter, Property::HasNext]);
+        let _ = rv_workloads::run(&Profile::pmd(), 1.0, &mut sink);
+        assert!(sink.events > 0);
+        assert!(sink.triggers() > 0, "pmd injects UNSAFEITER violations");
+    }
+
+    #[test]
+    fn all_three_systems_agree_on_trigger_counts() {
+        let mut counts = Vec::new();
+        for system in System::ALL {
+            let mut sink = MonitorSink::new(system, &[Property::UnsafeIter]);
+            let _ = rv_workloads::run(&Profile::pmd(), 0.5, &mut sink);
+            counts.push(sink.triggers());
+        }
+        assert_eq!(counts[0], counts[1], "TM vs MOP");
+        assert_eq!(counts[1], counts[2], "MOP vs RV");
+    }
+
+    #[test]
+    fn rv_flags_more_monitors_than_mop_on_bloat() {
+        // bloat keeps collections alive long after their iterators die:
+        // RV flags those monitors during the run, MOP (all-params-dead)
+        // cannot until the collections die too.
+        let run = |system: System| {
+            let mut sink = MonitorSink::new(system, &[Property::UnsafeIter]);
+            let _ = rv_workloads::run(&Profile::bloat(), 0.25, &mut sink);
+            sink.engine_stats()[0].1.unwrap()
+        };
+        let rv = run(System::Rv);
+        let mop = run(System::Mop);
+        assert_eq!(rv.monitors_created, mop.monitors_created, "same creation discipline");
+        assert!(
+            rv.monitors_flagged > mop.monitors_flagged.saturating_mul(2),
+            "RV flags ({}) should dwarf MOP's ({}) while collections linger",
+            rv.monitors_flagged,
+            mop.monitors_flagged
+        );
+        assert!(
+            rv.live_monitors < mop.live_monitors,
+            "RV live ({}) should undercut MOP live ({})",
+            rv.live_monitors,
+            mop.live_monitors
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Tracematches cannot express")]
+    fn tm_rejects_cfg_properties() {
+        let _ = MonitorSink::new(System::Tm, &[Property::SafeLock]);
+    }
+
+    #[test]
+    fn count_formatting_matches_the_paper_style() {
+        assert_eq!(fmt_count(156_000_000), "156M");
+        assert_eq!(fmt_count(1_900_000), "1.9M");
+        assert_eq!(fmt_count(44_000), "44K");
+        assert_eq!(fmt_count(1_500), "1.5K");
+        assert_eq!(fmt_count(18), "18");
+    }
+
+    #[test]
+    fn overhead_formatting_renders_infinity_for_timeouts() {
+        let finite = CellResult {
+            overhead_pct: Some(151.4),
+            peak_kib: 1.0,
+            stats: None,
+            triggers: 0,
+        };
+        assert_eq!(fmt_overhead(&finite), "151");
+        let timed_out =
+            CellResult { overhead_pct: None, peak_kib: 1.0, stats: None, triggers: 0 };
+        assert_eq!(fmt_overhead(&timed_out), "∞");
+    }
+
+    #[test]
+    fn deadline_aborts_monitoring_midway() {
+        use std::time::Duration;
+        let mut sink = MonitorSink::new(System::Tm, &[Property::UnsafeMapIter])
+            .with_deadline(Duration::from_millis(0));
+        let _ = rv_workloads::run(&Profile::bloat(), 0.25, &mut sink);
+        assert!(sink.timed_out(), "a zero deadline must fire");
+    }
+
+    #[test]
+    fn measure_baseline_is_positive() {
+        let d = measure_baseline(&Profile::by_name("luindex").unwrap(), 0.5, 2);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Parameter instances (the partial functions `θ ∈ [X ⇁ V]` of
+//! Definition 3) and their lattice operations (Definition 5).
+
+use std::fmt;
+
+use rv_heap::ObjId;
+use rv_logic::{ParamId, ParamSet};
+
+/// The maximum number of parameters an engine binding can carry. The
+/// paper's largest property binds three (`Lock`, `Thread` and the implicit
+/// method nesting); eight leaves headroom while keeping bindings `Copy`.
+pub const MAX_PARAMS: usize = 8;
+
+/// A parameter instance `θ`: a partial map from parameters to heap
+/// objects.
+///
+/// Bindings hold objects *weakly* — storing a binding never keeps its
+/// objects alive (they are packed handles, not roots), which is the
+/// property the paper's indexing trees rely on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Binding {
+    domain: ParamSet,
+    /// Packed [`ObjId`] bits per parameter slot; zero when unbound.
+    vals: [u64; MAX_PARAMS],
+}
+
+impl Binding {
+    /// The empty instance `⊥`.
+    pub const BOTTOM: Binding = Binding { domain: ParamSet::EMPTY, vals: [0; MAX_PARAMS] };
+
+    /// Builds a binding from `(parameter, object)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter index is `≥ MAX_PARAMS` or repeats.
+    #[must_use]
+    pub fn from_pairs(pairs: &[(ParamId, ObjId)]) -> Binding {
+        let mut b = Binding::BOTTOM;
+        for &(p, v) in pairs {
+            assert!(p.as_usize() < MAX_PARAMS, "parameter index {p:?} out of range");
+            assert!(!b.domain.contains(p), "parameter {p:?} bound twice");
+            b.domain = b.domain.with(p);
+            b.vals[p.as_usize()] = v.to_bits();
+        }
+        b
+    }
+
+    /// The domain `dom(θ)`.
+    #[must_use]
+    pub fn domain(self) -> ParamSet {
+        self.domain
+    }
+
+    /// `θ(p)`, if bound.
+    #[must_use]
+    pub fn get(self, p: ParamId) -> Option<ObjId> {
+        if self.domain.contains(p) {
+            Some(ObjId::from_bits(self.vals[p.as_usize()]))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(parameter, object)` pairs in parameter order.
+    pub fn iter(self) -> impl Iterator<Item = (ParamId, ObjId)> {
+        self.domain.iter().map(move |p| (p, ObjId::from_bits(self.vals[p.as_usize()])))
+    }
+
+    /// Whether `self` and `other` are *compatible*: they agree on every
+    /// shared parameter (Definition 5).
+    #[must_use]
+    pub fn compatible(self, other: Binding) -> bool {
+        let shared = self.domain.intersection(other.domain);
+        shared.iter().all(|p| self.vals[p.as_usize()] == other.vals[p.as_usize()])
+    }
+
+    /// The least upper bound `self ⊔ other` (Definition 5), or `None` if
+    /// incompatible.
+    #[must_use]
+    pub fn lub(self, other: Binding) -> Option<Binding> {
+        if !self.compatible(other) {
+            return None;
+        }
+        let mut vals = self.vals;
+        for p in other.domain.iter() {
+            vals[p.as_usize()] = other.vals[p.as_usize()];
+        }
+        Some(Binding { domain: self.domain.union(other.domain), vals })
+    }
+
+    /// Whether `self ⊑ other` (`self` is less informative, Definition 5).
+    #[must_use]
+    pub fn less_informative(self, other: Binding) -> bool {
+        self.domain.is_subset(other.domain)
+            && self.domain.iter().all(|p| self.vals[p.as_usize()] == other.vals[p.as_usize()])
+    }
+
+    /// The restriction `θ|P` to the parameters in `P ∩ dom(θ)`.
+    #[must_use]
+    pub fn restrict(self, params: ParamSet) -> Binding {
+        let keep = self.domain.intersection(params);
+        let mut vals = [0u64; MAX_PARAMS];
+        for p in keep.iter() {
+            vals[p.as_usize()] = self.vals[p.as_usize()];
+        }
+        Binding { domain: keep, vals }
+    }
+
+    /// The set of bound parameters whose objects are no longer alive on
+    /// `heap` — the `dead` input of the ALIVENESS check (§4.2.2).
+    #[must_use]
+    pub fn dead_params(self, heap: &rv_heap::Heap) -> ParamSet {
+        let mut dead = ParamSet::EMPTY;
+        for (p, v) in self.iter() {
+            if !heap.is_alive(v) {
+                dead = dead.with(p);
+            }
+        }
+        dead
+    }
+}
+
+impl fmt::Debug for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (p, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p:?}↦{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_heap::{Heap, HeapConfig};
+
+    fn objs(n: usize) -> (Heap, Vec<ObjId>) {
+        let mut h = Heap::new(HeapConfig::manual());
+        let c = h.register_class("Obj");
+        let _f = h.enter_frame();
+        let ids = (0..n).map(|_| h.alloc(c)).collect();
+        // The frame token is intentionally never passed to exit_frame:
+        // objects stay rooted for the whole test.
+        (h, ids)
+    }
+
+    #[test]
+    fn lub_of_compatible_bindings() {
+        let (_h, o) = objs(2);
+        let c = Binding::from_pairs(&[(ParamId(0), o[0])]);
+        let i = Binding::from_pairs(&[(ParamId(1), o[1])]);
+        let ci = c.lub(i).unwrap();
+        assert_eq!(ci.domain().len(), 2);
+        assert_eq!(ci.get(ParamId(0)), Some(o[0]));
+        assert_eq!(ci.get(ParamId(1)), Some(o[1]));
+        assert!(c.less_informative(ci));
+        assert!(i.less_informative(ci));
+        assert!(!ci.less_informative(c));
+        assert!(Binding::BOTTOM.less_informative(c));
+    }
+
+    #[test]
+    fn incompatible_bindings_have_no_lub() {
+        let (_h, o) = objs(2);
+        let a = Binding::from_pairs(&[(ParamId(0), o[0])]);
+        let b = Binding::from_pairs(&[(ParamId(0), o[1])]);
+        assert!(!a.compatible(b));
+        assert!(a.lub(b).is_none());
+        // Compatible with itself and with ⊥.
+        assert!(a.compatible(a));
+        assert!(a.compatible(Binding::BOTTOM));
+        assert_eq!(a.lub(a), Some(a));
+    }
+
+    #[test]
+    fn restriction_projects_the_domain() {
+        let (_h, o) = objs(2);
+        let ci = Binding::from_pairs(&[(ParamId(0), o[0]), (ParamId(1), o[1])]);
+        let c = ci.restrict(ParamSet::singleton(ParamId(0)));
+        assert_eq!(c.domain(), ParamSet::singleton(ParamId(0)));
+        assert_eq!(c.get(ParamId(1)), None);
+        // Restriction to an unrelated parameter is ⊥.
+        assert_eq!(ci.restrict(ParamSet::singleton(ParamId(5))), Binding::BOTTOM);
+    }
+
+    #[test]
+    fn equality_ignores_stale_slots() {
+        let (_h, o) = objs(2);
+        let ci = Binding::from_pairs(&[(ParamId(0), o[0]), (ParamId(1), o[1])]);
+        let via_restrict = ci.restrict(ParamSet::singleton(ParamId(0)));
+        let direct = Binding::from_pairs(&[(ParamId(0), o[0])]);
+        assert_eq!(via_restrict, direct);
+    }
+
+    #[test]
+    fn dead_params_tracks_the_heap() {
+        let mut h = Heap::new(HeapConfig::manual());
+        let cls = h.register_class("Obj");
+        let outer = h.enter_frame();
+        let coll = h.alloc(cls);
+        let inner = h.enter_frame();
+        let iter = h.alloc(cls);
+        let b = Binding::from_pairs(&[(ParamId(0), coll), (ParamId(1), iter)]);
+        assert!(b.dead_params(&h).is_empty());
+        h.exit_frame(inner);
+        h.collect();
+        assert_eq!(b.dead_params(&h), ParamSet::singleton(ParamId(1)));
+        h.exit_frame(outer);
+        h.collect();
+        assert_eq!(b.dead_params(&h).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn duplicate_parameter_is_rejected() {
+        let (_h, o) = objs(1);
+        let _ = Binding::from_pairs(&[(ParamId(0), o[0]), (ParamId(0), o[0])]);
+    }
+
+    #[test]
+    fn debug_renders_pairs() {
+        let (_h, o) = objs(1);
+        let b = Binding::from_pairs(&[(ParamId(0), o[0])]);
+        let s = format!("{b:?}");
+        assert!(s.starts_with('⟨') && s.ends_with('⟩'));
+        assert!(s.contains("x0"));
+    }
+}

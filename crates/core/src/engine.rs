@@ -1,0 +1,1179 @@
+//! The parametric monitoring engine: indexing trees, enable-set monitor
+//! creation, and the paper's lazy monitor garbage collection.
+//!
+//! # Event dispatch (§4.1)
+//!
+//! For an event `e⟨θ⟩`, the engine looks `θ` up in the `⟨D(e)⟩`-tree of
+//! Figure 6, obtaining the set of monitor instances whose bindings are
+//! more informative than `θ`; each is stepped in place. Monitor *creation*
+//! follows the enable-set discipline of Chen et al. \[19\] (which the paper's
+//! RV builds on): a new instance for `θ ⊔ θ''` is created only when
+//! `dom(θ'')` is an enable parameter set of `e`, inheriting the source's
+//! state, and only when no event relevant to the new slice has been missed
+//! (checked against the *disable* table, the analogue of JavaMOP's disable
+//! stamps).
+//!
+//! # Garbage collection (§4.2)
+//!
+//! Three policies are provided:
+//!
+//! * [`GcPolicy::None`] — monitors live until their containers die.
+//! * [`GcPolicy::AllParamsDead`] — the JavaMOP baseline: a monitor is
+//!   flagged only when *every* bound parameter object is dead.
+//! * [`GcPolicy::CoenableLazy`] — the paper's contribution: when an
+//!   indexing structure discovers a dead parameter object, the monitors
+//!   beneath it evaluate `ALIVENESS(last_event)` against their dead
+//!   parameter set and flag themselves when no goal remains reachable
+//!   (§4.2.2); flagged monitors are physically removed later, when a
+//!   containing structure is next touched (Figures 7–8).
+//!
+//! Independently of the policy, monitors whose verdict can never become a
+//! goal again (terminal states) are retired after reporting.
+
+use rv_heap::Heap;
+use rv_logic::{Aliveness, EventDef, EventId, Formalism, GoalSet, ParamSet, Verdict};
+use std::collections::{HashMap, HashSet};
+
+use crate::binding::Binding;
+use crate::reference::Trigger;
+use crate::stats::EngineStats;
+use crate::store::{MonitorId, MonitorStore};
+use crate::trees::{Maintainer, RvMap, RvSet};
+
+/// The monitor garbage-collection policy (§5 compares these head to head).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GcPolicy {
+    /// Never flag monitors (structures still shed entries whose keys die).
+    None,
+    /// JavaMOP: flag when all bound parameter objects are dead.
+    AllParamsDead,
+    /// RV: flag when the coenable-set ALIVENESS formula fails (falls back
+    /// to [`GcPolicy::AllParamsDead`] behaviour for properties without
+    /// coenable sets, e.g. CFG properties with a `fail` goal).
+    #[default]
+    CoenableLazy,
+}
+
+/// Configuration for an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The GC policy.
+    pub policy: GcPolicy,
+    /// Record every trigger (tests) or only count them (benchmarks).
+    pub record_triggers: bool,
+    /// Expunge window for the weak maps (entries inspected per access).
+    pub expunge_window: usize,
+    /// Disable the ALIVENESS minimization (ablation: evaluate the raw
+    /// Definition 11 disjunction instead of the minimized formula).
+    pub minimize_aliveness: bool,
+    /// Enable the monomorphic lookup cache: consecutive events on the same
+    /// parameter instance (the ubiquitous `hasNext()`/`next()` loop) reuse
+    /// the previous tree lookup so long as no monitor was created, flagged
+    /// or collected in between. This is this reproduction's stand-in for
+    /// the "staged/decentralized indexing" optimizations the paper cites
+    /// as orthogonal (\[6, 8, 17\]) and disables in its own evaluation; the
+    /// ablation bench measures it separately.
+    pub lookup_cache: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: GcPolicy::CoenableLazy,
+            record_triggers: false,
+            expunge_window: crate::trees::DEFAULT_EXPUNGE_WINDOW,
+            minimize_aliveness: true,
+            lookup_cache: true,
+        }
+    }
+}
+
+/// A monitoring engine for one parametric property.
+#[derive(Debug)]
+pub struct Engine<F: Formalism> {
+    formalism: F,
+    event_def: EventDef,
+    goal: GoalSet,
+    aliveness: Option<Aliveness>,
+    config: EngineConfig,
+    /// Per event: enable parameter sets (creation sources), and whether the
+    /// event may start a goal slice (`∅ ∈ ENABLEˣ(e)`).
+    enable_sources: Vec<Vec<ParamSet>>,
+    enable_bottom: Vec<bool>,
+    /// All parameter subsets that ever serve as creation sources.
+    source_domains: Vec<ParamSet>,
+    store: MonitorStore<F::State>,
+    /// Exact-instance table: `dom(θ)`-keyed family of maps `θ → monitor`.
+    exact: HashMap<ParamSet, RvMap<MonitorId>>,
+    /// Indexing trees (Figure 6): for each tracked subset `P`, a map from
+    /// `θ|P` to the set of instances with binding ⊒ `θ|P`.
+    trees: HashMap<ParamSet, RvMap<RvSet>>,
+    /// Which subsets have trees: every `D(e)` plus every `Y ∩ D(e)` needed
+    /// to locate join sources.
+    tracked: Vec<ParamSet>,
+    /// The *disable* table: event instances seen so far, used to refuse
+    /// creating a monitor whose slice would be incomplete.
+    disable: DisableTable,
+    stats: EngineStats,
+    /// Recorded triggers (when `record_triggers`).
+    triggers: Vec<Trigger>,
+    /// Scratch buffers reused across events.
+    scratch_ids: Vec<MonitorId>,
+    /// The monomorphic lookup cache (see [`EngineConfig::lookup_cache`]).
+    cache: LookupCache,
+}
+
+/// The monomorphic lookup cache: remembers the member list of the last
+/// `⟨D(e)⟩`-tree lookup. Valid while the *mutation signature* — monitors
+/// created + flagged + collected — is unchanged: any set-membership change
+/// or monitor-slot reuse moves one of those counters, so a matching
+/// signature guarantees the cached ids are still exactly the live members
+/// under the key (retired members are skipped by dispatch anyway).
+#[derive(Debug, Default)]
+struct LookupCache {
+    key: Option<Binding>,
+    signature: u64,
+    members: Vec<MonitorId>,
+    hits: u64,
+}
+
+/// The disable table with its own lazy weak pruning.
+#[derive(Debug, Default)]
+struct DisableTable {
+    seen: HashSet<Binding>,
+    ring: Vec<Binding>,
+    cursor: usize,
+}
+
+impl DisableTable {
+    fn insert(&mut self, b: Binding) {
+        if self.seen.insert(b) {
+            self.ring.push(b);
+        }
+    }
+
+    fn contains(&self, b: &Binding) -> bool {
+        self.seen.contains(b)
+    }
+
+    /// Drops a few entries whose objects died: such instances can never
+    /// recur, and creation checks against them are settled by the weak
+    /// keys of the exact table anyway.
+    fn prune(&mut self, heap: &Heap, n: usize) {
+        for _ in 0..n.min(self.ring.len()) {
+            if self.cursor >= self.ring.len() {
+                self.cursor = 0;
+            }
+            let b = self.ring[self.cursor];
+            if b.iter().any(|(_, o)| !heap.is_alive(o)) {
+                self.seen.remove(&b);
+                self.ring.swap_remove(self.cursor);
+            } else {
+                self.cursor += 1;
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        (self.seen.capacity() + self.ring.capacity()) * std::mem::size_of::<Binding>()
+    }
+}
+
+impl<F: Formalism> Engine<F> {
+    /// Builds an engine for `formalism` with goal `goal` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event definition does not cover the formalism's
+    /// alphabet.
+    #[must_use]
+    pub fn new(formalism: F, event_def: EventDef, goal: GoalSet, config: EngineConfig) -> Self {
+        let alphabet = formalism.alphabet().clone();
+        let n_events = alphabet.len();
+        // ALIVENESS (§4.2.2), optionally unminimized for the ablation.
+        let aliveness = formalism.coenable(goal).map(|co| {
+            let lifted = co.lift(&event_def);
+            if config.minimize_aliveness {
+                lifted.aliveness()
+            } else {
+                lifted.aliveness_unminimized()
+            }
+        });
+        // ENABLE sets → creation sources per event. Without enable sets
+        // (CFG), creation is permissive: any existing domain can source a
+        // join, and every event may start a slice.
+        let (enable_sources, enable_bottom) = match formalism.enable(goal) {
+            Some(en) => {
+                let mut sources = Vec::with_capacity(n_events);
+                let mut bottoms = Vec::with_capacity(n_events);
+                for (family, has_empty) in &en {
+                    let mut sets: Vec<ParamSet> =
+                        family.sets().iter().map(|&s| event_def.params_of_set(s)).collect();
+                    sets.sort_unstable_by_key(|s| std::cmp::Reverse(s.len()));
+                    sets.dedup();
+                    sources.push(sets);
+                    bottoms.push(*has_empty);
+                }
+                (sources, bottoms)
+            }
+            None => {
+                // All unions of event domains can be sources.
+                let mut domains: Vec<ParamSet> = vec![ParamSet::EMPTY];
+                for e in alphabet.iter() {
+                    let d = event_def.params_of(e);
+                    let mut extra: Vec<ParamSet> =
+                        domains.iter().map(|&x| x.union(d)).collect();
+                    domains.append(&mut extra);
+                    domains.sort_unstable();
+                    domains.dedup();
+                }
+                domains.retain(|d| !d.is_empty());
+                domains.sort_unstable_by_key(|s| std::cmp::Reverse(s.len()));
+                (vec![domains; n_events], vec![true; n_events])
+            }
+        };
+        let mut source_domains: Vec<ParamSet> =
+            enable_sources.iter().flatten().copied().collect();
+        source_domains.sort_unstable();
+        source_domains.dedup();
+        // Tracked tree subsets: every D(e), plus Y ∩ D(e) projections used
+        // to locate join sources.
+        let mut tracked: Vec<ParamSet> = alphabet.iter().map(|e| event_def.params_of(e)).collect();
+        for e in alphabet.iter() {
+            let d = event_def.params_of(e);
+            for &y in &enable_sources[e.as_usize()] {
+                let p = y.intersection(d);
+                if !p.is_empty() {
+                    tracked.push(p);
+                }
+            }
+        }
+        tracked.sort_unstable();
+        tracked.dedup();
+        let mut trees = HashMap::new();
+        for &p in &tracked {
+            let mut m = RvMap::new();
+            m.set_window(config.expunge_window);
+            trees.insert(p, m);
+        }
+        Engine {
+            formalism,
+            event_def,
+            goal,
+            aliveness,
+            config,
+            enable_sources,
+            enable_bottom,
+            source_domains,
+            store: MonitorStore::new(),
+            exact: HashMap::new(),
+            trees,
+            tracked,
+            disable: DisableTable::default(),
+            stats: EngineStats::default(),
+            triggers: Vec::new(),
+            scratch_ids: Vec::new(),
+            cache: LookupCache::default(),
+        }
+    }
+
+    /// The property goal.
+    #[must_use]
+    pub fn goal(&self) -> GoalSet {
+        self.goal
+    }
+
+    /// The underlying formalism.
+    #[must_use]
+    pub fn formalism(&self) -> &F {
+        &self.formalism
+    }
+
+    /// The event definition `D`.
+    #[must_use]
+    pub fn event_def(&self) -> &EventDef {
+        &self.event_def
+    }
+
+    /// Statistics so far (Fig. 10 columns and memory estimates).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        let ss = self.store.stats();
+        s.monitors_created = ss.created;
+        s.monitors_flagged = ss.flagged;
+        s.monitors_collected = ss.collected;
+        s.peak_live_monitors = ss.peak_live;
+        s.live_monitors = self.store.live();
+        s
+    }
+
+    /// Triggers recorded so far (empty unless
+    /// [`EngineConfig::record_triggers`]).
+    #[must_use]
+    pub fn triggers(&self) -> &[Trigger] {
+        &self.triggers
+    }
+
+    /// Estimated bytes held by the engine's monitors and structures — the
+    /// Fig. 9(B) metric.
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        let mut bytes = self.store.estimated_bytes() + self.disable.bytes();
+        for m in self.exact.values() {
+            bytes += m.estimated_bytes();
+        }
+        for t in self.trees.values() {
+            bytes += t.estimated_bytes();
+            for (_, set) in t.iter() {
+                bytes += set.estimated_bytes();
+            }
+        }
+        bytes
+    }
+
+    /// Processes one parametric event `e⟨θ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `dom(θ) ≠ D(e)` — events must be `D`-consistent
+    /// (Definition 4).
+    pub fn process(&mut self, heap: &Heap, event: EventId, binding: Binding) {
+        debug_assert_eq!(
+            binding.domain(),
+            self.event_def.params_of(event),
+            "event instance must be D-consistent"
+        );
+        let step = self.stats.events as usize;
+        self.stats.events += 1;
+        let domain = binding.domain();
+
+        // --- update existing instances ⊒ θ (Figure 6 lookup) ------------
+        let signature = {
+            let ss = self.store.stats();
+            ss.created
+                .wrapping_mul(3)
+                .wrapping_add(ss.flagged.wrapping_mul(5))
+                .wrapping_add(ss.collected.wrapping_mul(7))
+        };
+        if self.config.lookup_cache
+            && self.cache.key == Some(binding)
+            && self.cache.signature == signature
+        {
+            // Monomorphic hit: same instance, no monitor lifecycle change.
+            self.stats.cache_hits += 1;
+            self.cache.hits += 1;
+            self.scratch_ids.clear();
+            let members = std::mem::take(&mut self.cache.members);
+            self.scratch_ids.extend_from_slice(&members);
+            self.cache.members = members;
+            // Keep a trickle of lazy GC flowing even on hot loops.
+            if self.cache.hits % 16 == 0 {
+                let mut tree = self.trees.remove(&domain).expect("tree for every D(e)");
+                let mut sink = NotifySink::new(
+                    &mut self.store,
+                    &self.aliveness,
+                    self.config.policy,
+                    heap,
+                    &mut self.stats,
+                );
+                tree.expunge(heap, 1, &mut sink);
+                self.trees.insert(domain, tree);
+            }
+        } else {
+            // Take the tree out to appease the borrow checker; cheap move.
+            let mut tree = self.trees.remove(&domain).expect("tree for every D(e)");
+            let mut sink = NotifySink::new(
+                &mut self.store,
+                &self.aliveness,
+                self.config.policy,
+                heap,
+                &mut self.stats,
+            );
+            self.scratch_ids.clear();
+            if let Some(set) = tree.get_mut(heap, binding, &mut sink) {
+                // Figure 8: compact while touching the set.
+                set.compact(sink.store);
+                self.scratch_ids.extend_from_slice(set.members());
+            }
+            self.trees.insert(domain, tree);
+            if self.config.lookup_cache {
+                // The expunge above may itself have changed the signature.
+                let ss = self.store.stats();
+                self.cache.key = Some(binding);
+                self.cache.signature = ss
+                    .created
+                    .wrapping_mul(3)
+                    .wrapping_add(ss.flagged.wrapping_mul(5))
+                    .wrapping_add(ss.collected.wrapping_mul(7));
+                self.cache.members.clear();
+                self.cache.members.extend_from_slice(&self.scratch_ids);
+            }
+        }
+        let ids = std::mem::take(&mut self.scratch_ids);
+        for &id in &ids {
+            self.step_instance(id, event, step);
+        }
+        self.scratch_ids = ids;
+
+        // --- create new instances (enable-set discipline) ----------------
+        // Following JavaMOP's algorithm D: creation is attempted only when
+        // the event's *own* binding has no instance yet (its first
+        // relevant event). Joins with pre-existing instances are created
+        // in the same step; later events find everything via the trees.
+        // The exact table keeps even flagged/terminated instances until
+        // they are swept, so this also prevents re-creating retired ones.
+        let own_exists =
+            self.exact.get(&domain).is_some_and(|m| m.peek(&binding).is_some());
+        if !own_exists {
+            self.try_create_own(heap, event, binding, step);
+            self.try_create_joins(heap, event, binding, step);
+        }
+
+        // Record the event instance in the disable table, and do a little
+        // lazy maintenance elsewhere.
+        self.disable.insert(binding);
+        self.disable.prune(heap, 2);
+    }
+
+    /// Steps one live instance in place, reporting and retiring as needed.
+    fn step_instance(&mut self, id: MonitorId, event: EventId, step: usize) {
+        let instance = self.store.get_mut(id);
+        if instance.flagged || instance.terminated {
+            return;
+        }
+        let before = self.formalism.state_bytes(&instance.state);
+        let verdict = self.formalism.step(&mut instance.state, event);
+        instance.last_event = event;
+        let after = self.formalism.state_bytes(&instance.state);
+        let binding = instance.binding;
+        let terminal = self.formalism.is_terminal(&instance.state, self.goal);
+        self.store.add_state_bytes(after as isize - before as isize);
+        if self.goal.contains(verdict) {
+            self.report(step, binding, verdict);
+        }
+        if terminal {
+            self.store.terminate(id);
+        }
+    }
+
+    fn report(&mut self, step: usize, binding: Binding, verdict: Verdict) {
+        self.stats.triggers += 1;
+        if self.config.record_triggers {
+            self.triggers.push(Trigger { step, binding, verdict });
+        }
+    }
+
+    /// Creates the instance for the event's own binding, if the enable
+    /// discipline wants it: either the event can start a goal slice
+    /// (`∅ ∈ ENABLEˣ(e)`), or `D(e)` serves as a creation source for some
+    /// future event.
+    fn try_create_own(&mut self, heap: &Heap, event: EventId, binding: Binding, step: usize) {
+        let needed = self.enable_bottom[event.as_usize()]
+            || self.source_domains.contains(&binding.domain());
+        if !needed {
+            self.stats.creations_skipped += 1;
+            return;
+        }
+        // Inherit from the most informative existing sub-instance.
+        let mut best: Option<(ParamSet, MonitorId)> = None;
+        for &domain in &self.source_domains {
+            if domain.is_subset(binding.domain())
+                && domain != binding.domain()
+                && best.is_none_or(|(b, _)| domain.len() > b.len())
+            {
+                let key = binding.restrict(domain);
+                if let Some(&id) = self.exact.get(&domain).and_then(|m| m.peek(&key)) {
+                    if !self.store.get(id).flagged && !self.store.get(id).terminated {
+                        best = Some((domain, id));
+                    }
+                }
+            }
+        }
+        let source_domain = best.map_or(ParamSet::EMPTY, |(d, _)| d);
+        if !self.slice_complete(binding, source_domain) {
+            self.stats.creations_skipped += 1;
+            return;
+        }
+        let state = match best {
+            Some((_, id)) => self.store.get(id).state.clone(),
+            None => self.formalism.initial_state(),
+        };
+        self.create_instance(heap, binding, state, event, step);
+    }
+
+    /// Creates joins `θ ⊔ θ''` for sources `θ''` whose domain is an enable
+    /// parameter set of `e`.
+    fn try_create_joins(&mut self, heap: &Heap, event: EventId, binding: Binding, step: usize) {
+        let domain = binding.domain();
+        let sources = self.enable_sources[event.as_usize()].clone();
+        for y in sources {
+            if y.is_subset(domain) {
+                continue; // covered by the ⊒ update / own creation
+            }
+            // Locate instances with domain exactly `y` compatible with θ.
+            let p = y.intersection(domain);
+            self.scratch_ids.clear();
+            if p.is_empty() {
+                // Disjoint domains: every instance of domain y is
+                // compatible. Scan the exact table for y.
+                if let Some(m) = self.exact.get(&y) {
+                    self.scratch_ids.extend(m.iter().map(|(_, &id)| id));
+                }
+            } else {
+                let key = binding.restrict(p);
+                let mut tree = match self.trees.remove(&p) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let mut sink = NotifySink::new(
+                    &mut self.store,
+                    &self.aliveness,
+                    self.config.policy,
+                    heap,
+                    &mut self.stats,
+                );
+                if let Some(set) = tree.get_mut(heap, key, &mut sink) {
+                    set.compact(sink.store);
+                    for &id in set.members() {
+                        self.scratch_ids.push(id);
+                    }
+                }
+                self.trees.insert(p, tree);
+            }
+            let candidates = std::mem::take(&mut self.scratch_ids);
+            for &id in &candidates {
+                if !self.store.contains(id) {
+                    continue;
+                }
+                let source = self.store.get(id);
+                if source.flagged || source.terminated || source.binding.domain() != y {
+                    continue;
+                }
+                let source_binding = source.binding;
+                let Some(join) = binding.lub(source_binding) else { continue };
+                if join == source_binding {
+                    // The "join" is the source itself (θ ⊑ source): it was
+                    // already stepped through the ⟨D(e)⟩-tree.
+                    continue;
+                }
+                // Already exists?
+                if self
+                    .exact
+                    .get(&join.domain())
+                    .is_some_and(|m| m.peek(&join).is_some())
+                {
+                    continue;
+                }
+                if !self.slice_complete(join, y) {
+                    self.stats.creations_skipped += 1;
+                    continue;
+                }
+                // Born dead: if the GC policy would flag the new instance
+                // immediately (some needed parameter object is already
+                // gone), do not create it at all.
+                let dead = join.dead_params(heap);
+                if should_flag(self.config.policy, &self.aliveness, join.domain(), event, dead) {
+                    self.stats.creations_skipped += 1;
+                    continue;
+                }
+                let state = self.store.get(id).state.clone();
+                self.create_instance(heap, join, state, event, step);
+            }
+            self.scratch_ids = candidates;
+        }
+    }
+
+    /// The disable-table check: creating an instance for `target` from a
+    /// source covering `source_domain` is exact iff no event instance
+    /// `θ''' ⊑ target` with `dom(θ''') ⊄ source_domain` has occurred.
+    fn slice_complete(&self, target: Binding, source_domain: ParamSet) -> bool {
+        // Enumerate sub-domains of dom(target) not covered by the source.
+        let dom = target.domain();
+        let bits = dom.0;
+        let mut sub = bits;
+        loop {
+            let s = ParamSet(sub);
+            if !s.is_empty() && !s.is_subset(source_domain) && self.disable.contains(&target.restrict(s))
+            {
+                return false;
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & bits;
+        }
+        true
+    }
+
+    /// Registers a freshly created instance in the exact table and every
+    /// relevant indexing tree, then steps it by the creating event.
+    fn create_instance(
+        &mut self,
+        heap: &Heap,
+        binding: Binding,
+        state: F::State,
+        event: EventId,
+        step: usize,
+    ) {
+        let id = self.store.create(binding, state, event);
+        self.store.add_state_bytes(self.formalism.state_bytes(&self.store.get(id).state) as isize);
+        // Exact table.
+        {
+            let mut map = self.exact.remove(&binding.domain()).unwrap_or_else(|| {
+                let mut m = RvMap::new();
+                m.set_window(self.config.expunge_window);
+                m
+            });
+            let mut sink = ExactMaintainer {
+                store: &mut self.store,
+                aliveness: &self.aliveness,
+                policy: self.config.policy,
+                heap,
+            };
+            map.insert(heap, binding, id, &mut sink);
+            self.store.retain(id);
+            self.exact.insert(binding.domain(), map);
+        }
+        // Trees: every tracked subset of the new binding's domain.
+        for i in 0..self.tracked.len() {
+            let p = self.tracked[i];
+            if !p.is_subset(binding.domain()) {
+                continue;
+            }
+            let key = binding.restrict(p);
+            let mut tree = self.trees.remove(&p).expect("tracked tree");
+            let mut sink = NotifySink::new(
+                &mut self.store,
+                &self.aliveness,
+                self.config.policy,
+                heap,
+                &mut self.stats,
+            );
+            match tree.get_mut(heap, key, &mut sink) {
+                Some(set) => set.push(id),
+                None => {
+                    tree.insert(heap, key, RvSet::singleton(id), &mut sink);
+                }
+            }
+            self.store.retain(id);
+            self.trees.insert(p, tree);
+        }
+        // Step by the creating event.
+        self.step_instance(id, event, step);
+    }
+
+    /// Runs GC maintenance over every structure, fully expunging dead keys
+    /// and compacting sets. Called by benchmarks at safepoints and by
+    /// [`Engine::finish`].
+    pub fn full_sweep(&mut self, heap: &Heap) {
+        // Two passes: the first discovers dead keys and *flags* monitors
+        // (Figure 7); the second compacts live-keyed structures, which can
+        // only shed monitors once they are flagged (Figure 8). Incremental
+        // operation interleaves these naturally; a safepoint sweep must
+        // sequence them.
+        for _ in 0..2 {
+            self.sweep_once(heap);
+        }
+    }
+
+    fn sweep_once(&mut self, heap: &Heap) {
+        let policy = self.config.policy;
+        for tree in self.trees.values_mut() {
+            let mut sink = NotifySink::new(
+                &mut self.store,
+                &self.aliveness,
+                policy,
+                heap,
+                &mut self.stats,
+            );
+            tree.expunge_all(heap, &mut sink);
+        }
+        for map in self.exact.values_mut() {
+            let mut sink = ExactMaintainer {
+                store: &mut self.store,
+                aliveness: &self.aliveness,
+                policy,
+                heap,
+            };
+            map.expunge_all(heap, &mut sink);
+        }
+    }
+
+    /// Final flush: sweeps everything and releases all containers, so CM
+    /// reflects every monitor the engine let go of.
+    pub fn finish(&mut self, heap: &Heap) {
+        self.full_sweep(heap);
+    }
+}
+
+/// Shared flagging rule.
+fn should_flag(
+    policy: GcPolicy,
+    aliveness: &Option<Aliveness>,
+    domain: ParamSet,
+    last_event: EventId,
+    dead: ParamSet,
+) -> bool {
+    match policy {
+        GcPolicy::None => false,
+        GcPolicy::AllParamsDead => !domain.is_empty() && dead == domain,
+        GcPolicy::CoenableLazy => match aliveness {
+            Some(a) => !a.is_necessary(last_event, dead),
+            None => !domain.is_empty() && dead == domain,
+        },
+    }
+}
+
+/// Tree maintenance: notification of monitors under dead keys (Figure 7)
+/// plus Figure 8 set compaction for live keys.
+struct NotifySink<'a, S> {
+    store: &'a mut MonitorStore<S>,
+    aliveness: &'a Option<Aliveness>,
+    policy: GcPolicy,
+    heap: &'a Heap,
+    stats: &'a mut EngineStats,
+}
+
+impl<'a, S> NotifySink<'a, S> {
+    fn new(
+        store: &'a mut MonitorStore<S>,
+        aliveness: &'a Option<Aliveness>,
+        policy: GcPolicy,
+        heap: &'a Heap,
+        stats: &'a mut EngineStats,
+    ) -> Self {
+        NotifySink { store, aliveness, policy, heap, stats }
+    }
+}
+
+impl<S> Maintainer<RvSet> for NotifySink<'_, S> {
+    /// Figure 7 (A): the key died; notify all monitors below, then drop the
+    /// subtree (B).
+    fn on_dead(&mut self, _key: Binding, mut set: RvSet) {
+        self.stats.dead_keys += 1;
+        for &id in set.members() {
+            if !self.store.contains(id) {
+                continue;
+            }
+            let instance = self.store.get(id);
+            if instance.flagged || instance.terminated {
+                continue;
+            }
+            let dead = instance.binding.dead_params(self.heap);
+            if should_flag(
+                self.policy,
+                self.aliveness,
+                instance.binding.domain(),
+                instance.last_event,
+                dead,
+            ) {
+                self.store.flag(id);
+            }
+        }
+        set.release_all(self.store);
+    }
+
+    /// §5.1.1: live-keyed sets are compacted in passing; empty sets are
+    /// unlinked.
+    fn on_live(&mut self, _key: &Binding, set: &mut RvSet) -> bool {
+        set.compact(self.store);
+        set.is_empty()
+    }
+}
+
+/// Exact-table maintenance: "if the value is a flagged monitor instance
+/// ... it removes the mapping" (§5.1.1).
+struct ExactMaintainer<'a, S> {
+    store: &'a mut MonitorStore<S>,
+    aliveness: &'a Option<Aliveness>,
+    policy: GcPolicy,
+    heap: &'a Heap,
+}
+
+impl<S> Maintainer<MonitorId> for ExactMaintainer<'_, S> {
+    fn on_dead(&mut self, _key: Binding, id: MonitorId) {
+        if !self.store.contains(id) {
+            return;
+        }
+        let instance = self.store.get(id);
+        if !instance.flagged && !instance.terminated {
+            let dead = instance.binding.dead_params(self.heap);
+            if should_flag(
+                self.policy,
+                self.aliveness,
+                instance.binding.domain(),
+                instance.last_event,
+                dead,
+            ) {
+                self.store.flag(id);
+            }
+        }
+        self.store.release(id);
+    }
+
+    fn on_live(&mut self, _key: &Binding, id: &mut MonitorId) -> bool {
+        if self.store.is_collectable(*id) {
+            self.store.release(*id);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_heap::{HeapConfig, ObjId};
+    use rv_logic::ere::unsafe_iter_ere;
+    use rv_logic::fsm::has_next_fsm;
+    use rv_logic::{Alphabet, ParamId};
+
+    const C: ParamId = ParamId(0);
+    const I: ParamId = ParamId(1);
+
+    fn unsafe_iter_parts() -> (Alphabet, rv_logic::dfa::Dfa, EventDef) {
+        let alphabet = Alphabet::from_names(&["create", "update", "next"]);
+        let dfa = unsafe_iter_ere(&alphabet).compile(&alphabet, 1_000).unwrap();
+        let def = EventDef::new(
+            &alphabet,
+            &["c", "i"],
+            vec![
+                ParamSet::singleton(C).with(I),
+                ParamSet::singleton(C),
+                ParamSet::singleton(I),
+            ],
+        );
+        (alphabet, dfa, def)
+    }
+
+    fn engine_with(policy: GcPolicy) -> (Engine<rv_logic::dfa::Dfa>, Alphabet) {
+        let (alphabet, dfa, def) = unsafe_iter_parts();
+        let config = EngineConfig { policy, record_triggers: true, ..EngineConfig::default() };
+        (Engine::new(dfa, def, GoalSet::MATCH, config), alphabet)
+    }
+
+    fn alloc_n(heap: &mut Heap, n: usize) -> Vec<ObjId> {
+        let cls = heap.register_class("Obj");
+        let f = heap.enter_frame();
+        let v = (0..n).map(|_| heap.alloc(cls)).collect();
+        let _keep_rooted = f; // never exited: objects stay rooted
+        v
+    }
+
+    #[test]
+    fn detects_unsafe_iteration_and_matches_the_oracle() {
+        let (mut engine, alphabet) = engine_with(GcPolicy::None);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 4);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        let trace = vec![
+            (ev("update"), Binding::from_pairs(&[(C, o[0])])),
+            (ev("create"), Binding::from_pairs(&[(C, o[0]), (I, o[2])])),
+            (ev("next"), Binding::from_pairs(&[(I, o[2])])),
+            (ev("update"), Binding::from_pairs(&[(C, o[0])])),
+            (ev("next"), Binding::from_pairs(&[(I, o[2])])),
+        ];
+        for &(e, b) in &trace {
+            engine.process(&heap, e, b);
+        }
+        let oracle = crate::reference::monitor_trace(engine.formalism(), GoalSet::MATCH, &trace);
+        assert_eq!(engine.triggers(), &oracle.triggers[..]);
+        assert_eq!(engine.stats().triggers, 1);
+    }
+
+    #[test]
+    fn enable_sets_suppress_useless_monitors() {
+        // Bare `next` events (no create) must not create monitors — this
+        // is why Fig. 10 shows sunflow with 1.3M events but 2 monitors.
+        let (mut engine, alphabet) = engine_with(GcPolicy::CoenableLazy);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 3);
+        let next = alphabet.lookup("next").unwrap();
+        for _ in 0..100 {
+            engine.process(&heap, next, Binding::from_pairs(&[(I, o[1])]));
+        }
+        assert_eq!(engine.stats().monitors_created, 0);
+        assert!(engine.stats().creations_skipped > 0);
+    }
+
+    #[test]
+    fn update_events_create_collection_monitors() {
+        let (mut engine, alphabet) = engine_with(GcPolicy::CoenableLazy);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 2);
+        let update = alphabet.lookup("update").unwrap();
+        engine.process(&heap, update, Binding::from_pairs(&[(C, o[0])]));
+        engine.process(&heap, update, Binding::from_pairs(&[(C, o[0])]));
+        engine.process(&heap, update, Binding::from_pairs(&[(C, o[1])]));
+        assert_eq!(engine.stats().monitors_created, 2, "one per collection");
+    }
+
+    #[test]
+    fn create_inherits_the_update_history() {
+        // update⟨c⟩ then create⟨c,i⟩ then next: the combined slice is
+        // "update create next" — still `?`; a second update+next matches.
+        let (mut engine, alphabet) = engine_with(GcPolicy::None);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 2);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, o[0])]));
+        engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, o[0]), (I, o[1])]));
+        engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, o[1])]));
+        assert_eq!(engine.stats().triggers, 0);
+        engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, o[0])]));
+        engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, o[1])]));
+        assert_eq!(engine.stats().triggers, 1);
+    }
+
+    #[test]
+    fn coenable_gc_flags_monitors_for_dead_iterators() {
+        // The paper's headline scenario: the Collection outlives its
+        // Iterators; the coenable policy flags their monitors, the
+        // JavaMOP policy cannot.
+        for (policy, expect_flagged) in
+            [(GcPolicy::CoenableLazy, true), (GcPolicy::AllParamsDead, false)]
+        {
+            let (alphabet, dfa, def) = unsafe_iter_parts();
+            let config =
+                EngineConfig { policy, record_triggers: false, ..EngineConfig::default() };
+            let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+            let mut heap = Heap::new(HeapConfig::manual());
+            let cls = heap.register_class("Obj");
+            let _outer = heap.enter_frame();
+            let coll = heap.alloc(cls);
+            let ev = |n: &str| alphabet.lookup(n).unwrap();
+            for _ in 0..50 {
+                let inner = heap.enter_frame();
+                let iter = heap.alloc(cls);
+                heap.add_edge(iter, coll);
+                engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, coll), (I, iter)]));
+                engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, iter)]));
+                heap.exit_frame(inner);
+            }
+            heap.collect();
+            // Touch the structures so lazy expunging runs to completion.
+            engine.full_sweep(&heap);
+            let stats = engine.stats();
+            assert!(stats.monitors_created >= 50, "{policy:?}: {stats}");
+            if expect_flagged {
+                assert!(
+                    stats.monitors_flagged >= 50,
+                    "{policy:?} should flag dead-iterator monitors: {stats}"
+                );
+                assert!(stats.monitors_collected >= 50, "{policy:?}: {stats}");
+            } else {
+                assert_eq!(
+                    stats.monitors_flagged, 0,
+                    "{policy:?} cannot flag while the collection lives: {stats}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_params_dead_flags_when_everything_dies() {
+        let (alphabet, dfa, def) = unsafe_iter_parts();
+        let config = EngineConfig {
+            policy: GcPolicy::AllParamsDead,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let outer = heap.enter_frame();
+        let coll = heap.alloc(cls);
+        let iter = heap.alloc(cls);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, coll), (I, iter)]));
+        heap.exit_frame(outer);
+        heap.collect();
+        engine.full_sweep(&heap);
+        let stats = engine.stats();
+        assert!(stats.monitors_flagged >= 1, "{stats}");
+    }
+
+    #[test]
+    fn gc_does_not_lose_triggers_when_objects_stay_alive() {
+        // Same trace under all three policies with interleaved heap
+        // collections (which reclaim nothing): identical triggers.
+        let mut expected: Option<Vec<Trigger>> = None;
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            let (mut engine, alphabet) = engine_with(policy);
+            let mut heap = Heap::new(HeapConfig::manual());
+            let o = alloc_n(&mut heap, 4);
+            let ev = |n: &str| alphabet.lookup(n).unwrap();
+            let trace = vec![
+                (ev("create"), Binding::from_pairs(&[(C, o[0]), (I, o[1])])),
+                (ev("create"), Binding::from_pairs(&[(C, o[2]), (I, o[3])])),
+                (ev("update"), Binding::from_pairs(&[(C, o[0])])),
+                (ev("next"), Binding::from_pairs(&[(I, o[1])])),
+                (ev("next"), Binding::from_pairs(&[(I, o[3])])),
+                (ev("update"), Binding::from_pairs(&[(C, o[2])])),
+                (ev("next"), Binding::from_pairs(&[(I, o[3])])),
+            ];
+            for &(e, b) in &trace {
+                heap.collect();
+                engine.process(&heap, e, b);
+            }
+            let triggers = engine.triggers().to_vec();
+            match &expected {
+                None => expected = Some(triggers),
+                Some(exp) => assert_eq!(&triggers, exp, "{policy:?}"),
+            }
+        }
+        assert_eq!(expected.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn terminated_monitors_stop_reporting() {
+        // HasNext FSM: the error state is terminal for goal {match}; a
+        // monitor that reported once is retired, not re-fired.
+        let (alphabet, spec) = has_next_fsm();
+        let dfa = spec.compile(&alphabet).unwrap();
+        let def = EventDef::new(
+            &alphabet,
+            &["i"],
+            vec![ParamSet::singleton(C), ParamSet::singleton(C), ParamSet::singleton(C)],
+        );
+        let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+        let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 1);
+        let next = alphabet.lookup("next").unwrap();
+        engine.process(&heap, next, Binding::from_pairs(&[(C, o[0])]));
+        assert_eq!(engine.stats().triggers, 1);
+        engine.process(&heap, next, Binding::from_pairs(&[(C, o[0])]));
+        engine.process(&heap, next, Binding::from_pairs(&[(C, o[0])]));
+        assert_eq!(engine.stats().triggers, 1, "terminated monitor must not re-fire");
+    }
+
+    #[test]
+    fn collected_monitors_do_not_receive_further_events() {
+        let (mut engine, alphabet) = engine_with(GcPolicy::CoenableLazy);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let _outer = heap.enter_frame();
+        let coll = heap.alloc(cls);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        {
+            let inner = heap.enter_frame();
+            let iter = heap.alloc(cls);
+            engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, coll), (I, iter)]));
+            heap.exit_frame(inner);
+        }
+        heap.collect();
+        engine.full_sweep(&heap);
+        let flagged_before = engine.stats().monitors_flagged;
+        assert!(flagged_before >= 1);
+        // Updates to the surviving collection must not resurrect it.
+        for _ in 0..10 {
+            engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, coll)]));
+        }
+        assert_eq!(engine.stats().triggers, 0);
+    }
+
+    #[test]
+    fn estimated_bytes_shrink_after_collection() {
+        let (mut engine, alphabet) = engine_with(GcPolicy::CoenableLazy);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let _outer = heap.enter_frame();
+        let coll = heap.alloc(cls);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        let inner = heap.enter_frame();
+        let mut iters = Vec::new();
+        for _ in 0..500 {
+            let iter = heap.alloc(cls);
+            iters.push(iter);
+            engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, coll), (I, iter)]));
+        }
+        let live_full = engine.stats().live_monitors;
+        heap.exit_frame(inner);
+        heap.collect();
+        engine.full_sweep(&heap);
+        assert!(engine.stats().live_monitors < live_full / 2);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use rv_heap::HeapConfig;
+    use rv_logic::ere::unsafe_iter_ere;
+    use rv_logic::{Alphabet, ParamId};
+
+    const C: ParamId = ParamId(0);
+    const I: ParamId = ParamId(1);
+
+    fn parts() -> (Alphabet, rv_logic::dfa::Dfa, EventDef) {
+        let alphabet = Alphabet::from_names(&["create", "update", "next"]);
+        let dfa = unsafe_iter_ere(&alphabet).compile(&alphabet, 1_000).unwrap();
+        let def = EventDef::new(
+            &alphabet,
+            &["c", "i"],
+            vec![
+                ParamSet::singleton(C).with(I),
+                ParamSet::singleton(C),
+                ParamSet::singleton(I),
+            ],
+        );
+        (alphabet, dfa, def)
+    }
+
+    /// The cache must be invisible: identical triggers and statistics
+    /// (except the hit counter) with it on and off, across a workload with
+    /// creations, violations, and deaths interleaved.
+    #[test]
+    fn lookup_cache_is_semantically_invisible() {
+        let run = |cache: bool| {
+            let (alphabet, dfa, def) = parts();
+            let config = EngineConfig {
+                record_triggers: true,
+                lookup_cache: cache,
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+            let mut heap = Heap::new(HeapConfig::auto(128));
+            let cls = heap.register_class("Obj");
+            let _outer = heap.enter_frame();
+            let ev = |n: &str| alphabet.lookup(n).unwrap();
+            for round in 0..20 {
+                let coll = heap.alloc(cls);
+                heap.pin(coll);
+                for k in 0..10 {
+                    let inner = heap.enter_frame();
+                    let iter = heap.alloc(cls);
+                    heap.add_edge(iter, coll);
+                    engine.process(
+                        &heap,
+                        ev("create"),
+                        Binding::from_pairs(&[(C, coll), (I, iter)]),
+                    );
+                    // A hot next-loop: the cache's target pattern.
+                    for _ in 0..8 {
+                        engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, iter)]));
+                    }
+                    if k % 3 == 0 {
+                        engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, coll)]));
+                        engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, iter)]));
+                    }
+                    heap.exit_frame(inner);
+                }
+                if round % 4 == 3 {
+                    heap.collect();
+                }
+            }
+            (engine.triggers().to_vec(), engine.stats())
+        };
+        let (triggers_on, stats_on) = run(true);
+        let (triggers_off, stats_off) = run(false);
+        assert_eq!(triggers_on, triggers_off);
+        assert_eq!(stats_on.monitors_created, stats_off.monitors_created);
+        assert_eq!(stats_on.triggers, stats_off.triggers);
+        assert!(stats_on.cache_hits > 0, "the next-loop should hit the cache");
+        assert_eq!(stats_off.cache_hits, 0);
+    }
+}

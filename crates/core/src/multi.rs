@@ -1,0 +1,209 @@
+//! Spec-driven monitoring: one [`PropertyMonitor`] runs every property
+//! block of a compiled spec over a shared event stream.
+//!
+//! Figure 2 shows a single spec carrying both an FSM and an LTL rendition
+//! of HASNEXT; at runtime each block gets its own [`Engine`], all fed the
+//! same parametric events. The "ALL" column of Figure 9 (five specs
+//! monitored simultaneously) is the same idea one level up, dispatching by
+//! spec in `rv-bench`.
+
+use rv_heap::Heap;
+use rv_logic::{AnyFormalism, EventId};
+use rv_spec::CompiledSpec;
+
+use crate::binding::Binding;
+use crate::engine::{Engine, EngineConfig};
+use crate::stats::EngineStats;
+
+/// Monitors every property block of one compiled spec.
+#[derive(Debug)]
+pub struct PropertyMonitor {
+    spec: CompiledSpec,
+    engines: Vec<Engine<AnyFormalism>>,
+}
+
+impl PropertyMonitor {
+    /// Builds engines for each property block of `spec`.
+    #[must_use]
+    pub fn new(spec: CompiledSpec, config: &EngineConfig) -> Self {
+        let engines = spec
+            .properties
+            .iter()
+            .map(|p| {
+                Engine::new(
+                    p.formalism.clone(),
+                    spec.event_def.clone(),
+                    p.goal,
+                    config.clone(),
+                )
+            })
+            .collect();
+        PropertyMonitor { spec, engines }
+    }
+
+    /// The compiled spec.
+    #[must_use]
+    pub fn spec(&self) -> &CompiledSpec {
+        &self.spec
+    }
+
+    /// The per-block engines.
+    #[must_use]
+    pub fn engines(&self) -> &[Engine<AnyFormalism>] {
+        &self.engines
+    }
+
+    /// Looks up an event id by name.
+    #[must_use]
+    pub fn event(&self, name: &str) -> Option<EventId> {
+        self.spec.alphabet.lookup(name)
+    }
+
+    /// Dispatches one parametric event to every block's engine.
+    pub fn process(&mut self, heap: &Heap, event: EventId, binding: Binding) {
+        for engine in &mut self.engines {
+            engine.process(heap, event, binding);
+        }
+    }
+
+    /// Convenience: dispatches by event name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a declared event of the spec.
+    pub fn process_named(&mut self, heap: &Heap, name: &str, binding: Binding) {
+        let event = self
+            .event(name)
+            .unwrap_or_else(|| panic!("spec `{}` has no event `{name}`", self.spec.name));
+        self.process(heap, event, binding);
+    }
+
+    /// Total goal reports across all blocks.
+    #[must_use]
+    pub fn triggers(&self) -> u64 {
+        self.engines.iter().map(|e| e.stats().triggers).sum()
+    }
+
+    /// Aggregated statistics across all blocks.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for e in &self.engines {
+            let s = e.stats();
+            total.events += s.events;
+            total.monitors_created += s.monitors_created;
+            total.monitors_flagged += s.monitors_flagged;
+            total.monitors_collected += s.monitors_collected;
+            total.peak_live_monitors += s.peak_live_monitors;
+            total.live_monitors += s.live_monitors;
+            total.triggers += s.triggers;
+            total.dead_keys += s.dead_keys;
+            total.creations_skipped += s.creations_skipped;
+            total.cache_hits += s.cache_hits;
+        }
+        total
+    }
+
+    /// Estimated bytes across all engines (Fig. 9B metric).
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        self.engines.iter().map(Engine::estimated_bytes).sum()
+    }
+
+    /// Final sweep over all engines.
+    pub fn finish(&mut self, heap: &Heap) {
+        for e in &mut self.engines {
+            e.finish(heap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Binding;
+    use rv_heap::HeapConfig;
+    use rv_logic::ParamId;
+
+    fn has_next_monitor() -> PropertyMonitor {
+        let spec = rv_spec::CompiledSpec::from_source(
+            r#"HasNext(Iterator i) {
+                event hasnexttrue(i);
+                event hasnextfalse(i);
+                event next(i);
+                fsm:
+                    unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+                    more [ hasnexttrue -> more  next -> unknown ]
+                    none [ hasnextfalse -> none  next -> error ]
+                    error []
+                @error { report "bad"; }
+                ltl: [](next => (*) hasnexttrue)
+                @violation { report "bad"; }
+            }"#,
+        )
+        .unwrap();
+        PropertyMonitor::new(
+            spec,
+            &EngineConfig { record_triggers: true, ..EngineConfig::default() },
+        )
+    }
+
+    #[test]
+    fn both_blocks_fire_on_the_same_violation() {
+        let mut m = has_next_monitor();
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("It");
+        let _f = heap.enter_frame();
+        let it = heap.alloc(cls);
+        let b = Binding::from_pairs(&[(ParamId(0), it)]);
+        m.process_named(&heap, "hasnexttrue", b);
+        m.process_named(&heap, "next", b);
+        m.process_named(&heap, "next", b);
+        assert_eq!(m.triggers(), 2, "FSM @error and LTL @violation");
+        assert_eq!(m.engines().len(), 2);
+        let stats = m.stats();
+        assert_eq!(stats.events, 6, "each block sees every event");
+        assert_eq!(stats.triggers, 2);
+        assert!(m.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn event_lookup_by_name() {
+        let m = has_next_monitor();
+        assert!(m.event("next").is_some());
+        assert!(m.event("absent").is_none());
+        assert_eq!(m.spec().name, "HasNext");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no event `zap`")]
+    fn process_named_rejects_unknown_events() {
+        let mut m = has_next_monitor();
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("It");
+        let _f = heap.enter_frame();
+        let it = heap.alloc(cls);
+        m.process_named(&heap, "zap", Binding::from_pairs(&[(ParamId(0), it)]));
+    }
+
+    #[test]
+    fn finish_sweeps_every_block() {
+        let mut m = has_next_monitor();
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("It");
+        let _outer = heap.enter_frame();
+        for _ in 0..10 {
+            let inner = heap.enter_frame();
+            let it = heap.alloc(cls);
+            let b = Binding::from_pairs(&[(ParamId(0), it)]);
+            m.process_named(&heap, "hasnexttrue", b);
+            m.process_named(&heap, "next", b);
+            heap.exit_frame(inner);
+        }
+        heap.collect();
+        m.finish(&heap);
+        let stats = m.stats();
+        assert_eq!(stats.live_monitors, 0, "{stats}");
+        assert_eq!(stats.monitors_collected, stats.monitors_created);
+    }
+}

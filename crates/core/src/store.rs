@@ -1,0 +1,277 @@
+//! The slab of monitor instances.
+//!
+//! Monitor instances are shared between several indexing structures (the
+//! exact-instance table plus one tree per event parameter subset), so each
+//! carries a reference count of its containers. An instance is *collected*
+//! — in the paper's sense of finally being reclaimed by the JVM — when the
+//! last container releases it (or drops it wholesale with its own death).
+
+use rv_logic::EventId;
+
+use crate::binding::Binding;
+
+/// A handle into a [`MonitorStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MonitorId(u32);
+
+impl MonitorId {
+    /// The raw slot index.
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One monitor instance: the base-monitor state for one parameter
+/// instance, plus the bookkeeping the GC scheme needs (§4.2.2: the last
+/// event received, flags).
+#[derive(Debug)]
+pub struct Instance<S> {
+    /// The parameter instance `θ` this monitor tracks.
+    pub binding: Binding,
+    /// The base monitor state.
+    pub state: S,
+    /// The most recent event dispatched to this instance — the `e` whose
+    /// `ALIVENESS(e)` is checked on notification.
+    pub last_event: EventId,
+    /// Flagged unnecessary by a GC policy (the FM of Fig. 10).
+    pub flagged: bool,
+    /// Reached a terminal state (verdict can never become a goal again).
+    pub terminated: bool,
+    /// Number of containers (maps/sets/trees) holding this instance.
+    refs: u32,
+}
+
+/// Statistics mirroring Figure 10's per-property columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Monitors created (M).
+    pub created: u64,
+    /// Monitors flagged unnecessary by the GC policy (FM).
+    pub flagged: u64,
+    /// Monitors fully reclaimed (CM).
+    pub collected: u64,
+    /// Peak simultaneously-live monitors.
+    pub peak_live: usize,
+}
+
+/// A slab allocator for monitor instances with container reference counts.
+#[derive(Debug)]
+pub struct MonitorStore<S> {
+    slots: Vec<Option<Instance<S>>>,
+    free: Vec<u32>,
+    live: usize,
+    stats: StoreStats,
+    state_bytes: usize,
+}
+
+impl<S> Default for MonitorStore<S> {
+    fn default() -> Self {
+        MonitorStore::new()
+    }
+}
+
+impl<S> MonitorStore<S> {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MonitorStore {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            stats: StoreStats::default(),
+            state_bytes: 0,
+        }
+    }
+
+    /// Creates an instance with zero references; callers [`retain`] it once
+    /// per container they add it to.
+    ///
+    /// [`retain`]: MonitorStore::retain
+    pub fn create(&mut self, binding: Binding, state: S, last_event: EventId) -> MonitorId {
+        self.stats.created += 1;
+        self.live += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.live);
+        let instance =
+            Instance { binding, state, last_event, flagged: false, terminated: false, refs: 0 };
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(instance);
+                MonitorId(i)
+            }
+            None => {
+                self.slots.push(Some(instance));
+                MonitorId((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Accesses a live instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was already collected.
+    #[must_use]
+    pub fn get(&self, id: MonitorId) -> &Instance<S> {
+        self.slots[id.as_usize()].as_ref().expect("monitor already collected")
+    }
+
+    /// Mutably accesses a live instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was already collected.
+    #[must_use]
+    pub fn get_mut(&mut self, id: MonitorId) -> &mut Instance<S> {
+        self.slots[id.as_usize()].as_mut().expect("monitor already collected")
+    }
+
+    /// Whether `id` still points at a live instance.
+    #[must_use]
+    pub fn contains(&self, id: MonitorId) -> bool {
+        self.slots.get(id.as_usize()).is_some_and(Option::is_some)
+    }
+
+    /// Adds one container reference.
+    pub fn retain(&mut self, id: MonitorId) {
+        self.get_mut(id).refs += 1;
+    }
+
+    /// Releases one container reference, reclaiming the instance when the
+    /// count reaches zero (counted as *collected*, Fig. 10's CM).
+    pub fn release(&mut self, id: MonitorId) {
+        let instance = self.get_mut(id);
+        debug_assert!(instance.refs > 0, "release without retain");
+        instance.refs -= 1;
+        if instance.refs == 0 {
+            self.slots[id.as_usize()] = None;
+            self.free.push(id.as_usize() as u32);
+            self.live -= 1;
+            self.stats.collected += 1;
+        }
+    }
+
+    /// Marks an instance unnecessary (FM). Idempotent.
+    pub fn flag(&mut self, id: MonitorId) {
+        let instance = self.get_mut(id);
+        if !instance.flagged {
+            instance.flagged = true;
+            self.stats.flagged += 1;
+        }
+    }
+
+    /// Marks an instance terminated (absorbing verdict reached and
+    /// handled). Idempotent; not counted as FM — termination is a verdict-
+    /// driven retirement, not a GC flag.
+    pub fn terminate(&mut self, id: MonitorId) {
+        self.get_mut(id).terminated = true;
+    }
+
+    /// Whether compaction should drop this member (flagged, terminated, or
+    /// already gone).
+    #[must_use]
+    pub fn is_collectable(&self, id: MonitorId) -> bool {
+        match self.slots.get(id.as_usize()).and_then(Option::as_ref) {
+            Some(i) => i.flagged || i.terminated,
+            None => false, // already released by every other holder
+        }
+    }
+
+    /// Number of live instances.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Lifetime statistics (M / FM / CM / peak).
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Monitors collected so far (CM).
+    #[must_use]
+    pub fn collected(&self) -> u64 {
+        self.stats.collected
+    }
+
+    /// Records extra per-state heap bytes (CFG charts); paired with
+    /// [`MonitorStore::estimated_bytes`].
+    pub fn add_state_bytes(&mut self, delta: isize) {
+        self.state_bytes = self.state_bytes.saturating_add_signed(delta);
+    }
+
+    /// Estimated heap bytes held by live instances. Counts *live* slots
+    /// rather than the slab capacity: the paper's metric is the JVM heap,
+    /// where collected monitors return their memory.
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        self.live * std::mem::size_of::<Option<Instance<S>>>() + self.state_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_retain_release_lifecycle() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let id = store.create(Binding::BOTTOM, 5, EventId(0));
+        store.retain(id);
+        store.retain(id);
+        assert_eq!(store.live(), 1);
+        store.release(id);
+        assert!(store.contains(id));
+        store.release(id);
+        assert!(!store.contains(id));
+        assert_eq!(store.live(), 0);
+        let s = store.stats();
+        assert_eq!(s.created, 1);
+        assert_eq!(s.collected, 1);
+        assert_eq!(s.peak_live, 1);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let a = store.create(Binding::BOTTOM, 1, EventId(0));
+        store.retain(a);
+        store.release(a);
+        let b = store.create(Binding::BOTTOM, 2, EventId(0));
+        assert_eq!(a.as_usize(), b.as_usize(), "slot reused");
+        assert_eq!(store.get(b).state, 2);
+    }
+
+    #[test]
+    fn flagging_is_idempotent_and_counted_once() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let id = store.create(Binding::BOTTOM, 1, EventId(0));
+        store.retain(id);
+        store.flag(id);
+        store.flag(id);
+        assert_eq!(store.stats().flagged, 1);
+        assert!(store.is_collectable(id));
+    }
+
+    #[test]
+    fn terminated_instances_are_collectable_but_not_flagged() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let id = store.create(Binding::BOTTOM, 1, EventId(0));
+        store.retain(id);
+        store.terminate(id);
+        assert!(store.is_collectable(id));
+        assert_eq!(store.stats().flagged, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monitor already collected")]
+    fn stale_access_panics() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let id = store.create(Binding::BOTTOM, 1, EventId(0));
+        store.retain(id);
+        store.release(id);
+        let _ = store.get(id);
+    }
+}

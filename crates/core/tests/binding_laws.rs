@@ -1,0 +1,163 @@
+//! Algebraic laws of the parameter-instance lattice (Definition 5): `⊔`
+//! is a partial commutative, associative, idempotent join; `⊑` is the
+//! induced partial order; restriction is monotone and interacts with `⊔`
+//! as expected.
+
+use proptest::prelude::*;
+use rv_core::Binding;
+use rv_heap::{Heap, HeapConfig, ObjId};
+use rv_logic::{ParamId, ParamSet};
+
+const PARAMS: u8 = 4;
+const OBJS: usize = 3;
+
+/// A binding described by an assignment array: `assign[p]` = object index
+/// + 1, or 0 for unbound.
+fn binding_strategy() -> impl Strategy<Value = [u8; PARAMS as usize]> {
+    proptest::array::uniform4(0u8..=OBJS as u8)
+}
+
+fn materialize(assign: &[u8; PARAMS as usize], pool: &[ObjId]) -> Binding {
+    let pairs: Vec<(ParamId, ObjId)> = assign
+        .iter()
+        .enumerate()
+        .filter_map(|(p, &v)| (v > 0).then(|| (ParamId(p as u8), pool[(v - 1) as usize])))
+        .collect();
+    Binding::from_pairs(&pairs)
+}
+
+fn pool() -> (Heap, Vec<ObjId>) {
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Obj");
+    let frame = heap.enter_frame();
+    let pool = (0..OBJS).map(|_| heap.alloc(cls)).collect();
+    let _keep_rooted = frame;
+    (heap, pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lub_is_commutative(a in binding_strategy(), b in binding_strategy()) {
+        let (_heap, objs) = pool();
+        let (a, b) = (materialize(&a, &objs), materialize(&b, &objs));
+        prop_assert_eq!(a.lub(b), b.lub(a));
+    }
+
+    #[test]
+    fn lub_is_idempotent_and_reflexive(a in binding_strategy()) {
+        let (_heap, objs) = pool();
+        let a = materialize(&a, &objs);
+        prop_assert_eq!(a.lub(a), Some(a));
+        prop_assert!(a.less_informative(a));
+        prop_assert!(a.compatible(a));
+        prop_assert!(Binding::BOTTOM.less_informative(a));
+        prop_assert_eq!(a.lub(Binding::BOTTOM), Some(a));
+    }
+
+    #[test]
+    fn lub_is_associative_when_defined(
+        a in binding_strategy(),
+        b in binding_strategy(),
+        c in binding_strategy()
+    ) {
+        let (_heap, objs) = pool();
+        let (a, b, c) =
+            (materialize(&a, &objs), materialize(&b, &objs), materialize(&c, &objs));
+        let left = a.lub(b).and_then(|ab| ab.lub(c));
+        let right = b.lub(c).and_then(|bc| a.lub(bc));
+        // When both sides are defined they agree; one side may be defined
+        // while the other is not only if some pair is incompatible — in a
+        // *pairwise compatible* triple both are defined and equal.
+        if a.compatible(b) && b.compatible(c) && a.compatible(c) {
+            prop_assert!(left.is_some() && right.is_some());
+            prop_assert_eq!(left, right);
+        }
+    }
+
+    #[test]
+    fn lub_is_the_least_upper_bound(a in binding_strategy(), b in binding_strategy()) {
+        let (_heap, objs) = pool();
+        let (a, b) = (materialize(&a, &objs), materialize(&b, &objs));
+        if let Some(j) = a.lub(b) {
+            prop_assert!(a.less_informative(j));
+            prop_assert!(b.less_informative(j));
+            prop_assert_eq!(j.domain(), a.domain().union(b.domain()));
+        } else {
+            prop_assert!(!a.compatible(b));
+        }
+    }
+
+    #[test]
+    fn less_informative_is_a_partial_order(
+        a in binding_strategy(),
+        b in binding_strategy(),
+        c in binding_strategy()
+    ) {
+        let (_heap, objs) = pool();
+        let (a, b, c) =
+            (materialize(&a, &objs), materialize(&b, &objs), materialize(&c, &objs));
+        // Antisymmetry.
+        if a.less_informative(b) && b.less_informative(a) {
+            prop_assert_eq!(a, b);
+        }
+        // Transitivity.
+        if a.less_informative(b) && b.less_informative(c) {
+            prop_assert!(a.less_informative(c));
+        }
+    }
+
+    #[test]
+    fn restriction_is_monotone_and_projective(
+        a in binding_strategy(),
+        mask in 0u32..16
+    ) {
+        let (_heap, objs) = pool();
+        let a = materialize(&a, &objs);
+        let p = ParamSet(mask);
+        let r = a.restrict(p);
+        prop_assert!(r.less_informative(a));
+        prop_assert!(r.domain().is_subset(p));
+        // Restriction is idempotent.
+        prop_assert_eq!(r.restrict(p), r);
+        // Restricting to the full domain is the identity.
+        prop_assert_eq!(a.restrict(a.domain()), a);
+    }
+
+    #[test]
+    fn compatibility_is_witnessed_by_a_common_upper_bound(
+        a in binding_strategy(),
+        b in binding_strategy()
+    ) {
+        let (_heap, objs) = pool();
+        let (a, b) = (materialize(&a, &objs), materialize(&b, &objs));
+        prop_assert_eq!(a.compatible(b), a.lub(b).is_some());
+    }
+
+    #[test]
+    fn dead_params_is_monotone_in_the_binding(
+        a in binding_strategy(),
+        b in binding_strategy(),
+        kill in 0usize..OBJS
+    ) {
+        // If a ⊑ b then dead(a) ⊆ dead(b), whatever died.
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let frame = heap.enter_frame();
+        let objs: Vec<ObjId> = (0..OBJS)
+            .map(|_| {
+                let o = heap.alloc(cls);
+                heap.pin(o);
+                o
+            })
+            .collect();
+        heap.exit_frame(frame);
+        let (a, b) = (materialize(&a, &objs), materialize(&b, &objs));
+        heap.unpin(objs[kill]);
+        heap.collect();
+        if a.less_informative(b) {
+            prop_assert!(a.dead_params(&heap).is_subset(b.dead_params(&heap)));
+        }
+    }
+}

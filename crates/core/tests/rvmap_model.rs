@@ -1,0 +1,181 @@
+//! Model-based testing of the weak-keyed `RvMap`: against a plain
+//! `HashMap` + explicit liveness model, under random interleavings of
+//! inserts, lookups, removals, object deaths, collections, and
+//! maintenance scans.
+//!
+//! Invariants:
+//! * live-keyed entries are never lost and always retrievable;
+//! * dead-keyed entries are (a) never visible once the maintainer has
+//!   reported them, (b) reported *exactly once*, and (c) all reported by a
+//!   full sweep;
+//! * maintenance never touches entries the model says are live (unless the
+//!   maintainer's live hook asked for removal — not used here).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rv_core::trees::{DeadOnly, RvMap};
+use rv_core::Binding;
+use rv_heap::{Heap, HeapConfig, ObjId};
+use rv_logic::ParamId;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert { slot: usize, value: u32 },
+    Get { slot: usize },
+    Remove { slot: usize },
+    Kill { slot: usize },
+    Collect,
+    Scan { n: usize },
+    SweepAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<usize>(), any::<u32>()).prop_map(|(slot, value)| Op::Insert { slot, value }),
+        3 => any::<usize>().prop_map(|slot| Op::Get { slot }),
+        1 => any::<usize>().prop_map(|slot| Op::Remove { slot }),
+        2 => any::<usize>().prop_map(|slot| Op::Kill { slot }),
+        2 => Just(Op::Collect),
+        2 => (1usize..8).prop_map(|n| Op::Scan { n }),
+        1 => Just(Op::SweepAll),
+    ]
+}
+
+const POOL: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rvmap_agrees_with_the_model(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        // Allocate in a frame that exits immediately: liveness is governed
+        // solely by the pins, so Kill + Collect really reclaims.
+        let frame = heap.enter_frame();
+        let pool: Vec<ObjId> = (0..POOL)
+            .map(|_| {
+                let o = heap.alloc(cls);
+                heap.pin(o);
+                o
+            })
+            .collect();
+        heap.exit_frame(frame);
+        let key = |slot: usize| Binding::from_pairs(&[(ParamId(0), pool[slot % POOL])]);
+
+        let mut map: RvMap<u32> = RvMap::new();
+        // Model: slot → value for entries the map should still hold, plus
+        // liveness and a kill/collect phase tracker.
+        let mut model: HashMap<usize, u32> = HashMap::new();
+        let mut alive = [true; POOL];
+        let mut collected = [false; POOL]; // actually swept (post-Collect)
+        let mut reported: Vec<usize> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { slot, value } => {
+                    let s = slot % POOL;
+                    // Only live objects can key new entries (the engine
+                    // inserts at event time, when objects are live).
+                    if alive[s] && !collected[s] {
+                        // Dead discoveries during the insert's window scan
+                        // are legitimate; record and validate them below.
+                        let mut found: Vec<Binding> = Vec::new();
+                        let mut rec = DeadOnly(|b: Binding, _v: u32| found.push(b));
+                        map.insert(&heap, key(s), value, &mut rec);
+                        model.insert(s, value);
+                        for b in found {
+                            let dead_slot = pool
+                                .iter()
+                                .position(|&o| Some(o) == b.get(ParamId(0)))
+                                .expect("key from pool");
+                            prop_assert!(collected[dead_slot]);
+                            prop_assert!(model.remove(&dead_slot).is_some());
+                            reported.push(dead_slot);
+                        }
+                    }
+                }
+                Op::Get { slot } => {
+                    let s = slot % POOL;
+                    let mut found: Vec<Binding> = Vec::new();
+                    let mut rec = DeadOnly(|b: Binding, _v: u32| found.push(b));
+                    let got = map.get_mut(&heap, key(s), &mut rec).copied();
+                    for b in &found {
+                        let dead_slot = pool
+                            .iter()
+                            .position(|&o| Some(o) == b.get(ParamId(0)))
+                            .expect("key from pool");
+                        prop_assert!(collected[dead_slot]);
+                        prop_assert!(model.remove(&dead_slot).is_some());
+                        reported.push(dead_slot);
+                    }
+                    // The lookup itself: if the model holds the slot and it
+                    // was not just reported, values must agree.
+                    if !collected[s] {
+                        prop_assert_eq!(got, model.get(&s).copied());
+                    }
+                }
+                Op::Remove { slot } => {
+                    let s = slot % POOL;
+                    let removed = map.remove(&key(s));
+                    prop_assert_eq!(removed, model.remove(&s));
+                }
+                Op::Kill { slot } => {
+                    let s = slot % POOL;
+                    if alive[s] {
+                        alive[s] = false;
+                        heap.unpin(pool[s]);
+                    }
+                }
+                Op::Collect => {
+                    heap.collect();
+                    for s in 0..POOL {
+                        if !alive[s] {
+                            collected[s] = true;
+                        }
+                    }
+                }
+                Op::Scan { n } => {
+                    let mut found: Vec<Binding> = Vec::new();
+                    let mut rec = DeadOnly(|b: Binding, _v: u32| found.push(b));
+                    map.expunge(&heap, n, &mut rec);
+                    for b in found {
+                        let dead_slot = pool
+                            .iter()
+                            .position(|&o| Some(o) == b.get(ParamId(0)))
+                            .expect("key from pool");
+                        prop_assert!(collected[dead_slot], "reported a live key");
+                        prop_assert!(
+                            model.remove(&dead_slot).is_some(),
+                            "reported an entry the model does not hold"
+                        );
+                        reported.push(dead_slot);
+                    }
+                }
+                Op::SweepAll => {
+                    let mut found: Vec<Binding> = Vec::new();
+                    let mut rec = DeadOnly(|b: Binding, _v: u32| found.push(b));
+                    map.expunge_all(&heap, &mut rec);
+                    for b in found {
+                        let dead_slot = pool
+                            .iter()
+                            .position(|&o| Some(o) == b.get(ParamId(0)))
+                            .expect("key from pool");
+                        prop_assert!(collected[dead_slot]);
+                        prop_assert!(model.remove(&dead_slot).is_some());
+                        reported.push(dead_slot);
+                    }
+                    // After a full sweep, no dead-keyed entries remain.
+                    for (s, _) in model.iter() {
+                        prop_assert!(!collected[*s], "dead entry survived a full sweep");
+                    }
+                }
+            }
+            // Global invariant: map size equals the model's entries minus
+            // any dead-keyed ones not yet swept… the model removes entries
+            // on report, so map.len() == model.len().
+            prop_assert_eq!(map.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! A simulated managed heap with tracing garbage collection and weak
+//! references.
+//!
+//! The PLDI'11 RV system piggy-backs its monitor garbage collection on the
+//! JVM: parameter objects die whenever the JVM collector runs, and Java
+//! `WeakReference`s observe those deaths. Rust has neither a tracing
+//! collector nor weak-references-to-GC'd-objects, so this crate provides the
+//! closest synthetic equivalent: a handle-based object heap with
+//!
+//! * a *root stack* (modelling local variables of the simulated program) and
+//!   *pinned roots* (modelling globals / long-lived fields),
+//! * directed *reference edges* between objects (an `Iterator` keeps its
+//!   `Collection` alive, never the other way around — the asymmetry at the
+//!   heart of the paper's motivating `UnsafeIter` example),
+//! * a stop-the-world **mark-sweep** collector, optionally triggered
+//!   automatically every *N* allocations, and
+//! * [`WeakRef`]s that report their referent dead exactly after the sweep
+//!   that reclaimed it.
+//!
+//! Monitoring code holds only [`WeakRef`]s to parameter objects, so the
+//! monitor never extends an object's lifetime — the same discipline the
+//! paper's indexing trees follow.
+//!
+//! # Example
+//!
+//! ```
+//! use rv_heap::{Heap, HeapConfig};
+//!
+//! let mut heap = Heap::new(HeapConfig::default());
+//! let class = heap.register_class("Collection");
+//! let frame = heap.enter_frame();
+//! let coll = heap.alloc(class);
+//! let weak = heap.weak_ref(coll);
+//! assert!(weak.is_alive(&heap));
+//! heap.exit_frame(frame);
+//! heap.collect();
+//! assert!(!weak.is_alive(&heap));
+//! ```
+
+mod heap;
+mod object;
+mod stats;
+
+pub use crate::heap::{FrameToken, Heap, HeapConfig};
+pub use crate::object::{ClassId, ObjId, WeakRef};
+pub use crate::stats::HeapStats;

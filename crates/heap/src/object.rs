@@ -1,0 +1,162 @@
+//! Object handles, class tags, and weak references.
+
+use std::fmt;
+
+use crate::heap::Heap;
+
+/// A handle to a heap object.
+///
+/// Handles are *generational*: a slot index plus the generation counter of
+/// the slot at allocation time. A stale handle (whose object was swept, even
+/// if the slot was reused) can therefore be detected in O(1), which is what
+/// makes [`WeakRef`] death observable without a finalizer registry.
+///
+/// An `ObjId` by itself does **not** keep the object alive; liveness is
+/// determined solely by reachability from the heap's roots.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+impl ObjId {
+    /// The slot index of this handle. Stable for the object's lifetime and
+    /// usable as a dense key while the object is known to be alive.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// The allocation generation of this handle.
+    #[must_use]
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Packs the handle into a single `u64`, suitable for hashing or as a
+    /// key in external tables. Distinct live objects always pack distinctly.
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.index) << 32) | u64::from(self.generation)
+    }
+
+    /// Reconstructs a handle packed by [`ObjId::to_bits`]. The result may
+    /// be stale; check with [`Heap::is_alive`](crate::Heap::is_alive).
+    #[must_use]
+    pub fn from_bits(bits: u64) -> ObjId {
+        ObjId { index: (bits >> 32) as u32, generation: bits as u32 }
+    }
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjId({}g{})", self.index, self.generation)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}g{}", self.index, self.generation)
+    }
+}
+
+/// A class tag for heap objects (e.g. `Collection`, `Iterator`).
+///
+/// Classes are registered on the [`Heap`] with [`Heap::register_class`] and
+/// only carry a debug name; the monitoring layers treat objects uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClassId(pub(crate) u16);
+
+impl ClassId {
+    /// The raw index of this class in the heap's class registry.
+    #[must_use]
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// A weak reference to a heap object.
+///
+/// A `WeakRef` never keeps its referent alive. After the sweep that reclaims
+/// the referent, [`WeakRef::upgrade`] returns `None` and
+/// [`WeakRef::is_alive`] returns `false` — the analogue of a Java
+/// `WeakReference` whose referent was cleared.
+///
+/// `WeakRef` hashes and compares by the *identity of the original referent*
+/// (its generational handle), so it remains a stable map key even after the
+/// referent dies — exactly what the paper's `RVMap` weak keys require.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WeakRef {
+    pub(crate) target: ObjId,
+}
+
+impl WeakRef {
+    /// The handle this weak reference was created from. The handle may be
+    /// stale; check [`WeakRef::is_alive`] before treating it as live.
+    #[must_use]
+    pub fn target(self) -> ObjId {
+        self.target
+    }
+
+    /// Returns the referent if it is still alive on `heap`.
+    #[must_use]
+    pub fn upgrade(self, heap: &Heap) -> Option<ObjId> {
+        heap.is_alive(self.target).then_some(self.target)
+    }
+
+    /// Whether the referent is still alive on `heap`.
+    #[must_use]
+    pub fn is_alive(self, heap: &Heap) -> bool {
+        heap.is_alive(self.target)
+    }
+}
+
+impl From<WeakRef> for ObjId {
+    fn from(w: WeakRef) -> ObjId {
+        w.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{Heap, HeapConfig};
+
+    #[test]
+    fn obj_id_packs_uniquely() {
+        let a = ObjId { index: 1, generation: 2 };
+        let b = ObjId { index: 2, generation: 1 };
+        assert_ne!(a.to_bits(), b.to_bits());
+        assert_eq!(a.index(), 1);
+        assert_eq!(a.generation(), 2);
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        let a = ObjId { index: 3, generation: 7 };
+        assert_eq!(format!("{a:?}"), "ObjId(3g7)");
+        assert_eq!(format!("{a}"), "#3g7");
+        assert_eq!(format!("{}", ClassId(4)), "class4");
+    }
+
+    #[test]
+    fn weak_ref_identity_survives_death() {
+        let mut heap = Heap::new(HeapConfig::default());
+        let c = heap.register_class("C");
+        let f = heap.enter_frame();
+        let o = heap.alloc(c);
+        let w1 = heap.weak_ref(o);
+        let w2 = heap.weak_ref(o);
+        assert_eq!(w1, w2);
+        heap.exit_frame(f);
+        heap.collect();
+        assert_eq!(w1, w2);
+        assert!(w1.upgrade(&heap).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! Heap statistics.
+
+use std::fmt;
+
+/// Counters accumulated by a [`Heap`](crate::Heap) over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Total objects ever allocated.
+    pub allocations: u64,
+    /// Number of collections run (explicit and automatic).
+    pub collections: u64,
+    /// Total objects reclaimed by collections.
+    pub swept: u64,
+    /// Objects currently live.
+    pub live: usize,
+    /// Maximum number of simultaneously live objects observed.
+    pub peak_live: usize,
+}
+
+impl fmt::Display for HeapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocs={} collections={} swept={} live={} peak={}",
+            self.allocations, self.collections, self.swept, self.live, self.peak_live
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = HeapStats { allocations: 3, collections: 1, swept: 2, live: 1, peak_live: 3 };
+        assert_eq!(format!("{s}"), "allocs=3 collections=1 swept=2 live=1 peak=3");
+    }
+}

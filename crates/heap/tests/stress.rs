@@ -1,0 +1,129 @@
+//! Stress and boundary tests for the managed heap: slot reuse under heavy
+//! churn, deep reference chains, automatic-collection cadence, and weak
+//! reference semantics across generations.
+
+use rv_heap::{Heap, HeapConfig, WeakRef};
+
+#[test]
+fn heavy_churn_reuses_slots_without_confusing_handles() {
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Obj");
+    let _outer = heap.enter_frame();
+    let mut stale: Vec<WeakRef> = Vec::new();
+    for round in 0..200 {
+        let frame = heap.enter_frame();
+        let batch: Vec<_> = (0..50).map(|_| heap.alloc(cls)).collect();
+        for &o in &batch {
+            stale.push(heap.weak_ref(o));
+        }
+        heap.exit_frame(frame);
+        heap.collect();
+        // Every previously captured weak ref must be dead, even though its
+        // slot has been reused many times.
+        for w in &stale {
+            assert!(!w.is_alive(&heap), "round {round}: stale weak ref resurrected");
+        }
+        assert_eq!(heap.live_count(), 0);
+    }
+    let stats = heap.stats();
+    assert_eq!(stats.allocations, 200 * 50);
+    assert_eq!(stats.swept, 200 * 50);
+    assert!(stats.peak_live <= 50);
+}
+
+#[test]
+fn deep_chains_survive_through_a_single_root() {
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Node");
+    let _outer = heap.enter_frame();
+    // Build a 10_000-deep chain rooted only at the head.
+    let frame = heap.enter_frame();
+    let head = heap.alloc(cls);
+    let mut prev = head;
+    let mut tail = head;
+    for _ in 0..10_000 {
+        let inner = heap.enter_frame();
+        let n = heap.alloc(cls);
+        heap.add_edge(prev, n);
+        heap.exit_frame(inner);
+        prev = n;
+        tail = n;
+    }
+    heap.exit_frame(frame);
+    heap.push_root(head);
+    let weak_tail = heap.weak_ref(tail);
+    heap.collect();
+    assert!(weak_tail.is_alive(&heap), "the whole chain hangs off the root");
+    assert_eq!(heap.live_count(), 10_001);
+}
+
+#[test]
+fn automatic_collection_keeps_pace_with_garbage() {
+    let mut heap = Heap::new(HeapConfig::auto(64));
+    let cls = heap.register_class("Obj");
+    let _outer = heap.enter_frame();
+    let keeper = heap.alloc(cls);
+    heap.pin(keeper);
+    for _ in 0..10_000 {
+        let frame = heap.enter_frame();
+        let _ = heap.alloc(cls);
+        heap.exit_frame(frame);
+    }
+    // The heap never accumulates more than roughly one GC period of
+    // garbage.
+    assert!(heap.live_count() <= 66, "live: {}", heap.live_count());
+    assert!(heap.stats().collections >= 10_000 / 64);
+    assert!(heap.is_alive(keeper));
+}
+
+#[test]
+fn edges_to_long_dead_objects_cannot_be_added() {
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Obj");
+    let _outer = heap.enter_frame();
+    let a = heap.alloc(cls);
+    let frame = heap.enter_frame();
+    let b = heap.alloc(cls);
+    heap.exit_frame(frame);
+    heap.collect();
+    // `b` is dead; `remove_edge` tolerates it, `add_edge` must panic.
+    assert!(!heap.remove_edge(a, b));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        heap.add_edge(a, b);
+    }));
+    assert!(result.is_err(), "add_edge to a dead target must panic");
+}
+
+#[test]
+fn weak_refs_distinguish_generations_of_the_same_slot() {
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Obj");
+    let _outer = heap.enter_frame();
+    let frame = heap.enter_frame();
+    let first = heap.alloc(cls);
+    let w_first = heap.weak_ref(first);
+    heap.exit_frame(frame);
+    heap.collect();
+    let second = heap.alloc(cls); // reuses the slot
+    let w_second = heap.weak_ref(second);
+    assert_eq!(first.index(), second.index());
+    assert_ne!(w_first, w_second);
+    assert!(!w_first.is_alive(&heap));
+    assert!(w_second.is_alive(&heap));
+    assert_eq!(w_second.upgrade(&heap), Some(second));
+}
+
+#[test]
+fn class_tags_are_preserved_across_collections() {
+    let mut heap = Heap::new(HeapConfig::manual());
+    let coll_cls = heap.register_class("Collection");
+    let iter_cls = heap.register_class("Iterator");
+    let _outer = heap.enter_frame();
+    let c = heap.alloc(coll_cls);
+    let i = heap.alloc(iter_cls);
+    heap.collect();
+    assert_eq!(heap.class_of(c), coll_cls);
+    assert_eq!(heap.class_of(i), iter_cls);
+    assert_eq!(heap.class_name(heap.class_of(c)), "Collection");
+    assert_eq!(heap.class_name(heap.class_of(i)), "Iterator");
+}

@@ -1,0 +1,759 @@
+//! The `cfg` plugin: context-free patterns (paper Figure 4's SAFELOCK),
+//! monitored by an incremental Earley recognizer, with coenable sets
+//! computed by the paper's `G`/`C` least-fixpoint equations.
+//!
+//! Context-free properties are why the coenable technique matters: the
+//! Tracematches-style *state-indexed* garbage collection "could not be used
+//! for context-free properties because the state space is unbounded" (§3
+//! Discussion), while the event-indexed coenable sets below are computed
+//! from the grammar alone.
+//!
+//! # Verdicts
+//!
+//! After each event: [`Verdict::Match`] if the trace so far is in the
+//! grammar's language, [`Verdict::Fail`] if the trace is not a *viable
+//! prefix* (no extension is in the language), `?` otherwise. The monitor
+//! reduces the grammar first (dropping non-generating and unreachable
+//! symbols), which makes "current Earley set empty" exactly the viable-
+//! prefix test.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::coenable::{CoenableSets, SetFamily};
+use crate::event::{Alphabet, EventId, EventSet};
+use crate::verdict::Verdict;
+
+/// A grammar symbol: terminal (event) or nonterminal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Symbol {
+    /// A terminal — one of the property's base events.
+    T(EventId),
+    /// A nonterminal, by index into [`Grammar::nonterminal_names`].
+    Nt(u32),
+}
+
+/// One production `lhs → rhs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Production {
+    /// The nonterminal being defined.
+    pub lhs: u32,
+    /// The replacement (empty for `ε`).
+    pub rhs: Vec<Symbol>,
+}
+
+/// A context-free grammar over the property's events.
+///
+/// Per the paper, "the first symbol seen is always assumed the start
+/// symbol": [`Grammar::new`] takes the start nonterminal explicitly, and
+/// the spec front-end passes the first nonterminal of the block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Grammar {
+    names: Vec<String>,
+    start: u32,
+    productions: Vec<Production>,
+}
+
+/// Errors detected while validating a [`Grammar`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfgError {
+    /// A production references a nonterminal index out of range.
+    UnknownNonterminal(u32),
+    /// The start symbol index is out of range.
+    BadStart(u32),
+    /// The grammar's language is empty (the start symbol generates no
+    /// terminal string), so the property could never match.
+    EmptyLanguage,
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::UnknownNonterminal(i) => write!(f, "unknown nonterminal index {i}"),
+            CfgError::BadStart(i) => write!(f, "start symbol index {i} out of range"),
+            CfgError::EmptyLanguage => write!(f, "grammar generates no terminal string"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+impl Grammar {
+    /// Builds and validates a grammar.
+    ///
+    /// # Errors
+    ///
+    /// See [`CfgError`]. The language-emptiness check runs on construction
+    /// so monitors never operate on vacuous properties.
+    pub fn new<S: AsRef<str>>(
+        nonterminal_names: &[S],
+        start: u32,
+        productions: Vec<Production>,
+    ) -> Result<Self, CfgError> {
+        let n = nonterminal_names.len() as u32;
+        if start >= n {
+            return Err(CfgError::BadStart(start));
+        }
+        for p in &productions {
+            if p.lhs >= n {
+                return Err(CfgError::UnknownNonterminal(p.lhs));
+            }
+            for s in &p.rhs {
+                if let Symbol::Nt(i) = s {
+                    if *i >= n {
+                        return Err(CfgError::UnknownNonterminal(*i));
+                    }
+                }
+            }
+        }
+        let g = Grammar {
+            names: nonterminal_names.iter().map(|s| s.as_ref().to_owned()).collect(),
+            start,
+            productions,
+        };
+        if !g.generating()[start as usize] {
+            return Err(CfgError::EmptyLanguage);
+        }
+        Ok(g)
+    }
+
+    /// The nonterminal names.
+    #[must_use]
+    pub fn nonterminal_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The start nonterminal.
+    #[must_use]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// The productions.
+    #[must_use]
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// Which nonterminals generate at least one terminal string.
+    fn generating(&self) -> Vec<bool> {
+        let mut gen = vec![false; self.names.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.productions {
+                if gen[p.lhs as usize] {
+                    continue;
+                }
+                let all = p.rhs.iter().all(|s| match s {
+                    Symbol::T(_) => true,
+                    Symbol::Nt(i) => gen[*i as usize],
+                });
+                if all {
+                    gen[p.lhs as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        gen
+    }
+
+    /// Which nonterminals are reachable from the start symbol.
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.names.len()];
+        seen[self.start as usize] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.productions {
+                if !seen[p.lhs as usize] {
+                    continue;
+                }
+                for s in &p.rhs {
+                    if let Symbol::Nt(i) = s {
+                        if !seen[*i as usize] {
+                            seen[*i as usize] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The *reduced* grammar: only productions whose left side is reachable
+    /// and whose symbols are all generating. Language-preserving, and it
+    /// gives the Earley monitor the viable-prefix property.
+    #[must_use]
+    pub fn reduced(&self) -> Grammar {
+        let gen = self.generating();
+        let reach = self.reachable();
+        let productions = self
+            .productions
+            .iter()
+            .filter(|p| {
+                reach[p.lhs as usize]
+                    && gen[p.lhs as usize]
+                    && p.rhs.iter().all(|s| match s {
+                        Symbol::T(_) => true,
+                        Symbol::Nt(i) => gen[*i as usize] && reach[*i as usize],
+                    })
+            })
+            .cloned()
+            .collect();
+        Grammar { names: self.names.clone(), start: self.start, productions }
+    }
+
+    /// Which nonterminals derive `ε`.
+    #[must_use]
+    pub fn nullable(&self) -> Vec<bool> {
+        let mut nul = vec![false; self.names.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.productions {
+                if nul[p.lhs as usize] {
+                    continue;
+                }
+                let all = p.rhs.iter().all(|s| match s {
+                    Symbol::T(_) => false,
+                    Symbol::Nt(i) => nul[*i as usize],
+                });
+                if all {
+                    nul[p.lhs as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        nul
+    }
+
+    /// The paper's `G` fixpoint: for every nonterminal, the family of event
+    /// sets of terminal strings it generates (`G(A)`), *including* `∅` for
+    /// nullable nonterminals. Families are capped at all subsets of the
+    /// events occurring in the grammar, so the fixpoint terminates.
+    fn g_sets(&self, alphabet: &Alphabet) -> Vec<BTreeSet<EventSet>> {
+        assert!(alphabet.len() <= 16, "exact CFG coenable limited to 16 events");
+        let mut g: Vec<BTreeSet<EventSet>> = vec![BTreeSet::new(); self.names.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.productions {
+                for set in g_of_rhs(&p.rhs, &g) {
+                    if g[p.lhs as usize].insert(set) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The paper's CFG coenable computation (`C` fixpoint, §3 "CFG
+    /// Example"): `COENABLE_{P,{match}}(e) = C(e)` with
+    /// `C(x) = { T1 ∪ T2 | A → β1 x β2, T1 ∈ C(A), T2 ∈ G(β2) }` and the
+    /// start symbol seeded with the empty continuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabet has more than 16 events.
+    #[must_use]
+    pub fn coenable(&self, alphabet: &Alphabet) -> CoenableSets {
+        let reduced = self.reduced();
+        let g = reduced.g_sets(alphabet);
+        // C over all symbols: nonterminal index or terminal (event).
+        let n_nt = reduced.names.len();
+        let n_ev = alphabet.len();
+        let mut c: Vec<BTreeSet<EventSet>> = vec![BTreeSet::new(); n_nt + n_ev];
+        // Seed: after a complete start-symbol derivation nothing follows.
+        c[reduced.start as usize].insert(EventSet::EMPTY);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &reduced.productions {
+                let ca: Vec<EventSet> = c[p.lhs as usize].iter().copied().collect();
+                if ca.is_empty() {
+                    continue;
+                }
+                for (i, sym) in p.rhs.iter().enumerate() {
+                    // G(β2) for the suffix after this occurrence.
+                    let tail = g_of_rhs(&p.rhs[i + 1..], &g);
+                    let idx = match sym {
+                        Symbol::Nt(j) => *j as usize,
+                        Symbol::T(e) => n_nt + e.as_usize(),
+                    };
+                    for &t1 in &ca {
+                        for &t2 in &tail {
+                            if c[idx].insert(t1.union(t2)) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Restrict to events, dropping ∅ (SetFamily does this).
+        let per_event = (0..n_ev)
+            .map(|e| SetFamily::from_sets(c[n_nt + e].iter().copied()))
+            .collect();
+        CoenableSets::new(per_event)
+    }
+}
+
+/// `G(β)` for a sentential form: the family of event sets of terminal
+/// strings derivable from `β`, given current per-nonterminal families.
+fn g_of_rhs(rhs: &[Symbol], g: &[BTreeSet<EventSet>]) -> Vec<EventSet> {
+    let mut acc: Vec<EventSet> = vec![EventSet::EMPTY];
+    for sym in rhs {
+        let options: Vec<EventSet> = match sym {
+            Symbol::T(e) => vec![EventSet::singleton(*e)],
+            Symbol::Nt(i) => g[*i as usize].iter().copied().collect(),
+        };
+        if options.is_empty() {
+            return Vec::new();
+        }
+        let mut next = Vec::with_capacity(acc.len() * options.len());
+        for &a in &acc {
+            for &o in &options {
+                next.push(a.union(o));
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        acc = next;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Incremental Earley recognition.
+// ---------------------------------------------------------------------------
+
+/// An Earley item `A → α • β` with its origin set.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Item {
+    production: u32,
+    dot: u32,
+    origin: u32,
+}
+
+/// The per-monitor state of an incremental Earley recognition.
+///
+/// Clones are deep; the chart grows linearly with the slice length (the
+/// price of full context-free generality — the paper's CFG plugin pays the
+/// same asymptotics).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EarleyState {
+    /// All Earley sets `S₀ … Sₖ` (completion looks back at origin sets).
+    sets: Vec<Vec<Item>>,
+    verdict: Verdict,
+}
+
+impl EarleyState {
+    /// Number of events consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.sets.len() - 1
+    }
+
+    /// Total chart items across all Earley sets.
+    #[must_use]
+    pub fn item_count(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Estimated heap bytes held by the chart (for memory accounting).
+    #[must_use]
+    pub fn chart_bytes(&self) -> usize {
+        self.sets.len() * std::mem::size_of::<Vec<Item>>()
+            + self.item_count() * std::mem::size_of::<Item>()
+    }
+}
+
+/// A compiled CFG monitor: the reduced grammar plus recognition tables.
+#[derive(Clone, Debug)]
+pub struct CfgMonitor {
+    grammar: Grammar,
+    /// Productions indexed by lhs, for prediction.
+    by_lhs: Vec<Vec<u32>>,
+    nullable: Vec<bool>,
+    alphabet: Alphabet,
+}
+
+impl CfgMonitor {
+    /// Compiles `grammar` (reducing it first) for monitoring over
+    /// `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::EmptyLanguage`] if reduction empties the
+    /// language.
+    pub fn compile(grammar: &Grammar, alphabet: &Alphabet) -> Result<Self, CfgError> {
+        let reduced = grammar.reduced();
+        if !reduced.generating().get(reduced.start as usize).copied().unwrap_or(false) {
+            return Err(CfgError::EmptyLanguage);
+        }
+        let mut by_lhs = vec![Vec::new(); reduced.names.len()];
+        for (i, p) in reduced.productions.iter().enumerate() {
+            by_lhs[p.lhs as usize].push(i as u32);
+        }
+        let nullable = reduced.nullable();
+        Ok(CfgMonitor { grammar: reduced, by_lhs, nullable, alphabet: alphabet.clone() })
+    }
+
+    /// The reduced grammar in use.
+    #[must_use]
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The alphabet.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The initial state (before any event). Its verdict is `Match` iff
+    /// `ε` is in the language.
+    #[must_use]
+    pub fn initial_state(&self) -> EarleyState {
+        let mut s0: Vec<Item> = Vec::new();
+        for &p in &self.by_lhs[self.grammar.start as usize] {
+            s0.push(Item { production: p, dot: 0, origin: 0 });
+        }
+        let mut state = EarleyState { sets: vec![s0], verdict: Verdict::Unknown };
+        self.closure(&mut state, 0);
+        state.verdict = self.verdict_of(&state);
+        state
+    }
+
+    /// Prediction/completion closure of set `k`.
+    fn closure(&self, state: &mut EarleyState, k: usize) {
+        let mut i = 0;
+        while i < state.sets[k].len() {
+            let item = state.sets[k][i];
+            i += 1;
+            let prod = &self.grammar.productions[item.production as usize];
+            if (item.dot as usize) < prod.rhs.len() {
+                if let Symbol::Nt(nt) = prod.rhs[item.dot as usize] {
+                    // Predict.
+                    for &p in &self.by_lhs[nt as usize] {
+                        let new = Item { production: p, dot: 0, origin: k as u32 };
+                        if !state.sets[k].contains(&new) {
+                            state.sets[k].push(new);
+                        }
+                    }
+                    // Nullable shortcut (Aycock–Horspool): advance over a
+                    // nullable nonterminal directly, so same-set empty
+                    // completions are never missed.
+                    if self.nullable[nt as usize] {
+                        let adv = Item { dot: item.dot + 1, ..item };
+                        if !state.sets[k].contains(&adv) {
+                            state.sets[k].push(adv);
+                        }
+                    }
+                }
+            } else {
+                // Complete: advance items in the origin set waiting on lhs.
+                let lhs = prod.lhs;
+                let origin = item.origin as usize;
+                let mut to_add = Vec::new();
+                for j in 0..state.sets[origin].len() {
+                    let wait = state.sets[origin][j];
+                    let wp = &self.grammar.productions[wait.production as usize];
+                    if (wait.dot as usize) < wp.rhs.len()
+                        && wp.rhs[wait.dot as usize] == Symbol::Nt(lhs)
+                    {
+                        to_add.push(Item { dot: wait.dot + 1, ..wait });
+                    }
+                }
+                for new in to_add {
+                    if !state.sets[k].contains(&new) {
+                        state.sets[k].push(new);
+                    }
+                }
+            }
+        }
+    }
+
+    fn verdict_of(&self, state: &EarleyState) -> Verdict {
+        let k = state.sets.len() - 1;
+        if state.sets[k].is_empty() {
+            return Verdict::Fail;
+        }
+        let complete = state.sets[k].iter().any(|item| {
+            let p = &self.grammar.productions[item.production as usize];
+            item.origin == 0 && p.lhs == self.grammar.start && item.dot as usize == p.rhs.len()
+        });
+        if complete {
+            Verdict::Match
+        } else {
+            Verdict::Unknown
+        }
+    }
+
+    /// Consumes one event, returning the verdict for the extended trace.
+    pub fn step(&self, state: &mut EarleyState, e: EventId) -> Verdict {
+        let k = state.sets.len() - 1;
+        if state.sets[k].is_empty() {
+            // Already failed: stay failed without growing the chart.
+            state.verdict = Verdict::Fail;
+            return Verdict::Fail;
+        }
+        // Scan.
+        let mut next: Vec<Item> = Vec::new();
+        for item in &state.sets[k] {
+            let p = &self.grammar.productions[item.production as usize];
+            if (item.dot as usize) < p.rhs.len() && p.rhs[item.dot as usize] == Symbol::T(e) {
+                next.push(Item { dot: item.dot + 1, ..*item });
+            }
+        }
+        state.sets.push(next);
+        self.closure(state, k + 1);
+        state.verdict = self.verdict_of(state);
+        state.verdict
+    }
+
+    /// The verdict of `state` without consuming an event.
+    #[must_use]
+    pub fn verdict(&self, state: &EarleyState) -> Verdict {
+        state.verdict
+    }
+
+    /// Classifies a whole trace from scratch.
+    #[must_use]
+    pub fn classify(&self, trace: &[EventId]) -> Verdict {
+        let mut st = self.initial_state();
+        for &e in trace {
+            self.step(&mut st, e);
+        }
+        self.verdict(&st)
+    }
+}
+
+/// Builds the paper's Figure 4 SAFELOCK grammar
+/// `S → S begin S end | S acquire S release | ε` over the given alphabet.
+///
+/// # Panics
+///
+/// Panics if `alphabet` lacks `begin`/`end`/`acquire`/`release`.
+#[must_use]
+pub fn safe_lock_grammar(alphabet: &Alphabet) -> Grammar {
+    let t = |n: &str| {
+        Symbol::T(alphabet.lookup(n).unwrap_or_else(|| panic!("alphabet lacks event `{n}`")))
+    };
+    let s = Symbol::Nt(0);
+    Grammar::new(
+        &["S"],
+        0,
+        vec![
+            Production { lhs: 0, rhs: vec![s, t("begin"), s, t("end")] },
+            Production { lhs: 0, rhs: vec![s, t("acquire"), s, t("release")] },
+            Production { lhs: 0, rhs: vec![] },
+        ],
+    )
+    .expect("SAFELOCK grammar is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock_alphabet() -> Alphabet {
+        Alphabet::from_names(&["acquire", "release", "begin", "end"])
+    }
+
+    fn ev(a: &Alphabet, n: &str) -> EventId {
+        a.lookup(n).unwrap()
+    }
+
+    #[test]
+    fn safelock_balanced_traces_match() {
+        let a = lock_alphabet();
+        let m = CfgMonitor::compile(&safe_lock_grammar(&a), &a).unwrap();
+        let e = |n: &str| ev(&a, n);
+        assert_eq!(m.classify(&[]), Verdict::Match, "ε is balanced");
+        assert_eq!(m.classify(&[e("acquire"), e("release")]), Verdict::Match);
+        assert_eq!(
+            m.classify(&[e("begin"), e("acquire"), e("release"), e("end")]),
+            Verdict::Match
+        );
+        assert_eq!(
+            m.classify(&[e("begin"), e("acquire"), e("end")]),
+            Verdict::Fail,
+            "improperly nested: acquire closed by end"
+        );
+        assert_eq!(m.classify(&[e("acquire")]), Verdict::Unknown);
+        assert_eq!(m.classify(&[e("release")]), Verdict::Fail);
+        // Deep nesting.
+        assert_eq!(
+            m.classify(&[
+                e("begin"),
+                e("begin"),
+                e("acquire"),
+                e("acquire"),
+                e("release"),
+                e("release"),
+                e("end"),
+                e("end"),
+            ]),
+            Verdict::Match
+        );
+    }
+
+    #[test]
+    fn fail_is_sticky_and_cheap() {
+        let a = lock_alphabet();
+        let m = CfgMonitor::compile(&safe_lock_grammar(&a), &a).unwrap();
+        let mut st = m.initial_state();
+        m.step(&mut st, ev(&a, "release"));
+        assert_eq!(m.verdict(&st), Verdict::Fail);
+        let sets_before = st.sets.len();
+        m.step(&mut st, ev(&a, "acquire"));
+        assert_eq!(m.verdict(&st), Verdict::Fail);
+        assert_eq!(st.sets.len(), sets_before, "failed charts stop growing");
+    }
+
+    #[test]
+    fn match_reports_at_every_balanced_point() {
+        let a = lock_alphabet();
+        let m = CfgMonitor::compile(&safe_lock_grammar(&a), &a).unwrap();
+        let mut st = m.initial_state();
+        assert_eq!(m.verdict(&st), Verdict::Match);
+        assert_eq!(m.step(&mut st, ev(&a, "acquire")), Verdict::Unknown);
+        assert_eq!(m.step(&mut st, ev(&a, "release")), Verdict::Match);
+        assert_eq!(m.step(&mut st, ev(&a, "begin")), Verdict::Unknown);
+        assert_eq!(m.step(&mut st, ev(&a, "end")), Verdict::Match);
+    }
+
+    #[test]
+    fn safelock_coenable_sets() {
+        let a = lock_alphabet();
+        let g = safe_lock_grammar(&a);
+        let co = g.coenable(&a);
+        let acquire = ev(&a, "acquire");
+        let release = ev(&a, "release");
+        let end = ev(&a, "end");
+        // Every continuation after acquire must contain release.
+        for s in co.of(acquire).sets() {
+            assert!(s.contains(release), "{s:?}");
+        }
+        assert!(!co.of(acquire).is_empty());
+        // After the final end/release a match closes: ∅ dropped, but other
+        // continuations exist (further balanced segments).
+        assert!(co.of(end).sets().iter().all(|s| !s.is_empty()));
+        // release can be followed by nothing (∅, dropped) or more balanced
+        // pieces; every non-empty continuation with acquire has release.
+        for s in co.of(release).sets() {
+            if s.contains(acquire) {
+                assert!(s.contains(release));
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_drops_useless_symbols() {
+        let a = Alphabet::from_names(&["x"]);
+        let g = Grammar::new(
+            &["S", "Dead", "Unreach"],
+            0,
+            vec![
+                Production { lhs: 0, rhs: vec![Symbol::T(ev(&a, "x"))] },
+                // Dead never terminates.
+                Production { lhs: 1, rhs: vec![Symbol::Nt(1)] },
+                // Unreach is generating but unreachable.
+                Production { lhs: 2, rhs: vec![Symbol::T(ev(&a, "x"))] },
+                // S → Dead would make S's alternative useless.
+                Production { lhs: 0, rhs: vec![Symbol::Nt(1)] },
+            ],
+        )
+        .unwrap();
+        let r = g.reduced();
+        assert_eq!(r.productions().len(), 1);
+        assert_eq!(r.productions()[0].lhs, 0);
+    }
+
+    #[test]
+    fn empty_language_is_rejected() {
+        let err = Grammar::new(&["S"], 0, vec![Production { lhs: 0, rhs: vec![Symbol::Nt(0)] }])
+            .unwrap_err();
+        assert_eq!(err, CfgError::EmptyLanguage);
+    }
+
+    #[test]
+    fn bad_indices_are_rejected() {
+        assert_eq!(
+            Grammar::new(&["S"], 3, vec![]).unwrap_err(),
+            CfgError::BadStart(3)
+        );
+        assert_eq!(
+            Grammar::new(&["S"], 0, vec![Production { lhs: 5, rhs: vec![] }]).unwrap_err(),
+            CfgError::UnknownNonterminal(5)
+        );
+    }
+
+    #[test]
+    fn nullable_analysis() {
+        let a = Alphabet::from_names(&["x"]);
+        let g = Grammar::new(
+            &["S", "A"],
+            0,
+            vec![
+                Production { lhs: 0, rhs: vec![Symbol::Nt(1), Symbol::Nt(1)] },
+                Production { lhs: 1, rhs: vec![] },
+                Production { lhs: 1, rhs: vec![Symbol::T(ev(&a, "x"))] },
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.nullable(), vec![true, true]);
+    }
+
+    #[test]
+    fn nullable_completion_is_not_missed() {
+        // S → A A x ; A → ε. Classic Aycock–Horspool pitfall: recognizing
+        // "x" requires advancing over two nullable As in the same set.
+        let a = Alphabet::from_names(&["x"]);
+        let g = Grammar::new(
+            &["S", "A"],
+            0,
+            vec![
+                Production {
+                    lhs: 0,
+                    rhs: vec![Symbol::Nt(1), Symbol::Nt(1), Symbol::T(ev(&a, "x"))],
+                },
+                Production { lhs: 1, rhs: vec![] },
+            ],
+        )
+        .unwrap();
+        let m = CfgMonitor::compile(&g, &a).unwrap();
+        assert_eq!(m.classify(&[ev(&a, "x")]), Verdict::Match);
+    }
+
+    #[test]
+    fn viable_prefix_property_after_reduction() {
+        // Balanced parens: a^n b^n. Prefixes of the language are exactly
+        // a^i b^j with j ≤ i; anything else must fail immediately.
+        let al = Alphabet::from_names(&["a", "b"]);
+        let g = Grammar::new(
+            &["S"],
+            0,
+            vec![
+                Production {
+                    lhs: 0,
+                    rhs: vec![Symbol::T(ev(&al, "a")), Symbol::Nt(0), Symbol::T(ev(&al, "b"))],
+                },
+                Production { lhs: 0, rhs: vec![] },
+            ],
+        )
+        .unwrap();
+        let m = CfgMonitor::compile(&g, &al).unwrap();
+        let a = ev(&al, "a");
+        let b = ev(&al, "b");
+        assert_eq!(m.classify(&[a, a, b, b]), Verdict::Match);
+        assert_eq!(m.classify(&[a, a, b]), Verdict::Unknown);
+        assert_eq!(m.classify(&[b]), Verdict::Fail);
+        assert_eq!(m.classify(&[a, b, b]), Verdict::Fail);
+        assert_eq!(m.classify(&[a, b, a]), Verdict::Fail, "aba is not a viable prefix");
+    }
+}

@@ -1,0 +1,808 @@
+//! The deterministic finite-state backbone shared by the FSM, ERE and LTL
+//! plugins, together with the paper's SEEABLE/COENABLE fixpoint (§3, "FSM
+//! Example") and the state-indexed variant used by the Tracematches-style
+//! baseline.
+
+use std::fmt;
+
+use crate::coenable::{CoenableSets, SetFamily};
+use crate::event::{Alphabet, EventId, EventSet};
+use crate::param::{EventDef, ParamSet};
+use crate::verdict::{GoalSet, Verdict};
+
+/// Sentinel for a missing transition: the monitor falls into an implicit
+/// permanent-fail sink (the paper's partial `σ`).
+pub const DEAD: u32 = u32::MAX;
+
+/// A deterministic finite-state monitor in the spirit of Definition 8:
+/// `(S, E, C, ı, σ, γ)` with partial `σ` and verdict function `γ`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    initial: u32,
+    n_states: u32,
+    /// Row-major: `trans[state * |E| + event]`, `DEAD` when undefined.
+    trans: Vec<u32>,
+    /// `γ`: verdict per state.
+    verdicts: Vec<Verdict>,
+    /// Optional human-readable state names (FSM specs keep theirs).
+    state_names: Vec<String>,
+    /// Cached constant-verdict analysis (see
+    /// [`Dfa::constant_verdict_states`]); computed once at construction so
+    /// the per-event terminality check is an array load.
+    constant: Vec<bool>,
+    /// Cached: can a `Match`-verdict state be reached in ≥ 1 steps?
+    future_match: Vec<bool>,
+    /// Cached: can a `Fail`-verdict state (or the dead sink) be reached in
+    /// ≥ 1 steps?
+    future_fail: Vec<bool>,
+}
+
+impl Dfa {
+    /// Builds a DFA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table dimensions are inconsistent, the initial state is
+    /// out of range, or a transition targets a state out of range.
+    #[must_use]
+    pub fn new(
+        alphabet: Alphabet,
+        initial: u32,
+        trans: Vec<u32>,
+        verdicts: Vec<Verdict>,
+        state_names: Vec<String>,
+    ) -> Self {
+        let n_states = verdicts.len() as u32;
+        assert!(initial < n_states, "initial state out of range");
+        assert_eq!(trans.len(), verdicts.len() * alphabet.len(), "transition table shape");
+        assert_eq!(state_names.len(), verdicts.len(), "one name per state");
+        for &t in &trans {
+            assert!(t == DEAD || t < n_states, "transition target out of range");
+        }
+        let mut dfa = Dfa {
+            alphabet,
+            initial,
+            n_states,
+            trans,
+            verdicts,
+            state_names,
+            constant: Vec::new(),
+            future_match: Vec::new(),
+            future_fail: Vec::new(),
+        };
+        dfa.constant = dfa.compute_constant_verdicts();
+        dfa.future_match = dfa.compute_future(Verdict::Match);
+        dfa.future_fail = dfa.compute_future(Verdict::Fail);
+        dfa
+    }
+
+    /// For each state: is a state with verdict `v` reachable in one or more
+    /// steps? The implicit dead sink counts as a `Fail` state.
+    fn compute_future(&self, v: Verdict) -> Vec<bool> {
+        let n = self.n_states as usize;
+        let mut fut = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..n {
+                if fut[s] {
+                    continue;
+                }
+                for e in self.alphabet.iter() {
+                    let t = self.step(s as u32, e);
+                    let hit = if t == DEAD {
+                        v == Verdict::Fail
+                    } else {
+                        self.verdicts[t as usize] == v || fut[t as usize]
+                    };
+                    if hit {
+                        fut[s] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        fut
+    }
+
+    /// Whether a monitor sitting in `state` can be *terminated* for `goal`:
+    /// either its verdict can never change again (constant-verdict state),
+    /// or no goal verdict can be produced by any future event — "there is
+    /// no reason to maintain the monitor instance after it has executed the
+    /// proper handler" (§3). The dead sink is always terminal.
+    #[must_use]
+    pub fn is_terminal_state(&self, state: u32, goal: GoalSet) -> bool {
+        if state == DEAD {
+            return true;
+        }
+        let s = state as usize;
+        if self.constant[s] {
+            return true;
+        }
+        (!goal.contains(Verdict::Match) || !self.future_match[s])
+            && (!goal.contains(Verdict::Fail) || !self.future_fail[s])
+    }
+
+    /// The alphabet `E`.
+    #[must_use]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The initial state `ı`.
+    #[must_use]
+    pub fn initial(&self) -> u32 {
+        self.initial
+    }
+
+    /// Number of states (not counting the implicit dead sink).
+    #[must_use]
+    pub fn state_count(&self) -> u32 {
+        self.n_states
+    }
+
+    /// `σ(state, e)`, or [`DEAD`] when undefined or already dead.
+    #[must_use]
+    pub fn step(&self, state: u32, e: EventId) -> u32 {
+        if state == DEAD {
+            DEAD
+        } else {
+            self.trans[state as usize * self.alphabet.len() + e.as_usize()]
+        }
+    }
+
+    /// `γ(state)`; the dead sink reports [`Verdict::Fail`].
+    #[must_use]
+    pub fn verdict(&self, state: u32) -> Verdict {
+        if state == DEAD {
+            Verdict::Fail
+        } else {
+            self.verdicts[state as usize]
+        }
+    }
+
+    /// The name of `state` (empty for generated DFAs without names).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is [`DEAD`] or out of range.
+    #[must_use]
+    pub fn state_name(&self, state: u32) -> &str {
+        &self.state_names[state as usize]
+    }
+
+    /// Runs the DFA over a trace from the initial state, returning the final
+    /// verdict — the property `P_M` of Definition 8.
+    #[must_use]
+    pub fn classify(&self, trace: &[EventId]) -> Verdict {
+        let mut s = self.initial;
+        for &e in trace {
+            s = self.step(s, e);
+        }
+        self.verdict(s)
+    }
+
+    /// The set of states reachable from the initial state.
+    #[must_use]
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.n_states as usize];
+        let mut stack = vec![self.initial];
+        seen[self.initial as usize] = true;
+        while let Some(s) = stack.pop() {
+            for e in self.alphabet.iter() {
+                let t = self.step(s, e);
+                if t != DEAD && !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// For each state, whether some goal verdict is reachable from it (in
+    /// zero or more steps). The implicit dead sink carries
+    /// [`Verdict::Fail`], so a missing transition counts as reaching the
+    /// goal when `fail ∈ G`.
+    #[must_use]
+    pub fn can_reach_goal(&self, goal: GoalSet) -> Vec<bool> {
+        // Backward closure over the transition relation.
+        let n = self.n_states as usize;
+        let fail_goal = goal.contains(Verdict::Fail);
+        let mut can = vec![false; n];
+        for s in 0..n {
+            can[s] = goal.contains(self.verdicts[s]);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..n {
+                if can[s] {
+                    continue;
+                }
+                for e in self.alphabet.iter() {
+                    let t = self.step(s as u32, e);
+                    let hit =
+                        if t == DEAD { fail_goal } else { can[t as usize] };
+                    if hit {
+                        can[s] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        can
+    }
+
+    /// For each state, whether every state reachable from it (including
+    /// itself) carries the *same* verdict. A monitor that enters such a
+    /// state can be terminated: its verdict will never change, so after
+    /// firing the handler (if any) it is pure overhead. This is how the
+    /// engine retires monitors stuck in absorbing `match`/`fail` states,
+    /// complementing the coenable-set collection.
+    ///
+    /// The analysis is precomputed at construction; this accessor is free.
+    #[must_use]
+    pub fn constant_verdict_states(&self) -> &[bool] {
+        &self.constant
+    }
+
+    /// Whether `state` is verdict-constant (`DEAD` always is).
+    #[must_use]
+    pub fn is_constant_verdict(&self, state: u32) -> bool {
+        state == DEAD || self.constant[state as usize]
+    }
+
+    fn compute_constant_verdicts(&self) -> Vec<bool> {
+        let n = self.n_states as usize;
+        // constant[s] starts true and is cleared when s can reach a state
+        // with a different verdict (the implicit dead sink counts as Fail).
+        let mut constant = vec![true; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..n {
+                if !constant[s] {
+                    continue;
+                }
+                for e in self.alphabet.iter() {
+                    let t = self.step(s as u32, e);
+                    let breaks = if t == DEAD {
+                        self.verdicts[s] != Verdict::Fail
+                    } else {
+                        self.verdicts[t as usize] != self.verdicts[s] || !constant[t as usize]
+                    };
+                    if breaks {
+                        constant[s] = false;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        constant
+    }
+
+    /// The SEEABLE fixpoint of §3: for every state `s`, the family of event
+    /// sets `{e₁,…,eₙ}` occurring along some path from `s` to a goal state.
+    /// Goal states additionally see the empty continuation `∅` (represented
+    /// here by an explicit flag, since [`SetFamily`] drops `∅`).
+    ///
+    /// Families are kept *exact* (no absorption) so the paper's worked
+    /// examples can be asserted verbatim; callers wanting the minimized form
+    /// use [`SetFamily::minimized`] or go through
+    /// [`crate::coenable::ParamCoenable::aliveness`].
+    ///
+    /// Transitions *out of verdict-constant states* do not contribute: a
+    /// monitor entering such a state is terminated by the engine (its
+    /// verdict can never change), so continuations past it never occur.
+    /// This matches the paper's reading — the trailing events of a goal
+    /// trace after the verdict is sealed are not reasons to keep a monitor
+    /// — and is what keeps absorbing-`fail` LTL automata collectable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabet has more than 16 events (the exact fixpoint is
+    /// exponential in `|E|`; real properties have ≤ 6 events).
+    #[must_use]
+    pub fn seeable(&self, goal: GoalSet) -> Vec<(SetFamily, bool)> {
+        assert!(
+            self.alphabet.len() <= 16,
+            "exact SEEABLE fixpoint limited to 16 events; property alphabets are small"
+        );
+        let n = self.n_states as usize;
+        let constant = self.constant_verdict_states();
+        // (family of non-empty continuations, sees-empty-continuation flag)
+        let mut seeable: Vec<(SetFamily, bool)> = (0..n)
+            .map(|s| (SetFamily::new(), goal.contains(self.verdicts[s])))
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..n {
+                if constant[s] {
+                    continue;
+                }
+                for e in self.alphabet.iter() {
+                    let t = self.step(s as u32, e);
+                    if t == DEAD {
+                        // The dead sink is a verdict-constant fail state:
+                        // when fail ∈ G, taking this transition reaches the
+                        // goal with an empty continuation.
+                        if goal.contains(Verdict::Fail)
+                            && seeable[s].0.insert(EventSet::singleton(e))
+                        {
+                            changed = true;
+                        }
+                        continue;
+                    }
+                    // {e} ∪ T for every continuation T of t, including ∅.
+                    let (succ_family, succ_empty) = {
+                        let entry = &seeable[t as usize];
+                        (entry.0.sets().to_vec(), entry.1)
+                    };
+                    if succ_empty && seeable[s].0.insert(EventSet::singleton(e)) {
+                        changed = true;
+                    }
+                    for set in succ_family {
+                        if seeable[s].0.insert(set.with(e)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        seeable
+    }
+
+    /// The ENABLE sets of Chen et al. \[19\], the *dual* of the coenable
+    /// sets: `ENABLE_{P,G}(e)` collects, over goal traces containing `e`,
+    /// the sets of events occurring *before* `e`. The paper's RV system
+    /// uses them to avoid needlessly *creating* monitors (§1 cites \[19\]),
+    /// complementing coenable-based collection.
+    ///
+    /// Returns, per event, the family of non-empty before-sets plus a flag
+    /// for whether `e` can be the first event of a goal trace (`∅ ∈
+    /// ENABLE(e)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabet has more than 16 events.
+    #[must_use]
+    pub fn enable(&self, goal: GoalSet) -> Vec<(SetFamily, bool)> {
+        assert!(
+            self.alphabet.len() <= 16,
+            "exact ENABLE fixpoint limited to 16 events; property alphabets are small"
+        );
+        let n = self.n_states as usize;
+        // BEFORE(s): event sets along paths initial → s (∅ at the initial
+        // state), restricted to the forward-reachable part.
+        let mut before: Vec<(SetFamily, bool)> = vec![(SetFamily::new(), false); n];
+        before[self.initial as usize].1 = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..n {
+                let (family, has_empty) = {
+                    let entry = &before[s];
+                    (entry.0.sets().to_vec(), entry.1)
+                };
+                if family.is_empty() && !has_empty {
+                    continue; // not reached yet
+                }
+                for e in self.alphabet.iter() {
+                    let t = self.step(s as u32, e);
+                    if t == DEAD {
+                        continue;
+                    }
+                    if has_empty && before[t as usize].0.insert(EventSet::singleton(e)) {
+                        changed = true;
+                    }
+                    for &set in &family {
+                        if before[t as usize].0.insert(set.with(e)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let can = self.can_reach_goal(goal);
+        let mut out: Vec<(SetFamily, bool)> = vec![(SetFamily::new(), false); self.alphabet.len()];
+        for s in 0..n {
+            let reached = before[s].1 || !before[s].0.is_empty();
+            if !reached {
+                continue;
+            }
+            for e in self.alphabet.iter() {
+                let t = self.step(s as u32, e);
+                let counts = if t == DEAD {
+                    // Falling off the machine *is* the fail verdict.
+                    goal.contains(Verdict::Fail)
+                } else {
+                    can[t as usize]
+                };
+                if !counts {
+                    continue;
+                }
+                let slot = &mut out[e.as_usize()];
+                if before[s].1 {
+                    slot.1 = true;
+                }
+                let sets: Vec<EventSet> = before[s].0.sets().to_vec();
+                for set in sets {
+                    slot.0.insert(set);
+                }
+            }
+        }
+        out
+    }
+
+    /// `COENABLE_{P,G}(e) = ⋃_{σ(s,e)=s'} SEEABLE(s')` over *reachable*
+    /// states `s` (traces in Definition 10 start at the initial state),
+    /// with `∅` dropped per the paper.
+    #[must_use]
+    pub fn coenable(&self, goal: GoalSet) -> CoenableSets {
+        let seeable = self.seeable(goal);
+        let reachable = self.reachable();
+        let constant = self.constant_verdict_states();
+        let mut per_event: Vec<SetFamily> = vec![SetFamily::new(); self.alphabet.len()];
+        for s in 0..self.n_states as usize {
+            if !reachable[s] || constant[s] {
+                continue;
+            }
+            for e in self.alphabet.iter() {
+                let t = self.step(s as u32, e);
+                if t == DEAD {
+                    continue;
+                }
+                for &set in seeable[t as usize].0.sets() {
+                    per_event[e.as_usize()].insert(set);
+                }
+                // ∅ members are dropped (Definition 10 discussion).
+            }
+        }
+        CoenableSets::new(per_event)
+    }
+
+    /// The *state-indexed* aliveness used by the Tracematches-style baseline
+    /// ("coenable sets indexed by state rather than events", §3 Discussion):
+    /// for each state, the minimized parameter-set disjunction that must
+    /// have all members alive for the goal to remain reachable.
+    ///
+    /// A binding sitting in state `s` is collectable iff every disjunct of
+    /// `state s` contains a dead parameter (and `s` is not itself a goal
+    /// state that still needs reporting).
+    #[must_use]
+    pub fn state_aliveness(&self, goal: GoalSet, def: &EventDef) -> StateAliveness {
+        let seeable = self.seeable(goal);
+        let per_state = seeable
+            .iter()
+            .map(|(family, _sees_empty)| {
+                let mut masks: Vec<ParamSet> =
+                    family.minimized().sets().iter().map(|&s| def.params_of_set(s)).collect();
+                masks.sort_unstable();
+                masks.dedup();
+                // Absorption at the parameter level.
+                let keep: Vec<ParamSet> = masks
+                    .iter()
+                    .copied()
+                    .filter(|&s| !masks.iter().any(|&t| t != s && t.is_subset(s)))
+                    .collect();
+                keep
+            })
+            .collect();
+        StateAliveness { per_state }
+    }
+}
+
+/// State-indexed aliveness disjuncts (see [`Dfa::state_aliveness`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateAliveness {
+    per_state: Vec<Vec<ParamSet>>,
+}
+
+impl StateAliveness {
+    /// Whether a binding in `state` can still reach the goal given `dead`
+    /// parameters. The dead sink is never necessary.
+    #[must_use]
+    pub fn is_necessary(&self, state: u32, dead: ParamSet) -> bool {
+        if state == DEAD {
+            return false;
+        }
+        self.per_state[state as usize].iter().any(|&m| m.intersection(dead).is_empty())
+    }
+
+    /// The disjunct masks for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is [`DEAD`] or out of range.
+    #[must_use]
+    pub fn masks(&self, state: u32) -> &[ParamSet] {
+        &self.per_state[state as usize]
+    }
+}
+
+impl fmt::Debug for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dfa")
+            .field("states", &self.n_states)
+            .field("events", &self.alphabet.len())
+            .field("initial", &self.initial)
+            .finish()
+    }
+}
+
+impl fmt::Display for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dfa with {} states over {} events", self.n_states, self.alphabet.len())?;
+        for s in 0..self.n_states {
+            let name = if self.state_names[s as usize].is_empty() {
+                format!("s{s}")
+            } else {
+                self.state_names[s as usize].clone()
+            };
+            let marker = if s == self.initial { "->" } else { "  " };
+            writeln!(f, "{marker} {name} [{}]", self.verdicts[s as usize])?;
+            for e in self.alphabet.iter() {
+                let t = self.step(s, e);
+                if t != DEAD {
+                    writeln!(f, "     {} -> s{t}", self.alphabet.name(e))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Dfa`], used by the FSM front-end and by the
+/// ERE/LTL determinizers.
+#[derive(Debug)]
+pub struct DfaBuilder {
+    alphabet: Alphabet,
+    trans: Vec<u32>,
+    verdicts: Vec<Verdict>,
+    state_names: Vec<String>,
+}
+
+impl DfaBuilder {
+    /// Starts a builder over `alphabet`.
+    #[must_use]
+    pub fn new(alphabet: Alphabet) -> Self {
+        DfaBuilder { alphabet, trans: Vec::new(), verdicts: Vec::new(), state_names: Vec::new() }
+    }
+
+    /// Adds a state with the given verdict, returning its id.
+    pub fn add_state(&mut self, verdict: Verdict) -> u32 {
+        self.add_named_state(verdict, "")
+    }
+
+    /// Adds a named state.
+    pub fn add_named_state(&mut self, verdict: Verdict, name: &str) -> u32 {
+        let id = self.verdicts.len() as u32;
+        self.verdicts.push(verdict);
+        self.state_names.push(name.to_owned());
+        self.trans.extend(std::iter::repeat_n(DEAD, self.alphabet.len()));
+        id
+    }
+
+    /// Sets `σ(from, e) = to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `to` is out of range.
+    pub fn set_transition(&mut self, from: u32, e: EventId, to: u32) {
+        assert!((from as usize) < self.verdicts.len(), "from-state out of range");
+        assert!((to as usize) < self.verdicts.len(), "to-state out of range");
+        self.trans[from as usize * self.alphabet.len() + e.as_usize()] = to;
+    }
+
+    /// Overrides a state's verdict (used when fail-state inference runs
+    /// after construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn set_verdict(&mut self, state: u32, verdict: Verdict) {
+        self.verdicts[state as usize] = verdict;
+    }
+
+    /// Number of states added so far.
+    #[must_use]
+    pub fn state_count(&self) -> u32 {
+        self.verdicts.len() as u32
+    }
+
+    /// Finishes the DFA with `initial` as start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range or no state was added.
+    #[must_use]
+    pub fn finish(self, initial: u32) -> Dfa {
+        Dfa::new(self.alphabet, initial, self.trans, self.verdicts, self.state_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamId;
+
+    /// The UNSAFEITER pattern `update* create next* update+ next` as a DFA,
+    /// hand-built (the ERE module derives the same machine automatically).
+    ///
+    /// States: 0 = before create, 1 = created (iterating), 2 = updated
+    /// after create, 3 = match.
+    pub(crate) fn unsafe_iter_dfa() -> Dfa {
+        let a = Alphabet::from_names(&["create", "update", "next"]);
+        let create = a.lookup("create").unwrap();
+        let update = a.lookup("update").unwrap();
+        let next = a.lookup("next").unwrap();
+        let mut b = DfaBuilder::new(a);
+        let s0 = b.add_state(Verdict::Unknown);
+        let s1 = b.add_state(Verdict::Unknown);
+        let s2 = b.add_state(Verdict::Unknown);
+        let s3 = b.add_state(Verdict::Match);
+        b.set_transition(s0, update, s0);
+        b.set_transition(s0, create, s1);
+        b.set_transition(s1, next, s1);
+        b.set_transition(s1, update, s2);
+        b.set_transition(s2, update, s2);
+        b.set_transition(s2, next, s3);
+        b.finish(s0)
+    }
+
+    fn ids(a: &Alphabet, names: &[&str]) -> EventSet {
+        names.iter().map(|n| a.lookup(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn classify_runs_the_machine() {
+        let d = unsafe_iter_dfa();
+        let a = d.alphabet().clone();
+        let ev = |n: &str| a.lookup(n).unwrap();
+        assert_eq!(d.classify(&[]), Verdict::Unknown);
+        assert_eq!(d.classify(&[ev("update"), ev("create")]), Verdict::Unknown);
+        assert_eq!(
+            d.classify(&[ev("create"), ev("next"), ev("update"), ev("next")]),
+            Verdict::Match
+        );
+        // next before create falls off the machine: permanent fail.
+        assert_eq!(d.classify(&[ev("next")]), Verdict::Fail);
+        assert_eq!(d.classify(&[ev("next"), ev("create")]), Verdict::Fail);
+    }
+
+    #[test]
+    fn coenable_matches_the_papers_unsafeiter_sets() {
+        let d = unsafe_iter_dfa();
+        let a = d.alphabet().clone();
+        let co = d.coenable(GoalSet::MATCH);
+        let create = a.lookup("create").unwrap();
+        let update = a.lookup("update").unwrap();
+        let next = a.lookup("next").unwrap();
+        // COENABLE(create) = {{next, update}}
+        assert_eq!(co.of(create).sets(), &[ids(&a, &["update", "next"])]);
+        // COENABLE(update) = {{next}, {next,update}, {next,create,update}} —
+        // except: via this DFA create never occurs after update on a goal
+        // path... it does: trace update create next* update+ next has
+        // create after the first update.
+        assert!(co.of(update).contains(ids(&a, &["next"])));
+        assert!(co.of(update).contains(ids(&a, &["update", "next"])));
+        assert!(co.of(update).contains(ids(&a, &["create", "update", "next"])));
+        assert_eq!(co.of(update).len(), 3);
+        // COENABLE(next) = {{next, update}} — and nothing else: after the
+        // final (matching) next the continuation is empty, which is dropped.
+        assert_eq!(co.of(next).sets(), &[ids(&a, &["update", "next"])]);
+    }
+
+    #[test]
+    fn enable_sets_for_unsafeiter() {
+        let d = unsafe_iter_dfa();
+        let a = d.alphabet().clone();
+        let en = d.enable(GoalSet::MATCH);
+        let e = |n: &str| a.lookup(n).unwrap();
+        // create can be first (∅) or preceded by updates only.
+        let (family, can_start) = &en[e("create").as_usize()];
+        assert!(*can_start);
+        assert_eq!(family.sets(), &[ids(&a, &["update"])]);
+        // next is never first and always preceded by a create.
+        let (family, can_start) = &en[e("next").as_usize()];
+        assert!(!*can_start);
+        for s in family.sets() {
+            assert!(s.contains(e("create")));
+        }
+        // update can be first.
+        assert!(en[e("update").as_usize()].1);
+        // Parameter-level: creating a monitor at `next` requires a {c,i}
+        // source — bare-iterator events never create monitors, which is
+        // what keeps Fig. 10's monitor counts below the event counts.
+        let c = ParamId(0);
+        let i = ParamId(1);
+        let def = EventDef::new(
+            &a,
+            &["c", "i"],
+            vec![ParamSet::singleton(c).with(i), ParamSet::singleton(c), ParamSet::singleton(i)],
+        );
+        let param_sets: Vec<ParamSet> = en[e("next").as_usize()]
+            .0
+            .sets()
+            .iter()
+            .map(|&s| def.params_of_set(s))
+            .collect();
+        assert!(param_sets.iter().all(|&p| p == ParamSet::singleton(c).with(i)));
+    }
+
+    #[test]
+    fn can_reach_goal_identifies_doomed_states() {
+        let d = unsafe_iter_dfa();
+        let reach = d.can_reach_goal(GoalSet::MATCH);
+        assert!(reach.iter().all(|&b| b), "all named states can still match");
+        // The machine is partial, and falling off it is the fail verdict:
+        // every state can reach fail (e.g. s3 has no transitions at all).
+        let fail_goal = d.can_reach_goal(GoalSet::FAIL);
+        assert!(fail_goal.iter().all(|&b| b), "partial σ makes fail reachable everywhere");
+    }
+
+    #[test]
+    fn unreachable_states_do_not_contribute_to_coenable() {
+        let a = Alphabet::from_names(&["x", "y"]);
+        let x = a.lookup("x").unwrap();
+        let y = a.lookup("y").unwrap();
+        let mut b = DfaBuilder::new(a.clone());
+        let s0 = b.add_state(Verdict::Unknown);
+        let s1 = b.add_state(Verdict::Match);
+        let orphan = b.add_state(Verdict::Unknown);
+        b.set_transition(s0, x, s1);
+        b.set_transition(orphan, y, s1);
+        let d = b.finish(s0);
+        let co = d.coenable(GoalSet::MATCH);
+        assert!(co.of(y).is_empty(), "y only fires from an unreachable state");
+        assert!(co.of(x).is_empty(), "x reaches the goal with empty continuation");
+    }
+
+    #[test]
+    fn state_aliveness_is_state_indexed() {
+        let d = unsafe_iter_dfa();
+        let a = d.alphabet().clone();
+        let c = ParamId(0);
+        let i = ParamId(1);
+        let def = EventDef::new(
+            &a,
+            &["c", "i"],
+            vec![ParamSet::singleton(c).with(i), ParamSet::singleton(c), ParamSet::singleton(i)],
+        );
+        let sa = d.state_aliveness(GoalSet::MATCH, &def);
+        // In state 1 (created), the future needs update (c) and next (i).
+        assert!(!sa.is_necessary(1, ParamSet::singleton(i)));
+        assert!(!sa.is_necessary(1, ParamSet::singleton(c)));
+        // In state 2 (updated), only next (i) is needed.
+        assert!(sa.is_necessary(2, ParamSet::singleton(c)));
+        assert!(!sa.is_necessary(2, ParamSet::singleton(i)));
+        // In state 0, create needs both alive... but c is needed for create
+        // itself; the minimized mask is {c, i}.
+        assert_eq!(sa.masks(0), &[ParamSet::singleton(c).with(i)]);
+        // The dead sink is never necessary.
+        assert!(!sa.is_necessary(DEAD, ParamSet::EMPTY));
+        // Match state 3: no further goal reachable, never necessary.
+        assert!(!sa.is_necessary(3, ParamSet::EMPTY));
+    }
+
+    #[test]
+    fn display_lists_states_and_transitions() {
+        let d = unsafe_iter_dfa();
+        let s = d.to_string();
+        assert!(s.contains("-> s0"), "{s}");
+        assert!(s.contains("create -> s1"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "transition table shape")]
+    fn new_validates_shape() {
+        let a = Alphabet::from_names(&["x"]);
+        let _ = Dfa::new(a, 0, vec![], vec![Verdict::Unknown], vec![String::new()]);
+    }
+}

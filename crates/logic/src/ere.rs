@@ -1,0 +1,456 @@
+//! The `ere` plugin: extended regular expressions (paper Figure 3), with
+//! union, intersection, complement, star and plus, compiled to the shared
+//! [`Dfa`] backbone via Brzozowski derivatives.
+//!
+//! Derivatives handle the *extended* operators (intersection, complement)
+//! directly, with no NFA detour; canonical smart constructors (flattening,
+//! sorting, idempotence — the ACI laws) keep the number of dissimilar
+//! derivatives finite, per Brzozowski's theorem.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::event::{Alphabet, EventId};
+use crate::verdict::Verdict;
+
+/// An extended regular expression over event ids.
+///
+/// Construct via the smart constructors ([`Ere::event`], [`Ere::concat`],
+/// [`Ere::union`], …) which maintain the canonical form that derivative
+/// construction relies on; the enum itself is not publicly matchable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Ere(Rc<Node>);
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Node {
+    /// The empty language `∅`.
+    Empty,
+    /// The language `{ε}`.
+    Epsilon,
+    /// A single event.
+    Event(EventId),
+    /// Concatenation, kept right-associated.
+    Concat(Ere, Ere),
+    /// Union, flattened / sorted / deduplicated, ≥ 2 members.
+    Union(Vec<Ere>),
+    /// Intersection, flattened / sorted / deduplicated, ≥ 2 members.
+    Inter(Vec<Ere>),
+    /// Kleene star.
+    Star(Ere),
+    /// Complement (with respect to `E*`).
+    Not(Ere),
+}
+
+impl Ere {
+    /// The empty language `∅`.
+    #[must_use]
+    pub fn empty() -> Ere {
+        Ere(Rc::new(Node::Empty))
+    }
+
+    /// The empty word `ε`.
+    #[must_use]
+    pub fn epsilon() -> Ere {
+        Ere(Rc::new(Node::Epsilon))
+    }
+
+    /// A single event.
+    #[must_use]
+    pub fn event(e: EventId) -> Ere {
+        Ere(Rc::new(Node::Event(e)))
+    }
+
+    /// Concatenation `self · rhs`.
+    #[must_use]
+    pub fn concat(self, rhs: Ere) -> Ere {
+        match (&*self.0, &*rhs.0) {
+            (Node::Empty, _) | (_, Node::Empty) => Ere::empty(),
+            (Node::Epsilon, _) => rhs,
+            (_, Node::Epsilon) => self,
+            // Right-associate: (a·b)·c → a·(b·c).
+            (Node::Concat(a, b), _) => a.clone().concat(b.clone().concat(rhs)),
+            _ => Ere(Rc::new(Node::Concat(self, rhs))),
+        }
+    }
+
+    /// Union of `parts`.
+    #[must_use]
+    pub fn union<I: IntoIterator<Item = Ere>>(parts: I) -> Ere {
+        let mut flat: Vec<Ere> = Vec::new();
+        for p in parts {
+            match &*p.0 {
+                Node::Empty => {}
+                Node::Union(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(p),
+            }
+        }
+        flat.sort();
+        flat.dedup();
+        match flat.len() {
+            0 => Ere::empty(),
+            1 => flat.pop().expect("len checked"),
+            _ => Ere(Rc::new(Node::Union(flat))),
+        }
+    }
+
+    /// Intersection of `parts`.
+    ///
+    /// The empty intersection is the universal language `¬∅`.
+    #[must_use]
+    pub fn inter<I: IntoIterator<Item = Ere>>(parts: I) -> Ere {
+        let mut flat: Vec<Ere> = Vec::new();
+        for p in parts {
+            match &*p.0 {
+                Node::Empty => return Ere::empty(),
+                Node::Inter(inner) => flat.extend(inner.iter().cloned()),
+                _ => flat.push(p),
+            }
+        }
+        flat.sort();
+        flat.dedup();
+        match flat.len() {
+            0 => Ere::universal(),
+            1 => flat.pop().expect("len checked"),
+            _ => Ere(Rc::new(Node::Inter(flat))),
+        }
+    }
+
+    /// Kleene star `self*`.
+    #[must_use]
+    pub fn star(self) -> Ere {
+        match &*self.0 {
+            Node::Empty | Node::Epsilon => Ere::epsilon(),
+            Node::Star(_) => self,
+            _ => Ere(Rc::new(Node::Star(self))),
+        }
+    }
+
+    /// One-or-more `self+ = self · self*`.
+    #[must_use]
+    pub fn plus(self) -> Ere {
+        self.clone().concat(self.star())
+    }
+
+    /// Complement `¬self` with respect to `E*`.
+    #[must_use]
+    pub fn not(self) -> Ere {
+        match &*self.0 {
+            Node::Not(inner) => inner.clone(),
+            _ => Ere(Rc::new(Node::Not(self))),
+        }
+    }
+
+    /// The universal language `E* = ¬∅`.
+    #[must_use]
+    pub fn universal() -> Ere {
+        Ere::empty().not()
+    }
+
+    /// Whether `ε` is in the language (the derivative "output" function).
+    #[must_use]
+    pub fn nullable(&self) -> bool {
+        match &*self.0 {
+            Node::Empty | Node::Event(_) => false,
+            Node::Epsilon | Node::Star(_) => true,
+            Node::Concat(a, b) => a.nullable() && b.nullable(),
+            Node::Union(parts) => parts.iter().any(Ere::nullable),
+            Node::Inter(parts) => parts.iter().all(Ere::nullable),
+            Node::Not(inner) => !inner.nullable(),
+        }
+    }
+
+    /// The Brzozowski derivative `∂ₐ self`.
+    #[must_use]
+    pub fn derivative(&self, a: EventId) -> Ere {
+        match &*self.0 {
+            Node::Empty | Node::Epsilon => Ere::empty(),
+            Node::Event(b) => {
+                if *b == a {
+                    Ere::epsilon()
+                } else {
+                    Ere::empty()
+                }
+            }
+            Node::Concat(r, s) => {
+                let left = r.derivative(a).concat(s.clone());
+                if r.nullable() {
+                    Ere::union([left, s.derivative(a)])
+                } else {
+                    left
+                }
+            }
+            Node::Union(parts) => Ere::union(parts.iter().map(|p| p.derivative(a))),
+            Node::Inter(parts) => Ere::inter(parts.iter().map(|p| p.derivative(a))),
+            Node::Star(r) => r.derivative(a).concat(self.clone()),
+            Node::Not(r) => r.derivative(a).not(),
+        }
+    }
+
+    /// Compiles the expression to a [`Dfa`] over `alphabet`. Accepting
+    /// (nullable) states report [`Verdict::Match`]; states from which no
+    /// match is reachable report [`Verdict::Fail`]; the rest are `?`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EreError::TooManyStates`] if determinization exceeds
+    /// `max_states` dissimilar derivatives (pathological complements).
+    pub fn compile(&self, alphabet: &Alphabet, max_states: usize) -> Result<Dfa, EreError> {
+        let mut index: BTreeMap<Ere, u32> = BTreeMap::new();
+        let mut order: Vec<Ere> = Vec::new();
+        let mut worklist: Vec<u32> = Vec::new();
+        let root = self.clone();
+        index.insert(root.clone(), 0);
+        order.push(root);
+        worklist.push(0);
+        let mut trans: Vec<(u32, EventId, u32)> = Vec::new();
+        while let Some(s) = worklist.pop() {
+            for e in alphabet.iter() {
+                let d = order[s as usize].derivative(e);
+                let t = match index.get(&d) {
+                    Some(&t) => t,
+                    None => {
+                        let t = order.len() as u32;
+                        if order.len() >= max_states {
+                            return Err(EreError::TooManyStates(max_states));
+                        }
+                        index.insert(d.clone(), t);
+                        order.push(d);
+                        worklist.push(t);
+                        t
+                    }
+                };
+                trans.push((s, e, t));
+            }
+        }
+        let mut b = DfaBuilder::new(alphabet.clone());
+        for ere in &order {
+            b.add_state(if ere.nullable() { Verdict::Match } else { Verdict::Unknown });
+        }
+        for (s, e, t) in trans {
+            b.set_transition(s, e, t);
+        }
+        let mut dfa = b.finish(0);
+        // Post-pass: states that can never reach a match are `fail`.
+        let can = dfa.can_reach_goal(crate::verdict::GoalSet::MATCH);
+        let mut b = DfaBuilder::new(alphabet.clone());
+        for (i, ere) in order.iter().enumerate() {
+            let v = if ere.nullable() {
+                Verdict::Match
+            } else if can[i] {
+                Verdict::Unknown
+            } else {
+                Verdict::Fail
+            };
+            b.add_state(v);
+        }
+        for s in 0..dfa.state_count() {
+            for e in alphabet.iter() {
+                let t = dfa.step(s, e);
+                if t != crate::dfa::DEAD {
+                    b.set_transition(s, e, t);
+                }
+            }
+        }
+        dfa = b.finish(0);
+        Ok(dfa)
+    }
+}
+
+/// Errors from ERE compilation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EreError {
+    /// Determinization exceeded the configured state budget.
+    TooManyStates(usize),
+}
+
+impl fmt::Display for EreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EreError::TooManyStates(n) => {
+                write!(f, "expression produced more than {n} dissimilar derivatives")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EreError {}
+
+impl fmt::Display for Ere {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.0 {
+            Node::Empty => write!(f, "∅"),
+            Node::Epsilon => write!(f, "ε"),
+            Node::Event(e) => write!(f, "{e}"),
+            Node::Concat(a, b) => write!(f, "({a} {b})"),
+            Node::Union(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Node::Inter(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Node::Star(r) => write!(f, "{r}*"),
+            Node::Not(r) => write!(f, "~{r}"),
+        }
+    }
+}
+
+/// Builds the paper's Figure 3 UNSAFEITER pattern
+/// `update* create next* update+ next` over the given alphabet.
+///
+/// # Panics
+///
+/// Panics if `alphabet` lacks the `create`/`update`/`next` events.
+#[must_use]
+pub fn unsafe_iter_ere(alphabet: &Alphabet) -> Ere {
+    let ev = |n: &str| {
+        Ere::event(alphabet.lookup(n).unwrap_or_else(|| panic!("alphabet lacks event `{n}`")))
+    };
+    ev("update")
+        .star()
+        .concat(ev("create"))
+        .concat(ev("next").star())
+        .concat(ev("update").plus())
+        .concat(ev("next"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::GoalSet;
+
+    fn abc() -> Alphabet {
+        Alphabet::from_names(&["a", "b", "c"])
+    }
+
+    fn ev(a: &Alphabet, n: &str) -> EventId {
+        a.lookup(n).unwrap()
+    }
+
+    #[test]
+    fn smart_constructors_normalize() {
+        let a = Ere::event(EventId(0));
+        let b = Ere::event(EventId(1));
+        assert_eq!(Ere::union([a.clone(), b.clone()]), Ere::union([b.clone(), a.clone()]));
+        assert_eq!(Ere::union([a.clone(), a.clone()]), a);
+        assert_eq!(Ere::empty().concat(a.clone()), Ere::empty());
+        assert_eq!(Ere::epsilon().concat(a.clone()), a);
+        assert_eq!(a.clone().star().star(), a.clone().star());
+        assert_eq!(Ere::empty().star(), Ere::epsilon());
+        assert_eq!(a.clone().not().not(), a);
+        assert_eq!(Ere::inter([a.clone(), Ere::empty()]), Ere::empty());
+    }
+
+    #[test]
+    fn nullability() {
+        let a = Ere::event(EventId(0));
+        assert!(!a.nullable());
+        assert!(a.clone().star().nullable());
+        assert!(Ere::epsilon().nullable());
+        assert!(!Ere::empty().nullable());
+        assert!(Ere::empty().not().nullable());
+        assert!(!a.clone().concat(a.clone().star()).nullable());
+    }
+
+    #[test]
+    fn simple_language_membership() {
+        let al = abc();
+        // (a b)* — even-length alternation.
+        let r = Ere::event(ev(&al, "a")).concat(Ere::event(ev(&al, "b"))).star();
+        let d = r.compile(&al, 1000).unwrap();
+        assert_eq!(d.classify(&[]), Verdict::Match);
+        assert_eq!(d.classify(&[ev(&al, "a"), ev(&al, "b")]), Verdict::Match);
+        assert_eq!(d.classify(&[ev(&al, "a")]), Verdict::Unknown);
+        assert_eq!(d.classify(&[ev(&al, "b")]), Verdict::Fail);
+        assert_eq!(d.classify(&[ev(&al, "a"), ev(&al, "a")]), Verdict::Fail);
+    }
+
+    #[test]
+    fn intersection_and_complement() {
+        let al = abc();
+        let a = Ere::event(ev(&al, "a"));
+        let b = Ere::event(ev(&al, "b"));
+        // Words over {a,b} containing at least one a and at least one b:
+        // Σ* a Σ* ∩ Σ* b Σ*.
+        let sigma = Ere::universal();
+        let has_a = sigma.clone().concat(a.clone()).concat(sigma.clone());
+        let has_b = sigma.clone().concat(b.clone()).concat(sigma.clone());
+        let r = Ere::inter([has_a, has_b]);
+        let d = r.compile(&al, 1000).unwrap();
+        assert_eq!(d.classify(&[ev(&al, "a"), ev(&al, "b")]), Verdict::Match);
+        assert_eq!(d.classify(&[ev(&al, "b"), ev(&al, "c"), ev(&al, "a")]), Verdict::Match);
+        assert_eq!(d.classify(&[ev(&al, "a"), ev(&al, "a")]), Verdict::Unknown);
+        assert_eq!(d.classify(&[]), Verdict::Unknown);
+        // Complement of "contains a": match iff no a seen.
+        let no_a = Ere::universal().concat(a).concat(Ere::universal()).not();
+        let d = no_a.compile(&al, 1000).unwrap();
+        assert_eq!(d.classify(&[]), Verdict::Match);
+        assert_eq!(d.classify(&[ev(&al, "b")]), Verdict::Match);
+        assert_eq!(d.classify(&[ev(&al, "a")]), Verdict::Fail);
+    }
+
+    #[test]
+    fn unsafe_iter_pattern_matches_figure_3() {
+        let al = Alphabet::from_names(&["create", "update", "next"]);
+        let r = unsafe_iter_ere(&al);
+        let d = r.compile(&al, 1000).unwrap();
+        let e = |n: &str| al.lookup(n).unwrap();
+        // The paper's example match trace.
+        assert_eq!(d.classify(&[e("create"), e("next"), e("update"), e("next")]), Verdict::Match);
+        // "update create" is an unknown (?) trace.
+        assert_eq!(d.classify(&[e("update"), e("create")]), Verdict::Unknown);
+        // "create update next next" is a fail trace.
+        assert_eq!(
+            d.classify(&[e("create"), e("update"), e("next"), e("next")]),
+            Verdict::Fail
+        );
+    }
+
+    #[test]
+    fn derived_dfa_coenable_matches_hand_built_machine() {
+        // The automatically derived UNSAFEITER DFA must yield exactly the
+        // paper's §3 coenable sets, like the hand-built one in dfa.rs.
+        let al = Alphabet::from_names(&["create", "update", "next"]);
+        let d = unsafe_iter_ere(&al).compile(&al, 1000).unwrap();
+        let co = d.coenable(GoalSet::MATCH);
+        let e = |n: &str| al.lookup(n).unwrap();
+        let set = |ns: &[&str]| ns.iter().map(|n| e(n)).collect::<crate::event::EventSet>();
+        assert_eq!(co.of(e("create")).sets(), &[set(&["update", "next"])]);
+        assert_eq!(
+            co.of(e("update")).sets(),
+            &[set(&["next"]), set(&["update", "next"]), set(&["create", "update", "next"])]
+        );
+        assert_eq!(co.of(e("next")).sets(), &[set(&["update", "next"])]);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let al = abc();
+        let r = unsafe_iter_ere(&Alphabet::from_names(&["create", "update", "next"]));
+        let _ = r; // silence: use a small budget on a machine needing more states
+        let big = Ere::event(ev(&al, "a")).concat(Ere::event(ev(&al, "b"))).star();
+        assert_eq!(big.compile(&al, 1).unwrap_err(), EreError::TooManyStates(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let al = abc();
+        let r = Ere::event(ev(&al, "a")).concat(Ere::event(ev(&al, "b")).star());
+        assert_eq!(r.to_string(), "(e0 e1*)");
+    }
+}

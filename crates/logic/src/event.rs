@@ -1,0 +1,298 @@
+//! Base events, event sets, and alphabets.
+//!
+//! Following Definition 1 of the paper, a property is stated over a finite
+//! set of *base events* `E`. Events are interned into an [`Alphabet`] and
+//! referred to by dense [`EventId`]s; sets of events are `u64` bitsets
+//! ([`EventSet`]), which keeps the coenable fixpoints and the runtime
+//! ALIVENESS checks branch-free.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for a base event within an [`Alphabet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u16);
+
+impl EventId {
+    /// The raw index.
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A set of base events, represented as a 64-bit bitset.
+///
+/// Properties in practice have a handful of events (the paper's largest has
+/// five), so 64 is a generous cap, enforced by [`Alphabet::intern`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EventSet(pub u64);
+
+impl EventSet {
+    /// The empty event set.
+    pub const EMPTY: EventSet = EventSet(0);
+
+    /// The singleton set `{e}`.
+    #[must_use]
+    pub fn singleton(e: EventId) -> EventSet {
+        EventSet(1u64 << e.0)
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `e` is a member.
+    #[must_use]
+    pub fn contains(self, e: EventId) -> bool {
+        self.0 & (1u64 << e.0) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: EventSet) -> EventSet {
+        EventSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: EventSet) -> EventSet {
+        EventSet(self.0 & other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(self, other: EventSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Inserts `e`, returning the extended set.
+    #[must_use]
+    pub fn with(self, e: EventId) -> EventSet {
+        EventSet(self.0 | (1u64 << e.0))
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over the members in increasing id order.
+    pub fn iter(self) -> impl Iterator<Item = EventId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(EventId(i))
+            }
+        })
+    }
+
+    /// Renders the set with names from `alphabet`, e.g. `{next, update}`.
+    #[must_use]
+    pub fn display<'a>(self, alphabet: &'a Alphabet) -> DisplayEventSet<'a> {
+        DisplayEventSet { set: self, alphabet }
+    }
+}
+
+impl FromIterator<EventId> for EventSet {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        iter.into_iter().fold(EventSet::EMPTY, EventSet::with)
+    }
+}
+
+impl fmt::Debug for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Renders an [`EventSet`] with event names; created by [`EventSet::display`].
+#[derive(Debug)]
+pub struct DisplayEventSet<'a> {
+    set: EventSet,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for DisplayEventSet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.alphabet.name(e))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An interned, ordered set of event names — the `E` of Definition 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, EventId>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    #[must_use]
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Creates an alphabet from a list of distinct names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names repeat or more than 64 are given.
+    #[must_use]
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Self {
+        let mut a = Alphabet::new();
+        for n in names {
+            let before = a.len();
+            a.intern(n.as_ref());
+            assert_eq!(a.len(), before + 1, "duplicate event name {:?}", n.as_ref());
+        }
+        a
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would create a 65th event.
+    pub fn intern(&mut self, name: &str) -> EventId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        assert!(self.names.len() < 64, "alphabets are limited to 64 events");
+        let id = EventId(self.names.len() as u16);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing event by name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<EventId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not from this alphabet.
+    #[must_use]
+    pub fn name(&self, e: EventId) -> &str {
+        &self.names[e.as_usize()]
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The full event set `E`.
+    #[must_use]
+    pub fn universe(&self) -> EventSet {
+        if self.names.is_empty() {
+            EventSet::EMPTY
+        } else {
+            EventSet((u64::MAX) >> (64 - self.names.len()))
+        }
+    }
+
+    /// Iterates over all event ids.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.names.len()).map(|i| EventId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.intern("next");
+        let y = a.intern("next");
+        assert_eq!(x, y);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.name(x), "next");
+        assert_eq!(a.lookup("next"), Some(x));
+        assert_eq!(a.lookup("absent"), None);
+    }
+
+    #[test]
+    fn event_set_operations() {
+        let a = EventId(0);
+        let b = EventId(3);
+        let s = EventSet::singleton(a).with(b);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(a) && s.contains(b));
+        assert!(!s.contains(EventId(1)));
+        assert!(EventSet::singleton(a).is_subset(s));
+        assert!(!s.is_subset(EventSet::singleton(a)));
+        assert_eq!(s.intersection(EventSet::singleton(b)), EventSet::singleton(b));
+        let collected: Vec<EventId> = s.iter().collect();
+        assert_eq!(collected, vec![a, b]);
+    }
+
+    #[test]
+    fn universe_covers_all_events() {
+        let a = Alphabet::from_names(&["create", "update", "next"]);
+        let u = a.universe();
+        assert_eq!(u.len(), 3);
+        for e in a.iter() {
+            assert!(u.contains(e));
+        }
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let a = Alphabet::from_names(&["create", "update", "next"]);
+        let s: EventSet =
+            [a.lookup("next").unwrap(), a.lookup("update").unwrap()].into_iter().collect();
+        assert_eq!(s.display(&a).to_string(), "{update, next}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate event name")]
+    fn from_names_rejects_duplicates() {
+        let _ = Alphabet::from_names(&["a", "a"]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: EventSet = (0..4).map(EventId).collect();
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,280 @@
+//! The formalism-independent monitor interface (Definition 8) that the
+//! parametric engine builds on.
+//!
+//! The whole point of the paper's technique is being *formalism-generic*:
+//! the engine only needs (a) a way to create and step base monitors and
+//! (b) the coenable sets of the property. [`Formalism`] captures exactly
+//! that, and [`AnyFormalism`] packages the four concrete plugins so
+//! heterogeneous specs (the spec language, the "ALL" experiment) need no
+//! dynamic dispatch in the hot path.
+
+use std::fmt;
+
+use crate::cfg::{CfgMonitor, EarleyState};
+use crate::coenable::CoenableSets;
+use crate::dfa::Dfa;
+use crate::event::{Alphabet, EventId};
+use crate::verdict::{GoalSet, Verdict};
+
+/// A base-monitor factory: the `M = (S, E, C, ı, σ, γ)` of Definition 8,
+/// exposed as an immutable transition structure plus per-instance states.
+///
+/// Monitor *instances* are just values of [`Formalism::State`]; the engine
+/// keeps millions of them, so states should be as small as possible (a
+/// `u32` for the finite-state plugins).
+pub trait Formalism {
+    /// The per-instance monitor state.
+    type State: Clone + fmt::Debug;
+
+    /// The property alphabet `E`.
+    fn alphabet(&self) -> &Alphabet;
+
+    /// The initial state `ı`.
+    fn initial_state(&self) -> Self::State;
+
+    /// `σ`: consumes one event, returning the new verdict `γ(σ(s, e))`.
+    fn step(&self, state: &mut Self::State, event: EventId) -> Verdict;
+
+    /// `γ`: the verdict of a state without consuming an event.
+    fn verdict(&self, state: &Self::State) -> Verdict;
+
+    /// The property coenable sets for `goal` (§3). `None` if the formalism
+    /// cannot provide them (none of ours refuses, but the trait leaves the
+    /// door open for plugins with undecidable analyses).
+    fn coenable(&self, goal: GoalSet) -> Option<CoenableSets>;
+
+    /// The ENABLE sets of Chen et al. \[19\]: per event, the family of event
+    /// sets that can precede it on a goal trace, plus whether the event can
+    /// be a goal trace's first event. `None` when the formalism cannot
+    /// compute them; the engine then creates monitors permissively.
+    fn enable(&self, goal: GoalSet) -> Option<Vec<(crate::coenable::SetFamily, bool)>> {
+        let _ = goal;
+        None
+    }
+
+    /// Whether a monitor in `state` can be *terminated* for `goal`: no
+    /// future event can produce a goal verdict (or the verdict can never
+    /// change again). "There is no reason to maintain the monitor instance
+    /// after it has executed the proper handler" (§3). The default is
+    /// conservative.
+    fn is_terminal(&self, state: &Self::State, goal: GoalSet) -> bool {
+        let _ = (state, goal);
+        false
+    }
+
+    /// An estimate of the heap bytes held by one monitor state, for the
+    /// peak-memory accounting of Fig. 9(B).
+    fn state_bytes(&self, state: &Self::State) -> usize {
+        let _ = state;
+        std::mem::size_of::<Self::State>()
+    }
+}
+
+/// [`Dfa`] monitors: the state is the current DFA state (`DEAD` = fell off
+/// the machine).
+impl Formalism for Dfa {
+    type State = u32;
+
+    fn alphabet(&self) -> &Alphabet {
+        Dfa::alphabet(self)
+    }
+
+    fn initial_state(&self) -> u32 {
+        self.initial()
+    }
+
+    fn step(&self, state: &mut u32, event: EventId) -> Verdict {
+        *state = Dfa::step(self, *state, event);
+        self.verdict(*state)
+    }
+
+    fn verdict(&self, state: &u32) -> Verdict {
+        Dfa::verdict(self, *state)
+    }
+
+    fn coenable(&self, goal: GoalSet) -> Option<CoenableSets> {
+        Some(Dfa::coenable(self, goal))
+    }
+
+    fn is_terminal(&self, state: &u32, goal: GoalSet) -> bool {
+        self.is_terminal_state(*state, goal)
+    }
+
+    fn enable(&self, goal: GoalSet) -> Option<Vec<(crate::coenable::SetFamily, bool)>> {
+        Some(Dfa::enable(self, goal))
+    }
+}
+
+impl Formalism for CfgMonitor {
+    type State = EarleyState;
+
+    fn alphabet(&self) -> &Alphabet {
+        CfgMonitor::alphabet(self)
+    }
+
+    fn initial_state(&self) -> EarleyState {
+        CfgMonitor::initial_state(self)
+    }
+
+    fn step(&self, state: &mut EarleyState, event: EventId) -> Verdict {
+        CfgMonitor::step(self, state, event)
+    }
+
+    fn verdict(&self, state: &EarleyState) -> Verdict {
+        CfgMonitor::verdict(self, state)
+    }
+
+    fn coenable(&self, goal: GoalSet) -> Option<CoenableSets> {
+        // The paper's CFG coenable equations are defined for goal {match}.
+        if goal == GoalSet::MATCH {
+            Some(self.grammar().coenable(CfgMonitor::alphabet(self)))
+        } else {
+            None
+        }
+    }
+
+    fn is_terminal(&self, state: &EarleyState, _goal: GoalSet) -> bool {
+        // The CFG goal is {match}; a dead chart can never match again.
+        CfgMonitor::verdict(self, state) == Verdict::Fail
+    }
+
+    fn state_bytes(&self, state: &EarleyState) -> usize {
+        std::mem::size_of::<EarleyState>() + state.chart_bytes()
+    }
+}
+
+/// Any of the four built-in plugins, as one concrete [`Formalism`].
+///
+/// FSM, ERE and LTL all compile to [`Dfa`], so their states are `u32`; CFG
+/// carries an Earley chart.
+#[derive(Clone, Debug)]
+pub enum AnyFormalism {
+    /// A finite-state property (from `fsm:`, `ere:` or `ltl:` blocks).
+    Dfa(Dfa),
+    /// A context-free property (from `cfg:` blocks).
+    Cfg(CfgMonitor),
+}
+
+/// The state of an [`AnyFormalism`] monitor instance.
+#[derive(Clone, Debug)]
+pub enum AnyState {
+    /// Finite-state monitor state.
+    Dfa(u32),
+    /// Earley chart state.
+    Cfg(EarleyState),
+}
+
+impl Formalism for AnyFormalism {
+    type State = AnyState;
+
+    fn alphabet(&self) -> &Alphabet {
+        match self {
+            AnyFormalism::Dfa(d) => Formalism::alphabet(d),
+            AnyFormalism::Cfg(c) => Formalism::alphabet(c),
+        }
+    }
+
+    fn initial_state(&self) -> AnyState {
+        match self {
+            AnyFormalism::Dfa(d) => AnyState::Dfa(Formalism::initial_state(d)),
+            AnyFormalism::Cfg(c) => AnyState::Cfg(Formalism::initial_state(c)),
+        }
+    }
+
+    fn step(&self, state: &mut AnyState, event: EventId) -> Verdict {
+        match (self, state) {
+            (AnyFormalism::Dfa(d), AnyState::Dfa(s)) => Formalism::step(d, s, event),
+            (AnyFormalism::Cfg(c), AnyState::Cfg(s)) => Formalism::step(c, s, event),
+            _ => panic!("mismatched formalism/state pairing"),
+        }
+    }
+
+    fn verdict(&self, state: &AnyState) -> Verdict {
+        match (self, state) {
+            (AnyFormalism::Dfa(d), AnyState::Dfa(s)) => Formalism::verdict(d, s),
+            (AnyFormalism::Cfg(c), AnyState::Cfg(s)) => Formalism::verdict(c, s),
+            _ => panic!("mismatched formalism/state pairing"),
+        }
+    }
+
+    fn coenable(&self, goal: GoalSet) -> Option<CoenableSets> {
+        match self {
+            AnyFormalism::Dfa(d) => Formalism::coenable(d, goal),
+            AnyFormalism::Cfg(c) => Formalism::coenable(c, goal),
+        }
+    }
+
+    fn enable(&self, goal: GoalSet) -> Option<Vec<(crate::coenable::SetFamily, bool)>> {
+        match self {
+            AnyFormalism::Dfa(d) => Formalism::enable(d, goal),
+            AnyFormalism::Cfg(c) => Formalism::enable(c, goal),
+        }
+    }
+
+    fn is_terminal(&self, state: &AnyState, goal: GoalSet) -> bool {
+        match (self, state) {
+            (AnyFormalism::Dfa(d), AnyState::Dfa(s)) => Formalism::is_terminal(d, s, goal),
+            (AnyFormalism::Cfg(c), AnyState::Cfg(s)) => Formalism::is_terminal(c, s, goal),
+            _ => panic!("mismatched formalism/state pairing"),
+        }
+    }
+
+    fn state_bytes(&self, state: &AnyState) -> usize {
+        match (self, state) {
+            (AnyFormalism::Dfa(d), AnyState::Dfa(s)) => Formalism::state_bytes(d, s),
+            (AnyFormalism::Cfg(c), AnyState::Cfg(s)) => Formalism::state_bytes(c, s),
+            _ => panic!("mismatched formalism/state pairing"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::safe_lock_grammar;
+    use crate::fsm::has_next_fsm;
+
+    #[test]
+    fn dfa_formalism_round_trip() {
+        let (a, spec) = has_next_fsm();
+        let d = spec.compile(&a).unwrap();
+        let mut s = Formalism::initial_state(&d);
+        let next = a.lookup("next").unwrap();
+        let v = Formalism::step(&d, &mut s, next);
+        assert_eq!(v, Verdict::Match);
+        assert!(
+            Formalism::is_terminal(&d, &s, GoalSet::MATCH),
+            "the error state can never match again"
+        );
+        assert!(Formalism::coenable(&d, GoalSet::MATCH).is_some());
+    }
+
+    #[test]
+    fn any_formalism_dispatches() {
+        let a = Alphabet::from_names(&["acquire", "release", "begin", "end"]);
+        let cfg = CfgMonitor::compile(&safe_lock_grammar(&a), &a).unwrap();
+        let f = AnyFormalism::Cfg(cfg);
+        let mut s = f.initial_state();
+        assert_eq!(f.verdict(&s), Verdict::Match);
+        let acq = a.lookup("acquire").unwrap();
+        let rel = a.lookup("release").unwrap();
+        assert_eq!(f.step(&mut s, acq), Verdict::Unknown);
+        assert_eq!(f.step(&mut s, rel), Verdict::Match);
+        assert!(!f.is_terminal(&s, GoalSet::MATCH));
+        assert!(f.coenable(GoalSet::MATCH).is_some());
+        assert!(f.coenable(GoalSet::FAIL).is_none(), "CFG coenable is match-only");
+        assert!(f.state_bytes(&s) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched formalism/state")]
+    fn any_formalism_rejects_mismatched_state() {
+        let (a, spec) = has_next_fsm();
+        let d = spec.compile(&a).unwrap();
+        let f = AnyFormalism::Dfa(d);
+        let al = Alphabet::from_names(&["acquire", "release", "begin", "end"]);
+        let cfg = CfgMonitor::compile(&safe_lock_grammar(&al), &al).unwrap();
+        let mut wrong = AnyState::Cfg(CfgMonitor::initial_state(&cfg));
+        let _ = f.step(&mut wrong, EventId(0));
+    }
+}

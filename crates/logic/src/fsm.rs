@@ -1,0 +1,289 @@
+//! The `fsm` plugin: named finite state machines as written in RV specs
+//! (paper Figure 2).
+//!
+//! An [`FsmSpec`] lists states in declaration order — the first is the
+//! initial state, as in the paper — each with its outgoing transitions and
+//! a verdict category. Compilation validates the machine and produces the
+//! shared [`Dfa`] backbone.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::event::Alphabet;
+use crate::verdict::Verdict;
+
+/// One state of an [`FsmSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FsmState {
+    /// State name, unique within the machine.
+    pub name: String,
+    /// The verdict category reported in this state. States that fire a
+    /// handler (e.g. the paper's `error` state with an `@error` handler)
+    /// carry the goal verdict.
+    pub verdict: Verdict,
+    /// `(event name, target state name)` pairs; at most one per event.
+    pub transitions: Vec<(String, String)>,
+}
+
+/// A named finite state machine specification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsmSpec {
+    states: Vec<FsmState>,
+}
+
+/// Errors detected while validating an [`FsmSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsmError {
+    /// The machine has no states.
+    Empty,
+    /// Two states share a name.
+    DuplicateState(String),
+    /// A transition targets a state that does not exist.
+    UnknownTarget {
+        /// The state declaring the transition.
+        state: String,
+        /// The event label of the transition.
+        event: String,
+        /// The missing target state.
+        target: String,
+    },
+    /// A transition uses an event not in the property alphabet.
+    UnknownEvent {
+        /// The state declaring the transition.
+        state: String,
+        /// The undeclared event.
+        event: String,
+    },
+    /// A state has two transitions on the same event (the machine must be
+    /// deterministic).
+    NondeterministicEvent {
+        /// The offending state.
+        state: String,
+        /// The duplicated event.
+        event: String,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::Empty => write!(f, "finite state machine has no states"),
+            FsmError::DuplicateState(s) => write!(f, "duplicate state `{s}`"),
+            FsmError::UnknownTarget { state, event, target } => {
+                write!(f, "state `{state}`: transition on `{event}` targets unknown state `{target}`")
+            }
+            FsmError::UnknownEvent { state, event } => {
+                write!(f, "state `{state}`: transition on undeclared event `{event}`")
+            }
+            FsmError::NondeterministicEvent { state, event } => {
+                write!(f, "state `{state}`: multiple transitions on event `{event}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+impl FsmSpec {
+    /// Starts an empty machine.
+    #[must_use]
+    pub fn new() -> Self {
+        FsmSpec::default()
+    }
+
+    /// Appends a state. The first state added is the initial state.
+    pub fn add_state(&mut self, state: FsmState) -> &mut Self {
+        self.states.push(state);
+        self
+    }
+
+    /// Convenience: appends a state from parts.
+    pub fn state(&mut self, name: &str, verdict: Verdict, transitions: &[(&str, &str)]) -> &mut Self {
+        self.add_state(FsmState {
+            name: name.to_owned(),
+            verdict,
+            transitions: transitions.iter().map(|&(e, t)| (e.to_owned(), t.to_owned())).collect(),
+        })
+    }
+
+    /// The states in declaration order.
+    #[must_use]
+    pub fn states(&self) -> &[FsmState] {
+        &self.states
+    }
+
+    /// Validates the machine against `alphabet` and compiles it to a
+    /// [`Dfa`]. State ids follow declaration order; the initial state is 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FsmError`] found, in declaration order.
+    pub fn compile(&self, alphabet: &Alphabet) -> Result<Dfa, FsmError> {
+        if self.states.is_empty() {
+            return Err(FsmError::Empty);
+        }
+        let mut index: HashMap<&str, u32> = HashMap::new();
+        for (i, st) in self.states.iter().enumerate() {
+            if index.insert(st.name.as_str(), i as u32).is_some() {
+                return Err(FsmError::DuplicateState(st.name.clone()));
+            }
+        }
+        let mut b = DfaBuilder::new(alphabet.clone());
+        for st in &self.states {
+            b.add_named_state(st.verdict, &st.name);
+        }
+        for (i, st) in self.states.iter().enumerate() {
+            let mut seen = vec![false; alphabet.len()];
+            for (event, target) in &st.transitions {
+                let e = alphabet.lookup(event).ok_or_else(|| FsmError::UnknownEvent {
+                    state: st.name.clone(),
+                    event: event.clone(),
+                })?;
+                if seen[e.as_usize()] {
+                    return Err(FsmError::NondeterministicEvent {
+                        state: st.name.clone(),
+                        event: event.clone(),
+                    });
+                }
+                seen[e.as_usize()] = true;
+                let t = *index.get(target.as_str()).ok_or_else(|| FsmError::UnknownTarget {
+                    state: st.name.clone(),
+                    event: event.clone(),
+                    target: target.clone(),
+                })?;
+                b.set_transition(i as u32, e, t);
+            }
+        }
+        Ok(b.finish(0))
+    }
+}
+
+/// Builds the paper's Figure 1/2 HASNEXT machine (useful in tests, examples
+/// and benchmarks). The `error` state carries [`Verdict::Match`] so the
+/// `@error` handler corresponds to goal `{match}`.
+///
+/// Events: `hasnexttrue`, `hasnextfalse`, `next`.
+#[must_use]
+pub fn has_next_fsm() -> (Alphabet, FsmSpec) {
+    let alphabet = Alphabet::from_names(&["hasnexttrue", "hasnextfalse", "next"]);
+    let mut spec = FsmSpec::new();
+    spec.state(
+        "unknown",
+        Verdict::Unknown,
+        &[("hasnexttrue", "more"), ("hasnextfalse", "none"), ("next", "error")],
+    )
+    .state("more", Verdict::Unknown, &[("hasnexttrue", "more"), ("next", "unknown")])
+    .state("none", Verdict::Unknown, &[("hasnextfalse", "none"), ("next", "error")])
+    .state("error", Verdict::Match, &[]);
+    (alphabet, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::param::{EventDef, ParamId, ParamSet};
+    use crate::verdict::GoalSet;
+
+    #[test]
+    fn has_next_machine_follows_figure_1() {
+        let (a, spec) = has_next_fsm();
+        let d = spec.compile(&a).unwrap();
+        let ev = |n: &str| a.lookup(n).unwrap();
+        // hasnexttrue next: safe.
+        assert_eq!(d.classify(&[ev("hasnexttrue"), ev("next")]), Verdict::Unknown);
+        // next with no check: error (match the goal).
+        assert_eq!(d.classify(&[ev("next")]), Verdict::Match);
+        // hasnextfalse next: error.
+        assert_eq!(d.classify(&[ev("hasnextfalse"), ev("next")]), Verdict::Match);
+        // more → next → unknown → next → error.
+        assert_eq!(
+            d.classify(&[ev("hasnexttrue"), ev("next"), ev("next")]),
+            Verdict::Match
+        );
+        assert_eq!(d.state_name(0), "unknown");
+        assert_eq!(d.state_name(3), "error");
+    }
+
+    #[test]
+    fn has_next_coenable_needs_the_iterator_alive() {
+        let (a, spec) = has_next_fsm();
+        let d = spec.compile(&a).unwrap();
+        let def = EventDef::new(
+            &a,
+            &["i"],
+            vec![
+                ParamSet::singleton(ParamId(0)),
+                ParamSet::singleton(ParamId(0)),
+                ParamSet::singleton(ParamId(0)),
+            ],
+        );
+        let aliveness = d.coenable(GoalSet::MATCH).lift(&def).aliveness();
+        let dead_i = ParamSet::singleton(ParamId(0));
+        for e in a.iter() {
+            // Every future needs the iterator: once it dies, no monitor for
+            // HASNEXT is necessary — this is why Fig. 10 shows nearly all
+            // HASNEXT monitors flagged.
+            assert!(!aliveness.is_necessary(e, dead_i));
+        }
+        // After the error state is reached via `next`, continuations that
+        // re-reach error exist only from unknown/none... from error itself
+        // there are none, but next also fires from unknown/none/more.
+        assert!(aliveness.is_necessary(a.lookup("next").unwrap(), ParamSet::EMPTY));
+    }
+
+    #[test]
+    fn compile_rejects_duplicate_states() {
+        let a = Alphabet::from_names(&["e"]);
+        let mut s = FsmSpec::new();
+        s.state("x", Verdict::Unknown, &[]).state("x", Verdict::Unknown, &[]);
+        assert_eq!(s.compile(&a).unwrap_err(), FsmError::DuplicateState("x".into()));
+    }
+
+    #[test]
+    fn compile_rejects_unknown_target() {
+        let a = Alphabet::from_names(&["e"]);
+        let mut s = FsmSpec::new();
+        s.state("x", Verdict::Unknown, &[("e", "nope")]);
+        assert!(matches!(s.compile(&a).unwrap_err(), FsmError::UnknownTarget { .. }));
+    }
+
+    #[test]
+    fn compile_rejects_unknown_event() {
+        let a = Alphabet::from_names(&["e"]);
+        let mut s = FsmSpec::new();
+        s.state("x", Verdict::Unknown, &[("zap", "x")]);
+        assert!(matches!(s.compile(&a).unwrap_err(), FsmError::UnknownEvent { .. }));
+    }
+
+    #[test]
+    fn compile_rejects_nondeterminism() {
+        let a = Alphabet::from_names(&["e"]);
+        let mut s = FsmSpec::new();
+        s.state("x", Verdict::Unknown, &[("e", "x"), ("e", "y")]).state("y", Verdict::Unknown, &[]);
+        assert!(matches!(s.compile(&a).unwrap_err(), FsmError::NondeterministicEvent { .. }));
+    }
+
+    #[test]
+    fn compile_rejects_empty_machine() {
+        let a = Alphabet::from_names(&["e"]);
+        assert_eq!(FsmSpec::new().compile(&a).unwrap_err(), FsmError::Empty);
+    }
+
+    #[test]
+    fn first_state_is_initial() {
+        let a = Alphabet::from_names(&["e"]);
+        let mut s = FsmSpec::new();
+        s.state("start", Verdict::Unknown, &[("e", "done")]).state("done", Verdict::Match, &[]);
+        let d = s.compile(&a).unwrap();
+        assert_eq!(d.initial(), 0);
+        assert_eq!(d.classify(&[EventId(0)]), Verdict::Match);
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = FsmError::UnknownTarget { state: "s".into(), event: "e".into(), target: "t".into() };
+        assert!(e.to_string().contains("unknown state `t`"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Instrumentation pruning — the §6 outlook ("static analyses of the
+//! program to monitor … can be used to remove unnecessary instrumentation
+//! and thus not even generate many of the monitors"), in the
+//! Clara-flavoured form that needs only one fact about the program: the
+//! set of event kinds it can emit at all.
+//!
+//! Given a property automaton, a goal, and the emittable event set, the
+//! analysis answers: *which events need instrumentation?* An event can be
+//! skipped when removing it cannot change any goal report — either the
+//! goal is unreachable altogether using emittable events, or the event
+//! never occurs on any emittable goal path and never diverts one (it has
+//! no effect the monitor could observe on the way to a goal).
+
+use crate::dfa::{Dfa, DEAD};
+use crate::event::EventSet;
+use crate::verdict::GoalSet;
+
+/// The result of the pruning analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstrumentationPlan {
+    /// Events that must stay instrumented.
+    pub required: EventSet,
+    /// Whether the property can trigger *at all* given the emittable
+    /// events. When `false`, no instrumentation is needed and no monitor
+    /// will ever be created.
+    pub can_trigger: bool,
+}
+
+/// Computes the instrumentation plan for `dfa` with `goal`, assuming the
+/// program can emit exactly the events in `emitted`.
+///
+/// Soundness criterion: running the monitor on any emittable trace
+/// restricted to `required` produces a goal report iff running it on the
+/// full trace does. This holds because an event is only dropped when, in
+/// the sub-automaton reachable via emittable events, every transition on
+/// it is a self-loop on states from which the event cannot influence goal
+/// reachability — conservatively approximated here as: the event appears
+/// on **no** reachable transition that changes state or leads toward (or
+/// away from) the goal.
+#[must_use]
+pub fn plan(dfa: &Dfa, goal: GoalSet, emitted: EventSet) -> InstrumentationPlan {
+    // Reachability using emittable events only.
+    let n = dfa.state_count() as usize;
+    let mut reach = vec![false; n];
+    reach[dfa.initial() as usize] = true;
+    let mut stack = vec![dfa.initial()];
+    while let Some(s) = stack.pop() {
+        for e in dfa.alphabet().iter() {
+            if !emitted.contains(e) {
+                continue;
+            }
+            let t = dfa.step(s, e);
+            if t != DEAD && !reach[t as usize] {
+                reach[t as usize] = true;
+                stack.push(t);
+            }
+        }
+    }
+    // Goal reachability within the emittable sub-automaton, including the
+    // dead sink when fail ∈ goal (falling off the machine is observable —
+    // but only via an instrumented event, which is the point).
+    let fail_goal = goal.contains(crate::verdict::Verdict::Fail);
+    let mut can_goal = vec![false; n];
+    for s in 0..n {
+        can_goal[s] = goal.contains(dfa.verdict(s as u32));
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s in 0..n {
+            if can_goal[s] {
+                continue;
+            }
+            for e in dfa.alphabet().iter() {
+                if !emitted.contains(e) {
+                    continue;
+                }
+                let t = dfa.step(s as u32, e);
+                let hit = if t == DEAD { fail_goal } else { can_goal[t as usize] };
+                if hit {
+                    can_goal[s] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    let can_trigger = reach
+        .iter()
+        .enumerate()
+        .any(|(s, &r)| r && can_goal[s] && !goal.contains(dfa.verdict(s as u32)))
+        || (reach[dfa.initial() as usize] && can_goal[dfa.initial() as usize]);
+    if !can_trigger {
+        return InstrumentationPlan { required: EventSet::EMPTY, can_trigger: false };
+    }
+    // An emittable event is required unless every reachable occurrence is
+    // a pure self-loop (state unchanged ⇒ verdict unchanged ⇒ dropping it
+    // is invisible).
+    let mut required = EventSet::EMPTY;
+    for e in dfa.alphabet().iter() {
+        if !emitted.contains(e) {
+            continue;
+        }
+        let mut observable = false;
+        for s in 0..n {
+            if !reach[s] {
+                continue;
+            }
+            let t = dfa.step(s as u32, e);
+            if t == DEAD {
+                // Falling off the machine flips the verdict to fail:
+                // observable whenever the state was not already failed.
+                if dfa.verdict(s as u32) != crate::verdict::Verdict::Fail {
+                    observable = true;
+                    break;
+                }
+            } else if t != s as u32 {
+                observable = true;
+                break;
+            }
+        }
+        if observable {
+            required = required.with(e);
+        }
+    }
+    InstrumentationPlan { required, can_trigger: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ere::unsafe_iter_ere;
+    use crate::event::Alphabet;
+
+    fn unsafe_iter() -> (Alphabet, Dfa) {
+        let a = Alphabet::from_names(&["create", "update", "next"]);
+        let d = unsafe_iter_ere(&a).compile(&a, 1_000).unwrap();
+        (a, d)
+    }
+
+    #[test]
+    fn full_alphabet_requires_everything_for_unsafe_iter() {
+        let (a, d) = unsafe_iter();
+        let p = plan(&d, GoalSet::MATCH, a.universe());
+        assert!(p.can_trigger);
+        assert_eq!(p.required, a.universe(), "all three events shape the verdict");
+    }
+
+    #[test]
+    fn no_create_means_no_instrumentation_at_all() {
+        // A program that never creates iterators can never match
+        // UNSAFEITER: drop every probe.
+        let (a, d) = unsafe_iter();
+        let emitted: EventSet =
+            [a.lookup("update").unwrap(), a.lookup("next").unwrap()].into_iter().collect();
+        let p = plan(&d, GoalSet::MATCH, emitted);
+        assert!(!p.can_trigger);
+        assert!(p.required.is_empty());
+    }
+
+    #[test]
+    fn no_update_means_no_instrumentation_at_all() {
+        let (a, d) = unsafe_iter();
+        let emitted: EventSet =
+            [a.lookup("create").unwrap(), a.lookup("next").unwrap()].into_iter().collect();
+        let p = plan(&d, GoalSet::MATCH, emitted);
+        assert!(!p.can_trigger, "create next* can never complete the pattern");
+    }
+
+    #[test]
+    fn self_loop_only_events_are_dropped() {
+        // Machine: s0 --a--> s1(match); b loops on s0 and s1. A program
+        // emitting {a, b} only needs `a` instrumented.
+        use crate::dfa::DfaBuilder;
+        use crate::verdict::Verdict;
+        let al = Alphabet::from_names(&["a", "b"]);
+        let ea = al.lookup("a").unwrap();
+        let eb = al.lookup("b").unwrap();
+        let mut b = DfaBuilder::new(al.clone());
+        let s0 = b.add_state(Verdict::Unknown);
+        let s1 = b.add_state(Verdict::Match);
+        b.set_transition(s0, ea, s1);
+        b.set_transition(s0, eb, s0);
+        b.set_transition(s1, eb, s1);
+        b.set_transition(s1, ea, s1);
+        let d = b.finish(s0);
+        let p = plan(&d, GoalSet::MATCH, al.universe());
+        assert!(p.can_trigger);
+        assert_eq!(p.required, EventSet::singleton(ea), "b never changes any state");
+    }
+
+    #[test]
+    fn fail_goal_counts_the_dead_sink() {
+        // HASNEXT-style partial machine with goal fail: falling off is the
+        // report, so the event that falls off is required.
+        use crate::dfa::DfaBuilder;
+        use crate::verdict::Verdict;
+        let al = Alphabet::from_names(&["ok", "boom"]);
+        let ok = al.lookup("ok").unwrap();
+        let mut b = DfaBuilder::new(al.clone());
+        let s0 = b.add_state(Verdict::Unknown);
+        b.set_transition(s0, ok, s0);
+        // `boom` has no transition: it falls to the dead sink (fail).
+        let d = b.finish(s0);
+        let p = plan(&d, GoalSet::FAIL, al.universe());
+        assert!(p.can_trigger);
+        assert!(p.required.contains(al.lookup("boom").unwrap()));
+        assert!(!p.required.contains(ok), "ok only self-loops");
+    }
+
+    #[test]
+    fn unreachable_goals_disable_the_property() {
+        use crate::dfa::DfaBuilder;
+        use crate::verdict::Verdict;
+        let al = Alphabet::from_names(&["a"]);
+        let mut b = DfaBuilder::new(al.clone());
+        let s0 = b.add_state(Verdict::Unknown);
+        b.set_transition(s0, al.lookup("a").unwrap(), s0);
+        let d = b.finish(s0);
+        // Goal match is unreachable: nothing to instrument.
+        let p = plan(&d, GoalSet::MATCH, al.universe());
+        assert!(!p.can_trigger);
+        assert!(p.required.is_empty());
+    }
+}

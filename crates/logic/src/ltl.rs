@@ -1,0 +1,797 @@
+//! The `ltl` plugin: linear temporal logic over finite (growing) traces,
+//! with both future operators and the past operators used in the paper
+//! (Figure 2's `[](next => (*)hasnexttrue)`).
+//!
+//! # Semantics and monitor construction
+//!
+//! Events are atomic propositions, true exactly at the step where the event
+//! occurs. *Past* subformulas are evaluated eagerly with the classic
+//! recursive-register scheme (one boolean per past subformula, updated each
+//! step), so by the time the future part is considered, every past
+//! subformula is a known boolean — a "past atom". The *future* part is
+//! monitored by **formula progression**: consuming one event rewrites the
+//! formula into the obligation that the rest of the trace must satisfy.
+//! Residual obligations are positive boolean combinations of the finitely
+//! many future subformulas, canonicalized as absorption-minimized DNF over
+//! subformula indices — so the reachable state space is finite and the
+//! whole monitor determinizes into the shared [`Dfa`] backbone.
+//!
+//! Verdicts: an empty DNF means no extension can satisfy the formula
+//! ([`Verdict::Fail`] — the `@violation` handler's goal); a DNF containing
+//! the empty clause means every extension satisfies it
+//! ([`Verdict::Match`]); anything else is `?`. Both extremes are absorbing.
+//!
+//! # Restrictions
+//!
+//! Future operators may not appear *under* past operators (checked by
+//! [`Ltl::compile`]); this is the usual monitorable fragment and covers
+//! every specification in the paper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::event::{Alphabet, EventId};
+use crate::verdict::Verdict;
+
+/// An LTL formula over event atoms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Ltl {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Atomic proposition: "the current event is `e`".
+    Event(EventId),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Implication (sugar for `¬a ∨ b`).
+    Implies(Box<Ltl>, Box<Ltl>),
+    /// Strong next `()φ`.
+    Next(Box<Ltl>),
+    /// Until `φ U ψ`.
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release `φ R ψ`.
+    Release(Box<Ltl>, Box<Ltl>),
+    /// Always `[]φ`.
+    Always(Box<Ltl>),
+    /// Eventually `<>φ`.
+    Eventually(Box<Ltl>),
+    /// Previously `(*)φ`: φ held at the immediately preceding step (false
+    /// at the first step).
+    Prev(Box<Ltl>),
+    /// Since `φ S ψ`.
+    Since(Box<Ltl>, Box<Ltl>),
+    /// Once `<*>φ`.
+    Once(Box<Ltl>),
+    /// Historically `[*]φ`.
+    Historically(Box<Ltl>),
+}
+
+impl Ltl {
+    /// `self ∧ rhs`.
+    #[must_use]
+    pub fn and(self, rhs: Ltl) -> Ltl {
+        Ltl::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`.
+    #[must_use]
+    pub fn or(self, rhs: Ltl) -> Ltl {
+        Ltl::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ⇒ rhs`.
+    #[must_use]
+    pub fn implies(self, rhs: Ltl) -> Ltl {
+        Ltl::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// `¬self`.
+    #[must_use]
+    pub fn negated(self) -> Ltl {
+        Ltl::Not(Box::new(self))
+    }
+
+    /// `[]self`.
+    #[must_use]
+    pub fn always(self) -> Ltl {
+        Ltl::Always(Box::new(self))
+    }
+
+    /// `<>self`.
+    #[must_use]
+    pub fn eventually(self) -> Ltl {
+        Ltl::Eventually(Box::new(self))
+    }
+
+    /// `(*)self` (immediately preceded by).
+    #[must_use]
+    pub fn prev(self) -> Ltl {
+        Ltl::Prev(Box::new(self))
+    }
+
+    /// Whether the formula contains a future operator.
+    fn has_future(&self) -> bool {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Event(_) => false,
+            Ltl::Not(a)
+            | Ltl::Prev(a)
+            | Ltl::Once(a)
+            | Ltl::Historically(a) => a.has_future(),
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Implies(a, b) | Ltl::Since(a, b) => {
+                a.has_future() || b.has_future()
+            }
+            Ltl::Next(_)
+            | Ltl::Until(_, _)
+            | Ltl::Release(_, _)
+            | Ltl::Always(_)
+            | Ltl::Eventually(_) => true,
+        }
+    }
+
+    /// Checks the monitorable-fragment restriction.
+    fn check_no_future_under_past(&self) -> Result<(), LtlError> {
+        match self {
+            Ltl::Prev(a) | Ltl::Once(a) | Ltl::Historically(a) => {
+                if a.has_future() {
+                    return Err(LtlError::FutureUnderPast);
+                }
+                a.check_no_future_under_past()
+            }
+            Ltl::Since(a, b) => {
+                if a.has_future() || b.has_future() {
+                    return Err(LtlError::FutureUnderPast);
+                }
+                a.check_no_future_under_past()?;
+                b.check_no_future_under_past()
+            }
+            Ltl::Not(a) => a.check_no_future_under_past(),
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Implies(a, b)
+            | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                a.check_no_future_under_past()?;
+                b.check_no_future_under_past()
+            }
+            Ltl::Next(a) | Ltl::Always(a) | Ltl::Eventually(a) => a.check_no_future_under_past(),
+            Ltl::True | Ltl::False | Ltl::Event(_) => Ok(()),
+        }
+    }
+
+    /// Compiles the formula to a [`Dfa`] over `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// [`LtlError::FutureUnderPast`] if a future operator occurs under a
+    /// past operator; [`LtlError::TooLarge`] if the formula has more than
+    /// 64 future subformulas or 64 past subformulas;
+    /// [`LtlError::TooManyStates`] if determinization exceeds `max_states`.
+    pub fn compile(&self, alphabet: &Alphabet, max_states: usize) -> Result<Dfa, LtlError> {
+        self.check_no_future_under_past()?;
+        let mut ctx = CompileCtx::new(alphabet.len());
+        let root = ctx.build_nnf(self, false)?;
+        ctx.explore(alphabet, root, max_states)
+    }
+}
+
+/// Errors from LTL compilation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LtlError {
+    /// A future operator appeared under a past operator.
+    FutureUnderPast,
+    /// The formula exceeds the 64-subformula budget.
+    TooLarge,
+    /// Determinization exceeded the configured state budget.
+    TooManyStates(usize),
+}
+
+impl fmt::Display for LtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LtlError::FutureUnderPast => {
+                write!(f, "future operators may not occur under past operators")
+            }
+            LtlError::TooLarge => write!(f, "formula exceeds the 64-subformula budget"),
+            LtlError::TooManyStates(n) => {
+                write!(f, "formula produced more than {n} monitor states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LtlError {}
+
+// ---------------------------------------------------------------------------
+// Internal compilation machinery.
+// ---------------------------------------------------------------------------
+
+/// A pure-past (or propositional) formula, arena-encoded with children
+/// strictly below parents, so register evaluation is a single forward scan.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum PastNode {
+    True,
+    Event(EventId),
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    /// Value of child at previous step.
+    Prev(u32),
+    /// `a S b`.
+    Since(u32, u32),
+    /// `<*> a`.
+    Once(u32),
+    /// `[*] a`.
+    Historically(u32),
+}
+
+/// A future subformula in negation normal form. Leaves are event literals
+/// and past atoms (indices into the past arena).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum FutureNode {
+    True,
+    False,
+    /// Literal: current event equals/differs from `e`.
+    Event { e: EventId, negated: bool },
+    /// Literal: past arena node value (possibly negated).
+    PastAtom { node: u32, negated: bool },
+    And(u32, u32),
+    Or(u32, u32),
+    Next(u32),
+    Until(u32, u32),
+    Release(u32, u32),
+    Always(u32),
+    Eventually(u32),
+}
+
+/// An absorption-minimized DNF over future-subformula obligations. Each
+/// clause is a bitset of arena indices; the clause set is sorted.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Dnf(Vec<u64>);
+
+impl Dnf {
+    fn fls() -> Dnf {
+        Dnf(Vec::new())
+    }
+
+    fn tru() -> Dnf {
+        Dnf(vec![0])
+    }
+
+    fn lit(i: u32) -> Dnf {
+        Dnf(vec![1u64 << i])
+    }
+
+    fn is_false(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn is_true(&self) -> bool {
+        self.0.first() == Some(&0)
+    }
+
+    fn normalize(mut clauses: Vec<u64>) -> Dnf {
+        clauses.sort_unstable();
+        clauses.dedup();
+        // Absorption: drop clauses that are supersets of another clause.
+        let keep: Vec<u64> = clauses
+            .iter()
+            .copied()
+            .filter(|&c| !clauses.iter().any(|&d| d != c && d & !c == 0))
+            .collect();
+        Dnf(keep)
+    }
+
+    fn or(&self, other: &Dnf) -> Dnf {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Dnf::normalize(v)
+    }
+
+    fn and(&self, other: &Dnf) -> Dnf {
+        let mut v = Vec::with_capacity(self.0.len() * other.0.len());
+        for &a in &self.0 {
+            for &b in &other.0 {
+                v.push(a | b);
+            }
+        }
+        Dnf::normalize(v)
+    }
+}
+
+struct CompileCtx {
+    n_events: usize,
+    past: Vec<PastNode>,
+    past_index: BTreeMap<PastNode, u32>,
+    future: Vec<FutureNode>,
+    future_index: BTreeMap<FutureNode, u32>,
+}
+
+impl CompileCtx {
+    fn new(n_events: usize) -> Self {
+        CompileCtx {
+            n_events,
+            past: Vec::new(),
+            past_index: BTreeMap::new(),
+            future: Vec::new(),
+            future_index: BTreeMap::new(),
+        }
+    }
+
+    fn intern_past(&mut self, node: PastNode) -> Result<u32, LtlError> {
+        if let Some(&i) = self.past_index.get(&node) {
+            return Ok(i);
+        }
+        if self.past.len() >= 64 {
+            return Err(LtlError::TooLarge);
+        }
+        let i = self.past.len() as u32;
+        self.past.push(node.clone());
+        self.past_index.insert(node, i);
+        Ok(i)
+    }
+
+    fn intern_future(&mut self, node: FutureNode) -> Result<u32, LtlError> {
+        if let Some(&i) = self.future_index.get(&node) {
+            return Ok(i);
+        }
+        if self.future.len() >= 64 {
+            return Err(LtlError::TooLarge);
+        }
+        let i = self.future.len() as u32;
+        self.future.push(node.clone());
+        self.future_index.insert(node, i);
+        Ok(i)
+    }
+
+    /// Encodes a pure-past formula into the past arena.
+    fn build_past(&mut self, f: &Ltl) -> Result<u32, LtlError> {
+        let node = match f {
+            Ltl::True => PastNode::True,
+            Ltl::False => {
+                let t = self.intern_past(PastNode::True)?;
+                PastNode::Not(t)
+            }
+            Ltl::Event(e) => PastNode::Event(*e),
+            Ltl::Not(a) => PastNode::Not(self.build_past(a)?),
+            Ltl::And(a, b) => PastNode::And(self.build_past(a)?, self.build_past(b)?),
+            Ltl::Or(a, b) => PastNode::Or(self.build_past(a)?, self.build_past(b)?),
+            Ltl::Implies(a, b) => {
+                let na = self.build_past(a)?;
+                let not_a = self.intern_past(PastNode::Not(na))?;
+                PastNode::Or(not_a, self.build_past(b)?)
+            }
+            Ltl::Prev(a) => PastNode::Prev(self.build_past(a)?),
+            Ltl::Since(a, b) => PastNode::Since(self.build_past(a)?, self.build_past(b)?),
+            Ltl::Once(a) => PastNode::Once(self.build_past(a)?),
+            Ltl::Historically(a) => PastNode::Historically(self.build_past(a)?),
+            _ => unreachable!("future under past rejected earlier"),
+        };
+        self.intern_past(node)
+    }
+
+    /// Converts to NNF over the future arena; `neg` tracks a pending
+    /// negation pushed inward.
+    fn build_nnf(&mut self, f: &Ltl, neg: bool) -> Result<u32, LtlError> {
+        let node = match (f, neg) {
+            (Ltl::True, false) | (Ltl::False, true) => FutureNode::True,
+            (Ltl::True, true) | (Ltl::False, false) => FutureNode::False,
+            (Ltl::Event(e), _) => FutureNode::Event { e: *e, negated: neg },
+            (Ltl::Not(a), _) => return self.build_nnf(a, !neg),
+            (Ltl::And(a, b), false) | (Ltl::Or(a, b), true) => {
+                FutureNode::And(self.build_nnf(a, neg)?, self.build_nnf(b, neg)?)
+            }
+            (Ltl::Or(a, b), false) | (Ltl::And(a, b), true) => {
+                FutureNode::Or(self.build_nnf(a, neg)?, self.build_nnf(b, neg)?)
+            }
+            (Ltl::Implies(a, b), false) => {
+                FutureNode::Or(self.build_nnf(a, true)?, self.build_nnf(b, false)?)
+            }
+            (Ltl::Implies(a, b), true) => {
+                FutureNode::And(self.build_nnf(a, false)?, self.build_nnf(b, true)?)
+            }
+            (Ltl::Next(a), _) => FutureNode::Next(self.build_nnf(a, neg)?),
+            (Ltl::Until(a, b), false) => {
+                FutureNode::Until(self.build_nnf(a, false)?, self.build_nnf(b, false)?)
+            }
+            (Ltl::Until(a, b), true) => {
+                FutureNode::Release(self.build_nnf(a, true)?, self.build_nnf(b, true)?)
+            }
+            (Ltl::Release(a, b), false) => {
+                FutureNode::Release(self.build_nnf(a, false)?, self.build_nnf(b, false)?)
+            }
+            (Ltl::Release(a, b), true) => {
+                FutureNode::Until(self.build_nnf(a, true)?, self.build_nnf(b, true)?)
+            }
+            (Ltl::Always(a), false) | (Ltl::Eventually(a), true) => {
+                FutureNode::Always(self.build_nnf(a, neg)?)
+            }
+            (Ltl::Eventually(a), false) | (Ltl::Always(a), true) => {
+                FutureNode::Eventually(self.build_nnf(a, neg)?)
+            }
+            // Past subformulas become atoms evaluated by registers.
+            (Ltl::Prev(_) | Ltl::Since(_, _) | Ltl::Once(_) | Ltl::Historically(_), _) => {
+                let p = self.build_past(f)?;
+                FutureNode::PastAtom { node: p, negated: neg }
+            }
+        };
+        self.intern_future(node)
+    }
+
+    /// Evaluates all past-arena nodes for the current event, given the
+    /// previous step's values (`pre`) and whether this is the first step.
+    fn eval_past(&self, event: EventId, pre: u64, first: bool) -> u64 {
+        let mut now = 0u64;
+        let get = |bits: u64, i: u32| bits & (1 << i) != 0;
+        for (i, node) in self.past.iter().enumerate() {
+            let v = match *node {
+                PastNode::True => true,
+                PastNode::Event(e) => e == event,
+                PastNode::Not(a) => !get(now, a),
+                PastNode::And(a, b) => get(now, a) && get(now, b),
+                PastNode::Or(a, b) => get(now, a) || get(now, b),
+                PastNode::Prev(a) => !first && get(pre, a),
+                PastNode::Since(a, b) => {
+                    get(now, b) || (get(now, a) && !first && get(pre, i as u32))
+                }
+                PastNode::Once(a) => get(now, a) || (!first && get(pre, i as u32)),
+                PastNode::Historically(a) => get(now, a) && (first || get(pre, i as u32)),
+            };
+            if v {
+                now |= 1 << i;
+            }
+        }
+        now
+    }
+
+    /// Progression of one obligation through the letter
+    /// `(event, past-values)`, as a DNF over next-step obligations.
+    fn prog(&self, ob: u32, event: EventId, past_now: u64) -> Dnf {
+        match self.future[ob as usize] {
+            FutureNode::True => Dnf::tru(),
+            FutureNode::False => Dnf::fls(),
+            FutureNode::Event { e, negated } => {
+                if (e == event) != negated {
+                    Dnf::tru()
+                } else {
+                    Dnf::fls()
+                }
+            }
+            FutureNode::PastAtom { node, negated } => {
+                if (past_now & (1 << node) != 0) != negated {
+                    Dnf::tru()
+                } else {
+                    Dnf::fls()
+                }
+            }
+            FutureNode::And(a, b) => {
+                self.prog(a, event, past_now).and(&self.prog(b, event, past_now))
+            }
+            FutureNode::Or(a, b) => {
+                self.prog(a, event, past_now).or(&self.prog(b, event, past_now))
+            }
+            FutureNode::Next(a) => Dnf::lit(a),
+            FutureNode::Until(a, b) => {
+                // a U b = b ∨ (a ∧ X(a U b))
+                let again = Dnf::lit(ob);
+                self.prog(b, event, past_now)
+                    .or(&self.prog(a, event, past_now).and(&again))
+            }
+            FutureNode::Release(a, b) => {
+                // a R b = b ∧ (a ∨ X(a R b))
+                let again = Dnf::lit(ob);
+                self.prog(b, event, past_now)
+                    .and(&self.prog(a, event, past_now).or(&again))
+            }
+            FutureNode::Always(a) => {
+                let again = Dnf::lit(ob);
+                self.prog(a, event, past_now).and(&again)
+            }
+            FutureNode::Eventually(a) => {
+                let again = Dnf::lit(ob);
+                self.prog(a, event, past_now).or(&again)
+            }
+        }
+    }
+
+    /// Progression of a whole DNF state.
+    fn prog_dnf(&self, state: &Dnf, event: EventId, past_now: u64) -> Dnf {
+        let mut out = Dnf::fls();
+        for &clause in &state.0 {
+            let mut acc = Dnf::tru();
+            let mut bits = clause;
+            while bits != 0 {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                acc = acc.and(&self.prog(i, event, past_now));
+                if acc.is_false() {
+                    break;
+                }
+            }
+            out = out.or(&acc);
+        }
+        out
+    }
+
+    /// Explores the reachable `(DNF, past registers, first?)` states and
+    /// builds the DFA.
+    fn explore(&self, alphabet: &Alphabet, root: u32, max_states: usize) -> Result<Dfa, LtlError> {
+        assert_eq!(alphabet.len(), self.n_events);
+        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone)]
+        struct StateKey {
+            dnf: Dnf,
+            pre: u64,
+            first: bool,
+        }
+        let initial = StateKey { dnf: Dnf(vec![1u64 << root]), pre: 0, first: true };
+        let mut index: BTreeMap<StateKey, u32> = BTreeMap::new();
+        let mut order: Vec<StateKey> = Vec::new();
+        index.insert(initial.clone(), 0);
+        order.push(initial);
+        let mut trans: Vec<(u32, EventId, u32)> = Vec::new();
+        let mut next = 0usize;
+        while next < order.len() {
+            let s = next as u32;
+            next += 1;
+            let key = order[s as usize].clone();
+            for e in alphabet.iter() {
+                let past_now = self.eval_past(e, key.pre, key.first);
+                let dnf = self.prog_dnf(&key.dnf, e, past_now);
+                // Once decided, the verdict is absorbing: collapse the past
+                // registers so decided states merge.
+                let succ = if dnf.is_false() || dnf.is_true() {
+                    StateKey { dnf, pre: 0, first: false }
+                } else {
+                    StateKey { dnf, pre: past_now, first: false }
+                };
+                let t = match index.get(&succ) {
+                    Some(&t) => t,
+                    None => {
+                        if order.len() >= max_states {
+                            return Err(LtlError::TooManyStates(max_states));
+                        }
+                        let t = order.len() as u32;
+                        index.insert(succ.clone(), t);
+                        order.push(succ);
+                        t
+                    }
+                };
+                trans.push((s, e, t));
+            }
+        }
+        let mut b = DfaBuilder::new(alphabet.clone());
+        for key in &order {
+            let v = if key.dnf.is_false() {
+                Verdict::Fail
+            } else if key.dnf.is_true() {
+                Verdict::Match
+            } else {
+                Verdict::Unknown
+            };
+            b.add_state(v);
+        }
+        for (s, e, t) in trans {
+            b.set_transition(s, e, t);
+        }
+        Ok(b.finish(0))
+    }
+}
+
+/// Builds the paper's Figure 2 LTL property
+/// `[](next => (*)hasnexttrue)` over the given alphabet.
+///
+/// # Panics
+///
+/// Panics if `alphabet` lacks `hasnexttrue` or `next`.
+#[must_use]
+pub fn has_next_ltl(alphabet: &Alphabet) -> Ltl {
+    let ev = |n: &str| {
+        Ltl::Event(alphabet.lookup(n).unwrap_or_else(|| panic!("alphabet lacks event `{n}`")))
+    };
+    ev("next").implies(ev("hasnexttrue").prev()).always()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::GoalSet;
+
+    fn hasnext_alphabet() -> Alphabet {
+        Alphabet::from_names(&["hasnexttrue", "hasnextfalse", "next"])
+    }
+
+    #[test]
+    fn figure_2_ltl_flags_unchecked_next() {
+        let a = hasnext_alphabet();
+        let d = has_next_ltl(&a).compile(&a, 10_000).unwrap();
+        let e = |n: &str| a.lookup(n).unwrap();
+        // next with no preceding hasnexttrue: violation.
+        assert_eq!(d.classify(&[e("next")]), Verdict::Fail);
+        // hasnexttrue next: fine so far.
+        assert_eq!(d.classify(&[e("hasnexttrue"), e("next")]), Verdict::Unknown);
+        // hasnexttrue next next: second next unchecked — violation.
+        assert_eq!(d.classify(&[e("hasnexttrue"), e("next"), e("next")]), Verdict::Fail);
+        // hasnextfalse then next: violation.
+        assert_eq!(d.classify(&[e("hasnextfalse"), e("next")]), Verdict::Fail);
+        // hasnexttrue hasnextfalse next: the *immediately* preceding call
+        // returned false — violation (matches (*) semantics).
+        assert_eq!(
+            d.classify(&[e("hasnexttrue"), e("hasnextfalse"), e("next")]),
+            Verdict::Fail
+        );
+        // Violations are permanent.
+        assert_eq!(d.classify(&[e("next"), e("hasnexttrue"), e("next")]), Verdict::Fail);
+    }
+
+    #[test]
+    fn ltl_and_fsm_agree_on_hasnext_traces() {
+        // The FSM of Figure 1 reaches `error` exactly when the LTL of
+        // Figure 2 is violated (on traces without hasnextfalse-after-true
+        // subtleties the two formulations coincide; we check exhaustively
+        // on all traces up to length 6 that FSM-match implies LTL-fail).
+        let a = hasnext_alphabet();
+        let ltl = has_next_ltl(&a).compile(&a, 10_000).unwrap();
+        let (fa, fsm) = crate::fsm::has_next_fsm();
+        let fsm = fsm.compile(&fa).unwrap();
+        let events: Vec<EventId> = a.iter().collect();
+        let mut traces: Vec<Vec<EventId>> = vec![vec![]];
+        for _ in 0..6 {
+            let mut next_traces = Vec::new();
+            for t in &traces {
+                for &e in &events {
+                    let mut t2 = t.clone();
+                    t2.push(e);
+                    next_traces.push(t2);
+                }
+            }
+            for t in &next_traces {
+                let fsm_v = fsm.classify(t);
+                let ltl_v = ltl.classify(t);
+                if fsm_v == Verdict::Match {
+                    assert_eq!(ltl_v, Verdict::Fail, "trace {t:?}");
+                }
+            }
+            traces = next_traces;
+        }
+    }
+
+    #[test]
+    fn until_progression() {
+        let a = Alphabet::from_names(&["p", "q"]);
+        let p = Ltl::Event(a.lookup("p").unwrap());
+        let q = Ltl::Event(a.lookup("q").unwrap());
+        let d = Ltl::Until(Box::new(p), Box::new(q)).compile(&a, 1000).unwrap();
+        let ep = a.lookup("p").unwrap();
+        let eq = a.lookup("q").unwrap();
+        assert_eq!(d.classify(&[eq]), Verdict::Match);
+        assert_eq!(d.classify(&[ep, ep, eq]), Verdict::Match);
+        assert_eq!(d.classify(&[ep]), Verdict::Unknown);
+        // Match is absorbing.
+        assert_eq!(d.classify(&[eq, ep, ep]), Verdict::Match);
+    }
+
+    #[test]
+    fn eventually_never_fails_and_always_never_matches() {
+        let a = Alphabet::from_names(&["p", "q"]);
+        let ep = a.lookup("p").unwrap();
+        let eq = a.lookup("q").unwrap();
+        let f = Ltl::Event(ep).eventually().compile(&a, 1000).unwrap();
+        assert_eq!(f.classify(&[eq, eq, eq]), Verdict::Unknown);
+        assert_eq!(f.classify(&[eq, ep]), Verdict::Match);
+        let g = Ltl::Event(ep).always().compile(&a, 1000).unwrap();
+        assert_eq!(g.classify(&[ep, ep]), Verdict::Unknown);
+        assert_eq!(g.classify(&[ep, eq]), Verdict::Fail);
+    }
+
+    #[test]
+    fn next_is_strong() {
+        let a = Alphabet::from_names(&["p", "q"]);
+        let ep = a.lookup("p").unwrap();
+        let eq = a.lookup("q").unwrap();
+        let d = Ltl::Next(Box::new(Ltl::Event(eq))).compile(&a, 1000).unwrap();
+        assert_eq!(d.classify(&[ep, eq]), Verdict::Match);
+        assert_eq!(d.classify(&[ep, ep]), Verdict::Fail);
+        assert_eq!(d.classify(&[ep]), Verdict::Unknown);
+    }
+
+    #[test]
+    fn since_and_once_registers() {
+        let a = Alphabet::from_names(&["p", "q", "r"]);
+        let ep = a.lookup("p").unwrap();
+        let eq = a.lookup("q").unwrap();
+        let er = a.lookup("r").unwrap();
+        // [](r => <*>q): every r must be preceded (inclusively) by some q.
+        let f = Ltl::Event(er)
+            .implies(Ltl::Once(Box::new(Ltl::Event(eq))))
+            .always()
+            .compile(&a, 1000)
+            .unwrap();
+        assert_eq!(f.classify(&[ep, er]), Verdict::Fail);
+        assert_eq!(f.classify(&[eq, ep, er]), Verdict::Unknown);
+        // [](r => (p S q)): p continuously since a q.
+        let g = Ltl::Event(er)
+            .implies(Ltl::Since(Box::new(Ltl::Event(ep)), Box::new(Ltl::Event(eq))))
+            .always()
+            .compile(&a, 1000)
+            .unwrap();
+        assert_eq!(g.classify(&[eq, ep, er]), Verdict::Fail, "r itself breaks the p-chain");
+        // q p r: S is evaluated at r's step: r is not p and not q → false.
+        // Use the prev-shifted variant instead for a passing case:
+        let h = Ltl::Event(er)
+            .implies(Ltl::Since(Box::new(Ltl::Event(ep)), Box::new(Ltl::Event(eq))).prev())
+            .always()
+            .compile(&a, 1000)
+            .unwrap();
+        assert_eq!(h.classify(&[eq, ep, er]), Verdict::Unknown);
+        assert_eq!(h.classify(&[ep, ep, er]), Verdict::Fail);
+    }
+
+    #[test]
+    fn future_under_past_is_rejected() {
+        let a = Alphabet::from_names(&["p"]);
+        let p = Ltl::Event(a.lookup("p").unwrap());
+        let bad = Ltl::Prev(Box::new(p.eventually()));
+        assert_eq!(bad.compile(&a, 1000).unwrap_err(), LtlError::FutureUnderPast);
+    }
+
+    #[test]
+    fn coenable_on_ltl_dfa_with_fail_goal() {
+        // For HASNEXT-as-LTL with goal {fail}: from any *undecided* state,
+        // reaching a violation requires a next, so the coenable sets of
+        // hasnexttrue/hasnextfalse all mention next. After next itself the
+        // monitor may already sit in the absorbing fail state, whose
+        // post-goal continuations (Definition 10 traces keep going) yield
+        // sets without next — the engine handles those by terminating
+        // verdict-constant monitors instead.
+        let a = hasnext_alphabet();
+        let d = has_next_ltl(&a).compile(&a, 10_000).unwrap();
+        let co = d.coenable(GoalSet::FAIL);
+        let next = a.lookup("next").unwrap();
+        for e in [a.lookup("hasnexttrue").unwrap(), a.lookup("hasnextfalse").unwrap()] {
+            assert!(!co.of(e).is_empty());
+            for s in co.of(e).sets() {
+                assert!(s.contains(next), "coenable set {s:?} for {e:?} lacks next");
+            }
+        }
+        assert!(!co.of(next).is_empty());
+        // The absorbing fail state is verdict-constant: the engine will
+        // terminate monitors there rather than rely on coenable GC.
+        let constant = d.constant_verdict_states();
+        let e = |n: &str| a.lookup(n).unwrap();
+        let s = d.step(d.initial(), e("next"));
+        assert_eq!(d.verdict(s), Verdict::Fail);
+        assert!(constant[s as usize]);
+        assert!(!constant[d.initial() as usize]);
+    }
+
+    #[test]
+    fn release_is_dual_of_until() {
+        let a = Alphabet::from_names(&["p", "q"]);
+        let ep = a.lookup("p").unwrap();
+        let eq = a.lookup("q").unwrap();
+        let p = Ltl::Event(ep);
+        let q = Ltl::Event(eq);
+        // ¬(p U q) ≡ ¬p R ¬q: compare verdicts on all traces ≤ 5.
+        let lhs = Ltl::Until(Box::new(p.clone()), Box::new(q.clone())).negated();
+        let rhs = Ltl::Release(Box::new(p.negated()), Box::new(q.negated()));
+        let dl = lhs.compile(&a, 1000).unwrap();
+        let dr = rhs.compile(&a, 1000).unwrap();
+        let mut traces = vec![vec![]];
+        for _ in 0..5 {
+            let mut nt = Vec::new();
+            for t in &traces {
+                for e in [ep, eq] {
+                    let mut t2 = t.clone();
+                    t2.push(e);
+                    nt.push(t2);
+                }
+            }
+            for t in &nt {
+                assert_eq!(dl.classify(t), dr.classify(t), "trace {t:?}");
+            }
+            traces = nt;
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! DFA minimization (Hopcroft's algorithm), verdict-aware.
+//!
+//! The ERE and LTL determinizers can produce distinguishable-by-nothing
+//! states (different derivatives/residuals with the same behavior).
+//! Minimizing before the engine runs shrinks the transition tables and —
+//! more interestingly for this reproduction — can only *improve* the
+//! precision of the state-indexed analysis used by the Tracematches
+//! baseline, while the event-indexed coenable sets are invariant under
+//! minimization (a property checked by the crate tests).
+//!
+//! States are partitioned by verdict (the monitor's observable output),
+//! then refined by transition behavior over the *total* automaton (the
+//! implicit dead sink participates as its own class).
+
+use crate::dfa::{Dfa, DfaBuilder, DEAD};
+use crate::verdict::Verdict;
+
+/// Returns an equivalent DFA with the minimum number of states, preserving
+/// verdicts on every trace. Unreachable states are dropped first.
+///
+/// State names are discarded (classes merge differently-named states);
+/// callers needing names should minimize before naming or keep the
+/// original machine.
+#[must_use]
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let alphabet = dfa.alphabet().clone();
+    let n_events = alphabet.len();
+    // 1. Restrict to reachable states.
+    let reachable = dfa.reachable();
+    let states: Vec<u32> =
+        (0..dfa.state_count()).filter(|&s| reachable[s as usize]).collect();
+    // Map original → dense index; DEAD and unreachable map to the sink.
+    let sink = states.len(); // class index for the implicit dead sink
+    let mut dense = vec![sink; dfa.state_count() as usize];
+    for (i, &s) in states.iter().enumerate() {
+        dense[s as usize] = i;
+    }
+    let total = states.len() + 1;
+    let step = |i: usize, e: crate::event::EventId| -> usize {
+        if i == sink {
+            sink
+        } else {
+            let t = dfa.step(states[i], e);
+            if t == DEAD {
+                sink
+            } else {
+                dense[t as usize]
+            }
+        }
+    };
+    let verdict_of = |i: usize| -> Verdict {
+        if i == sink {
+            Verdict::Fail
+        } else {
+            dfa.verdict(states[i])
+        }
+    };
+
+    // 2. Initial partition by verdict.
+    let mut class_of: Vec<usize> = (0..total)
+        .map(|i| match verdict_of(i) {
+            Verdict::Match => 0,
+            Verdict::Fail => 1,
+            Verdict::Unknown => 2,
+        })
+        .collect();
+    // 3. Refine: split classes whose members have different successor
+    //    class signatures (Moore-style refinement; Hopcroft's worklist
+    //    optimization is unnecessary at property-automaton sizes).
+    loop {
+        let mut signature: Vec<(usize, Vec<usize>)> = Vec::with_capacity(total);
+        for i in 0..total {
+            let mut sig = Vec::with_capacity(n_events);
+            for e in alphabet.iter() {
+                sig.push(class_of[step(i, e)]);
+            }
+            signature.push((class_of[i], sig));
+        }
+        // Renumber classes by signature.
+        let mut table: std::collections::HashMap<&(usize, Vec<usize>), usize> =
+            std::collections::HashMap::new();
+        let mut next_class = 0;
+        let mut new_class: Vec<usize> = Vec::with_capacity(total);
+        for sig in &signature {
+            let c = *table.entry(sig).or_insert_with(|| {
+                let c = next_class;
+                next_class += 1;
+                c
+            });
+            new_class.push(c);
+        }
+        if new_class == class_of {
+            break;
+        }
+        class_of = new_class;
+    }
+
+    // 4. Build the quotient, dropping the sink's class (its transitions
+    //    become DEAD again). Note: a live state may share the sink's class
+    //    (a reachable state behaviorally identical to permanent fail);
+    //    such states also map to DEAD.
+    let sink_class = class_of[sink];
+    let mut repr: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    let mut b = DfaBuilder::new(alphabet.clone());
+    // Allocate quotient states in order of first appearance (initial first).
+    let order: Vec<usize> = {
+        let mut seen = std::collections::HashSet::new();
+        let mut v = Vec::new();
+        // Initial state's class first so the new initial id is 0.
+        let init_dense = dense[dfa.initial() as usize];
+        for i in std::iter::once(init_dense).chain(0..total) {
+            let c = class_of[i];
+            if c != sink_class && seen.insert(c) {
+                v.push(i);
+            }
+        }
+        v
+    };
+    for &i in &order {
+        let id = b.add_state(verdict_of(i));
+        repr.insert(class_of[i], id);
+    }
+    for &i in &order {
+        let from = repr[&class_of[i]];
+        for e in alphabet.iter() {
+            let t = step(i, e);
+            let tc = class_of[t];
+            if tc != sink_class {
+                b.set_transition(from, e, repr[&tc]);
+            }
+        }
+    }
+    let init_class = class_of[dense[dfa.initial() as usize]];
+    if init_class == sink_class {
+        // Degenerate: the whole language is empty; a single fail state.
+        let mut b = DfaBuilder::new(alphabet);
+        let s = b.add_state(Verdict::Fail);
+        return b.finish(s);
+    }
+    b.finish(repr[&init_class])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ere::unsafe_iter_ere;
+    use crate::event::{Alphabet, EventId};
+    use crate::verdict::GoalSet;
+
+    #[test]
+    fn minimization_preserves_classification_exhaustively() {
+        let al = Alphabet::from_names(&["create", "update", "next"]);
+        let dfa = unsafe_iter_ere(&al).compile(&al, 1_000).unwrap();
+        let min = minimize(&dfa);
+        assert!(min.state_count() <= dfa.state_count());
+        // All traces up to length 6.
+        let mut traces: Vec<Vec<EventId>> = vec![vec![]];
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for t in &traces {
+                assert_eq!(dfa.classify(t), min.classify(t), "trace {t:?}");
+                for e in al.iter() {
+                    let mut t2 = t.clone();
+                    t2.push(e);
+                    next.push(t2);
+                }
+            }
+            traces = next;
+        }
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let al = Alphabet::from_names(&["create", "update", "next"]);
+        let dfa = unsafe_iter_ere(&al).compile(&al, 1_000).unwrap();
+        let once = minimize(&dfa);
+        let twice = minimize(&once);
+        assert_eq!(once.state_count(), twice.state_count());
+    }
+
+    #[test]
+    fn coenable_sets_are_invariant_under_minimization() {
+        let al = Alphabet::from_names(&["create", "update", "next"]);
+        let dfa = unsafe_iter_ere(&al).compile(&al, 1_000).unwrap();
+        let min = minimize(&dfa);
+        assert_eq!(dfa.coenable(GoalSet::MATCH), min.coenable(GoalSet::MATCH));
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        // a | b over {a, b}: the two accepting states are equivalent, and
+        // a minimal machine has exactly 2 states (start, accept).
+        let al = Alphabet::from_names(&["a", "b"]);
+        let r = crate::ere::Ere::union([
+            crate::ere::Ere::event(EventId(0)),
+            crate::ere::Ere::event(EventId(1)),
+        ]);
+        let dfa = r.compile(&al, 1_000).unwrap();
+        let min = minimize(&dfa);
+        assert_eq!(min.state_count(), 2, "{min}");
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_one_fail_state() {
+        let al = Alphabet::from_names(&["a"]);
+        let dfa = crate::ere::Ere::empty().compile(&al, 1_000).unwrap();
+        let min = minimize(&dfa);
+        assert_eq!(min.state_count(), 1);
+        assert_eq!(min.classify(&[]), Verdict::Fail);
+        assert_eq!(min.classify(&[EventId(0)]), Verdict::Fail);
+    }
+}

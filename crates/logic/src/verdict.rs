@@ -1,0 +1,150 @@
+//! Verdict categories and goal sets.
+//!
+//! Definition 2 allows an arbitrary verdict category set `C`; every
+//! formalism in the paper (and in this reproduction) classifies traces into
+//! the three categories the paper uses for `UnsafeIter`: `match`, `fail`,
+//! and `?` (unknown). FSM specs with named handler states are mapped onto
+//! these three by the spec compiler.
+
+use std::fmt;
+
+/// The verdict a monitor assigns to the trace consumed so far.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub enum Verdict {
+    /// The trace is in the goal language (e.g. matches the ERE, reaches the
+    /// FSM handler state, violates the LTL formula when the goal is `fail`).
+    Match,
+    /// No extension of the trace can ever reach `Match` again.
+    Fail,
+    /// Neither of the above — the paper's `?` category.
+    #[default]
+    Unknown,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Match => "match",
+            Verdict::Fail => "fail",
+            Verdict::Unknown => "?",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of verdict categories of interest — the `G ⊆ C` of Definition 10.
+///
+/// The goal determines both when handlers fire and which traces "count" for
+/// the coenable analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GoalSet(u8);
+
+impl GoalSet {
+    /// The goal `{match}` — used by ERE/CFG `@match` handlers.
+    pub const MATCH: GoalSet = GoalSet(1);
+    /// The goal `{fail}` — used by LTL `@violation` / CFG `@fail` handlers.
+    pub const FAIL: GoalSet = GoalSet(2);
+
+    /// An empty goal set (no verdict is of interest).
+    #[must_use]
+    pub fn empty() -> GoalSet {
+        GoalSet(0)
+    }
+
+    /// Builds a goal set from verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Unknown` is given: "unknown" is the absence of a verdict
+    /// and can never be a goal.
+    #[must_use]
+    pub fn from_verdicts(verdicts: &[Verdict]) -> GoalSet {
+        let mut g = GoalSet(0);
+        for &v in verdicts {
+            g = g.with(v);
+        }
+        g
+    }
+
+    /// Adds a verdict to the goal set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is [`Verdict::Unknown`].
+    #[must_use]
+    pub fn with(self, v: Verdict) -> GoalSet {
+        match v {
+            Verdict::Match => GoalSet(self.0 | 1),
+            Verdict::Fail => GoalSet(self.0 | 2),
+            Verdict::Unknown => panic!("`?` cannot be a goal category"),
+        }
+    }
+
+    /// Whether `v` is a goal verdict.
+    #[must_use]
+    pub fn contains(self, v: Verdict) -> bool {
+        match v {
+            Verdict::Match => self.0 & 1 != 0,
+            Verdict::Fail => self.0 & 2 != 0,
+            Verdict::Unknown => false,
+        }
+    }
+
+    /// Whether no verdict is of interest.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for GoalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for v in [Verdict::Match, Verdict::Fail] {
+            if self.contains(v) {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goal_membership() {
+        let g = GoalSet::MATCH;
+        assert!(g.contains(Verdict::Match));
+        assert!(!g.contains(Verdict::Fail));
+        assert!(!g.contains(Verdict::Unknown));
+        let g2 = g.with(Verdict::Fail);
+        assert!(g2.contains(Verdict::Fail));
+        assert!(GoalSet::empty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be a goal")]
+    fn unknown_is_not_a_goal() {
+        let _ = GoalSet::empty().with(Verdict::Unknown);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Verdict::Match.to_string(), "match");
+        assert_eq!(Verdict::Unknown.to_string(), "?");
+        assert_eq!(GoalSet::MATCH.with(Verdict::Fail).to_string(), "{match, fail}");
+    }
+
+    #[test]
+    fn from_verdicts_builds_union() {
+        let g = GoalSet::from_verdicts(&[Verdict::Match, Verdict::Fail]);
+        assert!(g.contains(Verdict::Match) && g.contains(Verdict::Fail));
+    }
+}

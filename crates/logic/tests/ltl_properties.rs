@@ -1,0 +1,181 @@
+//! Property-based tests for the LTL plugin: classical equivalences must
+//! hold verdict-for-verdict on the compiled monitors, and monitoring
+//! verdicts must behave monotonically (fail/match are absorbing).
+
+use proptest::prelude::*;
+use rv_logic::event::{Alphabet, EventId};
+use rv_logic::ltl::Ltl;
+use rv_logic::verdict::Verdict;
+
+const EVENTS: u16 = 3;
+
+fn alphabet() -> Alphabet {
+    Alphabet::from_names(&["p", "q", "r"])
+}
+
+/// Random *future-only* formulas (past operators are covered separately:
+/// negation under past is value-level, not dualized).
+fn future_ltl() -> impl Strategy<Value = Ltl> {
+    let leaf = prop_oneof![
+        (0..EVENTS).prop_map(|e| Ltl::Event(EventId(e))),
+        Just(Ltl::True),
+        Just(Ltl::False),
+    ];
+    leaf.prop_recursive(4, 40, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| a.negated()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.clone().prop_map(|a| Ltl::Next(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ltl::Until(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ltl::Release(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| a.always()),
+            inner.prop_map(|a| a.eventually()),
+        ]
+    })
+}
+
+/// Random formulas that may also use past operators over propositional
+/// bodies.
+fn past_ltl() -> impl Strategy<Value = Ltl> {
+    let atom = (0..EVENTS).prop_map(|e| Ltl::Event(EventId(e)));
+    let past = atom.clone().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| a.negated()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.prev()),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ltl::Since(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Ltl::Once(Box::new(a))),
+            inner.prop_map(|a| Ltl::Historically(Box::new(a))),
+        ]
+    });
+    // A safety wrapper: [](past-body) or [](atom => past-body).
+    (atom, past).prop_map(|(a, p)| a.implies(p).always())
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<EventId>> {
+    proptest::collection::vec((0..EVENTS).prop_map(EventId), 0..7)
+}
+
+fn verdicts_agree(lhs: &Ltl, rhs: &Ltl, trace: &[EventId]) -> Result<(), TestCaseError> {
+    let al = alphabet();
+    let dl = lhs.compile(&al, 20_000).unwrap();
+    let dr = rhs.compile(&al, 20_000).unwrap();
+    prop_assert_eq!(dl.classify(trace), dr.classify(trace), "trace {:?}", trace);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn double_negation(f in future_ltl(), trace in trace_strategy()) {
+        verdicts_agree(&f.clone().negated().negated(), &f, &trace)?;
+    }
+
+    #[test]
+    fn until_release_duality(
+        a in future_ltl(),
+        b in future_ltl(),
+        trace in trace_strategy()
+    ) {
+        let lhs = Ltl::Until(Box::new(a.clone()), Box::new(b.clone())).negated();
+        let rhs = Ltl::Release(Box::new(a.negated()), Box::new(b.negated()));
+        verdicts_agree(&lhs, &rhs, &trace)?;
+    }
+
+    #[test]
+    fn always_eventually_duality(f in future_ltl(), trace in trace_strategy()) {
+        let lhs = f.clone().always().negated();
+        let rhs = f.negated().eventually();
+        verdicts_agree(&lhs, &rhs, &trace)?;
+    }
+
+    #[test]
+    fn eventually_is_true_until(f in future_ltl(), trace in trace_strategy()) {
+        let lhs = f.clone().eventually();
+        let rhs = Ltl::Until(Box::new(Ltl::True), Box::new(f));
+        verdicts_agree(&lhs, &rhs, &trace)?;
+    }
+
+    #[test]
+    fn always_is_false_release(f in future_ltl(), trace in trace_strategy()) {
+        let lhs = f.clone().always();
+        let rhs = Ltl::Release(Box::new(Ltl::False), Box::new(f));
+        verdicts_agree(&lhs, &rhs, &trace)?;
+    }
+
+    #[test]
+    fn de_morgan(
+        a in future_ltl(),
+        b in future_ltl(),
+        trace in trace_strategy()
+    ) {
+        let lhs = a.clone().and(b.clone()).negated();
+        let rhs = a.negated().or(b.negated());
+        verdicts_agree(&lhs, &rhs, &trace)?;
+    }
+
+    #[test]
+    fn verdicts_are_absorbing(f in future_ltl(), trace in trace_strategy(), e in 0..EVENTS) {
+        let al = alphabet();
+        let d = f.compile(&al, 20_000).unwrap();
+        let v = d.classify(&trace);
+        if v == Verdict::Fail || v == Verdict::Match {
+            let mut t2 = trace.clone();
+            t2.push(EventId(e));
+            prop_assert_eq!(d.classify(&t2), v);
+        }
+    }
+
+    #[test]
+    fn past_safety_formulas_compile_and_are_absorbing(
+        f in past_ltl(),
+        trace in trace_strategy(),
+        e in 0..EVENTS
+    ) {
+        let al = alphabet();
+        let d = f.compile(&al, 20_000).unwrap();
+        let v = d.classify(&trace);
+        if v == Verdict::Fail {
+            let mut t2 = trace.clone();
+            t2.push(EventId(e));
+            prop_assert_eq!(d.classify(&t2), Verdict::Fail);
+        }
+    }
+
+    #[test]
+    fn once_is_true_since(trace in trace_strategy()) {
+        // <*>p ≡ true S p, checked through the []( r => · ) safety wrapper.
+        let al = alphabet();
+        let p = Ltl::Event(EventId(0));
+        let r = Ltl::Event(EventId(2));
+        let lhs = r.clone().implies(Ltl::Once(Box::new(p.clone()))).always();
+        let rhs = r
+            .implies(Ltl::Since(Box::new(Ltl::True), Box::new(p)))
+            .always();
+        let dl = lhs.compile(&al, 20_000).unwrap();
+        let dr = rhs.compile(&al, 20_000).unwrap();
+        prop_assert_eq!(dl.classify(&trace), dr.classify(&trace));
+    }
+
+    #[test]
+    fn historically_dual_of_once(trace in trace_strategy()) {
+        // [*]p ≡ ¬<*>¬p under the safety wrapper.
+        let al = alphabet();
+        let p = Ltl::Event(EventId(0));
+        let r = Ltl::Event(EventId(2));
+        let lhs = r.clone().implies(Ltl::Historically(Box::new(p.clone()))).always();
+        let rhs = r
+            .implies(Ltl::Once(Box::new(p.negated())).negated())
+            .always();
+        let dl = lhs.compile(&al, 20_000).unwrap();
+        let dr = rhs.compile(&al, 20_000).unwrap();
+        prop_assert_eq!(dl.classify(&trace), dr.classify(&trace));
+    }
+}

@@ -1,0 +1,415 @@
+//! The property library of the PLDI'11 RV paper, §5.1.
+//!
+//! All ten properties the evaluation mentions, as sources in the
+//! `rv-spec` language:
+//!
+//! * the five benchmarked, Iterator-centric properties — [`HAS_NEXT`]
+//!   (Figures 1–2), [`UNSAFE_ITER`] (Figure 3), [`UNSAFE_MAP_ITER`],
+//!   [`UNSAFE_SYNC_COLL`], [`UNSAFE_SYNC_MAP`];
+//! * the CFG property [`SAFE_LOCK`] (Figure 4);
+//! * the four low-overhead properties the paper tested but did not
+//!   tabulate — [`HASH_SET`], [`SAFE_ENUM`], [`SAFE_FILE`],
+//!   [`SAFE_FILE_WRITER`].
+//!
+//! The event declarations carry the parameter bindings directly (this
+//! reproduction's replacement for AspectJ pointcuts); each spec's event
+//! parameter order is the contract the simulated workloads
+//! (`rv-workloads`) follow when constructing bindings.
+//!
+//! # Example
+//!
+//! ```
+//! use rv_props::{compiled, Property};
+//!
+//! let spec = compiled(Property::UnsafeIter)?;
+//! assert_eq!(spec.name, "UnsafeIter");
+//! assert_eq!(spec.param_classes, vec!["Collection", "Iterator"]);
+//! # Ok::<(), rv_spec::Diagnostic>(())
+//! ```
+
+use rv_spec::{CompiledSpec, Diagnostic};
+
+/// HASNEXT (paper Figures 1 and 2): never call `next()` without a
+/// preceding `hasNext()` that returned true. Stated twice — as the FSM of
+/// Figure 1 and as the LTL formula `[](next => (*)hasnexttrue)`.
+pub const HAS_NEXT: &str = r#"
+HasNext(Iterator i) {
+    event hasnexttrue(i);
+    event hasnextfalse(i);
+    event next(i);
+    fsm:
+        unknown [
+            hasnexttrue -> more
+            hasnextfalse -> none
+            next -> error
+        ]
+        more [
+            hasnexttrue -> more
+            next -> unknown
+        ]
+        none [
+            hasnextfalse -> none
+            next -> error
+        ]
+        error []
+    @error { report "improper Iterator use found!"; }
+    ltl: [](next => (*) hasnexttrue)
+    @violation { report "improper Iterator use found!"; }
+}
+"#;
+
+/// UNSAFEITER (paper Figure 3): do not update a Collection while
+/// iterating it.
+pub const UNSAFE_ITER: &str = r#"
+UnsafeIter(Collection c, Iterator i) {
+    event create(c, i);
+    event update(c);
+    event next(i);
+    ere: update* create next* update+ next
+    @match { report "improper Concurrent Modification found!"; }
+}
+"#;
+
+/// UNSAFEMAPITER (§5.1): do not update a Map while iterating its keys or
+/// values. The iterator is two hops from the map (map → view collection →
+/// iterator), giving a three-parameter property.
+pub const UNSAFE_MAP_ITER: &str = r#"
+UnsafeMapIter(Map m, Collection c, Iterator i) {
+    event createcoll(m, c);
+    event createiter(c, i);
+    event useiter(i);
+    event updatemap(m);
+    ere: updatemap* createcoll updatemap* createiter useiter* updatemap+ useiter
+    @match { report "improper Map iteration found!"; }
+}
+"#;
+
+/// UNSAFESYNCCOLL (§5.1): if a Collection is synchronized, its iterator
+/// must be created and accessed while holding the collection's lock.
+pub const UNSAFE_SYNC_COLL: &str = r#"
+UnsafeSyncColl(Collection c, Iterator i) {
+    event sync(c);
+    event asynccreateiter(c, i);
+    event synccreateiter(c, i);
+    event accessiter(i);
+    ere: sync asynccreateiter | sync synccreateiter accessiter
+    @match { report "improper synchronized Collection use found!"; }
+}
+"#;
+
+/// UNSAFESYNCMAP (§5.1): if a Map is synchronized, iterators over its key
+/// and value views must be accessed while synchronized.
+pub const UNSAFE_SYNC_MAP: &str = r#"
+UnsafeSyncMap(Map m, Collection c, Iterator i) {
+    event sync(m);
+    event createset(m, c);
+    event asynccreateiter(c, i);
+    event synccreateiter(c, i);
+    event accessiter(i);
+    ere: sync createset asynccreateiter | sync createset synccreateiter accessiter
+    @match { report "improper synchronized Map use found!"; }
+}
+"#;
+
+/// SAFELOCK (paper Figure 4): acquires and releases of a reentrant lock
+/// balance within every method, per lock and thread. Context-free.
+pub const SAFE_LOCK: &str = r#"
+SafeLock(Lock l, Thread t) {
+    event acquire(l, t);
+    event release(l, t);
+    event begin(t);
+    event end(t);
+    cfg: S -> S begin S end | S acquire S release | epsilon
+    @fail { report "improper Lock use found!"; }
+}
+"#;
+
+/// HASHSET (§5.1): do not mutate an object's hashing state while it sits
+/// in a hash container, then look it up.
+pub const HASH_SET: &str = r#"
+HashSet(Set s, Object o) {
+    event add(s, o);
+    event mutate(o);
+    event find(s, o);
+    ere: add mutate+ find
+    @match { report "hash code changed while in HashSet!"; }
+}
+"#;
+
+/// SAFEENUM (§5.1): do not modify a Vector while enumerating it — the
+/// legacy-API sibling of UNSAFEITER.
+pub const SAFE_ENUM: &str = r#"
+SafeEnum(Vector v, Enumeration e) {
+    event createenum(v, e);
+    event modify(v);
+    event nextelem(e);
+    ere: modify* createenum nextelem* modify+ nextelem
+    @match { report "Vector modified during enumeration!"; }
+}
+"#;
+
+/// SAFEFILE (§5.1): operate on files only between open and close, and do
+/// not reopen an open file.
+pub const SAFE_FILE: &str = r#"
+SafeFile(File f) {
+    event open(f);
+    event write(f);
+    event close(f);
+    fsm:
+        closed [
+            open -> opened
+            write -> error
+            close -> error
+        ]
+        opened [
+            write -> opened
+            close -> closed
+            open -> error
+        ]
+        error []
+    @error { report "improper File use found!"; }
+}
+"#;
+
+/// SAFEFILEWRITER (§5.1): write through a writer only while it is open.
+pub const SAFE_FILE_WRITER: &str = r#"
+SafeFileWriter(Writer w) {
+    event openwriter(w);
+    event writechar(w);
+    event closewriter(w);
+    fsm:
+        fresh [
+            openwriter -> open
+            writechar -> error
+        ]
+        open [
+            writechar -> open
+            closewriter -> done
+        ]
+        done [
+            writechar -> error
+            openwriter -> open
+        ]
+        error []
+    @error { report "improper FileWriter use found!"; }
+}
+"#;
+
+/// The catalog of properties, in the paper's §5.1 order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Property {
+    /// HASNEXT (Figures 1–2).
+    HasNext,
+    /// UNSAFEITER (Figure 3).
+    UnsafeIter,
+    /// UNSAFEMAPITER.
+    UnsafeMapIter,
+    /// UNSAFESYNCCOLL.
+    UnsafeSyncColl,
+    /// UNSAFESYNCMAP.
+    UnsafeSyncMap,
+    /// SAFELOCK (Figure 4, CFG).
+    SafeLock,
+    /// HASHSET.
+    HashSet,
+    /// SAFEENUM.
+    SafeEnum,
+    /// SAFEFILE.
+    SafeFile,
+    /// SAFEFILEWRITER.
+    SafeFileWriter,
+}
+
+impl Property {
+    /// The five properties of the Figure 9/10 evaluation matrix.
+    pub const EVALUATED: [Property; 5] = [
+        Property::HasNext,
+        Property::UnsafeIter,
+        Property::UnsafeMapIter,
+        Property::UnsafeSyncColl,
+        Property::UnsafeSyncMap,
+    ];
+
+    /// All ten properties.
+    pub const ALL: [Property; 10] = [
+        Property::HasNext,
+        Property::UnsafeIter,
+        Property::UnsafeMapIter,
+        Property::UnsafeSyncColl,
+        Property::UnsafeSyncMap,
+        Property::SafeLock,
+        Property::HashSet,
+        Property::SafeEnum,
+        Property::SafeFile,
+        Property::SafeFileWriter,
+    ];
+
+    /// The spec source text.
+    #[must_use]
+    pub fn source(self) -> &'static str {
+        match self {
+            Property::HasNext => HAS_NEXT,
+            Property::UnsafeIter => UNSAFE_ITER,
+            Property::UnsafeMapIter => UNSAFE_MAP_ITER,
+            Property::UnsafeSyncColl => UNSAFE_SYNC_COLL,
+            Property::UnsafeSyncMap => UNSAFE_SYNC_MAP,
+            Property::SafeLock => SAFE_LOCK,
+            Property::HashSet => HASH_SET,
+            Property::SafeEnum => SAFE_ENUM,
+            Property::SafeFile => SAFE_FILE,
+            Property::SafeFileWriter => SAFE_FILE_WRITER,
+        }
+    }
+
+    /// The paper's name for the property (all caps, as printed).
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Property::HasNext => "HASNEXT",
+            Property::UnsafeIter => "UNSAFEITER",
+            Property::UnsafeMapIter => "UNSAFEMAPITER",
+            Property::UnsafeSyncColl => "UNSAFESYNCCOLL",
+            Property::UnsafeSyncMap => "UNSAFESYNCMAP",
+            Property::SafeLock => "SAFELOCK",
+            Property::HashSet => "HASHSET",
+            Property::SafeEnum => "SAFEENUM",
+            Property::SafeFile => "SAFEFILE",
+            Property::SafeFileWriter => "SAFEFILEWRITER",
+        }
+    }
+
+    /// Whether the Tracematches baseline can run this property (regex
+    /// representable; in this suite that means non-CFG).
+    #[must_use]
+    pub fn tracematches_supported(self) -> bool {
+        self != Property::SafeLock
+    }
+}
+
+/// Compiles a property from the catalog.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] if the bundled source fails to compile — which
+/// would indicate a bug; the test suite compiles all ten.
+pub fn compiled(property: Property) -> Result<CompiledSpec, Diagnostic> {
+    CompiledSpec::from_source(property.source())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_logic::{Formalism as _, GoalSet, Verdict};
+
+    #[test]
+    fn all_ten_properties_compile() {
+        for p in Property::ALL {
+            let spec = compiled(p).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert!(!spec.properties.is_empty());
+        }
+    }
+
+    #[test]
+    fn has_next_has_two_blocks_that_agree() {
+        let spec = compiled(Property::HasNext).unwrap();
+        assert_eq!(spec.properties.len(), 2);
+        let next = spec.alphabet.lookup("next").unwrap();
+        let hnt = spec.alphabet.lookup("hasnexttrue").unwrap();
+        for prop in &spec.properties {
+            let mut st = prop.formalism.initial_state();
+            // hasnexttrue next next: the second next is unchecked.
+            prop.formalism.step(&mut st, hnt);
+            prop.formalism.step(&mut st, next);
+            let v = prop.formalism.step(&mut st, next);
+            assert!(prop.goal.contains(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn unsafe_map_iter_needs_the_iterator_alive() {
+        let spec = compiled(Property::UnsafeMapIter).unwrap();
+        let prop = &spec.properties[0];
+        let aliveness = prop.aliveness.as_ref().unwrap();
+        let i = spec.event_def.lookup_param("i").unwrap();
+        let dead_i = rv_logic::ParamSet::singleton(i);
+        for e in spec.alphabet.iter() {
+            assert!(
+                !aliveness.is_necessary(e, dead_i),
+                "event {} should not keep monitors alive once the iterator dies",
+                spec.alphabet.name(e)
+            );
+        }
+    }
+
+    #[test]
+    fn unsafe_sync_coll_matches_both_violation_shapes() {
+        let spec = compiled(Property::UnsafeSyncColl).unwrap();
+        let prop = &spec.properties[0];
+        let ev = |n: &str| spec.alphabet.lookup(n).unwrap();
+        // Shape 1: iterator created without synchronization.
+        let mut st = prop.formalism.initial_state();
+        prop.formalism.step(&mut st, ev("sync"));
+        let v = prop.formalism.step(&mut st, ev("asynccreateiter"));
+        assert_eq!(v, Verdict::Match);
+        // Shape 2: created synchronized but accessed without.
+        let mut st = prop.formalism.initial_state();
+        prop.formalism.step(&mut st, ev("sync"));
+        prop.formalism.step(&mut st, ev("synccreateiter"));
+        let v = prop.formalism.step(&mut st, ev("accessiter"));
+        assert_eq!(v, Verdict::Match);
+    }
+
+    #[test]
+    fn safe_lock_is_cfg_with_fail_goal() {
+        let spec = compiled(Property::SafeLock).unwrap();
+        let prop = &spec.properties[0];
+        assert_eq!(prop.goal, GoalSet::FAIL);
+        assert!(matches!(prop.formalism, rv_logic::AnyFormalism::Cfg(_)));
+        let ev = |n: &str| spec.alphabet.lookup(n).unwrap();
+        let mut st = prop.formalism.initial_state();
+        prop.formalism.step(&mut st, ev("begin"));
+        prop.formalism.step(&mut st, ev("acquire"));
+        let v = prop.formalism.step(&mut st, ev("end"));
+        assert_eq!(v, Verdict::Fail, "acquire not released before method end");
+    }
+
+    #[test]
+    fn safe_file_flags_write_without_open() {
+        let spec = compiled(Property::SafeFile).unwrap();
+        let prop = &spec.properties[0];
+        let ev = |n: &str| spec.alphabet.lookup(n).unwrap();
+        let mut st = prop.formalism.initial_state();
+        let v = prop.formalism.step(&mut st, ev("write"));
+        assert_eq!(v, Verdict::Match, "goal (error state) reached");
+        let mut st = prop.formalism.initial_state();
+        prop.formalism.step(&mut st, ev("open"));
+        prop.formalism.step(&mut st, ev("write"));
+        let v = prop.formalism.step(&mut st, ev("close"));
+        assert_eq!(v, Verdict::Unknown);
+    }
+
+    #[test]
+    fn evaluated_properties_support_tracematches_except_safelock() {
+        for p in Property::EVALUATED {
+            assert!(p.tracematches_supported());
+        }
+        assert!(!Property::SafeLock.tracematches_supported());
+    }
+
+    #[test]
+    fn hash_set_matches_add_mutate_find() {
+        let spec = compiled(Property::HashSet).unwrap();
+        let prop = &spec.properties[0];
+        let ev = |n: &str| spec.alphabet.lookup(n).unwrap();
+        let mut st = prop.formalism.initial_state();
+        prop.formalism.step(&mut st, ev("add"));
+        prop.formalism.step(&mut st, ev("mutate"));
+        let v = prop.formalism.step(&mut st, ev("find"));
+        assert_eq!(v, Verdict::Match);
+        // find without mutate is fine.
+        let mut st = prop.formalism.initial_state();
+        prop.formalism.step(&mut st, ev("add"));
+        let v = prop.formalism.step(&mut st, ev("find"));
+        assert_eq!(v, Verdict::Fail, "pattern can no longer match");
+    }
+}

@@ -1,0 +1,162 @@
+//! Behavioral pins for every property in the catalog: each property's
+//! canonical violating trace triggers its goal, and each property's
+//! canonical correct trace does not. These are the semantic contracts the
+//! workload generators and the evaluation rely on.
+
+use rv_logic::{Formalism as _, Verdict};
+use rv_props::{compiled, Property};
+use rv_spec::CompiledSpec;
+
+/// Steps `events` through the first property block, returning the final
+/// verdict and whether any goal verdict occurred along the way.
+fn run(spec: &CompiledSpec, block: usize, events: &[&str]) -> (Verdict, bool) {
+    let prop = &spec.properties[block];
+    let mut state = prop.formalism.initial_state();
+    let mut triggered = false;
+    let mut last = prop.formalism.verdict(&state);
+    for name in events {
+        let e = spec
+            .alphabet
+            .lookup(name)
+            .unwrap_or_else(|| panic!("{}: unknown event {name}", spec.name));
+        last = prop.formalism.step(&mut state, e);
+        if prop.goal.contains(last) {
+            triggered = true;
+        }
+    }
+    (last, triggered)
+}
+
+#[test]
+fn has_next_contract() {
+    let spec = compiled(Property::HasNext).unwrap();
+    for block in 0..2 {
+        let (_, bad) = run(&spec, block, &["hasnexttrue", "next", "next"]);
+        assert!(bad, "unchecked second next violates block {block}");
+        let (_, ok) = run(
+            &spec,
+            block,
+            &["hasnexttrue", "next", "hasnexttrue", "next", "hasnextfalse"],
+        );
+        assert!(!ok, "guarded iteration is fine in block {block}");
+    }
+}
+
+#[test]
+fn unsafe_iter_contract() {
+    let spec = compiled(Property::UnsafeIter).unwrap();
+    let (_, bad) = run(&spec, 0, &["create", "next", "update", "next"]);
+    assert!(bad);
+    let (_, ok) = run(&spec, 0, &["update", "create", "next", "next"]);
+    assert!(!ok, "updates strictly before creation are fine");
+    let (_, ok2) = run(&spec, 0, &["create", "next", "update"]);
+    assert!(!ok2, "an update with no subsequent use is fine");
+}
+
+#[test]
+fn unsafe_map_iter_contract() {
+    let spec = compiled(Property::UnsafeMapIter).unwrap();
+    let (_, bad) = run(
+        &spec,
+        0,
+        &["createcoll", "createiter", "useiter", "updatemap", "useiter"],
+    );
+    assert!(bad);
+    let (_, ok) = run(&spec, 0, &["updatemap", "createcoll", "createiter", "useiter"]);
+    assert!(!ok);
+}
+
+#[test]
+fn unsafe_sync_coll_contract() {
+    let spec = compiled(Property::UnsafeSyncColl).unwrap();
+    let (_, bad1) = run(&spec, 0, &["sync", "asynccreateiter"]);
+    assert!(bad1, "creating the iterator without the lock");
+    let (_, bad2) = run(&spec, 0, &["sync", "synccreateiter", "accessiter"]);
+    assert!(bad2, "accessing without the lock");
+    let (_, ok) = run(&spec, 0, &["sync", "synccreateiter"]);
+    assert!(!ok);
+}
+
+#[test]
+fn unsafe_sync_map_contract() {
+    let spec = compiled(Property::UnsafeSyncMap).unwrap();
+    let (_, bad) = run(&spec, 0, &["sync", "createset", "asynccreateiter"]);
+    assert!(bad);
+    let (_, ok) = run(&spec, 0, &["createset", "asynccreateiter"]);
+    assert!(!ok, "unsynchronized maps are unconstrained");
+}
+
+#[test]
+fn safe_lock_contract() {
+    let spec = compiled(Property::SafeLock).unwrap();
+    let (_, bad) = run(&spec, 0, &["begin", "acquire", "end"]);
+    assert!(bad, "method exits holding the lock");
+    let (_, ok) = run(
+        &spec,
+        0,
+        &["begin", "acquire", "begin", "end", "release", "end"],
+    );
+    assert!(!ok, "properly nested");
+    let (_, bad2) = run(&spec, 0, &["release"]);
+    assert!(bad2, "release without acquire");
+}
+
+#[test]
+fn hash_set_contract() {
+    let spec = compiled(Property::HashSet).unwrap();
+    let (_, bad) = run(&spec, 0, &["add", "mutate", "find"]);
+    assert!(bad);
+    let (_, ok) = run(&spec, 0, &["add", "find"]);
+    assert!(!ok);
+}
+
+#[test]
+fn safe_enum_contract() {
+    let spec = compiled(Property::SafeEnum).unwrap();
+    let (_, bad) = run(&spec, 0, &["createenum", "nextelem", "modify", "nextelem"]);
+    assert!(bad);
+    let (_, ok) = run(&spec, 0, &["modify", "createenum", "nextelem"]);
+    assert!(!ok);
+}
+
+#[test]
+fn safe_file_contract() {
+    let spec = compiled(Property::SafeFile).unwrap();
+    let (_, bad) = run(&spec, 0, &["write"]);
+    assert!(bad, "write before open");
+    let (_, bad2) = run(&spec, 0, &["open", "open"]);
+    assert!(bad2, "double open");
+    let (_, ok) = run(&spec, 0, &["open", "write", "write", "close"]);
+    assert!(!ok);
+}
+
+#[test]
+fn safe_file_writer_contract() {
+    let spec = compiled(Property::SafeFileWriter).unwrap();
+    let (_, bad) = run(&spec, 0, &["openwriter", "closewriter", "writechar"]);
+    assert!(bad, "write after close");
+    let (_, ok) = run(&spec, 0, &["openwriter", "writechar", "closewriter", "openwriter", "writechar"]);
+    assert!(!ok, "reopening is fine");
+}
+
+#[test]
+fn every_property_keeps_the_iterator_shape_of_its_aliveness() {
+    // For the three iterator-centric ERE properties, the last-position
+    // parameter (the iterator) must appear in every ALIVENESS mask of
+    // every event: once the iterator dies, nothing can match.
+    for p in [Property::UnsafeIter, Property::UnsafeMapIter] {
+        let spec = compiled(p).unwrap();
+        let prop = &spec.properties[0];
+        let aliveness = prop.aliveness.as_ref().unwrap();
+        let iter_param = spec.event_def.lookup_param("i").unwrap();
+        for e in spec.alphabet.iter() {
+            for mask in aliveness.masks(e) {
+                assert!(
+                    mask.contains(iter_param),
+                    "{p:?}: mask for {} lacks the iterator",
+                    spec.alphabet.name(e)
+                );
+            }
+        }
+    }
+}

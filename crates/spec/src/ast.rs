@@ -1,0 +1,178 @@
+//! Abstract syntax for the RV spec language.
+//!
+//! One spec (paper Figures 2–4) declares a name, a parameter list, a set of
+//! events, and one or more *property blocks* (`fsm:`, `ere:`, `ltl:`,
+//! `cfg:`), each followed by its handlers (`@error { … }`). Figure 2 shows
+//! the same property stated twice (FSM and LTL) in a single spec — hence
+//! `blocks` is a list.
+
+use crate::span::Span;
+
+/// A parsed specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecAst {
+    /// Spec name, e.g. `UnsafeIter`.
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// Declared parameters, in order.
+    pub params: Vec<ParamDecl>,
+    /// Declared events, in order (this order fixes event ids).
+    pub events: Vec<EventDecl>,
+    /// Property blocks with their handlers.
+    pub blocks: Vec<PropertyBlock>,
+}
+
+/// One `Class name` parameter declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// The class/type name (e.g. `Iterator`), kept for documentation and
+    /// for the workload layer's class checks.
+    pub class: String,
+    /// The parameter name (e.g. `i`).
+    pub name: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One `event name(params…);` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventDecl {
+    /// The event name.
+    pub name: String,
+    /// The parameters this event binds — the `D(e)` of Definition 4.
+    pub params: Vec<String>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Which plugin a property block uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormalismKind {
+    /// `fsm:` — Figure 2's finite state machine.
+    Fsm,
+    /// `ere:` — Figure 3's extended regular expression.
+    Ere,
+    /// `ltl:` — Figure 2's temporal formula.
+    Ltl,
+    /// `cfg:` — Figure 4's context-free grammar.
+    Cfg,
+}
+
+/// A property block plus the handlers that follow it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PropertyBlock {
+    /// The plugin.
+    pub kind: FormalismKind,
+    /// The body.
+    pub body: PropertyBody,
+    /// Handlers (`@match`, `@fail`, `@violation`, or FSM state names).
+    pub handlers: Vec<HandlerDecl>,
+    /// Source span of the block head.
+    pub span: Span,
+}
+
+/// The body of a property block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropertyBody {
+    /// FSM states in declaration order (first = initial).
+    Fsm(Vec<FsmStateAst>),
+    /// ERE pattern.
+    Ere(EreAst),
+    /// LTL formula.
+    Ltl(LtlAst),
+    /// CFG rules (first left-hand side = start symbol).
+    Cfg(Vec<RuleAst>),
+}
+
+/// One FSM state: `name [ event -> target … ]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FsmStateAst {
+    /// State name.
+    pub name: String,
+    /// `(event, target)` transitions.
+    pub transitions: Vec<(String, String)>,
+    /// Source span of the state name.
+    pub span: Span,
+}
+
+/// ERE syntax tree (names resolved during compilation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EreAst {
+    /// An event reference.
+    Event(String, Span),
+    /// `epsilon`.
+    Epsilon(Span),
+    /// Juxtaposition.
+    Concat(Box<EreAst>, Box<EreAst>),
+    /// `a | b`.
+    Union(Box<EreAst>, Box<EreAst>),
+    /// `a & b`.
+    Inter(Box<EreAst>, Box<EreAst>),
+    /// `a*`.
+    Star(Box<EreAst>),
+    /// `a+`.
+    Plus(Box<EreAst>),
+    /// `~a`.
+    Not(Box<EreAst>),
+}
+
+/// LTL syntax tree (names resolved during compilation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LtlAst {
+    /// An event reference.
+    Event(String, Span),
+    /// `true`.
+    True(Span),
+    /// `false`.
+    False(Span),
+    /// `! a`.
+    Not(Box<LtlAst>),
+    /// `a && b`.
+    And(Box<LtlAst>, Box<LtlAst>),
+    /// `a || b`.
+    Or(Box<LtlAst>, Box<LtlAst>),
+    /// `a => b`.
+    Implies(Box<LtlAst>, Box<LtlAst>),
+    /// `[] a`.
+    Always(Box<LtlAst>),
+    /// `<> a`.
+    Eventually(Box<LtlAst>),
+    /// `X a`.
+    Next(Box<LtlAst>),
+    /// `a U b`.
+    Until(Box<LtlAst>, Box<LtlAst>),
+    /// `a R b`.
+    Release(Box<LtlAst>, Box<LtlAst>),
+    /// `(*) a`.
+    Prev(Box<LtlAst>),
+    /// `a S b`.
+    Since(Box<LtlAst>, Box<LtlAst>),
+    /// `<*> a`.
+    Once(Box<LtlAst>),
+    /// `[*] a`.
+    Historically(Box<LtlAst>),
+}
+
+/// One CFG rule: `Lhs -> alt | alt | …`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleAst {
+    /// The nonterminal being defined.
+    pub lhs: String,
+    /// Alternatives; each is a list of symbol names (empty = `ε`, also
+    /// written `epsilon`).
+    pub alts: Vec<Vec<String>>,
+    /// Source span of the left-hand side.
+    pub span: Span,
+}
+
+/// One handler: `@name { report "…"; }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandlerDecl {
+    /// Handler name (`match`, `fail`, `violation`, or an FSM state name).
+    pub name: String,
+    /// The `report` message, if any.
+    pub message: Option<String>,
+    /// Source span of the handler name.
+    pub span: Span,
+}

@@ -1,0 +1,310 @@
+//! Hand-written lexer for the RV spec language.
+//!
+//! The token set covers all four property-block syntaxes (paper Figures
+//! 2–4): identifiers, string literals, structural punctuation, the ERE
+//! operators (`| & * + ~`), the FSM arrow (`->`), the CFG arrow and
+//! alternation, and the LTL operators (`[] <> (*) <*> [*] U S R X ! && ||
+//! =>`). Line comments start with `//`.
+
+use std::fmt;
+
+use crate::span::{Diagnostic, Span};
+
+/// One lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are contextual).
+    Ident(String),
+    /// A double-quoted string literal (contents, unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `[]` (LTL always / empty FSM state body)
+    Box_,
+    /// `<>` (LTL eventually)
+    Diamond,
+    /// `(*)` (LTL previously)
+    PrevOp,
+    /// `<*>` (LTL once)
+    OnceOp,
+    /// `[*]` (LTL historically)
+    HistOp,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::At => write!(f, "`@`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::FatArrow => write!(f, "`=>`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Tilde => write!(f, "`~`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Box_ => write!(f, "`[]`"),
+            TokenKind::Diamond => write!(f, "`<>`"),
+            TokenKind::PrevOp => write!(f, "`(*)`"),
+            TokenKind::OnceOp => write!(f, "`<*>`"),
+            TokenKind::HistOp => write!(f, "`[*]`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+/// Lexes `source` into tokens (ending with [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unterminated strings or characters outside
+/// the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(Diagnostic::new(
+                                Span::new(start, i),
+                                "unterminated string literal",
+                            ));
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), span: Span::new(start, i) });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let ident = source[start..i].to_owned();
+                tokens.push(Token { kind: TokenKind::Ident(ident), span: Span::new(start, i) });
+            }
+            _ => {
+                // Multi-character operators first, longest match.
+                let three = source.get(i..i + 3);
+                let two = source.get(i..i + 2);
+                let (kind, len) = match (three, two, c) {
+                    (Some("(*)"), _, _) => (TokenKind::PrevOp, 3),
+                    (Some("<*>"), _, _) => (TokenKind::OnceOp, 3),
+                    (Some("[*]"), _, _) => (TokenKind::HistOp, 3),
+                    (_, Some("->"), _) => (TokenKind::Arrow, 2),
+                    (_, Some("=>"), _) => (TokenKind::FatArrow, 2),
+                    (_, Some("||"), _) => (TokenKind::PipePipe, 2),
+                    (_, Some("&&"), _) => (TokenKind::AmpAmp, 2),
+                    (_, Some("[]"), _) => (TokenKind::Box_, 2),
+                    (_, Some("<>"), _) => (TokenKind::Diamond, 2),
+                    (_, _, '(') => (TokenKind::LParen, 1),
+                    (_, _, ')') => (TokenKind::RParen, 1),
+                    (_, _, '{') => (TokenKind::LBrace, 1),
+                    (_, _, '}') => (TokenKind::RBrace, 1),
+                    (_, _, '[') => (TokenKind::LBracket, 1),
+                    (_, _, ']') => (TokenKind::RBracket, 1),
+                    (_, _, ',') => (TokenKind::Comma, 1),
+                    (_, _, ';') => (TokenKind::Semi, 1),
+                    (_, _, ':') => (TokenKind::Colon, 1),
+                    (_, _, '@') => (TokenKind::At, 1),
+                    (_, _, '|') => (TokenKind::Pipe, 1),
+                    (_, _, '&') => (TokenKind::Amp, 1),
+                    (_, _, '*') => (TokenKind::Star, 1),
+                    (_, _, '+') => (TokenKind::Plus, 1),
+                    (_, _, '~') => (TokenKind::Tilde, 1),
+                    (_, _, '!') => (TokenKind::Bang, 1),
+                    _ => {
+                        return Err(Diagnostic::new(
+                            Span::new(start, start + 1),
+                            format!("unexpected character `{c}`"),
+                        ));
+                    }
+                };
+                tokens.push(Token { kind, span: Span::new(start, start + len) });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, span: Span::new(i, i) });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_event_declaration() {
+        let ks = kinds("event next(i);");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("event".into()),
+                TokenKind::Ident("next".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("i".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_ltl_operators() {
+        let ks = kinds("[] (next => (*) hasnexttrue) <> <*> [*] U S R ! && ||");
+        assert!(ks.contains(&TokenKind::Box_));
+        assert!(ks.contains(&TokenKind::PrevOp));
+        assert!(ks.contains(&TokenKind::Diamond));
+        assert!(ks.contains(&TokenKind::OnceOp));
+        assert!(ks.contains(&TokenKind::HistOp));
+        assert!(ks.contains(&TokenKind::FatArrow));
+        assert!(ks.contains(&TokenKind::AmpAmp));
+        assert!(ks.contains(&TokenKind::PipePipe));
+    }
+
+    #[test]
+    fn lexes_ere_pattern() {
+        let ks = kinds("update* create next* update+ next");
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Star).count(), 2);
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Plus).count(), 1);
+    }
+
+    #[test]
+    fn empty_brackets_lex_as_box() {
+        // `error []` — the parser accepts Box_ as an empty FSM state body.
+        let ks = kinds("error []");
+        assert_eq!(ks[1], TokenKind::Box_);
+        // With a space they are two brackets.
+        let ks = kinds("error [ ]");
+        assert_eq!(ks[1], TokenKind::LBracket);
+        assert_eq!(ks[2], TokenKind::RBracket);
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let ks = kinds("report \"improper use\"; // trailing comment\n@");
+        assert_eq!(ks[1], TokenKind::Str("improper use".into()));
+        assert_eq!(ks[3], TokenKind::At);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let ks = kinds(r#""a \" b""#);
+        assert_eq!(ks[0], TokenKind::Str("a \" b".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = lex("event ???").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.start, 6);
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab ->").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,53 @@
+//! The RV specification language: parsing and compiling parametric
+//! property specifications in the style of the paper's Figures 2–4.
+//!
+//! A spec declares parameters, events (with the parameters each binds —
+//! the `D` of Definition 4), one or more property blocks in any of the four
+//! plugin formalisms, and handlers:
+//!
+//! ```text
+//! UnsafeIter(Collection c, Iterator i) {
+//!     event create(c, i);
+//!     event update(c);
+//!     event next(i);
+//!     ere: update* create next* update+ next
+//!     @match { report "improper Concurrent Modification found!"; }
+//! }
+//! ```
+//!
+//! The only departure from the paper's concrete syntax is the event
+//! declaration: the paper binds parameters via AspectJ pointcuts
+//! (`after(Collection c) returning(Iterator i): call(…)`), which this
+//! reproduction replaces with direct parameter lists — the instrumentation
+//! role is played by the simulated workloads (see `rv-workloads`).
+//!
+//! # Example
+//!
+//! ```
+//! use rv_spec::CompiledSpec;
+//!
+//! let spec = CompiledSpec::from_source(
+//!     r#"HasNext(Iterator i) {
+//!         event hasnexttrue(i);
+//!         event next(i);
+//!         ltl: [](next => (*) hasnexttrue)
+//!         @violation { report "improper Iterator use found!"; }
+//!     }"#,
+//! )?;
+//! assert_eq!(spec.name, "HasNext");
+//! assert_eq!(spec.properties.len(), 1);
+//! # Ok::<(), rv_spec::Diagnostic>(())
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+
+pub use crate::ast::{FormalismKind, SpecAst};
+pub use crate::compile::{compile, CompiledHandler, CompiledProperty, CompiledSpec};
+pub use crate::parser::parse;
+pub use crate::printer::print;
+pub use crate::span::{Diagnostic, Span};

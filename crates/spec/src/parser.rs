@@ -1,0 +1,692 @@
+//! Recursive-descent parser for the RV spec language.
+//!
+//! The grammar (see [`crate::ast`]):
+//!
+//! ```text
+//! spec     := IDENT '(' param (',' param)* ')' '{' item* '}'
+//! param    := IDENT IDENT                        // class, name
+//! item     := 'event' IDENT '(' [idents] ')' ';'
+//!           | ('fsm'|'ere'|'ltl'|'cfg') ':' body
+//!           | '@' IDENT '{' ['report' STRING [';']] '}'
+//! ```
+//!
+//! Handlers attach to the property block that precedes them. The keywords
+//! `event`, `fsm`, `ere`, `ltl`, `cfg`, `report` and `epsilon` are
+//! reserved: they cannot name events, parameters, or states (this is what
+//! lets the ERE/CFG bodies, which are juxtaposition-based, know where they
+//! end).
+
+use crate::ast::{
+    EreAst, EventDecl, FormalismKind, FsmStateAst, HandlerDecl, LtlAst, ParamDecl, PropertyBlock,
+    PropertyBody, RuleAst, SpecAst,
+};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::span::{Diagnostic, Span};
+
+const RESERVED: &[&str] = &["event", "fsm", "ere", "ltl", "cfg", "report", "epsilon"];
+
+/// Parses a complete spec source into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`Diagnostic`].
+pub fn parse(source: &str) -> Result<SpecAst, Diagnostic> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.spec()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, Diagnostic> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::new(self.span(), format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                let span = self.span();
+                self.bump();
+                Ok((s, span))
+            }
+            other => Err(Diagnostic::new(self.span(), format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn user_ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        let (s, span) = self.ident(what)?;
+        if RESERVED.contains(&s.as_str()) {
+            return Err(Diagnostic::new(span, format!("`{s}` is a reserved word")));
+        }
+        Ok((s, span))
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == name)
+    }
+
+    /// Whether the cursor sits at the start of the next item (ends
+    /// juxtaposition-based bodies).
+    fn at_item_boundary(&self) -> bool {
+        match self.peek() {
+            TokenKind::RBrace | TokenKind::At | TokenKind::Eof => true,
+            TokenKind::Ident(s) => {
+                s == "event"
+                    || ((s == "fsm" || s == "ere" || s == "ltl" || s == "cfg")
+                        && *self.peek2() == TokenKind::Colon)
+            }
+            _ => false,
+        }
+    }
+
+    fn spec(&mut self) -> Result<SpecAst, Diagnostic> {
+        let (name, name_span) = self.user_ident("spec name")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let (class, cspan) = self.user_ident("parameter class")?;
+                let (pname, pspan) = self.user_ident("parameter name")?;
+                params.push(ParamDecl { class, name: pname, span: cspan.merge(pspan) });
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut events = Vec::new();
+        let mut blocks: Vec<PropertyBlock> = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Eof => {
+                    return Err(Diagnostic::new(self.span(), "unexpected end of input"));
+                }
+                TokenKind::Ident(s) if s == "event" => {
+                    events.push(self.event_decl()?);
+                }
+                TokenKind::Ident(s)
+                    if matches!(s.as_str(), "fsm" | "ere" | "ltl" | "cfg")
+                        && *self.peek2() == TokenKind::Colon =>
+                {
+                    blocks.push(self.property_block()?);
+                }
+                TokenKind::At => {
+                    let handler = self.handler()?;
+                    match blocks.last_mut() {
+                        Some(block) => block.handlers.push(handler),
+                        None => {
+                            return Err(Diagnostic::new(
+                                handler.span,
+                                "handler appears before any property block",
+                            ));
+                        }
+                    }
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        self.span(),
+                        format!("expected `event`, a property block, or a handler, found {other}"),
+                    ));
+                }
+            }
+        }
+        self.expect(&TokenKind::Eof)?;
+        Ok(SpecAst { name, name_span, params, events, blocks })
+    }
+
+    fn event_decl(&mut self) -> Result<EventDecl, Diagnostic> {
+        let kw = self.bump(); // `event`
+        let (name, nspan) = self.user_ident("event name")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let (p, _) = self.user_ident("parameter name")?;
+                params.push(p);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(EventDecl { name, params, span: kw.span.merge(nspan).merge(end.span) })
+    }
+
+    fn property_block(&mut self) -> Result<PropertyBlock, Diagnostic> {
+        let head = self.bump(); // formalism keyword
+        let kind = match &head.kind {
+            TokenKind::Ident(s) => match s.as_str() {
+                "fsm" => FormalismKind::Fsm,
+                "ere" => FormalismKind::Ere,
+                "ltl" => FormalismKind::Ltl,
+                "cfg" => FormalismKind::Cfg,
+                _ => unreachable!("guarded by caller"),
+            },
+            _ => unreachable!("guarded by caller"),
+        };
+        self.expect(&TokenKind::Colon)?;
+        let body = match kind {
+            FormalismKind::Fsm => PropertyBody::Fsm(self.fsm_body()?),
+            FormalismKind::Ere => PropertyBody::Ere(self.ere_expr()?),
+            FormalismKind::Ltl => PropertyBody::Ltl(self.ltl_implies()?),
+            FormalismKind::Cfg => PropertyBody::Cfg(self.cfg_body()?),
+        };
+        Ok(PropertyBlock { kind, body, handlers: Vec::new(), span: head.span })
+    }
+
+    fn handler(&mut self) -> Result<HandlerDecl, Diagnostic> {
+        self.bump(); // `@`
+        let (name, span) = self.user_ident("handler name")?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut message = None;
+        if self.at_ident("report") {
+            self.bump();
+            match self.peek().clone() {
+                TokenKind::Str(s) => {
+                    self.bump();
+                    message = Some(s);
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        self.span(),
+                        format!("expected string literal after `report`, found {other}"),
+                    ));
+                }
+            }
+            if *self.peek() == TokenKind::Semi {
+                self.bump();
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(HandlerDecl { name, message, span })
+    }
+
+    // ----- fsm ------------------------------------------------------------
+
+    fn fsm_body(&mut self) -> Result<Vec<FsmStateAst>, Diagnostic> {
+        let mut states = Vec::new();
+        while !self.at_item_boundary() {
+            let (name, span) = self.user_ident("state name")?;
+            let mut transitions = Vec::new();
+            if *self.peek() == TokenKind::Box_ {
+                self.bump(); // `[]` — empty body
+            } else {
+                self.expect(&TokenKind::LBracket)?;
+                while *self.peek() != TokenKind::RBracket {
+                    let (ev, _) = self.user_ident("event name")?;
+                    self.expect(&TokenKind::Arrow)?;
+                    let (target, _) = self.user_ident("target state")?;
+                    transitions.push((ev, target));
+                }
+                self.bump(); // `]`
+            }
+            states.push(FsmStateAst { name, transitions, span });
+        }
+        if states.is_empty() {
+            return Err(Diagnostic::new(self.span(), "fsm block has no states"));
+        }
+        Ok(states)
+    }
+
+    // ----- ere ------------------------------------------------------------
+
+    fn ere_expr(&mut self) -> Result<EreAst, Diagnostic> {
+        // union (lowest) → intersection → juxtaposition → postfix → primary
+        let mut lhs = self.ere_inter()?;
+        while *self.peek() == TokenKind::Pipe {
+            self.bump();
+            let rhs = self.ere_inter()?;
+            lhs = EreAst::Union(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ere_inter(&mut self) -> Result<EreAst, Diagnostic> {
+        let mut lhs = self.ere_seq()?;
+        while *self.peek() == TokenKind::Amp {
+            self.bump();
+            let rhs = self.ere_seq()?;
+            lhs = EreAst::Inter(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ere_seq(&mut self) -> Result<EreAst, Diagnostic> {
+        let mut lhs = self.ere_postfix()?;
+        loop {
+            let more = match self.peek() {
+                TokenKind::Ident(_) => !self.at_item_boundary(),
+                TokenKind::LParen | TokenKind::Tilde => true,
+                _ => false,
+            };
+            if !more {
+                break;
+            }
+            let rhs = self.ere_postfix()?;
+            lhs = EreAst::Concat(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ere_postfix(&mut self) -> Result<EreAst, Diagnostic> {
+        let mut e = self.ere_primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    e = EreAst::Star(Box::new(e));
+                }
+                TokenKind::Plus => {
+                    self.bump();
+                    e = EreAst::Plus(Box::new(e));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn ere_primary(&mut self) -> Result<EreAst, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) if s == "epsilon" => {
+                let span = self.span();
+                self.bump();
+                Ok(EreAst::Epsilon(span))
+            }
+            TokenKind::Ident(s) if !RESERVED.contains(&s.as_str()) => {
+                let span = self.span();
+                self.bump();
+                Ok(EreAst::Event(s, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.ere_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                let e = self.ere_postfix()?;
+                Ok(EreAst::Not(Box::new(e)))
+            }
+            other => {
+                Err(Diagnostic::new(self.span(), format!("expected ERE operand, found {other}")))
+            }
+        }
+    }
+
+    // ----- ltl ------------------------------------------------------------
+
+    fn ltl_implies(&mut self) -> Result<LtlAst, Diagnostic> {
+        let lhs = self.ltl_or()?;
+        if *self.peek() == TokenKind::FatArrow {
+            self.bump();
+            let rhs = self.ltl_implies()?;
+            Ok(LtlAst::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ltl_or(&mut self) -> Result<LtlAst, Diagnostic> {
+        let mut lhs = self.ltl_and()?;
+        while *self.peek() == TokenKind::PipePipe {
+            self.bump();
+            let rhs = self.ltl_and()?;
+            lhs = LtlAst::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ltl_and(&mut self) -> Result<LtlAst, Diagnostic> {
+        let mut lhs = self.ltl_temporal()?;
+        while *self.peek() == TokenKind::AmpAmp {
+            self.bump();
+            let rhs = self.ltl_temporal()?;
+            lhs = LtlAst::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// Binary temporal operators `U`, `S`, `R` (right-associative).
+    fn ltl_temporal(&mut self) -> Result<LtlAst, Diagnostic> {
+        let lhs = self.ltl_unary()?;
+        let op = match self.peek() {
+            TokenKind::Ident(s) if s == "U" || s == "S" || s == "R" => s.clone(),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.ltl_temporal()?;
+        Ok(match op.as_str() {
+            "U" => LtlAst::Until(Box::new(lhs), Box::new(rhs)),
+            "S" => LtlAst::Since(Box::new(lhs), Box::new(rhs)),
+            _ => LtlAst::Release(Box::new(lhs), Box::new(rhs)),
+        })
+    }
+
+    fn ltl_unary(&mut self) -> Result<LtlAst, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Bang => {
+                self.bump();
+                Ok(LtlAst::Not(Box::new(self.ltl_unary()?)))
+            }
+            TokenKind::Box_ => {
+                self.bump();
+                Ok(LtlAst::Always(Box::new(self.ltl_unary()?)))
+            }
+            TokenKind::Diamond => {
+                self.bump();
+                Ok(LtlAst::Eventually(Box::new(self.ltl_unary()?)))
+            }
+            TokenKind::PrevOp => {
+                self.bump();
+                Ok(LtlAst::Prev(Box::new(self.ltl_unary()?)))
+            }
+            TokenKind::OnceOp => {
+                self.bump();
+                Ok(LtlAst::Once(Box::new(self.ltl_unary()?)))
+            }
+            TokenKind::HistOp => {
+                self.bump();
+                Ok(LtlAst::Historically(Box::new(self.ltl_unary()?)))
+            }
+            TokenKind::Ident(s) if s == "X" => {
+                self.bump();
+                Ok(LtlAst::Next(Box::new(self.ltl_unary()?)))
+            }
+            _ => self.ltl_primary(),
+        }
+    }
+
+    fn ltl_primary(&mut self) -> Result<LtlAst, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) if s == "true" => {
+                let span = self.span();
+                self.bump();
+                Ok(LtlAst::True(span))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                let span = self.span();
+                self.bump();
+                Ok(LtlAst::False(span))
+            }
+            TokenKind::Ident(s) if !RESERVED.contains(&s.as_str()) => {
+                let span = self.span();
+                self.bump();
+                Ok(LtlAst::Event(s, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.ltl_implies()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => {
+                Err(Diagnostic::new(self.span(), format!("expected LTL operand, found {other}")))
+            }
+        }
+    }
+
+    // ----- cfg ------------------------------------------------------------
+
+    fn cfg_body(&mut self) -> Result<Vec<RuleAst>, Diagnostic> {
+        let mut rules: Vec<RuleAst> = Vec::new();
+        while !self.at_item_boundary() {
+            let (lhs, span) = self.user_ident("nonterminal")?;
+            self.expect(&TokenKind::Arrow)?;
+            let mut alts = Vec::new();
+            loop {
+                let mut symbols = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        TokenKind::Ident(s) if s == "epsilon" => {
+                            self.bump();
+                        }
+                        TokenKind::Ident(s)
+                            if !RESERVED.contains(&s.as_str())
+                                && !self.at_item_boundary()
+                                && *self.peek2() != TokenKind::Arrow =>
+                        {
+                            self.bump();
+                            symbols.push(s);
+                        }
+                        _ => break,
+                    }
+                }
+                alts.push(symbols);
+                if *self.peek() == TokenKind::Pipe {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            rules.push(RuleAst { lhs, alts, span });
+        }
+        if rules.is_empty() {
+            return Err(Diagnostic::new(self.span(), "cfg block has no rules"));
+        }
+        Ok(rules)
+    }
+}
+
+/// Figure 2, transliterated to this front-end (no AspectJ pointcuts:
+/// events declare their parameters directly). Used by unit tests across
+/// this crate.
+#[cfg(test)]
+pub(crate) const HASNEXT_SRC: &str = r#"
+        HasNext(Iterator i) {
+            event hasnexttrue(i);
+            event hasnextfalse(i);
+            event next(i);
+            fsm:
+                unknown [
+                    hasnexttrue -> more
+                    hasnextfalse -> none
+                    next -> error
+                ]
+                more [
+                    hasnexttrue -> more
+                    next -> unknown
+                ]
+                none [
+                    hasnextfalse -> none
+                    next -> error
+                ]
+                error []
+            @error { report "improper Iterator use found!"; }
+            ltl: [](next => (*) hasnexttrue)
+            @violation { report "improper Iterator use found!"; }
+        }
+    "#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::HASNEXT_SRC;
+
+    #[test]
+    fn parses_figure_2() {
+        let ast = parse(HASNEXT_SRC).unwrap();
+        assert_eq!(ast.name, "HasNext");
+        assert_eq!(ast.params.len(), 1);
+        assert_eq!(ast.params[0].class, "Iterator");
+        assert_eq!(ast.events.len(), 3);
+        assert_eq!(ast.blocks.len(), 2);
+        let fsm = &ast.blocks[0];
+        assert_eq!(fsm.kind, FormalismKind::Fsm);
+        match &fsm.body {
+            PropertyBody::Fsm(states) => {
+                assert_eq!(states.len(), 4);
+                assert_eq!(states[0].name, "unknown");
+                assert_eq!(states[0].transitions.len(), 3);
+                assert_eq!(states[3].name, "error");
+                assert!(states[3].transitions.is_empty());
+            }
+            other => panic!("expected fsm body, got {other:?}"),
+        }
+        assert_eq!(fsm.handlers.len(), 1);
+        assert_eq!(fsm.handlers[0].name, "error");
+        let ltl = &ast.blocks[1];
+        assert_eq!(ltl.kind, FormalismKind::Ltl);
+        match &ltl.body {
+            PropertyBody::Ltl(LtlAst::Always(inner)) => match &**inner {
+                LtlAst::Implies(lhs, rhs) => {
+                    assert!(matches!(&**lhs, LtlAst::Event(n, _) if n == "next"));
+                    assert!(matches!(&**rhs, LtlAst::Prev(_)));
+                }
+                other => panic!("expected implication, got {other:?}"),
+            },
+            other => panic!("expected [](…), got {other:?}"),
+        }
+        assert_eq!(ltl.handlers[0].name, "violation");
+    }
+
+    #[test]
+    fn parses_figure_3_ere() {
+        let src = r#"
+            UnsafeIter(Collection c, Iterator i) {
+                event create(c, i);
+                event update(c);
+                event next(i);
+                ere: update* create next* update+ next
+                @match { report "improper Concurrent Modification found!"; }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.blocks.len(), 1);
+        match &ast.blocks[0].body {
+            PropertyBody::Ere(e) => {
+                // Left-nested concat chain of 5 elements.
+                let mut depth = 0;
+                let mut cur = e;
+                while let EreAst::Concat(l, _) = cur {
+                    depth += 1;
+                    cur = l;
+                }
+                assert_eq!(depth, 4);
+            }
+            other => panic!("expected ere body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_figure_4_cfg() {
+        let src = r#"
+            SafeLock(Lock l, Thread t) {
+                event acquire(l, t);
+                event release(l, t);
+                event begin(t);
+                event end(t);
+                cfg: S -> S begin S end | S acquire S release | epsilon
+                @fail { report "improper Lock use found!"; }
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        match &ast.blocks[0].body {
+            PropertyBody::Cfg(rules) => {
+                assert_eq!(rules.len(), 1);
+                assert_eq!(rules[0].lhs, "S");
+                assert_eq!(rules[0].alts.len(), 3);
+                assert_eq!(rules[0].alts[0], vec!["S", "begin", "S", "end"]);
+                assert!(rules[0].alts[2].is_empty(), "epsilon alternative");
+            }
+            other => panic!("expected cfg body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ere_operator_precedence() {
+        let src = "P(C c) { event a(c); event b(c); event d(c); ere: a b | d* & ~a }";
+        let ast = parse(src).unwrap();
+        match &ast.blocks[0].body {
+            // `|` is lowest: (a b) | ((d*) & (~a))
+            PropertyBody::Ere(EreAst::Union(l, r)) => {
+                assert!(matches!(&**l, EreAst::Concat(_, _)));
+                assert!(matches!(&**r, EreAst::Inter(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ltl_operator_precedence() {
+        let src = "P(C c) { event a(c); event b(c); ltl: a U b => [] a || b }";
+        let ast = parse(src).unwrap();
+        match &ast.blocks[0].body {
+            // `=>` lowest: (a U b) => (([] a) || b)
+            PropertyBody::Ltl(LtlAst::Implies(l, r)) => {
+                assert!(matches!(&**l, LtlAst::Until(_, _)));
+                assert!(matches!(&**r, LtlAst::Or(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn handler_before_block_is_an_error() {
+        let err = parse("P(C c) { event a(c); @match {} }").unwrap_err();
+        assert!(err.message.contains("before any property block"), "{}", err.message);
+    }
+
+    #[test]
+    fn reserved_words_are_rejected_as_names() {
+        let err = parse("P(C c) { event event(c); }").unwrap_err();
+        assert!(err.message.contains("reserved"), "{}", err.message);
+    }
+
+    #[test]
+    fn empty_fsm_block_is_an_error() {
+        let err = parse("P(C c) { event a(c); fsm: }").unwrap_err();
+        assert!(err.message.contains("no states"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_semi_reports_span() {
+        let err = parse("P(C c) { event a(c) }").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{}", err.message);
+    }
+
+    #[test]
+    fn multiple_specs_of_events_share_params() {
+        let ast = parse("P(C c, I i) { event a(c, i); event b(i); ere: a b }").unwrap();
+        assert_eq!(ast.events[0].params, vec!["c", "i"]);
+        assert_eq!(ast.events[1].params, vec!["i"]);
+    }
+}

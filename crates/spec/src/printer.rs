@@ -1,0 +1,249 @@
+//! Pretty-printer for spec ASTs: renders a [`SpecAst`] back to concrete
+//! syntax that re-parses to an equal AST (round-trip property, checked in
+//! the crate tests). Used by tooling (`rvmon fmt`) and as the canonical
+//! formatter for generated specs.
+
+use std::fmt::Write as _;
+
+use crate::ast::{EreAst, FormalismKind, LtlAst, PropertyBody, SpecAst};
+
+/// Renders `ast` as canonical spec source.
+#[must_use]
+pub fn print(ast: &SpecAst) -> String {
+    let mut out = String::new();
+    let params: Vec<String> =
+        ast.params.iter().map(|p| format!("{} {}", p.class, p.name)).collect();
+    let _ = writeln!(out, "{}({}) {{", ast.name, params.join(", "));
+    for ev in &ast.events {
+        let _ = writeln!(out, "    event {}({});", ev.name, ev.params.join(", "));
+    }
+    for block in &ast.blocks {
+        match (&block.kind, &block.body) {
+            (FormalismKind::Fsm, PropertyBody::Fsm(states)) => {
+                let _ = writeln!(out, "    fsm:");
+                for st in states {
+                    if st.transitions.is_empty() {
+                        let _ = writeln!(out, "        {} []", st.name);
+                    } else {
+                        let _ = writeln!(out, "        {} [", st.name);
+                        for (e, t) in &st.transitions {
+                            let _ = writeln!(out, "            {e} -> {t}");
+                        }
+                        let _ = writeln!(out, "        ]");
+                    }
+                }
+            }
+            (FormalismKind::Ere, PropertyBody::Ere(e)) => {
+                let _ = writeln!(out, "    ere: {}", print_ere(e, 0));
+            }
+            (FormalismKind::Ltl, PropertyBody::Ltl(f)) => {
+                let _ = writeln!(out, "    ltl: {}", print_ltl(f, 0));
+            }
+            (FormalismKind::Cfg, PropertyBody::Cfg(rules)) => {
+                let _ = write!(out, "    cfg:");
+                for r in rules {
+                    let alts: Vec<String> = r
+                        .alts
+                        .iter()
+                        .map(|a| if a.is_empty() { "epsilon".to_owned() } else { a.join(" ") })
+                        .collect();
+                    let _ = write!(out, " {} -> {}", r.lhs, alts.join(" | "));
+                }
+                let _ = writeln!(out);
+            }
+            _ => unreachable!("block kind always matches its body"),
+        }
+        for h in &block.handlers {
+            match &h.message {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "    @{} {{ report \"{}\"; }}",
+                        h.name,
+                        m.replace('"', "\\\"")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    @{} {{ }}", h.name);
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// ERE precedence levels: 0 = union, 1 = intersection, 2 = sequence,
+/// 3 = postfix/primary.
+fn print_ere(e: &EreAst, level: u8) -> String {
+    let (s, my_level) = match e {
+        EreAst::Event(n, _) => (n.clone(), 3),
+        EreAst::Epsilon(_) => ("epsilon".to_owned(), 3),
+        EreAst::Union(a, b) => (format!("{} | {}", print_ere(a, 0), print_ere(b, 1)), 0),
+        EreAst::Inter(a, b) => (format!("{} & {}", print_ere(a, 1), print_ere(b, 2)), 1),
+        EreAst::Concat(a, b) => (format!("{} {}", print_ere(a, 2), print_ere(b, 3)), 2),
+        EreAst::Star(a) => (format!("{}*", print_ere(a, 3)), 3),
+        EreAst::Plus(a) => (format!("{}+", print_ere(a, 3)), 3),
+        EreAst::Not(a) => (format!("~{}", print_ere(a, 3)), 3),
+    };
+    if my_level < level {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+/// LTL precedence: 0 = implies, 1 = or, 2 = and, 3 = U/S/R, 4 = unary.
+fn print_ltl(f: &LtlAst, level: u8) -> String {
+    let (s, my_level) = match f {
+        LtlAst::Event(n, _) => (n.clone(), 4),
+        LtlAst::True(_) => ("true".to_owned(), 4),
+        LtlAst::False(_) => ("false".to_owned(), 4),
+        LtlAst::Implies(a, b) => {
+            (format!("{} => {}", print_ltl(a, 1), print_ltl(b, 0)), 0)
+        }
+        LtlAst::Or(a, b) => (format!("{} || {}", print_ltl(a, 1), print_ltl(b, 2)), 1),
+        LtlAst::And(a, b) => (format!("{} && {}", print_ltl(a, 2), print_ltl(b, 3)), 2),
+        LtlAst::Until(a, b) => (format!("{} U {}", print_ltl(a, 4), print_ltl(b, 3)), 3),
+        LtlAst::Since(a, b) => (format!("{} S {}", print_ltl(a, 4), print_ltl(b, 3)), 3),
+        LtlAst::Release(a, b) => (format!("{} R {}", print_ltl(a, 4), print_ltl(b, 3)), 3),
+        LtlAst::Not(a) => (format!("! {}", print_ltl(a, 4)), 4),
+        LtlAst::Always(a) => (format!("[] {}", print_ltl(a, 4)), 4),
+        LtlAst::Eventually(a) => (format!("<> {}", print_ltl(a, 4)), 4),
+        LtlAst::Next(a) => (format!("X {}", print_ltl(a, 4)), 4),
+        LtlAst::Prev(a) => (format!("(*) {}", print_ltl(a, 4)), 4),
+        LtlAst::Once(a) => (format!("<*> {}", print_ltl(a, 4)), 4),
+        LtlAst::Historically(a) => (format!("[*] {}", print_ltl(a, 4)), 4),
+    };
+    if my_level < level {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn strip_spans(ast: &mut SpecAst) {
+        use crate::span::Span;
+        ast.name_span = Span::default();
+        for p in &mut ast.params {
+            p.span = Span::default();
+        }
+        for e in &mut ast.events {
+            e.span = Span::default();
+        }
+        for b in &mut ast.blocks {
+            b.span = Span::default();
+            for h in &mut b.handlers {
+                h.span = Span::default();
+            }
+            match &mut b.body {
+                PropertyBody::Fsm(states) => {
+                    for s in states {
+                        s.span = Span::default();
+                    }
+                }
+                PropertyBody::Ere(e) => strip_ere(e),
+                PropertyBody::Ltl(f) => strip_ltl(f),
+                PropertyBody::Cfg(rules) => {
+                    for r in rules {
+                        r.span = Span::default();
+                    }
+                }
+            }
+        }
+    }
+
+    fn strip_ere(e: &mut EreAst) {
+        use crate::span::Span;
+        match e {
+            EreAst::Event(_, s) | EreAst::Epsilon(s) => *s = Span::default(),
+            EreAst::Concat(a, b) | EreAst::Union(a, b) | EreAst::Inter(a, b) => {
+                strip_ere(a);
+                strip_ere(b);
+            }
+            EreAst::Star(a) | EreAst::Plus(a) | EreAst::Not(a) => strip_ere(a),
+        }
+    }
+
+    fn strip_ltl(f: &mut LtlAst) {
+        use crate::span::Span;
+        match f {
+            LtlAst::Event(_, s) | LtlAst::True(s) | LtlAst::False(s) => *s = Span::default(),
+            LtlAst::Not(a)
+            | LtlAst::Always(a)
+            | LtlAst::Eventually(a)
+            | LtlAst::Next(a)
+            | LtlAst::Prev(a)
+            | LtlAst::Once(a)
+            | LtlAst::Historically(a) => strip_ltl(a),
+            LtlAst::And(a, b)
+            | LtlAst::Or(a, b)
+            | LtlAst::Implies(a, b)
+            | LtlAst::Until(a, b)
+            | LtlAst::Since(a, b)
+            | LtlAst::Release(a, b) => {
+                strip_ltl(a);
+                strip_ltl(b);
+            }
+        }
+    }
+
+    /// Round-trip: print(parse(src)) re-parses to the same AST (modulo
+    /// spans), for all ten bundled properties.
+    #[test]
+    fn round_trips_every_bundled_property() {
+        // The bundled sources live in rv-props, which depends on this
+        // crate; use equivalent literals to avoid a cyclic dev-dependency.
+        let sources = [
+            crate::parser::HASNEXT_SRC,
+            r#"UnsafeIter(Collection c, Iterator i) {
+                event create(c, i); event update(c); event next(i);
+                ere: update* create next* update+ next
+                @match { report "boom"; }
+            }"#,
+            r#"SafeLock(Lock l, Thread t) {
+                event acquire(l, t); event release(l, t);
+                event begin(t); event end(t);
+                cfg: S -> S begin S end | S acquire S release | epsilon
+                @fail { report "lock"; }
+            }"#,
+            r#"P(C c) {
+                event a(c); event b(c); event d(c);
+                ere: (a | b)* & ~(a d+) b
+                @match { }
+                ltl: (a U b) => [] (d => (*) a) && <> b
+                @violation { report "x \" y"; }
+            }"#,
+        ];
+        for src in sources {
+            let mut first = parse(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+            let printed = print(&first);
+            let mut second =
+                parse(&printed).unwrap_or_else(|e| panic!("{}\n---\n{printed}", e.render(&printed)));
+            strip_spans(&mut first);
+            strip_spans(&mut second);
+            assert_eq!(first, second, "round-trip failed for:\n{printed}");
+        }
+    }
+
+    #[test]
+    fn printed_specs_compile_identically() {
+        let src = r#"UnsafeIter(Collection c, Iterator i) {
+            event create(c, i); event update(c); event next(i);
+            ere: update* create next* update+ next
+            @match { }
+        }"#;
+        let ast = parse(src).unwrap();
+        let printed = print(&ast);
+        let a = crate::compile::compile(&ast).unwrap();
+        let b = crate::CompiledSpec::from_source(&printed).unwrap();
+        // Same alphabet, same coenable sets.
+        assert_eq!(a.alphabet, b.alphabet);
+        assert_eq!(a.properties[0].coenable, b.properties[0].coenable);
+    }
+}

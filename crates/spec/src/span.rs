@@ -1,0 +1,103 @@
+//! Source spans and diagnostics for the spec language front-end.
+
+use std::fmt;
+
+/// A half-open byte range into the spec source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// The 1-based line and column of the span start within `source`.
+    #[must_use]
+    pub fn line_col(self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// A diagnostic produced by the lexer, parser, or semantic analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    #[must_use]
+    pub fn new(span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { span, message: message.into() }
+    }
+
+    /// Renders as `line:col: message` against the original source.
+    #[must_use]
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}: {}", self.span.start, self.span.end, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let s = Span::new(3, 5).merge(Span::new(1, 4));
+        assert_eq!(s, Span::new(1, 5));
+    }
+
+    #[test]
+    fn render_uses_line_col() {
+        let d = Diagnostic::new(Span::new(4, 5), "unexpected token");
+        assert_eq!(d.render("ab\ncd"), "2:2: unexpected token");
+        assert_eq!(d.to_string(), "4..5: unexpected token");
+    }
+}

@@ -1,0 +1,79 @@
+//! Robustness of the spec-language front end: the lexer, parser, and
+//! compiler must never panic — every input either compiles or produces a
+//! spanned diagnostic — and diagnostics must point inside the source.
+
+use proptest::prelude::*;
+use rv_spec::{parse, CompiledSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: never panic, always a value or a diagnostic.
+    #[test]
+    fn never_panics_on_arbitrary_input(input in ".{0,200}") {
+        match CompiledSpec::from_source(&input) {
+            Ok(_) => {}
+            Err(diag) => {
+                prop_assert!(diag.span.start <= input.len() + 1);
+                prop_assert!(!diag.message.is_empty());
+                // Rendering against the source must not panic either.
+                let _ = diag.render(&input);
+            }
+        }
+    }
+
+    /// Structured-ish inputs built from the language's own tokens: a much
+    /// denser source of near-miss programs than uniform bytes.
+    #[test]
+    fn never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("event"), Just("fsm"), Just("ere"), Just("ltl"), Just("cfg"),
+                Just("report"), Just("epsilon"), Just("P"), Just("C"), Just("c"),
+                Just("a"), Just("b"), Just("("), Just(")"), Just("{"), Just("}"),
+                Just("["), Just("]"), Just(","), Just(";"), Just(":"), Just("@"),
+                Just("->"), Just("=>"), Just("|"), Just("||"), Just("&"), Just("&&"),
+                Just("*"), Just("+"), Just("~"), Just("!"), Just("[]"), Just("<>"),
+                Just("(*)"), Just("<*>"), Just("[*]"), Just("U"), Just("S"),
+                Just("R"), Just("X"), Just("\"msg\""),
+            ],
+            0..60,
+        )
+    ) {
+        let input = tokens.join(" ");
+        match CompiledSpec::from_source(&input) {
+            Ok(_) => {}
+            Err(diag) => {
+                let _ = diag.render(&input);
+            }
+        }
+    }
+
+    /// Valid skeleton with a fuzzed ERE body: the parser must accept or
+    /// reject without panicking, and accepted specs must re-parse after
+    /// printing.
+    #[test]
+    fn fuzzed_ere_bodies_round_trip_when_valid(
+        body in proptest::collection::vec(
+            prop_oneof![
+                Just("a"), Just("b"), Just("epsilon"), Just("("), Just(")"),
+                Just("|"), Just("&"), Just("*"), Just("+"), Just("~"),
+            ],
+            1..20,
+        )
+    ) {
+        let src = format!(
+            "P(C c) {{ event a(c); event b(c); ere: {} @match {{ }} }}",
+            body.join(" ")
+        );
+        if let Ok(ast) = parse(&src) {
+            let printed = rv_spec::print(&ast);
+            let reparsed = parse(&printed);
+            prop_assert!(
+                reparsed.is_ok(),
+                "printed form failed to re-parse:\n{printed}\n{:?}",
+                reparsed.err()
+            );
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Simulated-program events and their projections onto the monitored
+//! properties.
+//!
+//! A workload run produces one stream of [`SimEvent`]s — the union of
+//! everything the paper's AspectJ instrumentation would observe. Each
+//! property sees only its own slice of that stream: [`project`] plays the
+//! role of the pointcut definitions, mapping a program event to the
+//! property's event name and the bound objects *in the property's declared
+//! parameter order*.
+
+use rv_heap::ObjId;
+use rv_props::Property;
+
+/// A bounded list of bound objects (no property binds more than three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjList {
+    objs: [ObjId; 3],
+    len: u8,
+}
+
+impl ObjList {
+    fn new(objs: &[ObjId]) -> ObjList {
+        assert!(objs.len() <= 3, "at most 3 objects per event");
+        let mut arr = [ObjId::from_bits(0); 3];
+        arr[..objs.len()].copy_from_slice(objs);
+        ObjList { objs: arr, len: objs.len() as u8 }
+    }
+
+    /// The bound objects.
+    #[must_use]
+    pub fn as_slice(&self) -> &[ObjId] {
+        &self.objs[..usize::from(self.len)]
+    }
+}
+
+/// One observable action of a simulated program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimEvent {
+    /// `it.hasNext()` returned true.
+    HasNextTrue {
+        /// The iterator.
+        iter: ObjId,
+    },
+    /// `it.hasNext()` returned false.
+    HasNextFalse {
+        /// The iterator.
+        iter: ObjId,
+    },
+    /// `it.next()`.
+    Next {
+        /// The iterator.
+        iter: ObjId,
+    },
+    /// `coll.iterator()`.
+    CreateIter {
+        /// The collection.
+        coll: ObjId,
+        /// The new iterator.
+        iter: ObjId,
+    },
+    /// A structural update of a collection (`add`/`remove`/`clear`).
+    UpdateColl {
+        /// The collection.
+        coll: ObjId,
+    },
+    /// `map.keySet()` / `map.values()` — a view collection of a map.
+    CreateMapColl {
+        /// The map.
+        map: ObjId,
+        /// The view collection.
+        coll: ObjId,
+    },
+    /// A structural update of a map.
+    UpdateMap {
+        /// The map.
+        map: ObjId,
+    },
+    /// `Collections.synchronizedCollection(..)` returned this collection.
+    SyncColl {
+        /// The collection.
+        coll: ObjId,
+    },
+    /// `Collections.synchronizedMap(..)` returned this map.
+    SyncMap {
+        /// The map.
+        map: ObjId,
+    },
+    /// An iterator created *while holding* the collection's lock.
+    SyncCreateIter {
+        /// The collection.
+        coll: ObjId,
+        /// The iterator.
+        iter: ObjId,
+    },
+    /// An iterator created *without* holding the collection's lock.
+    AsyncCreateIter {
+        /// The collection.
+        coll: ObjId,
+        /// The iterator.
+        iter: ObjId,
+    },
+    /// An iterator accessed without synchronization.
+    AccessIter {
+        /// The iterator.
+        iter: ObjId,
+    },
+    /// `lock.acquire()` on a thread.
+    Acquire {
+        /// The lock.
+        lock: ObjId,
+        /// The thread.
+        thread: ObjId,
+    },
+    /// `lock.release()` on a thread.
+    Release {
+        /// The lock.
+        lock: ObjId,
+        /// The thread.
+        thread: ObjId,
+    },
+    /// A method body begins on a thread.
+    Begin {
+        /// The thread.
+        thread: ObjId,
+    },
+    /// A method body ends on a thread.
+    End {
+        /// The thread.
+        thread: ObjId,
+    },
+    /// `set.add(o)`.
+    Add {
+        /// The hash container.
+        set: ObjId,
+        /// The element.
+        obj: ObjId,
+    },
+    /// A mutation of `o` that changes its hash code.
+    Mutate {
+        /// The element.
+        obj: ObjId,
+    },
+    /// `set.contains(o)` / lookup.
+    Find {
+        /// The hash container.
+        set: ObjId,
+        /// The element.
+        obj: ObjId,
+    },
+    /// `file.open()`.
+    Open {
+        /// The file.
+        file: ObjId,
+    },
+    /// A write to an open file.
+    WriteFile {
+        /// The file.
+        file: ObjId,
+    },
+    /// `file.close()`.
+    Close {
+        /// The file.
+        file: ObjId,
+    },
+    /// `vector.elements()`.
+    CreateEnum {
+        /// The vector.
+        vec: ObjId,
+        /// The enumeration.
+        en: ObjId,
+    },
+    /// A structural modification of a vector.
+    ModifyVec {
+        /// The vector.
+        vec: ObjId,
+    },
+    /// `enumeration.nextElement()`.
+    NextElem {
+        /// The enumeration.
+        en: ObjId,
+    },
+    /// `writer.open()`.
+    OpenWriter {
+        /// The writer.
+        w: ObjId,
+    },
+    /// `writer.write(c)`.
+    WriteChar {
+        /// The writer.
+        w: ObjId,
+    },
+    /// `writer.close()`.
+    CloseWriter {
+        /// The writer.
+        w: ObjId,
+    },
+}
+
+/// Projects a program event onto `property`'s alphabet: the property's
+/// event name plus the bound objects in declared parameter order, or
+/// `None` when the property does not observe this event.
+#[must_use]
+pub fn project(event: &SimEvent, property: Property) -> Option<(&'static str, ObjList)> {
+    use Property as P;
+    use SimEvent as E;
+    let (name, objs): (&'static str, ObjList) = match (property, *event) {
+        (P::HasNext, E::HasNextTrue { iter }) => ("hasnexttrue", ObjList::new(&[iter])),
+        (P::HasNext, E::HasNextFalse { iter }) => ("hasnextfalse", ObjList::new(&[iter])),
+        (P::HasNext, E::Next { iter }) => ("next", ObjList::new(&[iter])),
+
+        (P::UnsafeIter, E::CreateIter { coll, iter }) => ("create", ObjList::new(&[coll, iter])),
+        (P::UnsafeIter, E::UpdateColl { coll }) => ("update", ObjList::new(&[coll])),
+        (P::UnsafeIter, E::Next { iter }) => ("next", ObjList::new(&[iter])),
+
+        (P::UnsafeMapIter, E::CreateMapColl { map, coll }) => {
+            ("createcoll", ObjList::new(&[map, coll]))
+        }
+        (P::UnsafeMapIter, E::CreateIter { coll, iter }) => {
+            ("createiter", ObjList::new(&[coll, iter]))
+        }
+        (P::UnsafeMapIter, E::Next { iter }) => ("useiter", ObjList::new(&[iter])),
+        (P::UnsafeMapIter, E::UpdateMap { map }) => ("updatemap", ObjList::new(&[map])),
+
+        (P::UnsafeSyncColl, E::SyncColl { coll }) => ("sync", ObjList::new(&[coll])),
+        (P::UnsafeSyncColl, E::AsyncCreateIter { coll, iter }) => {
+            ("asynccreateiter", ObjList::new(&[coll, iter]))
+        }
+        (P::UnsafeSyncColl, E::SyncCreateIter { coll, iter }) => {
+            ("synccreateiter", ObjList::new(&[coll, iter]))
+        }
+        (P::UnsafeSyncColl, E::AccessIter { iter }) => ("accessiter", ObjList::new(&[iter])),
+
+        (P::UnsafeSyncMap, E::SyncMap { map }) => ("sync", ObjList::new(&[map])),
+        (P::UnsafeSyncMap, E::CreateMapColl { map, coll }) => {
+            ("createset", ObjList::new(&[map, coll]))
+        }
+        (P::UnsafeSyncMap, E::AsyncCreateIter { coll, iter }) => {
+            ("asynccreateiter", ObjList::new(&[coll, iter]))
+        }
+        (P::UnsafeSyncMap, E::SyncCreateIter { coll, iter }) => {
+            ("synccreateiter", ObjList::new(&[coll, iter]))
+        }
+        (P::UnsafeSyncMap, E::AccessIter { iter }) => ("accessiter", ObjList::new(&[iter])),
+
+        (P::SafeLock, E::Acquire { lock, thread }) => ("acquire", ObjList::new(&[lock, thread])),
+        (P::SafeLock, E::Release { lock, thread }) => ("release", ObjList::new(&[lock, thread])),
+        (P::SafeLock, E::Begin { thread }) => ("begin", ObjList::new(&[thread])),
+        (P::SafeLock, E::End { thread }) => ("end", ObjList::new(&[thread])),
+
+        (P::HashSet, E::Add { set, obj }) => ("add", ObjList::new(&[set, obj])),
+        (P::HashSet, E::Mutate { obj }) => ("mutate", ObjList::new(&[obj])),
+        (P::HashSet, E::Find { set, obj }) => ("find", ObjList::new(&[set, obj])),
+
+        (P::SafeEnum, E::CreateEnum { vec, en }) => ("createenum", ObjList::new(&[vec, en])),
+        (P::SafeEnum, E::ModifyVec { vec }) => ("modify", ObjList::new(&[vec])),
+        (P::SafeEnum, E::NextElem { en }) => ("nextelem", ObjList::new(&[en])),
+
+        (P::SafeFile, E::Open { file }) => ("open", ObjList::new(&[file])),
+        (P::SafeFile, E::WriteFile { file }) => ("write", ObjList::new(&[file])),
+        (P::SafeFile, E::Close { file }) => ("close", ObjList::new(&[file])),
+
+        (P::SafeFileWriter, E::OpenWriter { w }) => ("openwriter", ObjList::new(&[w])),
+        (P::SafeFileWriter, E::WriteChar { w }) => ("writechar", ObjList::new(&[w])),
+        (P::SafeFileWriter, E::CloseWriter { w }) => ("closewriter", ObjList::new(&[w])),
+
+        _ => return None,
+    };
+    Some((name, objs))
+}
+
+/// Consumers of workload event streams.
+pub trait EventSink {
+    /// Observes one program event. `heap` is the program's heap at the
+    /// moment of the event (objects in the event are alive).
+    fn emit(&mut self, heap: &rv_heap::Heap, event: &SimEvent);
+
+    /// Called once when the simulated program exits (after its final
+    /// collection). Monitors typically snapshot their statistics here; no
+    /// further events will arrive.
+    fn at_exit(&mut self, heap: &rv_heap::Heap) {
+        let _ = heap;
+    }
+}
+
+/// A sink that ignores everything — the *unmonitored* run used as the
+/// overhead baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _heap: &rv_heap::Heap, _event: &SimEvent) {}
+}
+
+/// A sink that counts events (sanity checks and Fig. 10's E column when no
+/// monitor is attached).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    /// Total events observed.
+    pub events: u64,
+}
+
+impl EventSink for CountingSink {
+    fn emit(&mut self, _heap: &rv_heap::Heap, _event: &SimEvent) {
+        self.events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(i: u32) -> ObjId {
+        ObjId::from_bits((u64::from(i) << 32) | 1)
+    }
+
+    #[test]
+    fn projections_cover_every_property() {
+        let iter = obj(1);
+        let coll = obj(2);
+        let e = SimEvent::CreateIter { coll, iter };
+        let (name, objs) = project(&e, Property::UnsafeIter).unwrap();
+        assert_eq!(name, "create");
+        assert_eq!(objs.as_slice(), &[coll, iter]);
+        // UnsafeMapIter sees the same event as createiter.
+        let (name, _) = project(&e, Property::UnsafeMapIter).unwrap();
+        assert_eq!(name, "createiter");
+        // HasNext does not observe iterator creation.
+        assert!(project(&e, Property::HasNext).is_none());
+    }
+
+    #[test]
+    fn projected_names_exist_in_the_specs() {
+        // Every projected name must be a declared event of its property,
+        // with a matching parameter count.
+        let all_events = |iter: ObjId, coll: ObjId, map: ObjId| {
+            vec![
+                SimEvent::HasNextTrue { iter },
+                SimEvent::HasNextFalse { iter },
+                SimEvent::Next { iter },
+                SimEvent::CreateIter { coll, iter },
+                SimEvent::UpdateColl { coll },
+                SimEvent::CreateMapColl { map, coll },
+                SimEvent::UpdateMap { map },
+                SimEvent::SyncColl { coll },
+                SimEvent::SyncMap { map },
+                SimEvent::SyncCreateIter { coll, iter },
+                SimEvent::AsyncCreateIter { coll, iter },
+                SimEvent::AccessIter { iter },
+                SimEvent::Acquire { lock: coll, thread: iter },
+                SimEvent::Release { lock: coll, thread: iter },
+                SimEvent::Begin { thread: iter },
+                SimEvent::End { thread: iter },
+                SimEvent::Add { set: coll, obj: iter },
+                SimEvent::Mutate { obj: iter },
+                SimEvent::Find { set: coll, obj: iter },
+                SimEvent::Open { file: coll },
+                SimEvent::WriteFile { file: coll },
+                SimEvent::Close { file: coll },
+                SimEvent::CreateEnum { vec: coll, en: iter },
+                SimEvent::ModifyVec { vec: coll },
+                SimEvent::NextElem { en: iter },
+                SimEvent::OpenWriter { w: coll },
+                SimEvent::WriteChar { w: coll },
+                SimEvent::CloseWriter { w: coll },
+            ]
+        };
+        for p in Property::ALL {
+            let spec = rv_props::compiled(p).unwrap();
+            let mut observed = 0;
+            for ev in all_events(obj(1), obj(2), obj(3)) {
+                if let Some((name, objs)) = project(&ev, p) {
+                    observed += 1;
+                    let id = spec
+                        .alphabet
+                        .lookup(name)
+                        .unwrap_or_else(|| panic!("{p:?}: unknown event `{name}`"));
+                    assert_eq!(
+                        spec.event_params[id.as_usize()].len(),
+                        objs.as_slice().len(),
+                        "{p:?}/{name}: parameter count mismatch"
+                    );
+                }
+            }
+            assert!(observed >= 3, "{p:?} observes only {observed} events");
+        }
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let heap = rv_heap::Heap::new(rv_heap::HeapConfig::manual());
+        let mut sink = CountingSink::default();
+        sink.emit(&heap, &SimEvent::Mutate { obj: obj(1) });
+        sink.emit(&heap, &SimEvent::Mutate { obj: obj(1) });
+        assert_eq!(sink.events, 2);
+    }
+}

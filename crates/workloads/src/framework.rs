@@ -1,0 +1,275 @@
+//! The simulated collections framework: the instrumented "Java library"
+//! that workload programs run against.
+//!
+//! Each wrapper owns a heap object and emits the events the paper's
+//! AspectJ instrumentation would capture. Reference edges mirror the JDK:
+//! an iterator strongly references its collection (never the reverse), a
+//! map view references its map — exactly the lifetime asymmetry that makes
+//! UNSAFEITER monitors leak under all-params-dead collection.
+
+use rv_heap::{Heap, ObjId};
+
+use crate::events::{EventSink, SimEvent};
+
+/// Well-known class tags registered by [`Classes::register`].
+#[derive(Clone, Copy, Debug)]
+pub struct Classes {
+    /// `java.util.Collection`.
+    pub collection: rv_heap::ClassId,
+    /// `java.util.Iterator`.
+    pub iterator: rv_heap::ClassId,
+    /// `java.util.Map`.
+    pub map: rv_heap::ClassId,
+    /// Miscellaneous program objects.
+    pub object: rv_heap::ClassId,
+    /// Locks.
+    pub lock: rv_heap::ClassId,
+    /// Threads.
+    pub thread: rv_heap::ClassId,
+    /// Files / writers.
+    pub file: rv_heap::ClassId,
+}
+
+impl Classes {
+    /// Registers the framework classes on a heap.
+    pub fn register(heap: &mut Heap) -> Classes {
+        Classes {
+            collection: heap.register_class("Collection"),
+            iterator: heap.register_class("Iterator"),
+            map: heap.register_class("Map"),
+            object: heap.register_class("Object"),
+            lock: heap.register_class("Lock"),
+            thread: heap.register_class("Thread"),
+            file: heap.register_class("File"),
+        }
+    }
+}
+
+/// A simulated collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimCollection {
+    /// The heap object.
+    pub id: ObjId,
+    /// Whether the collection is a synchronized wrapper.
+    pub synchronized: bool,
+    /// The backing map, for map views.
+    pub backing_map: Option<ObjId>,
+}
+
+impl SimCollection {
+    /// Allocates a plain collection (rooted in the current frame).
+    pub fn new(heap: &mut Heap, classes: &Classes) -> SimCollection {
+        SimCollection { id: heap.alloc(classes.collection), synchronized: false, backing_map: None }
+    }
+
+    /// Wraps the collection as `Collections.synchronizedCollection(..)`,
+    /// emitting the `sync` event.
+    pub fn synchronize<S: EventSink>(&mut self, heap: &Heap, sink: &mut S) {
+        self.synchronized = true;
+        sink.emit(heap, &SimEvent::SyncColl { coll: self.id });
+    }
+
+    /// Creates an iterator over this collection.
+    ///
+    /// `holding_lock` matters only for synchronized collections: an
+    /// unsynchronized creation emits `AsyncCreateIter` (a violation shape
+    /// for UNSAFESYNCCOLL/-MAP).
+    pub fn iterator<S: EventSink>(
+        &self,
+        heap: &mut Heap,
+        classes: &Classes,
+        sink: &mut S,
+        holding_lock: bool,
+    ) -> SimIterator {
+        let iter = heap.alloc(classes.iterator);
+        heap.add_edge(iter, self.id); // JDK: iterator → collection
+        sink.emit(heap, &SimEvent::CreateIter { coll: self.id, iter });
+        if self.synchronized {
+            let ev = if holding_lock {
+                SimEvent::SyncCreateIter { coll: self.id, iter }
+            } else {
+                SimEvent::AsyncCreateIter { coll: self.id, iter }
+            };
+            sink.emit(heap, &ev);
+        }
+        SimIterator { id: iter, synchronized: self.synchronized }
+    }
+
+    /// Iterates invisibly: allocates the iterator without emitting the
+    /// creation event — modelling code paths outside the instrumentation
+    /// scope (the sunflow pattern: millions of `next()` calls on monitors
+    /// that were never created).
+    pub fn unobserved_iterator(&self, heap: &mut Heap, classes: &Classes) -> SimIterator {
+        let iter = heap.alloc(classes.iterator);
+        heap.add_edge(iter, self.id);
+        SimIterator { id: iter, synchronized: self.synchronized }
+    }
+
+    /// Structurally updates the collection, emitting `update` (and
+    /// `updatemap` on the backing map for views).
+    pub fn update<S: EventSink>(&self, heap: &Heap, sink: &mut S) {
+        sink.emit(heap, &SimEvent::UpdateColl { coll: self.id });
+        if let Some(map) = self.backing_map {
+            sink.emit(heap, &SimEvent::UpdateMap { map });
+        }
+    }
+}
+
+/// A simulated map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimMap {
+    /// The heap object.
+    pub id: ObjId,
+    /// Whether the map is a synchronized wrapper.
+    pub synchronized: bool,
+}
+
+impl SimMap {
+    /// Allocates a map.
+    pub fn new(heap: &mut Heap, classes: &Classes) -> SimMap {
+        SimMap { id: heap.alloc(classes.map), synchronized: false }
+    }
+
+    /// Wraps as `Collections.synchronizedMap(..)`.
+    pub fn synchronize<S: EventSink>(&mut self, heap: &Heap, sink: &mut S) {
+        self.synchronized = true;
+        sink.emit(heap, &SimEvent::SyncMap { map: self.id });
+    }
+
+    /// `map.keySet()` / `map.values()`: a view collection referencing the
+    /// map.
+    pub fn view<S: EventSink>(
+        &self,
+        heap: &mut Heap,
+        classes: &Classes,
+        sink: &mut S,
+    ) -> SimCollection {
+        let coll = heap.alloc(classes.collection);
+        heap.add_edge(coll, self.id); // view → map
+        sink.emit(heap, &SimEvent::CreateMapColl { map: self.id, coll });
+        SimCollection {
+            id: coll,
+            synchronized: self.synchronized,
+            backing_map: Some(self.id),
+        }
+    }
+
+    /// Structurally updates the map.
+    pub fn update<S: EventSink>(&self, heap: &Heap, sink: &mut S) {
+        sink.emit(heap, &SimEvent::UpdateMap { map: self.id });
+    }
+}
+
+/// A simulated iterator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimIterator {
+    /// The heap object.
+    pub id: ObjId,
+    /// Whether the underlying collection is synchronized.
+    pub synchronized: bool,
+}
+
+impl SimIterator {
+    /// `hasNext()` with the given answer.
+    pub fn has_next<S: EventSink>(&self, heap: &Heap, sink: &mut S, more: bool) {
+        let ev = if more {
+            SimEvent::HasNextTrue { iter: self.id }
+        } else {
+            SimEvent::HasNextFalse { iter: self.id }
+        };
+        sink.emit(heap, &ev);
+    }
+
+    /// `next()`. `holding_lock` matters only for synchronized collections.
+    pub fn next<S: EventSink>(&self, heap: &Heap, sink: &mut S, holding_lock: bool) {
+        sink.emit(heap, &SimEvent::Next { iter: self.id });
+        if self.synchronized && !holding_lock {
+            sink.emit(heap, &SimEvent::AccessIter { iter: self.id });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CountingSink;
+    use rv_heap::HeapConfig;
+
+    #[test]
+    fn iterator_keeps_collection_alive_not_vice_versa() {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let classes = Classes::register(&mut heap);
+        let mut sink = CountingSink::default();
+        let outer = heap.enter_frame();
+        let coll = SimCollection::new(&mut heap, &classes);
+        let inner = heap.enter_frame();
+        let iter = coll.iterator(&mut heap, &classes, &mut sink, false);
+        heap.exit_frame(inner);
+        // Iterator unrooted: dies; collection still rooted: lives.
+        heap.collect();
+        assert!(!heap.is_alive(iter.id));
+        assert!(heap.is_alive(coll.id));
+        heap.exit_frame(outer);
+        heap.collect();
+        assert!(!heap.is_alive(coll.id));
+    }
+
+    #[test]
+    fn map_views_reference_the_map() {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let classes = Classes::register(&mut heap);
+        let mut sink = CountingSink::default();
+        let outer = heap.enter_frame();
+        let map = SimMap::new(&mut heap, &classes);
+        let inner = heap.enter_frame();
+        let view = map.view(&mut heap, &classes, &mut sink);
+        let it = view.iterator(&mut heap, &classes, &mut sink, false);
+        // The chain iterator → view → map keeps everything alive. Re-root
+        // the iterator in the outer frame (it is still alive until a
+        // collection runs).
+        heap.exit_frame(inner);
+        heap.push_root(it.id);
+        let _ = outer;
+        heap.collect();
+        assert!(heap.is_alive(map.id));
+        assert!(heap.is_alive(view.id));
+    }
+
+    #[test]
+    fn synchronized_collection_emits_sync_events() {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let classes = Classes::register(&mut heap);
+        let mut events: Vec<SimEvent> = Vec::new();
+        struct Rec<'a>(&'a mut Vec<SimEvent>);
+        impl EventSink for Rec<'_> {
+            fn emit(&mut self, _h: &Heap, e: &SimEvent) {
+                self.0.push(*e);
+            }
+        }
+        let _f = heap.enter_frame();
+        let mut coll = SimCollection::new(&mut heap, &classes);
+        {
+            let mut sink = Rec(&mut events);
+            coll.synchronize(&heap, &mut sink);
+            let it = coll.iterator(&mut heap, &classes, &mut sink, false);
+            it.next(&heap, &mut sink, false);
+        }
+        assert!(matches!(events[0], SimEvent::SyncColl { .. }));
+        assert!(matches!(events[1], SimEvent::CreateIter { .. }));
+        assert!(matches!(events[2], SimEvent::AsyncCreateIter { .. }));
+        assert!(matches!(events[4], SimEvent::AccessIter { .. }));
+    }
+
+    #[test]
+    fn unobserved_iterators_emit_no_creation() {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let classes = Classes::register(&mut heap);
+        let mut sink = CountingSink::default();
+        let _f = heap.enter_frame();
+        let coll = SimCollection::new(&mut heap, &classes);
+        let it = coll.unobserved_iterator(&mut heap, &classes);
+        assert_eq!(sink.events, 0);
+        it.next(&heap, &mut sink, true);
+        assert_eq!(sink.events, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Simulated DaCapo-like workloads for the PLDI'11 RV reproduction.
+//!
+//! The paper evaluates on DaCapo 9.12 — real Java programs instrumented
+//! with AspectJ. This crate provides the closest synthetic equivalent: a
+//! simulated collections framework ([`framework`]) over the [`rv_heap`]
+//! managed heap, and fifteen workload generators ([`profile::Profile`]),
+//! one per DaCapo benchmark, each tuned to that benchmark's published
+//! monitoring statistics (paper Figure 10): event volumes, monitor
+//! counts, collection/iterator lifetime skew, and out-of-scope iterator
+//! traffic.
+//!
+//! Workloads emit [`events::SimEvent`]s into an [`events::EventSink`];
+//! [`events::project`] maps each program event onto a property's alphabet
+//! (the role AspectJ pointcuts play in the paper). Running with
+//! [`events::NullSink`] gives the *unmonitored* baseline for overhead
+//! measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use rv_workloads::events::CountingSink;
+//! use rv_workloads::profile::Profile;
+//! use rv_workloads::runner::run;
+//!
+//! let mut sink = CountingSink::default();
+//! let report = run(&Profile::avrora(), 0.1, &mut sink);
+//! assert!(sink.events > 0);
+//! assert_eq!(report.heap.live, 0);
+//! ```
+
+pub mod events;
+pub mod framework;
+pub mod profile;
+pub mod runner;
+
+pub use crate::events::{project, CountingSink, EventSink, NullSink, ObjList, SimEvent};
+pub use crate::profile::Profile;
+pub use crate::runner::{run, WorkloadReport};

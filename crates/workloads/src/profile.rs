@@ -1,0 +1,506 @@
+//! Workload profiles: one per DaCapo benchmark, tuned to the monitoring
+//! statistics the paper reports in Figure 10.
+//!
+//! The goal is not to re-implement bloat or pmd, but to reproduce the
+//! *monitoring-relevant* behaviour each benchmark exhibits: how many
+//! collections and iterators exist, how long collections outlive their
+//! iterators, how often collections are updated between and during
+//! iterations, and how much iterator traffic happens outside the
+//! instrumentation's view. Each field cites the Fig. 10 signal it models.
+//! Counts are stated at unit scale ≈ (paper count / 1000) and multiplied
+//! by the runner's `scale`.
+
+/// A synthetic benchmark profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Profile {
+    /// Benchmark name (DaCapo's).
+    pub name: &'static str,
+    /// Deterministic RNG seed.
+    pub seed: u64,
+    /// Outer rounds (program phases).
+    pub rounds: u32,
+    /// Collections created per round.
+    pub colls_per_round: u32,
+    /// Fraction of collections that are map key/value views
+    /// (drives UNSAFEMAPITER / UNSAFESYNCMAP traffic).
+    pub map_fraction: f64,
+    /// Fraction of collections/maps wrapped as synchronized.
+    pub sync_fraction: f64,
+    /// Average iterators created per collection.
+    pub iters_per_coll: f64,
+    /// Average `next()` calls per iterator.
+    pub nexts_per_iter: f64,
+    /// Probability an iteration runs without `hasNext()` guards.
+    pub skip_hasnext_prob: f64,
+    /// Probability of a structural update *during* an iteration that then
+    /// continues — the UNSAFEITER violation shape.
+    pub concurrent_update_prob: f64,
+    /// Probability of an update between iterator creations.
+    pub update_between_prob: f64,
+    /// Probability a synchronized iterator is created/accessed without
+    /// the lock (UNSAFESYNCCOLL/-MAP violation shapes).
+    pub async_access_prob: f64,
+    /// Rounds a collection stays strongly reachable after its creating
+    /// round — the "collections outlive iterators" skew (bloat keeps
+    /// 19 605 collections coexisting at peak).
+    pub coll_linger_rounds: u32,
+    /// Iterations performed each round on *lingering* collections: hot
+    /// long-lived collections are re-iterated again and again, so every
+    /// dispatch walks their per-collection monitor sets — where retained
+    /// dead-iterator monitors hurt JavaMOP and coenable GC pays off.
+    pub reiterations_per_round: u32,
+    /// Fraction of iterators allocated outside the instrumentation scope:
+    /// their `next`/`hasNext` are observed but their creation is not
+    /// (sunflow: 1.3M UNSAFEITER events but 2 monitors).
+    pub unobserved_iter_fraction: f64,
+    /// Lock acquire/release pairs per round (SAFELOCK traffic).
+    pub lock_ops_per_round: u32,
+    /// File/hash-set/enumeration operations per round (the low-overhead
+    /// properties).
+    pub misc_ops_per_round: u32,
+    /// Automatic heap-GC period, in allocations.
+    pub gc_period: usize,
+    /// Units of real computation the program performs per collection
+    /// operation (iteration step, update, lock/misc op). This is the
+    /// denominator of the overhead measurements: benchmarks the paper
+    /// reports as low-overhead do much work per monitored event.
+    pub work_per_op: u32,
+}
+
+impl Profile {
+    /// All fifteen DaCapo-like profiles, in the paper's table order.
+    #[must_use]
+    pub fn dacapo() -> Vec<Profile> {
+        vec![
+            Self::bloat(),
+            Self::jython(),
+            Self::avrora(),
+            Self::batik(),
+            Self::eclipse(),
+            Self::fop(),
+            Self::h2(),
+            Self::luindex(),
+            Self::lusearch(),
+            Self::pmd(),
+            Self::sunflow(),
+            Self::tomcat(),
+            Self::tradebeans(),
+            Self::tradesoap(),
+            Self::xalan(),
+        ]
+    }
+
+    /// Looks up a profile by benchmark name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Profile> {
+        Self::dacapo().into_iter().find(|p| p.name == name)
+    }
+
+    /// bloat (DaCapo 2006-10): the paper's worst case — 1.6M collections,
+    /// 941K iterators, 78M `hasNext()`, collections long-lived (19 605
+    /// coexisting at peak) while iterators die immediately. Fig. 10:
+    /// HASNEXT E=156M M=1.9M; UNSAFEITER E=81M M=1.9M FM=1.8M.
+    #[must_use]
+    pub fn bloat() -> Profile {
+        Profile {
+            name: "bloat",
+            seed: 0xb10a7,
+            rounds: 40,
+            colls_per_round: 40,
+            map_fraction: 0.1,
+            sync_fraction: 0.05,
+            iters_per_coll: 0.6,
+            nexts_per_iter: 80.0,
+            skip_hasnext_prob: 0.02,
+            concurrent_update_prob: 0.002,
+            update_between_prob: 0.6,
+            async_access_prob: 0.02,
+            coll_linger_rounds: 20,
+            reiterations_per_round: 48,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 4,
+            misc_ops_per_round: 4,
+            gc_period: 512,
+            work_per_op: 48,
+        }
+    }
+
+    /// jython (DaCapo 2006-10): almost no iterator traffic reaches the
+    /// monitors (Fig. 10: HASNEXT E=106), but UNSAFEMAPITER sees 179K
+    /// events and 101K monitors — dictionary views dominate.
+    #[must_use]
+    pub fn jython() -> Profile {
+        Profile {
+            name: "jython",
+            seed: 0x1702,
+            rounds: 10,
+            colls_per_round: 10,
+            map_fraction: 0.95,
+            sync_fraction: 0.0,
+            iters_per_coll: 0.02,
+            nexts_per_iter: 1.0,
+            skip_hasnext_prob: 0.0,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.9,
+            async_access_prob: 0.0,
+            coll_linger_rounds: 2,
+            reiterations_per_round: 0,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 2,
+            misc_ops_per_round: 2,
+            gc_period: 2048,
+            work_per_op: 160,
+        }
+    }
+
+    /// avrora: very many short iterations — 909K monitors from 1.5M
+    /// events, ≈ 1.3 `hasNext()` and 0.4 `next()` per iterator.
+    #[must_use]
+    pub fn avrora() -> Profile {
+        Profile {
+            name: "avrora",
+            seed: 0xa7a,
+            rounds: 30,
+            colls_per_round: 10,
+            map_fraction: 0.3,
+            sync_fraction: 0.1,
+            iters_per_coll: 3.0,
+            nexts_per_iter: 0.4,
+            skip_hasnext_prob: 0.02,
+            concurrent_update_prob: 0.001,
+            update_between_prob: 0.4,
+            async_access_prob: 0.05,
+            coll_linger_rounds: 8,
+            reiterations_per_round: 12,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 6,
+            misc_ops_per_round: 4,
+            gc_period: 1024,
+            work_per_op: 64,
+        }
+    }
+
+    /// batik: modest traffic (HASNEXT E=49K, M=24K), short-lived.
+    #[must_use]
+    pub fn batik() -> Profile {
+        Profile {
+            name: "batik",
+            seed: 0xba7,
+            rounds: 8,
+            colls_per_round: 8,
+            map_fraction: 0.3,
+            sync_fraction: 0.2,
+            iters_per_coll: 0.4,
+            nexts_per_iter: 1.0,
+            skip_hasnext_prob: 0.01,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.3,
+            async_access_prob: 0.05,
+            coll_linger_rounds: 2,
+            reiterations_per_round: 2,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 2,
+            misc_ops_per_round: 3,
+            gc_period: 2048,
+            work_per_op: 200,
+        }
+    }
+
+    /// eclipse: few monitors (7.6K) but each iterator is walked far
+    /// (226K events), mostly harmless.
+    #[must_use]
+    pub fn eclipse() -> Profile {
+        Profile {
+            name: "eclipse",
+            seed: 0xec11,
+            rounds: 10,
+            colls_per_round: 8,
+            map_fraction: 0.4,
+            sync_fraction: 0.1,
+            iters_per_coll: 0.1,
+            nexts_per_iter: 28.0,
+            skip_hasnext_prob: 0.0,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.2,
+            async_access_prob: 0.02,
+            coll_linger_rounds: 4,
+            reiterations_per_round: 2,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 4,
+            misc_ops_per_round: 4,
+            gc_period: 2048,
+            work_per_op: 400,
+        }
+    }
+
+    /// fop: 1.0M events over 184K monitors; DaCapo 9.12 instruments the
+    /// supplementary libraries, so traffic is heavier than 2006-10.
+    #[must_use]
+    pub fn fop() -> Profile {
+        Profile {
+            name: "fop",
+            seed: 0xf0b,
+            rounds: 20,
+            colls_per_round: 10,
+            map_fraction: 0.3,
+            sync_fraction: 0.2,
+            iters_per_coll: 0.9,
+            nexts_per_iter: 4.5,
+            skip_hasnext_prob: 0.02,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.5,
+            async_access_prob: 0.1,
+            coll_linger_rounds: 6,
+            reiterations_per_round: 8,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 4,
+            misc_ops_per_round: 4,
+            gc_period: 1024,
+            work_per_op: 48,
+        }
+    }
+
+    /// h2: huge event counts (27M) and monitor counts (6.5M), but short
+    /// monitor lifetimes keep the overhead low — collections die with
+    /// their iterators.
+    #[must_use]
+    pub fn h2() -> Profile {
+        Profile {
+            name: "h2",
+            seed: 0x42,
+            rounds: 80,
+            colls_per_round: 40,
+            map_fraction: 0.2,
+            sync_fraction: 0.1,
+            iters_per_coll: 1.0,
+            nexts_per_iter: 3.0,
+            skip_hasnext_prob: 0.01,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.3,
+            async_access_prob: 0.02,
+            coll_linger_rounds: 0,
+            reiterations_per_round: 0,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 8,
+            misc_ops_per_round: 6,
+            gc_period: 1024,
+            work_per_op: 160,
+        }
+    }
+
+    /// luindex: almost idle (E=371).
+    #[must_use]
+    pub fn luindex() -> Profile {
+        Profile {
+            name: "luindex",
+            seed: 0x10,
+            rounds: 4,
+            colls_per_round: 3,
+            map_fraction: 0.3,
+            sync_fraction: 0.1,
+            iters_per_coll: 0.5,
+            nexts_per_iter: 2.0,
+            skip_hasnext_prob: 0.0,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.2,
+            async_access_prob: 0.0,
+            coll_linger_rounds: 1,
+            reiterations_per_round: 1,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 2,
+            misc_ops_per_round: 3,
+            gc_period: 4096,
+            work_per_op: 400,
+        }
+    }
+
+    /// lusearch: light traffic (E=1.4K) with some UNSAFEITER-visible
+    /// events (748K in the paper's 9.12 run, mostly updates).
+    #[must_use]
+    pub fn lusearch() -> Profile {
+        Profile {
+            name: "lusearch",
+            seed: 0x105,
+            rounds: 6,
+            colls_per_round: 5,
+            map_fraction: 0.2,
+            sync_fraction: 0.1,
+            iters_per_coll: 0.3,
+            nexts_per_iter: 1.5,
+            skip_hasnext_prob: 0.0,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.8,
+            async_access_prob: 0.02,
+            coll_linger_rounds: 1,
+            reiterations_per_round: 1,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 4,
+            misc_ops_per_round: 4,
+            gc_period: 2048,
+            work_per_op: 300,
+        }
+    }
+
+    /// pmd: the third hot benchmark — 8.3M events, 789K monitors, heavy
+    /// updates (UNSAFEITER FM=473K CM=382K), long-ish collection lives.
+    #[must_use]
+    pub fn pmd() -> Profile {
+        Profile {
+            name: "pmd",
+            seed: 0xbd,
+            rounds: 40,
+            colls_per_round: 16,
+            map_fraction: 0.25,
+            sync_fraction: 0.1,
+            iters_per_coll: 1.2,
+            nexts_per_iter: 4.5,
+            skip_hasnext_prob: 0.02,
+            concurrent_update_prob: 0.001,
+            update_between_prob: 0.7,
+            async_access_prob: 0.05,
+            coll_linger_rounds: 12,
+            reiterations_per_round: 20,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 4,
+            misc_ops_per_round: 4,
+            gc_period: 512,
+            work_per_op: 64,
+        }
+    }
+
+    /// sunflow: millions of traversal events on iterators whose creation
+    /// the instrumentation never sees — HASNEXT creates 101K monitors but
+    /// UNSAFEITER creates 2.
+    #[must_use]
+    pub fn sunflow() -> Profile {
+        Profile {
+            name: "sunflow",
+            seed: 0x50f,
+            rounds: 10,
+            colls_per_round: 2,
+            map_fraction: 0.0,
+            sync_fraction: 0.0,
+            iters_per_coll: 5.0,
+            nexts_per_iter: 26.0,
+            skip_hasnext_prob: 0.0,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.0,
+            async_access_prob: 0.0,
+            coll_linger_rounds: 2,
+            reiterations_per_round: 4,
+            unobserved_iter_fraction: 0.98,
+            lock_ops_per_round: 2,
+            misc_ops_per_round: 2,
+            gc_period: 1024,
+            work_per_op: 64,
+        }
+    }
+
+    /// tomcat: negligible monitored traffic (E=25).
+    #[must_use]
+    pub fn tomcat() -> Profile {
+        Profile::tiny("tomcat", 0x70c, 3)
+    }
+
+    /// tradebeans: negligible monitored traffic (E=11).
+    #[must_use]
+    pub fn tradebeans() -> Profile {
+        Profile::tiny("tradebeans", 0x7b, 2)
+    }
+
+    /// tradesoap: negligible monitored traffic (E=11).
+    #[must_use]
+    pub fn tradesoap() -> Profile {
+        Profile::tiny("tradesoap", 0x75, 2)
+    }
+
+    /// xalan: map-view churn without iteration — UNSAFEMAPITER sees 119K
+    /// events and 20K monitors while HASNEXT sees 11.
+    #[must_use]
+    pub fn xalan() -> Profile {
+        Profile {
+            name: "xalan",
+            seed: 0xa1a,
+            rounds: 12,
+            colls_per_round: 10,
+            map_fraction: 1.0,
+            sync_fraction: 0.05,
+            iters_per_coll: 0.01,
+            nexts_per_iter: 1.0,
+            skip_hasnext_prob: 0.0,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.95,
+            async_access_prob: 0.02,
+            coll_linger_rounds: 3,
+            reiterations_per_round: 0,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 2,
+            misc_ops_per_round: 3,
+            gc_period: 2048,
+            work_per_op: 120,
+        }
+    }
+
+    fn tiny(name: &'static str, seed: u64, rounds: u32) -> Profile {
+        Profile {
+            name,
+            seed,
+            rounds,
+            colls_per_round: 2,
+            map_fraction: 0.3,
+            sync_fraction: 0.1,
+            iters_per_coll: 0.3,
+            nexts_per_iter: 1.0,
+            skip_hasnext_prob: 0.0,
+            concurrent_update_prob: 0.0,
+            update_between_prob: 0.2,
+            async_access_prob: 0.02,
+            coll_linger_rounds: 1,
+            reiterations_per_round: 0,
+            unobserved_iter_fraction: 0.0,
+            lock_ops_per_round: 2,
+            misc_ops_per_round: 2,
+            gc_period: 4096,
+            work_per_op: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_profiles_with_unique_names() {
+        let all = Profile::dacapo();
+        assert_eq!(all.len(), 15);
+        let mut names: Vec<&str> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Profile::by_name("bloat").unwrap().name, "bloat");
+        assert!(Profile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for p in Profile::dacapo() {
+            for v in [
+                p.map_fraction,
+                p.sync_fraction,
+                p.skip_hasnext_prob,
+                p.concurrent_update_prob,
+                p.update_between_prob,
+                p.async_access_prob,
+                p.unobserved_iter_fraction,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}: {v}", p.name);
+            }
+            assert!(p.rounds > 0 && p.gc_period > 0, "{}", p.name);
+        }
+    }
+}

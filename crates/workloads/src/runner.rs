@@ -1,0 +1,405 @@
+//! The workload runner: executes a [`Profile`] against the simulated
+//! collections framework, emitting events into a sink.
+//!
+//! The runner owns the heap (the "JVM" of the simulated program) and
+//! drives the object lifetimes: collections are pinned for
+//! `coll_linger_rounds` rounds (long-lived program state), iterators live
+//! inside per-iteration frames and die at the next collection — the
+//! asymmetry the paper's GC technique exploits.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rv_heap::{Heap, HeapConfig, HeapStats, ObjId};
+
+use crate::events::{EventSink, SimEvent};
+use crate::framework::{Classes, SimCollection, SimMap};
+use crate::profile::Profile;
+
+/// Summary of one workload run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadReport {
+    /// Heap statistics of the simulated program.
+    pub heap: HeapStats,
+    /// Rounds actually executed (after scaling).
+    pub rounds: u32,
+    /// Accumulator of the program's own computation (prevents the
+    /// busy-work from being optimized away; see `Profile::work_per_op`).
+    pub work_checksum: u64,
+}
+
+/// Runs `profile` at the given `scale`, feeding every observable event to
+/// `sink`. Deterministic for a fixed `(profile, scale)`.
+///
+/// `scale` multiplies the profile's round count; 1.0 reproduces the unit
+/// scale documented in [`Profile`] (≈ paper counts / 1000).
+pub fn run<S: EventSink>(profile: &Profile, scale: f64, sink: &mut S) -> WorkloadReport {
+    let mut heap = Heap::new(HeapConfig::auto(profile.gc_period));
+    let classes = Classes::register(&mut heap);
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let rounds = ((f64::from(profile.rounds) * scale).ceil() as u32).max(1);
+    let mut work = Work { acc: profile.seed, per_op: profile.work_per_op };
+
+    let program = heap.enter_frame();
+    // Long-lived program fixtures.
+    let lock = heap.alloc(classes.lock);
+    heap.pin(lock);
+    let threads: Vec<ObjId> = (0..2)
+        .map(|_| {
+            let t = heap.alloc(classes.thread);
+            heap.pin(t);
+            t
+        })
+        .collect();
+
+    // Collections pinned until their linger round expires.
+    let mut linger: VecDeque<(u32, SimCollection)> = VecDeque::new();
+
+    for round in 0..rounds {
+        while let Some(&(expiry, coll)) = linger.front() {
+            if expiry > round {
+                break;
+            }
+            heap.unpin(coll.id);
+            linger.pop_front();
+        }
+
+        for _ in 0..profile.colls_per_round {
+            run_collection_lifecycle(
+                profile, round, &mut heap, &classes, &mut rng, sink, &mut linger, &mut work,
+            );
+        }
+        // Re-iterate hot lingering collections: their monitor sets keep
+        // receiving traffic long after earlier iterators died.
+        if !linger.is_empty() {
+            for _ in 0..profile.reiterations_per_round {
+                let idx = rng.random_range(0..linger.len());
+                let coll = linger[idx].1;
+                let frame = heap.enter_frame();
+                run_iteration(profile, &mut heap, &classes, &mut rng, sink, &coll, &mut work);
+                heap.exit_frame(frame);
+            }
+        }
+        run_lock_activity(profile, &mut heap, &mut rng, sink, lock, &threads, &mut work);
+        run_misc_activity(profile, &mut heap, &classes, &mut rng, sink, &mut work);
+    }
+
+    // Program exit: release everything and collect.
+    while let Some((_, coll)) = linger.pop_front() {
+        heap.unpin(coll.id);
+    }
+    heap.unpin(lock);
+    for t in threads {
+        heap.unpin(t);
+    }
+    heap.exit_frame(program);
+    heap.collect();
+    sink.at_exit(&heap);
+    WorkloadReport { heap: heap.stats(), rounds, work_checksum: work.acc }
+}
+
+/// The simulated program's own computation: a small integer-mixing loop
+/// per collection operation, sized by `Profile::work_per_op`. This is what
+/// the monitoring overhead is measured *against* — DaCapo programs spend
+/// most of their time computing, not iterating.
+struct Work {
+    acc: u64,
+    per_op: u32,
+}
+
+impl Work {
+    #[inline]
+    fn op(&mut self) {
+        let mut x = self.acc | 1;
+        for _ in 0..self.per_op {
+            // xorshift64* round — cheap, unpredictable, not optimizable
+            // away since `acc` is returned in the report.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        }
+        self.acc = self.acc.wrapping_add(x);
+    }
+}
+
+/// One collection's life: creation (possibly as a map view, possibly
+/// synchronized), iterations with configurable violation shapes, then
+/// lingering until its pin expires.
+#[allow(clippy::too_many_arguments)]
+fn run_collection_lifecycle<S: EventSink>(
+    profile: &Profile,
+    round: u32,
+    heap: &mut Heap,
+    classes: &Classes,
+    rng: &mut StdRng,
+    sink: &mut S,
+    linger: &mut VecDeque<(u32, SimCollection)>,
+    work: &mut Work,
+) {
+    work.op();
+    let frame = heap.enter_frame();
+    let mut coll = if rng.random_bool(profile.map_fraction) {
+        let mut map = SimMap::new(heap, classes);
+        if rng.random_bool(profile.sync_fraction) {
+            map.synchronize(heap, sink);
+        }
+        map.view(heap, classes, sink)
+    } else {
+        let mut c = SimCollection::new(heap, classes);
+        if rng.random_bool(profile.sync_fraction) {
+            c.synchronize(heap, sink);
+        }
+        c
+    };
+    // Map views inherit the map's synchronization; plain collections may
+    // also be wrapped after the fact.
+    if !coll.synchronized && coll.backing_map.is_none() && rng.random_bool(profile.sync_fraction) {
+        coll.synchronize(heap, sink);
+    }
+    heap.pin(coll.id);
+    linger.push_back((round + profile.coll_linger_rounds + 1, coll));
+
+    let iters = sample(rng, profile.iters_per_coll);
+    for _ in 0..iters {
+        if rng.random_bool(profile.update_between_prob) {
+            work.op();
+            coll.update(heap, sink);
+        }
+        run_iteration(profile, heap, classes, rng, sink, &coll, work);
+    }
+    // Collections with no iterations can still be updated (xalan's
+    // map-churn pattern).
+    if iters == 0 && rng.random_bool(profile.update_between_prob) {
+        coll.update(heap, sink);
+    }
+    heap.exit_frame(frame);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_iteration<S: EventSink>(
+    profile: &Profile,
+    heap: &mut Heap,
+    classes: &Classes,
+    rng: &mut StdRng,
+    sink: &mut S,
+    coll: &SimCollection,
+    work: &mut Work,
+) {
+    let frame = heap.enter_frame();
+    let holding_lock = !rng.random_bool(profile.async_access_prob);
+    let it = if rng.random_bool(profile.unobserved_iter_fraction) {
+        coll.unobserved_iterator(heap, classes)
+    } else {
+        coll.iterator(heap, classes, sink, holding_lock)
+    };
+    let guarded = !rng.random_bool(profile.skip_hasnext_prob);
+    let n = sample(rng, profile.nexts_per_iter);
+    for _ in 0..n {
+        // The loop body: the program's actual per-element computation.
+        work.op();
+        if guarded {
+            it.has_next(heap, sink, true);
+        }
+        it.next(heap, sink, holding_lock);
+        if rng.random_bool(profile.concurrent_update_prob) {
+            // Structural update mid-iteration; the loop continues, so the
+            // following next() completes the UNSAFEITER pattern.
+            coll.update(heap, sink);
+        }
+    }
+    if guarded {
+        it.has_next(heap, sink, false);
+    }
+    heap.exit_frame(frame);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lock_activity<S: EventSink>(
+    profile: &Profile,
+    heap: &mut Heap,
+    rng: &mut StdRng,
+    sink: &mut S,
+    lock: ObjId,
+    threads: &[ObjId],
+    work: &mut Work,
+) {
+    for k in 0..profile.lock_ops_per_round {
+        let thread = threads[(k as usize) % threads.len()];
+        work.op();
+        sink.emit(heap, &SimEvent::Begin { thread });
+        sink.emit(heap, &SimEvent::Acquire { lock, thread });
+        if rng.random_bool(0.02) {
+            // Forgotten release: the method ends with the lock held — the
+            // SAFELOCK violation (Figure 4's @fail).
+            sink.emit(heap, &SimEvent::End { thread });
+            continue;
+        }
+        sink.emit(heap, &SimEvent::Release { lock, thread });
+        sink.emit(heap, &SimEvent::End { thread });
+    }
+}
+
+/// Traffic for the four low-overhead properties (§5.1: "none of these
+/// properties produce overheads above 5%").
+fn run_misc_activity<S: EventSink>(
+    profile: &Profile,
+    heap: &mut Heap,
+    classes: &Classes,
+    rng: &mut StdRng,
+    sink: &mut S,
+    work: &mut Work,
+) {
+    for _ in 0..profile.misc_ops_per_round {
+        work.op();
+        let frame = heap.enter_frame();
+        // SAFEFILE: open–write–close, occasionally sloppy.
+        let file = heap.alloc(classes.file);
+        sink.emit(heap, &SimEvent::Open { file });
+        sink.emit(heap, &SimEvent::WriteFile { file });
+        if rng.random_bool(0.98) {
+            sink.emit(heap, &SimEvent::Close { file });
+        }
+        // SAFEFILEWRITER.
+        let w = heap.alloc(classes.file);
+        sink.emit(heap, &SimEvent::OpenWriter { w });
+        sink.emit(heap, &SimEvent::WriteChar { w });
+        sink.emit(heap, &SimEvent::CloseWriter { w });
+        // HASHSET: add, sometimes mutate (the violation), then find.
+        let set = heap.alloc(classes.collection);
+        let obj = heap.alloc(classes.object);
+        sink.emit(heap, &SimEvent::Add { set, obj });
+        if rng.random_bool(0.05) {
+            sink.emit(heap, &SimEvent::Mutate { obj });
+        }
+        sink.emit(heap, &SimEvent::Find { set, obj });
+        // SAFEENUM: enumerate, occasionally modify mid-enumeration.
+        let vec = heap.alloc(classes.collection);
+        let en = heap.alloc(classes.iterator);
+        heap.add_edge(en, vec);
+        sink.emit(heap, &SimEvent::CreateEnum { vec, en });
+        sink.emit(heap, &SimEvent::NextElem { en });
+        if rng.random_bool(0.03) {
+            sink.emit(heap, &SimEvent::ModifyVec { vec });
+            sink.emit(heap, &SimEvent::NextElem { en });
+        }
+        heap.exit_frame(frame);
+    }
+}
+
+/// Samples a count with mean `avg`: a uniform factor in `[0.5, 1.5)` for
+/// larger means, Bernoulli for fractional ones.
+fn sample(rng: &mut StdRng, avg: f64) -> u32 {
+    if avg <= 0.0 {
+        return 0;
+    }
+    if avg < 1.0 {
+        return u32::from(rng.random_bool(avg));
+    }
+    let factor = 0.5 + rng.random::<f64>();
+    (avg * factor).round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CountingSink;
+
+    #[test]
+    fn runs_are_deterministic() {
+        let profile = Profile::avrora();
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        let ra = run(&profile, 0.5, &mut a);
+        let rb = run(&profile, 0.5, &mut b);
+        assert_eq!(a.events, b.events);
+        assert_eq!(ra, rb);
+        assert!(a.events > 0);
+    }
+
+    #[test]
+    fn scale_scales_the_event_volume() {
+        let profile = Profile::pmd();
+        let mut small = CountingSink::default();
+        let mut large = CountingSink::default();
+        run(&profile, 0.25, &mut small);
+        run(&profile, 1.0, &mut large);
+        assert!(
+            large.events > small.events * 2,
+            "scale 1.0 ({}) should far exceed scale 0.25 ({})",
+            large.events,
+            small.events
+        );
+    }
+
+    #[test]
+    fn bloat_produces_iterator_heavy_traffic() {
+        // The unit-scale bloat profile targets Fig. 10 / 1000: roughly
+        // 150K HASNEXT-visible events.
+        #[derive(Default)]
+        struct ByKind {
+            hasnext: u64,
+            next: u64,
+            create: u64,
+            update: u64,
+        }
+        impl EventSink for ByKind {
+            fn emit(&mut self, _h: &Heap, e: &SimEvent) {
+                match e {
+                    SimEvent::HasNextTrue { .. } | SimEvent::HasNextFalse { .. } => {
+                        self.hasnext += 1;
+                    }
+                    SimEvent::Next { .. } => self.next += 1,
+                    SimEvent::CreateIter { .. } => self.create += 1,
+                    SimEvent::UpdateColl { .. } => self.update += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut sink = ByKind::default();
+        run(&Profile::bloat(), 1.0, &mut sink);
+        let e_hasnext = sink.hasnext + sink.next;
+        assert!(
+            (100_000..700_000).contains(&e_hasnext),
+            "bloat HASNEXT-visible events: {e_hasnext}"
+        );
+        assert!(sink.next / sink.create.max(1) > 30, "long iterations");
+    }
+
+    #[test]
+    fn sunflow_iterators_are_mostly_unobserved() {
+        #[derive(Default)]
+        struct ByKind {
+            next: u64,
+            create: u64,
+        }
+        impl EventSink for ByKind {
+            fn emit(&mut self, _h: &Heap, e: &SimEvent) {
+                match e {
+                    SimEvent::Next { .. } => self.next += 1,
+                    SimEvent::CreateIter { .. } => self.create += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut sink = ByKind::default();
+        run(&Profile::sunflow(), 1.0, &mut sink);
+        assert!(sink.next > 100);
+        assert!(
+            sink.create < sink.next / 20,
+            "creates {} vs nexts {}",
+            sink.create,
+            sink.next
+        );
+    }
+
+    #[test]
+    fn workload_heap_reclaims_iterators() {
+        let mut sink = CountingSink::default();
+        let report = run(&Profile::h2(), 0.5, &mut sink);
+        assert!(report.heap.collections > 0, "auto-GC ran");
+        assert!(report.heap.swept > 0);
+        assert_eq!(report.heap.live, 0, "everything dies at program exit");
+    }
+}

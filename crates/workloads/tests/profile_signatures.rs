@@ -1,0 +1,144 @@
+//! Each DaCapo-like profile must exhibit the monitoring signature that
+//! its benchmark shows in the paper's Figure 10 — these are the knobs the
+//! whole evaluation stands on, so they are pinned by tests.
+
+use rv_heap::Heap;
+use rv_workloads::{run, EventSink, Profile, SimEvent};
+
+#[derive(Default)]
+struct Histogram {
+    hasnext: u64,
+    next: u64,
+    create_iter: u64,
+    update_coll: u64,
+    create_map_coll: u64,
+    update_map: u64,
+    sync: u64,
+    lock_ops: u64,
+    total: u64,
+}
+
+impl EventSink for Histogram {
+    fn emit(&mut self, _heap: &Heap, event: &SimEvent) {
+        self.total += 1;
+        match event {
+            SimEvent::HasNextTrue { .. } | SimEvent::HasNextFalse { .. } => self.hasnext += 1,
+            SimEvent::Next { .. } => self.next += 1,
+            SimEvent::CreateIter { .. } => self.create_iter += 1,
+            SimEvent::UpdateColl { .. } => self.update_coll += 1,
+            SimEvent::CreateMapColl { .. } => self.create_map_coll += 1,
+            SimEvent::UpdateMap { .. } => self.update_map += 1,
+            SimEvent::SyncColl { .. } | SimEvent::SyncMap { .. } => self.sync += 1,
+            SimEvent::Acquire { .. } | SimEvent::Release { .. } => self.lock_ops += 1,
+            _ => {}
+        }
+    }
+}
+
+fn histogram(name: &str) -> Histogram {
+    let mut h = Histogram::default();
+    let profile = Profile::by_name(name).unwrap_or_else(|| panic!("unknown profile {name}"));
+    let _ = run(&profile, 1.0, &mut h);
+    h
+}
+
+#[test]
+fn bloat_is_iterator_heavy_with_long_iterations() {
+    // Paper: 78M hasNext / 941K iterators ≈ 83 per iterator; iterator
+    // traffic dominates everything else.
+    let h = histogram("bloat");
+    assert!(h.next / h.create_iter.max(1) > 30, "long iterations: {} / {}", h.next, h.create_iter);
+    assert!(h.hasnext + h.next > h.total / 2, "iterator traffic dominates");
+}
+
+#[test]
+fn avrora_has_many_short_iterations() {
+    // Paper: 1.16M hasNext and 353K next over ~909K iterators — far more
+    // iterators than elements.
+    let h = histogram("avrora");
+    let nexts_per_iter = h.next as f64 / h.create_iter.max(1) as f64;
+    assert!(nexts_per_iter < 2.0, "avrora iterations are short: {nexts_per_iter}");
+    assert!(h.create_iter > 100, "plenty of iterators: {}", h.create_iter);
+}
+
+#[test]
+fn xalan_is_map_churn_without_iteration() {
+    // Paper: UNSAFEMAPITER E = 119K while HASNEXT E = 11.
+    let h = histogram("xalan");
+    assert!(h.hasnext + h.next < 20, "almost no iteration: {}", h.hasnext + h.next);
+    assert!(
+        h.update_map + h.create_map_coll > 100,
+        "map traffic dominates: {} + {}",
+        h.update_map,
+        h.create_map_coll
+    );
+}
+
+#[test]
+fn sunflow_iterates_without_observed_creations() {
+    // Paper: UNSAFEITER E = 1.3M, M = 2 — next events without creates.
+    let h = histogram("sunflow");
+    assert!(h.next > 100);
+    assert!(h.create_iter < h.next / 20, "creates {} vs nexts {}", h.create_iter, h.next);
+}
+
+#[test]
+fn h2_has_high_volume_and_short_lifetimes() {
+    // Paper: 27M events, 6.5M monitors — roughly one iterator per few
+    // events, everything dying quickly (linger = 0).
+    let h = histogram("h2");
+    assert!(h.total > 10_000, "h2 is the volume benchmark: {}", h.total);
+    assert_eq!(Profile::by_name("h2").unwrap().coll_linger_rounds, 0);
+}
+
+#[test]
+fn idle_benchmarks_stay_idle() {
+    for name in ["tomcat", "tradebeans", "tradesoap"] {
+        let h = histogram(name);
+        assert!(
+            h.hasnext + h.next + h.create_iter < 60,
+            "{name} should be nearly idle: {}",
+            h.hasnext + h.next + h.create_iter
+        );
+    }
+}
+
+#[test]
+fn jython_is_map_view_dominated() {
+    // Paper: UNSAFEMAPITER M = 101K while HASNEXT E = 106.
+    let h = histogram("jython");
+    assert!(h.create_map_coll + h.update_map > h.hasnext + h.next);
+}
+
+#[test]
+fn every_profile_emits_lock_traffic_for_safelock() {
+    for p in Profile::dacapo() {
+        let mut h = Histogram::default();
+        let _ = run(&p, 1.0, &mut h);
+        assert!(h.lock_ops > 0, "{} has no SAFELOCK traffic", p.name);
+    }
+}
+
+#[test]
+fn synchronized_fraction_shows_up_where_configured() {
+    let h = histogram("fop"); // sync_fraction = 0.2
+    assert!(h.sync > 0, "fop wraps some collections");
+    let h2 = histogram("sunflow"); // sync_fraction = 0.0
+    assert_eq!(h2.sync, 0, "sunflow never synchronizes");
+}
+
+#[test]
+fn scaled_runs_preserve_the_signature_shape() {
+    // The scale knob must not distort ratios (it multiplies rounds).
+    let p = Profile::by_name("pmd").unwrap();
+    let mut small = Histogram::default();
+    let mut large = Histogram::default();
+    let _ = run(&p, 0.5, &mut small);
+    let _ = run(&p, 2.0, &mut large);
+    let ratio_small = small.next as f64 / small.create_iter.max(1) as f64;
+    let ratio_large = large.next as f64 / large.create_iter.max(1) as f64;
+    assert!(
+        (ratio_small - ratio_large).abs() < ratio_large.max(1.0) * 0.5,
+        "nexts-per-iterator drifted: {ratio_small} vs {ratio_large}"
+    );
+}

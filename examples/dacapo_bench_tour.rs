@@ -1,0 +1,64 @@
+//! A tour of the evaluation stack: run one DaCapo-like workload under all
+//! three systems (Tracematches-style, JavaMOP-style, RV) and print the
+//! head-to-head numbers — a single row of the paper's Figures 9 and 10.
+//!
+//! Run: `cargo run --release --example dacapo_bench_tour [-- benchmark]`
+
+use std::time::Instant;
+
+use rv_monitor::workloads::{NullSink, Profile};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pmd".to_owned());
+    let profile = Profile::by_name(&name).unwrap_or_else(|| {
+        let names: Vec<&str> = Profile::dacapo().iter().map(|p| p.name).collect();
+        panic!("unknown benchmark `{name}`; choose one of {names:?}")
+    });
+    let scale = 1.0;
+
+    // Bare run: the overhead denominator.
+    let start = Instant::now();
+    let report = rv_monitor::workloads::run(&profile, scale, &mut NullSink);
+    let bare = start.elapsed();
+    println!(
+        "{name}: bare run {:.1} ms, {} allocations, {} heap collections\n",
+        bare.as_secs_f64() * 1e3,
+        report.heap.allocations,
+        report.heap.collections
+    );
+
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "system / property", "overhead", "events", "monitors", "flagged", "collected", "peak KiB"
+    );
+    for system in rv_bench::System::ALL {
+        for property in [rv_props::Property::HasNext, rv_props::Property::UnsafeIter] {
+            let mut sink = rv_bench::MonitorSink::new(system, &[property]);
+            let start = Instant::now();
+            let _ = rv_monitor::workloads::run(&profile, scale, &mut sink);
+            let elapsed = start.elapsed();
+            let overhead =
+                ((elapsed.as_secs_f64() / bare.as_secs_f64().max(1e-9)) - 1.0) * 100.0;
+            let (m, fm, cm) = sink.engine_stats()[0]
+                .1
+                .map_or(("-".into(), "-".into(), "-".into()), |s| {
+                    (
+                        s.monitors_created.to_string(),
+                        s.monitors_flagged.to_string(),
+                        s.monitors_collected.to_string(),
+                    )
+                });
+            println!(
+                "{:<28} {:>8.0}% {:>9} {:>9} {:>9} {:>9} {:>10.1}",
+                format!("{} / {}", system.label(), property.paper_name()),
+                overhead,
+                sink.events,
+                m,
+                fm,
+                cm,
+                sink.peak_bytes as f64 / 1024.0
+            );
+        }
+    }
+    println!("\n(TM exposes no monitor-instance stats: it keeps per-state disjunct sets)");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: write a spec, compile it, monitor a parametric event
+//! stream, and watch the handler fire — the paper's Figure 2 HASNEXT
+//! property end to end.
+//!
+//! Run: `cargo run --example quickstart`
+
+use rv_monitor::core::{Binding, EngineConfig, PropertyMonitor};
+use rv_monitor::heap::{Heap, HeapConfig};
+use rv_monitor::logic::ParamId;
+use rv_monitor::spec::CompiledSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The specification: Figure 2's HASNEXT, stated both as a finite
+    //    state machine and as an LTL formula with the past operator (*).
+    let source = r#"
+        HasNext(Iterator i) {
+            event hasnexttrue(i);
+            event hasnextfalse(i);
+            event next(i);
+            fsm:
+                unknown [
+                    hasnexttrue -> more
+                    hasnextfalse -> none
+                    next -> error
+                ]
+                more [ hasnexttrue -> more  next -> unknown ]
+                none [ hasnextfalse -> none  next -> error ]
+                error []
+            @error { report "improper Iterator use found!"; }
+            ltl: [](next => (*) hasnexttrue)
+            @violation { report "improper Iterator use found!"; }
+        }
+    "#;
+    let spec = CompiledSpec::from_source(source).map_err(|e| e.render(source))?;
+    println!("compiled spec `{}` with {} property blocks", spec.name, spec.properties.len());
+
+    // 2. A monitor running both blocks over the same events.
+    let mut monitor = PropertyMonitor::new(
+        spec,
+        &EngineConfig { record_triggers: true, ..EngineConfig::default() },
+    );
+
+    // 3. A simulated program: iterate safely, then overrun the iterator.
+    let mut heap = Heap::new(HeapConfig::default());
+    let iterator_class = heap.register_class("Iterator");
+    let frame = heap.enter_frame();
+    let it = heap.alloc(iterator_class);
+    let i = ParamId(0);
+    let theta = Binding::from_pairs(&[(i, it)]);
+
+    monitor.process_named(&heap, "hasnexttrue", theta); // guard: ok
+    monitor.process_named(&heap, "next", theta); //         consume: ok
+    monitor.process_named(&heap, "next", theta); //         unchecked next!
+
+    // 4. Both formalisms agree: one violation each.
+    for (block, engine) in monitor.engines().iter().enumerate() {
+        let handler = &monitor.spec().properties[block].handlers[0];
+        for trigger in engine.triggers() {
+            println!(
+                "block {} (@{}) fired at event #{}: {}",
+                block + 1,
+                handler.name,
+                trigger.step + 1,
+                handler.message.as_deref().unwrap_or("(no message)")
+            );
+        }
+    }
+    assert_eq!(monitor.triggers(), 2, "FSM and LTL blocks each report once");
+    heap.exit_frame(frame);
+    println!("done: {} total reports", monitor.triggers());
+    Ok(())
+}

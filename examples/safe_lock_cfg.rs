@@ -1,0 +1,54 @@
+//! The paper's Figure 4: SAFELOCK, a *context-free* property (balanced
+//! acquire/release nested within balanced method begin/end), monitored by
+//! the Earley-based CFG plugin — the case the paper highlights as beyond
+//! state-based techniques like Tracematches ("the state space is
+//! unbounded").
+//!
+//! Run: `cargo run --example safe_lock_cfg`
+
+use rv_monitor::core::{Binding, EngineConfig, PropertyMonitor};
+use rv_monitor::heap::{Heap, HeapConfig};
+use rv_monitor::logic::ParamId;
+use rv_monitor::props::{compiled, Property};
+
+fn main() {
+    let spec = compiled(Property::SafeLock).expect("bundled spec compiles");
+    println!("grammar: S -> S begin S end | S acquire S release | epsilon\n");
+    let mut monitor = PropertyMonitor::new(
+        spec,
+        &EngineConfig { record_triggers: true, ..EngineConfig::default() },
+    );
+
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Object");
+    let frame = heap.enter_frame();
+    let lock = heap.alloc(class);
+    let thread = heap.alloc(class);
+    let (l, t) = (ParamId(0), ParamId(1));
+    let lt = Binding::from_pairs(&[(l, lock), (t, thread)]);
+    let only_t = Binding::from_pairs(&[(t, thread)]);
+
+    // A well-nested phase: begin ( acquire ( begin end ) release ) end.
+    for (event, binding) in [
+        ("begin", only_t),
+        ("acquire", lt),
+        ("begin", only_t),
+        ("end", only_t),
+        ("release", lt),
+        ("end", only_t),
+    ] {
+        monitor.process_named(&heap, event, binding);
+    }
+    println!("after the balanced phase: {} violations (expected 0)", monitor.triggers());
+    assert_eq!(monitor.triggers(), 0);
+
+    // The bug: a method returns while still holding the lock.
+    monitor.process_named(&heap, "begin", only_t);
+    monitor.process_named(&heap, "acquire", lt);
+    monitor.process_named(&heap, "end", only_t); // ← improper nesting
+    println!("after the leaky method:  {} violation(s)", monitor.triggers());
+    assert_eq!(monitor.triggers(), 1);
+    let handler = &monitor.spec().properties[0].handlers[0];
+    println!("handler @{} says: {}", handler.name, handler.message.as_deref().unwrap());
+    heap.exit_frame(frame);
+}

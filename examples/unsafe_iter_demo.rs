@@ -1,0 +1,81 @@
+//! The paper's motivating scenario (Figure 3 + §1): monitoring
+//! UNSAFEITER over a program whose collections outlive their iterators,
+//! and watching the coenable-set garbage collector reclaim monitor
+//! instances that the JavaMOP-style policy must retain.
+//!
+//! Run: `cargo run --example unsafe_iter_demo`
+
+use rv_monitor::core::{Binding, Engine, EngineConfig, GcPolicy};
+use rv_monitor::heap::{Heap, HeapConfig};
+use rv_monitor::logic::{AnyFormalism, ParamId};
+use rv_monitor::props::{compiled, Property};
+
+const COLLECTIONS: usize = 5;
+const ITERATORS_PER_COLLECTION: usize = 200;
+
+fn run(policy: GcPolicy) -> (rv_monitor::core::EngineStats, u64) {
+    let spec = compiled(Property::UnsafeIter).expect("bundled spec compiles");
+    let prop = &spec.properties[0];
+    let AnyFormalism::Dfa(_) = prop.formalism else { unreachable!("UNSAFEITER is an ERE") };
+    let mut engine = Engine::new(
+        prop.formalism.clone(),
+        spec.event_def.clone(),
+        prop.goal,
+        EngineConfig { policy, ..EngineConfig::default() },
+    );
+    let (c, i) = (ParamId(0), ParamId(1));
+    let ev = |n: &str| spec.alphabet.lookup(n).unwrap();
+
+    let mut heap = Heap::new(HeapConfig::auto(64));
+    let object = heap.register_class("Object");
+    let program = heap.enter_frame();
+
+    // Long-lived collections...
+    let colls: Vec<_> = (0..COLLECTIONS).map(|_| heap.alloc(object)).collect();
+    for &coll in &colls {
+        // ...iterated over and over by short-lived iterators.
+        for k in 0..ITERATORS_PER_COLLECTION {
+            let inner = heap.enter_frame();
+            let iter = heap.alloc(object);
+            heap.add_edge(iter, coll); // JDK: Iterator → Collection
+            engine.process(&heap, ev("create"), Binding::from_pairs(&[(c, coll), (i, iter)]));
+            engine.process(&heap, ev("next"), Binding::from_pairs(&[(i, iter)]));
+            // One in fifty iterations commits the classic mistake: update
+            // the collection mid-iteration, then keep iterating.
+            if k % 50 == 25 {
+                engine.process(&heap, ev("update"), Binding::from_pairs(&[(c, coll)]));
+                engine.process(&heap, ev("next"), Binding::from_pairs(&[(i, iter)]));
+            }
+            heap.exit_frame(inner); // the iterator dies here
+        }
+    }
+    heap.exit_frame(program);
+    (engine.stats(), engine.stats().triggers)
+}
+
+fn main() {
+    println!(
+        "UNSAFEITER over {COLLECTIONS} long-lived collections × \
+         {ITERATORS_PER_COLLECTION} short-lived iterators each\n"
+    );
+    for (name, policy) in [
+        ("RV (coenable-set lazy GC)  ", GcPolicy::CoenableLazy),
+        ("JavaMOP (all params dead)  ", GcPolicy::AllParamsDead),
+        ("no monitor GC              ", GcPolicy::None),
+    ] {
+        let (stats, triggers) = run(policy);
+        println!(
+            "{name}: created {:>5}, flagged {:>5}, collected {:>5}, still live {:>5}  \
+             (violations caught: {triggers})",
+            stats.monitors_created,
+            stats.monitors_flagged,
+            stats.monitors_collected,
+            stats.live_monitors,
+        );
+    }
+    println!(
+        "\nThe paper's point, in miniature: every policy catches the same violations,\n\
+         but only the coenable technique can tell that a monitor whose iterator died\n\
+         will never match again — all-params-dead must wait for the collection too."
+    );
+}

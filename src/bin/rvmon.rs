@@ -1,0 +1,230 @@
+//! `rvmon` — command-line front end for the RV spec language.
+//!
+//! ```text
+//! rvmon check   <spec.rv>   parse + compile, report diagnostics
+//! rvmon analyze <spec.rv>   print coenable sets, parameter lifts, ALIVENESS
+//! rvmon fmt     <spec.rv>   pretty-print the spec in canonical form
+//! rvmon dfa     <spec.rv>   dump the compiled automaton of each block
+//! rvmon prune   <spec.rv> <ev1,ev2,…>
+//!                           instrumentation plan, given the events the
+//!                           target program can emit
+//! ```
+//!
+//! Exit status: 0 on success, 1 on diagnostics, 2 on usage/IO errors.
+
+use std::process::ExitCode;
+
+use rv_monitor::logic::{AnyFormalism, Formalism as _};
+use rv_monitor::spec::{compile, parse, print, CompiledSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path, extra) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str(), None),
+        [cmd, path, extra] => (cmd.as_str(), path.as_str(), Some(extra.as_str())),
+        _ => {
+            eprintln!("usage: rvmon <check|analyze|fmt|dfa|prune> <spec-file> [emitted-events]");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd {
+        "check" => check(path, &source),
+        "analyze" => analyze(path, &source),
+        "fmt" => fmt(path, &source),
+        "dfa" => dfa(path, &source),
+        "prune" => prune(path, &source, extra),
+        other => {
+            eprintln!("rvmon: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The §6 instrumentation-pruning analysis: which probes are needed given
+/// the events the program can emit at all.
+fn prune(path: &str, source: &str, emitted: Option<&str>) -> ExitCode {
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut set = rv_monitor::logic::EventSet::EMPTY;
+    match emitted {
+        None => set = spec.alphabet.universe(),
+        Some(list) => {
+            for name in list.split(',').filter(|n| !n.is_empty()) {
+                match spec.alphabet.lookup(name) {
+                    Some(e) => set = set.with(e),
+                    None => {
+                        eprintln!("rvmon: `{name}` is not an event of {}", spec.name);
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    }
+    println!("program emits: {}", set.display(&spec.alphabet));
+    for (i, prop) in spec.properties.iter().enumerate() {
+        let rv_monitor::logic::AnyFormalism::Dfa(d) = &prop.formalism else {
+            println!("block {}: CFG — pruning analysis is finite-state only", i + 1);
+            continue;
+        };
+        let plan = rv_monitor::logic::instrument::plan(d, prop.goal, set);
+        if !plan.can_trigger {
+            println!(
+                "block {}: can never trigger — remove ALL instrumentation for it",
+                i + 1
+            );
+        } else {
+            println!(
+                "block {}: instrument {}",
+                i + 1,
+                plan.required.display(&spec.alphabet)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn compile_or_report(path: &str, source: &str) -> Result<CompiledSpec, ExitCode> {
+    match CompiledSpec::from_source(source) {
+        Ok(spec) => Ok(spec),
+        Err(diag) => {
+            eprintln!("{path}:{}: error: {}", diag.render(source), diag_squiggle(source, &diag));
+            Err(ExitCode::from(1))
+        }
+    }
+}
+
+/// A one-line context snippet under the diagnostic.
+fn diag_squiggle(source: &str, diag: &rv_monitor::spec::Diagnostic) -> String {
+    let start = diag.span.start.min(source.len());
+    let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = source[start..].find('\n').map_or(source.len(), |i| start + i);
+    format!("\n    {}", &source[line_start..line_end])
+}
+
+fn check(path: &str, source: &str) -> ExitCode {
+    match compile_or_report(path, source) {
+        Ok(spec) => {
+            println!(
+                "{path}: ok — spec `{}`, {} parameter(s), {} event(s), {} property block(s)",
+                spec.name,
+                spec.param_classes.len(),
+                spec.alphabet.len(),
+                spec.properties.len()
+            );
+            for (i, prop) in spec.properties.iter().enumerate() {
+                let gc = if prop.coenable.is_some() {
+                    "coenable GC available"
+                } else {
+                    "coenable GC unavailable for this goal (falls back to all-params-dead)"
+                };
+                println!("  block {}: {:?}, goal {}, {gc}", i + 1, prop.kind, prop.goal);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+fn analyze(path: &str, source: &str) -> ExitCode {
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!("=== {} ===", spec.name);
+    for (i, prop) in spec.properties.iter().enumerate() {
+        println!("-- block {} ({:?}, goal {}) --", i + 1, prop.kind, prop.goal);
+        let Some(co) = &prop.coenable else {
+            println!("(no coenable sets for this goal)");
+            continue;
+        };
+        print!("{}", co.display(&spec.alphabet));
+        let aliveness = prop.aliveness.as_ref().expect("aliveness accompanies coenable");
+        for e in spec.alphabet.iter() {
+            let masks: Vec<String> = aliveness
+                .masks(e)
+                .iter()
+                .map(|ps| {
+                    let names: Vec<String> = ps
+                        .iter()
+                        .map(|p| format!("live_{}", spec.event_def.param_name(p)))
+                        .collect();
+                    if names.is_empty() { "true".into() } else { names.join(" ∧ ") }
+                })
+                .collect();
+            println!(
+                "ALIVENESS({}) = {}",
+                spec.alphabet.name(e),
+                if masks.is_empty() { "false".into() } else { masks.join(" ∨ ") }
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fmt(path: &str, source: &str) -> ExitCode {
+    match parse(source) {
+        Ok(ast) => {
+            // Validate before printing so `fmt` never launders a broken spec.
+            if let Err(diag) = compile(&ast) {
+                eprintln!("{path}:{}: error: {}", diag.render(source), diag.message);
+                return ExitCode::from(1);
+            }
+            print!("{}", print(&ast));
+            ExitCode::SUCCESS
+        }
+        Err(diag) => {
+            eprintln!("{path}:{}: error: {}", diag.render(source), diag.message);
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn dfa(path: &str, source: &str) -> ExitCode {
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    for (i, prop) in spec.properties.iter().enumerate() {
+        println!("-- block {} ({:?}) --", i + 1, prop.kind);
+        match &prop.formalism {
+            AnyFormalism::Dfa(d) => print!("{d}"),
+            AnyFormalism::Cfg(c) => {
+                let g = c.grammar();
+                println!("reduced grammar with {} production(s):", g.productions().len());
+                for p in g.productions() {
+                    let rhs: Vec<String> = p
+                        .rhs
+                        .iter()
+                        .map(|s| match s {
+                            rv_monitor::logic::cfg::Symbol::T(e) => {
+                                spec.alphabet.name(*e).to_owned()
+                            }
+                            rv_monitor::logic::cfg::Symbol::Nt(n) => {
+                                g.nonterminal_names()[*n as usize].clone()
+                            }
+                        })
+                        .collect();
+                    println!(
+                        "  {} -> {}",
+                        g.nonterminal_names()[p.lhs as usize],
+                        if rhs.is_empty() { "epsilon".into() } else { rhs.join(" ") }
+                    );
+                }
+                let mut st = c.initial_state();
+                let _ = &mut st;
+                println!("(monitored by an incremental Earley recognizer)");
+            }
+        }
+        let _ = prop.formalism.alphabet();
+    }
+    ExitCode::SUCCESS
+}

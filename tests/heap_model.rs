@@ -1,0 +1,152 @@
+//! Property tests for the managed-heap substrate: the mark-sweep collector
+//! must agree exactly with a naive reachability model, and weak references
+//! must die precisely at the sweep that reclaims their referent.
+
+use proptest::prelude::*;
+use rv_monitor::heap::{Heap, HeapConfig, ObjId, WeakRef};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Allocate an object pinned as a root.
+    AllocPinned,
+    /// Allocate an object rooted only by the current frame.
+    AllocLocal,
+    /// Add an edge between two previously allocated (possibly dead) slots.
+    Edge { from: usize, to: usize },
+    /// Unpin a pinned object.
+    Unpin { slot: usize },
+    /// Collect.
+    Collect,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::AllocPinned),
+        2 => Just(Op::AllocLocal),
+        3 => (any::<usize>(), any::<usize>()).prop_map(|(from, to)| Op::Edge { from, to }),
+        2 => any::<usize>().prop_map(|slot| Op::Unpin { slot }),
+        2 => Just(Op::Collect),
+    ]
+}
+
+/// A shadow model: objects, pins, edges; liveness = reachable from pins.
+#[derive(Default)]
+struct Model {
+    pins: HashSet<usize>,
+    edges: HashMap<usize, Vec<usize>>,
+    dead: HashSet<usize>,
+}
+
+impl Model {
+    fn live_set(&self) -> HashSet<usize> {
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<usize> = self.pins.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) {
+                if let Some(succ) = self.edges.get(&n) {
+                    stack.extend(succ.iter().copied());
+                }
+            }
+        }
+        seen
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mark_sweep_agrees_with_reachability_model(
+        ops in proptest::collection::vec(op_strategy(), 0..80)
+    ) {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let class = heap.register_class("Obj");
+        let _frame = heap.enter_frame();
+        let mut objects: Vec<ObjId> = Vec::new();
+        let mut weaks: Vec<WeakRef> = Vec::new();
+        let mut model = Model::default();
+
+        for op in ops {
+            match op {
+                Op::AllocPinned => {
+                    let frame = heap.enter_frame();
+                    let o = heap.alloc(class);
+                    heap.pin(o);
+                    heap.exit_frame(frame);
+                    weaks.push(heap.weak_ref(o));
+                    model.pins.insert(objects.len());
+                    objects.push(o);
+                }
+                Op::AllocLocal => {
+                    // Allocated in a frame that exits immediately: dead at
+                    // the next collection unless an edge saves it first.
+                    let frame = heap.enter_frame();
+                    let o = heap.alloc(class);
+                    heap.exit_frame(frame);
+                    weaks.push(heap.weak_ref(o));
+                    objects.push(o);
+                }
+                Op::Edge { from, to } => {
+                    if objects.is_empty() {
+                        continue;
+                    }
+                    let f = from % objects.len();
+                    let t = to % objects.len();
+                    // Edges can only be added between live objects.
+                    if !model.dead.contains(&f) && !model.dead.contains(&t)
+                        && heap.is_alive(objects[f]) && heap.is_alive(objects[t])
+                    {
+                        heap.add_edge(objects[f], objects[t]);
+                        model.edges.entry(f).or_default().push(t);
+                    }
+                }
+                Op::Unpin { slot } => {
+                    if objects.is_empty() {
+                        continue;
+                    }
+                    let s = slot % objects.len();
+                    if model.pins.remove(&s) {
+                        heap.unpin(objects[s]);
+                    }
+                }
+                Op::Collect => {
+                    heap.collect();
+                    let live = model.live_set();
+                    for idx in 0..objects.len() {
+                        if !live.contains(&idx) {
+                            model.dead.insert(idx);
+                        }
+                    }
+                }
+            }
+            // Invariant: after any op, everything the model calls dead is
+            // dead on the heap, and pinned-reachable objects are alive.
+            for (idx, &o) in objects.iter().enumerate() {
+                if model.dead.contains(&idx) {
+                    prop_assert!(!heap.is_alive(o), "model says slot {idx} is dead");
+                    prop_assert!(!weaks[idx].is_alive(&heap));
+                    prop_assert!(weaks[idx].upgrade(&heap).is_none());
+                }
+            }
+        }
+        // Final full agreement after one more collection.
+        heap.collect();
+        let live = model.live_set();
+        for (idx, &o) in objects.iter().enumerate() {
+            prop_assert_eq!(
+                heap.is_alive(o),
+                live.contains(&idx) && !model.dead.contains(&idx),
+                "slot {} disagrees", idx
+            );
+        }
+        prop_assert_eq!(
+            heap.live_count(),
+            objects
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| live.contains(idx) && !model.dead.contains(idx))
+                .count()
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! The Figure 9(B) memory-shape claims, as executable assertions on a
+//! representative workload: the Tracematches baseline retains the least,
+//! RV no more than JavaMOP, and the gap appears exactly where object
+//! lifetimes skew.
+
+use rv_bench::{MonitorSink, System};
+use rv_monitor::workloads::Profile;
+use rv_props::Property;
+
+fn peak_kib(system: System, benchmark: &str, property: Property) -> f64 {
+    let profile = Profile::by_name(benchmark).unwrap();
+    let mut sink = MonitorSink::new(system, &[property]);
+    let _ = rv_monitor::workloads::run(&profile, 0.5, &mut sink);
+    sink.peak_bytes as f64 / 1024.0
+}
+
+#[test]
+fn tracematches_memory_is_lowest_on_iterator_workloads() {
+    // The paper (and our Fig. 9B): TM's per-state disjunct sets beat the
+    // indexing-tree engines on memory, often by an order of magnitude.
+    for bench in ["avrora", "pmd"] {
+        let tm = peak_kib(System::Tm, bench, Property::UnsafeIter);
+        let mop = peak_kib(System::Mop, bench, Property::UnsafeIter);
+        let rv = peak_kib(System::Rv, bench, Property::UnsafeIter);
+        assert!(tm < mop, "{bench}: TM {tm:.1} KiB vs MOP {mop:.1} KiB");
+        assert!(tm < rv, "{bench}: TM {tm:.1} KiB vs RV {rv:.1} KiB");
+    }
+}
+
+#[test]
+fn rv_peak_memory_at_most_javamops_where_lifetimes_skew() {
+    // bloat/pmd linger their collections: RV reclaims dead-iterator
+    // monitors mid-run, MOP cannot.
+    for bench in ["bloat", "pmd"] {
+        let mop = peak_kib(System::Mop, bench, Property::UnsafeIter);
+        let rv = peak_kib(System::Rv, bench, Property::UnsafeIter);
+        assert!(
+            rv <= mop * 1.05,
+            "{bench}: RV {rv:.1} KiB should not exceed MOP {mop:.1} KiB"
+        );
+    }
+}
+
+#[test]
+fn short_lifetime_benchmarks_show_no_policy_gap() {
+    // h2's collections die with their iterators: both policies collect at
+    // the same pace (the paper's h2 row is nearly flat).
+    let mop = peak_kib(System::Mop, "h2", Property::UnsafeIter);
+    let rv = peak_kib(System::Rv, "h2", Property::UnsafeIter);
+    let ratio = rv / mop.max(0.001);
+    assert!(
+        (0.5..=1.5).contains(&ratio),
+        "h2 should be policy-insensitive: RV {rv:.1} vs MOP {mop:.1}"
+    );
+}

@@ -1,0 +1,325 @@
+//! The central correctness property of the whole system: on random
+//! parametric traces with random object lifetimes, the indexing-tree
+//! engine — under **every** GC policy — reports exactly the goal verdicts
+//! of the paper's Figure 5 reference algorithm.
+//!
+//! This simultaneously checks trace slicing (Definition 6), the enable-set
+//! creation discipline (no spurious or missing monitors), and GC
+//! soundness (Theorem 1: collected monitors could never have triggered).
+
+use proptest::prelude::*;
+use rv_monitor::core::{
+    monitor_trace, Binding, Engine, EngineConfig, GcPolicy, Trigger,
+};
+use rv_monitor::heap::{Heap, HeapConfig, ObjId};
+use rv_monitor::logic::{AnyFormalism, EventId, ParamId};
+use rv_monitor::props::{compiled, Property};
+
+/// A step of the random program: emit an event over live objects, kill an
+/// object, or run a heap collection.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Emit event `event` binding the object-pool slots in `picks`.
+    Emit { event: usize, picks: [usize; 3] },
+    /// Unroot pool slot `slot` (a later GC reclaims it).
+    Kill { slot: usize },
+    /// Run a collection.
+    Collect,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => (any::<usize>(), any::<[usize; 3]>())
+            .prop_map(|(event, picks)| Step::Emit { event, picks }),
+        1 => any::<usize>().prop_map(|slot| Step::Kill { slot }),
+        1 => Just(Step::Collect),
+    ]
+}
+
+/// Replays `steps` against a fresh heap, building the parametric trace and
+/// driving `engine` (if given). Returns the recorded trace.
+fn replay(
+    steps: &[Step],
+    spec: &rv_spec::CompiledSpec,
+    mut engine: Option<&mut Engine<AnyFormalism>>,
+) -> Vec<(EventId, Binding)> {
+    const POOL: usize = 6;
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Object");
+    // Allocate in a frame that exits immediately: liveness is governed
+    // solely by the pins, so Kill + Collect really reclaims (and the GC
+    // paths of the engine are genuinely exercised).
+    let frame = heap.enter_frame();
+    let pool: Vec<ObjId> = (0..POOL).map(|_| heap.alloc(class)).collect();
+    for &o in &pool {
+        heap.pin(o);
+    }
+    heap.exit_frame(frame);
+    let mut alive = [true; POOL];
+    let mut trace = Vec::new();
+    for &step in steps {
+        match step {
+            Step::Emit { event, picks } => {
+                let e = EventId((event % spec.alphabet.len()) as u16);
+                let params = &spec.event_params[e.as_usize()];
+                // Bind each parameter to a live pool object; skip the
+                // event if too few are alive.
+                let live: Vec<ObjId> = pool
+                    .iter()
+                    .zip(alive.iter())
+                    .filter_map(|(&o, &a)| a.then_some(o))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let pairs: Vec<(ParamId, ObjId)> = params
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &p)| (p, live[picks[k.min(2)] % live.len()]))
+                    .collect();
+                // Distinct parameters may pick the same object — that is a
+                // legal parametric event; dedup only identical params.
+                let binding = Binding::from_pairs(&pairs);
+                trace.push((e, binding));
+                if let Some(engine) = engine.as_deref_mut() {
+                    engine.process(&heap, e, binding);
+                }
+            }
+            Step::Kill { slot } => {
+                let s = slot % POOL;
+                if alive[s] {
+                    alive[s] = false;
+                    heap.unpin(pool[s]);
+                }
+            }
+            Step::Collect => {
+                // Dead pool slots keep their stale ids; they are never
+                // used again because `alive` is false.
+                heap.collect();
+            }
+        }
+    }
+    trace
+}
+
+fn check_property(property: Property, steps: &[Step], policy: GcPolicy) {
+    let spec = compiled(property).expect("bundled property");
+    for prop in &spec.properties {
+        let mut engine = Engine::new(
+            prop.formalism.clone(),
+            spec.event_def.clone(),
+            prop.goal,
+            EngineConfig { policy, record_triggers: true, ..EngineConfig::default() },
+        );
+        let trace = replay(steps, &spec, Some(&mut engine));
+        let oracle = monitor_trace(&prop.formalism, prop.goal, &trace);
+        // The oracle re-fires absorbing goal verdicts on every event; the
+        // engine terminates such monitors after the first report.
+        // Compare first-report-per-binding sets.
+        // First report per binding; order within a step is unspecified
+        // (both sides iterate hash-based structures), so sort.
+        let dedup = |ts: &[Trigger]| {
+            let mut seen = std::collections::HashSet::new();
+            let mut v: Vec<Trigger> =
+                ts.iter().filter(|t| seen.insert(t.binding)).copied().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            dedup(engine.triggers()),
+            dedup(&oracle.triggers),
+            "{property:?} {policy:?} block {:?} diverged on trace {trace:?}",
+            prop.kind
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn unsafe_iter_matches_oracle_under_every_policy(
+        steps in proptest::collection::vec(step_strategy(), 0..60)
+    ) {
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            check_property(Property::UnsafeIter, &steps, policy);
+        }
+    }
+
+    #[test]
+    fn has_next_matches_oracle_under_every_policy(
+        steps in proptest::collection::vec(step_strategy(), 0..60)
+    ) {
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            check_property(Property::HasNext, &steps, policy);
+        }
+    }
+
+    #[test]
+    fn unsafe_map_iter_matches_oracle(
+        steps in proptest::collection::vec(step_strategy(), 0..50)
+    ) {
+        check_property(Property::UnsafeMapIter, &steps, GcPolicy::CoenableLazy);
+        check_property(Property::UnsafeMapIter, &steps, GcPolicy::AllParamsDead);
+    }
+
+    #[test]
+    fn unsafe_sync_coll_matches_oracle(
+        steps in proptest::collection::vec(step_strategy(), 0..50)
+    ) {
+        check_property(Property::UnsafeSyncColl, &steps, GcPolicy::CoenableLazy);
+    }
+
+    #[test]
+    fn hash_set_matches_oracle(
+        steps in proptest::collection::vec(step_strategy(), 0..50)
+    ) {
+        check_property(Property::HashSet, &steps, GcPolicy::CoenableLazy);
+    }
+
+    #[test]
+    fn safe_lock_cfg_matches_oracle(
+        steps in proptest::collection::vec(step_strategy(), 0..30)
+    ) {
+        // The CFG property exercises the Earley monitor and the permissive
+        // creation fallback.
+        check_property(Property::SafeLock, &steps, GcPolicy::CoenableLazy);
+        check_property(Property::SafeLock, &steps, GcPolicy::None);
+    }
+}
+
+/// The Tracematches-style baseline must agree with the oracle too (it is
+/// a different engine entirely, so this exercises its disjunct semantics,
+/// slice gating, and retirement tombstones).
+fn check_tracematches(property: Property, steps: &[Step]) {
+    let spec = compiled(property).expect("bundled property");
+    let prop = &spec.properties[0];
+    let AnyFormalism::Dfa(dfa) = &prop.formalism else {
+        panic!("tracematches check needs a finite-state property");
+    };
+    let mut tm =
+        rv_monitor::tracematches::TraceMatch::new(dfa.clone(), spec.event_def.clone(), prop.goal);
+    // Replay: drive the TM engine via a trace we also hand to the oracle.
+    let trace = replay(steps, &spec, None);
+    {
+        // Re-run the same steps against a fresh heap for the TM engine
+        // (replay is deterministic given the same steps).
+        let mut heap = Heap::new(HeapConfig::manual());
+        let class = heap.register_class("Object");
+        let _frame = heap.enter_frame();
+        let pool: Vec<ObjId> = (0..6).map(|_| heap.alloc(class)).collect();
+        for &o in &pool {
+            heap.pin(o);
+        }
+        let mut alive = [true; 6];
+        let mut cursor = 0usize;
+        for &step in steps {
+            match step {
+                Step::Emit { .. } => {
+                    // The recorded trace already has the binding; replay it
+                    // in order. (Bindings refer to the first heap's ids,
+                    // which differ from this heap's — remap via index.)
+                    if cursor < trace.len() {
+                        // Recompute with this heap's objects by position.
+                        cursor += 1;
+                    }
+                }
+                Step::Kill { slot } => {
+                    let s = slot % 6;
+                    if alive[s] {
+                        alive[s] = false;
+                        heap.unpin(pool[s]);
+                    }
+                }
+                Step::Collect => {
+                    heap.collect();
+                }
+            }
+        }
+    }
+    // Simpler and fully faithful: replay once with a single heap, driving
+    // the TM engine directly inside the replay loop via a tiny adapter.
+    let trace2 = replay_tm(steps, &spec, &mut tm);
+    assert_eq!(trace, trace2, "replays must be deterministic");
+    let oracle = monitor_trace(&prop.formalism, prop.goal, &trace);
+    let mut seen = std::collections::HashSet::new();
+    let oracle_first: Vec<Trigger> =
+        oracle.triggers.iter().filter(|t| seen.insert(t.binding)).copied().collect();
+    assert_eq!(
+        tm.stats().triggers,
+        oracle_first.len() as u64,
+        "{property:?} TM diverged on trace {trace:?}"
+    );
+}
+
+/// Like [`replay`], but drives a Tracematches engine.
+fn replay_tm(
+    steps: &[Step],
+    spec: &rv_spec::CompiledSpec,
+    tm: &mut rv_monitor::tracematches::TraceMatch,
+) -> Vec<(EventId, Binding)> {
+    const POOL: usize = 6;
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Object");
+    let frame = heap.enter_frame();
+    let pool: Vec<ObjId> = (0..POOL).map(|_| heap.alloc(class)).collect();
+    for &o in &pool {
+        heap.pin(o);
+    }
+    heap.exit_frame(frame);
+    let mut alive = [true; POOL];
+    let mut trace = Vec::new();
+    for &step in steps {
+        match step {
+            Step::Emit { event, picks } => {
+                let e = EventId((event % spec.alphabet.len()) as u16);
+                let params = &spec.event_params[e.as_usize()];
+                let live: Vec<ObjId> = pool
+                    .iter()
+                    .zip(alive.iter())
+                    .filter_map(|(&o, &a)| a.then_some(o))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let pairs: Vec<(ParamId, ObjId)> = params
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &p)| (p, live[picks[k.min(2)] % live.len()]))
+                    .collect();
+                let binding = Binding::from_pairs(&pairs);
+                trace.push((e, binding));
+                tm.process(&heap, e, binding);
+            }
+            Step::Kill { slot } => {
+                let s = slot % POOL;
+                if alive[s] {
+                    alive[s] = false;
+                    heap.unpin(pool[s]);
+                }
+            }
+            Step::Collect => {
+                heap.collect();
+            }
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tracematches_matches_oracle_on_unsafe_iter(
+        steps in proptest::collection::vec(step_strategy(), 0..50)
+    ) {
+        check_tracematches(Property::UnsafeIter, &steps);
+    }
+
+    #[test]
+    fn tracematches_matches_oracle_on_unsafe_sync_coll(
+        steps in proptest::collection::vec(step_strategy(), 0..50)
+    ) {
+        check_tracematches(Property::UnsafeSyncColl, &steps);
+    }
+}

@@ -1,0 +1,40 @@
+//! The `specs/` directory ships the property catalog as standalone `.rv`
+//! files for the `rvmon` CLI; they must stay in sync with the bundled
+//! sources in `rv-props`.
+
+use rv_monitor::props::Property;
+use rv_monitor::spec::CompiledSpec;
+
+fn file_name(p: Property) -> &'static str {
+    match p {
+        Property::HasNext => "has_next",
+        Property::UnsafeIter => "unsafe_iter",
+        Property::UnsafeMapIter => "unsafe_map_iter",
+        Property::UnsafeSyncColl => "unsafe_sync_coll",
+        Property::UnsafeSyncMap => "unsafe_sync_map",
+        Property::SafeLock => "safe_lock",
+        Property::HashSet => "hash_set",
+        Property::SafeEnum => "safe_enum",
+        Property::SafeFile => "safe_file",
+        Property::SafeFileWriter => "safe_file_writer",
+    }
+}
+
+#[test]
+fn every_shipped_spec_file_compiles_and_matches_the_catalog() {
+    for p in Property::ALL {
+        let path = format!("{}/specs/{}.rv", env!("CARGO_MANIFEST_DIR"), file_name(p));
+        let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let from_file = CompiledSpec::from_source(&source)
+            .unwrap_or_else(|e| panic!("{path}: {}", e.render(&source)));
+        let bundled = rv_monitor::props::compiled(p).unwrap();
+        assert_eq!(from_file.name, bundled.name, "{path}");
+        assert_eq!(from_file.alphabet, bundled.alphabet, "{path}");
+        assert_eq!(from_file.event_params, bundled.event_params, "{path}");
+        assert_eq!(from_file.properties.len(), bundled.properties.len(), "{path}");
+        for (a, b) in from_file.properties.iter().zip(&bundled.properties) {
+            assert_eq!(a.goal, b.goal, "{path}");
+            assert_eq!(a.coenable, b.coenable, "{path}");
+        }
+    }
+}
