@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Local CI: exactly what .github/workflows/ci.yml runs.
+#
+# The workspace is offline-first — default features pull in no external
+# crates, so every step below works without network access. Benches and
+# property tests that need `rand`/`proptest`/`criterion` are gated behind
+# the `external-deps` feature and are not part of tier-1.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -10,7 +10,6 @@
 //!
 //! Run: `cargo bench -p rv-bench --bench ablations`
 
-
 #![allow(missing_docs)] // criterion macros generate undocumented items
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rv_core::{EngineConfig, GcPolicy, PropertyMonitor};

@@ -4,7 +4,6 @@
 //!
 //! Run: `cargo bench -p rv-bench --bench fig9a_overhead`
 
-
 #![allow(missing_docs)] // criterion macros generate undocumented items
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rv_bench::{MonitorSink, System};
@@ -24,16 +23,12 @@ fn bench_overhead(c: &mut Criterion) {
             });
         });
         for system in System::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(system.label(), name),
-                &profile,
-                |b, p| {
-                    b.iter(|| {
-                        let mut sink = MonitorSink::new(system, &[Property::UnsafeIter]);
-                        rv_workloads::run(p, SCALE, &mut sink)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(system.label(), name), &profile, |b, p| {
+                b.iter(|| {
+                    let mut sink = MonitorSink::new(system, &[Property::UnsafeIter]);
+                    rv_workloads::run(p, SCALE, &mut sink)
+                });
+            });
         }
     }
     group.finish();

@@ -5,7 +5,6 @@
 //!
 //! Run: `cargo bench -p rv-bench --bench microbench`
 
-
 #![allow(missing_docs)] // criterion macros generate undocumented items
 use criterion::{criterion_group, criterion_main, Criterion};
 use rv_core::{Binding, Engine, EngineConfig, GcPolicy};
@@ -62,7 +61,8 @@ fn bench_engine_dispatch(c: &mut Criterion) {
     let (alphabet, dfa, def) = unsafe_iter_parts();
     let update = alphabet.lookup("update").unwrap();
     c.bench_function("engine_dispatch_update", |b| {
-        let mut engine = Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig::default());
+        let mut engine =
+            Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig::default());
         let mut heap = Heap::new(HeapConfig::manual());
         let cls = heap.register_class("Obj");
         let _f = heap.enter_frame();
@@ -81,7 +81,8 @@ fn bench_monitor_creation(c: &mut Criterion) {
     let (alphabet, dfa, def) = unsafe_iter_parts();
     let create = alphabet.lookup("create").unwrap();
     c.bench_function("engine_monitor_creation", |b| {
-        let mut engine = Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig::default());
+        let mut engine =
+            Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig::default());
         let mut heap = Heap::new(HeapConfig::manual());
         let cls = heap.register_class("Obj");
         let _f = heap.enter_frame();
@@ -110,10 +111,12 @@ fn bench_policy_comparison(c: &mut Criterion) {
         ("coenable_lazy", GcPolicy::CoenableLazy),
     ] {
         group.bench_function(label, |b| {
-            let mut engine = Engine::new(dfa.clone(), def.clone(), GoalSet::MATCH, EngineConfig {
-                policy,
-                ..EngineConfig::default()
-            });
+            let mut engine = Engine::new(
+                dfa.clone(),
+                def.clone(),
+                GoalSet::MATCH,
+                EngineConfig { policy, ..EngineConfig::default() },
+            );
             let mut heap = Heap::new(HeapConfig::auto(256));
             let cls = heap.register_class("Obj");
             let _f = heap.enter_frame();

@@ -32,11 +32,7 @@ fn main() {
                                 format!("{{{}}}", names.join(", "))
                             })
                             .collect();
-                        println!(
-                            "COENABLEˣ({}) = {{{}}}",
-                            spec.alphabet.name(e),
-                            sets.join(", ")
-                        );
+                        println!("COENABLEˣ({}) = {{{}}}", spec.alphabet.name(e), sets.join(", "));
                     }
                     let aliveness = lifted.aliveness();
                     for e in spec.alphabet.iter() {

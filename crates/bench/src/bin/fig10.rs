@@ -3,14 +3,16 @@
 //! unnecessary by the coenable technique (FM), and monitors collected
 //! (CM) — for every benchmark × evaluated property.
 //!
-//! Usage: `cargo run --release -p rv-bench --bin fig10 -- [--scale X]`
+//! Usage: `cargo run --release -p rv-bench --bin fig10 -- [--scale X]
+//! [--stats-json BENCH_FIG10.json]`
 
-use rv_bench::{fmt_count, MonitorSink, System};
+use rv_bench::{fmt_count, MonitorSink, StatsReport, System};
 use rv_props::Property;
 use rv_workloads::Profile;
 
 fn main() {
     let args = rv_bench::HarnessArgs::from_env();
+    let mut report = StatsReport::new("fig10", args.scale);
     println!("Figure 10: RV monitoring statistics (scale {})", args.scale);
     print!("{:<12} ", "");
     for p in Property::EVALUATED {
@@ -29,6 +31,7 @@ fn main() {
             let mut sink = MonitorSink::new(System::Rv, &[property]);
             let _ = rv_workloads::run(&profile, args.scale, &mut sink);
             let stats = sink.engine_stats()[0].1.expect("RV exposes engine stats");
+            report.push_stats(profile.name, property.paper_name(), &stats);
             print!(
                 "| {:>6} {:>6} {:>6} {:>6} ",
                 fmt_count(stats.events),
@@ -42,4 +45,5 @@ fn main() {
     println!();
     println!("E events, M monitors created, FM flagged unnecessary, CM collected");
     println!("(HasNext runs both its FSM and LTL blocks; counts aggregate the two)");
+    report.write_if_requested(args.stats_json.as_deref());
 }

@@ -4,18 +4,19 @@
 //! "ALL" column (all five monitored simultaneously).
 //!
 //! Usage: `cargo run --release -p rv-bench --bin fig9a -- [--scale X]
-//! [--deadline SECS] [--reps N]`
+//! [--deadline SECS] [--reps N] [--stats-json BENCH_FIG9A.json]`
 //!
 //! Cells print the percent overhead versus the unmonitored run; `∞` marks
 //! cells that exceeded the deadline (the paper's non-terminating
 //! Tracematches entries).
 
-use rv_bench::{fmt_overhead, measure_baseline, measure_cell, HarnessArgs, System};
+use rv_bench::{fmt_overhead, measure_baseline, measure_cell, HarnessArgs, StatsReport, System};
 use rv_props::Property;
 use rv_workloads::Profile;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let mut report = StatsReport::new("fig9a", args.scale);
     println!(
         "Figure 9 (A): percent runtime overhead (scale {}, deadline {}s, best of {})",
         args.scale, args.deadline_secs, args.reps
@@ -46,6 +47,7 @@ fn main() {
                     baseline,
                     args.deadline(),
                 );
+                report.push_cell(profile.name, property.paper_name(), system.label(), &cell);
                 print!(" {:>6}", fmt_overhead(&cell));
             }
             print!(" ");
@@ -60,10 +62,12 @@ fn main() {
             baseline,
             args.deadline(),
         );
+        report.push_cell(profile.name, "ALL", System::Rv.label(), &all);
         println!("| {:>7}", fmt_overhead(&all));
     }
     println!();
     println!("cells: percent overhead vs. the unmonitored run; ∞ = deadline exceeded");
+    report.write_if_requested(args.stats_json.as_deref());
 }
 
 fn shorten(name: &str) -> String {

@@ -7,14 +7,15 @@
 //! simulated program's own heap is identical across systems and omitted.
 //!
 //! Usage: `cargo run --release -p rv-bench --bin fig9b -- [--scale X]
-//! [--deadline SECS]`
+//! [--deadline SECS] [--stats-json BENCH_FIG9B.json]`
 
-use rv_bench::{measure_baseline, measure_cell, HarnessArgs, System};
+use rv_bench::{measure_baseline, measure_cell, HarnessArgs, StatsReport, System};
 use rv_props::Property;
 use rv_workloads::Profile;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let mut report = StatsReport::new("fig9b", args.scale);
     println!(
         "Figure 9 (B): peak monitor-side memory in KiB (scale {}, deadline {}s)",
         args.scale, args.deadline_secs
@@ -44,6 +45,7 @@ fn main() {
                     baseline,
                     args.deadline(),
                 );
+                report.push_cell(profile.name, property.paper_name(), system.label(), &cell);
                 print!(" {:>7.1}", cell.peak_kib);
             }
             print!(" ");
@@ -56,8 +58,10 @@ fn main() {
             baseline,
             args.deadline(),
         );
+        report.push_cell(profile.name, "ALL", System::Rv.label(), &all);
         println!("| {:>8.1}", all.peak_kib);
     }
     println!();
     println!("cells: peak KiB of monitors + indexing structures (sampled every 4096 events)");
+    report.write_if_requested(args.stats_json.as_deref());
 }

@@ -17,9 +17,7 @@ use rv_workloads::Profile;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    println!(
-        "Density scaling on bloat / UNSAFEITER: percent overhead vs. coexisting collections"
-    );
+    println!("Density scaling on bloat / UNSAFEITER: percent overhead vs. coexisting collections");
     println!(
         "{:<10} {:>12} {:>9} | {:>8} {:>8} {:>8}",
         "density", "coexisting", "base(ms)", "TM", "MOP", "RV"
@@ -30,8 +28,7 @@ fn main() {
         // volume stays comparable.
         profile.colls_per_round *= factor;
         profile.rounds = (profile.rounds / factor).max(profile.coll_linger_rounds + 2);
-        let coexisting =
-            u64::from(profile.colls_per_round) * u64::from(profile.coll_linger_rounds);
+        let coexisting = u64::from(profile.colls_per_round) * u64::from(profile.coll_linger_rounds);
         let baseline = measure_baseline(&profile, 1.0, args.reps);
         print!(
             "{:<10} {:>12} {:>9.1} |",
@@ -52,5 +49,7 @@ fn main() {
         }
         println!();
     }
-    println!("\n(∞ = deadline exceeded; TM's column grows with density, the tree engines stay flat)");
+    println!(
+        "\n(∞ = deadline exceeded; TM's column grows with density, the tree engines stay flat)"
+    );
 }

@@ -203,7 +203,6 @@ impl MonitorSink {
             })
             .sum()
     }
-
 }
 
 impl EventSink for MonitorSink {
@@ -287,20 +286,16 @@ pub fn measure_cell(
         let base = baseline.as_secs_f64().max(1e-9);
         Some(((elapsed.as_secs_f64() / base) - 1.0) * 100.0)
     };
-    let stats = sink
-        .engine_stats()
-        .into_iter()
-        .filter_map(|(_, s)| s)
-        .reduce(|mut acc, s| {
-            acc.events += s.events;
-            acc.monitors_created += s.monitors_created;
-            acc.monitors_flagged += s.monitors_flagged;
-            acc.monitors_collected += s.monitors_collected;
-            acc.peak_live_monitors += s.peak_live_monitors;
-            acc.live_monitors += s.live_monitors;
-            acc.triggers += s.triggers;
-            acc
-        });
+    let stats = sink.engine_stats().into_iter().filter_map(|(_, s)| s).reduce(|mut acc, s| {
+        acc.events += s.events;
+        acc.monitors_created += s.monitors_created;
+        acc.monitors_flagged += s.monitors_flagged;
+        acc.monitors_collected += s.monitors_collected;
+        acc.peak_live_monitors += s.peak_live_monitors;
+        acc.live_monitors += s.live_monitors;
+        acc.triggers += s.triggers;
+        acc
+    });
     CellResult {
         overhead_pct,
         peak_kib: sink.peak_bytes as f64 / 1024.0,
@@ -336,7 +331,7 @@ pub fn fmt_count(n: u64) -> String {
 
 /// Parses `--scale X` / `--deadline SECS` style CLI arguments shared by
 /// the harness binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Workload scale factor (default 1.0 = paper counts / 1000).
     pub scale: f64,
@@ -344,11 +339,13 @@ pub struct HarnessArgs {
     pub deadline_secs: u64,
     /// Baseline repetitions (default 3).
     pub reps: u32,
+    /// Where to write a machine-readable JSON report (`--stats-json`).
+    pub stats_json: Option<String>,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: 1.0, deadline_secs: 30, reps: 3 }
+        HarnessArgs { scale: 1.0, deadline_secs: 30, reps: 3, stats_json: None }
     }
 }
 
@@ -363,16 +360,19 @@ impl HarnessArgs {
         let mut out = HarnessArgs::default();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
-            let mut take = |name: &str| {
-                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
-            };
+            let mut take =
+                |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
             match arg.as_str() {
                 "--scale" => out.scale = take("--scale").parse().expect("numeric --scale"),
                 "--deadline" => {
                     out.deadline_secs = take("--deadline").parse().expect("numeric --deadline");
                 }
                 "--reps" => out.reps = take("--reps").parse().expect("numeric --reps"),
-                other => panic!("unknown argument `{other}` (known: --scale, --deadline, --reps)"),
+                "--stats-json" => out.stats_json = Some(take("--stats-json")),
+                other => panic!(
+                    "unknown argument `{other}` \
+                     (known: --scale, --deadline, --reps, --stats-json)"
+                ),
             }
         }
         out
@@ -382,6 +382,77 @@ impl HarnessArgs {
     #[must_use]
     pub fn deadline(&self) -> Duration {
         Duration::from_secs(self.deadline_secs)
+    }
+}
+
+/// Accumulates measured cells into the machine-readable JSON document the
+/// `--stats-json` flag writes (`BENCH_*.json` artifacts for EXPERIMENTS).
+#[derive(Debug)]
+pub struct StatsReport {
+    figure: String,
+    scale: f64,
+    cells: Vec<String>,
+}
+
+impl StatsReport {
+    /// An empty report for `figure` (e.g. `"fig10"`) at workload `scale`.
+    #[must_use]
+    pub fn new(figure: &str, scale: f64) -> StatsReport {
+        StatsReport { figure: figure.to_owned(), scale, cells: Vec::new() }
+    }
+
+    /// Records one measured overhead/memory cell.
+    pub fn push_cell(&mut self, benchmark: &str, property: &str, system: &str, cell: &CellResult) {
+        use rv_core::obs::{json_escape, json_f64};
+        let mut entry = format!(
+            "{{\"benchmark\":\"{}\",\"property\":\"{}\",\"system\":\"{}\"",
+            json_escape(benchmark),
+            json_escape(property),
+            json_escape(system)
+        );
+        match cell.overhead_pct {
+            Some(pct) => entry.push_str(&format!(",\"overhead_pct\":{}", json_f64(pct))),
+            None => entry.push_str(",\"overhead_pct\":null,\"timed_out\":true"),
+        }
+        entry.push_str(&format!(",\"peak_kib\":{}", json_f64(cell.peak_kib)));
+        entry.push_str(&format!(",\"triggers\":{}", cell.triggers));
+        if let Some(stats) = &cell.stats {
+            entry.push_str(&format!(",\"engine\":{}", stats.to_json()));
+        }
+        entry.push('}');
+        self.cells.push(entry);
+    }
+
+    /// Records one statistics-only cell (Figure 10 has no timing).
+    pub fn push_stats(&mut self, benchmark: &str, property: &str, stats: &rv_core::EngineStats) {
+        use rv_core::obs::json_escape;
+        self.cells.push(format!(
+            "{{\"benchmark\":\"{}\",\"property\":\"{}\",\"system\":\"RV\",\"engine\":{}}}",
+            json_escape(benchmark),
+            json_escape(property),
+            stats.to_json()
+        ));
+    }
+
+    /// The full report as one JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"figure\":\"{}\",\"scale\":{},\"cells\":[{}]}}\n",
+            rv_core::obs::json_escape(&self.figure),
+            rv_core::obs::json_f64(self.scale),
+            self.cells.join(",")
+        )
+    }
+
+    /// Writes the report to `path` when the flag was given; no-op
+    /// otherwise. Panics on IO errors — these binaries are CLIs.
+    pub fn write_if_requested(&self, path: Option<&str>) {
+        if let Some(path) = path {
+            std::fs::write(path, self.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
     }
 }
 
@@ -454,15 +525,10 @@ mod tests {
 
     #[test]
     fn overhead_formatting_renders_infinity_for_timeouts() {
-        let finite = CellResult {
-            overhead_pct: Some(151.4),
-            peak_kib: 1.0,
-            stats: None,
-            triggers: 0,
-        };
+        let finite =
+            CellResult { overhead_pct: Some(151.4), peak_kib: 1.0, stats: None, triggers: 0 };
         assert_eq!(fmt_overhead(&finite), "151");
-        let timed_out =
-            CellResult { overhead_pct: None, peak_kib: 1.0, stats: None, triggers: 0 };
+        let timed_out = CellResult { overhead_pct: None, peak_kib: 1.0, stats: None, triggers: 0 };
         assert_eq!(fmt_overhead(&timed_out), "∞");
     }
 

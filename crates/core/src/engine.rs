@@ -33,8 +33,10 @@
 use rv_heap::Heap;
 use rv_logic::{Aliveness, EventDef, EventId, Formalism, GoalSet, ParamSet, Verdict};
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use crate::binding::Binding;
+use crate::obs::{EngineObserver, FlagCause, NoopObserver, Phase};
 use crate::reference::Trigger;
 use crate::stats::EngineStats;
 use crate::store::{MonitorId, MonitorStore};
@@ -89,8 +91,13 @@ impl Default for EngineConfig {
 }
 
 /// A monitoring engine for one parametric property.
+///
+/// The second type parameter is the [`EngineObserver`] receiving lifecycle
+/// callbacks; it defaults to [`NoopObserver`], whose callbacks are empty
+/// inlined functions, so unobserved engines pay nothing. Attach a real
+/// observer with [`Engine::with_observer`].
 #[derive(Debug)]
-pub struct Engine<F: Formalism> {
+pub struct Engine<F: Formalism, O: EngineObserver = NoopObserver> {
     formalism: F,
     event_def: EventDef,
     goal: GoalSet,
@@ -121,6 +128,8 @@ pub struct Engine<F: Formalism> {
     scratch_ids: Vec<MonitorId>,
     /// The monomorphic lookup cache (see [`EngineConfig::lookup_cache`]).
     cache: LookupCache,
+    /// The lifecycle observer (no-op by default).
+    observer: O,
 }
 
 /// The monomorphic lookup cache: remembers the member list of the last
@@ -180,7 +189,8 @@ impl DisableTable {
 }
 
 impl<F: Formalism> Engine<F> {
-    /// Builds an engine for `formalism` with goal `goal` under `config`.
+    /// Builds an engine for `formalism` with goal `goal` under `config`,
+    /// with the zero-cost [`NoopObserver`].
     ///
     /// # Panics
     ///
@@ -188,6 +198,26 @@ impl<F: Formalism> Engine<F> {
     /// alphabet.
     #[must_use]
     pub fn new(formalism: F, event_def: EventDef, goal: GoalSet, config: EngineConfig) -> Self {
+        Engine::with_observer(formalism, event_def, goal, config, NoopObserver)
+    }
+}
+
+impl<F: Formalism, O: EngineObserver> Engine<F, O> {
+    /// Builds an engine whose lifecycle transitions are reported to
+    /// `observer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event definition does not cover the formalism's
+    /// alphabet.
+    #[must_use]
+    pub fn with_observer(
+        formalism: F,
+        event_def: EventDef,
+        goal: GoalSet,
+        config: EngineConfig,
+        observer: O,
+    ) -> Self {
         let alphabet = formalism.alphabet().clone();
         let n_events = alphabet.len();
         // ALIVENESS (§4.2.2), optionally unminimized for the ablation.
@@ -221,8 +251,7 @@ impl<F: Formalism> Engine<F> {
                 let mut domains: Vec<ParamSet> = vec![ParamSet::EMPTY];
                 for e in alphabet.iter() {
                     let d = event_def.params_of(e);
-                    let mut extra: Vec<ParamSet> =
-                        domains.iter().map(|&x| x.union(d)).collect();
+                    let mut extra: Vec<ParamSet> = domains.iter().map(|&x| x.union(d)).collect();
                     domains.append(&mut extra);
                     domains.sort_unstable();
                     domains.dedup();
@@ -232,8 +261,7 @@ impl<F: Formalism> Engine<F> {
                 (vec![domains; n_events], vec![true; n_events])
             }
         };
-        let mut source_domains: Vec<ParamSet> =
-            enable_sources.iter().flatten().copied().collect();
+        let mut source_domains: Vec<ParamSet> = enable_sources.iter().flatten().copied().collect();
         source_domains.sort_unstable();
         source_domains.dedup();
         // Tracked tree subsets: every D(e), plus Y ∩ D(e) projections used
@@ -256,6 +284,10 @@ impl<F: Formalism> Engine<F> {
             m.set_window(config.expunge_window);
             trees.insert(p, m);
         }
+        let mut store = MonitorStore::new();
+        // Collected-id logging is what lets the engine deliver
+        // `monitor_collected`; it is skipped entirely for the no-op.
+        store.set_collected_log(O::ENABLED);
         Engine {
             formalism,
             event_def,
@@ -265,7 +297,7 @@ impl<F: Formalism> Engine<F> {
             enable_sources,
             enable_bottom,
             source_domains,
-            store: MonitorStore::new(),
+            store,
             exact: HashMap::new(),
             trees,
             tracked,
@@ -274,7 +306,20 @@ impl<F: Formalism> Engine<F> {
             triggers: Vec::new(),
             scratch_ids: Vec::new(),
             cache: LookupCache::default(),
+            observer,
         }
+    }
+
+    /// The attached observer.
+    #[must_use]
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer (e.g. to dump its trace).
+    #[must_use]
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// The property goal.
@@ -356,6 +401,7 @@ impl<F: Formalism> Engine<F> {
                 .wrapping_add(ss.flagged.wrapping_mul(5))
                 .wrapping_add(ss.collected.wrapping_mul(7))
         };
+        let t_lookup = if O::ENABLED { Some(Instant::now()) } else { None };
         if self.config.lookup_cache
             && self.cache.key == Some(binding)
             && self.cache.signature == signature
@@ -363,6 +409,7 @@ impl<F: Formalism> Engine<F> {
             // Monomorphic hit: same instance, no monitor lifecycle change.
             self.stats.cache_hits += 1;
             self.cache.hits += 1;
+            self.observer.cache_hit();
             self.scratch_ids.clear();
             let members = std::mem::take(&mut self.cache.members);
             self.scratch_ids.extend_from_slice(&members);
@@ -376,11 +423,13 @@ impl<F: Formalism> Engine<F> {
                     self.config.policy,
                     heap,
                     &mut self.stats,
+                    &mut self.observer,
                 );
                 tree.expunge(heap, 1, &mut sink);
                 self.trees.insert(domain, tree);
             }
         } else {
+            self.observer.cache_miss();
             // Take the tree out to appease the borrow checker; cheap move.
             let mut tree = self.trees.remove(&domain).expect("tree for every D(e)");
             let mut sink = NotifySink::new(
@@ -389,6 +438,7 @@ impl<F: Formalism> Engine<F> {
                 self.config.policy,
                 heap,
                 &mut self.stats,
+                &mut self.observer,
             );
             self.scratch_ids.clear();
             if let Some(set) = tree.get_mut(heap, binding, &mut sink) {
@@ -410,11 +460,19 @@ impl<F: Formalism> Engine<F> {
                 self.cache.members.extend_from_slice(&self.scratch_ids);
             }
         }
+        if let Some(t) = t_lookup {
+            self.observer.phase_timed(Phase::IndexLookup, elapsed_nanos(t));
+        }
+        self.observer.event_dispatched(event, &binding, self.scratch_ids.len());
+        let t_step = if O::ENABLED { Some(Instant::now()) } else { None };
         let ids = std::mem::take(&mut self.scratch_ids);
         for &id in &ids {
             self.step_instance(id, event, step);
         }
         self.scratch_ids = ids;
+        if let Some(t) = t_step {
+            self.observer.phase_timed(Phase::Transition, elapsed_nanos(t));
+        }
 
         // --- create new instances (enable-set discipline) ----------------
         // Following JavaMOP's algorithm D: creation is attempted only when
@@ -423,8 +481,7 @@ impl<F: Formalism> Engine<F> {
         // in the same step; later events find everything via the trees.
         // The exact table keeps even flagged/terminated instances until
         // they are swept, so this also prevents re-creating retired ones.
-        let own_exists =
-            self.exact.get(&domain).is_some_and(|m| m.peek(&binding).is_some());
+        let own_exists = self.exact.get(&domain).is_some_and(|m| m.peek(&binding).is_some());
         if !own_exists {
             self.try_create_own(heap, event, binding, step);
             self.try_create_joins(heap, event, binding, step);
@@ -434,6 +491,19 @@ impl<F: Formalism> Engine<F> {
         // lazy maintenance elsewhere.
         self.disable.insert(binding);
         self.disable.prune(heap, 2);
+        if O::ENABLED {
+            self.flush_collected();
+        }
+    }
+
+    /// Delivers `monitor_collected` for every id the store reclaimed since
+    /// the last flush. Called at the end of [`Engine::process`] and of
+    /// sweeps, so observer collection counts match [`EngineStats`] at every
+    /// API boundary.
+    fn flush_collected(&mut self) {
+        for id in self.store.drain_collected() {
+            self.observer.monitor_collected(id);
+        }
     }
 
     /// Steps one live instance in place, reporting and retiring as needed.
@@ -459,6 +529,7 @@ impl<F: Formalism> Engine<F> {
 
     fn report(&mut self, step: usize, binding: Binding, verdict: Verdict) {
         self.stats.triggers += 1;
+        self.observer.trigger_fired(step, &binding, verdict);
         if self.config.record_triggers {
             self.triggers.push(Trigger { step, binding, verdict });
         }
@@ -469,8 +540,8 @@ impl<F: Formalism> Engine<F> {
     /// (`∅ ∈ ENABLEˣ(e)`), or `D(e)` serves as a creation source for some
     /// future event.
     fn try_create_own(&mut self, heap: &Heap, event: EventId, binding: Binding, step: usize) {
-        let needed = self.enable_bottom[event.as_usize()]
-            || self.source_domains.contains(&binding.domain());
+        let needed =
+            self.enable_bottom[event.as_usize()] || self.source_domains.contains(&binding.domain());
         if !needed {
             self.stats.creations_skipped += 1;
             return;
@@ -532,6 +603,7 @@ impl<F: Formalism> Engine<F> {
                     self.config.policy,
                     heap,
                     &mut self.stats,
+                    &mut self.observer,
                 );
                 if let Some(set) = tree.get_mut(heap, key, &mut sink) {
                     set.compact(sink.store);
@@ -558,11 +630,7 @@ impl<F: Formalism> Engine<F> {
                     continue;
                 }
                 // Already exists?
-                if self
-                    .exact
-                    .get(&join.domain())
-                    .is_some_and(|m| m.peek(&join).is_some())
-                {
+                if self.exact.get(&join.domain()).is_some_and(|m| m.peek(&join).is_some()) {
                     continue;
                 }
                 if !self.slice_complete(join, y) {
@@ -594,7 +662,9 @@ impl<F: Formalism> Engine<F> {
         let mut sub = bits;
         loop {
             let s = ParamSet(sub);
-            if !s.is_empty() && !s.is_subset(source_domain) && self.disable.contains(&target.restrict(s))
+            if !s.is_empty()
+                && !s.is_subset(source_domain)
+                && self.disable.contains(&target.restrict(s))
             {
                 return false;
             }
@@ -617,6 +687,7 @@ impl<F: Formalism> Engine<F> {
         step: usize,
     ) {
         let id = self.store.create(binding, state, event);
+        self.observer.monitor_created(id, &binding);
         self.store.add_state_bytes(self.formalism.state_bytes(&self.store.get(id).state) as isize);
         // Exact table.
         {
@@ -630,6 +701,7 @@ impl<F: Formalism> Engine<F> {
                 aliveness: &self.aliveness,
                 policy: self.config.policy,
                 heap,
+                observer: &mut self.observer,
             };
             map.insert(heap, binding, id, &mut sink);
             self.store.retain(id);
@@ -649,6 +721,7 @@ impl<F: Formalism> Engine<F> {
                 self.config.policy,
                 heap,
                 &mut self.stats,
+                &mut self.observer,
             );
             match tree.get_mut(heap, key, &mut sink) {
                 Some(set) => set.push(id),
@@ -672,9 +745,17 @@ impl<F: Formalism> Engine<F> {
         // only shed monitors once they are flagged (Figure 8). Incremental
         // operation interleaves these naturally; a safepoint sweep must
         // sequence them.
+        let before = self.store.stats();
+        self.observer.sweep_started();
         for _ in 0..2 {
             self.sweep_once(heap);
         }
+        if O::ENABLED {
+            self.flush_collected();
+        }
+        let after = self.store.stats();
+        self.observer
+            .sweep_finished(after.flagged - before.flagged, after.collected - before.collected);
     }
 
     fn sweep_once(&mut self, heap: &Heap) {
@@ -686,6 +767,7 @@ impl<F: Formalism> Engine<F> {
                 policy,
                 heap,
                 &mut self.stats,
+                &mut self.observer,
             );
             tree.expunge_all(heap, &mut sink);
         }
@@ -695,6 +777,7 @@ impl<F: Formalism> Engine<F> {
                 aliveness: &self.aliveness,
                 policy,
                 heap,
+                observer: &mut self.observer,
             };
             map.expunge_all(heap, &mut sink);
         }
@@ -704,6 +787,19 @@ impl<F: Formalism> Engine<F> {
     /// reflects every monitor the engine let go of.
     pub fn finish(&mut self, heap: &Heap) {
         self.full_sweep(heap);
+    }
+}
+
+/// Nanoseconds since `t`, saturating.
+fn elapsed_nanos(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Which [`FlagCause`] the active policy reports when it flags.
+fn flag_cause(policy: GcPolicy, aliveness: &Option<Aliveness>) -> FlagCause {
+    match policy {
+        GcPolicy::CoenableLazy if aliveness.is_some() => FlagCause::Aliveness,
+        _ => FlagCause::AllParamsDead,
     }
 }
 
@@ -727,31 +823,35 @@ fn should_flag(
 
 /// Tree maintenance: notification of monitors under dead keys (Figure 7)
 /// plus Figure 8 set compaction for live keys.
-struct NotifySink<'a, S> {
+struct NotifySink<'a, S, O: EngineObserver> {
     store: &'a mut MonitorStore<S>,
     aliveness: &'a Option<Aliveness>,
     policy: GcPolicy,
     heap: &'a Heap,
     stats: &'a mut EngineStats,
+    observer: &'a mut O,
 }
 
-impl<'a, S> NotifySink<'a, S> {
+impl<'a, S, O: EngineObserver> NotifySink<'a, S, O> {
     fn new(
         store: &'a mut MonitorStore<S>,
         aliveness: &'a Option<Aliveness>,
         policy: GcPolicy,
         heap: &'a Heap,
         stats: &'a mut EngineStats,
+        observer: &'a mut O,
     ) -> Self {
-        NotifySink { store, aliveness, policy, heap, stats }
+        NotifySink { store, aliveness, policy, heap, stats, observer }
     }
 }
 
-impl<S> Maintainer<RvSet> for NotifySink<'_, S> {
+impl<S, O: EngineObserver> Maintainer<RvSet> for NotifySink<'_, S, O> {
     /// Figure 7 (A): the key died; notify all monitors below, then drop the
     /// subtree (B).
-    fn on_dead(&mut self, _key: Binding, mut set: RvSet) {
+    fn on_dead(&mut self, key: Binding, mut set: RvSet) {
         self.stats.dead_keys += 1;
+        self.observer.dead_key_discovered(&key);
+        let t = if O::ENABLED { Some(Instant::now()) } else { None };
         for &id in set.members() {
             if !self.store.contains(id) {
                 continue;
@@ -760,16 +860,23 @@ impl<S> Maintainer<RvSet> for NotifySink<'_, S> {
             if instance.flagged || instance.terminated {
                 continue;
             }
-            let dead = instance.binding.dead_params(self.heap);
-            if should_flag(
-                self.policy,
-                self.aliveness,
-                instance.binding.domain(),
-                instance.last_event,
-                dead,
-            ) {
-                self.store.flag(id);
+            let binding = instance.binding;
+            let last_event = instance.last_event;
+            let dead = binding.dead_params(self.heap);
+            if should_flag(self.policy, self.aliveness, binding.domain(), last_event, dead)
+                && self.store.flag(id)
+            {
+                self.observer.monitor_flagged(
+                    id,
+                    &binding,
+                    last_event,
+                    dead,
+                    flag_cause(self.policy, self.aliveness),
+                );
             }
+        }
+        if let Some(t) = t {
+            self.observer.phase_timed(Phase::Aliveness, elapsed_nanos(t));
         }
         set.release_all(self.store);
     }
@@ -784,29 +891,34 @@ impl<S> Maintainer<RvSet> for NotifySink<'_, S> {
 
 /// Exact-table maintenance: "if the value is a flagged monitor instance
 /// ... it removes the mapping" (§5.1.1).
-struct ExactMaintainer<'a, S> {
+struct ExactMaintainer<'a, S, O: EngineObserver> {
     store: &'a mut MonitorStore<S>,
     aliveness: &'a Option<Aliveness>,
     policy: GcPolicy,
     heap: &'a Heap,
+    observer: &'a mut O,
 }
 
-impl<S> Maintainer<MonitorId> for ExactMaintainer<'_, S> {
+impl<S, O: EngineObserver> Maintainer<MonitorId> for ExactMaintainer<'_, S, O> {
     fn on_dead(&mut self, _key: Binding, id: MonitorId) {
         if !self.store.contains(id) {
             return;
         }
         let instance = self.store.get(id);
         if !instance.flagged && !instance.terminated {
-            let dead = instance.binding.dead_params(self.heap);
-            if should_flag(
-                self.policy,
-                self.aliveness,
-                instance.binding.domain(),
-                instance.last_event,
-                dead,
-            ) {
-                self.store.flag(id);
+            let binding = instance.binding;
+            let last_event = instance.last_event;
+            let dead = binding.dead_params(self.heap);
+            if should_flag(self.policy, self.aliveness, binding.domain(), last_event, dead)
+                && self.store.flag(id)
+            {
+                self.observer.monitor_flagged(
+                    id,
+                    &binding,
+                    last_event,
+                    dead,
+                    flag_cause(self.policy, self.aliveness),
+                );
             }
         }
         self.store.release(id);
@@ -821,7 +933,6 @@ impl<S> Maintainer<MonitorId> for ExactMaintainer<'_, S> {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -840,11 +951,7 @@ mod tests {
         let def = EventDef::new(
             &alphabet,
             &["c", "i"],
-            vec![
-                ParamSet::singleton(C).with(I),
-                ParamSet::singleton(C),
-                ParamSet::singleton(I),
-            ],
+            vec![ParamSet::singleton(C).with(I), ParamSet::singleton(C), ParamSet::singleton(I)],
         );
         (alphabet, dfa, def)
     }
@@ -937,8 +1044,7 @@ mod tests {
             [(GcPolicy::CoenableLazy, true), (GcPolicy::AllParamsDead, false)]
         {
             let (alphabet, dfa, def) = unsafe_iter_parts();
-            let config =
-                EngineConfig { policy, record_triggers: false, ..EngineConfig::default() };
+            let config = EngineConfig { policy, record_triggers: false, ..EngineConfig::default() };
             let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
             let mut heap = Heap::new(HeapConfig::manual());
             let cls = heap.register_class("Obj");
@@ -976,10 +1082,7 @@ mod tests {
     #[test]
     fn all_params_dead_flags_when_everything_dies() {
         let (alphabet, dfa, def) = unsafe_iter_parts();
-        let config = EngineConfig {
-            policy: GcPolicy::AllParamsDead,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig { policy: GcPolicy::AllParamsDead, ..EngineConfig::default() };
         let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
         let mut heap = Heap::new(HeapConfig::manual());
         let cls = heap.register_class("Obj");
@@ -1114,11 +1217,7 @@ mod cache_tests {
         let def = EventDef::new(
             &alphabet,
             &["c", "i"],
-            vec![
-                ParamSet::singleton(C).with(I),
-                ParamSet::singleton(C),
-                ParamSet::singleton(I),
-            ],
+            vec![ParamSet::singleton(C).with(I), ParamSet::singleton(C), ParamSet::singleton(I)],
         );
         (alphabet, dfa, def)
     }

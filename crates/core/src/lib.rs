@@ -55,6 +55,7 @@
 pub mod binding;
 pub mod engine;
 pub mod multi;
+pub mod obs;
 pub mod reference;
 pub mod stats;
 pub mod store;
@@ -63,6 +64,10 @@ pub mod trees;
 pub use crate::binding::{Binding, MAX_PARAMS};
 pub use crate::engine::{Engine, EngineConfig, GcPolicy};
 pub use crate::multi::PropertyMonitor;
+pub use crate::obs::{
+    EngineObserver, FlagCause, Histogram, MetricsRegistry, NoopObserver, Phase, TraceKind,
+    TraceRecord, TraceRecorder,
+};
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
 pub use crate::stats::EngineStats;
 pub use crate::store::{MonitorId, MonitorStore};

@@ -13,28 +13,47 @@ use rv_spec::CompiledSpec;
 
 use crate::binding::Binding;
 use crate::engine::{Engine, EngineConfig};
+use crate::obs::{EngineObserver, NoopObserver};
 use crate::stats::EngineStats;
 
 /// Monitors every property block of one compiled spec.
+///
+/// Generic over the per-engine [`EngineObserver`] (no-op by default);
+/// attach real observers with [`PropertyMonitor::with_observers`].
 #[derive(Debug)]
-pub struct PropertyMonitor {
+pub struct PropertyMonitor<O: EngineObserver = NoopObserver> {
     spec: CompiledSpec,
-    engines: Vec<Engine<AnyFormalism>>,
+    engines: Vec<Engine<AnyFormalism, O>>,
 }
 
 impl PropertyMonitor {
     /// Builds engines for each property block of `spec`.
     #[must_use]
     pub fn new(spec: CompiledSpec, config: &EngineConfig) -> Self {
+        PropertyMonitor::with_observers(spec, config, |_| NoopObserver)
+    }
+}
+
+impl<O: EngineObserver> PropertyMonitor<O> {
+    /// Builds engines for each property block of `spec`, attaching the
+    /// observer `make(i)` to the engine of block `i`.
+    #[must_use]
+    pub fn with_observers(
+        spec: CompiledSpec,
+        config: &EngineConfig,
+        mut make: impl FnMut(usize) -> O,
+    ) -> Self {
         let engines = spec
             .properties
             .iter()
-            .map(|p| {
-                Engine::new(
+            .enumerate()
+            .map(|(i, p)| {
+                Engine::with_observer(
                     p.formalism.clone(),
                     spec.event_def.clone(),
                     p.goal,
                     config.clone(),
+                    make(i),
                 )
             })
             .collect();
@@ -49,8 +68,14 @@ impl PropertyMonitor {
 
     /// The per-block engines.
     #[must_use]
-    pub fn engines(&self) -> &[Engine<AnyFormalism>] {
+    pub fn engines(&self) -> &[Engine<AnyFormalism, O>] {
         &self.engines
+    }
+
+    /// Mutable access to the per-block engines (e.g. to reach observers).
+    #[must_use]
+    pub fn engines_mut(&mut self) -> &mut [Engine<AnyFormalism, O>] {
+        &mut self.engines
     }
 
     /// Looks up an event id by name.

@@ -1,0 +1,1038 @@
+//! Engine observability: lifecycle tracing, metrics, and JSON export.
+//!
+//! The paper's whole evaluation (§5, Figures 9–10) is built on observing
+//! the monitor lifecycle — events processed (E), monitors created (M),
+//! flagged (FM) and collected (CM) — but aggregate counters cannot answer
+//! *when and why* an individual monitor became garbage. This module adds
+//! a zero-cost hook layer for exactly those transitions:
+//!
+//! * [`EngineObserver`] — a trait with one callback per GC-relevant
+//!   lifecycle transition, every method defaulting to a no-op. The engine
+//!   is generic over its observer with [`NoopObserver`] as the default;
+//!   with the no-op, every callback is an empty inlined function and all
+//!   timing/logging code is compiled out behind the
+//!   [`EngineObserver::ENABLED`] constant.
+//! * [`TraceRecorder`] — a bounded ring buffer of timestamped lifecycle
+//!   records, dumped as JSONL (one record per line).
+//! * [`MetricsRegistry`] — counters plus fixed-bucket histograms (monitor
+//!   lifetimes, bindings touched per event, sweep batch sizes, per-phase
+//!   wall-clock) with a hand-rolled JSON snapshot serializer: the
+//!   workspace is dependency-free, so there is no serde here.
+//!
+//! Two observers compose as a tuple: `(TraceRecorder, MetricsRegistry)`
+//! is itself an [`EngineObserver`] that forwards to both.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rv_heap::HeapStats;
+use rv_logic::{Alphabet, EventDef, EventId, ParamSet, Verdict};
+
+use crate::binding::Binding;
+use crate::stats::EngineStats;
+use crate::store::MonitorId;
+
+/// Why a GC policy flagged a monitor instance unnecessary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlagCause {
+    /// The coenable-set ALIVENESS formula (§4.2.2) became unsatisfiable:
+    /// with the dead parameters, no goal verdict is reachable after the
+    /// monitor's last event.
+    Aliveness,
+    /// Every bound parameter object died (the JavaMOP baseline rule, also
+    /// the fallback for properties without coenable sets).
+    AllParamsDead,
+}
+
+impl FlagCause {
+    /// The snake_case label used in traces and snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FlagCause::Aliveness => "aliveness",
+            FlagCause::AllParamsDead => "all_params_dead",
+        }
+    }
+}
+
+/// A timed phase of event dispatch, reported via
+/// [`EngineObserver::phase_timed`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Looking `θ` up in the `⟨D(e)⟩` indexing tree (Figure 6).
+    IndexLookup,
+    /// Stepping matched monitor states by the event.
+    Transition,
+    /// Evaluating ALIVENESS for monitors under a dead key (Figure 7).
+    Aliveness,
+}
+
+impl Phase {
+    /// All phases, in dispatch order.
+    pub const ALL: [Phase; 3] = [Phase::IndexLookup, Phase::Transition, Phase::Aliveness];
+
+    /// The snake_case label used in snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::IndexLookup => "index_lookup",
+            Phase::Transition => "transition",
+            Phase::Aliveness => "aliveness",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::IndexLookup => 0,
+            Phase::Transition => 1,
+            Phase::Aliveness => 2,
+        }
+    }
+}
+
+/// Lifecycle callbacks from an [`Engine`](crate::Engine).
+///
+/// Every method has an empty default body, so implementors override only
+/// what they need. The associated [`ENABLED`](EngineObserver::ENABLED)
+/// constant lets the engine compile out observation-only work (wall-clock
+/// reads, collected-id logging) when the observer is [`NoopObserver`]:
+/// `if O::ENABLED { … }` folds to nothing at monomorphization time.
+#[allow(unused_variables)]
+pub trait EngineObserver {
+    /// Whether the engine should spend any effort feeding this observer.
+    /// `false` only for [`NoopObserver`] (and compositions of it).
+    const ENABLED: bool = true;
+
+    /// An event `e⟨θ⟩` was dispatched; `monitors_touched` instances with
+    /// bindings ⊒ θ were looked up for stepping.
+    fn event_dispatched(&mut self, event: EventId, binding: &Binding, monitors_touched: usize) {}
+
+    /// A monitor instance was created for `binding`.
+    fn monitor_created(&mut self, id: MonitorId, binding: &Binding) {}
+
+    /// A monitor was flagged unnecessary: with `dead` parameters dead, the
+    /// policy decided (per `cause`) that no goal is reachable after
+    /// `last_event`.
+    fn monitor_flagged(
+        &mut self,
+        id: MonitorId,
+        binding: &Binding,
+        last_event: EventId,
+        dead: ParamSet,
+        cause: FlagCause,
+    ) {
+    }
+
+    /// The last container released the monitor — it is physically gone
+    /// (the CM of Figure 10).
+    fn monitor_collected(&mut self, id: MonitorId) {}
+
+    /// An indexing structure discovered a key whose referent died
+    /// (Figure 7 A).
+    fn dead_key_discovered(&mut self, key: &Binding) {}
+
+    /// A safepoint sweep ([`Engine::full_sweep`](crate::Engine::full_sweep))
+    /// began.
+    fn sweep_started(&mut self) {}
+
+    /// The sweep finished, having newly flagged `flagged` and reclaimed
+    /// `collected` monitors.
+    fn sweep_finished(&mut self, flagged: u64, collected: u64) {}
+
+    /// A goal verdict was reported (a handler execution).
+    fn trigger_fired(&mut self, step: usize, binding: &Binding, verdict: Verdict) {}
+
+    /// The monomorphic lookup cache served a dispatch.
+    fn cache_hit(&mut self) {}
+
+    /// The dispatch went through the indexing trees.
+    fn cache_miss(&mut self) {}
+
+    /// A dispatch phase took `nanos` wall-clock nanoseconds. Only emitted
+    /// when `Self::ENABLED` (timing a no-op observer would itself cost).
+    fn phase_timed(&mut self, phase: Phase, nanos: u64) {}
+}
+
+/// The do-nothing observer: the engine's default. All callbacks are empty
+/// and [`EngineObserver::ENABLED`] is `false`, so observability adds no
+/// instructions to the monomorphized hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl EngineObserver for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// Observers compose as pairs: `(recorder, metrics)` forwards every
+/// callback to both elements.
+impl<A: EngineObserver, B: EngineObserver> EngineObserver for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn event_dispatched(&mut self, event: EventId, binding: &Binding, monitors_touched: usize) {
+        self.0.event_dispatched(event, binding, monitors_touched);
+        self.1.event_dispatched(event, binding, monitors_touched);
+    }
+
+    fn monitor_created(&mut self, id: MonitorId, binding: &Binding) {
+        self.0.monitor_created(id, binding);
+        self.1.monitor_created(id, binding);
+    }
+
+    fn monitor_flagged(
+        &mut self,
+        id: MonitorId,
+        binding: &Binding,
+        last_event: EventId,
+        dead: ParamSet,
+        cause: FlagCause,
+    ) {
+        self.0.monitor_flagged(id, binding, last_event, dead, cause);
+        self.1.monitor_flagged(id, binding, last_event, dead, cause);
+    }
+
+    fn monitor_collected(&mut self, id: MonitorId) {
+        self.0.monitor_collected(id);
+        self.1.monitor_collected(id);
+    }
+
+    fn dead_key_discovered(&mut self, key: &Binding) {
+        self.0.dead_key_discovered(key);
+        self.1.dead_key_discovered(key);
+    }
+
+    fn sweep_started(&mut self) {
+        self.0.sweep_started();
+        self.1.sweep_started();
+    }
+
+    fn sweep_finished(&mut self, flagged: u64, collected: u64) {
+        self.0.sweep_finished(flagged, collected);
+        self.1.sweep_finished(flagged, collected);
+    }
+
+    fn trigger_fired(&mut self, step: usize, binding: &Binding, verdict: Verdict) {
+        self.0.trigger_fired(step, binding, verdict);
+        self.1.trigger_fired(step, binding, verdict);
+    }
+
+    fn cache_hit(&mut self) {
+        self.0.cache_hit();
+        self.1.cache_hit();
+    }
+
+    fn cache_miss(&mut self) {
+        self.0.cache_miss();
+        self.1.cache_miss();
+    }
+
+    fn phase_timed(&mut self, phase: Phase, nanos: u64) {
+        self.0.phase_timed(phase, nanos);
+        self.1.phase_timed(phase, nanos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers (hand-rolled: the workspace is offline and serde-free).
+// ---------------------------------------------------------------------------
+
+/// Escapes `s` for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` the way JSON wants it (no NaN/inf — clamped to null).
+#[must_use]
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn render_binding(b: &Binding, names: Option<&EventDef>) -> String {
+    let mut out = String::new();
+    for (i, (p, obj)) in b.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match names {
+            Some(def) => {
+                let _ = write!(out, "{}={}", def.param_name(p), obj);
+            }
+            None => {
+                let _ = write!(out, "x{}={}", p.as_usize(), obj);
+            }
+        }
+    }
+    out
+}
+
+fn render_event(e: EventId, alphabet: Option<&Alphabet>) -> String {
+    match alphabet {
+        Some(a) => a.name(e).to_owned(),
+        None => format!("e{}", e.as_usize()),
+    }
+}
+
+fn render_params(ps: ParamSet, names: Option<&EventDef>) -> String {
+    let mut out = String::new();
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match names {
+            Some(def) => out.push_str(def.param_name(p)),
+            None => {
+                let _ = write!(out, "x{}", p.as_usize());
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+/// One recorded lifecycle transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An event was dispatched to `touched` matching instances.
+    Event {
+        /// The dispatched event.
+        event: EventId,
+        /// Its parameter instance.
+        binding: Binding,
+        /// Matching monitor instances stepped.
+        touched: usize,
+    },
+    /// A monitor instance was created.
+    Created {
+        /// The new instance's id.
+        id: MonitorId,
+        /// Its binding.
+        binding: Binding,
+    },
+    /// A monitor instance was flagged unnecessary.
+    Flagged {
+        /// The flagged instance.
+        id: MonitorId,
+        /// Its binding.
+        binding: Binding,
+        /// The last event it received (the `e` of `ALIVENESS(e)`).
+        last_event: EventId,
+        /// Its dead parameters at flag time.
+        dead: ParamSet,
+        /// Which rule flagged it.
+        cause: FlagCause,
+    },
+    /// A monitor instance was physically reclaimed.
+    Collected {
+        /// The collected instance.
+        id: MonitorId,
+    },
+    /// An indexing structure discovered a dead key.
+    DeadKey {
+        /// The dead (partial) parameter instance.
+        key: Binding,
+    },
+    /// A safepoint sweep began.
+    SweepStarted,
+    /// A safepoint sweep finished.
+    SweepFinished {
+        /// Monitors newly flagged by the sweep.
+        flagged: u64,
+        /// Monitors reclaimed by the sweep.
+        collected: u64,
+    },
+    /// A goal verdict fired a handler.
+    Trigger {
+        /// The violating/matching instance.
+        binding: Binding,
+        /// The verdict.
+        verdict: Verdict,
+    },
+}
+
+/// A timestamped lifecycle record.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// Monotonic sequence number (counts records ever captured, including
+    /// ones later overwritten by the bounded ring).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub t_nanos: u64,
+    /// Engine event count when the record was captured (the E column).
+    pub event_index: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s with JSONL export.
+///
+/// When the buffer is full the oldest record is overwritten;
+/// [`TraceRecorder::dropped`] counts the overwritten records so consumers
+/// know the trace is a suffix.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    start: Instant,
+    capacity: usize,
+    ring: Vec<TraceRecord>,
+    head: usize,
+    next_seq: u64,
+    events_seen: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Optional naming context for human-readable dumps.
+    names: Option<(Alphabet, EventDef)>,
+}
+
+impl Default for TraceRecorder {
+    /// A recorder with the default 65 536-record capacity.
+    fn default() -> Self {
+        TraceRecorder::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+/// Default ring capacity for [`TraceRecorder::default`] (and the `rvmon
+/// trace` CLI).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+impl TraceRecorder {
+    /// A recorder keeping at most `capacity` records (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceRecorder {
+        TraceRecorder {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Vec::new(),
+            head: 0,
+            next_seq: 0,
+            events_seen: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            names: None,
+        }
+    }
+
+    /// Attaches an alphabet and event definition so dumps render event and
+    /// parameter *names* instead of indices.
+    #[must_use]
+    pub fn with_names(mut self, alphabet: Alphabet, event_def: EventDef) -> TraceRecorder {
+        self.names = Some((alphabet, event_def));
+        self
+    }
+
+    fn push(&mut self, kind: TraceKind) {
+        let record = TraceRecord {
+            seq: self.next_seq,
+            t_nanos: u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            event_index: self.events_seen,
+            kind,
+        };
+        self.next_seq += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(record);
+        } else {
+            self.ring[self.head] = record;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Records captured and still buffered, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+
+    /// Records overwritten by the bounded ring.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.ring.len() as u64
+    }
+
+    /// Lookup-cache hits observed.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Lookup-cache misses observed.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Renders one record as a JSON object (no trailing newline).
+    #[must_use]
+    pub fn record_json(&self, r: &TraceRecord) -> String {
+        let (alphabet, def) = match &self.names {
+            Some((a, d)) => (Some(a), Some(d)),
+            None => (None, None),
+        };
+        let mut out =
+            format!("{{\"seq\":{},\"t_ns\":{},\"event_index\":{}", r.seq, r.t_nanos, r.event_index);
+        match r.kind {
+            TraceKind::Event { event, binding, touched } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"event\",\"name\":\"{}\",\"binding\":\"{}\",\"touched\":{}",
+                    json_escape(&render_event(event, alphabet)),
+                    json_escape(&render_binding(&binding, def)),
+                    touched
+                );
+            }
+            TraceKind::Created { id, binding } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"created\",\"monitor\":{},\"binding\":\"{}\"",
+                    id.as_usize(),
+                    json_escape(&render_binding(&binding, def))
+                );
+            }
+            TraceKind::Flagged { id, binding, last_event, dead, cause } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"flagged\",\"monitor\":{},\"binding\":\"{}\",\
+                     \"last_event\":\"{}\",\"dead\":\"{}\",\"cause\":\"{}\"",
+                    id.as_usize(),
+                    json_escape(&render_binding(&binding, def)),
+                    json_escape(&render_event(last_event, alphabet)),
+                    json_escape(&render_params(dead, def)),
+                    cause.label()
+                );
+            }
+            TraceKind::Collected { id } => {
+                let _ = write!(out, ",\"kind\":\"collected\",\"monitor\":{}", id.as_usize());
+            }
+            TraceKind::DeadKey { key } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"dead_key\",\"key\":\"{}\"",
+                    json_escape(&render_binding(&key, def))
+                );
+            }
+            TraceKind::SweepStarted => {
+                out.push_str(",\"kind\":\"sweep_started\"");
+            }
+            TraceKind::SweepFinished { flagged, collected } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"sweep_finished\",\"flagged\":{flagged},\"collected\":{collected}"
+                );
+            }
+            TraceKind::Trigger { binding, verdict } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"trigger\",\"binding\":\"{}\",\"verdict\":\"{}\"",
+                    json_escape(&render_binding(&binding, def)),
+                    verdict
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Dumps the buffered records as JSONL — one JSON object per line,
+    /// oldest record first.
+    #[must_use]
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            out.push_str(&self.record_json(&r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EngineObserver for TraceRecorder {
+    fn event_dispatched(&mut self, event: EventId, binding: &Binding, monitors_touched: usize) {
+        self.events_seen += 1;
+        self.push(TraceKind::Event { event, binding: *binding, touched: monitors_touched });
+    }
+
+    fn monitor_created(&mut self, id: MonitorId, binding: &Binding) {
+        self.push(TraceKind::Created { id, binding: *binding });
+    }
+
+    fn monitor_flagged(
+        &mut self,
+        id: MonitorId,
+        binding: &Binding,
+        last_event: EventId,
+        dead: ParamSet,
+        cause: FlagCause,
+    ) {
+        self.push(TraceKind::Flagged { id, binding: *binding, last_event, dead, cause });
+    }
+
+    fn monitor_collected(&mut self, id: MonitorId) {
+        self.push(TraceKind::Collected { id });
+    }
+
+    fn dead_key_discovered(&mut self, key: &Binding) {
+        self.push(TraceKind::DeadKey { key: *key });
+    }
+
+    fn sweep_started(&mut self) {
+        self.push(TraceKind::SweepStarted);
+    }
+
+    fn sweep_finished(&mut self, flagged: u64, collected: u64) {
+        self.push(TraceKind::SweepFinished { flagged, collected });
+    }
+
+    fn trigger_fired(&mut self, _step: usize, binding: &Binding, verdict: Verdict) {
+        self.push(TraceKind::Trigger { binding: *binding, verdict });
+    }
+
+    fn cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    fn cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+/// A fixed-bucket histogram with power-of-two bucket bounds
+/// `1, 2, 4, …, 2^(N−1)` plus an overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// `counts[i]` counts samples `≤ 2^i`; the last slot is overflow.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+/// Number of power-of-two buckets: covers values up to 2^29 (~0.5 s in
+/// nanoseconds, ~500M in event counts) before overflow.
+const HISTOGRAM_BUCKETS: usize = 30;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram { counts: vec![0; HISTOGRAM_BUCKETS + 1], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value <= 1 {
+            0
+        } else {
+            let b = 64 - u64::leading_zeros(value - 1) as usize;
+            b.min(HISTOGRAM_BUCKETS)
+        };
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Renders the histogram as a JSON object. Empty buckets are elided
+    /// from the `buckets` array to keep snapshots small.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.max,
+            json_f64(self.mean())
+        );
+        let mut first = true;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if i < HISTOGRAM_BUCKETS {
+                let _ = write!(out, "{{\"le\":{},\"count\":{c}}}", 1u64 << i);
+            } else {
+                let _ = write!(out, "{{\"le\":\"inf\",\"count\":{c}}}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Counters and histograms over the monitor-GC pipeline, with a JSON
+/// snapshot serializer.
+///
+/// Counter semantics mirror [`EngineStats`]: after a run the registry's
+/// `events`/`created`/`flagged`/`collected` equal the engine's E/M/FM/CM
+/// (this is asserted by the `observer_invariants` test suite).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    events: u64,
+    created: u64,
+    flagged: u64,
+    collected: u64,
+    dead_keys: u64,
+    triggers: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    sweeps: u64,
+    /// Creation→collection age in events.
+    lifetime_events: Histogram,
+    /// Creation→flag age in events.
+    flag_latency_events: Histogram,
+    /// Matching instances stepped per dispatched event.
+    touched_per_event: Histogram,
+    /// Monitors reclaimed per safepoint sweep.
+    sweep_batch: Histogram,
+    /// Per-phase wall-clock nanoseconds (index by [`Phase::index`]).
+    phase_nanos: [Histogram; 3],
+    /// Birth event-index per live monitor id (removed on collection, so
+    /// slot reuse cannot corrupt ages).
+    birth: HashMap<MonitorId, u64>,
+    /// Flag event-index per flagged-but-uncollected monitor id.
+    flagged_at: HashMap<MonitorId, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Events observed (the E column).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Monitors created (M).
+    #[must_use]
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Monitors flagged (FM).
+    #[must_use]
+    pub fn flagged(&self) -> u64 {
+        self.flagged
+    }
+
+    /// Monitors collected (CM).
+    #[must_use]
+    pub fn collected(&self) -> u64 {
+        self.collected
+    }
+
+    /// Dead keys discovered by indexing structures.
+    #[must_use]
+    pub fn dead_keys(&self) -> u64 {
+        self.dead_keys
+    }
+
+    /// Goal reports observed.
+    #[must_use]
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Safepoint sweeps observed.
+    #[must_use]
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// The creation→collection age histogram (in events).
+    #[must_use]
+    pub fn lifetime_events(&self) -> &Histogram {
+        &self.lifetime_events
+    }
+
+    /// The bindings-touched-per-event histogram.
+    #[must_use]
+    pub fn touched_per_event(&self) -> &Histogram {
+        &self.touched_per_event
+    }
+
+    /// The per-sweep reclaim-batch histogram.
+    #[must_use]
+    pub fn sweep_batch(&self) -> &Histogram {
+        &self.sweep_batch
+    }
+
+    /// The wall-clock histogram for `phase`.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> &Histogram {
+        &self.phase_nanos[phase.index()]
+    }
+
+    /// Serializes every counter and histogram as one JSON object.
+    #[must_use]
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot_json_with(None, None)
+    }
+
+    /// Serializes the registry plus (optionally) the engine's own
+    /// [`EngineStats`] and the simulated heap's [`HeapStats`], so one
+    /// document carries the full pipeline state.
+    #[must_use]
+    pub fn snapshot_json_with(
+        &self,
+        engine: Option<&EngineStats>,
+        heap: Option<&HeapStats>,
+    ) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let _ = write!(
+            out,
+            "\"events\":{},\"monitors_created\":{},\"monitors_flagged\":{},\
+             \"monitors_collected\":{},\"dead_keys\":{},\"triggers\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"sweeps\":{}",
+            self.events,
+            self.created,
+            self.flagged,
+            self.collected,
+            self.dead_keys,
+            self.triggers,
+            self.cache_hits,
+            self.cache_misses,
+            self.sweeps
+        );
+        out.push_str("},\"histograms\":{");
+        let _ = write!(out, "\"monitor_lifetime_events\":{}", self.lifetime_events.to_json());
+        let _ = write!(out, ",\"flag_latency_events\":{}", self.flag_latency_events.to_json());
+        let _ = write!(out, ",\"bindings_touched_per_event\":{}", self.touched_per_event.to_json());
+        let _ = write!(out, ",\"sweep_batch_collected\":{}", self.sweep_batch.to_json());
+        for p in Phase::ALL {
+            let _ = write!(out, ",\"phase_{}_ns\":{}", p.label(), self.phase(p).to_json());
+        }
+        out.push('}');
+        if let Some(s) = engine {
+            let _ = write!(out, ",\"engine\":{}", s.to_json());
+        }
+        if let Some(h) = heap {
+            let _ = write!(out, ",\"heap\":{}", h.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl EngineObserver for MetricsRegistry {
+    fn event_dispatched(&mut self, _event: EventId, _binding: &Binding, monitors_touched: usize) {
+        self.events += 1;
+        self.touched_per_event.record(monitors_touched as u64);
+    }
+
+    fn monitor_created(&mut self, id: MonitorId, _binding: &Binding) {
+        self.created += 1;
+        self.birth.insert(id, self.events);
+    }
+
+    fn monitor_flagged(
+        &mut self,
+        id: MonitorId,
+        _binding: &Binding,
+        _last_event: EventId,
+        _dead: ParamSet,
+        _cause: FlagCause,
+    ) {
+        self.flagged += 1;
+        if let Some(&born) = self.birth.get(&id) {
+            self.flag_latency_events.record(self.events - born);
+        }
+        self.flagged_at.insert(id, self.events);
+    }
+
+    fn monitor_collected(&mut self, id: MonitorId) {
+        self.collected += 1;
+        if let Some(born) = self.birth.remove(&id) {
+            self.lifetime_events.record(self.events - born);
+        }
+        self.flagged_at.remove(&id);
+    }
+
+    fn dead_key_discovered(&mut self, _key: &Binding) {
+        self.dead_keys += 1;
+    }
+
+    fn sweep_started(&mut self) {
+        self.sweeps += 1;
+    }
+
+    fn sweep_finished(&mut self, _flagged: u64, collected: u64) {
+        self.sweep_batch.record(collected);
+    }
+
+    fn trigger_fired(&mut self, _step: usize, _binding: &Binding, _verdict: Verdict) {
+        self.triggers += 1;
+    }
+
+    fn cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    fn cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+
+    fn phase_timed(&mut self, phase: Phase, nanos: u64) {
+        self.phase_nanos[phase.index()].record(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_logic::ParamId;
+
+    #[test]
+    fn noop_observer_is_disabled() {
+        assert!(!NoopObserver::ENABLED);
+        assert!(!<(NoopObserver, NoopObserver) as EngineObserver>::ENABLED);
+        assert!(<(TraceRecorder, NoopObserver) as EngineObserver>::ENABLED);
+        assert!(MetricsRegistry::ENABLED);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), u64::MAX);
+        let json = h.to_json();
+        assert!(json.contains("\"le\":1,\"count\":2"), "{json}");
+        assert!(json.contains("\"le\":2,\"count\":1"), "{json}");
+        assert!(json.contains("\"le\":4,\"count\":2"), "{json}");
+        assert!(json.contains("\"le\":1024,\"count\":1"), "{json}");
+        assert!(json.contains("\"le\":\"inf\",\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_keeps_the_suffix() {
+        let mut rec = TraceRecorder::new(4);
+        for i in 0..10u32 {
+            rec.monitor_collected(MonitorId::from_raw(i));
+        }
+        let records = rec.records();
+        assert_eq!(records.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        assert_eq!(records[0].seq, 6, "oldest surviving record");
+        assert_eq!(records[3].seq, 9, "newest record last");
+    }
+
+    #[test]
+    fn jsonl_dump_is_one_object_per_line() {
+        let mut rec = TraceRecorder::new(16);
+        rec.sweep_started();
+        rec.sweep_finished(2, 3);
+        rec.trigger_fired(0, &Binding::BOTTOM, Verdict::Match);
+        let dump = rec.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"sweep_started\""));
+        assert!(lines[1].contains("\"flagged\":2") && lines[1].contains("\"collected\":3"));
+        assert!(lines[2].contains("\"verdict\":\"match\""));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_contains_counters_and_histograms() {
+        let mut m = MetricsRegistry::new();
+        let id = MonitorId::from_raw(0);
+        m.event_dispatched(EventId(0), &Binding::BOTTOM, 2);
+        m.monitor_created(id, &Binding::BOTTOM);
+        m.event_dispatched(EventId(1), &Binding::BOTTOM, 1);
+        m.monitor_flagged(id, &Binding::BOTTOM, EventId(1), ParamSet::EMPTY, FlagCause::Aliveness);
+        m.monitor_collected(id);
+        let json = m.snapshot_json();
+        assert!(json.contains("\"events\":2"), "{json}");
+        assert!(json.contains("\"monitors_created\":1"), "{json}");
+        assert!(json.contains("\"monitors_flagged\":1"), "{json}");
+        assert!(json.contains("\"monitors_collected\":1"), "{json}");
+        assert!(json.contains("\"monitor_lifetime_events\""), "{json}");
+        assert!(json.contains("\"phase_index_lookup_ns\""), "{json}");
+        // The lifetime histogram recorded 2 − 1 = 1 event of age.
+        assert_eq!(m.lifetime_events().count(), 1);
+        assert_eq!(m.lifetime_events().sum(), 1);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn binding_renders_without_names() {
+        let obj = rv_heap::ObjId::from_bits((1 << 32) | 5);
+        let b = Binding::from_pairs(&[(ParamId(0), obj)]);
+        assert_eq!(render_binding(&b, None), "x0=#1g5");
+    }
+}

@@ -32,6 +32,29 @@ pub struct EngineStats {
     pub cache_hits: u64,
 }
 
+impl EngineStats {
+    /// Renders every counter as a flat JSON object (hand-rolled: the
+    /// workspace is serde-free).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"events\":{},\"monitors_created\":{},\"monitors_flagged\":{},\
+             \"monitors_collected\":{},\"peak_live_monitors\":{},\"live_monitors\":{},\
+             \"triggers\":{},\"dead_keys\":{},\"creations_skipped\":{},\"cache_hits\":{}}}",
+            self.events,
+            self.monitors_created,
+            self.monitors_flagged,
+            self.monitors_collected,
+            self.peak_live_monitors,
+            self.live_monitors,
+            self.triggers,
+            self.dead_keys,
+            self.creations_skipped,
+            self.cache_hits
+        )
+    }
+}
+
 impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -20,6 +20,14 @@ impl MonitorId {
     pub fn as_usize(self) -> usize {
         self.0 as usize
     }
+
+    /// Fabricates an id from a raw slot index — for observer tests that
+    /// need ids without a store.
+    #[cfg(test)]
+    #[must_use]
+    pub(crate) fn from_raw(index: u32) -> MonitorId {
+        MonitorId(index)
+    }
 }
 
 /// One monitor instance: the base-monitor state for one parameter
@@ -63,6 +71,11 @@ pub struct MonitorStore<S> {
     live: usize,
     stats: StoreStats,
     state_bytes: usize,
+    /// When set, ids whose last reference was just released are appended
+    /// to `collected_log` so the engine can notify its observer. Off by
+    /// default: the no-op observer pays nothing.
+    log_collected: bool,
+    collected_log: Vec<MonitorId>,
 }
 
 impl<S> Default for MonitorStore<S> {
@@ -81,7 +94,20 @@ impl<S> MonitorStore<S> {
             live: 0,
             stats: StoreStats::default(),
             state_bytes: 0,
+            log_collected: false,
+            collected_log: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) collected-id logging for observer delivery.
+    pub fn set_collected_log(&mut self, enabled: bool) {
+        self.log_collected = enabled;
+    }
+
+    /// Drains the ids collected since the last drain. Empty unless
+    /// [`set_collected_log`](MonitorStore::set_collected_log) was enabled.
+    pub fn drain_collected(&mut self) -> Vec<MonitorId> {
+        std::mem::take(&mut self.collected_log)
     }
 
     /// Creates an instance with zero references; callers [`retain`] it once
@@ -149,15 +175,22 @@ impl<S> MonitorStore<S> {
             self.free.push(id.as_usize() as u32);
             self.live -= 1;
             self.stats.collected += 1;
+            if self.log_collected {
+                self.collected_log.push(id);
+            }
         }
     }
 
-    /// Marks an instance unnecessary (FM). Idempotent.
-    pub fn flag(&mut self, id: MonitorId) {
+    /// Marks an instance unnecessary (FM). Idempotent; returns `true` the
+    /// first time, so callers can notify observers exactly once.
+    pub fn flag(&mut self, id: MonitorId) -> bool {
         let instance = self.get_mut(id);
         if !instance.flagged {
             instance.flagged = true;
             self.stats.flagged += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -249,10 +282,25 @@ mod tests {
         let mut store: MonitorStore<u32> = MonitorStore::new();
         let id = store.create(Binding::BOTTOM, 1, EventId(0));
         store.retain(id);
-        store.flag(id);
-        store.flag(id);
+        assert!(store.flag(id), "first flag reports a transition");
+        assert!(!store.flag(id), "second flag is a no-op");
         assert_eq!(store.stats().flagged, 1);
         assert!(store.is_collectable(id));
+    }
+
+    #[test]
+    fn collected_log_captures_reclaimed_ids_only_when_enabled() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let a = store.create(Binding::BOTTOM, 1, EventId(0));
+        store.retain(a);
+        store.release(a);
+        assert!(store.drain_collected().is_empty(), "logging off by default");
+        store.set_collected_log(true);
+        let b = store.create(Binding::BOTTOM, 2, EventId(0));
+        store.retain(b);
+        store.release(b);
+        assert_eq!(store.drain_collected(), vec![b]);
+        assert!(store.drain_collected().is_empty(), "drain empties the log");
     }
 
     #[test]

@@ -75,12 +75,7 @@ impl<V> RvMap<V> {
     /// An empty map with the default expunge window.
     #[must_use]
     pub fn new() -> Self {
-        RvMap {
-            map: HashMap::new(),
-            ring: Vec::new(),
-            cursor: 0,
-            window: DEFAULT_EXPUNGE_WINDOW,
-        }
+        RvMap { map: HashMap::new(), ring: Vec::new(), cursor: 0, window: DEFAULT_EXPUNGE_WINDOW }
     }
 
     /// Overrides the expunge window (0 disables lazy expunging — used by

@@ -3,6 +3,11 @@
 //! induced partial order; restriction is monotone and interacts with `⊔`
 //! as expected.
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use rv_core::Binding;
 use rv_heap::{Heap, HeapConfig, ObjId};

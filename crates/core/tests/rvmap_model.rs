@@ -11,6 +11,11 @@
 //! * maintenance never touches entries the model says are live (unless the
 //!   maintainer's live hook asked for removal — not used here).
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use std::collections::HashMap;
 
 use proptest::prelude::*;

@@ -17,6 +17,18 @@ pub struct HeapStats {
     pub peak_live: usize,
 }
 
+impl HeapStats {
+    /// Renders every counter as a flat JSON object (hand-rolled: the
+    /// workspace is serde-free).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"allocations\":{},\"collections\":{},\"swept\":{},\"live\":{},\"peak_live\":{}}}",
+            self.allocations, self.collections, self.swept, self.live, self.peak_live
+        )
+    }
+}
+
 impl fmt::Display for HeapStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -294,9 +294,8 @@ impl Grammar {
             }
         }
         // Restrict to events, dropping ∅ (SetFamily does this).
-        let per_event = (0..n_ev)
-            .map(|e| SetFamily::from_sets(c[n_nt + e].iter().copied()))
-            .collect();
+        let per_event =
+            (0..n_ev).map(|e| SetFamily::from_sets(c[n_nt + e].iter().copied())).collect();
         CoenableSets::new(per_event)
     }
 }
@@ -575,10 +574,7 @@ mod tests {
         let e = |n: &str| ev(&a, n);
         assert_eq!(m.classify(&[]), Verdict::Match, "ε is balanced");
         assert_eq!(m.classify(&[e("acquire"), e("release")]), Verdict::Match);
-        assert_eq!(
-            m.classify(&[e("begin"), e("acquire"), e("release"), e("end")]),
-            Verdict::Match
-        );
+        assert_eq!(m.classify(&[e("begin"), e("acquire"), e("release"), e("end")]), Verdict::Match);
         assert_eq!(
             m.classify(&[e("begin"), e("acquire"), e("end")]),
             Verdict::Fail,
@@ -683,10 +679,7 @@ mod tests {
 
     #[test]
     fn bad_indices_are_rejected() {
-        assert_eq!(
-            Grammar::new(&["S"], 3, vec![]).unwrap_err(),
-            CfgError::BadStart(3)
-        );
+        assert_eq!(Grammar::new(&["S"], 3, vec![]).unwrap_err(), CfgError::BadStart(3));
         assert_eq!(
             Grammar::new(&["S"], 0, vec![Production { lhs: 5, rhs: vec![] }]).unwrap_err(),
             CfgError::UnknownNonterminal(5)

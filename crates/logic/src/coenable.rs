@@ -246,9 +246,7 @@ impl Aliveness {
     /// Panics if `e` is out of range.
     #[must_use]
     pub fn is_necessary(&self, e: EventId, dead: ParamSet) -> bool {
-        self.per_event[e.as_usize()]
-            .iter()
-            .any(|&mask| mask.intersection(dead).is_empty())
+        self.per_event[e.as_usize()].iter().any(|&mask| mask.intersection(dead).is_empty())
     }
 
     /// The disjunct masks for event `e` (for inspection and tests).
@@ -371,7 +369,10 @@ mod tests {
         let (a, def, sets) = unsafe_iter();
         let aliveness = sets.lift(&def).aliveness();
         // {{i}, {c,i}} minimizes to {{i}} by absorption.
-        assert_eq!(aliveness.masks(a.lookup("update").unwrap()), &[ParamSet::singleton(ParamId(1))]);
+        assert_eq!(
+            aliveness.masks(a.lookup("update").unwrap()),
+            &[ParamSet::singleton(ParamId(1))]
+        );
         assert_eq!(aliveness.total_disjuncts(), 3);
     }
 
@@ -388,6 +389,9 @@ mod tests {
     fn display_renders_event_names() {
         let (a, _, sets) = unsafe_iter();
         let out = sets.display(&a).to_string();
-        assert!(out.contains("COENABLE(update) = {{next}, {update, next}, {create, update, next}}"), "{out}");
+        assert!(
+            out.contains("COENABLE(update) = {{next}, {update, next}, {create, update, next}}"),
+            "{out}"
+        );
     }
 }

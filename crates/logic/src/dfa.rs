@@ -224,8 +224,7 @@ impl Dfa {
                 }
                 for e in self.alphabet.iter() {
                     let t = self.step(s as u32, e);
-                    let hit =
-                        if t == DEAD { fail_goal } else { can[t as usize] };
+                    let hit = if t == DEAD { fail_goal } else { can[t as usize] };
                     if hit {
                         can[s] = true;
                         changed = true;
@@ -316,9 +315,8 @@ impl Dfa {
         let n = self.n_states as usize;
         let constant = self.constant_verdict_states();
         // (family of non-empty continuations, sees-empty-continuation flag)
-        let mut seeable: Vec<(SetFamily, bool)> = (0..n)
-            .map(|s| (SetFamily::new(), goal.contains(self.verdicts[s])))
-            .collect();
+        let mut seeable: Vec<(SetFamily, bool)> =
+            (0..n).map(|s| (SetFamily::new(), goal.contains(self.verdicts[s]))).collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -727,12 +725,8 @@ mod tests {
             &["c", "i"],
             vec![ParamSet::singleton(c).with(i), ParamSet::singleton(c), ParamSet::singleton(i)],
         );
-        let param_sets: Vec<ParamSet> = en[e("next").as_usize()]
-            .0
-            .sets()
-            .iter()
-            .map(|&s| def.params_of_set(s))
-            .collect();
+        let param_sets: Vec<ParamSet> =
+            en[e("next").as_usize()].0.sets().iter().map(|&s| def.params_of_set(s)).collect();
         assert!(param_sets.iter().all(|&p| p == ParamSet::singleton(c).with(i)));
     }
 

@@ -415,10 +415,7 @@ mod tests {
         // "update create" is an unknown (?) trace.
         assert_eq!(d.classify(&[e("update"), e("create")]), Verdict::Unknown);
         // "create update next next" is a fail trace.
-        assert_eq!(
-            d.classify(&[e("create"), e("update"), e("next"), e("next")]),
-            Verdict::Fail
-        );
+        assert_eq!(d.classify(&[e("create"), e("update"), e("next"), e("next")]), Verdict::Fail);
     }
 
     #[test]

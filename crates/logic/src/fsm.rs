@@ -71,7 +71,10 @@ impl fmt::Display for FsmError {
             FsmError::Empty => write!(f, "finite state machine has no states"),
             FsmError::DuplicateState(s) => write!(f, "duplicate state `{s}`"),
             FsmError::UnknownTarget { state, event, target } => {
-                write!(f, "state `{state}`: transition on `{event}` targets unknown state `{target}`")
+                write!(
+                    f,
+                    "state `{state}`: transition on `{event}` targets unknown state `{target}`"
+                )
             }
             FsmError::UnknownEvent { state, event } => {
                 write!(f, "state `{state}`: transition on undeclared event `{event}`")
@@ -99,7 +102,12 @@ impl FsmSpec {
     }
 
     /// Convenience: appends a state from parts.
-    pub fn state(&mut self, name: &str, verdict: Verdict, transitions: &[(&str, &str)]) -> &mut Self {
+    pub fn state(
+        &mut self,
+        name: &str,
+        verdict: Verdict,
+        transitions: &[(&str, &str)],
+    ) -> &mut Self {
         self.add_state(FsmState {
             name: name.to_owned(),
             verdict,
@@ -198,10 +206,7 @@ mod tests {
         // hasnextfalse next: error.
         assert_eq!(d.classify(&[ev("hasnextfalse"), ev("next")]), Verdict::Match);
         // more → next → unknown → next → error.
-        assert_eq!(
-            d.classify(&[ev("hasnexttrue"), ev("next"), ev("next")]),
-            Verdict::Match
-        );
+        assert_eq!(d.classify(&[ev("hasnexttrue"), ev("next"), ev("next")]), Verdict::Match);
         assert_eq!(d.state_name(0), "unknown");
         assert_eq!(d.state_name(3), "error");
     }
@@ -283,7 +288,8 @@ mod tests {
 
     #[test]
     fn errors_render_usefully() {
-        let e = FsmError::UnknownTarget { state: "s".into(), event: "e".into(), target: "t".into() };
+        let e =
+            FsmError::UnknownTarget { state: "s".into(), event: "e".into(), target: "t".into() };
         assert!(e.to_string().contains("unknown state `t`"));
     }
 }

@@ -119,10 +119,7 @@ impl Ltl {
     fn has_future(&self) -> bool {
         match self {
             Ltl::True | Ltl::False | Ltl::Event(_) => false,
-            Ltl::Not(a)
-            | Ltl::Prev(a)
-            | Ltl::Once(a)
-            | Ltl::Historically(a) => a.has_future(),
+            Ltl::Not(a) | Ltl::Prev(a) | Ltl::Once(a) | Ltl::Historically(a) => a.has_future(),
             Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Implies(a, b) | Ltl::Since(a, b) => {
                 a.has_future() || b.has_future()
             }
@@ -151,8 +148,11 @@ impl Ltl {
                 b.check_no_future_under_past()
             }
             Ltl::Not(a) => a.check_no_future_under_past(),
-            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Implies(a, b)
-            | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+            Ltl::And(a, b)
+            | Ltl::Or(a, b)
+            | Ltl::Implies(a, b)
+            | Ltl::Until(a, b)
+            | Ltl::Release(a, b) => {
                 a.check_no_future_under_past()?;
                 b.check_no_future_under_past()
             }
@@ -234,9 +234,15 @@ enum FutureNode {
     True,
     False,
     /// Literal: current event equals/differs from `e`.
-    Event { e: EventId, negated: bool },
+    Event {
+        e: EventId,
+        negated: bool,
+    },
     /// Literal: past arena node value (possibly negated).
-    PastAtom { node: u32, negated: bool },
+    PastAtom {
+        node: u32,
+        negated: bool,
+    },
     And(u32, u32),
     Or(u32, u32),
     Next(u32),
@@ -476,14 +482,12 @@ impl CompileCtx {
             FutureNode::Until(a, b) => {
                 // a U b = b ∨ (a ∧ X(a U b))
                 let again = Dnf::lit(ob);
-                self.prog(b, event, past_now)
-                    .or(&self.prog(a, event, past_now).and(&again))
+                self.prog(b, event, past_now).or(&self.prog(a, event, past_now).and(&again))
             }
             FutureNode::Release(a, b) => {
                 // a R b = b ∧ (a ∨ X(a R b))
                 let again = Dnf::lit(ob);
-                self.prog(b, event, past_now)
-                    .and(&self.prog(a, event, past_now).or(&again))
+                self.prog(b, event, past_now).and(&self.prog(a, event, past_now).or(&again))
             }
             FutureNode::Always(a) => {
                 let again = Dnf::lit(ob);
@@ -617,10 +621,7 @@ mod tests {
         assert_eq!(d.classify(&[e("hasnextfalse"), e("next")]), Verdict::Fail);
         // hasnexttrue hasnextfalse next: the *immediately* preceding call
         // returned false — violation (matches (*) semantics).
-        assert_eq!(
-            d.classify(&[e("hasnexttrue"), e("hasnextfalse"), e("next")]),
-            Verdict::Fail
-        );
+        assert_eq!(d.classify(&[e("hasnexttrue"), e("hasnextfalse"), e("next")]), Verdict::Fail);
         // Violations are permanent.
         assert_eq!(d.classify(&[e("next"), e("hasnexttrue"), e("next")]), Verdict::Fail);
     }

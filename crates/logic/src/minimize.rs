@@ -27,8 +27,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     let n_events = alphabet.len();
     // 1. Restrict to reachable states.
     let reachable = dfa.reachable();
-    let states: Vec<u32> =
-        (0..dfa.state_count()).filter(|&s| reachable[s as usize]).collect();
+    let states: Vec<u32> = (0..dfa.state_count()).filter(|&s| reachable[s as usize]).collect();
     // Map original → dense index; DEAD and unreachable map to the sink.
     let sink = states.len(); // class index for the implicit dead sink
     let mut dense = vec![sink; dfa.state_count() as usize];

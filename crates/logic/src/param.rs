@@ -133,12 +133,20 @@ impl EventDef {
     /// parameters are named, or if some `D(e)` mentions an out-of-range
     /// parameter.
     #[must_use]
-    pub fn new<S: AsRef<str>>(alphabet: &Alphabet, param_names: &[S], params_of: Vec<ParamSet>) -> Self {
+    pub fn new<S: AsRef<str>>(
+        alphabet: &Alphabet,
+        param_names: &[S],
+        params_of: Vec<ParamSet>,
+    ) -> Self {
         assert!(param_names.len() <= 32, "at most 32 parameters supported");
         assert_eq!(params_of.len(), alphabet.len(), "every event needs a D(e) entry");
         let universe = ParamSet((1u64.wrapping_shl(param_names.len() as u32) - 1) as u32);
         for (i, &ps) in params_of.iter().enumerate() {
-            assert!(ps.is_subset(universe), "D({}) mentions an undeclared parameter", EventId(i as u16));
+            assert!(
+                ps.is_subset(universe),
+                "D({}) mentions an undeclared parameter",
+                EventId(i as u16)
+            );
         }
         EventDef {
             param_names: param_names.iter().map(|s| s.as_ref().to_owned()).collect(),

@@ -3,6 +3,11 @@
 //! monitor must classify every trace identically — two completely
 //! different recognizer implementations checking each other.
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use rv_logic::cfg::{CfgMonitor, Grammar, Production, Symbol};
 use rv_logic::ere::Ere;
@@ -29,10 +34,8 @@ fn reg_strategy() -> impl Strategy<Value = Reg> {
     let leaf = (0..EVENTS).prop_map(Reg::Event);
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Reg::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Reg::Union(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Reg::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Reg::Union(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Reg::Star(Box::new(a))),
         ]
     })

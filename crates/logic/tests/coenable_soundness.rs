@@ -10,6 +10,11 @@
 //! goal from at least one state where `e` can occur (the analysis is
 //! event-indexed, so this is existential over states).
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use rv_logic::dfa::{Dfa, DfaBuilder, DEAD};
 use rv_logic::event::{Alphabet, EventId};

@@ -2,6 +2,11 @@
 //! with the algebraic semantics of extended regular expressions on random
 //! expressions and random traces.
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use rv_logic::ere::Ere;
 use rv_logic::event::{Alphabet, EventId};

@@ -2,6 +2,11 @@
 //! hold verdict-for-verdict on the compiled monitors, and monitoring
 //! verdicts must behave monotonically (fail/match are absorbing).
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use rv_logic::event::{Alphabet, EventId};
 use rv_logic::ltl::Ltl;
@@ -28,8 +33,7 @@ fn future_ltl() -> impl Strategy<Value = Ltl> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
             inner.clone().prop_map(|a| Ltl::Next(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ltl::Until(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::Until(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Ltl::Release(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| a.always()),
@@ -48,8 +52,7 @@ fn past_ltl() -> impl Strategy<Value = Ltl> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             inner.clone().prop_map(|a| a.prev()),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ltl::Since(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::Since(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Ltl::Once(Box::new(a))),
             inner.prop_map(|a| Ltl::Historically(Box::new(a))),
         ]

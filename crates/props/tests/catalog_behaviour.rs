@@ -33,11 +33,8 @@ fn has_next_contract() {
     for block in 0..2 {
         let (_, bad) = run(&spec, block, &["hasnexttrue", "next", "next"]);
         assert!(bad, "unchecked second next violates block {block}");
-        let (_, ok) = run(
-            &spec,
-            block,
-            &["hasnexttrue", "next", "hasnexttrue", "next", "hasnextfalse"],
-        );
+        let (_, ok) =
+            run(&spec, block, &["hasnexttrue", "next", "hasnexttrue", "next", "hasnextfalse"]);
         assert!(!ok, "guarded iteration is fine in block {block}");
     }
 }
@@ -56,11 +53,7 @@ fn unsafe_iter_contract() {
 #[test]
 fn unsafe_map_iter_contract() {
     let spec = compiled(Property::UnsafeMapIter).unwrap();
-    let (_, bad) = run(
-        &spec,
-        0,
-        &["createcoll", "createiter", "useiter", "updatemap", "useiter"],
-    );
+    let (_, bad) = run(&spec, 0, &["createcoll", "createiter", "useiter", "updatemap", "useiter"]);
     assert!(bad);
     let (_, ok) = run(&spec, 0, &["updatemap", "createcoll", "createiter", "useiter"]);
     assert!(!ok);
@@ -91,11 +84,7 @@ fn safe_lock_contract() {
     let spec = compiled(Property::SafeLock).unwrap();
     let (_, bad) = run(&spec, 0, &["begin", "acquire", "end"]);
     assert!(bad, "method exits holding the lock");
-    let (_, ok) = run(
-        &spec,
-        0,
-        &["begin", "acquire", "begin", "end", "release", "end"],
-    );
+    let (_, ok) = run(&spec, 0, &["begin", "acquire", "begin", "end", "release", "end"]);
     assert!(!ok, "properly nested");
     let (_, bad2) = run(&spec, 0, &["release"]);
     assert!(bad2, "release without acquire");
@@ -135,7 +124,8 @@ fn safe_file_writer_contract() {
     let spec = compiled(Property::SafeFileWriter).unwrap();
     let (_, bad) = run(&spec, 0, &["openwriter", "closewriter", "writechar"]);
     assert!(bad, "write after close");
-    let (_, ok) = run(&spec, 0, &["openwriter", "writechar", "closewriter", "openwriter", "writechar"]);
+    let (_, ok) =
+        run(&spec, 0, &["openwriter", "writechar", "closewriter", "openwriter", "writechar"]);
     assert!(!ok, "reopening is fine");
 }
 

@@ -126,7 +126,10 @@ pub fn compile(ast: &SpecAst) -> Result<CompiledSpec, Diagnostic> {
         let mut seen = HashSet::new();
         for p in &ev.params {
             let id = *param_ids.get(p.as_str()).ok_or_else(|| {
-                Diagnostic::new(ev.span, format!("event `{}` binds undeclared parameter `{p}`", ev.name))
+                Diagnostic::new(
+                    ev.span,
+                    format!("event `{}` binds undeclared parameter `{p}`", ev.name),
+                )
             })?;
             if !seen.insert(id) {
                 return Err(Diagnostic::new(
@@ -263,27 +266,30 @@ fn named_goal(
     let mut goal = GoalSet::empty();
     let mut handlers = Vec::new();
     for h in decls {
-        let verdict = table
-            .iter()
-            .find(|(n, _)| *n == h.name)
-            .map(|(_, v)| *v)
-            .ok_or_else(|| {
+        let verdict =
+            table.iter().find(|(n, _)| *n == h.name).map(|(_, v)| *v).ok_or_else(|| {
                 let names: Vec<&str> = table.iter().map(|(n, _)| *n).collect();
                 Diagnostic::new(
                     h.span,
-                    format!("unknown handler `@{}`; this plugin supports {}", h.name, names.join(", ")),
+                    format!(
+                        "unknown handler `@{}`; this plugin supports {}",
+                        h.name,
+                        names.join(", ")
+                    ),
                 )
             })?;
         goal = goal.with(verdict);
-        handlers.push(CompiledHandler { on: verdict, name: h.name.clone(), message: h.message.clone() });
+        handlers.push(CompiledHandler {
+            on: verdict,
+            name: h.name.clone(),
+            message: h.message.clone(),
+        });
     }
     Ok((goal, handlers))
 }
 
 fn resolve_event(name: &str, span: Span, alphabet: &Alphabet) -> Result<EventId, Diagnostic> {
-    alphabet
-        .lookup(name)
-        .ok_or_else(|| Diagnostic::new(span, format!("undeclared event `{name}`")))
+    alphabet.lookup(name).ok_or_else(|| Diagnostic::new(span, format!("undeclared event `{name}`")))
 }
 
 fn lower_ere(ast: &EreAst, alphabet: &Alphabet) -> Result<Ere, Diagnostic> {
@@ -410,10 +416,7 @@ mod tests {
         assert_eq!(fsm.handlers[0].name, "error");
         assert_eq!(fsm.handlers[0].on, Verdict::Match);
         assert_eq!(ltl.handlers[0].on, Verdict::Fail);
-        assert_eq!(
-            fsm.handlers[0].message.as_deref(),
-            Some("improper Iterator use found!")
-        );
+        assert_eq!(fsm.handlers[0].message.as_deref(), Some("improper Iterator use found!"));
     }
 
     #[test]
@@ -464,10 +467,8 @@ mod tests {
 
     #[test]
     fn rejects_undeclared_event_in_pattern() {
-        let err = CompiledSpec::from_source(
-            "P(C c) { event a(c); ere: a zap @match {} }",
-        )
-        .unwrap_err();
+        let err =
+            CompiledSpec::from_source("P(C c) { event a(c); ere: a zap @match {} }").unwrap_err();
         assert!(err.message.contains("undeclared event `zap`"), "{}", err.message);
     }
 
@@ -482,9 +483,8 @@ mod tests {
         let err =
             CompiledSpec::from_source("P(C c, D c) { event a(c); ere: a @match {} }").unwrap_err();
         assert!(err.message.contains("duplicate parameter"), "{}", err.message);
-        let err =
-            CompiledSpec::from_source("P(C c) { event a(c); event a(c); ere: a @match {} }")
-                .unwrap_err();
+        let err = CompiledSpec::from_source("P(C c) { event a(c); event a(c); ere: a @match {} }")
+            .unwrap_err();
         assert!(err.message.contains("duplicate event"), "{}", err.message);
     }
 
@@ -502,10 +502,8 @@ mod tests {
 
     #[test]
     fn rejects_fsm_handler_for_missing_state() {
-        let err = CompiledSpec::from_source(
-            "P(C c) { event a(c); fsm: s0 [ a -> s0 ] @nope {} }",
-        )
-        .unwrap_err();
+        let err = CompiledSpec::from_source("P(C c) { event a(c); fsm: s0 [ a -> s0 ] @nope {} }")
+            .unwrap_err();
         assert!(err.message.contains("names no state"), "{}", err.message);
     }
 

@@ -165,9 +165,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
                 tokens.push(Token { kind: TokenKind::Str(s), span: Span::new(start, i) });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let ident = source[start..i].to_owned();

@@ -538,8 +538,8 @@ pub(crate) const HASNEXT_SRC: &str = r#"
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::HASNEXT_SRC;
+    use super::*;
 
     #[test]
     fn parses_figure_2() {

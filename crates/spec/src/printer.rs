@@ -99,9 +99,7 @@ fn print_ltl(f: &LtlAst, level: u8) -> String {
         LtlAst::Event(n, _) => (n.clone(), 4),
         LtlAst::True(_) => ("true".to_owned(), 4),
         LtlAst::False(_) => ("false".to_owned(), 4),
-        LtlAst::Implies(a, b) => {
-            (format!("{} => {}", print_ltl(a, 1), print_ltl(b, 0)), 0)
-        }
+        LtlAst::Implies(a, b) => (format!("{} => {}", print_ltl(a, 1), print_ltl(b, 0)), 0),
         LtlAst::Or(a, b) => (format!("{} || {}", print_ltl(a, 1), print_ltl(b, 2)), 1),
         LtlAst::And(a, b) => (format!("{} && {}", print_ltl(a, 2), print_ltl(b, 3)), 2),
         LtlAst::Until(a, b) => (format!("{} U {}", print_ltl(a, 4), print_ltl(b, 3)), 3),
@@ -223,8 +221,8 @@ mod tests {
         for src in sources {
             let mut first = parse(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
             let printed = print(&first);
-            let mut second =
-                parse(&printed).unwrap_or_else(|e| panic!("{}\n---\n{printed}", e.render(&printed)));
+            let mut second = parse(&printed)
+                .unwrap_or_else(|e| panic!("{}\n---\n{printed}", e.render(&printed)));
             strip_spans(&mut first);
             strip_spans(&mut second);
             assert_eq!(first, second, "round-trip failed for:\n{printed}");

@@ -2,6 +2,11 @@
 //! compiler must never panic — every input either compiles or produces a
 //! spanned diagnostic — and diagnostics must point inside the source.
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use rv_spec::{parse, CompiledSpec};
 

@@ -151,10 +151,7 @@ impl TraceMatch {
     /// Estimated bytes held by the disjunct sets (Fig. 9B metric).
     #[must_use]
     pub fn estimated_bytes(&self) -> usize {
-        self.states
-            .iter()
-            .map(|s| s.len() * std::mem::size_of::<Disjunct>())
-            .sum::<usize>()
+        self.states.iter().map(|s| s.len() * std::mem::size_of::<Disjunct>()).sum::<usize>()
             + self.states.len() * std::mem::size_of::<Vec<Disjunct>>()
     }
 
@@ -208,11 +205,7 @@ impl TraceMatch {
                 }
                 if d.binding.compatible(binding) {
                     if let Some(join) = d.binding.lub(binding) {
-                        staged.push((
-                            target,
-                            Disjunct { binding: join },
-                            Some(d.binding.domain()),
-                        ));
+                        staged.push((target, Disjunct { binding: join }, Some(d.binding.domain())));
                     }
                 }
                 idx += 1;
@@ -301,10 +294,7 @@ impl TraceMatch {
         let mut sub = bits;
         loop {
             let s = ParamSet(sub);
-            if !s.is_empty()
-                && !s.is_subset(covered)
-                && self.seen.contains(&target.restrict(s))
-            {
+            if !s.is_empty() && !s.is_subset(covered) && self.seen.contains(&target.restrict(s)) {
                 return false;
             }
             if sub == 0 {
@@ -365,11 +355,7 @@ mod tests {
         let def = EventDef::new(
             &alphabet,
             &["c", "i"],
-            vec![
-                ParamSet::singleton(C).with(I),
-                ParamSet::singleton(C),
-                ParamSet::singleton(I),
-            ],
+            vec![ParamSet::singleton(C).with(I), ParamSet::singleton(C), ParamSet::singleton(I)],
         );
         (TraceMatch::new(dfa, def, GoalSet::MATCH), alphabet)
     }

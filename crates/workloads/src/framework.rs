@@ -147,11 +147,7 @@ impl SimMap {
         let coll = heap.alloc(classes.collection);
         heap.add_edge(coll, self.id); // view → map
         sink.emit(heap, &SimEvent::CreateMapColl { map: self.id, coll });
-        SimCollection {
-            id: coll,
-            synchronized: self.synchronized,
-            backing_map: Some(self.id),
-        }
+        SimCollection { id: coll, synchronized: self.synchronized, backing_map: Some(self.id) }
     }
 
     /// Structurally updates the map.

@@ -31,8 +31,10 @@
 pub mod events;
 pub mod framework;
 pub mod profile;
+pub mod rng;
 pub mod runner;
 
 pub use crate::events::{project, CountingSink, EventSink, NullSink, ObjList, SimEvent};
 pub use crate::profile::Profile;
+pub use crate::rng::SmallRng;
 pub use crate::runner::{run, WorkloadReport};

@@ -1,0 +1,113 @@
+//! A small, dependency-free pseudo-random number generator.
+//!
+//! The workload generators need reproducible randomness, not
+//! cryptographic quality; this is a splitmix64-seeded xorshift64*
+//! generator, the same construction the runner's busy-work loop already
+//! uses. Keeping it in-repo lets the default build run fully offline
+//! (no crates.io `rand`).
+
+/// A deterministic 64-bit PRNG (xorshift64* over a splitmix64-seeded
+/// state).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator; equal seeds yield equal streams.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        // One splitmix64 round decorrelates small consecutive seeds and
+        // guarantees a non-zero xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SmallRng { state: z | 1 }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw with success probability `p` (clamped to [0, 1]).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Multiply-shift rejection-free mapping; bias is ≤ n/2^64,
+        // irrelevant for workload shaping.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.random_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn range_covers_all_buckets() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let i = rng.random_range(5);
+            assert!(i < 5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

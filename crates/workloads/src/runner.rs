@@ -9,13 +9,12 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rv_heap::{Heap, HeapConfig, HeapStats, ObjId};
 
 use crate::events::{EventSink, SimEvent};
 use crate::framework::{Classes, SimCollection, SimMap};
 use crate::profile::Profile;
+use crate::rng::SmallRng;
 
 /// Summary of one workload run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +36,7 @@ pub struct WorkloadReport {
 pub fn run<S: EventSink>(profile: &Profile, scale: f64, sink: &mut S) -> WorkloadReport {
     let mut heap = Heap::new(HeapConfig::auto(profile.gc_period));
     let classes = Classes::register(&mut heap);
-    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut rng = SmallRng::seed_from_u64(profile.seed);
     let rounds = ((f64::from(profile.rounds) * scale).ceil() as u32).max(1);
     let mut work = Work { acc: profile.seed, per_op: profile.work_per_op };
 
@@ -67,14 +66,21 @@ pub fn run<S: EventSink>(profile: &Profile, scale: f64, sink: &mut S) -> Workloa
 
         for _ in 0..profile.colls_per_round {
             run_collection_lifecycle(
-                profile, round, &mut heap, &classes, &mut rng, sink, &mut linger, &mut work,
+                profile,
+                round,
+                &mut heap,
+                &classes,
+                &mut rng,
+                sink,
+                &mut linger,
+                &mut work,
             );
         }
         // Re-iterate hot lingering collections: their monitor sets keep
         // receiving traffic long after earlier iterators died.
         if !linger.is_empty() {
             for _ in 0..profile.reiterations_per_round {
-                let idx = rng.random_range(0..linger.len());
+                let idx = rng.random_range(linger.len());
                 let coll = linger[idx].1;
                 let frame = heap.enter_frame();
                 run_iteration(profile, &mut heap, &classes, &mut rng, sink, &coll, &mut work);
@@ -133,7 +139,7 @@ fn run_collection_lifecycle<S: EventSink>(
     round: u32,
     heap: &mut Heap,
     classes: &Classes,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     sink: &mut S,
     linger: &mut VecDeque<(u32, SimCollection)>,
     work: &mut Work,
@@ -182,7 +188,7 @@ fn run_iteration<S: EventSink>(
     profile: &Profile,
     heap: &mut Heap,
     classes: &Classes,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     sink: &mut S,
     coll: &SimCollection,
     work: &mut Work,
@@ -219,7 +225,7 @@ fn run_iteration<S: EventSink>(
 fn run_lock_activity<S: EventSink>(
     profile: &Profile,
     heap: &mut Heap,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     sink: &mut S,
     lock: ObjId,
     threads: &[ObjId],
@@ -247,7 +253,7 @@ fn run_misc_activity<S: EventSink>(
     profile: &Profile,
     heap: &mut Heap,
     classes: &Classes,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     sink: &mut S,
     work: &mut Work,
 ) {
@@ -290,14 +296,14 @@ fn run_misc_activity<S: EventSink>(
 
 /// Samples a count with mean `avg`: a uniform factor in `[0.5, 1.5)` for
 /// larger means, Bernoulli for fractional ones.
-fn sample(rng: &mut StdRng, avg: f64) -> u32 {
+fn sample(rng: &mut SmallRng, avg: f64) -> u32 {
     if avg <= 0.0 {
         return 0;
     }
     if avg < 1.0 {
         return u32::from(rng.random_bool(avg));
     }
-    let factor = 0.5 + rng.random::<f64>();
+    let factor = 0.5 + rng.random_f64();
     (avg * factor).round() as u32
 }
 
@@ -386,12 +392,7 @@ mod tests {
         let mut sink = ByKind::default();
         run(&Profile::sunflow(), 1.0, &mut sink);
         assert!(sink.next > 100);
-        assert!(
-            sink.create < sink.next / 20,
-            "creates {} vs nexts {}",
-            sink.create,
-            sink.next
-        );
+        assert!(sink.create < sink.next / 20, "creates {} vs nexts {}", sink.create, sink.next);
     }
 
     #[test]

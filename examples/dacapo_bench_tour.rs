@@ -37,11 +37,9 @@ fn main() {
             let start = Instant::now();
             let _ = rv_monitor::workloads::run(&profile, scale, &mut sink);
             let elapsed = start.elapsed();
-            let overhead =
-                ((elapsed.as_secs_f64() / bare.as_secs_f64().max(1e-9)) - 1.0) * 100.0;
-            let (m, fm, cm) = sink.engine_stats()[0]
-                .1
-                .map_or(("-".into(), "-".into(), "-".into()), |s| {
+            let overhead = ((elapsed.as_secs_f64() / bare.as_secs_f64().max(1e-9)) - 1.0) * 100.0;
+            let (m, fm, cm) =
+                sink.engine_stats()[0].1.map_or(("-".into(), "-".into(), "-".into()), |s| {
                     (
                         s.monitors_created.to_string(),
                         s.monitors_flagged.to_string(),

@@ -8,7 +8,16 @@
 //! rvmon prune   <spec.rv> <ev1,ev2,…>
 //!                           instrumentation plan, given the events the
 //!                           target program can emit
+//! rvmon trace   <spec.rv> <events-file>
+//!                           replay a textual event trace through the
+//!                           monitoring engine, dumping JSONL lifecycle
+//!                           records and a JSON metrics snapshot
 //! ```
+//!
+//! The `trace` event file is line-oriented: `event obj…` dispatches an
+//! event (objects are named and allocated on first mention), `!free obj`
+//! lets an object become garbage, `!gc` runs a heap collection, `!sweep`
+//! runs a monitor GC sweep; `#` starts a comment.
 //!
 //! Exit status: 0 on success, 1 on diagnostics, 2 on usage/IO errors.
 
@@ -23,7 +32,10 @@ fn main() -> ExitCode {
         [cmd, path] => (cmd.as_str(), path.as_str(), None),
         [cmd, path, extra] => (cmd.as_str(), path.as_str(), Some(extra.as_str())),
         _ => {
-            eprintln!("usage: rvmon <check|analyze|fmt|dfa|prune> <spec-file> [emitted-events]");
+            eprintln!(
+                "usage: rvmon <check|analyze|fmt|dfa|prune|trace> <spec-file> \
+                 [emitted-events|events-file]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -40,11 +52,136 @@ fn main() -> ExitCode {
         "fmt" => fmt(path, &source),
         "dfa" => dfa(path, &source),
         "prune" => prune(path, &source, extra),
+        "trace" => trace(path, &source, extra),
         other => {
             eprintln!("rvmon: unknown command `{other}`");
             ExitCode::from(2)
         }
     }
+}
+
+/// Replays a textual event trace against the compiled spec with a
+/// `TraceRecorder` and a `MetricsRegistry` attached to every property
+/// block, then dumps what they observed.
+fn trace(path: &str, source: &str, events_path: Option<&str>) -> ExitCode {
+    use rv_monitor::core::{
+        Binding, EngineConfig, MetricsRegistry, PropertyMonitor, TraceRecorder,
+    };
+    use rv_monitor::heap::{Heap, HeapConfig};
+
+    let Some(events_path) = events_path else {
+        eprintln!("usage: rvmon trace <spec-file> <events-file>");
+        return ExitCode::from(2);
+    };
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let events = match std::fs::read_to_string(events_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {events_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let alphabet = spec.alphabet.clone();
+    let event_def = spec.event_def.clone();
+    let event_params = spec.event_params.clone();
+    let config = EngineConfig::default();
+    let mut monitor = PropertyMonitor::with_observers(spec, &config, |_| {
+        (
+            TraceRecorder::new(65_536).with_names(alphabet.clone(), event_def.clone()),
+            MetricsRegistry::new(),
+        )
+    });
+
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Obj");
+    let mut objects: std::collections::HashMap<String, rv_monitor::heap::ObjId> =
+        std::collections::HashMap::new();
+    for (lineno, raw) in events.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().expect("non-empty line");
+        let report_err = |msg: String| {
+            eprintln!("{events_path}:{}: error: {msg}", lineno + 1);
+            ExitCode::from(1)
+        };
+        match head {
+            "!gc" => {
+                heap.collect();
+            }
+            "!sweep" => {
+                for engine in monitor.engines_mut() {
+                    engine.full_sweep(&heap);
+                }
+            }
+            "!free" => {
+                for name in words {
+                    match objects.get(name) {
+                        Some(&obj) => heap.unpin(obj),
+                        None => return report_err(format!("unknown object `{name}`")),
+                    }
+                }
+            }
+            event_name => {
+                let Some(event) = alphabet.lookup(event_name) else {
+                    return report_err(format!(
+                        "`{event_name}` is not an event of this spec \
+                         (directives are !free, !gc, !sweep)"
+                    ));
+                };
+                let params = &event_params[event.as_usize()];
+                let names: Vec<&str> = words.collect();
+                if names.len() != params.len() {
+                    return report_err(format!(
+                        "event `{event_name}` takes {} object(s), got {}",
+                        params.len(),
+                        names.len()
+                    ));
+                }
+                let pairs: Vec<_> = params
+                    .iter()
+                    .zip(&names)
+                    .map(|(&p, &name)| {
+                        let obj = *objects.entry(name.to_owned()).or_insert_with(|| {
+                            // Allocate in a throwaway frame so the pin is
+                            // the object's only root: `!free` then `!gc`
+                            // really reclaims it.
+                            let frame = heap.enter_frame();
+                            let o = heap.alloc(class);
+                            heap.pin(o);
+                            heap.exit_frame(frame);
+                            o
+                        });
+                        (p, obj)
+                    })
+                    .collect();
+                monitor.process(&heap, event, Binding::from_pairs(&pairs));
+            }
+        }
+    }
+    // Final sweep so CM reflects everything the engines let go of.
+    monitor.finish(&heap);
+
+    let heap_stats = heap.stats();
+    for (i, engine) in monitor.engines_mut().iter_mut().enumerate() {
+        let stats = engine.stats();
+        let (recorder, metrics) = engine.observer_mut();
+        println!(
+            "# block {} trace ({} records, {} dropped)",
+            i + 1,
+            recorder.records().len(),
+            recorder.dropped()
+        );
+        print!("{}", recorder.dump_jsonl());
+        println!("# block {} metrics", i + 1);
+        println!("{}", metrics.snapshot_json_with(Some(&stats), Some(&heap_stats)));
+    }
+    ExitCode::SUCCESS
 }
 
 /// The §6 instrumentation-pruning analysis: which probes are needed given
@@ -77,16 +214,9 @@ fn prune(path: &str, source: &str, emitted: Option<&str>) -> ExitCode {
         };
         let plan = rv_monitor::logic::instrument::plan(d, prop.goal, set);
         if !plan.can_trigger {
-            println!(
-                "block {}: can never trigger — remove ALL instrumentation for it",
-                i + 1
-            );
+            println!("block {}: can never trigger — remove ALL instrumentation for it", i + 1);
         } else {
-            println!(
-                "block {}: instrument {}",
-                i + 1,
-                plan.required.display(&spec.alphabet)
-            );
+            println!("block {}: instrument {}", i + 1, plan.required.display(&spec.alphabet));
         }
     }
     ExitCode::SUCCESS
@@ -157,7 +287,11 @@ fn analyze(path: &str, source: &str) -> ExitCode {
                         .iter()
                         .map(|p| format!("live_{}", spec.event_def.param_name(p)))
                         .collect();
-                    if names.is_empty() { "true".into() } else { names.join(" ∧ ") }
+                    if names.is_empty() {
+                        "true".into()
+                    } else {
+                        names.join(" ∧ ")
+                    }
                 })
                 .collect();
             println!(

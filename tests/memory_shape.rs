@@ -34,10 +34,7 @@ fn rv_peak_memory_at_most_javamops_where_lifetimes_skew() {
     for bench in ["bloat", "pmd"] {
         let mop = peak_kib(System::Mop, bench, Property::UnsafeIter);
         let rv = peak_kib(System::Rv, bench, Property::UnsafeIter);
-        assert!(
-            rv <= mop * 1.05,
-            "{bench}: RV {rv:.1} KiB should not exceed MOP {mop:.1} KiB"
-        );
+        assert!(rv <= mop * 1.05, "{bench}: RV {rv:.1} KiB should not exceed MOP {mop:.1} KiB");
     }
 }
 

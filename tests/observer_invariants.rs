@@ -1,0 +1,323 @@
+//! Observer/stats parity: every lifecycle callback delivered through
+//! [`EngineObserver`] must agree with the engine's own [`EngineStats`]
+//! counters — the observability layer is a *view* of the pipeline, never a
+//! second bookkeeping source that can drift.
+//!
+//! Each catalog property is driven through a deterministic workload that
+//! exercises creation, flagging (object death + GC), collection, sweeps
+//! and triggers, under every GC policy.
+
+use std::collections::HashMap;
+
+use rv_monitor::core::{
+    Binding, EngineConfig, EngineObserver, EngineStats, FlagCause, GcPolicy, MetricsRegistry,
+    MonitorId, PropertyMonitor, TraceRecorder,
+};
+use rv_monitor::heap::{Heap, HeapConfig, ObjId};
+use rv_monitor::logic::{EventId, ParamSet, Verdict};
+use rv_monitor::props::{compiled, Property};
+use rv_monitor::spec::CompiledSpec;
+
+/// Counts every callback; the plainest possible observer.
+#[derive(Clone, Copy, Debug, Default)]
+struct Counting {
+    events: u64,
+    created: u64,
+    flagged: u64,
+    collected: u64,
+    dead_keys: u64,
+    triggers: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    sweeps_started: u64,
+    sweeps_finished: u64,
+    sweep_flagged: u64,
+    sweep_collected: u64,
+}
+
+impl EngineObserver for Counting {
+    fn event_dispatched(&mut self, _event: EventId, _binding: &Binding, _touched: usize) {
+        self.events += 1;
+    }
+    fn monitor_created(&mut self, _id: MonitorId, _binding: &Binding) {
+        self.created += 1;
+    }
+    fn monitor_flagged(
+        &mut self,
+        _id: MonitorId,
+        _binding: &Binding,
+        _last_event: EventId,
+        _dead: ParamSet,
+        _cause: FlagCause,
+    ) {
+        self.flagged += 1;
+    }
+    fn monitor_collected(&mut self, _id: MonitorId) {
+        self.collected += 1;
+    }
+    fn dead_key_discovered(&mut self, _key: &Binding) {
+        self.dead_keys += 1;
+    }
+    fn sweep_started(&mut self) {
+        self.sweeps_started += 1;
+    }
+    fn sweep_finished(&mut self, flagged: u64, collected: u64) {
+        self.sweeps_finished += 1;
+        self.sweep_flagged += flagged;
+        self.sweep_collected += collected;
+    }
+    fn trigger_fired(&mut self, _step: usize, _binding: &Binding, _verdict: Verdict) {
+        self.triggers += 1;
+    }
+    fn cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+    fn cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+}
+
+/// Drives `spec` through a deterministic workload with observers built by
+/// `make`, returning the per-block observers paired with their engines'
+/// stats.
+///
+/// The workload allocates a fresh object per spec parameter each round,
+/// replays the whole alphabet over those objects (multi-round, so lookup
+/// caches both hit and miss), then drops the objects, collects the heap
+/// and sweeps — exercising creation, flagging, collection, dead keys and
+/// triggers.
+fn drive<O: EngineObserver>(
+    spec: CompiledSpec,
+    config: &EngineConfig,
+    make: impl FnMut(usize) -> O,
+) -> Vec<(O, EngineStats)>
+where
+    O: std::fmt::Debug + Default,
+{
+    let event_params = spec.event_params.clone();
+    let n_params = spec.param_classes.len();
+    let n_events = spec.alphabet.len();
+    let mut monitor = PropertyMonitor::with_observers(spec, config, make);
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Obj");
+
+    for round in 0..6 {
+        let frame = heap.enter_frame();
+        let objs: Vec<ObjId> = (0..n_params.max(1)).map(|_| heap.alloc(cls)).collect();
+        // Two passes over the alphabet per round: the second replays the
+        // same parameter instances, so consecutive same-binding events can
+        // serve from the lookup cache.
+        for _pass in 0..2 {
+            for e in 0..n_events {
+                let event = EventId(u16::try_from(e).unwrap());
+                let pairs: Vec<_> =
+                    event_params[e].iter().map(|&p| (p, objs[p.0 as usize])).collect();
+                monitor.process(&heap, event, Binding::from_pairs(&pairs));
+            }
+        }
+        heap.exit_frame(frame);
+        if round % 2 == 1 {
+            heap.collect();
+            for engine in monitor.engines_mut() {
+                engine.full_sweep(&heap);
+            }
+        }
+    }
+    heap.collect();
+    monitor.finish(&heap);
+
+    monitor
+        .engines_mut()
+        .iter_mut()
+        .map(|e| {
+            let stats = e.stats();
+            (std::mem::take(&mut *e.observer_mut()), stats)
+        })
+        .collect()
+}
+
+/// Every catalog property, under every GC policy: observer callback counts
+/// must equal the engine's own counters, and the lifecycle identity
+/// `live == created − collected` must hold.
+#[test]
+fn observer_counts_match_engine_stats_for_all_catalog_properties() {
+    for p in Property::ALL {
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            let spec = compiled(p).unwrap();
+            let config = EngineConfig { policy, record_triggers: true, ..EngineConfig::default() };
+            for (block, (obs, stats)) in
+                drive(spec, &config, |_| Counting::default()).into_iter().enumerate()
+            {
+                let ctx = format!("{p:?} block {block} policy {policy:?}");
+                assert_eq!(obs.events, stats.events, "{ctx}: events");
+                assert_eq!(obs.created, stats.monitors_created, "{ctx}: created");
+                assert_eq!(obs.flagged, stats.monitors_flagged, "{ctx}: flagged");
+                assert_eq!(obs.collected, stats.monitors_collected, "{ctx}: collected");
+                assert_eq!(obs.dead_keys, stats.dead_keys, "{ctx}: dead keys");
+                assert_eq!(obs.triggers, stats.triggers, "{ctx}: triggers");
+                assert_eq!(obs.cache_hits, stats.cache_hits, "{ctx}: cache hits");
+                assert_eq!(
+                    obs.cache_hits + obs.cache_misses,
+                    stats.events,
+                    "{ctx}: every dispatch is a hit or a miss"
+                );
+                assert_eq!(
+                    stats.live_monitors as u64,
+                    stats.monitors_created - stats.monitors_collected,
+                    "{ctx}: live == created − collected"
+                );
+                assert!(
+                    stats.monitors_flagged <= stats.monitors_created,
+                    "{ctx}: flagged ≤ created"
+                );
+                assert!(
+                    stats.monitors_collected <= stats.monitors_created,
+                    "{ctx}: collected ≤ created"
+                );
+                assert!(stats.peak_live_monitors >= stats.live_monitors, "{ctx}: peak ≥ live");
+                assert_eq!(obs.sweeps_started, obs.sweeps_finished, "{ctx}: sweeps balanced");
+                assert!(obs.sweeps_started >= 1, "{ctx}: finish() sweeps at least once");
+                assert!(
+                    obs.sweep_flagged <= obs.flagged,
+                    "{ctx}: sweep deltas are a subset of all flags"
+                );
+            }
+        }
+    }
+}
+
+/// The workload must actually exercise the interesting paths somewhere in
+/// the catalog — a parity test over all-zero counters proves nothing.
+#[test]
+fn workload_reaches_creation_flagging_collection_and_triggers() {
+    let mut total = Counting::default();
+    for p in Property::ALL {
+        let spec = compiled(p).unwrap();
+        let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+        for (obs, _) in drive(spec, &config, |_| Counting::default()) {
+            total.events += obs.events;
+            total.created += obs.created;
+            total.flagged += obs.flagged;
+            total.collected += obs.collected;
+            total.dead_keys += obs.dead_keys;
+            total.triggers += obs.triggers;
+            total.cache_hits += obs.cache_hits;
+        }
+    }
+    assert!(total.events > 0, "events dispatched");
+    assert!(total.created > 0, "monitors created");
+    assert!(total.flagged > 0, "monitors flagged");
+    assert!(total.collected > 0, "monitors collected");
+    assert!(total.dead_keys > 0, "dead keys discovered");
+    assert!(total.triggers > 0, "triggers fired");
+    assert!(total.cache_hits > 0, "lookup cache exercised");
+}
+
+/// [`MetricsRegistry`] is itself an observer; its counters must show the
+/// same parity as the hand-written counting observer, and its JSON
+/// snapshot must embed the engine stats verbatim.
+#[test]
+fn metrics_registry_snapshot_agrees_with_engine_stats() {
+    let spec = compiled(Property::UnsafeIter).unwrap();
+    let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+    for (obs, stats) in drive(spec, &config, |_| MetricsRegistry::new()) {
+        assert_eq!(obs.events(), stats.events);
+        assert_eq!(obs.created(), stats.monitors_created);
+        assert_eq!(obs.flagged(), stats.monitors_flagged);
+        assert_eq!(obs.collected(), stats.monitors_collected);
+        assert_eq!(obs.dead_keys(), stats.dead_keys);
+        assert_eq!(obs.triggers(), stats.triggers);
+        // Monitors collected before the final sweep have recorded
+        // lifetimes; none may outlive the bookkeeping.
+        assert_eq!(obs.lifetime_events().count(), stats.monitors_collected);
+        let json = obs.snapshot_json_with(Some(&stats), None);
+        assert!(json.contains(&format!("\"engine\":{}", stats.to_json())));
+        assert!(json.contains(&format!("\"monitors_created\":{}", stats.monitors_created)));
+    }
+}
+
+/// A composed `(TraceRecorder, MetricsRegistry)` observer — the pair the
+/// `rvmon trace` CLI installs — delivers every callback to both halves.
+#[test]
+fn composed_observer_feeds_both_halves() {
+    let spec = compiled(Property::HasNext).unwrap();
+    let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+    let runs = drive(spec, &config, |_| (TraceRecorder::new(1 << 16), MetricsRegistry::new()));
+    for ((recorder, metrics), stats) in runs {
+        assert_eq!(metrics.events(), stats.events);
+        assert_eq!(recorder.dropped(), 0, "capacity was ample");
+        // The ring holds one record per event/created/flagged/collected/
+        // dead-key/trigger callback plus two per sweep.
+        let expected = stats.events
+            + stats.monitors_created
+            + stats.monitors_flagged
+            + stats.monitors_collected
+            + stats.dead_keys
+            + stats.triggers
+            + 2 * metrics.sweeps();
+        assert_eq!(recorder.records().len() as u64, expected);
+        // Every record renders as a JSON object on its own line.
+        for line in recorder.dump_jsonl().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad JSONL line: {line}");
+        }
+    }
+}
+
+/// The trace ring buffer is bounded: overflow drops the *oldest* records
+/// and accounts for them, rather than growing or silently truncating.
+#[test]
+fn trace_recorder_ring_drops_oldest_and_counts_them() {
+    let spec = compiled(Property::UnsafeIter).unwrap();
+    let config = EngineConfig::default();
+    let runs = drive(spec, &config, |_| TraceRecorder::new(8));
+    for (recorder, _) in runs {
+        let records = recorder.records();
+        assert!(records.len() <= 8);
+        assert!(recorder.dropped() > 0, "tiny ring must overflow under the workload");
+        // Sequence numbers stay contiguous and oldest-first after wrap.
+        for w in records.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1, "records out of order");
+        }
+        assert_eq!(records[0].seq, recorder.dropped(), "dropped prefix is accounted");
+    }
+}
+
+/// `full_sweep` must be idempotent at a quiescent point, and the observer
+/// must see the second sweep as a no-op (0 newly flagged / collected).
+#[test]
+fn quiescent_sweep_reports_zero_deltas() {
+    let spec = compiled(Property::UnsafeIter).unwrap();
+    let event_params = spec.event_params.clone();
+    let mut monitor =
+        PropertyMonitor::with_observers(spec, &EngineConfig::default(), |_| Counting::default());
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Obj");
+    let frame = heap.enter_frame();
+    let objs: Vec<ObjId> = (0..2).map(|_| heap.alloc(cls)).collect();
+    for e in 0..3u16 {
+        let pairs: Vec<_> =
+            event_params[e as usize].iter().map(|&p| (p, objs[p.0 as usize])).collect();
+        monitor.process(&heap, EventId(e), Binding::from_pairs(&pairs));
+    }
+    heap.exit_frame(frame);
+    heap.collect();
+    monitor.finish(&heap);
+    let after_finish: HashMap<usize, Counting> =
+        monitor.engines_mut().iter_mut().enumerate().map(|(i, e)| (i, *e.observer_mut())).collect();
+    // Nothing changed since finish(): a second sweep observes no deltas.
+    for engine in monitor.engines_mut() {
+        engine.full_sweep(&heap);
+    }
+    for (i, engine) in monitor.engines_mut().iter_mut().enumerate() {
+        let before = after_finish[&i];
+        let now = *engine.observer_mut();
+        assert_eq!(now.sweeps_started, before.sweeps_started + 1);
+        assert_eq!(now.sweep_flagged, before.sweep_flagged, "block {i}: nothing newly flagged");
+        assert_eq!(
+            now.sweep_collected, before.sweep_collected,
+            "block {i}: nothing newly collected"
+        );
+        assert_eq!(now.flagged, before.flagged, "block {i}");
+        assert_eq!(now.collected, before.collected, "block {i}");
+    }
+}

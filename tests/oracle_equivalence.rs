@@ -7,10 +7,13 @@
 //! creation discipline (no spurious or missing monitors), and GC
 //! soundness (Theorem 1: collected monitors could never have triggered).
 
+// Requires the crates.io `proptest` crate: build with
+// `--features external-deps` in a networked environment. The offline
+// default build compiles this file to nothing.
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
-use rv_monitor::core::{
-    monitor_trace, Binding, Engine, EngineConfig, GcPolicy, Trigger,
-};
+use rv_monitor::core::{monitor_trace, Binding, Engine, EngineConfig, GcPolicy, Trigger};
 use rv_monitor::heap::{Heap, HeapConfig, ObjId};
 use rv_monitor::logic::{AnyFormalism, EventId, ParamId};
 use rv_monitor::props::{compiled, Property};
@@ -64,11 +67,8 @@ fn replay(
                 let params = &spec.event_params[e.as_usize()];
                 // Bind each parameter to a live pool object; skip the
                 // event if too few are alive.
-                let live: Vec<ObjId> = pool
-                    .iter()
-                    .zip(alive.iter())
-                    .filter_map(|(&o, &a)| a.then_some(o))
-                    .collect();
+                let live: Vec<ObjId> =
+                    pool.iter().zip(alive.iter()).filter_map(|(&o, &a)| a.then_some(o)).collect();
                 if live.is_empty() {
                     continue;
                 }
@@ -274,11 +274,8 @@ fn replay_tm(
             Step::Emit { event, picks } => {
                 let e = EventId((event % spec.alphabet.len()) as u16);
                 let params = &spec.event_params[e.as_usize()];
-                let live: Vec<ObjId> = pool
-                    .iter()
-                    .zip(alive.iter())
-                    .filter_map(|(&o, &a)| a.then_some(o))
-                    .collect();
+                let live: Vec<ObjId> =
+                    pool.iter().zip(alive.iter()).filter_map(|(&o, &a)| a.then_some(o)).collect();
                 if live.is_empty() {
                     continue;
                 }

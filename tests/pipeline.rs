@@ -45,9 +45,7 @@ fn custom_spec_runs_over_a_workload() {
         "#,
     )
     .expect("custom spec compiles");
-    let mut sink = CustomSpecSink {
-        monitor: PropertyMonitor::new(spec, &EngineConfig::default()),
-    };
+    let mut sink = CustomSpecSink { monitor: PropertyMonitor::new(spec, &EngineConfig::default()) };
     let _ = rv_monitor::workloads::run(&Profile::pmd(), 0.5, &mut sink);
     assert!(sink.monitor.triggers() > 0, "plenty of iterators drain fully");
 }
@@ -61,8 +59,7 @@ fn every_catalog_property_survives_every_benchmark() {
             let _ = rv_monitor::workloads::run(&profile, 0.1, &mut sink);
             let stats = sink.engine_stats()[0].1.expect("engine stats");
             assert!(
-                stats.live_monitors as u64 + stats.monitors_collected
-                    == stats.monitors_created,
+                stats.live_monitors as u64 + stats.monitors_collected == stats.monitors_created,
                 "{}/{property:?}: inconsistent counters {stats}",
                 profile.name
             );
