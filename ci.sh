@@ -18,4 +18,19 @@ cargo build --release
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== cargo build --workspace --no-default-features (offline honesty)"
+cargo build --workspace --no-default-features
+
+# Chaos smoke: seeded fault injection must leave verdicts oracle-equal.
+# Fixed seeds keep the stage deterministic; a failure prints the exact
+# `rvmon chaos ... --seed N` line that reproduces it locally.
+echo "== chaos smoke (fixed seeds, release)"
+for seed in 7 41; do
+    cargo run -q --release --bin rvmon -- chaos specs/unsafe_iter.rv \
+        --seed "$seed" --events 256 >/dev/null
+    cargo run -q --release --bin rvmon -- chaos specs/unsafe_sync_map.rv \
+        --seed "$seed" --events 256 >/dev/null
+done
+cargo run -q --release -p rv-bench --bin fig10 -- --scale 0.05 --chaos-seed 7 >/dev/null
+
 echo "CI OK"

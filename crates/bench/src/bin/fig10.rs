@@ -46,4 +46,25 @@ fn main() {
     println!("E events, M monitors created, FM flagged unnecessary, CM collected");
     println!("(HasNext runs both its FSM and LTL blocks; counts aggregate the two)");
     report.write_if_requested(args.stats_json.as_deref());
+
+    if let Some(seed) = args.chaos_seed {
+        println!();
+        println!("chaos differential (seed {seed}, every block x every GC policy):");
+        let mut failures = Vec::new();
+        for property in Property::EVALUATED {
+            let f = rv_bench::chaos_check(property, seed, 256);
+            println!(
+                "  {:<28} {}",
+                property.paper_name(),
+                if f.is_empty() { "OK" } else { "FAIL" }
+            );
+            failures.extend(f);
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("chaos: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -103,6 +103,23 @@ impl MonitorSink {
     /// (Tracematches is regex-only — the paper's structural limitation).
     #[must_use]
     pub fn new(system: System, properties: &[Property]) -> MonitorSink {
+        MonitorSink::with_engine_config(system, properties, EngineConfig::default())
+    }
+
+    /// Like [`MonitorSink::new`], but engine-backed systems inherit `base`
+    /// (budgets, degradation ceiling, expunge window, …). The GC policy is
+    /// still forced per system — RV is coenable-lazy, MOP all-params-dead
+    /// — so only the other knobs of `base` matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a CFG property is requested under [`System::Tm`].
+    #[must_use]
+    pub fn with_engine_config(
+        system: System,
+        properties: &[Property],
+        base: EngineConfig,
+    ) -> MonitorSink {
         let dispatches = properties
             .iter()
             .map(|&property| {
@@ -115,7 +132,7 @@ impl MonitorSink {
                             } else {
                                 GcPolicy::AllParamsDead
                             },
-                            ..EngineConfig::default()
+                            ..base.clone()
                         };
                         Attached::Engine(Box::new(PropertyMonitor::new(spec.clone(), &config)))
                     }
@@ -329,6 +346,35 @@ pub fn fmt_count(n: u64) -> String {
     }
 }
 
+/// Runs the seed-reproducible chaos differential for `property`: every
+/// property block under every GC policy over a fault-injecting heap, the
+/// engine's verdicts checked against the reference oracle and
+/// [`rv_core::Engine::check_invariants`] validated after every injected
+/// fault. Returns human-readable descriptions of the failing runs (empty
+/// means every run agreed).
+#[must_use]
+pub fn chaos_check(property: Property, seed: u64, events: usize) -> Vec<String> {
+    let spec = rv_props::compiled(property).expect("bundled properties compile");
+    let mut failures = Vec::new();
+    for block in 0..spec.properties.len() {
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            match rv_core::run_block(&spec, block, policy, seed, events) {
+                Ok(out) if out.verdicts_match() => {}
+                Ok(out) => failures.push(format!(
+                    "{property:?} block {} {policy:?} seed {seed}: \
+                     engine {:?} vs oracle {:?}",
+                    block + 1,
+                    out.engine_triggers,
+                    out.oracle_triggers
+                )),
+                Err(e) => failures
+                    .push(format!("{property:?} block {} {policy:?} seed {seed}: {e}", block + 1)),
+            }
+        }
+    }
+    failures
+}
+
 /// Parses `--scale X` / `--deadline SECS` style CLI arguments shared by
 /// the harness binaries.
 #[derive(Clone, Debug)]
@@ -341,11 +387,14 @@ pub struct HarnessArgs {
     pub reps: u32,
     /// Where to write a machine-readable JSON report (`--stats-json`).
     pub stats_json: Option<String>,
+    /// When set, the harness also runs the deterministic fault-injection
+    /// differential with this seed (`--chaos-seed`).
+    pub chaos_seed: Option<u64>,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: 1.0, deadline_secs: 30, reps: 3, stats_json: None }
+        HarnessArgs { scale: 1.0, deadline_secs: 30, reps: 3, stats_json: None, chaos_seed: None }
     }
 }
 
@@ -369,9 +418,13 @@ impl HarnessArgs {
                 }
                 "--reps" => out.reps = take("--reps").parse().expect("numeric --reps"),
                 "--stats-json" => out.stats_json = Some(take("--stats-json")),
+                "--chaos-seed" => {
+                    out.chaos_seed =
+                        Some(take("--chaos-seed").parse().expect("numeric --chaos-seed"));
+                }
                 other => panic!(
                     "unknown argument `{other}` \
-                     (known: --scale, --deadline, --reps, --stats-json)"
+                     (known: --scale, --deadline, --reps, --stats-json, --chaos-seed)"
                 ),
             }
         }
@@ -506,6 +559,38 @@ mod tests {
             rv.live_monitors,
             mop.live_monitors
         );
+    }
+
+    #[test]
+    fn live_monitor_budget_is_honored_on_bloat() {
+        // The bloat workload keeps collections alive, so the unbudgeted
+        // engine accumulates live monitors far past any small cap. With a
+        // budget and the full degradation ladder, shedding makes the cap
+        // hard: peak live can never exceed it.
+        let cap: usize = 128;
+        let config = rv_core::EngineConfig {
+            max_live_monitors: Some(cap),
+            ..rv_core::EngineConfig::default()
+        };
+        let mut sink = MonitorSink::with_engine_config(System::Rv, &[Property::UnsafeIter], config);
+        let _ = rv_workloads::run(&Profile::bloat(), 0.25, &mut sink);
+        let stats = sink.engine_stats()[0].1.unwrap();
+        assert!(
+            stats.peak_live_monitors <= cap,
+            "budget violated: peak {} > cap {cap}",
+            stats.peak_live_monitors
+        );
+        assert!(stats.budget_trips > 0, "the cap should actually be hit: {stats}");
+        assert!(stats.shed > 0, "the ladder should reach shedding: {stats}");
+        assert!(stats.degradations > 0, "degradation transitions should be counted: {stats}");
+    }
+
+    #[test]
+    fn chaos_check_passes_for_evaluated_properties() {
+        for property in Property::EVALUATED {
+            let failures = chaos_check(property, 17, 128);
+            assert!(failures.is_empty(), "{failures:?}");
+        }
     }
 
     #[test]

@@ -29,18 +29,39 @@
 //!
 //! Independently of the policy, monitors whose verdict can never become a
 //! goal again (terminal states) are retired after reporting.
+//!
+//! # Robustness
+//!
+//! [`EngineConfig`] optionally carries resource budgets
+//! (`max_live_monitors`, `max_tracked_bytes`, `max_work_per_event`); when
+//! one trips, the engine walks the [`DegradationPolicy`] ladder — forced
+//! safepoint sweeps, then exhaustive per-event tree maintenance, then
+//! shedding new monitor creations — and steps back down once pressure
+//! clears. Internal inconsistencies surface as recoverable
+//! [`EngineError`]s via [`Engine::try_process`]; handler callbacks run
+//! under `catch_unwind`, so a panicking handler quarantines only its own
+//! monitor instance.
 
 use rv_heap::Heap;
 use rv_logic::{Aliveness, EventDef, EventId, Formalism, GoalSet, ParamSet, Verdict};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use crate::binding::Binding;
+use crate::error::EngineError;
 use crate::obs::{EngineObserver, FlagCause, NoopObserver, Phase};
 use crate::reference::Trigger;
 use crate::stats::EngineStats;
 use crate::store::{MonitorId, MonitorStore};
 use crate::trees::{Maintainer, RvMap, RvSet};
+
+/// Pressure-free events required before the engine leaves degradation.
+const DEGRADATION_COOLDOWN: u32 = 16;
+
+/// How often (in events) the tracked-bytes budget is re-measured — sizing
+/// every structure is itself O(structures), so it is amortized.
+const BYTE_CHECK_PERIOD: u64 = 32;
 
 /// The monitor garbage-collection policy (§5 compares these head to head).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -54,6 +75,62 @@ pub enum GcPolicy {
     /// coenable sets, e.g. CFG properties with a `fail` goal).
     #[default]
     CoenableLazy,
+}
+
+/// Which resource budget tripped (reported via
+/// [`EngineObserver::budget_tripped`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetKind {
+    /// [`EngineConfig::max_live_monitors`].
+    LiveMonitors,
+    /// [`EngineConfig::max_tracked_bytes`].
+    TrackedBytes,
+    /// [`EngineConfig::max_work_per_event`].
+    WorkPerEvent,
+}
+
+impl BudgetKind {
+    /// The snake_case label used in traces and snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetKind::LiveMonitors => "live_monitors",
+            BudgetKind::TrackedBytes => "tracked_bytes",
+            BudgetKind::WorkPerEvent => "work_per_event",
+        }
+    }
+}
+
+/// A rung of the graceful-degradation ladder, ordered by severity.
+///
+/// The value in [`EngineConfig::degradation`] is a *ceiling*: under
+/// sustained budget pressure the engine escalates `ForcedSweep` →
+/// `EagerCollect` → `ShedNewMonitors` but never past the ceiling, and it
+/// steps back to normal operation after a run of pressure-free events.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum DegradationPolicy {
+    /// Run a safepoint [`Engine::full_sweep`] when a budget trips.
+    ForcedSweep,
+    /// Additionally switch from lazy windowed expunging to exhaustive tree
+    /// maintenance after every event.
+    EagerCollect,
+    /// Additionally refuse monitor creations while pressure persists
+    /// (counted in [`EngineStats::shed`]), making the live-monitor budget
+    /// a hard cap.
+    #[default]
+    ShedNewMonitors,
+}
+
+impl DegradationPolicy {
+    /// The snake_case label used in traces and snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationPolicy::ForcedSweep => "forced_sweep",
+            DegradationPolicy::EagerCollect => "eager_collect",
+            DegradationPolicy::ShedNewMonitors => "shed_new_monitors",
+        }
+    }
 }
 
 /// Configuration for an [`Engine`].
@@ -76,6 +153,19 @@ pub struct EngineConfig {
     /// as orthogonal (\[6, 8, 17\]) and disables in its own evaluation; the
     /// ablation bench measures it separately.
     pub lookup_cache: bool,
+    /// Budget on live monitor instances (`None` = unbounded). With the
+    /// full degradation ladder this is a hard cap: creations are shed
+    /// rather than let the population exceed it.
+    pub max_live_monitors: Option<usize>,
+    /// Budget on [`Engine::estimated_bytes`] (`None` = unbounded; checked
+    /// every few events).
+    pub max_tracked_bytes: Option<usize>,
+    /// Budget on monitors stepped plus created per event (`None` =
+    /// unbounded).
+    pub max_work_per_event: Option<usize>,
+    /// Ceiling of the [`DegradationPolicy`] ladder: how far the engine may
+    /// escalate when a budget trips.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +176,10 @@ impl Default for EngineConfig {
             expunge_window: crate::trees::DEFAULT_EXPUNGE_WINDOW,
             minimize_aliveness: true,
             lookup_cache: true,
+            max_live_monitors: None,
+            max_tracked_bytes: None,
+            max_work_per_event: None,
+            degradation: DegradationPolicy::ShedNewMonitors,
         }
     }
 }
@@ -128,8 +222,34 @@ pub struct Engine<F: Formalism, O: EngineObserver = NoopObserver> {
     scratch_ids: Vec<MonitorId>,
     /// The monomorphic lookup cache (see [`EngineConfig::lookup_cache`]).
     cache: LookupCache,
+    /// Active degradation rung (`None` = normal operation). `Option`
+    /// ordering (`None < Some(_)`) matches ladder severity.
+    degradation: Option<DegradationPolicy>,
+    /// Consecutive pressure-free events; drives degradation recovery.
+    clean_events: u32,
+    /// Cached verdict of the last amortized tracked-bytes measurement.
+    bytes_over: bool,
+    /// Monitors stepped plus created while processing the current event.
+    event_work: usize,
+    /// Optional goal-report handler, run under `catch_unwind`.
+    handler: HandlerSlot,
     /// The lifecycle observer (no-op by default).
     observer: O,
+}
+
+/// A goal-report handler: called with `(step, binding, verdict)` for each
+/// trigger — the `@match`/`@fail` handler body of a spec.
+pub type TriggerHandler = Box<dyn FnMut(usize, &Binding, Verdict)>;
+
+/// Wrapper so [`Engine`] can keep deriving `Debug` around an opaque
+/// closure.
+#[derive(Default)]
+struct HandlerSlot(Option<TriggerHandler>);
+
+impl std::fmt::Debug for HandlerSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "HandlerSlot(set)" } else { "HandlerSlot(none)" })
+    }
 }
 
 /// The monomorphic lookup cache: remembers the member list of the last
@@ -306,6 +426,11 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
             triggers: Vec::new(),
             scratch_ids: Vec::new(),
             cache: LookupCache::default(),
+            degradation: None,
+            clean_events: 0,
+            bytes_over: false,
+            event_work: 0,
+            handler: HandlerSlot::default(),
             observer,
         }
     }
@@ -350,6 +475,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         s.monitors_collected = ss.collected;
         s.peak_live_monitors = ss.peak_live;
         s.live_monitors = self.store.live();
+        s.quarantined = ss.quarantined;
         s
     }
 
@@ -381,16 +507,42 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
     ///
     /// # Panics
     ///
-    /// Panics (debug) if `dom(θ) ≠ D(e)` — events must be `D`-consistent
-    /// (Definition 4).
+    /// Panics if the event is outside the alphabet, the instance is not
+    /// `D`-consistent (Definition 4), or the engine detects an internal
+    /// inconsistency. [`Engine::try_process`] is the non-panicking
+    /// equivalent.
     pub fn process(&mut self, heap: &Heap, event: EventId, binding: Binding) {
-        debug_assert_eq!(
-            binding.domain(),
-            self.event_def.params_of(event),
-            "event instance must be D-consistent"
-        );
+        if let Err(e) = self.try_process(heap, event, binding) {
+            panic!("engine: {e}");
+        }
+    }
+
+    /// Processes one parametric event, reporting malformed input and
+    /// internal inconsistencies as recoverable [`EngineError`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EventOutOfAlphabet`] and
+    /// [`EngineError::InconsistentEvent`] reject malformed input before any
+    /// state changes; the remaining variants report a broken internal
+    /// invariant (the offending event is abandoned midway, but the engine
+    /// stays usable).
+    pub fn try_process(
+        &mut self,
+        heap: &Heap,
+        event: EventId,
+        binding: Binding,
+    ) -> Result<(), EngineError> {
+        if event.as_usize() >= self.enable_sources.len() {
+            return Err(EngineError::EventOutOfAlphabet(event));
+        }
+        let expected = self.event_def.params_of(event);
+        if binding.domain() != expected {
+            return Err(EngineError::InconsistentEvent { event, expected, got: binding.domain() });
+        }
         let step = self.stats.events as usize;
         self.stats.events += 1;
+        self.event_work = 0;
         let domain = binding.domain();
 
         // --- update existing instances ⊒ θ (Figure 6 lookup) ------------
@@ -416,7 +568,9 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
             self.cache.members = members;
             // Keep a trickle of lazy GC flowing even on hot loops.
             if self.cache.hits % 16 == 0 {
-                let mut tree = self.trees.remove(&domain).expect("tree for every D(e)");
+                let Some(mut tree) = self.trees.remove(&domain) else {
+                    return Err(EngineError::MissingTree(domain));
+                };
                 let mut sink = NotifySink::new(
                     &mut self.store,
                     &self.aliveness,
@@ -431,7 +585,9 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         } else {
             self.observer.cache_miss();
             // Take the tree out to appease the borrow checker; cheap move.
-            let mut tree = self.trees.remove(&domain).expect("tree for every D(e)");
+            let Some(mut tree) = self.trees.remove(&domain) else {
+                return Err(EngineError::MissingTree(domain));
+            };
             let mut sink = NotifySink::new(
                 &mut self.store,
                 &self.aliveness,
@@ -466,10 +622,16 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         self.observer.event_dispatched(event, &binding, self.scratch_ids.len());
         let t_step = if O::ENABLED { Some(Instant::now()) } else { None };
         let ids = std::mem::take(&mut self.scratch_ids);
+        self.event_work += ids.len();
+        let mut stepped = Ok(());
         for &id in &ids {
-            self.step_instance(id, event, step);
+            if let Err(e) = self.step_instance(id, event, step) {
+                stepped = Err(e);
+                break;
+            }
         }
         self.scratch_ids = ids;
+        stepped?;
         if let Some(t) = t_step {
             self.observer.phase_timed(Phase::Transition, elapsed_nanos(t));
         }
@@ -483,17 +645,19 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         // they are swept, so this also prevents re-creating retired ones.
         let own_exists = self.exact.get(&domain).is_some_and(|m| m.peek(&binding).is_some());
         if !own_exists {
-            self.try_create_own(heap, event, binding, step);
-            self.try_create_joins(heap, event, binding, step);
+            self.try_create_own(heap, event, binding, step)?;
+            self.try_create_joins(heap, event, binding, step)?;
         }
 
         // Record the event instance in the disable table, and do a little
         // lazy maintenance elsewhere.
         self.disable.insert(binding);
         self.disable.prune(heap, 2);
+        self.end_of_event_governance(heap);
         if O::ENABLED {
             self.flush_collected();
         }
+        Ok(())
     }
 
     /// Delivers `monitor_collected` for every id the store reclaimed since
@@ -507,10 +671,22 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
     }
 
     /// Steps one live instance in place, reporting and retiring as needed.
-    fn step_instance(&mut self, id: MonitorId, event: EventId, step: usize) {
-        let instance = self.store.get_mut(id);
-        if instance.flagged || instance.terminated {
-            return;
+    fn step_instance(
+        &mut self,
+        id: MonitorId,
+        event: EventId,
+        step: usize,
+    ) -> Result<(), EngineError> {
+        // invariant: every dispatched id comes from a container that holds
+        // a reference on the slot, and unflagged/unterminated monitors keep
+        // their exact-table reference — so the slot must be live. A stale
+        // id here is a refcount bug, not a normal state.
+        let Some(instance) = self.store.try_get_mut(id) else {
+            debug_assert!(false, "stale monitor id dispatched");
+            return Err(EngineError::StaleMonitor(id));
+        };
+        if instance.flagged || instance.terminated || instance.quarantined {
+            return Ok(());
         }
         let before = self.formalism.state_bytes(&instance.state);
         let verdict = self.formalism.step(&mut instance.state, event);
@@ -520,18 +696,27 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         let terminal = self.formalism.is_terminal(&instance.state, self.goal);
         self.store.add_state_bytes(after as isize - before as isize);
         if self.goal.contains(verdict) {
-            self.report(step, binding, verdict);
+            self.report(id, step, binding, verdict);
         }
         if terminal {
             self.store.terminate(id);
         }
+        Ok(())
     }
 
-    fn report(&mut self, step: usize, binding: Binding, verdict: Verdict) {
+    fn report(&mut self, id: MonitorId, step: usize, binding: Binding, verdict: Verdict) {
         self.stats.triggers += 1;
         self.observer.trigger_fired(step, &binding, verdict);
         if self.config.record_triggers {
             self.triggers.push(Trigger { step, binding, verdict });
+        }
+        if let Some(handler) = self.handler.0.as_mut() {
+            // A panicking handler must not take the engine down: quarantine
+            // the reporting monitor and keep processing.
+            let outcome = catch_unwind(AssertUnwindSafe(|| handler(step, &binding, verdict)));
+            if outcome.is_err() && self.store.quarantine(id) {
+                self.observer.monitor_quarantined(id, &binding);
+            }
         }
     }
 
@@ -539,12 +724,23 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
     /// discipline wants it: either the event can start a goal slice
     /// (`∅ ∈ ENABLEˣ(e)`), or `D(e)` serves as a creation source for some
     /// future event.
-    fn try_create_own(&mut self, heap: &Heap, event: EventId, binding: Binding, step: usize) {
+    fn try_create_own(
+        &mut self,
+        heap: &Heap,
+        event: EventId,
+        binding: Binding,
+        step: usize,
+    ) -> Result<(), EngineError> {
         let needed =
             self.enable_bottom[event.as_usize()] || self.source_domains.contains(&binding.domain());
         if !needed {
             self.stats.creations_skipped += 1;
-            return;
+            return Ok(());
+        }
+        // The resource gate goes first: it may run a sweep, which must
+        // happen before a source instance is selected below.
+        if !self.admit_creation(heap, &binding) {
+            return Ok(());
         }
         // Inherit from the most informative existing sub-instance.
         let mut best: Option<(ParamSet, MonitorId)> = None;
@@ -555,7 +751,10 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
             {
                 let key = binding.restrict(domain);
                 if let Some(&id) = self.exact.get(&domain).and_then(|m| m.peek(&key)) {
-                    if !self.store.get(id).flagged && !self.store.get(id).terminated {
+                    // invariant: the exact table holds a reference on the
+                    // slot, so the id is live.
+                    let source = self.store.try_get(id).ok_or(EngineError::StaleMonitor(id))?;
+                    if !source.flagged && !source.terminated {
                         best = Some((domain, id));
                     }
                 }
@@ -564,18 +763,27 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         let source_domain = best.map_or(ParamSet::EMPTY, |(d, _)| d);
         if !self.slice_complete(binding, source_domain) {
             self.stats.creations_skipped += 1;
-            return;
+            return Ok(());
         }
         let state = match best {
-            Some((_, id)) => self.store.get(id).state.clone(),
+            Some((_, id)) => {
+                self.store.try_get(id).ok_or(EngineError::StaleMonitor(id))?.state.clone()
+            }
             None => self.formalism.initial_state(),
         };
-        self.create_instance(heap, binding, state, event, step);
+        self.create_instance(heap, binding, state, event, step)?;
+        Ok(())
     }
 
     /// Creates joins `θ ⊔ θ''` for sources `θ''` whose domain is an enable
     /// parameter set of `e`.
-    fn try_create_joins(&mut self, heap: &Heap, event: EventId, binding: Binding, step: usize) {
+    fn try_create_joins(
+        &mut self,
+        heap: &Heap,
+        event: EventId,
+        binding: Binding,
+        step: usize,
+    ) -> Result<(), EngineError> {
         let domain = binding.domain();
         let sources = self.enable_sources[event.as_usize()].clone();
         for y in sources {
@@ -637,19 +845,50 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
                     self.stats.creations_skipped += 1;
                     continue;
                 }
-                // Born dead: if the GC policy would flag the new instance
-                // immediately (some needed parameter object is already
-                // gone), do not create it at all.
+                // Born flagged: the GC policy would flag the new instance
+                // right after its creating step — a needed parameter
+                // object is already gone, or (empty ALIVENESS masks) no
+                // event after this one is ever needed. The instance must
+                // still be created and stepped, because the creating step
+                // itself may reach the goal; it is flagged immediately
+                // afterwards so the next sweep reclaims it.
                 let dead = join.dead_params(heap);
-                if should_flag(self.config.policy, &self.aliveness, join.domain(), event, dead) {
-                    self.stats.creations_skipped += 1;
+                let born_flagged =
+                    should_flag(self.config.policy, &self.aliveness, join.domain(), event, dead);
+                if !self.admit_creation(heap, &join) {
                     continue;
                 }
-                let state = self.store.get(id).state.clone();
-                self.create_instance(heap, join, state, event, step);
+                // The admission gate may have swept; re-check the source.
+                let state = match self.store.try_get(id) {
+                    Some(s) if !s.flagged && !s.terminated => s.state.clone(),
+                    _ => {
+                        self.stats.creations_skipped += 1;
+                        continue;
+                    }
+                };
+                let new_id = match self.create_instance(heap, join, state, event, step) {
+                    Ok(new_id) => new_id,
+                    Err(e) => {
+                        self.scratch_ids = candidates;
+                        return Err(e);
+                    }
+                };
+                if born_flagged && self.store.contains(new_id) {
+                    let inst = self.store.get(new_id);
+                    if !inst.terminated && !inst.flagged && self.store.flag(new_id) {
+                        self.observer.monitor_flagged(
+                            new_id,
+                            &join,
+                            event,
+                            dead,
+                            flag_cause(self.config.policy, &self.aliveness),
+                        );
+                    }
+                }
             }
             self.scratch_ids = candidates;
         }
+        Ok(())
     }
 
     /// The disable-table check: creating an instance for `target` from a
@@ -678,6 +917,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
 
     /// Registers a freshly created instance in the exact table and every
     /// relevant indexing tree, then steps it by the creating event.
+    /// Returns the new instance's id.
     fn create_instance(
         &mut self,
         heap: &Heap,
@@ -685,9 +925,11 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         state: F::State,
         event: EventId,
         step: usize,
-    ) {
+    ) -> Result<MonitorId, EngineError> {
         let id = self.store.create(binding, state, event);
+        self.event_work += 1;
         self.observer.monitor_created(id, &binding);
+        // invariant: `id` was created two lines above; the slot is live.
         self.store.add_state_bytes(self.formalism.state_bytes(&self.store.get(id).state) as isize);
         // Exact table.
         {
@@ -714,7 +956,9 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
                 continue;
             }
             let key = binding.restrict(p);
-            let mut tree = self.trees.remove(&p).expect("tracked tree");
+            let Some(mut tree) = self.trees.remove(&p) else {
+                return Err(EngineError::MissingTree(p));
+            };
             let mut sink = NotifySink::new(
                 &mut self.store,
                 &self.aliveness,
@@ -733,7 +977,266 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
             self.trees.insert(p, tree);
         }
         // Step by the creating event.
-        self.step_instance(id, event, step);
+        self.step_instance(id, event, step)?;
+        Ok(id)
+    }
+
+    // --- resource governance (budgets + degradation ladder) -------------
+
+    /// The degradation rung currently active, if any.
+    #[must_use]
+    pub fn degradation_level(&self) -> Option<DegradationPolicy> {
+        self.degradation
+    }
+
+    /// Installs a handler invoked on every goal report (the spec's
+    /// `@match`/`@fail` body). The handler runs under `catch_unwind`: if it
+    /// panics, only the reporting monitor instance is quarantined (counted
+    /// in [`EngineStats::quarantined`]) and the engine keeps processing.
+    pub fn set_trigger_handler(&mut self, handler: impl FnMut(usize, &Binding, Verdict) + 'static) {
+        self.handler = HandlerSlot(Some(Box::new(handler)));
+    }
+
+    /// Per-event budget evaluation and degradation bookkeeping, run at the
+    /// end of [`Engine::try_process`]. Costs nothing when no budget is
+    /// configured and the engine is not degraded.
+    fn end_of_event_governance(&mut self, heap: &Heap) {
+        let has_budgets = self.config.max_live_monitors.is_some()
+            || self.config.max_tracked_bytes.is_some()
+            || self.config.max_work_per_event.is_some();
+        if !has_budgets && self.degradation.is_none() {
+            return;
+        }
+        // EagerCollect and deeper: lazy windowed expunging is not keeping
+        // up, so run exhaustive tree maintenance after every event.
+        if self.degradation >= Some(DegradationPolicy::EagerCollect) {
+            self.sweep_once(heap);
+        }
+        let mut pressure = false;
+        if let Some(max) = self.config.max_work_per_event {
+            if self.event_work > max {
+                pressure = true;
+                self.trip(BudgetKind::WorkPerEvent, self.event_work as u64, max as u64, heap);
+            }
+        }
+        if let Some(max) = self.config.max_tracked_bytes {
+            if self.stats.events % BYTE_CHECK_PERIOD == 0 || self.bytes_over {
+                let bytes = self.estimated_bytes();
+                self.bytes_over = bytes > max;
+                if self.bytes_over {
+                    pressure = true;
+                    self.trip(BudgetKind::TrackedBytes, bytes as u64, max as u64, heap);
+                    self.bytes_over = self.estimated_bytes() > max;
+                }
+            }
+            pressure |= self.bytes_over;
+        }
+        if let Some(max) = self.config.max_live_monitors {
+            if self.store.live() > max {
+                pressure = true;
+                self.trip(BudgetKind::LiveMonitors, self.store.live() as u64, max as u64, heap);
+            }
+            pressure |= self.store.live() >= max;
+        }
+        if let Some(level) = self.degradation {
+            if pressure {
+                self.clean_events = 0;
+            } else {
+                self.clean_events += 1;
+                if self.clean_events >= DEGRADATION_COOLDOWN {
+                    self.degradation = None;
+                    self.clean_events = 0;
+                    self.bytes_over = false;
+                    self.observer.degradation_exited(level);
+                }
+            }
+        }
+    }
+
+    /// The budget gate run before each monitor creation. Returns `false`
+    /// when the creation must be shed — which only happens at the
+    /// [`DegradationPolicy::ShedNewMonitors`] rung.
+    fn admit_creation(&mut self, heap: &Heap, binding: &Binding) -> bool {
+        if let Some(max) = self.config.max_live_monitors {
+            if self.store.live() >= max {
+                self.trip(BudgetKind::LiveMonitors, self.store.live() as u64, max as u64, heap);
+                if self.store.live() >= max
+                    && self.degradation == Some(DegradationPolicy::ShedNewMonitors)
+                {
+                    self.shed(binding);
+                    return false;
+                }
+            }
+        }
+        if self.bytes_over && self.degradation == Some(DegradationPolicy::ShedNewMonitors) {
+            self.shed(binding);
+            return false;
+        }
+        true
+    }
+
+    fn shed(&mut self, binding: &Binding) {
+        self.stats.shed += 1;
+        self.observer.monitor_shed(binding);
+    }
+
+    /// Handles one budget violation: record it, make sure a degradation
+    /// rung is active, apply remedies, and escalate — never past the
+    /// [`EngineConfig::degradation`] ceiling — while the pressure persists.
+    fn trip(&mut self, kind: BudgetKind, observed: u64, limit: u64, heap: &Heap) {
+        self.stats.budget_trips += 1;
+        self.observer.budget_tripped(kind, observed, limit);
+        self.clean_events = 0;
+        if self.degradation.is_none() {
+            self.enter_degradation(DegradationPolicy::ForcedSweep);
+        }
+        if kind == BudgetKind::WorkPerEvent {
+            // Work already spent this event cannot be re-measured, so a
+            // satisfaction loop would spin: apply the current rung's remedy
+            // and escalate exactly one rung per violation.
+            let rung = self.degradation.unwrap_or(DegradationPolicy::ForcedSweep);
+            if rung < DegradationPolicy::ShedNewMonitors {
+                self.full_sweep(heap);
+            }
+            let next = match rung {
+                DegradationPolicy::ForcedSweep => DegradationPolicy::EagerCollect,
+                _ => DegradationPolicy::ShedNewMonitors,
+            };
+            self.enter_degradation(next);
+            return;
+        }
+        loop {
+            let rung = self.degradation.unwrap_or(DegradationPolicy::ForcedSweep);
+            if rung < DegradationPolicy::ShedNewMonitors {
+                self.full_sweep(heap);
+            }
+            let satisfied = match kind {
+                BudgetKind::LiveMonitors => (self.store.live() as u64) < limit,
+                BudgetKind::TrackedBytes => (self.estimated_bytes() as u64) <= limit,
+                BudgetKind::WorkPerEvent => unreachable!("handled above"),
+            };
+            if satisfied || rung == DegradationPolicy::ShedNewMonitors {
+                return;
+            }
+            let next = match rung {
+                DegradationPolicy::ForcedSweep => DegradationPolicy::EagerCollect,
+                _ => DegradationPolicy::ShedNewMonitors,
+            };
+            if self.config.degradation < next {
+                // Ceiling reached; live with the violation at this rung.
+                return;
+            }
+            self.enter_degradation(next);
+        }
+    }
+
+    /// Raises the active rung to at least `level` (ceiling permitting),
+    /// reporting the escalation. Never lowers the rung.
+    fn enter_degradation(&mut self, level: DegradationPolicy) {
+        if self.degradation < Some(level) && self.config.degradation >= level {
+            self.degradation = Some(level);
+            self.stats.degradations += 1;
+            self.observer.degradation_entered(level);
+        }
+    }
+
+    /// Validates store/tree/stats consistency, returning the first
+    /// violation found. Intended for debug builds, chaos harnesses, and
+    /// post-mortems — it walks every container, so it is O(monitors).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvariantViolation`] (or
+    /// [`EngineError::StaleMonitor`]) describing the first inconsistency.
+    pub fn check_invariants(&self, heap: &Heap) -> Result<(), EngineError> {
+        fn err(msg: String) -> Result<(), EngineError> {
+            Err(EngineError::InvariantViolation(msg))
+        }
+        let s = self.stats();
+        if s.monitors_created - s.monitors_collected != s.live_monitors as u64 {
+            return err(format!(
+                "created ({}) - collected ({}) != live ({})",
+                s.monitors_created, s.monitors_collected, s.live_monitors
+            ));
+        }
+        if s.monitors_flagged > s.monitors_created {
+            return err(format!(
+                "flagged ({}) exceeds created ({})",
+                s.monitors_flagged, s.monitors_created
+            ));
+        }
+        if s.peak_live_monitors < s.live_monitors {
+            return err(format!(
+                "peak ({}) below live ({})",
+                s.peak_live_monitors, s.live_monitors
+            ));
+        }
+        // Count container memberships per monitor and check key shapes.
+        let mut memberships: HashMap<MonitorId, u32> = HashMap::new();
+        for (&domain, map) in &self.exact {
+            for (key, &id) in map.iter() {
+                if key.domain() != domain {
+                    return err(format!("exact key {key:?} filed under domain {domain:?}"));
+                }
+                let Some(instance) = self.store.try_get(id) else {
+                    return Err(EngineError::StaleMonitor(id));
+                };
+                if instance.binding != *key {
+                    return err(format!(
+                        "exact entry {key:?} maps to monitor with binding {:?}",
+                        instance.binding
+                    ));
+                }
+                *memberships.entry(id).or_insert(0) += 1;
+            }
+        }
+        for (&p, tree) in &self.trees {
+            for (key, set) in tree.iter() {
+                if key.domain() != p {
+                    return err(format!("tree ⟨{p:?}⟩ holds key {key:?}"));
+                }
+                for &id in set.members() {
+                    let Some(instance) = self.store.try_get(id) else {
+                        return Err(EngineError::StaleMonitor(id));
+                    };
+                    if instance.binding.restrict(p) != *key {
+                        return err(format!(
+                            "tree ⟨{p:?}⟩ key {key:?} holds monitor with binding {:?}",
+                            instance.binding
+                        ));
+                    }
+                    *memberships.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        for (id, instance) in self.store.iter() {
+            let held = memberships.get(&id).copied().unwrap_or(0);
+            if held != instance.refs() {
+                return err(format!(
+                    "monitor #{} holds {} container refs but appears in {} containers",
+                    id.as_usize(),
+                    instance.refs(),
+                    held
+                ));
+            }
+        }
+        // Heap-dependent check: under AllParamsDead a flagged monitor's
+        // parameters must all be dead — ObjId generations make death
+        // permanent, so this holds at any later time too.
+        if self.config.policy == GcPolicy::AllParamsDead {
+            for (id, instance) in self.store.iter() {
+                if instance.flagged {
+                    let domain = instance.binding.domain();
+                    if domain.is_empty() || instance.binding.dead_params(heap) != domain {
+                        return err(format!(
+                            "monitor #{} flagged under AllParamsDead with live parameters",
+                            id.as_usize()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Runs GC maintenance over every structure, fully expunging dead keys
@@ -968,6 +1471,161 @@ mod tests {
         let v = (0..n).map(|_| heap.alloc(cls)).collect();
         let _keep_rooted = f; // never exited: objects stay rooted
         v
+    }
+
+    #[test]
+    fn try_process_rejects_malformed_events_without_state_changes() {
+        let (mut engine, _alphabet) = engine_with(GcPolicy::CoenableLazy);
+        let heap = Heap::new(HeapConfig::manual());
+        let err = engine.try_process(&heap, EventId(99), Binding::BOTTOM).unwrap_err();
+        assert_eq!(err, EngineError::EventOutOfAlphabet(EventId(99)));
+        // `create` needs ⟨c, i⟩; an empty binding is not D-consistent.
+        let err = engine.try_process(&heap, EventId(0), Binding::BOTTOM).unwrap_err();
+        assert!(matches!(err, EngineError::InconsistentEvent { .. }), "{err}");
+        assert_eq!(engine.stats().events, 0, "rejected input must leave no trace");
+        engine.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn live_monitor_budget_is_a_hard_cap_with_the_full_ladder() {
+        let (alphabet, dfa, def) = unsafe_iter_parts();
+        let config = EngineConfig { max_live_monitors: Some(8), ..EngineConfig::default() };
+        let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        // Long-lived collections and iterators: nothing dies, so only the
+        // degradation ladder can bound the monitor population.
+        let objs = alloc_n(&mut heap, 128);
+        for pair in objs.chunks(2) {
+            let b = Binding::from_pairs(&[(C, pair[0]), (I, pair[1])]);
+            engine.process(&heap, ev("create"), b);
+        }
+        let stats = engine.stats();
+        assert!(stats.peak_live_monitors <= 8, "{stats}");
+        assert!(stats.shed > 0, "{stats}");
+        assert!(stats.budget_trips > 0, "{stats}");
+        assert!(stats.degradations >= 1, "{stats}");
+        assert_eq!(engine.degradation_level(), Some(DegradationPolicy::ShedNewMonitors));
+        engine.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn degradation_recovers_after_pressure_free_events() {
+        let (alphabet, dfa, def) = unsafe_iter_parts();
+        let config = EngineConfig { max_live_monitors: Some(2), ..EngineConfig::default() };
+        let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let _outer = heap.enter_frame();
+        let coll = heap.alloc(cls);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        {
+            let inner = heap.enter_frame();
+            for _ in 0..4 {
+                let iter = heap.alloc(cls);
+                engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, coll), (I, iter)]));
+            }
+            heap.exit_frame(inner);
+        }
+        assert!(engine.degradation_level().is_some(), "{}", engine.stats());
+        assert!(engine.stats().shed >= 1, "{}", engine.stats());
+        // The iterators die; pressure clears; the engine steps back down.
+        heap.collect();
+        for _ in 0..2 * DEGRADATION_COOLDOWN {
+            engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, coll)]));
+        }
+        assert_eq!(engine.degradation_level(), None, "{}", engine.stats());
+        engine.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn work_budget_escalates_one_rung_per_violation() {
+        let (alphabet, dfa, def) = unsafe_iter_parts();
+        let config = EngineConfig { max_work_per_event: Some(0), ..EngineConfig::default() };
+        let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 2);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, o[0]), (I, o[1])]));
+        // First violation: enters ForcedSweep, escalates once.
+        assert_eq!(engine.degradation_level(), Some(DegradationPolicy::EagerCollect));
+        engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, o[0])]));
+        assert_eq!(engine.degradation_level(), Some(DegradationPolicy::ShedNewMonitors));
+        let stats = engine.stats();
+        assert_eq!(stats.budget_trips, 2, "{stats}");
+        assert_eq!(stats.degradations, 3, "{stats}");
+        engine.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn degradation_never_escalates_past_the_configured_ceiling() {
+        let (alphabet, dfa, def) = unsafe_iter_parts();
+        let config = EngineConfig {
+            max_live_monitors: Some(2),
+            degradation: DegradationPolicy::ForcedSweep,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let objs = alloc_n(&mut heap, 12);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        for pair in objs.chunks(2) {
+            let b = Binding::from_pairs(&[(C, pair[0]), (I, pair[1])]);
+            engine.process(&heap, ev("create"), b);
+        }
+        let stats = engine.stats();
+        // Sweeping is allowed but shedding is not: the population may
+        // exceed the budget, and nothing is ever shed.
+        assert_eq!(engine.degradation_level(), Some(DegradationPolicy::ForcedSweep));
+        assert_eq!(stats.shed, 0, "{stats}");
+        assert!(stats.live_monitors > 2, "{stats}");
+        assert!(stats.budget_trips > 0, "{stats}");
+        engine.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn panicking_handler_quarantines_only_its_monitor() {
+        let (alphabet, dfa, def) = unsafe_iter_parts();
+        let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+        let mut engine = Engine::new(dfa, def, GoalSet::MATCH, config);
+        engine.set_trigger_handler(|_, _, _| panic!("handler bug"));
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 4);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        // Silence the default hook while the deliberate panics fire.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Two independent violating slices: the first handler panic must
+        // not stop the second violation from being detected.
+        for (c, i) in [(o[0], o[1]), (o[2], o[3])] {
+            engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, c), (I, i)]));
+            engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, c)]));
+            engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, i)]));
+        }
+        std::panic::set_hook(prev);
+        let stats = engine.stats();
+        assert_eq!(stats.triggers, 2, "{stats}");
+        assert_eq!(stats.quarantined, 2, "{stats}");
+        assert_eq!(engine.triggers().len(), 2);
+        engine.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn non_panicking_handler_sees_every_trigger() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (mut engine, alphabet) = engine_with(GcPolicy::CoenableLazy);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        engine.set_trigger_handler(move |step, _, verdict| sink.borrow_mut().push((step, verdict)));
+        let mut heap = Heap::new(HeapConfig::manual());
+        let o = alloc_n(&mut heap, 2);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, o[0]), (I, o[1])]));
+        engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, o[0])]));
+        engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, o[1])]));
+        assert_eq!(seen.borrow().len(), 1);
+        assert_eq!(engine.stats().quarantined, 0);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Typed, recoverable errors for the monitoring engine.
+//!
+//! The engine originally panicked on internal inconsistencies (a missing
+//! indexing tree, a stale monitor id). For the ROADMAP's "production-scale
+//! system serving heavy traffic" those must be *recoverable*: a monitoring
+//! layer that can take the monitored program down is worse than no
+//! monitoring at all. [`EngineError`] is the error type of the fallible
+//! engine API ([`Engine::try_process`](crate::Engine::try_process),
+//! [`Engine::check_invariants`](crate::Engine::check_invariants)); the
+//! legacy panicking entry points are thin wrappers over it.
+
+use std::fmt;
+
+use rv_logic::{EventId, ParamSet};
+
+use crate::store::MonitorId;
+
+/// An internal engine failure surfaced as a recoverable error instead of a
+/// panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// An event instance was not `D`-consistent (Definition 4): the
+    /// binding's domain differs from the event's declared parameter set.
+    InconsistentEvent {
+        /// The dispatched event.
+        event: EventId,
+        /// The parameter set `D(e)` the event declares.
+        expected: ParamSet,
+        /// The domain of the binding actually supplied.
+        got: ParamSet,
+    },
+    /// The event id lies outside the property's alphabet.
+    EventOutOfAlphabet(EventId),
+    /// The indexing tree for a tracked parameter subset is missing — the
+    /// engine's tree family no longer covers `D(e)`.
+    MissingTree(ParamSet),
+    /// A monitor id referenced by an indexing structure was already
+    /// collected.
+    StaleMonitor(MonitorId),
+    /// A named event does not belong to the spec (the fallible face of
+    /// [`PropertyMonitor::process_named`](crate::PropertyMonitor::process_named)).
+    UnknownEvent(String),
+    /// A store/tree/stats consistency invariant failed
+    /// ([`Engine::check_invariants`](crate::Engine::check_invariants)).
+    InvariantViolation(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InconsistentEvent { event, expected, got } => write!(
+                f,
+                "event e{} is not D-consistent: expected domain {expected:?}, got {got:?}",
+                event.as_usize()
+            ),
+            EngineError::EventOutOfAlphabet(e) => {
+                write!(f, "event e{} is outside the property's alphabet", e.as_usize())
+            }
+            EngineError::MissingTree(p) => {
+                write!(f, "no indexing tree for parameter subset {p:?}")
+            }
+            EngineError::StaleMonitor(id) => {
+                write!(f, "monitor #{} was already collected", id.as_usize())
+            }
+            EngineError::UnknownEvent(name) => write!(f, "unknown event `{name}`"),
+            EngineError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = EngineError::UnknownEvent("zap".into());
+        assert_eq!(e.to_string(), "unknown event `zap`");
+        let e = EngineError::InvariantViolation("live != created - collected".into());
+        assert!(e.to_string().contains("invariant violation"));
+        let e = EngineError::EventOutOfAlphabet(EventId(9));
+        assert!(e.to_string().contains("e9"));
+    }
+}

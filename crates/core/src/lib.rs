@@ -53,7 +53,9 @@
 //! ```
 
 pub mod binding;
+pub mod chaos;
 pub mod engine;
+pub mod error;
 pub mod multi;
 pub mod obs;
 pub mod reference;
@@ -62,7 +64,9 @@ pub mod store;
 pub mod trees;
 
 pub use crate::binding::{Binding, MAX_PARAMS};
-pub use crate::engine::{Engine, EngineConfig, GcPolicy};
+pub use crate::chaos::{run_block, ChaosOutcome};
+pub use crate::engine::{BudgetKind, DegradationPolicy, Engine, EngineConfig, GcPolicy};
+pub use crate::error::EngineError;
 pub use crate::multi::PropertyMonitor;
 pub use crate::obs::{
     EngineObserver, FlagCause, Histogram, MetricsRegistry, NoopObserver, Phase, TraceKind,

@@ -13,6 +13,7 @@ use rv_spec::CompiledSpec;
 
 use crate::binding::Binding;
 use crate::engine::{Engine, EngineConfig};
+use crate::error::EngineError;
 use crate::obs::{EngineObserver, NoopObserver};
 use crate::stats::EngineStats;
 
@@ -85,10 +86,33 @@ impl<O: EngineObserver> PropertyMonitor<O> {
     }
 
     /// Dispatches one parametric event to every block's engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed events or internal inconsistencies; see
+    /// [`PropertyMonitor::try_process`] for the recoverable equivalent.
     pub fn process(&mut self, heap: &Heap, event: EventId, binding: Binding) {
         for engine in &mut self.engines {
             engine.process(heap, event, binding);
         }
+    }
+
+    /// Dispatches one parametric event to every block's engine, stopping
+    /// at the first engine error.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EngineError`] any block reports.
+    pub fn try_process(
+        &mut self,
+        heap: &Heap,
+        event: EventId,
+        binding: Binding,
+    ) -> Result<(), EngineError> {
+        for engine in &mut self.engines {
+            engine.try_process(heap, event, binding)?;
+        }
+        Ok(())
     }
 
     /// Convenience: dispatches by event name.
@@ -101,6 +125,23 @@ impl<O: EngineObserver> PropertyMonitor<O> {
             .event(name)
             .unwrap_or_else(|| panic!("spec `{}` has no event `{name}`", self.spec.name));
         self.process(heap, event, binding);
+    }
+
+    /// Dispatches by event name, reporting unknown events and engine
+    /// failures as recoverable errors.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownEvent`] if `name` is not declared by the
+    /// spec, or whatever the engines report.
+    pub fn try_process_named(
+        &mut self,
+        heap: &Heap,
+        name: &str,
+        binding: Binding,
+    ) -> Result<(), EngineError> {
+        let event = self.event(name).ok_or_else(|| EngineError::UnknownEvent(name.to_owned()))?;
+        self.try_process(heap, event, binding)
     }
 
     /// Total goal reports across all blocks.
@@ -125,6 +166,10 @@ impl<O: EngineObserver> PropertyMonitor<O> {
             total.dead_keys += s.dead_keys;
             total.creations_skipped += s.creations_skipped;
             total.cache_hits += s.cache_hits;
+            total.shed += s.shed;
+            total.quarantined += s.quarantined;
+            total.budget_trips += s.budget_trips;
+            total.degradations += s.degradations;
         }
         total
     }

@@ -30,6 +30,7 @@ use rv_heap::HeapStats;
 use rv_logic::{Alphabet, EventDef, EventId, ParamSet, Verdict};
 
 use crate::binding::Binding;
+use crate::engine::{BudgetKind, DegradationPolicy};
 use crate::stats::EngineStats;
 use crate::store::MonitorId;
 
@@ -152,6 +153,24 @@ pub trait EngineObserver {
     /// A dispatch phase took `nanos` wall-clock nanoseconds. Only emitted
     /// when `Self::ENABLED` (timing a no-op observer would itself cost).
     fn phase_timed(&mut self, phase: Phase, nanos: u64) {}
+
+    /// A resource budget was exceeded: `observed` crossed `limit`.
+    fn budget_tripped(&mut self, budget: BudgetKind, observed: u64, limit: u64) {}
+
+    /// The degradation ladder escalated to `level`.
+    fn degradation_entered(&mut self, level: DegradationPolicy) {}
+
+    /// The engine recovered from degradation `level` back to normal
+    /// operation.
+    fn degradation_exited(&mut self, level: DegradationPolicy) {}
+
+    /// A monitor creation for `binding` was refused under resource
+    /// pressure ([`DegradationPolicy::ShedNewMonitors`]).
+    fn monitor_shed(&mut self, binding: &Binding) {}
+
+    /// A handler panic quarantined monitor `id`; the engine keeps
+    /// processing every other instance.
+    fn monitor_quarantined(&mut self, id: MonitorId, binding: &Binding) {}
 }
 
 /// The do-nothing observer: the engine's default. All callbacks are empty
@@ -229,6 +248,31 @@ impl<A: EngineObserver, B: EngineObserver> EngineObserver for (A, B) {
     fn phase_timed(&mut self, phase: Phase, nanos: u64) {
         self.0.phase_timed(phase, nanos);
         self.1.phase_timed(phase, nanos);
+    }
+
+    fn budget_tripped(&mut self, budget: BudgetKind, observed: u64, limit: u64) {
+        self.0.budget_tripped(budget, observed, limit);
+        self.1.budget_tripped(budget, observed, limit);
+    }
+
+    fn degradation_entered(&mut self, level: DegradationPolicy) {
+        self.0.degradation_entered(level);
+        self.1.degradation_entered(level);
+    }
+
+    fn degradation_exited(&mut self, level: DegradationPolicy) {
+        self.0.degradation_exited(level);
+        self.1.degradation_exited(level);
+    }
+
+    fn monitor_shed(&mut self, binding: &Binding) {
+        self.0.monitor_shed(binding);
+        self.1.monitor_shed(binding);
+    }
+
+    fn monitor_quarantined(&mut self, id: MonitorId, binding: &Binding) {
+        self.0.monitor_quarantined(id, binding);
+        self.1.monitor_quarantined(id, binding);
     }
 }
 
@@ -368,6 +412,37 @@ pub enum TraceKind {
         binding: Binding,
         /// The verdict.
         verdict: Verdict,
+    },
+    /// A resource budget was exceeded.
+    BudgetTripped {
+        /// Which budget tripped.
+        budget: BudgetKind,
+        /// The observed value.
+        observed: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The degradation ladder escalated.
+    DegradationEntered {
+        /// The level entered.
+        level: DegradationPolicy,
+    },
+    /// The engine recovered from degradation.
+    DegradationExited {
+        /// The level left behind.
+        level: DegradationPolicy,
+    },
+    /// A monitor creation was refused under pressure.
+    Shed {
+        /// The binding whose monitor was not created.
+        binding: Binding,
+    },
+    /// A handler panic quarantined a monitor.
+    Quarantined {
+        /// The quarantined instance.
+        id: MonitorId,
+        /// Its binding.
+        binding: Binding,
     },
 }
 
@@ -549,6 +624,40 @@ impl TraceRecorder {
                     verdict
                 );
             }
+            TraceKind::BudgetTripped { budget, observed, limit } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"budget_tripped\",\"budget\":\"{}\",\"observed\":{observed},\
+                     \"limit\":{limit}",
+                    budget.label()
+                );
+            }
+            TraceKind::DegradationEntered { level } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"degradation_entered\",\"level\":\"{}\"",
+                    level.label()
+                );
+            }
+            TraceKind::DegradationExited { level } => {
+                let _ =
+                    write!(out, ",\"kind\":\"degradation_exited\",\"level\":\"{}\"", level.label());
+            }
+            TraceKind::Shed { binding } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"shed\",\"binding\":\"{}\"",
+                    json_escape(&render_binding(&binding, def))
+                );
+            }
+            TraceKind::Quarantined { id, binding } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"quarantined\",\"monitor\":{},\"binding\":\"{}\"",
+                    id.as_usize(),
+                    json_escape(&render_binding(&binding, def))
+                );
+            }
         }
         out.push('}');
         out
@@ -614,6 +723,26 @@ impl EngineObserver for TraceRecorder {
 
     fn cache_miss(&mut self) {
         self.cache_misses += 1;
+    }
+
+    fn budget_tripped(&mut self, budget: BudgetKind, observed: u64, limit: u64) {
+        self.push(TraceKind::BudgetTripped { budget, observed, limit });
+    }
+
+    fn degradation_entered(&mut self, level: DegradationPolicy) {
+        self.push(TraceKind::DegradationEntered { level });
+    }
+
+    fn degradation_exited(&mut self, level: DegradationPolicy) {
+        self.push(TraceKind::DegradationExited { level });
+    }
+
+    fn monitor_shed(&mut self, binding: &Binding) {
+        self.push(TraceKind::Shed { binding: *binding });
+    }
+
+    fn monitor_quarantined(&mut self, id: MonitorId, binding: &Binding) {
+        self.push(TraceKind::Quarantined { id, binding: *binding });
     }
 }
 
@@ -739,6 +868,11 @@ pub struct MetricsRegistry {
     cache_hits: u64,
     cache_misses: u64,
     sweeps: u64,
+    budget_trips: u64,
+    degradations_entered: u64,
+    degradations_exited: u64,
+    shed: u64,
+    quarantined: u64,
     /// Creation→collection age in events.
     lifetime_events: Histogram,
     /// Creation→flag age in events.
@@ -805,6 +939,36 @@ impl MetricsRegistry {
         self.sweeps
     }
 
+    /// Resource-budget violations observed.
+    #[must_use]
+    pub fn budget_trips(&self) -> u64 {
+        self.budget_trips
+    }
+
+    /// Degradation-ladder escalations observed.
+    #[must_use]
+    pub fn degradations_entered(&self) -> u64 {
+        self.degradations_entered
+    }
+
+    /// Degradation recoveries observed.
+    #[must_use]
+    pub fn degradations_exited(&self) -> u64 {
+        self.degradations_exited
+    }
+
+    /// Monitor creations refused under pressure.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Monitors quarantined after handler panics.
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
     /// The creation→collection age histogram (in events).
     #[must_use]
     pub fn lifetime_events(&self) -> &Histogram {
@@ -849,7 +1013,9 @@ impl MetricsRegistry {
             out,
             "\"events\":{},\"monitors_created\":{},\"monitors_flagged\":{},\
              \"monitors_collected\":{},\"dead_keys\":{},\"triggers\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"sweeps\":{}",
+             \"cache_hits\":{},\"cache_misses\":{},\"sweeps\":{},\
+             \"budget_trips\":{},\"degradations_entered\":{},\"degradations_exited\":{},\
+             \"shed\":{},\"quarantined\":{}",
             self.events,
             self.created,
             self.flagged,
@@ -858,7 +1024,12 @@ impl MetricsRegistry {
             self.triggers,
             self.cache_hits,
             self.cache_misses,
-            self.sweeps
+            self.sweeps,
+            self.budget_trips,
+            self.degradations_entered,
+            self.degradations_exited,
+            self.shed,
+            self.quarantined
         );
         out.push_str("},\"histograms\":{");
         let _ = write!(out, "\"monitor_lifetime_events\":{}", self.lifetime_events.to_json());
@@ -941,6 +1112,26 @@ impl EngineObserver for MetricsRegistry {
     fn phase_timed(&mut self, phase: Phase, nanos: u64) {
         self.phase_nanos[phase.index()].record(nanos);
     }
+
+    fn budget_tripped(&mut self, _budget: BudgetKind, _observed: u64, _limit: u64) {
+        self.budget_trips += 1;
+    }
+
+    fn degradation_entered(&mut self, _level: DegradationPolicy) {
+        self.degradations_entered += 1;
+    }
+
+    fn degradation_exited(&mut self, _level: DegradationPolicy) {
+        self.degradations_exited += 1;
+    }
+
+    fn monitor_shed(&mut self, _binding: &Binding) {
+        self.shed += 1;
+    }
+
+    fn monitor_quarantined(&mut self, _id: MonitorId, _binding: &Binding) {
+        self.quarantined += 1;
+    }
 }
 
 #[cfg(test)]
@@ -1021,6 +1212,49 @@ mod tests {
         // The lifetime histogram recorded 2 − 1 = 1 event of age.
         assert_eq!(m.lifetime_events().count(), 1);
         assert_eq!(m.lifetime_events().sum(), 1);
+    }
+
+    #[test]
+    fn robustness_callbacks_reach_traces_and_metrics() {
+        let mut rec = TraceRecorder::new(16);
+        rec.budget_tripped(BudgetKind::LiveMonitors, 12, 10);
+        rec.degradation_entered(DegradationPolicy::ForcedSweep);
+        rec.monitor_shed(&Binding::BOTTOM);
+        rec.monitor_quarantined(MonitorId::from_raw(3), &Binding::BOTTOM);
+        rec.degradation_exited(DegradationPolicy::ForcedSweep);
+        let dump = rec.dump_jsonl();
+        assert!(
+            dump.contains("\"kind\":\"budget_tripped\",\"budget\":\"live_monitors\""),
+            "{dump}"
+        );
+        assert!(dump.contains("\"observed\":12,\"limit\":10"), "{dump}");
+        assert!(dump.contains("\"kind\":\"degradation_entered\",\"level\":\"forced_sweep\""));
+        assert!(dump.contains("\"kind\":\"degradation_exited\",\"level\":\"forced_sweep\""));
+        assert!(dump.contains("\"kind\":\"shed\""));
+        assert!(dump.contains("\"kind\":\"quarantined\",\"monitor\":3"));
+
+        let mut m = MetricsRegistry::new();
+        m.budget_tripped(BudgetKind::TrackedBytes, 2048, 1024);
+        m.degradation_entered(DegradationPolicy::EagerCollect);
+        m.degradation_entered(DegradationPolicy::ShedNewMonitors);
+        m.monitor_shed(&Binding::BOTTOM);
+        m.monitor_quarantined(MonitorId::from_raw(0), &Binding::BOTTOM);
+        m.degradation_exited(DegradationPolicy::ShedNewMonitors);
+        assert_eq!(m.budget_trips(), 1);
+        assert_eq!(m.degradations_entered(), 2);
+        assert_eq!(m.degradations_exited(), 1);
+        assert_eq!(m.shed(), 1);
+        assert_eq!(m.quarantined(), 1);
+        let json = m.snapshot_json();
+        for key in [
+            "\"budget_trips\":1",
+            "\"degradations_entered\":2",
+            "\"degradations_exited\":1",
+            "\"shed\":1",
+            "\"quarantined\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

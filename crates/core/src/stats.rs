@@ -30,6 +30,16 @@ pub struct EngineStats {
     pub creations_skipped: u64,
     /// Dispatches served by the monomorphic lookup cache.
     pub cache_hits: u64,
+    /// Monitor creations refused under resource pressure
+    /// ([`DegradationPolicy::ShedNewMonitors`](crate::DegradationPolicy)).
+    pub shed: u64,
+    /// Monitors quarantined after their handler panicked.
+    pub quarantined: u64,
+    /// Resource-budget violations observed (each also reaches the observer
+    /// via `budget_tripped`).
+    pub budget_trips: u64,
+    /// Degradation-ladder escalations (`degradation_entered` callbacks).
+    pub degradations: u64,
 }
 
 impl EngineStats {
@@ -40,7 +50,8 @@ impl EngineStats {
         format!(
             "{{\"events\":{},\"monitors_created\":{},\"monitors_flagged\":{},\
              \"monitors_collected\":{},\"peak_live_monitors\":{},\"live_monitors\":{},\
-             \"triggers\":{},\"dead_keys\":{},\"creations_skipped\":{},\"cache_hits\":{}}}",
+             \"triggers\":{},\"dead_keys\":{},\"creations_skipped\":{},\"cache_hits\":{},\
+             \"shed\":{},\"quarantined\":{},\"budget_trips\":{},\"degradations\":{}}}",
             self.events,
             self.monitors_created,
             self.monitors_flagged,
@@ -50,7 +61,11 @@ impl EngineStats {
             self.triggers,
             self.dead_keys,
             self.creations_skipped,
-            self.cache_hits
+            self.cache_hits,
+            self.shed,
+            self.quarantined,
+            self.budget_trips,
+            self.degradations
         )
     }
 }
@@ -67,7 +82,15 @@ impl fmt::Display for EngineStats {
             self.peak_live_monitors,
             self.live_monitors,
             self.triggers
-        )
+        )?;
+        if self.shed != 0 || self.quarantined != 0 || self.budget_trips != 0 {
+            write!(
+                f,
+                " shed={} quarantined={} trips={} degradations={}",
+                self.shed, self.quarantined, self.budget_trips, self.degradations
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -82,5 +105,18 @@ mod tests {
         assert!(out.contains("E=10"));
         assert!(out.contains("M=3"));
         assert!(out.contains("FM=0"));
+        assert!(!out.contains("shed="), "robustness columns only shown when active");
+    }
+
+    #[test]
+    fn display_and_json_surface_robustness_counters() {
+        let s = EngineStats { shed: 2, quarantined: 1, budget_trips: 4, ..EngineStats::default() };
+        let out = s.to_string();
+        assert!(out.contains("shed=2"));
+        assert!(out.contains("quarantined=1"));
+        let json = s.to_json();
+        for key in ["\"shed\":2", "\"quarantined\":1", "\"budget_trips\":4", "\"degradations\":0"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

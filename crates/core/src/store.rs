@@ -46,8 +46,20 @@ pub struct Instance<S> {
     pub flagged: bool,
     /// Reached a terminal state (verdict can never become a goal again).
     pub terminated: bool,
+    /// Quarantined after its handler panicked: the instance receives no
+    /// further events and is dropped by the next compaction pass, while the
+    /// rest of the engine keeps processing.
+    pub quarantined: bool,
     /// Number of containers (maps/sets/trees) holding this instance.
     refs: u32,
+}
+
+impl<S> Instance<S> {
+    /// Number of containers currently holding this instance.
+    #[must_use]
+    pub fn refs(&self) -> u32 {
+        self.refs
+    }
 }
 
 /// Statistics mirroring Figure 10's per-property columns.
@@ -59,6 +71,8 @@ pub struct StoreStats {
     pub flagged: u64,
     /// Monitors fully reclaimed (CM).
     pub collected: u64,
+    /// Monitors quarantined after a handler panic.
+    pub quarantined: u64,
     /// Peak simultaneously-live monitors.
     pub peak_live: usize,
 }
@@ -118,8 +132,15 @@ impl<S> MonitorStore<S> {
         self.stats.created += 1;
         self.live += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live);
-        let instance =
-            Instance { binding, state, last_event, flagged: false, terminated: false, refs: 0 };
+        let instance = Instance {
+            binding,
+            state,
+            last_event,
+            flagged: false,
+            terminated: false,
+            quarantined: false,
+            refs: 0,
+        };
         match self.free.pop() {
             Some(i) => {
                 debug_assert!(self.slots[i as usize].is_none());
@@ -137,7 +158,10 @@ impl<S> MonitorStore<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `id` was already collected.
+    /// Panics if `id` was already collected. Fallible callers should use
+    /// [`try_get`](MonitorStore::try_get) instead; this entry point is for
+    /// sites where liveness is a checked invariant (the caller holds a
+    /// container reference).
     #[must_use]
     pub fn get(&self, id: MonitorId) -> &Instance<S> {
         self.slots[id.as_usize()].as_ref().expect("monitor already collected")
@@ -147,10 +171,23 @@ impl<S> MonitorStore<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `id` was already collected.
+    /// Panics if `id` was already collected. Fallible callers should use
+    /// [`try_get_mut`](MonitorStore::try_get_mut) instead.
     #[must_use]
     pub fn get_mut(&mut self, id: MonitorId) -> &mut Instance<S> {
         self.slots[id.as_usize()].as_mut().expect("monitor already collected")
+    }
+
+    /// Accesses an instance if it is still live.
+    #[must_use]
+    pub fn try_get(&self, id: MonitorId) -> Option<&Instance<S>> {
+        self.slots.get(id.as_usize()).and_then(Option::as_ref)
+    }
+
+    /// Mutably accesses an instance if it is still live.
+    #[must_use]
+    pub fn try_get_mut(&mut self, id: MonitorId) -> Option<&mut Instance<S>> {
+        self.slots.get_mut(id.as_usize()).and_then(Option::as_mut)
     }
 
     /// Whether `id` still points at a live instance.
@@ -201,14 +238,38 @@ impl<S> MonitorStore<S> {
         self.get_mut(id).terminated = true;
     }
 
-    /// Whether compaction should drop this member (flagged, terminated, or
-    /// already gone).
+    /// Quarantines an instance whose handler panicked: it receives no
+    /// further events and becomes collectable. Idempotent; returns `true`
+    /// the first time (and `false` for already-collected ids), so callers
+    /// can notify observers exactly once.
+    pub fn quarantine(&mut self, id: MonitorId) -> bool {
+        let Some(instance) = self.try_get_mut(id) else { return false };
+        if instance.quarantined {
+            return false;
+        }
+        instance.quarantined = true;
+        self.stats.quarantined += 1;
+        true
+    }
+
+    /// Whether compaction should drop this member (flagged, terminated,
+    /// quarantined, or already gone).
     #[must_use]
     pub fn is_collectable(&self, id: MonitorId) -> bool {
         match self.slots.get(id.as_usize()).and_then(Option::as_ref) {
-            Some(i) => i.flagged || i.terminated,
+            Some(i) => i.flagged || i.terminated || i.quarantined,
             None => false, // already released by every other holder
         }
+    }
+
+    /// Iterates every live instance with its id — the walk
+    /// [`Engine::check_invariants`](crate::Engine::check_invariants) uses
+    /// to cross-check container reference counts.
+    pub fn iter(&self) -> impl Iterator<Item = (MonitorId, &Instance<S>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|inst| (MonitorId(i as u32), inst)))
     }
 
     /// Number of live instances.
@@ -311,6 +372,45 @@ mod tests {
         store.terminate(id);
         assert!(store.is_collectable(id));
         assert_eq!(store.stats().flagged, 0);
+    }
+
+    #[test]
+    fn quarantine_is_idempotent_counted_and_collectable() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let id = store.create(Binding::BOTTOM, 1, EventId(0));
+        store.retain(id);
+        assert!(store.quarantine(id), "first quarantine reports a transition");
+        assert!(!store.quarantine(id), "second quarantine is a no-op");
+        assert_eq!(store.stats().quarantined, 1);
+        assert_eq!(store.stats().flagged, 0, "quarantine is not an FM flag");
+        assert!(store.is_collectable(id));
+        store.release(id);
+        assert!(!store.quarantine(id), "collected ids cannot be quarantined");
+        assert_eq!(store.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn try_get_returns_none_for_stale_ids() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let id = store.create(Binding::BOTTOM, 7, EventId(0));
+        store.retain(id);
+        assert_eq!(store.try_get(id).map(|i| i.state), Some(7));
+        store.release(id);
+        assert!(store.try_get(id).is_none());
+        assert!(store.try_get_mut(id).is_none());
+    }
+
+    #[test]
+    fn iter_visits_live_instances_with_refs() {
+        let mut store: MonitorStore<u32> = MonitorStore::new();
+        let a = store.create(Binding::BOTTOM, 1, EventId(0));
+        store.retain(a);
+        store.retain(a);
+        let b = store.create(Binding::BOTTOM, 2, EventId(0));
+        store.retain(b);
+        store.release(b);
+        let seen: Vec<_> = store.iter().map(|(id, i)| (id, i.state, i.refs())).collect();
+        assert_eq!(seen, vec![(a, 1, 2)]);
     }
 
     #[test]

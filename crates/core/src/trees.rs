@@ -157,8 +157,13 @@ impl<V> RvMap<V> {
             };
             let dead = key.iter().any(|(_, obj)| !heap.is_alive(obj));
             if dead {
-                let value = self.map.remove(&key).expect("present above");
-                maintainer.on_dead(key, value);
+                // invariant: the `get_mut` above proved `key` present and
+                // nothing has touched the map since, so the remove yields
+                // the value; the checked form avoids a panic path anyway.
+                debug_assert!(self.map.contains_key(&key), "key vanished mid-expunge");
+                if let Some(value) = self.map.remove(&key) {
+                    maintainer.on_dead(key, value);
+                }
             } else if maintainer.on_live(&key, value) {
                 self.map.remove(&key);
             }

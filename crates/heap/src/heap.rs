@@ -1,5 +1,6 @@
 //! The heap proper: slots, roots, edges, and the mark-sweep collector.
 
+use std::cell::Cell;
 use std::fmt;
 
 use crate::object::{ClassId, ObjId, WeakRef};
@@ -63,6 +64,15 @@ pub struct FrameToken {
     depth: usize,
 }
 
+/// Fault-injection state (see [`Heap::arm_doom`]): after `fuse` further
+/// [`Heap::is_alive`] queries, the `doomed` objects report dead. The query
+/// counter lives in a `Cell` because liveness queries take `&Heap`.
+struct DoomState {
+    queries: Cell<u64>,
+    fuse: u64,
+    doomed: Vec<ObjId>,
+}
+
 /// A simulated managed heap: generational slots, a root stack plus pinned
 /// roots, reference edges, and a stop-the-world mark-sweep collector.
 ///
@@ -80,6 +90,8 @@ pub struct Heap {
     class_names: Vec<String>,
     /// Scratch mark stack, retained across collections to avoid churn.
     mark_scratch: Vec<u32>,
+    /// Armed fault injection, if any (see [`Heap::arm_doom`]).
+    doom: Option<Box<DoomState>>,
 }
 
 impl Heap {
@@ -97,6 +109,7 @@ impl Heap {
             stats: HeapStats::default(),
             class_names: Vec::new(),
             mark_scratch: Vec::new(),
+            doom: None,
         }
     }
 
@@ -172,6 +185,13 @@ impl Heap {
     /// Whether `id` refers to a live object.
     #[must_use]
     pub fn is_alive(&self, id: ObjId) -> bool {
+        if let Some(doom) = &self.doom {
+            let q = doom.queries.get() + 1;
+            doom.queries.set(q);
+            if q > doom.fuse && doom.doomed.contains(&id) {
+                return false;
+            }
+        }
         self.slots
             .get(id.index as usize)
             .is_some_and(|s| s.occupied && s.generation == id.generation)
@@ -304,8 +324,12 @@ impl Heap {
 
     /// Runs a full stop-the-world mark-sweep collection and returns the
     /// number of objects reclaimed. Every [`WeakRef`] whose referent is
-    /// reclaimed observes the death immediately afterwards.
+    /// reclaimed observes the death immediately afterwards. Any armed
+    /// fault injection ([`Heap::arm_doom`]) is disarmed first — the
+    /// collection reclaims the genuinely unreachable objects, making the
+    /// injected deaths real.
     pub fn collect(&mut self) -> usize {
+        self.doom = None;
         self.stats.collections += 1;
         self.allocs_since_gc = 0;
 
@@ -369,6 +393,74 @@ impl Heap {
         s.live = self.live;
         s
     }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// The objects a collection run right now would reclaim, computed by a
+    /// non-mutating mark pass. Used by the chaos harness to pick victims
+    /// whose early deaths are *legal* (they are already unreachable, so no
+    /// future event can involve them).
+    #[must_use]
+    pub fn unreachable_objects(&self) -> Vec<ObjId> {
+        let mut marked = vec![false; self.slots.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for &root in &self.root_stack {
+            let s = &self.slots[root.index as usize];
+            if s.occupied && s.generation == root.generation && !marked[root.index as usize] {
+                marked[root.index as usize] = true;
+                stack.push(root.index);
+            }
+        }
+        for (index, slot) in self.slots.iter().enumerate() {
+            if slot.occupied && slot.pin_count > 0 && !marked[index] {
+                marked[index] = true;
+                stack.push(index as u32);
+            }
+        }
+        while let Some(index) = stack.pop() {
+            for &target in &self.slots[index as usize].edges {
+                let t = &self.slots[target.index as usize];
+                if t.occupied && t.generation == target.generation && !marked[target.index as usize]
+                {
+                    marked[target.index as usize] = true;
+                    stack.push(target.index);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (index, slot) in self.slots.iter().enumerate() {
+            if slot.occupied && !marked[index] {
+                out.push(ObjId { index: index as u32, generation: slot.generation });
+            }
+        }
+        out
+    }
+
+    /// Arms deterministic fault injection: after `fuse` further
+    /// [`Heap::is_alive`] queries, the `doomed` objects report dead — as if
+    /// a concurrent collection landed mid-event (between index lookup and
+    /// transition, or in the middle of tree maintenance).
+    ///
+    /// Callers must pass objects that are genuinely unreachable (see
+    /// [`Heap::unreachable_objects`]) so the early deaths are legal: the
+    /// engine only observes the heap through liveness queries, and a real
+    /// collector could have reclaimed exactly these objects at that point.
+    /// The next [`Heap::collect`] disarms the injection and makes the
+    /// deaths real.
+    pub fn arm_doom(&mut self, fuse: u64, doomed: Vec<ObjId>) {
+        self.doom = Some(Box::new(DoomState { queries: Cell::new(0), fuse, doomed }));
+    }
+
+    /// Disarms fault injection without collecting.
+    pub fn disarm_doom(&mut self) {
+        self.doom = None;
+    }
+
+    /// Whether fault injection is currently armed.
+    #[must_use]
+    pub fn doom_armed(&self) -> bool {
+        self.doom.is_some()
+    }
 }
 
 impl fmt::Debug for Heap {
@@ -379,6 +471,7 @@ impl fmt::Debug for Heap {
             .field("roots", &self.root_stack.len())
             .field("frames", &self.frame_bases.len())
             .field("stats", &self.stats)
+            .field("doom_armed", &self.doom.is_some())
             .finish()
     }
 }
@@ -572,6 +665,42 @@ mod tests {
         h.exit_frame(f);
         h.collect();
         let _ = h.weak_ref(a);
+    }
+
+    #[test]
+    fn unreachable_objects_match_what_collect_reclaims() {
+        let (mut h, c) = heap();
+        let _outer = h.enter_frame();
+        let kept = h.alloc(c);
+        let inner = h.enter_frame();
+        let doomed_a = h.alloc(c);
+        let doomed_b = h.alloc(c);
+        h.add_edge(doomed_a, doomed_b);
+        h.exit_frame(inner);
+        let mut unreachable = h.unreachable_objects();
+        unreachable.sort_unstable_by_key(|o| o.index());
+        assert_eq!(unreachable, vec![doomed_a, doomed_b]);
+        assert!(h.is_alive(kept) && h.is_alive(doomed_a), "mark pass must not mutate");
+        assert_eq!(h.collect(), 2);
+    }
+
+    #[test]
+    fn armed_doom_kills_after_the_fuse_and_collect_disarms() {
+        let (mut h, c) = heap();
+        let _outer = h.enter_frame();
+        let kept = h.alloc(c);
+        let inner = h.enter_frame();
+        let victim = h.alloc(c);
+        h.exit_frame(inner);
+        h.arm_doom(2, vec![victim]);
+        assert!(h.is_alive(victim), "query 1: fuse not blown");
+        assert!(h.is_alive(victim), "query 2: fuse not blown");
+        assert!(!h.is_alive(victim), "query 3: doom reports it dead");
+        assert!(h.is_alive(kept), "non-doomed objects unaffected");
+        h.collect();
+        assert!(!h.doom_armed());
+        assert!(!h.is_alive(victim), "death was made real");
+        assert!(h.is_alive(kept));
     }
 
     #[test]

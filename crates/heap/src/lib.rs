@@ -37,10 +37,12 @@
 //! assert!(!weak.is_alive(&heap));
 //! ```
 
+pub mod chaos;
 mod heap;
 mod object;
 mod stats;
 
+pub use crate::chaos::{ChaosConfig, ChaosHeap, ChaosStats, SplitMix64};
 pub use crate::heap::{FrameToken, Heap, HeapConfig};
 pub use crate::object::{ClassId, ObjId, WeakRef};
 pub use crate::stats::HeapStats;

@@ -12,6 +12,12 @@
 //!                           replay a textual event trace through the
 //!                           monitoring engine, dumping JSONL lifecycle
 //!                           records and a JSON metrics snapshot
+//! rvmon chaos   <spec.rv> [--seed N] [--events M]
+//!                           deterministic fault-injection differential:
+//!                           every property block under every GC policy on
+//!                           a chaos heap, checked against the reference
+//!                           oracle (seed-reproducible; default seed 1,
+//!                           512 events)
 //! ```
 //!
 //! The `trace` event file is line-oriented: `event obj…` dispatches an
@@ -28,13 +34,12 @@ use rv_monitor::spec::{compile, parse, print, CompiledSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, path, extra) = match args.as_slice() {
-        [cmd, path] => (cmd.as_str(), path.as_str(), None),
-        [cmd, path, extra] => (cmd.as_str(), path.as_str(), Some(extra.as_str())),
+    let (cmd, path, rest) = match args.as_slice() {
+        [cmd, path, rest @ ..] => (cmd.as_str(), path.as_str(), rest),
         _ => {
             eprintln!(
-                "usage: rvmon <check|analyze|fmt|dfa|prune|trace> <spec-file> \
-                 [emitted-events|events-file]"
+                "usage: rvmon <check|analyze|fmt|dfa|prune|trace|chaos> <spec-file> \
+                 [emitted-events|events-file|--seed N --events M]"
             );
             return ExitCode::from(2);
         }
@@ -46,18 +51,98 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let extra = rest.first().map(String::as_str);
     match cmd {
+        "check" | "analyze" | "fmt" | "dfa" if !rest.is_empty() => {
+            eprintln!("usage: rvmon {cmd} <spec-file>");
+            ExitCode::from(2)
+        }
         "check" => check(path, &source),
         "analyze" => analyze(path, &source),
         "fmt" => fmt(path, &source),
         "dfa" => dfa(path, &source),
         "prune" => prune(path, &source, extra),
         "trace" => trace(path, &source, extra),
+        "chaos" => chaos(path, &source, rest),
         other => {
             eprintln!("rvmon: unknown command `{other}`");
             ExitCode::from(2)
         }
     }
+}
+
+/// The deterministic fault-injection differential: every property block of
+/// the spec, under every GC policy, driven over a seed-reproducible random
+/// workload on a chaos heap and compared against the Figure 5 oracle.
+fn chaos(path: &str, source: &str, rest: &[String]) -> ExitCode {
+    use rv_monitor::core::{run_block, GcPolicy};
+
+    let mut seed: u64 = 1;
+    let mut events: usize = 512;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let value = |v: Option<&String>| v.and_then(|s| s.parse::<u64>().ok());
+        match arg.as_str() {
+            "--seed" => match value(it.next()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("rvmon: error: --seed takes a numeric argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--events" => match value(it.next()) {
+                Some(n) => events = n as usize,
+                None => {
+                    eprintln!("rvmon: error: --events takes a numeric argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("usage: rvmon chaos <spec-file> [--seed N] [--events M]; got `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut failures = 0u32;
+    for block in 0..spec.properties.len() {
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            match run_block(&spec, block, policy, seed, events) {
+                Ok(out) if out.verdicts_match() => println!(
+                    "block {} {policy:?} seed {seed}: OK — {} event(s), {} trigger(s), \
+                     {} doom(s), {} forced collect(s), {} spike(s)",
+                    block + 1,
+                    out.trace_len,
+                    out.engine_triggers.len(),
+                    out.chaos.dooms,
+                    out.chaos.forced_collects,
+                    out.chaos.spikes
+                ),
+                Ok(out) => {
+                    failures += 1;
+                    eprintln!(
+                        "block {} {policy:?} seed {seed}: error: VERDICT MISMATCH — \
+                         engine reported {:?} but the oracle expected {:?}",
+                        block + 1,
+                        out.engine_triggers,
+                        out.oracle_triggers
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("block {} {policy:?} seed {seed}: error: {e}", block + 1);
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("rvmon chaos: {failures} failing run(s)");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Replays a textual event trace against the compiled spec with a
@@ -105,7 +190,11 @@ fn trace(path: &str, source: &str, events_path: Option<&str>) -> ExitCode {
             continue;
         }
         let mut words = line.split_whitespace();
-        let head = words.next().expect("non-empty line");
+        // invariant: `line` is non-empty after trimming, so there is at
+        // least one word — but degrade to skipping the line regardless.
+        let Some(head) = words.next() else {
+            continue;
+        };
         let report_err = |msg: String| {
             eprintln!("{events_path}:{}: error: {msg}", lineno + 1);
             ExitCode::from(1)
@@ -160,7 +249,9 @@ fn trace(path: &str, source: &str, events_path: Option<&str>) -> ExitCode {
                         (p, obj)
                     })
                     .collect();
-                monitor.process(&heap, event, Binding::from_pairs(&pairs));
+                if let Err(e) = monitor.try_process(&heap, event, Binding::from_pairs(&pairs)) {
+                    return report_err(format!("engine error: {e}"));
+                }
             }
         }
     }
@@ -226,7 +317,12 @@ fn compile_or_report(path: &str, source: &str) -> Result<CompiledSpec, ExitCode>
     match CompiledSpec::from_source(source) {
         Ok(spec) => Ok(spec),
         Err(diag) => {
-            eprintln!("{path}:{}: error: {}", diag.render(source), diag_squiggle(source, &diag));
+            let (line, col) = diag.span.line_col(source);
+            eprintln!(
+                "{path}:{line}:{col}: error: {}{}",
+                diag.message,
+                diag_squiggle(source, &diag)
+            );
             Err(ExitCode::from(1))
         }
     }
@@ -277,7 +373,12 @@ fn analyze(path: &str, source: &str) -> ExitCode {
             continue;
         };
         print!("{}", co.display(&spec.alphabet));
-        let aliveness = prop.aliveness.as_ref().expect("aliveness accompanies coenable");
+        // Coenable sets are only computed together with ALIVENESS, but a
+        // bad spec should degrade to a message, not a panic.
+        let Some(aliveness) = prop.aliveness.as_ref() else {
+            println!("(coenable sets present but ALIVENESS missing — internal inconsistency)");
+            continue;
+        };
         for e in spec.alphabet.iter() {
             let masks: Vec<String> = aliveness
                 .masks(e)
@@ -309,14 +410,20 @@ fn fmt(path: &str, source: &str) -> ExitCode {
         Ok(ast) => {
             // Validate before printing so `fmt` never launders a broken spec.
             if let Err(diag) = compile(&ast) {
-                eprintln!("{path}:{}: error: {}", diag.render(source), diag.message);
+                {
+                    let (line, col) = diag.span.line_col(source);
+                    eprintln!("{path}:{line}:{col}: error: {}", diag.message);
+                }
                 return ExitCode::from(1);
             }
             print!("{}", print(&ast));
             ExitCode::SUCCESS
         }
         Err(diag) => {
-            eprintln!("{path}:{}: error: {}", diag.render(source), diag.message);
+            {
+                let (line, col) = diag.span.line_col(source);
+                eprintln!("{path}:{line}:{col}: error: {}", diag.message);
+            }
             ExitCode::from(1)
         }
     }

@@ -1,0 +1,83 @@
+//! The deterministic fault-injection differential suite: for every catalog
+//! property, every property block, every GC policy, and a battery of fixed
+//! seeds, drive the engine over a random workload on a [`ChaosHeap`]
+//! (forced collections at adversarial points, early-but-legal weak-ref
+//! deaths, allocation-pressure spikes) and assert
+//!
+//! 1. the engine's goal reports equal the Figure 5 reference oracle's on
+//!    the recorded trace (Theorem 1: monitor GC never changes verdicts),
+//!    and
+//! 2. `Engine::check_invariants` holds after every injected fault (checked
+//!    inside `run_block`).
+//!
+//! Runs on the default (offline) build — no external dependencies.
+
+use rv_monitor::core::{run_block, ChaosOutcome, GcPolicy};
+use rv_monitor::props::Property;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+const EVENTS: usize = 192;
+
+/// Runs the full seed battery for one policy across the whole catalog,
+/// returning the outcomes for vacuity aggregation.
+fn battery(policy: GcPolicy) -> Vec<ChaosOutcome> {
+    let mut outcomes = Vec::new();
+    for property in Property::ALL {
+        let spec = rv_monitor::props::compiled(property).expect("catalog compiles");
+        for block in 0..spec.properties.len() {
+            for seed in SEEDS {
+                let out = run_block(&spec, block, policy, seed, EVENTS)
+                    .unwrap_or_else(|e| panic!("{property:?} block {block} seed {seed}: {e}"));
+                assert!(
+                    out.verdicts_match(),
+                    "{property:?} block {block} {policy:?} seed {seed}: \
+                     engine {:?} vs oracle {:?}",
+                    out.engine_triggers,
+                    out.oracle_triggers
+                );
+                assert_eq!(out.trace_len, EVENTS);
+                outcomes.push(out);
+            }
+        }
+    }
+    outcomes
+}
+
+/// A battery is worthless if the dice never injected anything or the
+/// properties never fired: check aggregates, not per-run luck.
+fn assert_not_vacuous(outcomes: &[ChaosOutcome]) {
+    let dooms: u64 = outcomes.iter().map(|o| o.chaos.dooms).sum();
+    let collects: u64 = outcomes.iter().map(|o| o.chaos.forced_collects).sum();
+    let spikes: u64 = outcomes.iter().map(|o| o.chaos.spikes).sum();
+    let triggers: usize = outcomes.iter().map(|o| o.engine_triggers.len()).sum();
+    assert!(dooms > 0, "no early weak-ref deaths were ever injected");
+    assert!(collects > 0, "no forced collections were ever injected");
+    assert!(spikes > 0, "no allocation spikes were ever injected");
+    assert!(triggers > 0, "no property ever triggered — the workload is too tame");
+}
+
+#[test]
+fn chaos_differential_policy_none() {
+    assert_not_vacuous(&battery(GcPolicy::None));
+}
+
+#[test]
+fn chaos_differential_policy_all_params_dead() {
+    assert_not_vacuous(&battery(GcPolicy::AllParamsDead));
+}
+
+#[test]
+fn chaos_differential_policy_coenable_lazy() {
+    assert_not_vacuous(&battery(GcPolicy::CoenableLazy));
+}
+
+/// GC under chaos must actually collect monitors somewhere in the battery,
+/// otherwise the differential isn't exercising the machinery it claims to.
+#[test]
+fn chaos_batteries_exercise_monitor_gc() {
+    let outcomes = battery(GcPolicy::CoenableLazy);
+    let collected: u64 = outcomes.iter().map(|o| o.stats.monitors_collected).sum();
+    let flagged: u64 = outcomes.iter().map(|o| o.stats.monitors_flagged).sum();
+    assert!(collected > 0, "no monitor was ever collected under chaos");
+    assert!(flagged > 0, "no monitor was ever flagged under chaos");
+}

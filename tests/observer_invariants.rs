@@ -10,11 +10,11 @@
 use std::collections::HashMap;
 
 use rv_monitor::core::{
-    Binding, EngineConfig, EngineObserver, EngineStats, FlagCause, GcPolicy, MetricsRegistry,
-    MonitorId, PropertyMonitor, TraceRecorder,
+    Binding, BudgetKind, DegradationPolicy, EngineConfig, EngineObserver, EngineStats, FlagCause,
+    GcPolicy, MetricsRegistry, MonitorId, PropertyMonitor, TraceRecorder,
 };
 use rv_monitor::heap::{Heap, HeapConfig, ObjId};
-use rv_monitor::logic::{EventId, ParamSet, Verdict};
+use rv_monitor::logic::{EventId, ParamId, ParamSet, Verdict};
 use rv_monitor::props::{compiled, Property};
 use rv_monitor::spec::CompiledSpec;
 
@@ -33,6 +33,11 @@ struct Counting {
     sweeps_finished: u64,
     sweep_flagged: u64,
     sweep_collected: u64,
+    budget_trips: u64,
+    deg_entered: u64,
+    deg_exited: u64,
+    shed: u64,
+    quarantined: u64,
 }
 
 impl EngineObserver for Counting {
@@ -74,6 +79,21 @@ impl EngineObserver for Counting {
     }
     fn cache_miss(&mut self) {
         self.cache_misses += 1;
+    }
+    fn budget_tripped(&mut self, _budget: BudgetKind, _observed: u64, _limit: u64) {
+        self.budget_trips += 1;
+    }
+    fn degradation_entered(&mut self, _level: DegradationPolicy) {
+        self.deg_entered += 1;
+    }
+    fn degradation_exited(&mut self, _level: DegradationPolicy) {
+        self.deg_exited += 1;
+    }
+    fn monitor_shed(&mut self, _binding: &Binding) {
+        self.shed += 1;
+    }
+    fn monitor_quarantined(&mut self, _id: MonitorId, _binding: &Binding) {
+        self.quarantined += 1;
     }
 }
 
@@ -156,6 +176,10 @@ fn observer_counts_match_engine_stats_for_all_catalog_properties() {
                 assert_eq!(obs.dead_keys, stats.dead_keys, "{ctx}: dead keys");
                 assert_eq!(obs.triggers, stats.triggers, "{ctx}: triggers");
                 assert_eq!(obs.cache_hits, stats.cache_hits, "{ctx}: cache hits");
+                assert_eq!(obs.budget_trips, stats.budget_trips, "{ctx}: budget trips");
+                assert_eq!(obs.deg_entered, stats.degradations, "{ctx}: degradations");
+                assert_eq!(obs.shed, stats.shed, "{ctx}: shed");
+                assert_eq!(obs.quarantined, stats.quarantined, "{ctx}: quarantined");
                 assert_eq!(
                     obs.cache_hits + obs.cache_misses,
                     stats.events,
@@ -279,6 +303,109 @@ fn trace_recorder_ring_drops_oldest_and_counts_them() {
             assert_eq!(w[1].seq, w[0].seq + 1, "records out of order");
         }
         assert_eq!(records[0].seq, recorder.dropped(), "dropped prefix is accounted");
+    }
+}
+
+/// Drives UNSAFEITER into sustained resource pressure: every collection /
+/// iterator pair stays rooted for the whole run, so with a small
+/// `max_live_monitors` budget only the degradation ladder can bound the
+/// monitor population.
+fn drive_bloat<O: EngineObserver>(
+    config: &EngineConfig,
+    make: impl FnMut(usize) -> O,
+) -> Vec<(O, EngineStats)>
+where
+    O: std::fmt::Debug + Default,
+{
+    let spec = compiled(Property::UnsafeIter).unwrap();
+    let create = spec.alphabet.lookup("create").unwrap();
+    let mut monitor = PropertyMonitor::with_observers(spec, config, make);
+    let mut heap = Heap::new(HeapConfig::manual());
+    let cls = heap.register_class("Obj");
+    let _frame = heap.enter_frame(); // never exited: nothing ever dies
+    let (c, i) = (ParamId(0), ParamId(1));
+    for _ in 0..24 {
+        let coll = heap.alloc(cls);
+        let iter = heap.alloc(cls);
+        monitor.process(&heap, create, Binding::from_pairs(&[(c, coll), (i, iter)]));
+    }
+    monitor
+        .engines_mut()
+        .iter_mut()
+        .map(|e| {
+            let stats = e.stats();
+            (std::mem::take(&mut *e.observer_mut()), stats)
+        })
+        .collect()
+}
+
+/// Under each `DegradationPolicy` ceiling, the budget/degradation/shed
+/// callbacks agree with [`EngineStats`], and the creation ledger balances:
+/// every creation decision is either shed at the admission gate, still
+/// live, or collected — `shed + created − collected == shed + live`.
+#[test]
+fn degradation_observer_parity_and_ledger_under_each_ceiling() {
+    for ceiling in [
+        DegradationPolicy::ForcedSweep,
+        DegradationPolicy::EagerCollect,
+        DegradationPolicy::ShedNewMonitors,
+    ] {
+        let config = EngineConfig {
+            max_live_monitors: Some(4),
+            degradation: ceiling,
+            ..EngineConfig::default()
+        };
+        for (block, (obs, stats)) in
+            drive_bloat(&config, |_| Counting::default()).into_iter().enumerate()
+        {
+            let ctx = format!("ceiling {ceiling:?} block {block}");
+            assert_eq!(obs.budget_trips, stats.budget_trips, "{ctx}: budget trips");
+            assert_eq!(obs.deg_entered, stats.degradations, "{ctx}: degradations entered");
+            assert_eq!(obs.shed, stats.shed, "{ctx}: shed");
+            assert_eq!(obs.quarantined, stats.quarantined, "{ctx}: quarantined");
+            assert!(obs.deg_exited <= obs.deg_entered, "{ctx}: exits ≤ entries");
+            assert!(stats.budget_trips > 0, "{ctx}: the workload must trip the budget");
+            assert!(stats.degradations > 0, "{ctx}: the ladder must engage");
+            assert_eq!(
+                stats.shed + stats.monitors_created - stats.monitors_collected,
+                stats.shed + stats.live_monitors as u64,
+                "{ctx}: shed/created/collected/live ledger must balance"
+            );
+            if ceiling == DegradationPolicy::ShedNewMonitors {
+                assert!(
+                    stats.peak_live_monitors <= 4,
+                    "{ctx}: the full ladder enforces the budget as a hard cap ({stats})"
+                );
+                assert!(stats.shed > 0, "{ctx}: pressure without death must shed");
+            } else {
+                // Shedding is above this ceiling: the population may
+                // exceed the budget, but nothing is ever refused.
+                assert_eq!(stats.shed, 0, "{ctx}: shedding is not permitted at this ceiling");
+            }
+        }
+    }
+}
+
+/// Budget trips, ladder transitions and sheds are visible through both
+/// structured observers: as JSONL records in [`TraceRecorder`] and as
+/// counters in the [`MetricsRegistry`] snapshot.
+#[test]
+fn degradation_transitions_are_visible_in_trace_and_metrics() {
+    let config = EngineConfig { max_live_monitors: Some(4), ..EngineConfig::default() };
+    let runs = drive_bloat(&config, |_| (TraceRecorder::new(1 << 12), MetricsRegistry::new()));
+    for ((recorder, metrics), stats) in runs {
+        assert!(metrics.budget_trips() > 0);
+        assert_eq!(metrics.budget_trips(), stats.budget_trips);
+        assert_eq!(metrics.degradations_entered(), stats.degradations);
+        assert_eq!(metrics.shed(), stats.shed);
+        let jsonl = recorder.dump_jsonl();
+        assert!(jsonl.contains("\"kind\":\"budget_tripped\""), "no trip record:\n{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"degradation_entered\""), "no ladder record:\n{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"shed\""), "no shed record:\n{jsonl}");
+        let snap = metrics.snapshot_json_with(Some(&stats), None);
+        assert!(snap.contains(&format!("\"budget_trips\":{}", stats.budget_trips)), "{snap}");
+        assert!(snap.contains(&format!("\"shed\":{}", stats.shed)), "{snap}");
+        assert!(snap.contains(&format!("\"degradations_entered\":{}", stats.degradations)));
     }
 }
 
