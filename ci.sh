@@ -33,4 +33,22 @@ for seed in 7 41; do
 done
 cargo run -q --release -p rv-bench --bin fig10 -- --scale 0.05 --chaos-seed 7 >/dev/null
 
+# Recovery smoke: journal a run, crash it by chopping the journal tail,
+# recover, and audit the repaired journal. `recover`/`replay` exit
+# nonzero if the state fails the invariant check, and the corrupt-corpus
+# suite asserts typed errors (exit 2, never a panic) on unusable inputs.
+echo "== recovery smoke (journal + kill + recover, release)"
+RVJ_DIR="${TMPDIR:-/tmp}/rv-ci-journal-$$"
+rm -rf "$RVJ_DIR"
+cargo run -q --release --bin rvmon -- run specs/unsafe_iter.rv \
+    examples/unsafe_iter.events --journal "$RVJ_DIR" --checkpoint-every 4 >/dev/null
+SEG="$RVJ_DIR/journal-00000000"
+SIZE=$(wc -c <"$SEG")
+head -c "$((SIZE - 13))" "$SEG" >"$SEG.torn" && mv "$SEG.torn" "$SEG"
+cargo run -q --release --bin rvmon -- recover "$RVJ_DIR" >/dev/null
+cargo run -q --release --bin rvmon -- replay "$RVJ_DIR" >/dev/null
+rm -rf "$RVJ_DIR"
+cargo test -q --release --test recovery_corrupt >/dev/null
+cargo run -q --release -p rv-bench --bin recovery -- --scale 0.02 >/dev/null
+
 echo "CI OK"

@@ -304,13 +304,7 @@ pub fn measure_cell(
         Some(((elapsed.as_secs_f64() / base) - 1.0) * 100.0)
     };
     let stats = sink.engine_stats().into_iter().filter_map(|(_, s)| s).reduce(|mut acc, s| {
-        acc.events += s.events;
-        acc.monitors_created += s.monitors_created;
-        acc.monitors_flagged += s.monitors_flagged;
-        acc.monitors_collected += s.monitors_collected;
-        acc.peak_live_monitors += s.peak_live_monitors;
-        acc.live_monitors += s.live_monitors;
-        acc.triggers += s.triggers;
+        acc.merge_from(&s);
         acc
     });
     CellResult {
@@ -474,6 +468,14 @@ impl StatsReport {
         }
         entry.push('}');
         self.cells.push(entry);
+    }
+
+    /// Records one pre-formatted JSON object as a cell, for figures whose
+    /// columns fit neither the overhead nor the statistics shape (e.g. the
+    /// recovery harness's journal/checkpoint timings). The caller is
+    /// responsible for passing valid JSON.
+    pub fn push_raw_cell(&mut self, cell: String) {
+        self.cells.push(cell);
     }
 
     /// Records one statistics-only cell (Figure 10 has no timing).

@@ -61,7 +61,7 @@ impl ChaosOutcome {
 /// established: the oracle re-fires absorbing verdicts every event while
 /// the engine retires such monitors after the first report, and order
 /// within a step is unspecified on both sides.
-fn dedup(ts: &[Trigger]) -> Vec<Trigger> {
+pub(crate) fn dedup(ts: &[Trigger]) -> Vec<Trigger> {
     let mut seen = std::collections::HashSet::new();
     let mut v: Vec<Trigger> = ts.iter().filter(|t| seen.insert(t.binding)).copied().collect();
     v.sort();

@@ -1,0 +1,741 @@
+//! The kill-at-any-byte crash harness: journaled monitoring under
+//! simulated process death, differentially checked against an
+//! uninterrupted oracle run.
+//!
+//! [`crash_and_recover`] drives one property block over a
+//! seed-reproducible schedule of parametric events, object deaths, heap
+//! collections, and safepoint sweeps, journaling every operation through
+//! a [`JournalWriter`] and writing periodic engine checkpoints. At a
+//! seed-chosen operation it simulates a crash: the writer is dropped and
+//! the on-disk artifacts are mutilated per a [`KillClass`] — the journal
+//! tail truncated at an adversarial byte offset (including byte 0), a bit
+//! flipped in the journal tail, or the newest checkpoint truncated or
+//! bit-flipped. Recovery then proceeds exactly as `rvmon recover` would:
+//! scan the durable journal prefix, restore the latest usable checkpoint,
+//! rebuild the heap by replaying the operation log from sequence 0,
+//! replay the event suffix with trigger deliveries at or below the
+//! durable high-water mark suppressed, re-flag dead keys through the
+//! ALIVENESS path, and resume the remaining schedule with a
+//! [`JournalWriter::resume`]d writer.
+//!
+//! The differential check is the paper's own currency: the recovered
+//! run's final verdicts and E/M/FM/CM statistics must equal the
+//! uninterrupted oracle's (and the Figure 5 reference monitor's), with
+//! zero duplicate trigger deliveries.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use rv_heap::{Heap, HeapConfig, ObjId, SplitMix64};
+use rv_logic::{AnyFormalism, EventId, ParamId};
+use rv_spec::CompiledSpec;
+
+use crate::binding::Binding;
+use crate::chaos::dedup;
+use crate::engine::{Engine, EngineConfig, GcPolicy};
+use crate::error::EngineError;
+use crate::journal::{
+    read_journal, JournalWriter, Record, AUX_CT_COLLECT, AUX_CT_INIT, AUX_CT_KILL, AUX_SWEEP,
+    SEGMENT_HEADER_LEN,
+};
+use crate::reference::{monitor_trace, Trigger};
+use crate::snapshot::{
+    checkpoint_path, list_checkpoints, load_latest_checkpoint, write_checkpoint,
+};
+use crate::stats::EngineStats;
+
+/// Live parameter objects available to the schedule generator.
+const POOL: usize = 6;
+/// Per-op probability of killing (and replacing) a pool object.
+const KILL_PROB: f64 = 0.15;
+/// Per-op probability of forcing a heap collection.
+const COLLECT_PROB: f64 = 0.08;
+/// Per-op probability of a safepoint sweep.
+const SWEEP_PROB: f64 = 0.04;
+/// Segment rotation limit for harness journals — small, so kills regularly
+/// land past a rotation boundary.
+const SEGMENT_BYTES: u64 = 1 << 12;
+
+/// How the simulated crash mutilates the on-disk artifacts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KillClass {
+    /// Truncate the last journal segment to `pct`% of its byte length
+    /// (0 cuts it to nothing, including the header).
+    TruncateJournal(u8),
+    /// Flip one seed-chosen bit in the last journal segment's body.
+    BitFlipJournal,
+    /// Truncate the newest checkpoint file to half its length.
+    TruncateCheckpoint,
+    /// Flip one seed-chosen bit anywhere in the newest checkpoint file.
+    BitFlipCheckpoint,
+}
+
+impl KillClass {
+    /// The sweep the integration suites run: every mutilation mode, with
+    /// journal truncation at byte-offset classes from "everything lost"
+    /// to "one torn record".
+    pub const ALL: [KillClass; 8] = [
+        KillClass::TruncateJournal(0),
+        KillClass::TruncateJournal(25),
+        KillClass::TruncateJournal(55),
+        KillClass::TruncateJournal(85),
+        KillClass::TruncateJournal(99),
+        KillClass::BitFlipJournal,
+        KillClass::TruncateCheckpoint,
+        KillClass::BitFlipCheckpoint,
+    ];
+
+    /// A short label for test output and logs.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            KillClass::TruncateJournal(pct) => format!("truncate_journal_{pct}"),
+            KillClass::BitFlipJournal => "bitflip_journal".to_owned(),
+            KillClass::TruncateCheckpoint => "truncate_checkpoint".to_owned(),
+            KillClass::BitFlipCheckpoint => "bitflip_checkpoint".to_owned(),
+        }
+    }
+
+    /// Distinguishes the rng stream per kill class so different classes
+    /// crash at different schedule points.
+    fn salt(self) -> u64 {
+        match self {
+            KillClass::TruncateJournal(pct) => 0x100 + u64::from(pct),
+            KillClass::BitFlipJournal => 0x200,
+            KillClass::TruncateCheckpoint => 0x300,
+            KillClass::BitFlipCheckpoint => 0x400,
+        }
+    }
+}
+
+/// The result of one kill-and-recover differential run.
+#[derive(Clone, Debug)]
+pub struct CrashOutcome {
+    /// Parametric events in the full schedule.
+    pub trace_len: usize,
+    /// Operation index at which the process "died".
+    pub crash_op: usize,
+    /// Operation index recovery resumed from (the durable op count).
+    pub resumed_at_op: usize,
+    /// Journal sequence covered by the restored checkpoint, if one was
+    /// usable after the mutilation.
+    pub checkpoint_seq: Option<u64>,
+    /// Journal bytes the recovery reader discarded as torn or corrupt.
+    pub lost_bytes: u64,
+    /// Monitors the post-restore ALIVENESS pass re-flagged.
+    pub reflagged: u64,
+    /// Final statistics of the uninterrupted oracle run.
+    pub oracle_stats: EngineStats,
+    /// Final statistics of the crashed-and-recovered run.
+    pub recovered_stats: EngineStats,
+    /// Oracle goal reports: first report per binding, sorted.
+    pub oracle_triggers: Vec<Trigger>,
+    /// Recovered-run goal reports, deduplicated the same way.
+    pub recovered_triggers: Vec<Trigger>,
+    /// Figure 5 reference-monitor reports on the same trace.
+    pub reference_triggers: Vec<Trigger>,
+    /// Goal reports delivered exactly once across the crash boundary.
+    pub delivered: u64,
+    /// Duplicate `(event_seq, ordinal)` deliveries observed — must be 0.
+    pub duplicate_deliveries: u64,
+}
+
+impl CrashOutcome {
+    /// Whether the recovered run's verdicts equal both the uninterrupted
+    /// engine's and the reference monitor's.
+    #[must_use]
+    pub fn verdicts_match(&self) -> bool {
+        self.recovered_triggers == self.oracle_triggers
+            && self.oracle_triggers == self.reference_triggers
+    }
+
+    /// Whether the recovered run's final statistics equal the oracle's.
+    /// `cache_hits` is excluded: a restore deliberately starts with a
+    /// cold lookup cache.
+    #[must_use]
+    pub fn stats_match(&self) -> bool {
+        let mut a = self.recovered_stats;
+        let mut b = self.oracle_stats;
+        a.cache_hits = 0;
+        b.cache_hits = 0;
+        a == b
+    }
+
+    /// The full acceptance predicate: verdicts and stats match, every
+    /// report was delivered exactly once, and the delivery count equals
+    /// the oracle's trigger count.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.verdicts_match()
+            && self.stats_match()
+            && self.duplicate_deliveries == 0
+            && self.delivered == self.oracle_stats.triggers
+    }
+}
+
+/// One step of the deterministic schedule.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Dispatch an event with parameters drawn from pool slots.
+    Event(EventId, Vec<(ParamId, usize)>),
+    /// Kill and replace a pool object.
+    Kill(usize),
+    /// Force a heap collection.
+    Collect,
+    /// Run a safepoint sweep.
+    Sweep,
+}
+
+/// Generates the full op schedule — a pure function of `(spec, seed,
+/// events)`, so recovery can regenerate the tail the journal lost.
+fn schedule(spec: &CompiledSpec, seed: u64, events: usize) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed ^ 0xc3a5_c85c_97cb_3127);
+    let mut ops = Vec::new();
+    let mut emitted = 0;
+    while emitted < events {
+        if rng.chance(KILL_PROB) {
+            ops.push(Op::Kill(rng.gen_range(POOL)));
+            continue;
+        }
+        if rng.chance(COLLECT_PROB) {
+            ops.push(Op::Collect);
+            continue;
+        }
+        if rng.chance(SWEEP_PROB) {
+            ops.push(Op::Sweep);
+            continue;
+        }
+        let e = EventId(rng.gen_range(spec.alphabet.len()) as u16);
+        let slots: Vec<(ParamId, usize)> =
+            spec.event_params[e.as_usize()].iter().map(|&p| (p, rng.gen_range(POOL))).collect();
+        ops.push(Op::Event(e, slots));
+        emitted += 1;
+    }
+    ops
+}
+
+/// The monitored program: a manual heap plus a pinned object pool whose
+/// entire history is determined by the op schedule, so an identically
+/// replayed schedule rebuilds identical [`ObjId`]s.
+struct World {
+    heap: Heap,
+    class: rv_heap::ClassId,
+    pool: Vec<ObjId>,
+}
+
+impl World {
+    fn new() -> World {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let class = heap.register_class("Object");
+        let frame = heap.enter_frame();
+        let pool: Vec<ObjId> = (0..POOL).map(|_| heap.alloc(class)).collect();
+        for &o in &pool {
+            heap.pin(o);
+        }
+        heap.exit_frame(frame);
+        World { heap, class, pool }
+    }
+
+    fn kill(&mut self, slot: usize) {
+        self.heap.unpin(self.pool[slot]);
+        let f = self.heap.enter_frame();
+        let fresh = self.heap.alloc(self.class);
+        self.heap.pin(fresh);
+        self.heap.exit_frame(f);
+        self.pool[slot] = fresh;
+    }
+
+    fn binding(&self, slots: &[(ParamId, usize)]) -> Binding {
+        let pairs: Vec<(ParamId, ObjId)> = slots.iter().map(|&(p, s)| (p, self.pool[s])).collect();
+        Binding::from_pairs(&pairs)
+    }
+}
+
+fn build_engine(spec: &CompiledSpec, block: usize, policy: GcPolicy) -> Engine<AnyFormalism> {
+    let prop = &spec.properties[block];
+    let config = EngineConfig { policy, record_triggers: true, ..EngineConfig::default() };
+    Engine::new(prop.formalism.clone(), spec.event_def.clone(), prop.goal, config)
+}
+
+/// Runs the schedule uninterrupted and returns `(stats, deduped triggers,
+/// trace)` — the oracle side of the differential check.
+fn oracle_run(
+    spec: &CompiledSpec,
+    block: usize,
+    policy: GcPolicy,
+    ops: &[Op],
+) -> Result<(EngineStats, Vec<Trigger>, Vec<(EventId, Binding)>), EngineError> {
+    let mut world = World::new();
+    let mut engine = build_engine(spec, block, policy);
+    let mut trace = Vec::new();
+    for op in ops {
+        match op {
+            Op::Kill(slot) => world.kill(*slot),
+            Op::Collect => {
+                world.heap.collect();
+            }
+            Op::Sweep => engine.full_sweep(&world.heap),
+            Op::Event(e, slots) => {
+                let binding = world.binding(slots);
+                trace.push((*e, binding));
+                engine.try_process(&world.heap, *e, binding)?;
+            }
+        }
+    }
+    engine.finish(&world.heap);
+    engine.check_invariants(&world.heap)?;
+    Ok((engine.stats(), dedup(engine.triggers()), trace))
+}
+
+/// Executes `ops` (whose global schedule indices start at
+/// `first_op_index`) against a journaled engine, appending op and trigger
+/// records and writing a checkpoint every `checkpoint_every` ops.
+/// `on_trigger` sees each fired report's `(event_seq, ordinal)` key.
+#[allow(clippy::too_many_arguments)]
+fn run_journaled(
+    world: &mut World,
+    engine: &mut Engine<AnyFormalism>,
+    journal: &mut JournalWriter,
+    dir: &Path,
+    block: u16,
+    ops: &[Op],
+    first_op_index: usize,
+    checkpoint_every: usize,
+    next_generation: &mut u64,
+    mut on_trigger: impl FnMut(u64, u32),
+) -> Result<(), EngineError> {
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Kill(slot) => {
+                let bytes = (*slot as u32).to_le_bytes().to_vec();
+                journal.append(&Record::Aux { tag: AUX_CT_KILL, bytes }).expect("journal append");
+                world.kill(*slot);
+            }
+            Op::Collect => {
+                journal
+                    .append(&Record::Aux { tag: AUX_CT_COLLECT, bytes: Vec::new() })
+                    .expect("journal append");
+                world.heap.collect();
+            }
+            Op::Sweep => {
+                journal
+                    .append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() })
+                    .expect("journal append");
+                engine.full_sweep(&world.heap);
+            }
+            Op::Event(e, slots) => {
+                let binding = world.binding(slots);
+                let seq =
+                    journal.append(&Record::Event { event: *e, binding }).expect("journal append");
+                let before = engine.triggers().len();
+                engine.try_process(&world.heap, *e, binding)?;
+                let fired: Vec<Trigger> = engine.triggers()[before..].to_vec();
+                for (ord, t) in fired.iter().enumerate() {
+                    let ordinal = ord as u32;
+                    journal
+                        .append(&Record::Trigger {
+                            event_seq: seq,
+                            ordinal,
+                            block,
+                            step: t.step as u64,
+                            verdict: t.verdict,
+                            binding: t.binding,
+                        })
+                        .expect("journal append");
+                    on_trigger(seq, ordinal);
+                }
+            }
+        }
+        if (first_op_index + i + 1) % checkpoint_every == 0 {
+            journal.sync().expect("journal sync");
+            if let Some(payload) = engine.snapshot_bytes() {
+                let covered = journal.next_seq();
+                write_checkpoint(dir, *next_generation, covered, &payload)
+                    .expect("checkpoint write");
+                journal
+                    .append(&Record::CheckpointMark { generation: *next_generation, seq: covered })
+                    .expect("journal append");
+                *next_generation += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn last_segment_path(dir: &Path) -> Option<PathBuf> {
+    let mut last = None;
+    for index in 0u64.. {
+        let p = dir.join(format!("journal-{index:08}"));
+        if p.exists() {
+            last = Some(p);
+        } else {
+            break;
+        }
+    }
+    last
+}
+
+fn flip_bit(path: &Path, offset: u64, bit: u8) {
+    let mut bytes = std::fs::read(path).expect("read artifact");
+    let i = offset as usize;
+    if i < bytes.len() {
+        bytes[i] ^= 1 << (bit % 8);
+        std::fs::write(path, bytes).expect("rewrite artifact");
+    }
+}
+
+/// Mutilates the on-disk artifacts per `kill`, as if the process died at
+/// an adversarial byte.
+fn apply_kill(dir: &Path, kill: KillClass, rng: &mut SplitMix64) {
+    match kill {
+        KillClass::TruncateJournal(pct) => {
+            if let Some(path) = last_segment_path(dir) {
+                let len = std::fs::metadata(&path).expect("stat segment").len();
+                let keep = len * u64::from(pct.min(100)) / 100;
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .expect("open segment")
+                    .set_len(keep)
+                    .expect("truncate segment");
+            }
+        }
+        KillClass::BitFlipJournal => {
+            if let Some(path) = last_segment_path(dir) {
+                let len = std::fs::metadata(&path).expect("stat segment").len();
+                if len > SEGMENT_HEADER_LEN {
+                    let span = len - SEGMENT_HEADER_LEN;
+                    let offset = SEGMENT_HEADER_LEN + rng.gen_range(span as usize) as u64;
+                    flip_bit(&path, offset, (rng.gen_range(8)) as u8);
+                }
+            }
+        }
+        KillClass::TruncateCheckpoint => {
+            if let Some(&generation) = list_checkpoints(dir).last() {
+                let path = checkpoint_path(dir, generation);
+                let len = std::fs::metadata(&path).expect("stat checkpoint").len();
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .expect("open checkpoint")
+                    .set_len(len / 2)
+                    .expect("truncate checkpoint");
+            }
+        }
+        KillClass::BitFlipCheckpoint => {
+            if let Some(&generation) = list_checkpoints(dir).last() {
+                let path = checkpoint_path(dir, generation);
+                let len = std::fs::metadata(&path).expect("stat checkpoint").len();
+                if len > 0 {
+                    flip_bit(&path, rng.gen_range(len as usize) as u64, rng.gen_range(8) as u8);
+                }
+            }
+        }
+    }
+}
+
+/// Runs property block `block` of `spec` under `policy`, kills the
+/// journaled run at a seed-chosen op via `kill`, recovers from the
+/// mutilated artifacts in `dir`, finishes the schedule, and differentially
+/// checks the result against an uninterrupted oracle run.
+///
+/// `dir` is created (and wiped) by the harness; callers own its cleanup.
+///
+/// # Errors
+///
+/// Any [`EngineError`] from the engine, the recovery scan, or the final
+/// invariant checks — under correct operation, none.
+///
+/// # Panics
+///
+/// Panics on IO failure of the scratch directory, or if `block` is out of
+/// range for `spec`.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn crash_and_recover(
+    spec: &CompiledSpec,
+    block: usize,
+    policy: GcPolicy,
+    seed: u64,
+    events: usize,
+    checkpoint_every: usize,
+    kill: KillClass,
+    dir: &Path,
+) -> Result<CrashOutcome, EngineError> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir).expect("clear scratch dir");
+    }
+    let checkpoint_every = checkpoint_every.max(1);
+    let ops = schedule(spec, seed, events);
+    let (oracle_stats, oracle_triggers, trace) = oracle_run(spec, block, policy, &ops)?;
+    let reference_triggers = {
+        let prop = &spec.properties[block];
+        dedup(&monitor_trace(&prop.formalism, prop.goal, &trace).triggers)
+    };
+
+    // The crash point and mutilation offsets come from a stream distinct
+    // from the schedule's, salted by kill class.
+    let mut crash_rng =
+        SplitMix64::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(kill.salt()));
+    let span = (ops.len() / 2).max(1);
+    let crash_op = ops.len() / 4 + crash_rng.gen_range(span);
+
+    // --- Pre-crash journaled run -----------------------------------------
+    let mut journal = JournalWriter::create_with(dir, SEGMENT_BYTES).expect("create journal");
+    journal
+        .append(&Record::Aux { tag: AUX_CT_INIT, bytes: (POOL as u32).to_le_bytes().to_vec() })
+        .expect("journal append");
+    let mut world = World::new();
+    let mut engine = build_engine(spec, block, policy);
+    let mut generation = 0u64;
+    run_journaled(
+        &mut world,
+        &mut engine,
+        &mut journal,
+        dir,
+        block as u16,
+        &ops[..crash_op],
+        0,
+        checkpoint_every,
+        &mut generation,
+        |_, _| {},
+    )?;
+    // Model the bytes that reached the OS before the kill; the mutilation
+    // below decides which of them survive.
+    journal.sync().expect("journal sync");
+    drop(journal);
+    drop(world);
+    drop(engine);
+
+    apply_kill(dir, kill, &mut crash_rng);
+
+    // --- Recovery ---------------------------------------------------------
+    let scan = read_journal(dir)?;
+    let lost_bytes = scan.truncation.as_ref().map_or(0, |t| t.lost_bytes);
+    let (checkpoint, _skipped) = load_latest_checkpoint(dir, scan.next_seq);
+    let hwm = scan.trigger_high_water_mark();
+
+    let mut world = World::new();
+    let mut engine = build_engine(spec, block, policy);
+    let mut replay_from = 0u64;
+    let mut checkpoint_seq = None;
+    if let Some(cp) = &checkpoint {
+        engine.restore_snapshot(&cp.payload, &cp.file)?;
+        replay_from = cp.seq;
+        checkpoint_seq = Some(cp.seq);
+    }
+
+    let mut delivered: HashSet<(u64, u32)> = HashSet::new();
+    let mut duplicate_deliveries = 0u64;
+    let deliver = |key: (u64, u32), dups: &mut u64, set: &mut HashSet<(u64, u32)>| {
+        if !set.insert(key) {
+            *dups += 1;
+        }
+    };
+
+    // Replay the durable prefix: heap ops rebuild the world from sequence
+    // 0 (identical ObjIds), engine effects apply only past the checkpoint.
+    let mut op_records = 0usize;
+    for sr in &scan.records {
+        match &sr.record {
+            Record::Aux { tag, bytes } if *tag == AUX_CT_INIT => {
+                let pool =
+                    bytes.get(..4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize);
+                if pool != Some(POOL) {
+                    return Err(EngineError::CorruptJournal {
+                        file: dir.display().to_string(),
+                        offset: 0,
+                        detail: "crash-harness init record names a different pool size".into(),
+                    });
+                }
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_CT_KILL => {
+                op_records += 1;
+                let slot = bytes
+                    .get(..4)
+                    .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize)
+                    .unwrap_or(0);
+                world.kill(slot % POOL);
+            }
+            Record::Aux { tag, .. } if *tag == AUX_CT_COLLECT => {
+                op_records += 1;
+                world.heap.collect();
+            }
+            Record::Aux { tag, .. } if *tag == AUX_SWEEP => {
+                op_records += 1;
+                if sr.seq >= replay_from {
+                    engine.full_sweep(&world.heap);
+                }
+            }
+            Record::Event { event, binding } => {
+                op_records += 1;
+                if sr.seq >= replay_from {
+                    let before = engine.triggers().len();
+                    engine.try_process(&world.heap, *event, *binding)?;
+                    let fired = engine.triggers().len() - before;
+                    for ord in 0..fired as u32 {
+                        // Reports at or below the durable high-water mark
+                        // were already delivered before the crash — their
+                        // journal records account for them below.
+                        if hwm.is_none_or(|h| (sr.seq, ord) > h) {
+                            deliver((sr.seq, ord), &mut duplicate_deliveries, &mut delivered);
+                        }
+                    }
+                }
+            }
+            Record::Trigger { event_seq, ordinal, .. } => {
+                deliver((*event_seq, *ordinal), &mut duplicate_deliveries, &mut delivered);
+            }
+            _ => {}
+        }
+    }
+
+    // Satellite of the recovery contract: dead keys whose deaths predate
+    // the checkpoint are re-flagged through the ALIVENESS path, and the
+    // recovered state must be structurally sound before resuming.
+    let reflagged = engine.reflag_dead_keys(&world.heap);
+    engine.check_invariants(&world.heap)?;
+
+    // --- Resume the lost tail of the schedule ----------------------------
+    let mut journal = JournalWriter::resume(dir, &scan).expect("resume journal");
+    let mut generation = list_checkpoints(dir).last().map_or(0, |g| g + 1);
+    let resumed_at_op = op_records;
+    {
+        let dups = &mut duplicate_deliveries;
+        let set = &mut delivered;
+        run_journaled(
+            &mut world,
+            &mut engine,
+            &mut journal,
+            dir,
+            block as u16,
+            &ops[resumed_at_op..],
+            resumed_at_op,
+            checkpoint_every,
+            &mut generation,
+            |seq, ord| {
+                if !set.insert((seq, ord)) {
+                    *dups += 1;
+                }
+            },
+        )?;
+    }
+    journal.sync().expect("journal sync");
+    engine.finish(&world.heap);
+    engine.check_invariants(&world.heap)?;
+
+    Ok(CrashOutcome {
+        trace_len: trace.len(),
+        crash_op,
+        resumed_at_op,
+        checkpoint_seq,
+        lost_bytes,
+        reflagged,
+        oracle_stats,
+        recovered_stats: engine.stats(),
+        oracle_triggers,
+        recovered_triggers: dedup(engine.triggers()),
+        reference_triggers,
+        delivered: delivered.len() as u64,
+        duplicate_deliveries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "rv-crashtest-{}-{}-{}",
+            std::process::id(),
+            tag,
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn has_next_spec() -> CompiledSpec {
+        CompiledSpec::from_source(
+            r#"HasNext(Iterator i) {
+                event hasnexttrue(i);
+                event hasnextfalse(i);
+                event next(i);
+                fsm:
+                    unknown [ hasnexttrue -> more  hasnextfalse -> none  next -> error ]
+                    more [ hasnexttrue -> more  next -> unknown ]
+                    none [ hasnextfalse -> none  next -> error ]
+                    error []
+                @error { report "bad"; }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_kill_class_recovers_to_the_oracle_outcome() {
+        let spec = has_next_spec();
+        for kill in KillClass::ALL {
+            let dir = scratch_dir("classes");
+            let out =
+                crash_and_recover(&spec, 0, GcPolicy::CoenableLazy, 7, 96, 8, kill, &dir).unwrap();
+            assert!(
+                out.ok(),
+                "{}: verdicts_match={} stats_match={} dups={} delivered={} \
+                 recovered={:?} oracle={:?}",
+                kill.label(),
+                out.verdicts_match(),
+                out.stats_match(),
+                out.duplicate_deliveries,
+                out.delivered,
+                out.recovered_stats,
+                out.oracle_stats
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn losing_the_whole_journal_restarts_from_scratch() {
+        let spec = has_next_spec();
+        let dir = scratch_dir("wipe");
+        // Huge checkpoint interval: no checkpoint is ever written, and
+        // truncating the only segment to zero bytes leaves nothing durable
+        // — recovery must re-run the entire schedule.
+        let out = crash_and_recover(
+            &spec,
+            0,
+            GcPolicy::AllParamsDead,
+            11,
+            48,
+            10_000,
+            KillClass::TruncateJournal(0),
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(out.resumed_at_op, 0, "nothing durable, everything re-executed");
+        assert!(out.checkpoint_seq.is_none());
+        assert!(out.ok(), "recovered={:?} oracle={:?}", out.recovered_stats, out.oracle_stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_runs_are_reproducible_and_actually_lose_bytes() {
+        let spec = has_next_spec();
+        let dir_a = scratch_dir("repro");
+        let dir_b = scratch_dir("repro");
+        let kill = KillClass::TruncateJournal(55);
+        let a =
+            crash_and_recover(&spec, 0, GcPolicy::CoenableLazy, 13, 96, 8, kill, &dir_a).unwrap();
+        let b =
+            crash_and_recover(&spec, 0, GcPolicy::CoenableLazy, 13, 96, 8, kill, &dir_b).unwrap();
+        assert_eq!(a.recovered_stats, b.recovered_stats, "same seed, same run");
+        assert_eq!(a.crash_op, b.crash_op);
+        assert_eq!(a.resumed_at_op, b.resumed_at_op);
+        assert!(a.lost_bytes > 0, "a 55% cut must discard bytes: {a:?}");
+        assert!(a.resumed_at_op < a.crash_op, "some executed ops must have been lost");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

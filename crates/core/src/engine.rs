@@ -53,7 +53,7 @@ use crate::error::EngineError;
 use crate::obs::{EngineObserver, FlagCause, NoopObserver, Phase};
 use crate::reference::Trigger;
 use crate::stats::EngineStats;
-use crate::store::{MonitorId, MonitorStore};
+use crate::store::{Instance, MonitorId, MonitorStore};
 use crate::trees::{Maintainer, RvMap, RvSet};
 
 /// Pressure-free events required before the engine leaves degradation.
@@ -1262,8 +1262,14 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
     }
 
     fn sweep_once(&mut self, heap: &Heap) {
+        // Visit structures in domain order, not hash order: sweep-driven
+        // releases determine slot reuse, and identical runs (original vs
+        // crash-recovered) must release in the same order.
         let policy = self.config.policy;
-        for tree in self.trees.values_mut() {
+        let mut domains: Vec<ParamSet> = self.trees.keys().copied().collect();
+        domains.sort_unstable();
+        for d in domains {
+            let tree = self.trees.get_mut(&d).expect("domain from keys()");
             let mut sink = NotifySink::new(
                 &mut self.store,
                 &self.aliveness,
@@ -1274,7 +1280,10 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
             );
             tree.expunge_all(heap, &mut sink);
         }
-        for map in self.exact.values_mut() {
+        let mut domains: Vec<ParamSet> = self.exact.keys().copied().collect();
+        domains.sort_unstable();
+        for d in domains {
+            let map = self.exact.get_mut(&d).expect("domain from keys()");
             let mut sink = ExactMaintainer {
                 store: &mut self.store,
                 aliveness: &self.aliveness,
@@ -1291,6 +1300,478 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
     pub fn finish(&mut self, heap: &Heap) {
         self.full_sweep(heap);
     }
+
+    // --- Checkpoint/restore (crash consistency) --------------------------
+
+    /// Serializes the engine's full dynamic state — monitor instances,
+    /// indexing trees, GC flags, the disable table, statistics, recorded
+    /// triggers, and degradation state — as a versioned, self-validating
+    /// byte payload (the checkpoint body of `snapshot.rs`).
+    ///
+    /// The encoding is *canonical*: hash-map contents are sorted by
+    /// binding, everything else keeps its in-memory order (slot positions,
+    /// free-list LIFO order, set membership order, expunge rings), so
+    /// `snapshot → restore → snapshot` is byte-identical and a restored
+    /// engine replays future events exactly as the original would have.
+    ///
+    /// Returns `None` when the formalism has no state codec
+    /// ([`Formalism::encode_state`] unsupported) — every formalism shipped
+    /// with this reproduction has one.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        use crate::journal::encode_binding;
+        use crate::snapshot::{put_bytes, put_u16, put_u32, put_u64};
+        let mut out = Vec::with_capacity(256);
+        out.push(ENGINE_SNAPSHOT_VERSION);
+        // Fingerprint: restoring into an engine built for a different
+        // policy or alphabet must fail loudly, not silently misbehave.
+        out.push(policy_byte(self.config.policy));
+        put_u16(&mut out, self.formalism.alphabet().len() as u16);
+        // Monitor store, positionally: slot indices are the identity the
+        // indexing structures reference.
+        let slots = self.store.snapshot_slots();
+        put_u64(&mut out, slots.len() as u64);
+        let mut state_buf = Vec::new();
+        for slot in slots {
+            match slot {
+                None => out.push(0),
+                Some(inst) => {
+                    out.push(1);
+                    encode_binding(inst.binding, &mut out);
+                    state_buf.clear();
+                    if !self.formalism.encode_state(&inst.state, &mut state_buf) {
+                        return None;
+                    }
+                    put_bytes(&mut out, &state_buf);
+                    put_u16(&mut out, inst.last_event.0);
+                    let flags = u8::from(inst.flagged)
+                        | (u8::from(inst.terminated) << 1)
+                        | (u8::from(inst.quarantined) << 2);
+                    out.push(flags);
+                    put_u32(&mut out, inst.refs());
+                }
+            }
+        }
+        let free = self.store.snapshot_free();
+        put_u64(&mut out, free.len() as u64);
+        for &i in free {
+            put_u32(&mut out, i);
+        }
+        let ss = self.store.stats();
+        put_u64(&mut out, ss.created);
+        put_u64(&mut out, ss.flagged);
+        put_u64(&mut out, ss.collected);
+        put_u64(&mut out, ss.quarantined);
+        put_u64(&mut out, ss.peak_live as u64);
+        put_u64(&mut out, self.store.snapshot_state_bytes() as u64);
+        // Exact-instance tables, sorted by domain.
+        let mut domains: Vec<ParamSet> = self.exact.keys().copied().collect();
+        domains.sort_unstable();
+        put_u32(&mut out, domains.len() as u32);
+        for d in domains {
+            put_u32(&mut out, d.0);
+            encode_rvmap(&self.exact[&d], &mut out, |&id, out| {
+                put_u32(out, id.as_usize() as u32);
+            });
+        }
+        // Indexing trees, sorted by tracked subset.
+        let mut domains: Vec<ParamSet> = self.trees.keys().copied().collect();
+        domains.sort_unstable();
+        put_u32(&mut out, domains.len() as u32);
+        for d in domains {
+            put_u32(&mut out, d.0);
+            encode_rvmap(&self.trees[&d], &mut out, |set: &RvSet, out| {
+                put_u64(out, set.members().len() as u64);
+                for &id in set.members() {
+                    put_u32(out, id.as_usize() as u32);
+                }
+            });
+        }
+        // Disable table: seen sorted, prune ring verbatim.
+        let mut seen: Vec<Binding> = self.disable.seen.iter().copied().collect();
+        seen.sort_unstable();
+        put_u64(&mut out, seen.len() as u64);
+        for b in seen {
+            encode_binding(b, &mut out);
+        }
+        put_u64(&mut out, self.disable.ring.len() as u64);
+        for &b in &self.disable.ring {
+            encode_binding(b, &mut out);
+        }
+        put_u64(&mut out, self.disable.cursor as u64);
+        // Raw statistics field (the store-derived columns are recomputed
+        // by `stats()`; serializing the raw field keeps round trips exact).
+        let s = &self.stats;
+        for v in [
+            s.events,
+            s.monitors_created,
+            s.monitors_flagged,
+            s.monitors_collected,
+            s.peak_live_monitors as u64,
+            s.live_monitors as u64,
+            s.triggers,
+            s.dead_keys,
+            s.creations_skipped,
+            s.cache_hits,
+            s.shed,
+            s.quarantined,
+            s.budget_trips,
+            s.degradations,
+        ] {
+            put_u64(&mut out, v);
+        }
+        // Recorded triggers.
+        put_u64(&mut out, self.triggers.len() as u64);
+        for t in &self.triggers {
+            put_u64(&mut out, t.step as u64);
+            out.push(t.verdict.to_byte());
+            encode_binding(t.binding, &mut out);
+        }
+        // Degradation state.
+        out.push(match self.degradation {
+            None => 0,
+            Some(DegradationPolicy::ForcedSweep) => 1,
+            Some(DegradationPolicy::EagerCollect) => 2,
+            Some(DegradationPolicy::ShedNewMonitors) => 3,
+        });
+        put_u32(&mut out, self.clean_events);
+        out.push(u8::from(self.bytes_over));
+        Some(out)
+    }
+
+    /// Restores a [`Engine::snapshot_bytes`] payload into this engine,
+    /// replacing its dynamic state wholesale. The engine must have been
+    /// constructed with the same formalism, event definition, goal, and
+    /// configuration as the one that took the snapshot (checked via an
+    /// embedded fingerprint).
+    ///
+    /// Restore is *pure*: it does not consult the heap and does not
+    /// re-evaluate GC flags, so `snapshot → restore → snapshot` is
+    /// byte-identical. Recovery orchestration follows it with
+    /// [`Engine::reflag_dead_keys`] (the ALIVENESS re-flagging pass) and
+    /// [`Engine::check_invariants`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::CorruptSnapshot`] (with `file` as context) on any
+    /// malformed, truncated, or fingerprint-mismatched payload; the engine
+    /// is left unmodified in that case.
+    pub fn restore_snapshot(&mut self, bytes: &[u8], file: &str) -> Result<(), EngineError> {
+        self.try_restore(bytes)
+            .map_err(|detail| EngineError::CorruptSnapshot { file: file.to_owned(), detail })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn try_restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+        use crate::snapshot::Cursor;
+        fn need<T>(v: Option<T>, what: &str) -> Result<T, String> {
+            v.ok_or_else(|| format!("truncated or malformed {what}"))
+        }
+        let mut c = Cursor::new(bytes);
+        let version = need(c.u8(), "version byte")?;
+        if version != ENGINE_SNAPSHOT_VERSION {
+            return Err(format!(
+                "unsupported snapshot version {version} (expected {ENGINE_SNAPSHOT_VERSION})"
+            ));
+        }
+        let policy = need(c.u8(), "policy byte")?;
+        if policy != policy_byte(self.config.policy) {
+            return Err(format!(
+                "policy mismatch: snapshot has {policy}, engine runs {:?}",
+                self.config.policy
+            ));
+        }
+        let n_events = usize::from(need(c.u16(), "alphabet size")?);
+        if n_events != self.formalism.alphabet().len() {
+            return Err(format!(
+                "alphabet mismatch: snapshot has {n_events} events, engine has {}",
+                self.formalism.alphabet().len()
+            ));
+        }
+        // Store.
+        let nslots = need(c.count(), "slot count")?;
+        let mut slots: Vec<Option<Instance<F::State>>> = Vec::with_capacity(nslots);
+        for i in 0..nslots {
+            match need(c.u8(), "slot presence byte")? {
+                0 => slots.push(None),
+                1 => {
+                    let binding = need(c.binding(), "monitor binding")?;
+                    let state_bytes = need(c.bytes(), "monitor state")?;
+                    let state = self
+                        .formalism
+                        .decode_state(state_bytes)
+                        .ok_or_else(|| format!("undecodable monitor state in slot {i}"))?;
+                    let last_event = need(c.u16(), "last event")?;
+                    if usize::from(last_event) >= n_events {
+                        return Err(format!("slot {i}: last event {last_event} out of alphabet"));
+                    }
+                    let flags = need(c.u8(), "flag byte")?;
+                    if flags > 0b111 {
+                        return Err(format!("slot {i}: unknown flag bits {flags:#x}"));
+                    }
+                    let refs = need(c.u32(), "reference count")?;
+                    slots.push(Some(Instance::from_parts(
+                        binding,
+                        state,
+                        EventId(last_event),
+                        flags & 1 != 0,
+                        flags & 2 != 0,
+                        flags & 4 != 0,
+                        refs,
+                    )));
+                }
+                b => return Err(format!("slot {i}: invalid presence byte {b}")),
+            }
+        }
+        let nfree = need(c.count(), "free-list length")?;
+        let mut free = Vec::with_capacity(nfree);
+        let mut freed = vec![false; nslots];
+        for _ in 0..nfree {
+            let i = need(c.u32(), "free-list entry")? as usize;
+            if i >= nslots || slots[i].is_some() || freed[i] {
+                return Err(format!("free-list entry {i} does not name an empty slot"));
+            }
+            freed[i] = true;
+            free.push(i as u32);
+        }
+        if free.len() != slots.iter().filter(|s| s.is_none()).count() {
+            return Err("free list does not cover every empty slot".into());
+        }
+        let store_stats = crate::store::StoreStats {
+            created: need(c.u64(), "created count")?,
+            flagged: need(c.u64(), "flagged count")?,
+            collected: need(c.u64(), "collected count")?,
+            quarantined: need(c.u64(), "quarantined count")?,
+            peak_live: need(c.u64(), "peak-live count")? as usize,
+        };
+        let state_extra = need(c.u64(), "state bytes")? as usize;
+        // Exact tables.
+        let live_slot = |id: u32| (id as usize) < nslots && slots[id as usize].is_some();
+        let nexact = need(c.u32(), "exact-table count")? as usize;
+        let mut exact: HashMap<ParamSet, RvMap<MonitorId>> = HashMap::new();
+        for _ in 0..nexact {
+            let domain = ParamSet(need(c.u32(), "exact-table domain")?);
+            let (window, cursor, ring, entries) = decode_rvmap(&mut c, |c| {
+                let id = c.u32()?;
+                live_slot(id).then(|| MonitorId::from_raw(id))
+            })
+            .ok_or("malformed exact table")?;
+            let mut m = RvMap::new();
+            m.restore_parts(window, cursor, ring, entries);
+            if exact.insert(domain, m).is_some() {
+                return Err(format!("duplicate exact table for domain {domain:?}"));
+            }
+        }
+        // Trees.
+        let ntrees = need(c.u32(), "tree count")? as usize;
+        if ntrees != self.trees.len() {
+            return Err(format!(
+                "tree count mismatch: snapshot has {ntrees}, engine tracks {}",
+                self.trees.len()
+            ));
+        }
+        let mut trees: HashMap<ParamSet, RvMap<RvSet>> = HashMap::new();
+        for _ in 0..ntrees {
+            let domain = ParamSet(need(c.u32(), "tree domain")?);
+            if !self.trees.contains_key(&domain) {
+                return Err(format!("snapshot tree domain {domain:?} is not tracked"));
+            }
+            let (window, cursor, ring, entries) = decode_rvmap(&mut c, |c| {
+                let n = c.count()?;
+                let mut set = RvSet::new();
+                for _ in 0..n {
+                    let id = c.u32()?;
+                    if !live_slot(id) {
+                        return None;
+                    }
+                    set.push(MonitorId::from_raw(id));
+                }
+                Some(set)
+            })
+            .ok_or("malformed indexing tree")?;
+            let mut m = RvMap::new();
+            m.restore_parts(window, cursor, ring, entries);
+            if trees.insert(domain, m).is_some() {
+                return Err(format!("duplicate tree for domain {domain:?}"));
+            }
+        }
+        // Disable table.
+        let nseen = need(c.count(), "disable-table size")?;
+        let mut seen = HashSet::with_capacity(nseen);
+        for _ in 0..nseen {
+            if !seen.insert(need(c.binding(), "disable-table binding")?) {
+                return Err("duplicate disable-table binding".into());
+            }
+        }
+        let nring = need(c.count(), "disable-ring length")?;
+        let mut ring = Vec::with_capacity(nring);
+        for _ in 0..nring {
+            ring.push(need(c.binding(), "disable-ring binding")?);
+        }
+        let cursor = need(c.u64(), "disable cursor")? as usize;
+        let disable = DisableTable { seen, ring, cursor };
+        // Statistics.
+        let mut stat = |what| need(c.u64(), what);
+        let stats = EngineStats {
+            events: stat("events stat")?,
+            monitors_created: stat("created stat")?,
+            monitors_flagged: stat("flagged stat")?,
+            monitors_collected: stat("collected stat")?,
+            peak_live_monitors: stat("peak-live stat")? as usize,
+            live_monitors: stat("live stat")? as usize,
+            triggers: stat("triggers stat")?,
+            dead_keys: stat("dead-keys stat")?,
+            creations_skipped: stat("skipped stat")?,
+            cache_hits: stat("cache stat")?,
+            shed: stat("shed stat")?,
+            quarantined: stat("quarantined stat")?,
+            budget_trips: stat("budget stat")?,
+            degradations: stat("degradations stat")?,
+        };
+        // Recorded triggers.
+        let ntriggers = need(c.count(), "trigger count")?;
+        let mut triggers = Vec::with_capacity(ntriggers);
+        for _ in 0..ntriggers {
+            let step = need(c.u64(), "trigger step")? as usize;
+            let verdict = Verdict::from_byte(need(c.u8(), "trigger verdict")?)
+                .ok_or("invalid trigger verdict byte")?;
+            let binding = need(c.binding(), "trigger binding")?;
+            triggers.push(Trigger { step, binding, verdict });
+        }
+        // Degradation state.
+        let degradation = match need(c.u8(), "degradation rung")? {
+            0 => None,
+            1 => Some(DegradationPolicy::ForcedSweep),
+            2 => Some(DegradationPolicy::EagerCollect),
+            3 => Some(DegradationPolicy::ShedNewMonitors),
+            b => return Err(format!("invalid degradation rung {b}")),
+        };
+        let clean_events = need(c.u32(), "clean-event count")?;
+        let bytes_over = match need(c.u8(), "bytes-over flag")? {
+            0 => false,
+            1 => true,
+            b => return Err(format!("invalid bytes-over flag {b}")),
+        };
+        if !c.finished() {
+            return Err("trailing bytes after snapshot payload".into());
+        }
+        // Commit: nothing above touched `self`, so a failed decode leaves
+        // the engine untouched.
+        self.store.restore_parts(slots, free, store_stats, state_extra);
+        self.exact = exact;
+        self.trees = trees;
+        self.disable = disable;
+        self.stats = stats;
+        self.triggers = triggers;
+        self.scratch_ids.clear();
+        self.cache = LookupCache::default();
+        self.event_work = 0;
+        self.degradation = degradation;
+        self.clean_events = clean_events;
+        self.bytes_over = bytes_over;
+        Ok(())
+    }
+
+    /// Re-evaluates the GC flag of every live monitor against the current
+    /// heap through the regular ALIVENESS path — the post-restore pass
+    /// that re-discovers dead keys the snapshot stored as plain object
+    /// ids. Returns how many monitors were newly flagged. Sound for the
+    /// same reason lazy flagging is (Theorem 2): flags only say "no goal
+    /// reachable", and dead objects stay dead.
+    pub fn reflag_dead_keys(&mut self, heap: &Heap) -> u64 {
+        let cause = flag_cause(self.config.policy, &self.aliveness);
+        let mut candidates: Vec<MonitorId> = Vec::new();
+        for (id, inst) in self.store.iter() {
+            if inst.flagged {
+                continue;
+            }
+            let dead = inst.binding.dead_params(heap);
+            if dead.is_empty() {
+                continue;
+            }
+            if should_flag(
+                self.config.policy,
+                &self.aliveness,
+                inst.binding.domain(),
+                inst.last_event,
+                dead,
+            ) {
+                candidates.push(id);
+            }
+        }
+        let mut newly = 0u64;
+        for id in candidates {
+            let (binding, last_event) = {
+                let inst = self.store.get(id);
+                (inst.binding, inst.last_event)
+            };
+            if self.store.flag(id) {
+                newly += 1;
+                let dead = binding.dead_params(heap);
+                self.observer.monitor_flagged(id, &binding, last_event, dead, cause);
+            }
+        }
+        newly
+    }
+}
+
+/// Version byte of the engine snapshot payload (bumped on any layout
+/// change; see DESIGN.md §10 for the version history).
+pub(crate) const ENGINE_SNAPSHOT_VERSION: u8 = 1;
+
+/// The stable one-byte encoding of a [`GcPolicy`] used in snapshot
+/// fingerprints.
+fn policy_byte(policy: GcPolicy) -> u8 {
+    match policy {
+        GcPolicy::None => 0,
+        GcPolicy::AllParamsDead => 1,
+        GcPolicy::CoenableLazy => 2,
+    }
+}
+
+/// Serializes one weak map: expunge schedule verbatim (window, cursor,
+/// ring), then the live entries sorted by binding for a canonical byte
+/// stream.
+fn encode_rvmap<V>(map: &RvMap<V>, out: &mut Vec<u8>, mut enc_value: impl FnMut(&V, &mut Vec<u8>)) {
+    use crate::journal::encode_binding;
+    use crate::snapshot::put_u64;
+    let (window, cursor, ring) = map.snapshot_schedule();
+    put_u64(out, window as u64);
+    put_u64(out, cursor as u64);
+    put_u64(out, ring.len() as u64);
+    for &b in ring {
+        encode_binding(b, out);
+    }
+    let mut entries: Vec<(&Binding, &V)> = map.snapshot_entries().iter().collect();
+    entries.sort_unstable_by_key(|(b, _)| **b);
+    put_u64(out, entries.len() as u64);
+    for (b, v) in entries {
+        encode_binding(*b, out);
+        enc_value(v, out);
+    }
+}
+
+/// Decodes [`encode_rvmap`]; `None` on malformed bytes.
+#[allow(clippy::type_complexity)]
+fn decode_rvmap<V>(
+    c: &mut crate::snapshot::Cursor<'_>,
+    mut dec_value: impl FnMut(&mut crate::snapshot::Cursor<'_>) -> Option<V>,
+) -> Option<(usize, usize, Vec<Binding>, Vec<(Binding, V)>)> {
+    let window = usize::try_from(c.u64()?).ok()?;
+    let cursor = usize::try_from(c.u64()?).ok()?;
+    let nring = c.count()?;
+    let mut ring = Vec::with_capacity(nring);
+    for _ in 0..nring {
+        ring.push(c.binding()?);
+    }
+    let nentries = c.count()?;
+    let mut entries = Vec::with_capacity(nentries);
+    for _ in 0..nentries {
+        let b = c.binding()?;
+        let v = dec_value(c)?;
+        entries.push((b, v));
+    }
+    Some((window, cursor, ring, entries))
 }
 
 /// Nanoseconds since `t`, saturating.
@@ -1932,5 +2413,143 @@ mod cache_tests {
         assert_eq!(stats_on.triggers, stats_off.triggers);
         assert!(stats_on.cache_hits > 0, "the next-loop should hit the cache");
         assert_eq!(stats_off.cache_hits, 0);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use rv_heap::{Heap, HeapConfig, ObjId};
+    use rv_logic::ere::unsafe_iter_ere;
+    use rv_logic::{Alphabet, ParamId};
+
+    const C: ParamId = ParamId(0);
+    const I: ParamId = ParamId(1);
+
+    fn unsafe_iter_engine(policy: GcPolicy) -> (Engine<rv_logic::dfa::Dfa>, Alphabet) {
+        let alphabet = Alphabet::from_names(&["create", "update", "next"]);
+        let dfa = unsafe_iter_ere(&alphabet).compile(&alphabet, 1_000).unwrap();
+        let def = EventDef::new(
+            &alphabet,
+            &["c", "i"],
+            vec![ParamSet::singleton(C).with(I), ParamSet::singleton(C), ParamSet::singleton(I)],
+        );
+        let config = EngineConfig { policy, record_triggers: true, ..EngineConfig::default() };
+        (Engine::new(dfa, def, GoalSet::MATCH, config), alphabet)
+    }
+
+    /// Runs some events, including a mid-trace collection that leaves
+    /// dead keys pending lazy expunging.
+    fn mid_run_engine(
+        policy: GcPolicy,
+    ) -> (Engine<rv_logic::dfa::Dfa>, Alphabet, Heap, ObjId, ObjId) {
+        let (mut engine, alphabet) = unsafe_iter_engine(policy);
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let _outer = heap.enter_frame();
+        let coll = heap.alloc(cls);
+        let iter = heap.alloc(cls);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, coll), (I, iter)]));
+        engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, coll)]));
+        for _ in 0..4 {
+            let inner = heap.enter_frame();
+            let dying = heap.alloc(cls);
+            engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, coll), (I, dying)]));
+            heap.exit_frame(inner);
+        }
+        engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, iter)]));
+        // Collect *after* the last event: the dead keys are still pending
+        // lazy expunging when the snapshot is taken.
+        heap.collect();
+        (engine, alphabet, heap, coll, iter)
+    }
+
+    #[test]
+    fn snapshot_restore_snapshot_is_byte_identical() {
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            let (engine, _, _heap, _, _) = mid_run_engine(policy);
+            let bytes = engine.snapshot_bytes().expect("DFA states are encodable");
+            let (mut fresh, _) = unsafe_iter_engine(policy);
+            fresh.restore_snapshot(&bytes, "mem").unwrap();
+            let again = fresh.snapshot_bytes().unwrap();
+            assert_eq!(bytes, again, "{policy:?}: restore must be pure and exact");
+        }
+    }
+
+    #[test]
+    fn restored_engine_continues_identically() {
+        let (mut original, alphabet, heap, coll, iter) = mid_run_engine(GcPolicy::CoenableLazy);
+        let bytes = original.snapshot_bytes().unwrap();
+        let (mut restored, _) = unsafe_iter_engine(GcPolicy::CoenableLazy);
+        restored.restore_snapshot(&bytes, "mem").unwrap();
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        // Same suffix against both engines on the same heap.
+        for engine in [&mut original, &mut restored] {
+            engine.process(&heap, ev("update"), Binding::from_pairs(&[(C, coll)]));
+            engine.process(&heap, ev("next"), Binding::from_pairs(&[(I, iter)]));
+            engine.full_sweep(&heap);
+        }
+        assert_eq!(original.stats(), restored.stats());
+        assert_eq!(original.triggers(), restored.triggers());
+        assert_eq!(original.snapshot_bytes().unwrap(), restored.snapshot_bytes().unwrap());
+        restored.check_invariants(&heap).unwrap();
+    }
+
+    #[test]
+    fn reflag_after_restore_matches_the_aliveness_path() {
+        // CoenableLazy: the dying iterators' monitors sit at `create`, and the
+        // dead iterator parameter makes the match goal unreachable, so the
+        // ALIVENESS path must re-flag them after a pure restore.
+        let (engine, _, heap, _, _) = mid_run_engine(GcPolicy::CoenableLazy);
+        let bytes = engine.snapshot_bytes().unwrap();
+        let (mut restored, _) = unsafe_iter_engine(GcPolicy::CoenableLazy);
+        restored.restore_snapshot(&bytes, "mem").unwrap();
+        let newly = restored.reflag_dead_keys(&heap);
+        assert!(newly >= 1, "the dying iterators' monitors must be re-flagged");
+        restored.check_invariants(&heap).unwrap();
+        // Idempotent.
+        assert_eq!(restored.reflag_dead_keys(&heap), 0);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_without_modifying_the_engine() {
+        let (engine, _, _heap, _, _) = mid_run_engine(GcPolicy::CoenableLazy);
+        let bytes = engine.snapshot_bytes().unwrap();
+        let (mut fresh, _) = unsafe_iter_engine(GcPolicy::CoenableLazy);
+        let virgin = fresh.snapshot_bytes().unwrap();
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                fresh.restore_snapshot(&bytes[..cut], "cut").is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        // Trailing garbage.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = fresh.restore_snapshot(&padded, "padded").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // Policy fingerprint mismatch.
+        let (mut wrong, _) = unsafe_iter_engine(GcPolicy::None);
+        let err = wrong.restore_snapshot(&bytes, "policy").unwrap_err();
+        assert!(err.to_string().contains("policy mismatch"), "{err}");
+        // Failed restores must leave the engine untouched.
+        assert_eq!(fresh.snapshot_bytes().unwrap(), virgin);
+    }
+
+    #[test]
+    fn restore_rejects_dangling_monitor_references() {
+        let (engine, _, _heap, _, _) = mid_run_engine(GcPolicy::CoenableLazy);
+        let bytes = engine.snapshot_bytes().unwrap();
+        // Flip bytes one at a time across the payload; every outcome must
+        // be a clean Ok (benign field) or Err (caught corruption) — no
+        // panics, no invariant-violating accepts.
+        let (mut fresh, _) = unsafe_iter_engine(GcPolicy::CoenableLazy);
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x01;
+            let _ = fresh.restore_snapshot(&mutated, "flip");
+        }
     }
 }

@@ -43,6 +43,28 @@ pub enum EngineError {
     /// A store/tree/stats consistency invariant failed
     /// ([`Engine::check_invariants`](crate::Engine::check_invariants)).
     InvariantViolation(String),
+    /// A write-ahead journal artifact is unusable: bad magic, a stale
+    /// format version, or corruption at a point recovery cannot skip
+    /// (e.g. the spec header record). Torn *tails* are not errors — the
+    /// recovery reader truncates them — so this fires only when the head
+    /// of the log is gone.
+    CorruptJournal {
+        /// The offending journal segment (or the journal directory).
+        file: String,
+        /// Byte offset of the corruption within that file.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A checkpoint file failed validation (magic/version/CRC/decode) —
+    /// reported when recovery has no older generation to fall back to,
+    /// or when a caller asked for this checkpoint specifically.
+    CorruptSnapshot {
+        /// The offending checkpoint file.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -64,6 +86,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::UnknownEvent(name) => write!(f, "unknown event `{name}`"),
             EngineError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
+            EngineError::CorruptJournal { file, offset, detail } => {
+                write!(f, "corrupt journal: {file} at byte {offset}: {detail}")
+            }
+            EngineError::CorruptSnapshot { file, detail } => {
+                write!(f, "corrupt snapshot: {file}: {detail}")
+            }
         }
     }
 }
@@ -82,5 +110,22 @@ mod tests {
         assert!(e.to_string().contains("invariant violation"));
         let e = EngineError::EventOutOfAlphabet(EventId(9));
         assert!(e.to_string().contains("e9"));
+    }
+
+    #[test]
+    fn durability_errors_carry_file_and_offset_context() {
+        let e = EngineError::CorruptJournal {
+            file: "journal-00000000".into(),
+            offset: 17,
+            detail: "bad magic".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("journal-00000000") && s.contains("byte 17") && s.contains("bad magic"));
+        let e = EngineError::CorruptSnapshot {
+            file: "checkpoint-00000002".into(),
+            detail: "CRC mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("checkpoint-00000002") && s.contains("CRC mismatch"));
     }
 }

@@ -1,0 +1,939 @@
+//! The write-ahead event journal: crash-durable, replayable history of
+//! everything the monitoring pipeline did.
+//!
+//! A journal is a directory of segment files (`journal-00000000`,
+//! `journal-00000001`, …), each starting with a 5-byte header (magic
+//! `RVJL` + format version) followed by length-prefixed records:
+//!
+//! ```text
+//! [len: u32 LE] [seq: u64 LE] [kind: u8] [payload: len-9 bytes] [crc32: u32 LE]
+//! ```
+//!
+//! `len` covers `seq + kind + payload`; the CRC (IEEE 802.3) covers the
+//! same bytes. Sequence numbers are monotone across segments, so replay
+//! and recovery have a single total order to work with. The writer
+//! rotates to a new segment once the current one exceeds a byte limit.
+//!
+//! The recovery reader ([`read_journal`]) is deliberately forgiving about
+//! *tails* and strict about *heads*: a torn or bit-flipped record ends
+//! the scan at the last durable prefix (a crash mid-write is normal
+//! operation, not an error), while a missing magic or a stale version
+//! byte is a typed [`EngineError::CorruptJournal`] — that artifact was
+//! never a journal this code wrote, or needs a migration we don't have.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use rv_heap::ObjId;
+use rv_logic::{EventId, ParamId, Verdict};
+
+use crate::binding::Binding;
+use crate::error::EngineError;
+
+/// Segment file magic: the first four header bytes.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"RVJL";
+
+/// On-disk format version (the fifth header byte).
+pub const JOURNAL_VERSION: u8 = 1;
+
+/// Header length: magic + version byte.
+pub const SEGMENT_HEADER_LEN: u64 = 5;
+
+/// Default segment rotation threshold.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// Upper bound on a single record body; length claims beyond this are
+/// treated as corruption without allocating.
+const MAX_RECORD_LEN: u32 = 1 << 24;
+
+/// Minimum record body length (`seq` + `kind`, empty payload).
+const MIN_RECORD_LEN: u32 = 9;
+
+// --- CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) ----------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 of `bytes` — the checksum every journal record and
+/// checkpoint payload carries.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// --- Record model --------------------------------------------------------
+
+/// Auxiliary record tag: the spec source header (`rvmon run` writes it at
+/// sequence 0 so `rvmon recover DIR` is self-contained).
+pub const AUX_SPEC: u8 = 0;
+/// Auxiliary record tag: a trace `!free` directive (payload: object bits).
+pub const AUX_FREE: u8 = 1;
+/// Auxiliary record tag: a trace `!gc` directive (empty payload).
+pub const AUX_GC: u8 = 2;
+/// Auxiliary record tag: a trace `!sweep` directive (empty payload).
+pub const AUX_SWEEP: u8 = 3;
+/// Auxiliary record tag: crash-harness pool initialisation (payload:
+/// pool size as `u32`).
+pub const AUX_CT_INIT: u8 = 16;
+/// Auxiliary record tag: crash-harness kill-and-replace of a pool slot
+/// (payload: slot as `u32`).
+pub const AUX_CT_KILL: u8 = 17;
+/// Auxiliary record tag: crash-harness forced heap collection (empty
+/// payload).
+pub const AUX_CT_COLLECT: u8 = 18;
+
+/// One journal record. The variants mirror what the pipeline must be able
+/// to reconstruct after a crash: the parametric event stream, the goal
+/// reports already delivered (for duplicate suppression), degradation
+/// transitions, checkpoint placement, and free-form auxiliary entries the
+/// drivers use to make heap history replayable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Record {
+    /// A parametric event dispatched to the engine.
+    Event {
+        /// The event id within the property alphabet.
+        event: EventId,
+        /// The event's parameter instance.
+        binding: Binding,
+    },
+    /// A goal report the trigger path delivered. `(event_seq, ordinal)`
+    /// is the duplicate-suppression key: the journal sequence number of
+    /// the event that fired it, and the report's index within that event.
+    Trigger {
+        /// Journal sequence number of the [`Record::Event`] that fired
+        /// this report.
+        event_seq: u64,
+        /// Zero-based index of this report among the event's reports.
+        ordinal: u32,
+        /// Property block that fired (0 for single-engine drivers).
+        block: u16,
+        /// The engine's event counter at fire time.
+        step: u64,
+        /// The reported verdict.
+        verdict: Verdict,
+        /// The reported binding.
+        binding: Binding,
+    },
+    /// A graceful-degradation transition.
+    Degradation {
+        /// Property block whose engine transitioned.
+        block: u16,
+        /// The degradation level after the transition.
+        level: u8,
+        /// `true` when entering (escalating to) `level`, `false` when
+        /// exiting back down.
+        entered: bool,
+    },
+    /// Marks that checkpoint `generation` was durably written covering
+    /// everything up to journal sequence `seq`. Informational: recovery
+    /// scans checkpoint files directly, but the mark makes `replay`
+    /// output and audits self-explanatory.
+    CheckpointMark {
+        /// The checkpoint generation number.
+        generation: u64,
+        /// The journal sequence the checkpoint covers (exclusive).
+        seq: u64,
+    },
+    /// A driver-defined auxiliary entry (see the `AUX_*` tags).
+    Aux {
+        /// The driver-defined tag.
+        tag: u8,
+        /// Opaque payload bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Encodes a binding as a domain byte followed by one `u64` of object
+/// bits per bound parameter, in parameter order. Shared with the snapshot
+/// encoder (engine.rs).
+pub(crate) fn encode_binding(b: Binding, out: &mut Vec<u8>) {
+    debug_assert!(b.domain().0 <= 0xFF, "MAX_PARAMS is 8; domains fit a byte");
+    out.push(b.domain().0 as u8);
+    for (_, obj) in b.iter() {
+        out.extend_from_slice(&obj.to_bits().to_le_bytes());
+    }
+}
+
+/// Decodes [`encode_binding`]; `None` on truncated bytes.
+pub(crate) fn decode_binding(bytes: &[u8], pos: &mut usize) -> Option<Binding> {
+    let domain = *bytes.get(*pos)?;
+    *pos += 1;
+    let mut pairs = Vec::new();
+    for p in 0..8u8 {
+        if domain & (1u8 << p) != 0 {
+            let raw: [u8; 8] = bytes.get(*pos..*pos + 8)?.try_into().ok()?;
+            *pos += 8;
+            pairs.push((ParamId(p), ObjId::from_bits(u64::from_le_bytes(raw))));
+        }
+    }
+    Some(Binding::from_pairs(&pairs))
+}
+
+fn u16_at(bytes: &[u8], pos: &mut usize) -> Option<u16> {
+    let raw: [u8; 2] = bytes.get(*pos..*pos + 2)?.try_into().ok()?;
+    *pos += 2;
+    Some(u16::from_le_bytes(raw))
+}
+
+fn u32_at(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let raw: [u8; 4] = bytes.get(*pos..*pos + 4)?.try_into().ok()?;
+    *pos += 4;
+    Some(u32::from_le_bytes(raw))
+}
+
+fn u64_at(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let raw: [u8; 8] = bytes.get(*pos..*pos + 8)?.try_into().ok()?;
+    *pos += 8;
+    Some(u64::from_le_bytes(raw))
+}
+
+impl Record {
+    /// The on-disk kind byte.
+    #[must_use]
+    pub fn kind(&self) -> u8 {
+        match self {
+            Record::Event { .. } => 1,
+            Record::Trigger { .. } => 2,
+            Record::Degradation { .. } => 3,
+            Record::CheckpointMark { .. } => 4,
+            Record::Aux { .. } => 5,
+        }
+    }
+
+    /// A short human label for audit output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Record::Event { .. } => "event",
+            Record::Trigger { .. } => "trigger",
+            Record::Degradation { .. } => "degradation",
+            Record::CheckpointMark { .. } => "checkpoint",
+            Record::Aux { .. } => "aux",
+        }
+    }
+
+    /// Serializes the payload (everything after the kind byte).
+    pub fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Record::Event { event, binding } => {
+                out.extend_from_slice(&(event.as_usize() as u16).to_le_bytes());
+                encode_binding(*binding, out);
+            }
+            Record::Trigger { event_seq, ordinal, block, step, verdict, binding } => {
+                out.extend_from_slice(&event_seq.to_le_bytes());
+                out.extend_from_slice(&ordinal.to_le_bytes());
+                out.extend_from_slice(&block.to_le_bytes());
+                out.extend_from_slice(&step.to_le_bytes());
+                out.push(verdict.to_byte());
+                encode_binding(*binding, out);
+            }
+            Record::Degradation { block, level, entered } => {
+                out.extend_from_slice(&block.to_le_bytes());
+                out.push(*level);
+                out.push(u8::from(*entered));
+            }
+            Record::CheckpointMark { generation, seq } => {
+                out.extend_from_slice(&generation.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            Record::Aux { tag, bytes } => {
+                out.push(*tag);
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+
+    /// Decodes a payload for `kind`; `None` on malformed bytes.
+    #[must_use]
+    pub fn decode(kind: u8, payload: &[u8]) -> Option<Record> {
+        let mut pos = 0usize;
+        let rec = match kind {
+            1 => {
+                let event = EventId(u16_at(payload, &mut pos)?);
+                let binding = decode_binding(payload, &mut pos)?;
+                Record::Event { event, binding }
+            }
+            2 => {
+                let event_seq = u64_at(payload, &mut pos)?;
+                let ordinal = u32_at(payload, &mut pos)?;
+                let block = u16_at(payload, &mut pos)?;
+                let step = u64_at(payload, &mut pos)?;
+                let verdict = Verdict::from_byte(*payload.get(pos)?)?;
+                pos += 1;
+                let binding = decode_binding(payload, &mut pos)?;
+                Record::Trigger { event_seq, ordinal, block, step, verdict, binding }
+            }
+            3 => {
+                let block = u16_at(payload, &mut pos)?;
+                let level = *payload.get(pos)?;
+                pos += 1;
+                let entered = match *payload.get(pos)? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                pos += 1;
+                Record::Degradation { block, level, entered }
+            }
+            4 => {
+                let generation = u64_at(payload, &mut pos)?;
+                let seq = u64_at(payload, &mut pos)?;
+                Record::CheckpointMark { generation, seq }
+            }
+            5 => {
+                let tag = *payload.first()?;
+                let rec = Record::Aux { tag, bytes: payload[1..].to_vec() };
+                pos = payload.len();
+                rec
+            }
+            _ => return None,
+        };
+        (pos == payload.len()).then_some(rec)
+    }
+}
+
+// --- Writer --------------------------------------------------------------
+
+/// Counters the journal writer maintains — the journal-overhead numbers
+/// the bench harness folds into `--stats-json`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct JournalStats {
+    /// Records appended.
+    pub records: u64,
+    /// Payload + framing bytes appended (headers excluded).
+    pub bytes: u64,
+    /// Segment rotations performed.
+    pub rotations: u64,
+    /// Explicit `sync` calls that reached the OS.
+    pub syncs: u64,
+}
+
+impl JournalStats {
+    /// Renders the counters as a JSON object (hand-rolled, like the rest
+    /// of the observability layer).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"records\":{},\"bytes\":{},\"rotations\":{},\"syncs\":{}}}",
+            self.records, self.bytes, self.rotations, self.syncs
+        )
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("journal-{index:08}"))
+}
+
+/// An append-only writer over a journal directory.
+pub struct JournalWriter {
+    dir: PathBuf,
+    file: BufWriter<File>,
+    segment_index: u64,
+    segment_bytes: u64,
+    segment_limit: u64,
+    next_seq: u64,
+    stats: JournalStats,
+}
+
+impl fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("dir", &self.dir)
+            .field("segment_index", &self.segment_index)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal in `dir` (creating the directory if
+    /// needed) with the default segment size.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error creating the directory or the first segment.
+    pub fn create(dir: &Path) -> std::io::Result<JournalWriter> {
+        JournalWriter::create_with(dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Creates a fresh journal with an explicit segment rotation limit
+    /// (tests use small limits to exercise rotation).
+    ///
+    /// # Errors
+    ///
+    /// Any IO error creating the directory or the first segment.
+    pub fn create_with(dir: &Path, segment_limit: u64) -> std::io::Result<JournalWriter> {
+        std::fs::create_dir_all(dir)?;
+        let mut w = JournalWriter {
+            dir: dir.to_path_buf(),
+            file: BufWriter::new(File::create(segment_path(dir, 0))?),
+            segment_index: 0,
+            segment_bytes: 0,
+            segment_limit: segment_limit.max(SEGMENT_HEADER_LEN + 64),
+            next_seq: 0,
+            stats: JournalStats::default(),
+        };
+        w.write_header()?;
+        Ok(w)
+    }
+
+    /// Reopens a scanned journal for appending: physically truncates the
+    /// torn tail the scan identified, deletes any segments past it, and
+    /// positions the writer at the scan's `next_seq`.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error truncating or reopening segment files.
+    pub fn resume(dir: &Path, scan: &JournalScan) -> std::io::Result<JournalWriter> {
+        let Some(last) = scan.last_segment else {
+            // Nothing durable at all (empty dir, or a 0-byte first
+            // segment): clear leftovers and start from scratch.
+            for index in 0.. {
+                let p = segment_path(dir, index);
+                if p.exists() {
+                    std::fs::remove_file(p)?;
+                } else {
+                    break;
+                }
+            }
+            return JournalWriter::create(dir);
+        };
+        for index in last.index + 1.. {
+            let p = segment_path(dir, index);
+            if p.exists() {
+                std::fs::remove_file(p)?;
+            } else {
+                break;
+            }
+        }
+        let path = segment_path(dir, last.index);
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(last.valid_bytes)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(JournalWriter {
+            dir: dir.to_path_buf(),
+            file: BufWriter::new(file),
+            segment_index: last.index,
+            segment_bytes: last.valid_bytes,
+            segment_limit: DEFAULT_SEGMENT_BYTES,
+            next_seq: scan.next_seq,
+            stats: JournalStats::default(),
+        })
+    }
+
+    fn write_header(&mut self) -> std::io::Result<()> {
+        self.file.write_all(&SEGMENT_MAGIC)?;
+        self.file.write_all(&[JOURNAL_VERSION])?;
+        self.segment_bytes = SEGMENT_HEADER_LEN;
+        Ok(())
+    }
+
+    /// Appends one record, returning its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error writing to the active segment.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<u64> {
+        if self.segment_bytes >= self.segment_limit {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let mut body = Vec::with_capacity(32);
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.push(record.kind());
+        record.encode_payload(&mut body);
+        let len = u32::try_from(body.len()).expect("record fits u32");
+        let crc = crc32(&body);
+        self.file.write_all(&len.to_le_bytes())?;
+        self.file.write_all(&body)?;
+        self.file.write_all(&crc.to_le_bytes())?;
+        let framed = 4 + body.len() as u64 + 4;
+        self.segment_bytes += framed;
+        self.stats.records += 1;
+        self.stats.bytes += framed;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        self.segment_index += 1;
+        self.file = BufWriter::new(File::create(segment_path(&self.dir, self.segment_index))?);
+        self.write_header()?;
+        self.stats.rotations += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered records and fsyncs the active segment — the
+    /// durability point callers establish before writing a checkpoint
+    /// and at end of run.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error flushing or syncing.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// The sequence number the next appended record will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Writer-side counters.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+}
+
+// --- Recovery reader -----------------------------------------------------
+
+/// Where and why the recovery reader stopped early.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Truncation {
+    /// The segment file containing the tear.
+    pub file: String,
+    /// Byte offset of the first unusable byte.
+    pub offset: u64,
+    /// Bytes past the tear that were discarded (including any later
+    /// segments).
+    pub lost_bytes: u64,
+    /// Human-readable reason (torn record, CRC mismatch, …).
+    pub reason: String,
+}
+
+/// One decoded record with its sequence number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeqRecord {
+    /// The record's journal sequence number.
+    pub seq: u64,
+    /// The decoded record.
+    pub record: Record,
+}
+
+/// Identifies the last segment holding durable data, for tail
+/// truncation on resume.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SegmentPos {
+    /// Segment index.
+    pub index: u64,
+    /// Valid byte length of that segment.
+    pub valid_bytes: u64,
+}
+
+/// The result of scanning a journal directory: the durable record
+/// prefix, plus where (if anywhere) the scan had to stop.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct JournalScan {
+    /// All durable records in sequence order.
+    pub records: Vec<SeqRecord>,
+    /// Present when a torn/corrupt tail was discarded.
+    pub truncation: Option<Truncation>,
+    /// The sequence number a resumed writer continues from.
+    pub next_seq: u64,
+    /// The last segment with durable data (`None` for an empty journal).
+    pub last_segment: Option<SegmentPos>,
+    /// Number of segment files examined.
+    pub segments: u64,
+}
+
+impl JournalScan {
+    /// The duplicate-suppression high-water mark: the lexicographically
+    /// greatest `(event_seq, ordinal)` over all durable trigger records.
+    #[must_use]
+    pub fn trigger_high_water_mark(&self) -> Option<(u64, u32)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r.record {
+                Record::Trigger { event_seq, ordinal, .. } => Some((event_seq, ordinal)),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// The latest `CheckpointMark` in the durable prefix, if any.
+    #[must_use]
+    pub fn last_checkpoint_mark(&self) -> Option<(u64, u64)> {
+        self.records.iter().rev().find_map(|r| match r.record {
+            Record::CheckpointMark { generation, seq } => Some((generation, seq)),
+            _ => None,
+        })
+    }
+}
+
+fn corrupt(path: &Path, offset: u64, detail: impl Into<String>) -> EngineError {
+    EngineError::CorruptJournal { file: path.display().to_string(), offset, detail: detail.into() }
+}
+
+/// Scans the journal in `dir`, returning the durable record prefix.
+///
+/// Torn or bit-flipped tails are truncated (reported in
+/// [`JournalScan::truncation`]), including everything in later segments.
+/// A header that is present but wrong — bad magic or a stale version
+/// byte — is a typed error: that file was never a journal this format
+/// version wrote.
+///
+/// # Errors
+///
+/// [`EngineError::CorruptJournal`] on a bad header, or an IO failure
+/// reading segment files (also mapped to `CorruptJournal`).
+pub fn read_journal(dir: &Path) -> Result<JournalScan, EngineError> {
+    let mut scan = JournalScan::default();
+    let mut expected_seq = 0u64;
+    for index in 0u64.. {
+        let path = segment_path(dir, index);
+        if !path.exists() {
+            break;
+        }
+        scan.segments += 1;
+        let bytes = std::fs::read(&path)
+            .map_err(|e| corrupt(&path, 0, format!("unreadable segment: {e}")))?;
+        // Header validation: a *prefix* of a valid header is a torn
+        // creation (normal crash artifact); anything else is foreign.
+        let mut expected_header = SEGMENT_MAGIC.to_vec();
+        expected_header.push(JOURNAL_VERSION);
+        if bytes.len() < expected_header.len() {
+            if bytes == expected_header[..bytes.len()] {
+                scan.truncation = Some(Truncation {
+                    file: path.display().to_string(),
+                    offset: 0,
+                    lost_bytes: remaining_bytes(dir, index, bytes.len() as u64, 0),
+                    reason: "segment header never completed".into(),
+                });
+                if index > 0 {
+                    // An earlier segment already holds durable data; this
+                    // empty successor is the torn tail.
+                    return Ok(scan);
+                }
+                scan.last_segment = None;
+                return Ok(scan);
+            }
+            return Err(corrupt(&path, 0, "bad magic (not a journal segment)"));
+        }
+        if bytes[..4] != SEGMENT_MAGIC {
+            return Err(corrupt(&path, 0, "bad magic (not a journal segment)"));
+        }
+        if bytes[4] != JOURNAL_VERSION {
+            return Err(corrupt(
+                &path,
+                4,
+                format!("unsupported journal version {} (expected {JOURNAL_VERSION})", bytes[4]),
+            ));
+        }
+        let mut pos = SEGMENT_HEADER_LEN as usize;
+        scan.last_segment = Some(SegmentPos { index, valid_bytes: pos as u64 });
+        loop {
+            if pos == bytes.len() {
+                break;
+            }
+            let tear = |reason: &str| Truncation {
+                file: path.display().to_string(),
+                offset: pos as u64,
+                lost_bytes: remaining_bytes(dir, index, bytes.len() as u64, pos as u64),
+                reason: reason.into(),
+            };
+            let Some(len_raw) = bytes.get(pos..pos + 4) else {
+                scan.truncation = Some(tear("torn length prefix"));
+                return Ok(scan);
+            };
+            let len = u32::from_le_bytes(len_raw.try_into().expect("4 bytes"));
+            if !(MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&len) {
+                scan.truncation = Some(tear("implausible record length"));
+                return Ok(scan);
+            }
+            let body_start = pos + 4;
+            let body_end = body_start + len as usize;
+            let Some(body) = bytes.get(body_start..body_end) else {
+                scan.truncation = Some(tear("torn record body"));
+                return Ok(scan);
+            };
+            let Some(crc_raw) = bytes.get(body_end..body_end + 4) else {
+                scan.truncation = Some(tear("torn record checksum"));
+                return Ok(scan);
+            };
+            let stored = u32::from_le_bytes(crc_raw.try_into().expect("4 bytes"));
+            if stored != crc32(body) {
+                scan.truncation = Some(tear("CRC mismatch"));
+                return Ok(scan);
+            }
+            let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+            if seq != expected_seq {
+                scan.truncation = Some(tear("sequence discontinuity"));
+                return Ok(scan);
+            }
+            let Some(record) = Record::decode(body[8], &body[9..]) else {
+                scan.truncation = Some(tear("undecodable record"));
+                return Ok(scan);
+            };
+            scan.records.push(SeqRecord { seq, record });
+            expected_seq += 1;
+            pos = body_end + 4;
+            scan.next_seq = expected_seq;
+            scan.last_segment = Some(SegmentPos { index, valid_bytes: pos as u64 });
+        }
+    }
+    Ok(scan)
+}
+
+/// Bytes at and past a tear, including whole later segments — the
+/// `lost_bytes` figure of a [`Truncation`].
+fn remaining_bytes(dir: &Path, index: u64, segment_len: u64, offset: u64) -> u64 {
+    let mut lost = segment_len - offset;
+    for later in index + 1.. {
+        let p = segment_path(dir, later);
+        match std::fs::metadata(&p) {
+            Ok(m) => lost += m.len(),
+            Err(_) => break,
+        }
+    }
+    lost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_heap::{Heap, HeapConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("rv-journal-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_binding() -> Binding {
+        let mut heap = Heap::new(HeapConfig::manual());
+        let c = heap.register_class("Obj");
+        let _f = heap.enter_frame();
+        let a = heap.alloc(c);
+        let b = heap.alloc(c);
+        Binding::from_pairs(&[(ParamId(0), a), (ParamId(2), b)])
+    }
+
+    fn sample_records() -> Vec<Record> {
+        let b = sample_binding();
+        vec![
+            Record::Aux { tag: AUX_SPEC, bytes: b"spec text".to_vec() },
+            Record::Event { event: EventId(3), binding: b },
+            Record::Trigger {
+                event_seq: 1,
+                ordinal: 0,
+                block: 0,
+                step: 7,
+                verdict: Verdict::Match,
+                binding: b,
+            },
+            Record::Degradation { block: 0, level: 2, entered: true },
+            Record::CheckpointMark { generation: 1, seq: 4 },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_through_payload_codec() {
+        for rec in sample_records() {
+            let mut payload = Vec::new();
+            rec.encode_payload(&mut payload);
+            let back = Record::decode(rec.kind(), &payload).expect("decodes");
+            assert_eq!(back, rec);
+        }
+        assert!(Record::decode(99, &[]).is_none(), "unknown kind");
+        assert!(Record::decode(4, &[1, 2]).is_none(), "short checkpoint mark");
+        let mut payload = Vec::new();
+        sample_records()[1].encode_payload(&mut payload);
+        payload.push(0);
+        assert!(Record::decode(1, &payload).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn write_scan_round_trip_preserves_order_and_seq() {
+        let dir = temp_dir("roundtrip");
+        let mut w = JournalWriter::create(&dir).unwrap();
+        let recs = sample_records();
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(w.append(r).unwrap(), i as u64);
+        }
+        w.sync().unwrap();
+        assert_eq!(w.stats().records, recs.len() as u64);
+        let scan = read_journal(&dir).unwrap();
+        assert!(scan.truncation.is_none());
+        assert_eq!(scan.next_seq, recs.len() as u64);
+        let got: Vec<Record> = scan.records.iter().map(|r| r.record.clone()).collect();
+        assert_eq!(got, recs);
+        assert_eq!(scan.trigger_high_water_mark(), Some((1, 0)));
+        assert_eq!(scan.last_checkpoint_mark(), Some((1, 4)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments() {
+        let dir = temp_dir("rotate");
+        let mut w = JournalWriter::create_with(&dir, 96).unwrap();
+        for _ in 0..32 {
+            w.append(&Record::Aux { tag: AUX_GC, bytes: vec![0; 16] }).unwrap();
+        }
+        w.sync().unwrap();
+        assert!(w.stats().rotations > 0, "segment limit must force rotation");
+        assert!(segment_path(&dir, 1).exists());
+        let scan = read_journal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 32);
+        assert!(scan.segments > 1);
+        assert!(scan.truncation.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_cut_at_the_last_durable_record() {
+        let dir = temp_dir("torn");
+        let mut w = JournalWriter::create(&dir).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let path = segment_path(&dir, 0);
+        let full = std::fs::read(&path).unwrap();
+        // Cut at every byte boundary: the scan must never fail, and must
+        // recover a monotone prefix of the records.
+        let mut last_count = 0usize;
+        for cut in (SEGMENT_HEADER_LEN as usize..full.len()).rev() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = read_journal(&dir).unwrap();
+            assert!(scan.records.len() <= 5);
+            last_count = last_count.max(scan.records.len());
+            // A cut exactly on a record boundary is indistinguishable from
+            // a clean shutdown; everywhere else the torn tail must be
+            // reported.
+            let on_boundary =
+                scan.last_segment.as_ref().is_some_and(|s| s.valid_bytes == cut as u64);
+            assert!(
+                scan.truncation.is_some() || on_boundary,
+                "cut at {cut} must report truncation"
+            );
+            for (i, r) in scan.records.iter().enumerate() {
+                assert_eq!(r.seq, i as u64);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_crc() {
+        let dir = temp_dir("flip");
+        let mut w = JournalWriter::create(&dir).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let path = segment_path(&dir, 0);
+        let full = std::fs::read(&path).unwrap();
+        for target in [SEGMENT_HEADER_LEN as usize + 6, full.len() - 3, full.len() / 2] {
+            let mut flipped = full.clone();
+            flipped[target] ^= 0x40;
+            std::fs::write(&path, &flipped).unwrap();
+            let scan = read_journal(&dir).unwrap();
+            assert!(
+                scan.records.len() < 5 || scan.truncation.is_some(),
+                "a flipped byte at {target} must not survive"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_stale_version_are_typed_errors() {
+        let dir = temp_dir("header");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = segment_path(&dir, 0);
+        std::fs::write(&path, b"NOPE\x01data").unwrap();
+        match read_journal(&dir) {
+            Err(EngineError::CorruptJournal { detail, .. }) => {
+                assert!(detail.contains("magic"), "{detail}");
+            }
+            other => panic!("expected CorruptJournal, got {other:?}"),
+        }
+        std::fs::write(&path, b"RVJL\x00").unwrap();
+        match read_journal(&dir) {
+            Err(EngineError::CorruptJournal { offset, detail, .. }) => {
+                assert_eq!(offset, 4);
+                assert!(detail.contains("version"), "{detail}");
+            }
+            other => panic!("expected CorruptJournal, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_headerless_journals_scan_as_empty() {
+        let dir = temp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let scan = read_journal(&dir).unwrap();
+        assert!(scan.records.is_empty() && scan.segments == 0);
+        // A 0-byte segment is a crash before the header flushed.
+        std::fs::write(segment_path(&dir, 0), b"").unwrap();
+        let scan = read_journal(&dir).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.truncation.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_the_tail_and_continues_the_sequence() {
+        let dir = temp_dir("resume");
+        let mut w = JournalWriter::create(&dir).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let path = segment_path(&dir, 0);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let scan = read_journal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 4, "last record torn");
+        let mut w = JournalWriter::resume(&dir, &scan).unwrap();
+        assert_eq!(w.next_seq(), 4);
+        w.append(&Record::Aux { tag: AUX_GC, bytes: vec![] }).unwrap();
+        w.sync().unwrap();
+        let rescan = read_journal(&dir).unwrap();
+        assert!(rescan.truncation.is_none(), "tail was repaired");
+        assert_eq!(rescan.records.len(), 5);
+        assert_eq!(rescan.records[4].seq, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -54,24 +54,34 @@
 
 pub mod binding;
 pub mod chaos;
+pub mod crashtest;
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod multi;
 pub mod obs;
 pub mod reference;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod trees;
 
 pub use crate::binding::{Binding, MAX_PARAMS};
 pub use crate::chaos::{run_block, ChaosOutcome};
+pub use crate::crashtest::{crash_and_recover, CrashOutcome, KillClass};
 pub use crate::engine::{BudgetKind, DegradationPolicy, Engine, EngineConfig, GcPolicy};
 pub use crate::error::EngineError;
+pub use crate::journal::{
+    read_journal, JournalScan, JournalStats, JournalWriter, Record, SeqRecord, Truncation,
+};
 pub use crate::multi::PropertyMonitor;
 pub use crate::obs::{
     EngineObserver, FlagCause, Histogram, MetricsRegistry, NoopObserver, Phase, TraceKind,
     TraceRecord, TraceRecorder,
 };
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
+pub use crate::snapshot::{
+    load_latest_checkpoint, plan_recovery, write_checkpoint, Checkpoint, Recovery,
+};
 pub use crate::stats::EngineStats;
 pub use crate::store::{MonitorId, MonitorStore};

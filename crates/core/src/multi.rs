@@ -155,21 +155,7 @@ impl<O: EngineObserver> PropertyMonitor<O> {
     pub fn stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for e in &self.engines {
-            let s = e.stats();
-            total.events += s.events;
-            total.monitors_created += s.monitors_created;
-            total.monitors_flagged += s.monitors_flagged;
-            total.monitors_collected += s.monitors_collected;
-            total.peak_live_monitors += s.peak_live_monitors;
-            total.live_monitors += s.live_monitors;
-            total.triggers += s.triggers;
-            total.dead_keys += s.dead_keys;
-            total.creations_skipped += s.creations_skipped;
-            total.cache_hits += s.cache_hits;
-            total.shed += s.shed;
-            total.quarantined += s.quarantined;
-            total.budget_trips += s.budget_trips;
-            total.degradations += s.degradations;
+            total.merge_from(&e.stats());
         }
         total
     }
@@ -185,6 +171,67 @@ impl<O: EngineObserver> PropertyMonitor<O> {
         for e in &mut self.engines {
             e.finish(heap);
         }
+    }
+
+    /// Serializes every block's engine into one checkpoint payload:
+    /// `[block count u32][per block: payload length u64 + payload]`.
+    ///
+    /// Returns `None` if any engine holds a monitor state its formalism
+    /// cannot serialize.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        crate::snapshot::put_u32(&mut out, u32::try_from(self.engines.len()).ok()?);
+        for e in &self.engines {
+            let payload = e.snapshot_bytes()?;
+            crate::snapshot::put_u64(&mut out, payload.len() as u64);
+            out.extend_from_slice(&payload);
+        }
+        Some(out)
+    }
+
+    /// Restores every block's engine from a [`snapshot_bytes`] payload.
+    ///
+    /// The monitor must have been built from the same compiled spec; a
+    /// mismatched block count or any per-engine decode failure yields
+    /// [`EngineError::CorruptSnapshot`] and leaves already-restored blocks
+    /// as they are (callers recover by rebuilding the monitor).
+    ///
+    /// [`snapshot_bytes`]: Self::snapshot_bytes
+    pub fn restore_snapshot(&mut self, bytes: &[u8], file: &str) -> Result<(), EngineError> {
+        let mut c = crate::snapshot::Cursor::new(bytes);
+        let corrupt = |detail: &str| EngineError::CorruptSnapshot {
+            file: file.to_owned(),
+            detail: detail.to_owned(),
+        };
+        let blocks = c.u32().ok_or_else(|| corrupt("missing block count"))? as usize;
+        if blocks != self.engines.len() {
+            return Err(corrupt("block count does not match the compiled spec"));
+        }
+        for (i, e) in self.engines.iter_mut().enumerate() {
+            let len = c.u64().ok_or_else(|| corrupt("missing engine payload length"))? as usize;
+            let payload = c.take(len).ok_or_else(|| corrupt("short engine payload"))?;
+            e.restore_snapshot(payload, &format!("{file}#block{i}"))?;
+        }
+        if !c.finished() {
+            return Err(corrupt("trailing bytes after final engine payload"));
+        }
+        Ok(())
+    }
+
+    /// Re-runs dead-key flagging over every block after a restore; returns
+    /// the number of newly flagged monitors.
+    pub fn reflag_dead_keys(&mut self, heap: &Heap) -> u64 {
+        self.engines.iter_mut().map(|e| e.reflag_dead_keys(heap)).sum()
+    }
+
+    /// Structural invariant check over every block (recovery acceptance
+    /// gate).
+    pub fn check_invariants(&self, heap: &Heap) -> Result<(), EngineError> {
+        for e in &self.engines {
+            e.check_invariants(heap)?;
+        }
+        Ok(())
     }
 }
 
@@ -254,6 +301,40 @@ mod tests {
         let _f = heap.enter_frame();
         let it = heap.alloc(cls);
         m.process_named(&heap, "zap", Binding::from_pairs(&[(ParamId(0), it)]));
+    }
+
+    #[test]
+    fn snapshot_round_trips_across_all_blocks() {
+        let mut m = has_next_monitor();
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("It");
+        let _f = heap.enter_frame();
+        let it = heap.alloc(cls);
+        let b = Binding::from_pairs(&[(ParamId(0), it)]);
+        m.process_named(&heap, "hasnexttrue", b);
+        m.process_named(&heap, "next", b);
+        let bytes = m.snapshot_bytes().expect("serializable");
+
+        let mut restored = has_next_monitor();
+        restored.restore_snapshot(&bytes, "mem").unwrap();
+        assert_eq!(restored.stats(), m.stats());
+        assert_eq!(restored.snapshot_bytes().unwrap(), bytes, "round-trip is byte-identical");
+        restored.check_invariants(&heap).unwrap();
+        assert_eq!(restored.reflag_dead_keys(&heap), 0, "nothing died, nothing to reflag");
+
+        // Both copies must continue identically — modulo cache_hits, since a
+        // restore deliberately starts with a cold lookup cache.
+        m.process_named(&heap, "next", b);
+        restored.process_named(&heap, "next", b);
+        assert_eq!(restored.triggers(), m.triggers());
+        let (mut a, mut e) = (restored.stats(), m.stats());
+        a.cache_hits = 0;
+        e.cache_hits = 0;
+        assert_eq!(a, e);
+
+        // Corrupt payloads are rejected with a typed error.
+        let err = restored.restore_snapshot(&bytes[..3], "cut").unwrap_err();
+        assert!(matches!(err, EngineError::CorruptSnapshot { .. }), "{err}");
     }
 
     #[test]

@@ -171,6 +171,19 @@ pub trait EngineObserver {
     /// A handler panic quarantined monitor `id`; the engine keeps
     /// processing every other instance.
     fn monitor_quarantined(&mut self, id: MonitorId, binding: &Binding) {}
+
+    /// A checkpoint covering everything up to journal sequence `seq` was
+    /// durably written (`bytes` bytes of payload).
+    fn checkpoint_written(&mut self, seq: u64, bytes: u64) {}
+
+    /// Crash recovery began. `checkpoint_seq` is the journal sequence
+    /// covered by the checkpoint being restored, or `None` when recovery
+    /// falls back to a full journal replay.
+    fn recovery_started(&mut self, checkpoint_seq: Option<u64>) {}
+
+    /// The journal reader truncated `lost_bytes` bytes of torn or corrupt
+    /// tail during recovery.
+    fn records_truncated(&mut self, lost_bytes: u64) {}
 }
 
 /// The do-nothing observer: the engine's default. All callbacks are empty
@@ -273,6 +286,21 @@ impl<A: EngineObserver, B: EngineObserver> EngineObserver for (A, B) {
     fn monitor_quarantined(&mut self, id: MonitorId, binding: &Binding) {
         self.0.monitor_quarantined(id, binding);
         self.1.monitor_quarantined(id, binding);
+    }
+
+    fn checkpoint_written(&mut self, seq: u64, bytes: u64) {
+        self.0.checkpoint_written(seq, bytes);
+        self.1.checkpoint_written(seq, bytes);
+    }
+
+    fn recovery_started(&mut self, checkpoint_seq: Option<u64>) {
+        self.0.recovery_started(checkpoint_seq);
+        self.1.recovery_started(checkpoint_seq);
+    }
+
+    fn records_truncated(&mut self, lost_bytes: u64) {
+        self.0.records_truncated(lost_bytes);
+        self.1.records_truncated(lost_bytes);
     }
 }
 
@@ -443,6 +471,23 @@ pub enum TraceKind {
         id: MonitorId,
         /// Its binding.
         binding: Binding,
+    },
+    /// A checkpoint was durably written.
+    CheckpointWritten {
+        /// The journal sequence the checkpoint covers.
+        seq: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Crash recovery began.
+    RecoveryStarted {
+        /// The restored checkpoint's covered sequence, if one was usable.
+        checkpoint_seq: Option<u64>,
+    },
+    /// The journal reader truncated a torn or corrupt tail.
+    RecordsTruncated {
+        /// Bytes discarded from the journal.
+        lost_bytes: u64,
     },
 }
 
@@ -658,6 +703,24 @@ impl TraceRecorder {
                     json_escape(&render_binding(&binding, def))
                 );
             }
+            TraceKind::CheckpointWritten { seq, bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"checkpoint_written\",\"covered_seq\":{seq},\"bytes\":{bytes}"
+                );
+            }
+            TraceKind::RecoveryStarted { checkpoint_seq } => {
+                out.push_str(",\"kind\":\"recovery_started\",\"checkpoint_seq\":");
+                match checkpoint_seq {
+                    Some(seq) => {
+                        let _ = write!(out, "{seq}");
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+            TraceKind::RecordsTruncated { lost_bytes } => {
+                let _ = write!(out, ",\"kind\":\"records_truncated\",\"lost_bytes\":{lost_bytes}");
+            }
         }
         out.push('}');
         out
@@ -743,6 +806,18 @@ impl EngineObserver for TraceRecorder {
 
     fn monitor_quarantined(&mut self, id: MonitorId, binding: &Binding) {
         self.push(TraceKind::Quarantined { id, binding: *binding });
+    }
+
+    fn checkpoint_written(&mut self, seq: u64, bytes: u64) {
+        self.push(TraceKind::CheckpointWritten { seq, bytes });
+    }
+
+    fn recovery_started(&mut self, checkpoint_seq: Option<u64>) {
+        self.push(TraceKind::RecoveryStarted { checkpoint_seq });
+    }
+
+    fn records_truncated(&mut self, lost_bytes: u64) {
+        self.push(TraceKind::RecordsTruncated { lost_bytes });
     }
 }
 
@@ -873,6 +948,10 @@ pub struct MetricsRegistry {
     degradations_exited: u64,
     shed: u64,
     quarantined: u64,
+    checkpoints_written: u64,
+    checkpoint_bytes: u64,
+    recoveries: u64,
+    journal_bytes_truncated: u64,
     /// Creation→collection age in events.
     lifetime_events: Histogram,
     /// Creation→flag age in events.
@@ -969,6 +1048,30 @@ impl MetricsRegistry {
         self.quarantined
     }
 
+    /// Checkpoints durably written.
+    #[must_use]
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Total checkpoint payload bytes written.
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.checkpoint_bytes
+    }
+
+    /// Crash recoveries started.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Journal bytes discarded as torn or corrupt during recovery.
+    #[must_use]
+    pub fn journal_bytes_truncated(&self) -> u64 {
+        self.journal_bytes_truncated
+    }
+
     /// The creation→collection age histogram (in events).
     #[must_use]
     pub fn lifetime_events(&self) -> &Histogram {
@@ -1015,7 +1118,9 @@ impl MetricsRegistry {
              \"monitors_collected\":{},\"dead_keys\":{},\"triggers\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"sweeps\":{},\
              \"budget_trips\":{},\"degradations_entered\":{},\"degradations_exited\":{},\
-             \"shed\":{},\"quarantined\":{}",
+             \"shed\":{},\"quarantined\":{},\
+             \"checkpoints_written\":{},\"checkpoint_bytes\":{},\
+             \"recoveries\":{},\"journal_bytes_truncated\":{}",
             self.events,
             self.created,
             self.flagged,
@@ -1029,7 +1134,11 @@ impl MetricsRegistry {
             self.degradations_entered,
             self.degradations_exited,
             self.shed,
-            self.quarantined
+            self.quarantined,
+            self.checkpoints_written,
+            self.checkpoint_bytes,
+            self.recoveries,
+            self.journal_bytes_truncated
         );
         out.push_str("},\"histograms\":{");
         let _ = write!(out, "\"monitor_lifetime_events\":{}", self.lifetime_events.to_json());
@@ -1131,6 +1240,19 @@ impl EngineObserver for MetricsRegistry {
 
     fn monitor_quarantined(&mut self, _id: MonitorId, _binding: &Binding) {
         self.quarantined += 1;
+    }
+
+    fn checkpoint_written(&mut self, _seq: u64, bytes: u64) {
+        self.checkpoints_written += 1;
+        self.checkpoint_bytes += bytes;
+    }
+
+    fn recovery_started(&mut self, _checkpoint_seq: Option<u64>) {
+        self.recoveries += 1;
+    }
+
+    fn records_truncated(&mut self, lost_bytes: u64) {
+        self.journal_bytes_truncated += lost_bytes;
     }
 }
 
@@ -1252,6 +1374,39 @@ mod tests {
             "\"degradations_exited\":1",
             "\"shed\":1",
             "\"quarantined\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn durability_callbacks_reach_traces_and_metrics() {
+        let mut rec = TraceRecorder::new(16);
+        rec.checkpoint_written(42, 1024);
+        rec.recovery_started(Some(42));
+        rec.recovery_started(None);
+        rec.records_truncated(17);
+        let dump = rec.dump_jsonl();
+        assert!(dump.contains("\"kind\":\"checkpoint_written\",\"covered_seq\":42,\"bytes\":1024"));
+        assert!(dump.contains("\"kind\":\"recovery_started\",\"checkpoint_seq\":42"), "{dump}");
+        assert!(dump.contains("\"kind\":\"recovery_started\",\"checkpoint_seq\":null"), "{dump}");
+        assert!(dump.contains("\"kind\":\"records_truncated\",\"lost_bytes\":17"), "{dump}");
+
+        let mut m = MetricsRegistry::new();
+        m.checkpoint_written(42, 1024);
+        m.checkpoint_written(99, 512);
+        m.recovery_started(None);
+        m.records_truncated(17);
+        assert_eq!(m.checkpoints_written(), 2);
+        assert_eq!(m.checkpoint_bytes(), 1536);
+        assert_eq!(m.recoveries(), 1);
+        assert_eq!(m.journal_bytes_truncated(), 17);
+        let json = m.snapshot_json();
+        for key in [
+            "\"checkpoints_written\":2",
+            "\"checkpoint_bytes\":1536",
+            "\"recoveries\":1",
+            "\"journal_bytes_truncated\":17",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

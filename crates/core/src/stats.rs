@@ -43,6 +43,28 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Accumulates another engine's counters into this one.
+    ///
+    /// Additive counters sum; `peak_live_monitors` and `live_monitors` also
+    /// sum, because merged engines hold disjoint monitor populations (one
+    /// engine per property block).
+    pub fn merge_from(&mut self, other: &EngineStats) {
+        self.events += other.events;
+        self.monitors_created += other.monitors_created;
+        self.monitors_flagged += other.monitors_flagged;
+        self.monitors_collected += other.monitors_collected;
+        self.peak_live_monitors += other.peak_live_monitors;
+        self.live_monitors += other.live_monitors;
+        self.triggers += other.triggers;
+        self.dead_keys += other.dead_keys;
+        self.creations_skipped += other.creations_skipped;
+        self.cache_hits += other.cache_hits;
+        self.shed += other.shed;
+        self.quarantined += other.quarantined;
+        self.budget_trips += other.budget_trips;
+        self.degradations += other.degradations;
+    }
+
     /// Renders every counter as a flat JSON object (hand-rolled: the
     /// workspace is serde-free).
     #[must_use]
@@ -106,6 +128,25 @@ mod tests {
         assert!(out.contains("M=3"));
         assert!(out.contains("FM=0"));
         assert!(!out.contains("shed="), "robustness columns only shown when active");
+    }
+
+    #[test]
+    fn merge_from_sums_every_counter() {
+        let mut a = EngineStats { events: 1, live_monitors: 2, shed: 3, ..EngineStats::default() };
+        let b = EngineStats {
+            events: 10,
+            live_monitors: 20,
+            shed: 30,
+            peak_live_monitors: 5,
+            degradations: 1,
+            ..EngineStats::default()
+        };
+        a.merge_from(&b);
+        assert_eq!(a.events, 11);
+        assert_eq!(a.live_monitors, 22);
+        assert_eq!(a.shed, 33);
+        assert_eq!(a.peak_live_monitors, 5);
+        assert_eq!(a.degradations, 1);
     }
 
     #[test]

@@ -21,9 +21,8 @@ impl MonitorId {
         self.0 as usize
     }
 
-    /// Fabricates an id from a raw slot index — for observer tests that
-    /// need ids without a store.
-    #[cfg(test)]
+    /// Fabricates an id from a raw slot index — for snapshot restoration
+    /// and observer tests that need ids without a store.
     #[must_use]
     pub(crate) fn from_raw(index: u32) -> MonitorId {
         MonitorId(index)
@@ -59,6 +58,20 @@ impl<S> Instance<S> {
     #[must_use]
     pub fn refs(&self) -> u32 {
         self.refs
+    }
+
+    /// Rebuilds an instance from snapshot fields (restore path).
+    #[allow(clippy::fn_params_excessive_bools)]
+    pub(crate) fn from_parts(
+        binding: Binding,
+        state: S,
+        last_event: EventId,
+        flagged: bool,
+        terminated: bool,
+        quarantined: bool,
+        refs: u32,
+    ) -> Instance<S> {
+        Instance { binding, state, last_event, flagged, terminated, quarantined, refs }
     }
 }
 
@@ -302,6 +315,43 @@ impl<S> MonitorStore<S> {
     #[must_use]
     pub fn estimated_bytes(&self) -> usize {
         self.live * std::mem::size_of::<Option<Instance<S>>>() + self.state_bytes
+    }
+
+    // --- Snapshot access (crate-internal) --------------------------------
+
+    /// The slot array, positionally (snapshot path: slot indices are part
+    /// of the on-disk identity of a monitor).
+    pub(crate) fn snapshot_slots(&self) -> &[Option<Instance<S>>] {
+        &self.slots
+    }
+
+    /// The free list, in its LIFO order (preserved verbatim so restored
+    /// runs reuse slots in the same order the original would have).
+    pub(crate) fn snapshot_free(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Extra per-state heap bytes (CFG charts).
+    pub(crate) fn snapshot_state_bytes(&self) -> usize {
+        self.state_bytes
+    }
+
+    /// Replaces the store's dynamic state wholesale (restore path). The
+    /// collected-id log is cleared; `log_collected` keeps its configured
+    /// value.
+    pub(crate) fn restore_parts(
+        &mut self,
+        slots: Vec<Option<Instance<S>>>,
+        free: Vec<u32>,
+        stats: StoreStats,
+        state_bytes: usize,
+    ) {
+        self.live = slots.iter().filter(|s| s.is_some()).count();
+        self.slots = slots;
+        self.free = free;
+        self.stats = stats;
+        self.state_bytes = state_bytes;
+        self.collected_log.clear();
     }
 }
 

@@ -175,9 +175,13 @@ impl<V> RvMap<V> {
     }
 
     /// Runs maintenance over *every* entry (used by the eager-collection
-    /// ablation and by safepoint sweeps).
+    /// ablation and by safepoint sweeps). Entries are visited in binding
+    /// order: hash order would make the release order — and therefore
+    /// slot reuse and snapshot bytes — vary between identical runs, which
+    /// the crash-recovery harness's differential checks cannot tolerate.
     pub fn expunge_all(&mut self, heap: &Heap, maintainer: &mut impl Maintainer<V>) {
-        let keys: Vec<Binding> = self.map.keys().copied().collect();
+        let mut keys: Vec<Binding> = self.map.keys().copied().collect();
+        keys.sort_unstable();
         for key in keys {
             if key.iter().any(|(_, obj)| !heap.is_alive(obj)) {
                 if let Some(value) = self.map.remove(&key) {
@@ -211,6 +215,37 @@ impl<V> RvMap<V> {
     pub fn estimated_bytes(&self) -> usize {
         self.map.len() * (std::mem::size_of::<Binding>() + std::mem::size_of::<V>())
             + self.ring.len() * std::mem::size_of::<Binding>()
+    }
+
+    // --- Snapshot access (crate-internal) --------------------------------
+    //
+    // The ring and cursor are serialized *verbatim*: they determine which
+    // entries future accesses will expunge, so restoring them exactly is
+    // what makes a recovered run's flag/collect schedule — and therefore
+    // its FM/CM statistics — match the uninterrupted one.
+
+    /// The expunge-schedule state: `(window, cursor, ring)`.
+    pub(crate) fn snapshot_schedule(&self) -> (usize, usize, &[Binding]) {
+        (self.window, self.cursor, &self.ring)
+    }
+
+    /// The live entries, in hash order (snapshot encoders sort them).
+    pub(crate) fn snapshot_entries(&self) -> &HashMap<Binding, V> {
+        &self.map
+    }
+
+    /// Replaces the map's state wholesale (restore path).
+    pub(crate) fn restore_parts(
+        &mut self,
+        window: usize,
+        cursor: usize,
+        ring: Vec<Binding>,
+        entries: Vec<(Binding, V)>,
+    ) {
+        self.map = entries.into_iter().collect();
+        self.ring = ring;
+        self.cursor = cursor;
+        self.window = window;
     }
 }
 

@@ -368,6 +368,73 @@ impl EarleyState {
         self.sets.len() * std::mem::size_of::<Vec<Item>>()
             + self.item_count() * std::mem::size_of::<Item>()
     }
+
+    /// Serializes the chart into `out` (little-endian, self-delimiting):
+    /// verdict byte, set count, then per set an item count followed by
+    /// `(production, dot, origin)` triples. Used by the engine snapshot
+    /// layer; the layout is versioned by the snapshot container, not here.
+    pub fn encode_chart(&self, out: &mut Vec<u8>) {
+        out.push(self.verdict.to_byte());
+        out.extend_from_slice(&(u32::try_from(self.sets.len()).unwrap_or(u32::MAX)).to_le_bytes());
+        for set in &self.sets {
+            out.extend_from_slice(&(u32::try_from(set.len()).unwrap_or(u32::MAX)).to_le_bytes());
+            for item in set {
+                out.extend_from_slice(&item.production.to_le_bytes());
+                out.extend_from_slice(&item.dot.to_le_bytes());
+                out.extend_from_slice(&item.origin.to_le_bytes());
+            }
+        }
+    }
+
+    /// Whether every chart item references a production id below `n` —
+    /// the validity check a decoder runs against its own grammar.
+    #[must_use]
+    pub fn production_ids_below(&self, n: u32) -> bool {
+        self.sets.iter().all(|set| set.iter().all(|item| item.production < n))
+    }
+
+    /// Decodes an [`EarleyState::encode_chart`] buffer. Returns `None` if
+    /// the bytes are truncated or malformed — callers treat that as a
+    /// corrupt snapshot, never a panic.
+    #[must_use]
+    pub fn decode_chart(bytes: &[u8]) -> Option<EarleyState> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let u32_at = |pos: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(pos, 4)?.try_into().ok()?))
+        };
+        let verdict = Verdict::from_byte(*bytes.first()?)?;
+        pos += 1;
+        let nsets = u32_at(&mut pos)? as usize;
+        // A chart always holds at least S₀; each item is 12 bytes, so a
+        // length claim beyond the buffer is rejected before allocating.
+        if nsets == 0 || nsets > bytes.len() {
+            return None;
+        }
+        let mut sets = Vec::with_capacity(nsets);
+        for _ in 0..nsets {
+            let nitems = u32_at(&mut pos)? as usize;
+            if nitems > bytes.len() / 12 + 1 {
+                return None;
+            }
+            let mut set = Vec::with_capacity(nitems);
+            for _ in 0..nitems {
+                let production = u32_at(&mut pos)?;
+                let dot = u32_at(&mut pos)?;
+                let origin = u32_at(&mut pos)?;
+                set.push(Item { production, dot, origin });
+            }
+            sets.push(set);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(EarleyState { sets, verdict })
+    }
 }
 
 /// A compiled CFG monitor: the reduced grammar plus recognition tables.
@@ -748,5 +815,45 @@ mod tests {
         assert_eq!(m.classify(&[b]), Verdict::Fail);
         assert_eq!(m.classify(&[a, b, b]), Verdict::Fail);
         assert_eq!(m.classify(&[a, b, a]), Verdict::Fail, "aba is not a viable prefix");
+    }
+
+    #[test]
+    fn chart_codec_round_trips_mid_recognition() {
+        let al = Alphabet::from_names(&["acquire", "release", "begin", "end"]);
+        let m = CfgMonitor::compile(&safe_lock_grammar(&al), &al).unwrap();
+        let mut s = m.initial_state();
+        for name in ["acquire", "acquire", "release"] {
+            let _ = m.step(&mut s, al.lookup(name).unwrap());
+        }
+        let mut bytes = Vec::new();
+        s.encode_chart(&mut bytes);
+        let back = EarleyState::decode_chart(&bytes).expect("decodes");
+        assert_eq!(back, s);
+        // Decoding must keep stepping identically to the original.
+        let mut a = s.clone();
+        let mut b = back;
+        let e = al.lookup("release").unwrap();
+        assert_eq!(m.step(&mut a, e), m.step(&mut b, e));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chart_codec_rejects_corrupt_bytes() {
+        let al = Alphabet::from_names(&["acquire", "release", "begin", "end"]);
+        let m = CfgMonitor::compile(&safe_lock_grammar(&al), &al).unwrap();
+        let mut bytes = Vec::new();
+        m.initial_state().encode_chart(&mut bytes);
+        assert!(EarleyState::decode_chart(&[]).is_none(), "empty");
+        assert!(EarleyState::decode_chart(&bytes[..bytes.len() - 1]).is_none(), "truncated");
+        let mut bad_verdict = bytes.clone();
+        bad_verdict[0] = 0xff;
+        assert!(EarleyState::decode_chart(&bad_verdict).is_none(), "bad verdict byte");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(EarleyState::decode_chart(&trailing).is_none(), "trailing garbage");
+        // A huge claimed set count must be rejected without allocating.
+        let mut huge = bytes;
+        huge[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(EarleyState::decode_chart(&huge).is_none(), "oversized length claim");
     }
 }

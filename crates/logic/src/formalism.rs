@@ -68,6 +68,22 @@ pub trait Formalism {
         let _ = state;
         std::mem::size_of::<Self::State>()
     }
+
+    /// Serializes one monitor state into `out` for the durability layer
+    /// (checkpoints). Returns `false` when the formalism does not support
+    /// persistence — the conservative default, so exotic plugins degrade
+    /// to "cannot checkpoint" instead of writing garbage.
+    fn encode_state(&self, state: &Self::State, out: &mut Vec<u8>) -> bool {
+        let _ = (state, out);
+        false
+    }
+
+    /// Decodes an [`Formalism::encode_state`] buffer. `None` means the
+    /// bytes are corrupt, truncated, or from an unsupported plugin.
+    fn decode_state(&self, bytes: &[u8]) -> Option<Self::State> {
+        let _ = bytes;
+        None
+    }
 }
 
 /// [`Dfa`] monitors: the state is the current DFA state (`DEAD` = fell off
@@ -102,6 +118,23 @@ impl Formalism for Dfa {
 
     fn enable(&self, goal: GoalSet) -> Option<Vec<(crate::coenable::SetFamily, bool)>> {
         Some(Dfa::enable(self, goal))
+    }
+
+    fn encode_state(&self, state: &u32, out: &mut Vec<u8>) -> bool {
+        out.extend_from_slice(&state.to_le_bytes());
+        true
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<u32> {
+        let raw: [u8; 4] = bytes.try_into().ok()?;
+        let state = u32::from_le_bytes(raw);
+        // Anything outside the machine (other than the DEAD sink) would
+        // make `step` index out of range — that is corruption, not a state.
+        if state == crate::dfa::DEAD || state < self.state_count() {
+            Some(state)
+        } else {
+            None
+        }
     }
 }
 
@@ -140,6 +173,19 @@ impl Formalism for CfgMonitor {
 
     fn state_bytes(&self, state: &EarleyState) -> usize {
         std::mem::size_of::<EarleyState>() + state.chart_bytes()
+    }
+
+    fn encode_state(&self, state: &EarleyState, out: &mut Vec<u8>) -> bool {
+        state.encode_chart(out);
+        true
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<EarleyState> {
+        let state = EarleyState::decode_chart(bytes)?;
+        // The chart indexes productions of *this* grammar; reject charts
+        // referencing productions the grammar does not have.
+        let n = u32::try_from(self.grammar().productions().len()).ok()?;
+        state.production_ids_below(n).then_some(state)
     }
 }
 
@@ -226,6 +272,31 @@ impl Formalism for AnyFormalism {
             _ => panic!("mismatched formalism/state pairing"),
         }
     }
+
+    fn encode_state(&self, state: &AnyState, out: &mut Vec<u8>) -> bool {
+        // A leading plugin tag keeps a snapshot self-describing: decoding
+        // with the wrong formalism fails cleanly instead of misparsing.
+        match (self, state) {
+            (AnyFormalism::Dfa(d), AnyState::Dfa(s)) => {
+                out.push(1);
+                Formalism::encode_state(d, s, out)
+            }
+            (AnyFormalism::Cfg(c), AnyState::Cfg(s)) => {
+                out.push(2);
+                Formalism::encode_state(c, s, out)
+            }
+            _ => panic!("mismatched formalism/state pairing"),
+        }
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<AnyState> {
+        let (&tag, rest) = bytes.split_first()?;
+        match (self, tag) {
+            (AnyFormalism::Dfa(d), 1) => Some(AnyState::Dfa(Formalism::decode_state(d, rest)?)),
+            (AnyFormalism::Cfg(c), 2) => Some(AnyState::Cfg(Formalism::decode_state(c, rest)?)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +335,36 @@ mod tests {
         assert!(f.coenable(GoalSet::MATCH).is_some());
         assert!(f.coenable(GoalSet::FAIL).is_none(), "CFG coenable is match-only");
         assert!(f.state_bytes(&s) > 0);
+    }
+
+    #[test]
+    fn state_codecs_round_trip_and_reject_cross_plugin_bytes() {
+        let (a, spec) = has_next_fsm();
+        let dfa = AnyFormalism::Dfa(spec.compile(&a).unwrap());
+        let al = Alphabet::from_names(&["acquire", "release", "begin", "end"]);
+        let cfg = AnyFormalism::Cfg(CfgMonitor::compile(&safe_lock_grammar(&al), &al).unwrap());
+
+        let mut s = dfa.initial_state();
+        let _ = dfa.step(&mut s, a.lookup("hasnexttrue").unwrap());
+        let mut bytes = Vec::new();
+        assert!(dfa.encode_state(&s, &mut bytes));
+        let back = dfa.decode_state(&bytes).expect("dfa state decodes");
+        assert_eq!(dfa.verdict(&back), dfa.verdict(&s));
+        assert!(cfg.decode_state(&bytes).is_none(), "wrong plugin tag must fail");
+
+        let mut cs = cfg.initial_state();
+        let _ = cfg.step(&mut cs, al.lookup("acquire").unwrap());
+        let mut cbytes = Vec::new();
+        assert!(cfg.encode_state(&cs, &mut cbytes));
+        let cback = cfg.decode_state(&cbytes).expect("cfg state decodes");
+        assert_eq!(cfg.verdict(&cback), cfg.verdict(&cs));
+        assert!(dfa.decode_state(&cbytes).is_none());
+
+        // Out-of-range DFA states are corruption, not states.
+        let mut bogus = vec![1u8];
+        bogus.extend_from_slice(&12345u32.to_le_bytes());
+        assert!(dfa.decode_state(&bogus).is_none());
+        assert!(dfa.decode_state(&[]).is_none());
     }
 
     #[test]

@@ -21,6 +21,32 @@ pub enum Verdict {
     Unknown,
 }
 
+impl Verdict {
+    /// A stable one-byte encoding for durability formats (journals and
+    /// snapshots). The values are part of the on-disk format and must
+    /// never be renumbered.
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Verdict::Match => 1,
+            Verdict::Fail => 2,
+            Verdict::Unknown => 3,
+        }
+    }
+
+    /// Decodes [`Verdict::to_byte`]; `None` on an unknown byte (corrupt
+    /// or future-version input).
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<Verdict> {
+        match b {
+            1 => Some(Verdict::Match),
+            2 => Some(Verdict::Fail),
+            3 => Some(Verdict::Unknown),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -146,5 +172,14 @@ mod tests {
     fn from_verdicts_builds_union() {
         let g = GoalSet::from_verdicts(&[Verdict::Match, Verdict::Fail]);
         assert!(g.contains(Verdict::Match) && g.contains(Verdict::Fail));
+    }
+
+    #[test]
+    fn verdict_byte_codec_round_trips() {
+        for v in [Verdict::Match, Verdict::Fail, Verdict::Unknown] {
+            assert_eq!(Verdict::from_byte(v.to_byte()), Some(v));
+        }
+        assert_eq!(Verdict::from_byte(0), None);
+        assert_eq!(Verdict::from_byte(4), None);
     }
 }

@@ -18,6 +18,22 @@
 //!                           a chaos heap, checked against the reference
 //!                           oracle (seed-reproducible; default seed 1,
 //!                           512 events)
+//! rvmon run     <spec.rv> <events-file> --journal DIR
+//!                           [--checkpoint-every N]
+//!                           like `trace`, but crash-consistent: every
+//!                           event, directive, and goal report is written
+//!                           ahead to a checksummed journal in DIR, with a
+//!                           full engine checkpoint every N events
+//!                           (default 32)
+//! rvmon recover <journal-dir>
+//!                           crash recovery: restore the latest usable
+//!                           checkpoint, truncate the torn journal tail,
+//!                           replay the durable suffix (suppressing goal
+//!                           reports already delivered), and write a fresh
+//!                           checkpoint
+//! rvmon replay  <journal-dir>
+//!                           audit a journal by re-executing it from
+//!                           sequence 0, printing triggers and statistics
 //! ```
 //!
 //! The `trace` event file is line-oriented: `event obj…` dispatches an
@@ -34,12 +50,23 @@ use rv_monitor::spec::{compile, parse, print, CompiledSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `recover` and `replay` operate on a journal directory, not a spec
+    // file — dispatch them before the spec-reading path below.
+    if let Some(cmd @ ("recover" | "replay")) = args.first().map(String::as_str) {
+        let [_, dir] = args.as_slice() else {
+            eprintln!("usage: rvmon {cmd} <journal-dir>");
+            return ExitCode::from(2);
+        };
+        let dir = std::path::Path::new(dir);
+        return if cmd == "recover" { recover(dir) } else { replay(dir) };
+    }
     let (cmd, path, rest) = match args.as_slice() {
         [cmd, path, rest @ ..] => (cmd.as_str(), path.as_str(), rest),
         _ => {
             eprintln!(
-                "usage: rvmon <check|analyze|fmt|dfa|prune|trace|chaos> <spec-file> \
-                 [emitted-events|events-file|--seed N --events M]"
+                "usage: rvmon <check|analyze|fmt|dfa|prune|trace|chaos|run> <spec-file> \
+                 [emitted-events|events-file|--seed N --events M|--journal DIR] \
+                 | rvmon <recover|replay> <journal-dir>"
             );
             return ExitCode::from(2);
         }
@@ -64,6 +91,7 @@ fn main() -> ExitCode {
         "prune" => prune(path, &source, extra),
         "trace" => trace(path, &source, extra),
         "chaos" => chaos(path, &source, rest),
+        "run" => run(path, &source, rest),
         other => {
             eprintln!("rvmon: unknown command `{other}`");
             ExitCode::from(2)
@@ -272,6 +300,492 @@ fn trace(path: &str, source: &str, events_path: Option<&str>) -> ExitCode {
         println!("# block {} metrics", i + 1);
         println!("{}", metrics.snapshot_json_with(Some(&stats), Some(&heap_stats)));
     }
+    ExitCode::SUCCESS
+}
+
+/// `rvmon run` — the journaled twin of `trace`: every event, directive,
+/// and goal report is written ahead to a checksummed journal before (or
+/// as) it takes effect, and a full engine checkpoint is written every
+/// `--checkpoint-every` events, so `rvmon recover` can resurrect the run
+/// after a crash at any byte.
+fn run(path: &str, source: &str, rest: &[String]) -> ExitCode {
+    match run_inner(path, source, rest) {
+        Ok(code) => code,
+        Err((code, msg)) => {
+            eprintln!("rvmon: error: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8, String)> {
+    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_SPEC, AUX_SWEEP};
+    use rv_monitor::core::snapshot::write_checkpoint;
+    use rv_monitor::core::{Binding, EngineConfig, JournalWriter, PropertyMonitor, Record};
+    use rv_monitor::heap::{Heap, HeapConfig};
+
+    let mut events_path: Option<&str> = None;
+    let mut journal_dir: Option<&str> = None;
+    let mut checkpoint_every: usize = 32;
+    let usage = || {
+        (
+            2u8,
+            "usage: rvmon run <spec-file> <events-file> --journal DIR [--checkpoint-every N]"
+                .to_owned(),
+        )
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--journal" => journal_dir = Some(it.next().ok_or_else(usage)?.as_str()),
+            "--checkpoint-every" => {
+                checkpoint_every = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(usage)?;
+            }
+            other if events_path.is_none() && !other.starts_with("--") => {
+                events_path = Some(other);
+            }
+            _ => return Err(usage()),
+        }
+    }
+    let (Some(events_path), Some(journal_dir)) = (events_path, journal_dir) else {
+        return Err(usage());
+    };
+    let journal_dir = std::path::Path::new(journal_dir);
+    let events = std::fs::read_to_string(events_path)
+        .map_err(|e| (2, format!("cannot read {events_path}: {e}")))?;
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let alphabet = spec.alphabet.clone();
+    let event_params = spec.event_params.clone();
+    let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+    let mut monitor = PropertyMonitor::new(spec, &config);
+
+    let io = |e: std::io::Error| (2u8, format!("journal write failed: {e}"));
+    let mut journal = JournalWriter::create(journal_dir).map_err(io)?;
+    // Sequence 0 carries the spec source, so `recover` and `replay` are
+    // self-contained: the journal directory alone reconstitutes the run.
+    journal
+        .append(&Record::Aux { tag: AUX_SPEC, bytes: source.as_bytes().to_vec() })
+        .map_err(io)?;
+
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Obj");
+    let mut objects: std::collections::HashMap<String, rv_monitor::heap::ObjId> =
+        std::collections::HashMap::new();
+    let mut events_since_checkpoint = 0usize;
+    let mut generation = 0u64;
+    for (lineno, raw) in events.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let Some(head) = words.next() else {
+            continue;
+        };
+        let report_err = |msg: String| (1u8, format!("{events_path}:{}: {msg}", lineno + 1));
+        match head {
+            "!gc" => {
+                journal.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() }).map_err(io)?;
+                heap.collect();
+            }
+            "!sweep" => {
+                journal.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() }).map_err(io)?;
+                for engine in monitor.engines_mut() {
+                    engine.full_sweep(&heap);
+                }
+            }
+            "!free" => {
+                let mut freed = Vec::new();
+                let mut payload = Vec::new();
+                for name in words {
+                    let Some(&obj) = objects.get(name) else {
+                        return Err(report_err(format!("unknown object `{name}`")));
+                    };
+                    payload.extend_from_slice(&obj.to_bits().to_le_bytes());
+                    freed.push(obj);
+                }
+                journal.append(&Record::Aux { tag: AUX_FREE, bytes: payload }).map_err(io)?;
+                for obj in freed {
+                    heap.unpin(obj);
+                }
+            }
+            event_name => {
+                let Some(event) = alphabet.lookup(event_name) else {
+                    return Err(report_err(format!(
+                        "`{event_name}` is not an event of this spec \
+                         (directives are !free, !gc, !sweep)"
+                    )));
+                };
+                let params = &event_params[event.as_usize()];
+                let names: Vec<&str> = words.collect();
+                if names.len() != params.len() {
+                    return Err(report_err(format!(
+                        "event `{event_name}` takes {} object(s), got {}",
+                        params.len(),
+                        names.len()
+                    )));
+                }
+                let pairs: Vec<_> = params
+                    .iter()
+                    .zip(&names)
+                    .map(|(&p, &name)| {
+                        let obj = *objects.entry(name.to_owned()).or_insert_with(|| {
+                            let frame = heap.enter_frame();
+                            let o = heap.alloc(class);
+                            heap.pin(o);
+                            heap.exit_frame(frame);
+                            o
+                        });
+                        (p, obj)
+                    })
+                    .collect();
+                let binding = Binding::from_pairs(&pairs);
+                let seq = journal.append(&Record::Event { event, binding }).map_err(io)?;
+                let before: Vec<usize> =
+                    monitor.engines().iter().map(|e| e.triggers().len()).collect();
+                monitor
+                    .try_process(&heap, event, binding)
+                    .map_err(|e| report_err(format!("engine error: {e}")))?;
+                // Goal reports are journaled with a global per-event
+                // ordinal across blocks, in engine order — the duplicate
+                // suppression key recovery uses.
+                let mut ordinal = 0u32;
+                let fired: Vec<Record> = monitor
+                    .engines()
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(bi, engine)| {
+                        engine.triggers()[before[bi]..].iter().map(move |t| (bi, *t))
+                    })
+                    .map(|(bi, t)| {
+                        let r = Record::Trigger {
+                            event_seq: seq,
+                            ordinal,
+                            block: bi as u16,
+                            step: t.step as u64,
+                            verdict: t.verdict,
+                            binding: t.binding,
+                        };
+                        ordinal += 1;
+                        r
+                    })
+                    .collect();
+                for r in &fired {
+                    journal.append(r).map_err(io)?;
+                }
+                events_since_checkpoint += 1;
+                if events_since_checkpoint >= checkpoint_every {
+                    events_since_checkpoint = 0;
+                    journal.sync().map_err(io)?;
+                    if let Some(payload) = monitor.snapshot_bytes() {
+                        let covered = journal.next_seq();
+                        write_checkpoint(journal_dir, generation, covered, &payload)
+                            .map_err(|e| (2, format!("checkpoint write failed: {e}")))?;
+                        journal
+                            .append(&Record::CheckpointMark { generation, seq: covered })
+                            .map_err(io)?;
+                        generation += 1;
+                    }
+                }
+            }
+        }
+    }
+    monitor.finish(&heap);
+    journal.sync().map_err(io)?;
+    // A final checkpoint makes `recover` on a cleanly finished run a
+    // near-instant restore.
+    if let Some(payload) = monitor.snapshot_bytes() {
+        let covered = journal.next_seq();
+        write_checkpoint(journal_dir, generation, covered, &payload)
+            .map_err(|e| (2, format!("checkpoint write failed: {e}")))?;
+        journal.append(&Record::CheckpointMark { generation, seq: covered }).map_err(io)?;
+        journal.sync().map_err(io)?;
+    }
+    let jstats = journal.stats();
+    println!(
+        "journaled run: {} record(s), {} byte(s), {} checkpoint(s) in {}",
+        jstats.records,
+        jstats.bytes,
+        generation + 1,
+        journal_dir.display()
+    );
+    println!("{{\"engine\":{},\"journal\":{}}}", monitor.stats().to_json(), jstats.to_json());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Shared replay core for `recover` and `replay`: rebuilds the heap from
+/// the durable record prefix (identical `ObjId`s, because allocation
+/// order is replayed exactly) and feeds events with sequence ≥
+/// `replay_from` to the monitor, suppressing goal reports at or below the
+/// durable high-water mark.
+struct ReplayOutcome {
+    replayed_events: u64,
+    suppressed_triggers: u64,
+    heap: rv_monitor::heap::Heap,
+}
+
+fn replay_records(
+    scan: &rv_monitor::core::JournalScan,
+    event_params: &[Vec<rv_monitor::logic::ParamId>],
+    monitor: &mut rv_monitor::core::PropertyMonitor,
+    replay_from: u64,
+    hwm: Option<(u64, u32)>,
+) -> Result<ReplayOutcome, String> {
+    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_SPEC, AUX_SWEEP};
+    use rv_monitor::core::Record;
+    use rv_monitor::heap::{Heap, HeapConfig, ObjId};
+
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Obj");
+    let mut known: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut replayed_events = 0u64;
+    let mut suppressed_triggers = 0u64;
+    for sr in &scan.records {
+        match &sr.record {
+            Record::Aux { tag, .. } if *tag == AUX_SPEC || *tag == AUX_GC => {
+                if *tag == AUX_GC {
+                    heap.collect();
+                }
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_FREE => {
+                for chunk in bytes.chunks_exact(8) {
+                    let bits = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                    if !known.contains(&bits) {
+                        return Err(format!(
+                            "journal record {} frees object {bits:#x} never seen in an event",
+                            sr.seq
+                        ));
+                    }
+                    heap.unpin(ObjId::from_bits(bits));
+                }
+            }
+            Record::Aux { tag, .. } if *tag == AUX_SWEEP => {
+                if sr.seq >= replay_from {
+                    for engine in monitor.engines_mut() {
+                        engine.full_sweep(&heap);
+                    }
+                }
+            }
+            Record::Event { event, binding } => {
+                // Allocate first-mention objects in the event's declared
+                // parameter order — the same order the original run used —
+                // so the rebuilt heap hands out identical ObjIds.
+                for &p in &event_params[event.as_usize()] {
+                    let Some(obj) = binding.get(p) else {
+                        return Err(format!(
+                            "journal record {} binds a different parameter set than \
+                             event {} declares",
+                            sr.seq,
+                            event.as_usize()
+                        ));
+                    };
+                    if known.insert(obj.to_bits()) {
+                        let frame = heap.enter_frame();
+                        let fresh = heap.alloc(class);
+                        heap.pin(fresh);
+                        heap.exit_frame(frame);
+                        if fresh != obj {
+                            return Err(format!(
+                                "heap replay diverged at record {}: journal names object \
+                                 {:#x} but the rebuilt heap allocated {:#x}",
+                                sr.seq,
+                                obj.to_bits(),
+                                fresh.to_bits()
+                            ));
+                        }
+                    }
+                }
+                if sr.seq >= replay_from {
+                    let before: Vec<usize> =
+                        monitor.engines().iter().map(|e| e.triggers().len()).collect();
+                    monitor
+                        .try_process(&heap, *event, *binding)
+                        .map_err(|e| format!("engine error at record {}: {e}", sr.seq))?;
+                    let fired: usize = monitor
+                        .engines()
+                        .iter()
+                        .enumerate()
+                        .map(|(bi, e)| e.triggers().len() - before[bi])
+                        .sum();
+                    for ord in 0..fired as u32 {
+                        if hwm.is_some_and(|h| (sr.seq, ord) <= h) {
+                            suppressed_triggers += 1;
+                        }
+                    }
+                    replayed_events += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(ReplayOutcome { replayed_events, suppressed_triggers, heap })
+}
+
+/// Compiles the spec carried in the journal's sequence-0 record.
+fn spec_from_scan(
+    dir: &std::path::Path,
+    scan: &rv_monitor::core::JournalScan,
+) -> Result<CompiledSpec, String> {
+    use rv_monitor::core::journal::AUX_SPEC;
+    use rv_monitor::core::Record;
+
+    let Some(first) = scan.records.first() else {
+        return Err(format!("journal at {} holds no durable records", dir.display()));
+    };
+    let Record::Aux { tag, bytes } = &first.record else {
+        return Err("journal does not begin with a spec record".to_owned());
+    };
+    if *tag != AUX_SPEC {
+        return Err("journal does not begin with a spec record".to_owned());
+    }
+    let source = String::from_utf8(bytes.clone())
+        .map_err(|_| "spec record is not valid UTF-8".to_owned())?;
+    CompiledSpec::from_source(&source)
+        .map_err(|d| format!("journaled spec no longer compiles: {}", d.message))
+}
+
+/// `rvmon recover` — crash recovery over a journal directory.
+fn recover(dir: &std::path::Path) -> ExitCode {
+    use rv_monitor::core::snapshot::{list_checkpoints, write_checkpoint};
+    use rv_monitor::core::{
+        load_latest_checkpoint, read_journal, EngineConfig, JournalWriter, PropertyMonitor, Record,
+    };
+
+    let fail = |msg: String| {
+        eprintln!("rvmon: error: {msg}");
+        ExitCode::from(2)
+    };
+    let scan = match read_journal(dir) {
+        Ok(s) => s,
+        Err(e) => return fail(e.to_string()),
+    };
+    let spec = match spec_from_scan(dir, &scan) {
+        Ok(s) => s,
+        Err(msg) => return fail(msg),
+    };
+    let event_params = spec.event_params.clone();
+    let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+    let mut monitor = PropertyMonitor::new(spec, &config);
+
+    let (checkpoint, skipped) = load_latest_checkpoint(dir, scan.next_seq);
+    for reason in &skipped {
+        eprintln!("rvmon: warning: skipping checkpoint: {reason}");
+    }
+    let mut replay_from = 0u64;
+    if let Some(cp) = &checkpoint {
+        if let Err(e) = monitor.restore_snapshot(&cp.payload, &cp.file) {
+            return fail(e.to_string());
+        }
+        replay_from = cp.seq;
+    }
+    let hwm = scan.trigger_high_water_mark();
+    let outcome = match replay_records(&scan, &event_params, &mut monitor, replay_from, hwm) {
+        Ok(o) => o,
+        Err(msg) => return fail(msg),
+    };
+    // Dead keys whose deaths predate the checkpoint go back through the
+    // ALIVENESS flagging path, then the recovered state must pass the
+    // structural invariant check before we touch the journal.
+    let reflagged = monitor.reflag_dead_keys(&outcome.heap);
+    if let Err(e) = monitor.check_invariants(&outcome.heap) {
+        return fail(e.to_string());
+    }
+    let mut journal = match JournalWriter::resume(dir, &scan) {
+        Ok(j) => j,
+        Err(e) => return fail(format!("cannot resume journal: {e}")),
+    };
+    let generation = list_checkpoints(dir).last().map_or(0, |g| g + 1);
+    if let Some(payload) = monitor.snapshot_bytes() {
+        let covered = journal.next_seq();
+        if let Err(e) = write_checkpoint(dir, generation, covered, &payload) {
+            return fail(format!("checkpoint write failed: {e}"));
+        }
+        if let Err(e) = journal
+            .append(&Record::CheckpointMark { generation, seq: covered })
+            .and_then(|_| journal.sync())
+        {
+            return fail(format!("journal write failed: {e}"));
+        }
+    }
+
+    println!("recovered {} durable record(s) from {}", scan.records.len(), dir.display());
+    match &scan.truncation {
+        Some(t) => println!(
+            "truncated torn tail: {} at byte {} — {} byte(s) discarded ({})",
+            t.file, t.offset, t.lost_bytes, t.reason
+        ),
+        None => println!("journal tail was clean (no torn records)"),
+    }
+    match checkpoint {
+        Some(cp) => println!(
+            "restored checkpoint generation {} (covers seq < {}), replayed {} event(s)",
+            cp.generation, cp.seq, outcome.replayed_events
+        ),
+        None => {
+            println!("no usable checkpoint — full replay of {} event(s)", outcome.replayed_events)
+        }
+    }
+    println!(
+        "suppressed {} already-delivered goal report(s); re-flagged {} monitor(s)",
+        outcome.suppressed_triggers, reflagged
+    );
+    println!("stats: {}", monitor.stats());
+    ExitCode::SUCCESS
+}
+
+/// `rvmon replay` — audit a journal by re-executing it from sequence 0.
+fn replay(dir: &std::path::Path) -> ExitCode {
+    use rv_monitor::core::{read_journal, EngineConfig, PropertyMonitor};
+
+    let fail = |msg: String| {
+        eprintln!("rvmon: error: {msg}");
+        ExitCode::from(2)
+    };
+    let scan = match read_journal(dir) {
+        Ok(s) => s,
+        Err(e) => return fail(e.to_string()),
+    };
+    let spec = match spec_from_scan(dir, &scan) {
+        Ok(s) => s,
+        Err(msg) => return fail(msg),
+    };
+    let event_params = spec.event_params.clone();
+    let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+    let mut monitor = PropertyMonitor::new(spec, &config);
+    let outcome = match replay_records(&scan, &event_params, &mut monitor, 0, None) {
+        Ok(o) => o,
+        Err(msg) => return fail(msg),
+    };
+    monitor.finish(&outcome.heap);
+    if let Err(e) = monitor.check_invariants(&outcome.heap) {
+        return fail(e.to_string());
+    }
+    println!(
+        "replayed {} event(s) from {} durable record(s) in {}",
+        outcome.replayed_events,
+        scan.records.len(),
+        dir.display()
+    );
+    if let Some(t) = &scan.truncation {
+        println!(
+            "note: torn tail at {} byte {} — {} byte(s) ignored ({})",
+            t.file, t.offset, t.lost_bytes, t.reason
+        );
+    }
+    for (i, engine) in monitor.engines().iter().enumerate() {
+        for t in engine.triggers() {
+            println!("block {}: {:?} at step {} for {:?}", i + 1, t.verdict, t.step, t.binding);
+        }
+    }
+    println!("stats: {}", monitor.stats());
     ExitCode::SUCCESS
 }
 

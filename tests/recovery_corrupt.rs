@@ -1,0 +1,99 @@
+//! `rvmon recover` against the corrupt-artifact corpus in
+//! `tests/data/corrupt/`: every unusable journal must produce a typed
+//! `error:` diagnostic and exit code 2 — never a panic — while a journal
+//! that is merely torn at the tail must recover cleanly (torn tails are
+//! normal crash debris, not corruption).
+
+use std::path::Path;
+use std::process::Command;
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Copies one corpus directory into a fresh scratch dir — `recover`
+/// repairs journals in place, and the committed corpus must stay
+/// pristine.
+fn stage(case: &str) -> std::path::PathBuf {
+    let dst = std::env::temp_dir().join(format!("rv-corrupt-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    std::fs::create_dir_all(&dst).expect("create scratch dir");
+    let src = repo_path(&format!("tests/data/corrupt/{case}"));
+    for entry in std::fs::read_dir(&src).expect("corpus dir exists") {
+        let entry = entry.expect("readable entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy corpus file");
+    }
+    dst
+}
+
+/// Runs `rvmon <cmd> <dir>` and returns (exit code, stdout, stderr).
+fn run(cmd: &str, dir: &Path) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rvmon"))
+        .args([cmd, dir.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run rvmon");
+    (
+        out.status.code().expect("rvmon terminated by signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The four unusable corpus cases: an empty segment, a stale format
+/// version, a first record truncated mid-body, and a first record with a
+/// corrupted checksum. None of them leaves a durable spec record, so both
+/// `recover` and `replay` must refuse with a typed error.
+#[test]
+fn unusable_journals_exit_2_with_typed_errors() {
+    for case in ["empty", "stale_version", "truncated", "bad_crc"] {
+        for cmd in ["recover", "replay"] {
+            let dir = stage(case);
+            let (code, out, err) = run(cmd, &dir);
+            assert_eq!(
+                code, 2,
+                "rvmon {cmd} on {case}: expected exit 2, got {code}\nstderr: {err}"
+            );
+            assert!(err.contains("error:"), "rvmon {cmd} on {case}: no diagnostic: {err}");
+            assert!(
+                !err.contains("panicked") && !out.contains("panicked"),
+                "rvmon {cmd} on {case} panicked: {err}"
+            );
+        }
+    }
+}
+
+/// The error messages carry file/offset context where the format defines
+/// one: header-level corruption (a stale version byte) names the segment
+/// and byte offset. An empty segment is *not* header corruption — it is
+/// what a crash between `create` and the header write leaves behind — so
+/// it reports the directory-level "no durable records" instead.
+#[test]
+fn header_corruption_is_anchored_to_file_and_offset() {
+    let dir = stage("stale_version");
+    let (code, _out, err) = run("recover", &dir);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("journal-00000000"), "no file context: {err}");
+    assert!(err.contains("at byte"), "no offset context: {err}");
+    assert!(err.contains("version"), "no version detail: {err}");
+
+    let dir = stage("empty");
+    let (code, _out, err) = run("recover", &dir);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("no durable records"), "stderr: {err}");
+}
+
+/// A torn tail is crash debris, not corruption: `recover` truncates it,
+/// reports what was discarded, and exits 0 — and `replay` on the repaired
+/// journal then sees a clean tail.
+#[test]
+fn torn_tail_recovers_cleanly_and_reports_the_discard() {
+    let dir = stage("torn_tail");
+    let (code, out, err) = run("recover", &dir);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("truncated torn tail"), "no discard report: {out}");
+    assert!(out.contains("byte(s) discarded"), "no lost-byte count: {out}");
+
+    let (code, out, err) = run("replay", &dir);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
+    assert!(!out.contains("torn tail"), "tail should be clean after repair: {out}");
+}
