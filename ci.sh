@@ -51,4 +51,28 @@ rm -rf "$RVJ_DIR"
 cargo test -q --release --test recovery_corrupt >/dev/null
 cargo run -q --release -p rv-bench --bin recovery -- --scale 0.02 >/dev/null
 
+# Sharded smoke: the parallel engine must agree with the sequential
+# engine and the Figure 5 oracle under fault injection, and a sharded
+# journaled run must survive the same kill + recover + replay cycle
+# (recovery is a full sequential replay — sharded journals carry no
+# checkpoints). Finishes with the scaling bench emitting its JSON.
+echo "== sharded smoke (chaos + journaled run + recover, release)"
+cargo run -q --release --bin rvmon -- chaos specs/unsafe_iter.rv \
+    --seed 7 --events 128 --shards 4 >/dev/null
+RVS_DIR="${TMPDIR:-/tmp}/rv-ci-shards-$$"
+rm -rf "$RVS_DIR"
+cargo run -q --release --bin rvmon -- run specs/unsafe_iter.rv \
+    examples/unsafe_iter.events --journal "$RVS_DIR" --shards 4 >/dev/null
+SEG="$RVS_DIR/journal-00000000"
+SIZE=$(wc -c <"$SEG")
+head -c "$((SIZE - 9))" "$SEG" >"$SEG.torn" && mv "$SEG.torn" "$SEG"
+cargo run -q --release --bin rvmon -- recover "$RVS_DIR" >/dev/null
+cargo run -q --release --bin rvmon -- replay "$RVS_DIR" >/dev/null
+rm -rf "$RVS_DIR"
+PAR_JSON="${TMPDIR:-/tmp}/rv-ci-parallel-$$.json"
+cargo run -q --release -p rv-bench --bin parallel -- --scale 0.02 \
+    --stats-json "$PAR_JSON" >/dev/null
+test -s "$PAR_JSON"
+rm -f "$PAR_JSON"
+
 echo "CI OK"

@@ -1,0 +1,181 @@
+//! Sharded-engine throughput scaling: events/sec at 1/2/4/8 shards on a
+//! synthetic high-fanout workload, against the sequential engine.
+//!
+//! The workload is UNSAFEITER with many live iterators per collection:
+//! every `update(c)` steps all of collection `c`'s iterator monitors, so
+//! per-event engine work dominates the routing/channel overhead and the
+//! partition by owner object (the collection) can actually pay off.
+//! Collections are visited round-robin, spreading the owner hash across
+//! shards; every event binds the owner, so nothing is broadcast.
+//!
+//! Usage: `cargo run --release -p rv-bench --bin parallel --
+//! [--scale X] [--stats-json BENCH_parallel.json]`
+
+use std::time::{Duration, Instant};
+
+use rv_core::{Binding, EngineConfig, GcPolicy, PropertyMonitor, ShardConfig, ShardedMonitor};
+use rv_heap::{Heap, HeapConfig, ObjId};
+use rv_logic::{EventId, ParamId};
+use rv_props::Property;
+use rv_spec::CompiledSpec;
+
+/// Collections (owner objects) the round-robin cycles through.
+const COLLECTIONS: usize = 64;
+/// Live iterators per collection — the per-event fanout.
+const ITERATORS: usize = 16;
+/// Shard counts measured; the first is the baseline.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Events per shard batch.
+const BATCH: usize = 256;
+
+/// Builds the event stream: per collection, create its iterators, then
+/// round-robin `update` events until `events` total.
+fn build_trace(spec: &CompiledSpec, heap: &mut Heap, events: usize) -> Vec<(EventId, Binding)> {
+    let class = heap.register_class("Obj");
+    let frame = heap.enter_frame();
+    let colls: Vec<ObjId> = (0..COLLECTIONS).map(|_| heap.alloc(class)).collect();
+    let iters: Vec<Vec<ObjId>> =
+        (0..COLLECTIONS).map(|_| (0..ITERATORS).map(|_| heap.alloc(class)).collect()).collect();
+    for &o in colls.iter().chain(iters.iter().flatten()) {
+        heap.pin(o);
+    }
+    heap.exit_frame(frame);
+
+    let (pc, pi) = (ParamId(0), ParamId(1));
+    let create = spec.alphabet.lookup("create").expect("UnsafeIter declares create");
+    let update = spec.alphabet.lookup("update").expect("UnsafeIter declares update");
+    let mut trace = Vec::with_capacity(events);
+    'outer: for round in 0.. {
+        for c in 0..COLLECTIONS {
+            if trace.len() >= events {
+                break 'outer;
+            }
+            if round < ITERATORS {
+                let b = Binding::from_pairs(&[(pc, colls[c]), (pi, iters[c][round])]);
+                trace.push((create, b));
+            } else {
+                trace.push((update, Binding::from_pairs(&[(pc, colls[c])])));
+            }
+        }
+    }
+    trace
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig { policy: GcPolicy::CoenableLazy, ..EngineConfig::default() }
+}
+
+/// Times the sequential `PropertyMonitor` over the trace.
+fn run_sequential(
+    spec: &CompiledSpec,
+    heap: &Heap,
+    trace: &[(EventId, Binding)],
+) -> (Duration, u64) {
+    let mut monitor = PropertyMonitor::new(spec.clone(), &engine_config());
+    let start = Instant::now();
+    for &(e, b) in trace {
+        monitor.process(heap, e, b);
+    }
+    monitor.finish(heap);
+    (start.elapsed(), monitor.stats().events)
+}
+
+/// Times a `ShardedMonitor` with `shards` workers over the trace.
+fn run_sharded(
+    spec: &CompiledSpec,
+    heap: &Heap,
+    trace: &[(EventId, Binding)],
+    shards: usize,
+) -> (Duration, rv_core::EngineStats, u64, u64) {
+    let cfg = ShardConfig { shards, batch: BATCH, seed: 0x5EED };
+    let mut monitor = ShardedMonitor::new(spec.clone(), &engine_config(), cfg);
+    let start = Instant::now();
+    let mut session = monitor.session(heap);
+    for &(e, b) in trace {
+        session.process(e, b);
+    }
+    drop(session);
+    let report = monitor.finish(heap);
+    let elapsed = start.elapsed();
+    if let Some(e) = report.error {
+        panic!("sharded run failed: {e}");
+    }
+    (elapsed, report.stats, report.routed_events, report.broadcast_events)
+}
+
+fn main() {
+    let args = rv_bench::HarnessArgs::from_env();
+    let events = ((400_000.0 * args.scale) as usize).max(4 * COLLECTIONS * ITERATORS);
+    let mut report = rv_bench::StatsReport::new("parallel", args.scale);
+
+    let spec = rv_props::compiled(Property::UnsafeIter).expect("bundled property compiles");
+    let mut heap = Heap::new(HeapConfig::manual());
+    let trace = build_trace(&spec, &mut heap, events);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "Sharded throughput: UnsafeIter, {COLLECTIONS} collections × {ITERATORS} iterators, \
+         {events} events (scale {}, {cores} core(s) available)",
+        args.scale
+    );
+    if cores < *SHARD_COUNTS.last().unwrap() {
+        println!(
+            "note: only {cores} core(s) — shard counts beyond that measure overhead, not scaling"
+        );
+    }
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>8} {:>10}",
+        "engine", "events", "ms", "events/sec", "speedup", "triggers"
+    );
+
+    let (seq_elapsed, seq_events) = run_sequential(&spec, &heap, &trace);
+    let seq_rate = seq_events as f64 / seq_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "{:<12} {:>10} {:>10.2} {:>12.0} {:>8} {:>10}",
+        "sequential",
+        seq_events,
+        seq_elapsed.as_secs_f64() * 1e3,
+        seq_rate,
+        "-",
+        0
+    );
+
+    let mut baseline = f64::NAN;
+    for shards in SHARD_COUNTS {
+        let (elapsed, stats, routed, broadcast) = run_sharded(&spec, &heap, &trace, shards);
+        assert_eq!(broadcast, 0, "every UnsafeIter bench event binds the owner");
+        assert_eq!(routed, trace.len() as u64);
+        let rate = trace.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        if shards == SHARD_COUNTS[0] {
+            baseline = rate;
+        }
+        let speedup = rate / baseline;
+        println!(
+            "{:<12} {:>10} {:>10.2} {:>12.0} {:>8.2} {:>10}",
+            format!("{shards} shard(s)"),
+            trace.len(),
+            elapsed.as_secs_f64() * 1e3,
+            rate,
+            speedup,
+            stats.triggers
+        );
+        report.push_raw_cell(format!(
+            "{{\"shards\":{shards},\"cores\":{cores},\"events\":{},\"elapsed_ms\":{},\
+             \"events_per_sec\":{},\"speedup_vs_1\":{},\"sequential_events_per_sec\":{},\
+             \"stats\":{}}}",
+            trace.len(),
+            rv_core::obs::json_f64(elapsed.as_secs_f64() * 1e3),
+            rv_core::obs::json_f64(rate),
+            rv_core::obs::json_f64(speedup),
+            rv_core::obs::json_f64(seq_rate),
+            stats.to_json(),
+        ));
+    }
+
+    println!();
+    println!(
+        "routing: owner = collection (ParamId 0); all events routed, none broadcast; \
+         batch {BATCH}; speedup is vs the 1-shard sharded engine"
+    );
+    report.write_if_requested(args.stats_json.as_deref());
+}

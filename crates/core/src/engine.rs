@@ -233,6 +233,9 @@ pub struct Engine<F: Formalism, O: EngineObserver = NoopObserver> {
     event_work: usize,
     /// Optional goal-report handler, run under `catch_unwind`.
     handler: HandlerSlot,
+    /// The most recent error swallowed by the infallible [`Engine::process`]
+    /// facade (sticky until [`Engine::take_last_error`]).
+    last_error: Option<EngineError>,
     /// The lifecycle observer (no-op by default).
     observer: O,
 }
@@ -431,6 +434,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
             bytes_over: false,
             event_work: 0,
             handler: HandlerSlot::default(),
+            last_error: None,
             observer,
         }
     }
@@ -503,18 +507,31 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         bytes
     }
 
-    /// Processes one parametric event `e⟨θ⟩`.
+    /// Processes one parametric event `e⟨θ⟩` — the infallible facade over
+    /// [`Engine::try_process`].
     ///
-    /// # Panics
-    ///
-    /// Panics if the event is outside the alphabet, the instance is not
-    /// `D`-consistent (Definition 4), or the engine detects an internal
-    /// inconsistency. [`Engine::try_process`] is the non-panicking
-    /// equivalent.
+    /// This never panics: a monitoring layer that can abort the monitored
+    /// program (or, sharded, poison a whole worker thread) is worse than no
+    /// monitoring at all. Malformed events and internal inconsistencies are
+    /// dropped and remembered — the typed [`EngineError`] stays readable
+    /// via [`Engine::last_error`] / [`Engine::take_last_error`]. Callers
+    /// that need per-event failure reporting use [`Engine::try_process`].
     pub fn process(&mut self, heap: &Heap, event: EventId, binding: Binding) {
         if let Err(e) = self.try_process(heap, event, binding) {
-            panic!("engine: {e}");
+            self.last_error = Some(e);
         }
+    }
+
+    /// The most recent error the infallible [`Engine::process`] facade
+    /// swallowed, if any. Sticky until [`Engine::take_last_error`].
+    #[must_use]
+    pub fn last_error(&self) -> Option<&EngineError> {
+        self.last_error.as_ref()
+    }
+
+    /// Takes (and clears) the most recent swallowed error.
+    pub fn take_last_error(&mut self) -> Option<EngineError> {
+        self.last_error.take()
     }
 
     /// Processes one parametric event, reporting malformed input and
@@ -1964,6 +1981,36 @@ mod tests {
         let err = engine.try_process(&heap, EventId(0), Binding::BOTTOM).unwrap_err();
         assert!(matches!(err, EngineError::InconsistentEvent { .. }), "{err}");
         assert_eq!(engine.stats().events, 0, "rejected input must leave no trace");
+        engine.check_invariants(&heap).unwrap();
+    }
+
+    /// Regression: `process` used to `panic!("engine: {e}")` on a malformed
+    /// event, which would abort the monitored program — or, sharded, poison
+    /// a whole worker thread. The typed error must surface via
+    /// [`Engine::last_error`] instead, and the engine must stay usable.
+    #[test]
+    fn process_surfaces_errors_instead_of_panicking() {
+        let (mut engine, alphabet) = engine_with(GcPolicy::CoenableLazy);
+        let mut heap = Heap::new(HeapConfig::manual());
+        engine.process(&heap, EventId(99), Binding::BOTTOM);
+        assert_eq!(engine.stats().events, 0, "rejected input must leave no trace");
+        assert_eq!(engine.last_error(), Some(&EngineError::EventOutOfAlphabet(EventId(99))));
+        // `create` needs ⟨c, i⟩; an empty binding is not D-consistent. The
+        // sticky slot keeps the most recent error.
+        engine.process(&heap, EventId(0), Binding::BOTTOM);
+        assert!(
+            matches!(engine.last_error(), Some(EngineError::InconsistentEvent { .. })),
+            "{:?}",
+            engine.last_error()
+        );
+        assert!(matches!(engine.take_last_error(), Some(EngineError::InconsistentEvent { .. })));
+        assert_eq!(engine.last_error(), None, "take_last_error clears the slot");
+        // The engine is still fully usable after swallowing errors.
+        let objs = alloc_n(&mut heap, 2);
+        let ev = |n: &str| alphabet.lookup(n).unwrap();
+        engine.process(&heap, ev("create"), Binding::from_pairs(&[(C, objs[0]), (I, objs[1])]));
+        assert_eq!(engine.stats().events, 1);
+        assert_eq!(engine.last_error(), None, "valid events do not set the slot");
         engine.check_invariants(&heap).unwrap();
     }
 

@@ -65,6 +65,15 @@ pub enum EngineError {
         /// What was wrong.
         detail: String,
     },
+    /// A shard worker thread of a [`ShardedMonitor`] hung up its channel —
+    /// it either panicked or was torn down early. Events routed to that
+    /// shard after the disconnect are lost.
+    ///
+    /// [`ShardedMonitor`]: crate::shard::ShardedMonitor
+    ShardDisconnected {
+        /// Index of the shard whose worker disconnected.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -91,6 +100,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::CorruptSnapshot { file, detail } => {
                 write!(f, "corrupt snapshot: {file}: {detail}")
+            }
+            EngineError::ShardDisconnected { shard } => {
+                write!(f, "shard {shard} worker disconnected")
             }
         }
     }

@@ -61,6 +61,7 @@ pub mod journal;
 pub mod multi;
 pub mod obs;
 pub mod reference;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -80,6 +81,10 @@ pub use crate::obs::{
     TraceRecord, TraceRecorder,
 };
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
+pub use crate::shard::{
+    differential_run, owner_param, ShardConfig, ShardDifferential, ShardReport, ShardSession,
+    ShardTrigger, ShardedMonitor,
+};
 pub use crate::snapshot::{
     load_latest_checkpoint, plan_recovery, write_checkpoint, Checkpoint, Recovery,
 };

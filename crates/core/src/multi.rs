@@ -87,14 +87,21 @@ impl<O: EngineObserver> PropertyMonitor<O> {
 
     /// Dispatches one parametric event to every block's engine.
     ///
-    /// # Panics
-    ///
-    /// Panics on malformed events or internal inconsistencies; see
-    /// [`PropertyMonitor::try_process`] for the recoverable equivalent.
+    /// Never panics: each engine's infallible [`Engine::process`] facade
+    /// drops malformed events and remembers the typed error — inspect it
+    /// with [`PropertyMonitor::last_error`], or use
+    /// [`PropertyMonitor::try_process`] for per-event failure reporting.
     pub fn process(&mut self, heap: &Heap, event: EventId, binding: Binding) {
         for engine in &mut self.engines {
             engine.process(heap, event, binding);
         }
+    }
+
+    /// The first swallowed error across the blocks' infallible
+    /// [`Engine::process`] facades, if any.
+    #[must_use]
+    pub fn last_error(&self) -> Option<&EngineError> {
+        self.engines.iter().find_map(Engine::last_error)
     }
 
     /// Dispatches one parametric event to every block's engine, stopping

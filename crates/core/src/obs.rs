@@ -853,7 +853,9 @@ impl Histogram {
         Histogram { counts: vec![0; HISTOGRAM_BUCKETS + 1], count: 0, sum: 0, max: 0 }
     }
 
-    /// Records one sample.
+    /// Records one sample. All arithmetic saturates: a metrics sink must
+    /// degrade to a pegged counter, never wrap (or panic in debug builds)
+    /// after 2^64 samples — the same discipline `sum` always had.
     pub fn record(&mut self, value: u64) {
         let bucket = if value <= 1 {
             0
@@ -861,10 +863,24 @@ impl Histogram {
             let b = 64 - u64::leading_zeros(value - 1) as usize;
             b.min(HISTOGRAM_BUCKETS)
         };
-        self.counts[bucket] += 1;
-        self.count += 1;
+        self.counts[bucket] = self.counts[bucket].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
+    }
+
+    /// Accumulates another histogram into this one (bucket-wise), the
+    /// aggregation step for per-shard metrics: bucket counts, `count`, and
+    /// `sum` add (saturating — merging is where near-full counters actually
+    /// meet), `max` takes the larger mark. Bucket layout is fixed at
+    /// compile time, so histograms from any two engines are compatible.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Number of samples.
@@ -1096,6 +1112,47 @@ impl MetricsRegistry {
         &self.phase_nanos[phase.index()]
     }
 
+    /// Accumulates another registry into this one — the per-shard metrics
+    /// aggregation path: every counter sums (saturating) and every
+    /// histogram merges via [`Histogram::merge_from`].
+    ///
+    /// The per-monitor age tables (`birth`/`flagged_at`) are deliberately
+    /// *not* merged: [`MonitorId`]s are engine-local and collide across
+    /// shards, and the tables exist only to feed the lifetime/latency
+    /// histograms at flag/collect time — which each shard already did
+    /// before its snapshot was shipped.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        self.events = self.events.saturating_add(other.events);
+        self.created = self.created.saturating_add(other.created);
+        self.flagged = self.flagged.saturating_add(other.flagged);
+        self.collected = self.collected.saturating_add(other.collected);
+        self.dead_keys = self.dead_keys.saturating_add(other.dead_keys);
+        self.triggers = self.triggers.saturating_add(other.triggers);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.sweeps = self.sweeps.saturating_add(other.sweeps);
+        self.budget_trips = self.budget_trips.saturating_add(other.budget_trips);
+        self.degradations_entered =
+            self.degradations_entered.saturating_add(other.degradations_entered);
+        self.degradations_exited =
+            self.degradations_exited.saturating_add(other.degradations_exited);
+        self.shed = self.shed.saturating_add(other.shed);
+        self.quarantined = self.quarantined.saturating_add(other.quarantined);
+        self.checkpoints_written =
+            self.checkpoints_written.saturating_add(other.checkpoints_written);
+        self.checkpoint_bytes = self.checkpoint_bytes.saturating_add(other.checkpoint_bytes);
+        self.recoveries = self.recoveries.saturating_add(other.recoveries);
+        self.journal_bytes_truncated =
+            self.journal_bytes_truncated.saturating_add(other.journal_bytes_truncated);
+        self.lifetime_events.merge_from(&other.lifetime_events);
+        self.flag_latency_events.merge_from(&other.flag_latency_events);
+        self.touched_per_event.merge_from(&other.touched_per_event);
+        self.sweep_batch.merge_from(&other.sweep_batch);
+        for (h, o) in self.phase_nanos.iter_mut().zip(&other.phase_nanos) {
+            h.merge_from(o);
+        }
+    }
+
     /// Serializes every counter and histogram as one JSON object.
     #[must_use]
     pub fn snapshot_json(&self) -> String {
@@ -1283,6 +1340,77 @@ mod tests {
         assert!(json.contains("\"le\":4,\"count\":2"), "{json}");
         assert!(json.contains("\"le\":1024,\"count\":1"), "{json}");
         assert!(json.contains("\"le\":\"inf\",\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts_and_keeps_the_max() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(100);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 107);
+        assert_eq!(a.max(), 100);
+        let json = a.to_json();
+        assert!(json.contains("\"le\":1,\"count\":1"), "{json}");
+        assert!(json.contains("\"le\":4,\"count\":2"), "two 3s land in the same bucket: {json}");
+        assert!(json.contains("\"le\":128,\"count\":1"), "{json}");
+    }
+
+    /// Repeated self-merges double every counter; 70 doublings walk the
+    /// totals past 2^64, where the pre-fix `+=` would wrap (panicking in
+    /// debug builds). Saturation must peg them at `u64::MAX` instead.
+    #[test]
+    fn histogram_counts_saturate_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(5);
+        for _ in 0..70 {
+            let snapshot = h.clone();
+            h.merge_from(&snapshot);
+        }
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), 5, "max is a mark, not a flow: never inflated by merging");
+        let json = h.to_json();
+        assert!(
+            json.contains(&format!("\"le\":8,\"count\":{}", u64::MAX)),
+            "bucket counts saturate too: {json}"
+        );
+    }
+
+    #[test]
+    fn metrics_registry_merge_aggregates_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.event_dispatched(EventId(0), &Binding::BOTTOM, 2);
+        a.monitor_created(MonitorId::from_raw(0), &Binding::BOTTOM);
+        a.trigger_fired(0, &Binding::BOTTOM, Verdict::Match);
+        a.cache_hit();
+        let mut b = MetricsRegistry::new();
+        b.event_dispatched(EventId(1), &Binding::BOTTOM, 5);
+        b.event_dispatched(EventId(1), &Binding::BOTTOM, 7);
+        b.monitor_created(MonitorId::from_raw(0), &Binding::BOTTOM);
+        b.monitor_collected(MonitorId::from_raw(0));
+        b.cache_miss();
+        b.sweep_started();
+        b.sweep_finished(1, 4);
+        a.merge_from(&b);
+        assert_eq!(a.events(), 3);
+        assert_eq!(a.created(), 2);
+        assert_eq!(a.collected(), 1);
+        assert_eq!(a.triggers(), 1);
+        assert_eq!(a.sweeps(), 1);
+        assert_eq!(a.touched_per_event().count(), 3, "histograms merge bucket-wise");
+        assert_eq!(a.touched_per_event().max(), 7);
+        assert_eq!(a.sweep_batch().count(), 1);
+        assert_eq!(a.lifetime_events().count(), 1, "b collected one monitor at age 1");
+        let json = a.snapshot_json();
+        assert!(json.contains("\"events\":3"), "{json}");
+        assert!(json.contains("\"monitors_created\":2"), "{json}");
+        assert!(json.contains("\"cache_hits\":1"), "{json}");
+        assert!(json.contains("\"cache_misses\":1"), "{json}");
     }
 
     #[test]

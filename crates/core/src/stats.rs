@@ -45,15 +45,20 @@ pub struct EngineStats {
 impl EngineStats {
     /// Accumulates another engine's counters into this one.
     ///
-    /// Additive counters sum; `peak_live_monitors` and `live_monitors` also
-    /// sum, because merged engines hold disjoint monitor populations (one
-    /// engine per property block).
+    /// Additive counters sum. `live_monitors` also sums, because merged
+    /// engines hold disjoint monitor populations (one engine per property
+    /// block, or one per shard). `peak_live_monitors` is a *high-water
+    /// mark*, not a flow: the per-engine peaks were almost certainly not
+    /// simultaneous, so summing them fabricates a combined peak that never
+    /// existed (it would overstate Fig. 9B-style peak-memory numbers). The
+    /// honest merge is `max` — a lower bound on the true combined peak that
+    /// is exact whenever one engine dominates.
     pub fn merge_from(&mut self, other: &EngineStats) {
         self.events += other.events;
         self.monitors_created += other.monitors_created;
         self.monitors_flagged += other.monitors_flagged;
         self.monitors_collected += other.monitors_collected;
-        self.peak_live_monitors += other.peak_live_monitors;
+        self.peak_live_monitors = self.peak_live_monitors.max(other.peak_live_monitors);
         self.live_monitors += other.live_monitors;
         self.triggers += other.triggers;
         self.dead_keys += other.dead_keys;
@@ -131,22 +136,72 @@ mod tests {
     }
 
     #[test]
-    fn merge_from_sums_every_counter() {
-        let mut a = EngineStats { events: 1, live_monitors: 2, shed: 3, ..EngineStats::default() };
+    fn merge_from_sums_every_additive_counter() {
+        let mut a = EngineStats {
+            events: 1,
+            monitors_created: 2,
+            monitors_flagged: 3,
+            monitors_collected: 4,
+            live_monitors: 2,
+            triggers: 5,
+            dead_keys: 6,
+            creations_skipped: 7,
+            cache_hits: 8,
+            shed: 3,
+            quarantined: 9,
+            budget_trips: 10,
+            degradations: 11,
+            ..EngineStats::default()
+        };
         let b = EngineStats {
             events: 10,
+            monitors_created: 20,
+            monitors_flagged: 30,
+            monitors_collected: 40,
             live_monitors: 20,
+            triggers: 50,
+            dead_keys: 60,
+            creations_skipped: 70,
+            cache_hits: 80,
             shed: 30,
-            peak_live_monitors: 5,
+            quarantined: 90,
+            budget_trips: 100,
             degradations: 1,
             ..EngineStats::default()
         };
         a.merge_from(&b);
         assert_eq!(a.events, 11);
-        assert_eq!(a.live_monitors, 22);
+        assert_eq!(a.monitors_created, 22);
+        assert_eq!(a.monitors_flagged, 33);
+        assert_eq!(a.monitors_collected, 44);
+        assert_eq!(a.live_monitors, 22, "disjoint populations: live instances add up");
+        assert_eq!(a.triggers, 55);
+        assert_eq!(a.dead_keys, 66);
+        assert_eq!(a.creations_skipped, 77);
+        assert_eq!(a.cache_hits, 88);
         assert_eq!(a.shed, 33);
-        assert_eq!(a.peak_live_monitors, 5);
-        assert_eq!(a.degradations, 1);
+        assert_eq!(a.quarantined, 99);
+        assert_eq!(a.budget_trips, 110);
+        assert_eq!(a.degradations, 12);
+    }
+
+    /// Regression test for the peak-aggregation bug: `peak_live_monitors`
+    /// is a high-water mark and must merge with `max`, never `+`. The two
+    /// peaks here are both nonzero, so the pre-fix summing code reported
+    /// 12 — a combined peak that never existed.
+    #[test]
+    fn merge_from_takes_max_of_high_water_marks() {
+        let mut a = EngineStats { peak_live_monitors: 7, ..EngineStats::default() };
+        let b = EngineStats { peak_live_monitors: 5, ..EngineStats::default() };
+        a.merge_from(&b);
+        assert_eq!(a.peak_live_monitors, 7, "peaks do not add: max(7, 5) = 7");
+        // Merging in the other direction must raise the mark.
+        let mut c = EngineStats { peak_live_monitors: 5, ..EngineStats::default() };
+        c.merge_from(&EngineStats { peak_live_monitors: 7, ..EngineStats::default() });
+        assert_eq!(c.peak_live_monitors, 7);
+        // Merging an idle engine leaves the mark alone.
+        c.merge_from(&EngineStats::default());
+        assert_eq!(c.peak_live_monitors, 7);
     }
 
     #[test]

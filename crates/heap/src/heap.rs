@@ -1,7 +1,7 @@
 //! The heap proper: slots, roots, edges, and the mark-sweep collector.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::object::{ClassId, ObjId, WeakRef};
 use crate::stats::HeapStats;
@@ -66,9 +66,10 @@ pub struct FrameToken {
 
 /// Fault-injection state (see [`Heap::arm_doom`]): after `fuse` further
 /// [`Heap::is_alive`] queries, the `doomed` objects report dead. The query
-/// counter lives in a `Cell` because liveness queries take `&Heap`.
+/// counter is atomic because liveness queries take `&Heap`, and a quiesced
+/// heap is shared read-only across shard worker threads (`Heap: Sync`).
 struct DoomState {
-    queries: Cell<u64>,
+    queries: AtomicU64,
     fuse: u64,
     doomed: Vec<ObjId>,
 }
@@ -186,8 +187,7 @@ impl Heap {
     #[must_use]
     pub fn is_alive(&self, id: ObjId) -> bool {
         if let Some(doom) = &self.doom {
-            let q = doom.queries.get() + 1;
-            doom.queries.set(q);
+            let q = doom.queries.fetch_add(1, Ordering::Relaxed) + 1;
             if q > doom.fuse && doom.doomed.contains(&id) {
                 return false;
             }
@@ -448,7 +448,7 @@ impl Heap {
     /// The next [`Heap::collect`] disarms the injection and makes the
     /// deaths real.
     pub fn arm_doom(&mut self, fuse: u64, doomed: Vec<ObjId>) {
-        self.doom = Some(Box::new(DoomState { queries: Cell::new(0), fuse, doomed }));
+        self.doom = Some(Box::new(DoomState { queries: AtomicU64::new(0), fuse, doomed }));
     }
 
     /// Disarms fault injection without collecting.
@@ -484,6 +484,15 @@ mod tests {
         let mut h = Heap::new(HeapConfig::manual());
         let c = h.register_class("Obj");
         (h, c)
+    }
+
+    /// The sharded engine shares a quiesced heap read-only across worker
+    /// threads, so `Heap` must stay `Send + Sync`. This is a compile-time
+    /// property; the test exists so removing it is a deliberate act.
+    #[test]
+    fn heap_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Heap>();
     }
 
     #[test]

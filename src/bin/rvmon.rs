@@ -12,19 +12,24 @@
 //!                           replay a textual event trace through the
 //!                           monitoring engine, dumping JSONL lifecycle
 //!                           records and a JSON metrics snapshot
-//! rvmon chaos   <spec.rv> [--seed N] [--events M]
+//! rvmon chaos   <spec.rv> [--seed N] [--events M] [--shards K]
 //!                           deterministic fault-injection differential:
 //!                           every property block under every GC policy on
 //!                           a chaos heap, checked against the reference
 //!                           oracle (seed-reproducible; default seed 1,
-//!                           512 events)
+//!                           512 events); with `--shards K` (K > 1) the
+//!                           battery also runs the sharded engine against
+//!                           the sequential engine and the oracle
 //! rvmon run     <spec.rv> <events-file> --journal DIR
-//!                           [--checkpoint-every N]
+//!                           [--checkpoint-every N] [--shards K]
 //!                           like `trace`, but crash-consistent: every
 //!                           event, directive, and goal report is written
 //!                           ahead to a checksummed journal in DIR, with a
 //!                           full engine checkpoint every N events
-//!                           (default 32)
+//!                           (default 32); with `--shards K` (K > 1) the
+//!                           trace runs on the sharded parallel engine
+//!                           (checkpoints disabled — recovery replays the
+//!                           journal from sequence 0)
 //! rvmon recover <journal-dir>
 //!                           crash recovery: restore the latest usable
 //!                           checkpoint, truncate the torn journal tail,
@@ -103,10 +108,11 @@ fn main() -> ExitCode {
 /// the spec, under every GC policy, driven over a seed-reproducible random
 /// workload on a chaos heap and compared against the Figure 5 oracle.
 fn chaos(path: &str, source: &str, rest: &[String]) -> ExitCode {
-    use rv_monitor::core::{run_block, GcPolicy};
+    use rv_monitor::core::{differential_run, run_block, GcPolicy, ShardConfig};
 
     let mut seed: u64 = 1;
     let mut events: usize = 512;
+    let mut shards: usize = 1;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let value = |v: Option<&String>| v.and_then(|s| s.parse::<u64>().ok());
@@ -125,8 +131,18 @@ fn chaos(path: &str, source: &str, rest: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--shards" => match value(it.next()).filter(|&n| n > 0) {
+                Some(n) => shards = n as usize,
+                None => {
+                    eprintln!("rvmon: error: --shards takes a positive numeric argument");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("usage: rvmon chaos <spec-file> [--seed N] [--events M]; got `{other}`");
+                eprintln!(
+                    "usage: rvmon chaos <spec-file> [--seed N] [--events M] [--shards K]; \
+                     got `{other}`"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -162,6 +178,35 @@ fn chaos(path: &str, source: &str, rest: &[String]) -> ExitCode {
                 Err(e) => {
                     failures += 1;
                     eprintln!("block {} {policy:?} seed {seed}: error: {e}", block + 1);
+                }
+            }
+        }
+    }
+    // With `--shards K`, run the whole-spec sharded differential on top of
+    // the per-block battery: sequential engine vs sharded engine vs oracle.
+    if shards > 1 {
+        for policy in [GcPolicy::None, GcPolicy::AllParamsDead, GcPolicy::CoenableLazy] {
+            let cfg = ShardConfig::with_shards(shards);
+            match differential_run(&spec, policy, cfg, seed, events) {
+                Ok(out) if out.matches() => println!(
+                    "sharded {policy:?} x{shards} seed {seed}: OK — {} event(s), \
+                     {} trigger(s), {} routed, {} broadcast",
+                    out.trace_len,
+                    out.report.triggers.len(),
+                    out.report.routed_events,
+                    out.report.broadcast_events
+                ),
+                Ok(out) => {
+                    failures += 1;
+                    eprintln!(
+                        "sharded {policy:?} x{shards} seed {seed}: error: \
+                         DIFFERENTIAL MISMATCH\n{}",
+                        out.mismatches.join("\n")
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("sharded {policy:?} x{shards} seed {seed}: error: {e}");
                 }
             }
         }
@@ -327,11 +372,13 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
 
     let mut events_path: Option<&str> = None;
     let mut journal_dir: Option<&str> = None;
-    let mut checkpoint_every: usize = 32;
+    let mut checkpoint_every: Option<usize> = None;
+    let mut shards: usize = 1;
     let usage = || {
         (
             2u8,
-            "usage: rvmon run <spec-file> <events-file> --journal DIR [--checkpoint-every N]"
+            "usage: rvmon run <spec-file> <events-file> --journal DIR [--checkpoint-every N] \
+             [--shards K]"
                 .to_owned(),
         )
     };
@@ -340,7 +387,15 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
         match arg.as_str() {
             "--journal" => journal_dir = Some(it.next().ok_or_else(usage)?.as_str()),
             "--checkpoint-every" => {
-                checkpoint_every = it
+                checkpoint_every = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--shards" => {
+                shards = it
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
                     .filter(|&n| n > 0)
@@ -362,6 +417,16 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
         Ok(s) => s,
         Err(code) => return Ok(code),
     };
+    if shards > 1 {
+        if checkpoint_every.is_some() {
+            eprintln!(
+                "rvmon: note: --checkpoint-every is ignored with --shards > 1 — worker-private \
+                 engine state is not checkpointed; recovery replays the journal from sequence 0"
+            );
+        }
+        return run_sharded(source, spec, events_path, &events, journal_dir, shards);
+    }
+    let checkpoint_every = checkpoint_every.unwrap_or(32);
     let alphabet = spec.alphabet.clone();
     let event_params = spec.event_params.clone();
     let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
@@ -518,6 +583,235 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
         journal_dir.display()
     );
     println!("{{\"engine\":{},\"journal\":{}}}", monitor.stats().to_json(), jstats.to_json());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `rvmon run --shards K` (K > 1): the journaled run on the sharded
+/// parallel engine.
+///
+/// Events are written ahead to the journal exactly as in the sequential
+/// path; goal reports are appended at each quiesce point (heap directive
+/// or end of trace) with their deterministic `(event_seq, ordinal)` keys,
+/// where `event_seq` is the journal sequence of the event record. Heap
+/// mutation — collection, unpinning, and first-mention allocation — only
+/// happens while every worker is quiescent; allocations are hoisted to
+/// the start of each directive-free run of events, which hands out the
+/// same `ObjId`s as allocating at first mention because the free list
+/// only changes at a collection. Checkpoints are not written: recovery
+/// replays the journal from sequence 0 on the sequential engine, which is
+/// verdict-equivalent.
+#[allow(clippy::too_many_lines)]
+fn run_sharded(
+    source: &str,
+    spec: CompiledSpec,
+    events_path: &str,
+    events: &str,
+    journal_dir: &std::path::Path,
+    shards: usize,
+) -> Result<ExitCode, (u8, String)> {
+    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_SPEC, AUX_SWEEP};
+    use rv_monitor::core::{
+        Binding, EngineConfig, JournalWriter, Record, ShardConfig, ShardTrigger, ShardedMonitor,
+    };
+    use rv_monitor::heap::{Heap, HeapConfig, ObjId};
+    use rv_monitor::logic::EventId;
+
+    enum Step<'a> {
+        Gc,
+        Sweep,
+        Free { names: Vec<&'a str>, lineno: usize },
+        Event { event: EventId, names: Vec<&'a str> },
+    }
+
+    let alphabet = spec.alphabet.clone();
+    let event_params = spec.event_params.clone();
+
+    // Tokenize the whole trace up front (no heap effects yet) so runs of
+    // event lines between directives are known before a session opens.
+    let mut steps = Vec::new();
+    for (lineno, raw) in events.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let Some(head) = words.next() else {
+            continue;
+        };
+        let report_err = |msg: String| (1u8, format!("{events_path}:{}: {msg}", lineno + 1));
+        match head {
+            "!gc" => steps.push(Step::Gc),
+            "!sweep" => steps.push(Step::Sweep),
+            "!free" => steps.push(Step::Free { names: words.collect(), lineno }),
+            event_name => {
+                let Some(event) = alphabet.lookup(event_name) else {
+                    return Err(report_err(format!(
+                        "`{event_name}` is not an event of this spec \
+                         (directives are !free, !gc, !sweep)"
+                    )));
+                };
+                let names: Vec<&str> = words.collect();
+                let arity = event_params[event.as_usize()].len();
+                if names.len() != arity {
+                    return Err(report_err(format!(
+                        "event `{event_name}` takes {arity} object(s), got {}",
+                        names.len()
+                    )));
+                }
+                steps.push(Step::Event { event, names });
+            }
+        }
+    }
+
+    let io = |e: std::io::Error| (2u8, format!("journal write failed: {e}"));
+    let mut journal = JournalWriter::create(journal_dir).map_err(io)?;
+    journal
+        .append(&Record::Aux { tag: AUX_SPEC, bytes: source.as_bytes().to_vec() })
+        .map_err(io)?;
+
+    let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+    let mut sharded = ShardedMonitor::new(spec, &config, ShardConfig::with_shards(shards));
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Obj");
+    let mut objects: std::collections::HashMap<String, ObjId> = std::collections::HashMap::new();
+    // Maps the sharded engine's 0-based event index to the journal
+    // sequence of that event's record — the key trigger records carry.
+    let mut seq_of_event: Vec<u64> = Vec::new();
+    let mut trigger_records = 0u64;
+
+    fn append_triggers(
+        journal: &mut JournalWriter,
+        triggers: Vec<ShardTrigger>,
+        seq_of_event: &[u64],
+    ) -> std::io::Result<u64> {
+        let mut written = 0u64;
+        for t in triggers {
+            journal.append(&Record::Trigger {
+                event_seq: seq_of_event[t.event_seq as usize],
+                ordinal: t.ordinal,
+                block: t.block as u16,
+                step: t.event_seq,
+                verdict: t.verdict,
+                binding: t.binding,
+            })?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    let engine_failed = |e: &rv_monitor::core::EngineError| (1u8, format!("engine error: {e}"));
+    let mut i = 0usize;
+    while i < steps.len() {
+        match &steps[i] {
+            Step::Gc => {
+                journal.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() }).map_err(io)?;
+                heap.collect();
+                i += 1;
+            }
+            Step::Sweep => {
+                journal.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() }).map_err(io)?;
+                sharded.sweep(&heap);
+                i += 1;
+            }
+            Step::Free { names, lineno } => {
+                let mut freed = Vec::new();
+                let mut payload = Vec::new();
+                for name in names {
+                    let Some(&obj) = objects.get(*name) else {
+                        return Err((
+                            1,
+                            format!("{events_path}:{}: unknown object `{name}`", lineno + 1),
+                        ));
+                    };
+                    payload.extend_from_slice(&obj.to_bits().to_le_bytes());
+                    freed.push(obj);
+                }
+                journal.append(&Record::Aux { tag: AUX_FREE, bytes: payload }).map_err(io)?;
+                for obj in freed {
+                    heap.unpin(obj);
+                }
+                i += 1;
+            }
+            Step::Event { .. } => {
+                let mut j = i;
+                while j < steps.len() && matches!(steps[j], Step::Event { .. }) {
+                    j += 1;
+                }
+                // Allocate this run's first-mention objects while the
+                // workers are still quiescent.
+                for step in &steps[i..j] {
+                    let Step::Event { names, .. } = step else { unreachable!() };
+                    for name in names {
+                        objects.entry((*name).to_owned()).or_insert_with(|| {
+                            let frame = heap.enter_frame();
+                            let o = heap.alloc(class);
+                            heap.pin(o);
+                            heap.exit_frame(frame);
+                            o
+                        });
+                    }
+                }
+                {
+                    let mut session = sharded.session(&heap);
+                    for step in &steps[i..j] {
+                        let Step::Event { event, names } = step else { unreachable!() };
+                        let pairs: Vec<_> = event_params[event.as_usize()]
+                            .iter()
+                            .zip(names)
+                            .map(|(&p, &name)| (p, objects[name]))
+                            .collect();
+                        let binding = Binding::from_pairs(&pairs);
+                        let seq = journal
+                            .append(&Record::Event { event: *event, binding })
+                            .map_err(io)?;
+                        seq_of_event.push(seq);
+                        session.process(*event, binding);
+                    }
+                } // drop quiesces: every trigger of this run has arrived
+                if let Some(e) = sharded.last_error() {
+                    return Err(engine_failed(e));
+                }
+                trigger_records +=
+                    append_triggers(&mut journal, sharded.drain_triggers(), &seq_of_event)
+                        .map_err(io)?;
+                i = j;
+            }
+        }
+    }
+
+    let report = sharded.finish(&heap);
+    if let Some(e) = report.error {
+        return Err(engine_failed(&e));
+    }
+    trigger_records += append_triggers(&mut journal, report.triggers, &seq_of_event).map_err(io)?;
+    journal.sync().map_err(io)?;
+    let jstats = journal.stats();
+    println!(
+        "journaled sharded run: {} record(s), {} byte(s), {} shard(s), no checkpoints in {}",
+        jstats.records,
+        jstats.bytes,
+        shards,
+        journal_dir.display()
+    );
+    println!(
+        "shards: {} event(s) — {} routed, {} broadcast, {} deliveries, {} goal report(s)",
+        report.events,
+        report.routed_events,
+        report.broadcast_events,
+        report.deliveries,
+        trigger_records
+    );
+    println!(
+        "{{\"engine\":{},\"journal\":{},\"shards\":{{\"shards\":{},\"events\":{},\"routed\":{},\
+         \"broadcast\":{},\"deliveries\":{}}}}}",
+        report.stats.to_json(),
+        jstats.to_json(),
+        shards,
+        report.events,
+        report.routed_events,
+        report.broadcast_events,
+        report.deliveries
+    );
     Ok(ExitCode::SUCCESS)
 }
 
