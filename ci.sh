@@ -75,4 +75,20 @@ cargo run -q --release -p rv-bench --bin parallel -- --scale 0.02 \
 test -s "$PAR_JSON"
 rm -f "$PAR_JSON"
 
+# Profiling smoke: the provenance ledger must re-derive the engine's
+# E/M/FM/CM exactly (`explain` exits 1 on any accounting mismatch), the
+# phase-profiler bench report must emit per-phase histograms, and the
+# Prometheus endpoint must answer a raw-TCP scrape (the curl-less
+# `cli_serve` integration test).
+echo "== profiling smoke (explain identity + profile JSON + serve, release)"
+cargo run -q --release --bin rvmon -- explain specs/unsafe_iter.rv \
+    examples/unsafe_iter.events --summary >/dev/null
+PROF_JSON="${TMPDIR:-/tmp}/rv-ci-profile-$$.json"
+cargo run -q --release -p rv-bench --bin fig10 -- --scale 0.02 \
+    --profile-json "$PROF_JSON" >/dev/null
+grep -q '"enabled_overhead_pct"' "$PROF_JSON"
+grep -q '"index_lookup"' "$PROF_JSON"
+rm -f "$PROF_JSON"
+cargo test -q --release --test cli_serve >/dev/null
+
 echo "CI OK"

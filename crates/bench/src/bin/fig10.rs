@@ -4,7 +4,7 @@
 //! (CM) — for every benchmark × evaluated property.
 //!
 //! Usage: `cargo run --release -p rv-bench --bin fig10 -- [--scale X]
-//! [--stats-json BENCH_FIG10.json]`
+//! [--stats-json BENCH_FIG10.json] [--profile-json BENCH_PROFILE.json]`
 
 use rv_bench::{fmt_count, MonitorSink, StatsReport, System};
 use rv_props::Property;
@@ -46,6 +46,9 @@ fn main() {
     println!("E events, M monitors created, FM flagged unnecessary, CM collected");
     println!("(HasNext runs both its FSM and LTL blocks; counts aggregate the two)");
     report.write_if_requested(args.stats_json.as_deref());
+    if let Some(path) = args.profile_json.as_deref() {
+        rv_bench::write_profile_report(path, "fig10", args.scale, args.reps);
+    }
 
     if let Some(seed) = args.chaos_seed {
         println!();

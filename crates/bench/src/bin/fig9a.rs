@@ -4,7 +4,8 @@
 //! "ALL" column (all five monitored simultaneously).
 //!
 //! Usage: `cargo run --release -p rv-bench --bin fig9a -- [--scale X]
-//! [--deadline SECS] [--reps N] [--stats-json BENCH_FIG9A.json]`
+//! [--deadline SECS] [--reps N] [--stats-json BENCH_FIG9A.json]
+//! [--profile-json BENCH_PROFILE.json]`
 //!
 //! Cells print the percent overhead versus the unmonitored run; `∞` marks
 //! cells that exceeded the deadline (the paper's non-terminating
@@ -68,6 +69,9 @@ fn main() {
     println!();
     println!("cells: percent overhead vs. the unmonitored run; ∞ = deadline exceeded");
     report.write_if_requested(args.stats_json.as_deref());
+    if let Some(path) = args.profile_json.as_deref() {
+        rv_bench::write_profile_report(path, "fig9a", args.scale, args.reps);
+    }
 }
 
 fn shorten(name: &str) -> String {

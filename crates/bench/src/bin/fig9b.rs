@@ -7,7 +7,8 @@
 //! simulated program's own heap is identical across systems and omitted.
 //!
 //! Usage: `cargo run --release -p rv-bench --bin fig9b -- [--scale X]
-//! [--deadline SECS] [--stats-json BENCH_FIG9B.json]`
+//! [--deadline SECS] [--stats-json BENCH_FIG9B.json]
+//! [--profile-json BENCH_PROFILE.json]`
 
 use rv_bench::{measure_baseline, measure_cell, HarnessArgs, StatsReport, System};
 use rv_props::Property;
@@ -64,4 +65,7 @@ fn main() {
     println!();
     println!("cells: peak KiB of monitors + indexing structures (sampled every 4096 events)");
     report.write_if_requested(args.stats_json.as_deref());
+    if let Some(path) = args.profile_json.as_deref() {
+        rv_bench::write_profile_report(path, "fig9b", args.scale, args.reps);
+    }
 }

@@ -17,7 +17,10 @@
 
 use std::time::{Duration, Instant};
 
-use rv_core::{Binding, EngineConfig, GcPolicy, PropertyMonitor};
+use rv_core::{
+    Binding, EngineConfig, EngineObserver, GcPolicy, MetricsRegistry, NoopObserver, PhaseProfiler,
+    PropertyMonitor,
+};
 use rv_heap::Heap;
 use rv_logic::{AnyFormalism, EventId};
 use rv_props::Property;
@@ -51,23 +54,23 @@ impl System {
 }
 
 /// One property attached to a system under test.
-enum Attached {
-    Engine(Box<PropertyMonitor>),
+enum Attached<O: EngineObserver = NoopObserver> {
+    Engine(Box<PropertyMonitor<O>>),
     Tm(Box<TraceMatch>),
 }
 
 /// Pre-resolved event dispatch for one property: spec lookups hoisted out
 /// of the hot path.
-struct Dispatch {
+struct Dispatch<O: EngineObserver = NoopObserver> {
     property: Property,
     /// For each possible projected event name: `(event id, param ids)`.
     /// Resolved lazily on first sight and memoized by name pointer.
     spec_alphabet: rv_logic::Alphabet,
     event_params: Vec<Vec<rv_logic::ParamId>>,
-    attached: Attached,
+    attached: Attached<O>,
 }
 
-impl Dispatch {
+impl<O: EngineObserver> Dispatch<O> {
     fn translate(&self, name: &str, objs: &rv_workloads::ObjList) -> (EventId, Binding) {
         let event = self
             .spec_alphabet
@@ -83,8 +86,13 @@ impl Dispatch {
 
 /// A sink feeding workload events to one or more monitored properties
 /// under a single system, with a deadline and periodic memory sampling.
-pub struct MonitorSink {
-    dispatches: Vec<Dispatch>,
+///
+/// Generic over the per-engine [`EngineObserver`] — the default
+/// [`NoopObserver`] is the measured (zero-cost) configuration; attach a
+/// real observer with [`MonitorSink::with_observers`] for the profiled
+/// pass.
+pub struct MonitorSink<O: EngineObserver = NoopObserver> {
+    dispatches: Vec<Dispatch<O>>,
     deadline: Option<Instant>,
     timed_out: bool,
     events_since_sample: u32,
@@ -120,6 +128,26 @@ impl MonitorSink {
         properties: &[Property],
         base: EngineConfig,
     ) -> MonitorSink {
+        MonitorSink::with_observers(system, properties, base, |_| NoopObserver)
+    }
+}
+
+impl<O: EngineObserver> MonitorSink<O> {
+    /// Like [`MonitorSink::with_engine_config`], but attaches `make(p)`
+    /// to every engine block of property `p` (called once per block).
+    /// Observers only attach to engine-backed systems; TM cells ignore
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a CFG property is requested under [`System::Tm`].
+    #[must_use]
+    pub fn with_observers(
+        system: System,
+        properties: &[Property],
+        base: EngineConfig,
+        mut make: impl FnMut(Property) -> O,
+    ) -> MonitorSink<O> {
         let dispatches = properties
             .iter()
             .map(|&property| {
@@ -134,7 +162,11 @@ impl MonitorSink {
                             },
                             ..base.clone()
                         };
-                        Attached::Engine(Box::new(PropertyMonitor::new(spec.clone(), &config)))
+                        Attached::Engine(Box::new(PropertyMonitor::with_observers(
+                            spec.clone(),
+                            &config,
+                            |_| make(property),
+                        )))
                     }
                     System::Tm => {
                         assert!(
@@ -171,9 +203,22 @@ impl MonitorSink {
     }
 
     /// Aborts monitoring (reporting `∞`) once `duration` has elapsed.
-    pub fn with_deadline(mut self, duration: Duration) -> MonitorSink {
+    pub fn with_deadline(mut self, duration: Duration) -> MonitorSink<O> {
         self.deadline = Some(Instant::now() + duration);
         self
+    }
+
+    /// The engine-backed monitors, for reaching attached observers after
+    /// a run (empty under TM).
+    #[must_use]
+    pub fn engine_monitors(&self) -> Vec<(Property, &PropertyMonitor<O>)> {
+        self.dispatches
+            .iter()
+            .filter_map(|d| match &d.attached {
+                Attached::Engine(m) => Some((d.property, m.as_ref())),
+                Attached::Tm(_) => None,
+            })
+            .collect()
     }
 
     /// Whether the deadline fired.
@@ -222,7 +267,7 @@ impl MonitorSink {
     }
 }
 
-impl EventSink for MonitorSink {
+impl<O: EngineObserver> EventSink for MonitorSink<O> {
     fn emit(&mut self, heap: &Heap, event: &SimEvent) {
         if self.timed_out {
             return;
@@ -315,6 +360,155 @@ pub fn measure_cell(
     }
 }
 
+/// One profiled run of a workload cell: per-property phase profilers
+/// (blocks merged), the merged metrics registry, and the wall-clock
+/// figures needed to report the profiler's own cost.
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// One merged profiler per property, labelled with the paper name.
+    pub profilers: Vec<PhaseProfiler>,
+    /// Metrics merged across every property and block.
+    pub metrics: MetricsRegistry,
+    /// Best wall-clock seconds with the zero-cost `NoopObserver` path
+    /// (profiler compiled out — the disabled configuration).
+    pub disabled_secs: f64,
+    /// Worst disabled wall-clock seconds: the run-to-run noise bound the
+    /// disabled-path overhead claim is judged against.
+    pub disabled_worst_secs: f64,
+    /// Best wall-clock seconds with the profiler attached.
+    pub enabled_secs: f64,
+}
+
+impl ProfiledRun {
+    /// Profiler-enabled overhead versus the disabled path, in percent.
+    #[must_use]
+    pub fn enabled_overhead_pct(&self) -> f64 {
+        (self.enabled_secs / self.disabled_secs.max(1e-9) - 1.0) * 100.0
+    }
+
+    /// Run-to-run spread of the disabled path, in percent — the noise
+    /// floor that bounds any claim about the disabled path's cost.
+    #[must_use]
+    pub fn disabled_spread_pct(&self) -> f64 {
+        (self.disabled_worst_secs / self.disabled_secs.max(1e-9) - 1.0) * 100.0
+    }
+
+    /// The run as one JSON object (the `--profile-json` cell shape).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use rv_core::obs::json_f64;
+        let profs: Vec<String> = self.profilers.iter().map(PhaseProfiler::to_json).collect();
+        format!(
+            "{{\"disabled_secs\":{},\"disabled_worst_secs\":{},\"enabled_secs\":{},\
+             \"enabled_overhead_pct\":{},\"disabled_spread_pct\":{},\"self_overhead_ns\":{},\
+             \"profilers\":[{}]}}",
+            json_f64(self.disabled_secs),
+            json_f64(self.disabled_worst_secs),
+            json_f64(self.enabled_secs),
+            json_f64(self.enabled_overhead_pct()),
+            json_f64(self.disabled_spread_pct()),
+            json_f64(PhaseProfiler::measure_self_overhead(4096)),
+            profs.join(",")
+        )
+    }
+}
+
+/// Measures one cell twice, best-of-`reps` each way: once on the
+/// `NoopObserver` path (profiler compiled out) and once with a
+/// [`PhaseProfiler`] + [`MetricsRegistry`] attached to every engine
+/// block. The pair is the "profiler on vs off" figure EXPERIMENTS.md
+/// reports; the returned profilers carry the per-phase histograms.
+///
+/// # Panics
+///
+/// Panics under [`System::Tm`] — Tracematches has no engine observers.
+#[must_use]
+pub fn measure_profiled_cell(
+    profile: &Profile,
+    scale: f64,
+    system: System,
+    properties: &[Property],
+    reps: u32,
+) -> ProfiledRun {
+    assert!(system != System::Tm, "TM cells have no engine observers to profile");
+    let reps = reps.max(1);
+    let mut disabled = f64::INFINITY;
+    let mut disabled_worst = 0.0f64;
+    for _ in 0..reps {
+        let mut sink = MonitorSink::new(system, properties);
+        let start = Instant::now();
+        let _ = rv_workloads::run(profile, scale, &mut sink);
+        let t = start.elapsed().as_secs_f64();
+        disabled = disabled.min(t);
+        disabled_worst = disabled_worst.max(t);
+    }
+    let mut enabled = f64::INFINITY;
+    let mut best: Option<(Vec<PhaseProfiler>, MetricsRegistry)> = None;
+    for _ in 0..reps {
+        let mut sink = MonitorSink::with_observers(
+            system,
+            properties,
+            EngineConfig::default(),
+            |p: Property| (MetricsRegistry::new(), PhaseProfiler::new().with_label(p.paper_name())),
+        );
+        let start = Instant::now();
+        let _ = rv_workloads::run(profile, scale, &mut sink);
+        let t = start.elapsed().as_secs_f64();
+        if t < enabled || best.is_none() {
+            enabled = enabled.min(t);
+            let mut metrics = MetricsRegistry::new();
+            let mut profs = Vec::new();
+            for (property, monitor) in sink.engine_monitors() {
+                let mut merged = PhaseProfiler::new().with_label(property.paper_name());
+                for engine in monitor.engines() {
+                    let (m, p) = engine.observer();
+                    metrics.merge_from(m);
+                    merged.merge_from(p);
+                }
+                profs.push(merged);
+            }
+            best = Some((profs, metrics));
+        }
+    }
+    let (profilers, metrics) = best.expect("reps >= 1 guarantees a profiled run");
+    ProfiledRun {
+        profilers,
+        metrics,
+        disabled_secs: disabled,
+        disabled_worst_secs: disabled_worst,
+        enabled_secs: enabled,
+    }
+}
+
+/// Runs the profiled pass the `--profile-json` flag asks for — every
+/// DaCapo benchmark under RV with all evaluated properties — and writes
+/// one JSON document with per-phase histograms and the measured
+/// profiler-on-vs-off overhead per benchmark.
+///
+/// # Panics
+///
+/// Panics on IO errors — these binaries are CLIs.
+pub fn write_profile_report(path: &str, figure: &str, scale: f64, reps: u32) {
+    use rv_core::obs::{json_escape, json_f64};
+    let mut cells = Vec::new();
+    for profile in Profile::dacapo() {
+        let run = measure_profiled_cell(&profile, scale, System::Rv, &Property::EVALUATED, reps);
+        cells.push(format!(
+            "{{\"benchmark\":\"{}\",\"profile\":{}}}",
+            json_escape(profile.name),
+            run.to_json()
+        ));
+    }
+    let doc = format!(
+        "{{\"figure\":\"{}\",\"scale\":{},\"cells\":[{}]}}\n",
+        json_escape(figure),
+        json_f64(scale),
+        cells.join(",")
+    );
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
 /// Formats an overhead cell: percentage or `∞`.
 #[must_use]
 pub fn fmt_overhead(cell: &CellResult) -> String {
@@ -381,6 +575,10 @@ pub struct HarnessArgs {
     pub reps: u32,
     /// Where to write a machine-readable JSON report (`--stats-json`).
     pub stats_json: Option<String>,
+    /// Where to write the phase-profiler report (`--profile-json`): the
+    /// harness reruns its workloads with profilers attached and records
+    /// per-phase histograms plus the profiler-on-vs-off overhead.
+    pub profile_json: Option<String>,
     /// When set, the harness also runs the deterministic fault-injection
     /// differential with this seed (`--chaos-seed`).
     pub chaos_seed: Option<u64>,
@@ -388,7 +586,14 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: 1.0, deadline_secs: 30, reps: 3, stats_json: None, chaos_seed: None }
+        HarnessArgs {
+            scale: 1.0,
+            deadline_secs: 30,
+            reps: 3,
+            stats_json: None,
+            profile_json: None,
+            chaos_seed: None,
+        }
     }
 }
 
@@ -412,13 +617,15 @@ impl HarnessArgs {
                 }
                 "--reps" => out.reps = take("--reps").parse().expect("numeric --reps"),
                 "--stats-json" => out.stats_json = Some(take("--stats-json")),
+                "--profile-json" => out.profile_json = Some(take("--profile-json")),
                 "--chaos-seed" => {
                     out.chaos_seed =
                         Some(take("--chaos-seed").parse().expect("numeric --chaos-seed"));
                 }
                 other => panic!(
                     "unknown argument `{other}` \
-                     (known: --scale, --deadline, --reps, --stats-json, --chaos-seed)"
+                     (known: --scale, --deadline, --reps, --stats-json, --profile-json, \
+                     --chaos-seed)"
                 ),
             }
         }

@@ -588,6 +588,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
                 let Some(mut tree) = self.trees.remove(&domain) else {
                     return Err(EngineError::MissingTree(domain));
                 };
+                let t_expunge = if O::ENABLED { Some(Instant::now()) } else { None };
                 let mut sink = NotifySink::new(
                     &mut self.store,
                     &self.aliveness,
@@ -598,6 +599,9 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
                 );
                 tree.expunge(heap, 1, &mut sink);
                 self.trees.insert(domain, tree);
+                if let Some(t) = t_expunge {
+                    self.observer.phase_timed(Phase::DeadKeyExpunge, elapsed_nanos(t));
+                }
             }
         } else {
             self.observer.cache_miss();
@@ -660,6 +664,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         // in the same step; later events find everything via the trees.
         // The exact table keeps even flagged/terminated instances until
         // they are swept, so this also prevents re-creating retired ones.
+        let t_disable = if O::ENABLED { Some(Instant::now()) } else { None };
         let own_exists = self.exact.get(&domain).is_some_and(|m| m.peek(&binding).is_some());
         if !own_exists {
             self.try_create_own(heap, event, binding, step)?;
@@ -670,6 +675,9 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         // lazy maintenance elsewhere.
         self.disable.insert(binding);
         self.disable.prune(heap, 2);
+        if let Some(t) = t_disable {
+            self.observer.phase_timed(Phase::DisableCheck, elapsed_nanos(t));
+        }
         self.end_of_event_governance(heap);
         if O::ENABLED {
             self.flush_collected();
@@ -1027,7 +1035,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         // EagerCollect and deeper: lazy windowed expunging is not keeping
         // up, so run exhaustive tree maintenance after every event.
         if self.degradation >= Some(DegradationPolicy::EagerCollect) {
-            self.sweep_once(heap);
+            self.sweep_once_timed(heap);
         }
         let mut pressure = false;
         if let Some(max) = self.config.max_work_per_event {
@@ -1267,8 +1275,12 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         // sequence them.
         let before = self.store.stats();
         self.observer.sweep_started();
+        let t_sweep = if O::ENABLED { Some(Instant::now()) } else { None };
         for _ in 0..2 {
             self.sweep_once(heap);
+        }
+        if let Some(t) = t_sweep {
+            self.observer.phase_timed(Phase::Sweep, elapsed_nanos(t));
         }
         if O::ENABLED {
             self.flush_collected();
@@ -1276,6 +1288,14 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         let after = self.store.stats();
         self.observer
             .sweep_finished(after.flagged - before.flagged, after.collected - before.collected);
+    }
+
+    fn sweep_once_timed(&mut self, heap: &Heap) {
+        let t = if O::ENABLED { Some(Instant::now()) } else { None };
+        self.sweep_once(heap);
+        if let Some(t) = t {
+            self.observer.phase_timed(Phase::DeadKeyExpunge, elapsed_nanos(t));
+        }
     }
 
     fn sweep_once(&mut self, heap: &Heap) {

@@ -60,6 +60,7 @@ pub mod error;
 pub mod journal;
 pub mod multi;
 pub mod obs;
+pub mod profile;
 pub mod reference;
 pub mod shard;
 pub mod snapshot;
@@ -79,6 +80,9 @@ pub use crate::multi::PropertyMonitor;
 pub use crate::obs::{
     EngineObserver, FlagCause, Histogram, MetricsRegistry, NoopObserver, Phase, TraceKind,
     TraceRecord, TraceRecorder,
+};
+pub use crate::profile::{
+    prometheus_text, InstanceRecord, PhaseProfiler, ProvenanceLedger, ProvenanceSummary,
 };
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
 pub use crate::shard::{

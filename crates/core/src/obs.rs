@@ -63,31 +63,72 @@ impl FlagCause {
 pub enum Phase {
     /// Looking `θ` up in the `⟨D(e)⟩` indexing tree (Figure 6).
     IndexLookup,
+    /// Consulting the disable set / creation veto before instantiating a
+    /// monitor (Algorithm C⟨X⟩'s `disable` check plus coenable vetoes).
+    DisableCheck,
     /// Stepping matched monitor states by the event.
     Transition,
     /// Evaluating ALIVENESS for monitors under a dead key (Figure 7).
     Aliveness,
+    /// Expunging dead keys from indexing trees and exact maps (the trickle
+    /// expunge on the hot path and the bulk `expunge_all` inside sweeps).
+    DeadKeyExpunge,
+    /// A whole safepoint sweep/compaction pass
+    /// ([`Engine::full_sweep`](crate::Engine::full_sweep), end to end).
+    Sweep,
+    /// Appending one record to the write-ahead journal (durable runs).
+    JournalAppend,
+    /// Routing/broadcasting one event across shard channels.
+    ShardRoute,
 }
 
 impl Phase {
+    /// Number of phases (the length of [`Phase::ALL`]).
+    pub const COUNT: usize = 8;
+
     /// All phases, in dispatch order.
-    pub const ALL: [Phase; 3] = [Phase::IndexLookup, Phase::Transition, Phase::Aliveness];
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::IndexLookup,
+        Phase::DisableCheck,
+        Phase::Transition,
+        Phase::Aliveness,
+        Phase::DeadKeyExpunge,
+        Phase::Sweep,
+        Phase::JournalAppend,
+        Phase::ShardRoute,
+    ];
 
     /// The snake_case label used in snapshots.
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             Phase::IndexLookup => "index_lookup",
+            Phase::DisableCheck => "disable_check",
             Phase::Transition => "transition",
             Phase::Aliveness => "aliveness",
+            Phase::DeadKeyExpunge => "dead_key_expunge",
+            Phase::Sweep => "sweep",
+            Phase::JournalAppend => "journal_append",
+            Phase::ShardRoute => "shard_route",
         }
     }
 
-    fn index(self) -> usize {
+    /// Parses a snake_case label back to a phase.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.label() == label)
+    }
+
+    pub(crate) fn index(self) -> usize {
         match self {
             Phase::IndexLookup => 0,
-            Phase::Transition => 1,
-            Phase::Aliveness => 2,
+            Phase::DisableCheck => 1,
+            Phase::Transition => 2,
+            Phase::Aliveness => 3,
+            Phase::DeadKeyExpunge => 4,
+            Phase::Sweep => 5,
+            Phase::JournalAppend => 6,
+            Phase::ShardRoute => 7,
         }
     }
 }
@@ -838,7 +879,7 @@ pub struct Histogram {
 
 /// Number of power-of-two buckets: covers values up to 2^29 (~0.5 s in
 /// nanoseconds, ~500M in event counts) before overflow.
-const HISTOGRAM_BUCKETS: usize = 30;
+pub const HISTOGRAM_BUCKETS: usize = 30;
 
 impl Default for Histogram {
     fn default() -> Self {
@@ -901,6 +942,14 @@ impl Histogram {
         self.max
     }
 
+    /// Raw per-bucket counts: slot `i < HISTOGRAM_BUCKETS` counts samples
+    /// `≤ 2^i` (and above the previous bound); the final slot is overflow.
+    /// Exposed for cumulative renderings (Prometheus `le` buckets).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Arithmetic mean, or 0 when empty.
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -911,16 +960,53 @@ impl Histogram {
         }
     }
 
-    /// Renders the histogram as a JSON object. Empty buckets are elided
-    /// from the `buckets` array to keep snapshots small.
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the power-of-two bucket holding the target
+    /// rank. Bucket `i > 0` spans `(2^(i−1), 2^i]`, bucket 0 spans
+    /// `[0, 1]`; ranks landing in the overflow bucket — and any
+    /// interpolated value past the largest observed sample — clamp to
+    /// [`Histogram::max`]. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut below = 0.0f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let through = below + c as f64;
+            if through >= rank {
+                if i >= HISTOGRAM_BUCKETS {
+                    return self.max as f64;
+                }
+                let lo = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let hi = (1u64 << i) as f64;
+                let frac = ((rank - below) / c as f64).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).min(self.max as f64);
+            }
+            below = through;
+        }
+        self.max as f64
+    }
+
+    /// Renders the histogram as a JSON object (with p50/p95/p99 quantile
+    /// estimates). Empty buckets are elided from the `buckets` array to
+    /// keep snapshots small.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\
+             \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
             self.count,
             self.sum,
             self.max,
-            json_f64(self.mean())
+            json_f64(self.mean()),
+            json_f64(self.quantile(0.50)),
+            json_f64(self.quantile(0.95)),
+            json_f64(self.quantile(0.99))
         );
         let mut first = true;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -977,7 +1063,7 @@ pub struct MetricsRegistry {
     /// Monitors reclaimed per safepoint sweep.
     sweep_batch: Histogram,
     /// Per-phase wall-clock nanoseconds (index by [`Phase::index`]).
-    phase_nanos: [Histogram; 3],
+    phase_nanos: [Histogram; Phase::COUNT],
     /// Birth event-index per live monitor id (removed on collection, so
     /// slot reuse cannot corrupt ages).
     birth: HashMap<MonitorId, u64>,
@@ -1544,6 +1630,156 @@ mod tests {
     fn escape_handles_quotes_and_control_chars() {
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    /// Every C0 control character must leave `json_escape` as a valid JSON
+    /// escape sequence — raw control bytes inside a string literal are
+    /// malformed JSON.
+    #[test]
+    fn escape_covers_every_control_character() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let escaped = json_escape(&c.to_string());
+            assert!(escaped.starts_with('\\'), "U+{code:04X} not escaped: {escaped:?}");
+            let expected = match c {
+                '\n' => "\\n".to_owned(),
+                '\r' => "\\r".to_owned(),
+                '\t' => "\\t".to_owned(),
+                _ => format!("\\u{code:04x}"),
+            };
+            assert_eq!(escaped, expected, "U+{code:04X}");
+        }
+        // DEL and non-ASCII pass through: both are legal raw in JSON strings.
+        assert_eq!(json_escape("\u{7f}é"), "\u{7f}é");
+    }
+
+    /// Non-finite floats have no JSON representation; the serializer must
+    /// degrade to `null`, never emit `NaN`/`inf` tokens.
+    #[test]
+    fn json_f64_nulls_non_finite_values() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(-0.0), "-0");
+        assert_eq!(json_f64(1.5), "1.5");
+        // Extremes render as plain decimals (no exponent tokens JSON
+        // parsers could choke on) and stay finite.
+        let big = json_f64(f64::MAX);
+        assert!(!big.contains('e') && !big.contains('E'), "{big}");
+        let mean_of_empty = json_f64(0.0 / 1.0);
+        assert_eq!(mean_of_empty, "0");
+    }
+
+    /// Quantile estimates interpolate inside power-of-two buckets: a
+    /// bucket `(2^(i−1), 2^i]` holding the target rank yields a value
+    /// inside those bounds, clamped to the observed max.
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1); // bucket 0: [0, 1]
+        }
+        for _ in 0..50 {
+            h.record(100); // bucket 7: (64, 128]
+        }
+        let p50 = h.quantile(0.50);
+        assert!((0.0..=1.0).contains(&p50), "p50 inside bucket 0: {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((64.0..=100.0).contains(&p95), "p95 in (64, max]: {p95}");
+        assert_eq!(h.quantile(1.0), 100.0, "p100 is the max");
+        assert_eq!(Histogram::new().quantile(0.5), 0.0, "empty histogram");
+        // A single sample: every quantile is that sample's bucket, capped
+        // at the max itself.
+        let mut one = Histogram::new();
+        one.record(5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = one.quantile(q);
+            assert!((4.0..=5.0).contains(&v), "q={q}: {v}");
+        }
+        let json = h.to_json();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+    }
+
+    /// Overflow-bucket ranks and saturated counts must not poison the
+    /// estimate: the quantile clamps to the recorded max.
+    #[test]
+    fn histogram_quantiles_survive_overflow_and_saturation() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // overflow bucket
+        assert_eq!(h.quantile(0.5), u64::MAX as f64);
+        let mut s = Histogram::new();
+        s.record(5);
+        for _ in 0..70 {
+            let snapshot = s.clone();
+            s.merge_from(&snapshot);
+        }
+        assert_eq!(s.count(), u64::MAX);
+        let p99 = s.quantile(0.99);
+        assert!((4.0..=5.0).contains(&p99), "saturated counts still estimate: {p99}");
+    }
+
+    /// Merging is associative on every exposed statistic: (a⊕b)⊕c equals
+    /// a⊕(b⊕c) bucket-for-bucket, so shard aggregation order is
+    /// irrelevant.
+    #[test]
+    fn histogram_merge_is_associative() {
+        let mk = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[0, 1, 7]), mk(&[8, 9, 1_000_000]), mk(&[3, u64::MAX]));
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum(), right.sum());
+        assert_eq!(left.max(), right.max());
+        assert_eq!(left.to_json(), right.to_json(), "bucket-for-bucket equality");
+    }
+
+    /// Exact bucket boundaries: `2^i` lands in bucket `i`, `2^i + 1` in
+    /// bucket `i+1`, mirroring `le`-labelled upper bounds in the JSON.
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        for i in 1..10u32 {
+            let edge = 1u64 << i;
+            let mut h = Histogram::new();
+            h.record(edge);
+            assert!(h.to_json().contains(&format!("\"le\":{edge},\"count\":1")), "2^{i}");
+            let mut h2 = Histogram::new();
+            h2.record(edge + 1);
+            assert!(
+                h2.to_json().contains(&format!("\"le\":{},\"count\":1", edge << 1)),
+                "2^{i}+1 overflows into the next bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_labels_round_trip_and_cover_the_hot_path() {
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("nonsense"), None);
+        let mut m = MetricsRegistry::new();
+        for p in Phase::ALL {
+            m.phase_timed(p, 10);
+        }
+        let json = m.snapshot_json();
+        for p in Phase::ALL {
+            assert!(json.contains(&format!("\"phase_{}_ns\"", p.label())), "{json}");
+        }
     }
 
     #[test]

@@ -1,0 +1,747 @@
+//! Deep observability: the hot-path phase profiler, the per-monitor
+//! provenance ledger, and Prometheus text exposition.
+//!
+//! PR 1's counters answer *how much* (E/M/FM/CM aggregates); this module
+//! answers the two questions the paper's evaluation turns on but cannot
+//! ask: *where does each microsecond of per-event overhead go*, and *why
+//! did this specific monitor instance get created, flagged, and
+//! collected*.
+//!
+//! * [`PhaseProfiler`] — an [`EngineObserver`] that folds every
+//!   [`Phase`]-timed span into a per-phase power-of-two [`Histogram`]
+//!   (p50/p95/p99 via [`Histogram::quantile`]) and keeps enter/exit span
+//!   counters so tests can assert balance. It rides the same
+//!   `O::ENABLED` monomorphization as `MetricsRegistry`: with
+//!   [`NoopObserver`](crate::NoopObserver) the engine compiles all
+//!   timing out, so the disabled path costs nothing (verified by the
+//!   bench harness). Like `MetricsRegistry` it is
+//!   [`merge_from`](PhaseProfiler::merge_from)-able across shards.
+//! * [`ProvenanceLedger`] — an [`EngineObserver`] recording each monitor
+//!   instance's life story: creating event index and binding, every
+//!   flagging with its cause (which parameters were dead, which event's
+//!   ALIVENESS evaluated false) and the sweep it happened under, and the
+//!   collection point. [`ProvenanceLedger::summary`] re-derives Figure
+//!   10's E/M/FM/CM from the per-instance records — an accounting
+//!   identity against [`EngineStats`](crate::EngineStats) that the test
+//!   suite checks for the whole catalog.
+//! * [`prometheus_text`] — renders a merged registry + profilers as the
+//!   Prometheus text exposition format (served by `rvmon serve` over a
+//!   std-only TCP listener; no new dependencies).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rv_logic::{Alphabet, EventDef, EventId, ParamSet, Verdict};
+
+use crate::binding::Binding;
+use crate::obs::{
+    json_escape, json_f64, EngineObserver, FlagCause, Histogram, MetricsRegistry, Phase,
+    HISTOGRAM_BUCKETS,
+};
+use crate::store::MonitorId;
+
+// ---------------------------------------------------------------------------
+// PhaseProfiler
+// ---------------------------------------------------------------------------
+
+/// An open timing span returned by [`PhaseProfiler::enter`]; hand it back
+/// to [`PhaseProfiler::exit`] to close and record it. Call sites outside
+/// the engine's own `phase_timed` plumbing (journal appends, shard
+/// routing) use this pair so the span counters stay balanced.
+#[derive(Debug)]
+#[must_use = "an unclosed span never records and unbalances the profiler"]
+pub struct SpanToken {
+    phase: Phase,
+    start: Instant,
+}
+
+/// Per-phase wall-clock histograms with span-balance counters.
+///
+/// One profiler covers one property (or one shard of one property); the
+/// [`label`](PhaseProfiler::with_label) names it in expositions. Merging
+/// follows the same discipline as
+/// [`MetricsRegistry::merge_from`]: bucket counts and span counters add,
+/// maxima take the larger mark, so shard aggregation order is irrelevant.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfiler {
+    label: String,
+    spans: [Histogram; Phase::COUNT],
+    enters: [u64; Phase::COUNT],
+    exits: [u64; Phase::COUNT],
+    events: u64,
+}
+
+impl PhaseProfiler {
+    /// An empty, unlabelled profiler.
+    #[must_use]
+    pub fn new() -> PhaseProfiler {
+        PhaseProfiler::default()
+    }
+
+    /// Names the profiler (normally the property, e.g. `"UnsafeIter"`).
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> PhaseProfiler {
+        self.label = label.to_owned();
+        self
+    }
+
+    /// The profiler's label (empty when unlabelled).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Events observed (denominator for per-event phase cost).
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The wall-clock histogram for `phase`.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> &Histogram {
+        &self.spans[phase.index()]
+    }
+
+    /// Spans opened for `phase` (every [`phase_timed`][EngineObserver::phase_timed]
+    /// callback counts as one opened-and-closed span).
+    #[must_use]
+    pub fn enters(&self, phase: Phase) -> u64 {
+        self.enters[phase.index()]
+    }
+
+    /// Spans closed for `phase`.
+    #[must_use]
+    pub fn exits(&self, phase: Phase) -> u64 {
+        self.exits[phase.index()]
+    }
+
+    /// Whether every opened span was closed, for every phase.
+    #[must_use]
+    pub fn balanced(&self) -> bool {
+        Phase::ALL.into_iter().all(|p| self.enters(p) == self.exits(p))
+    }
+
+    /// Opens a timing span for `phase` at a call site the engine does not
+    /// instrument itself (journal appends, shard routing).
+    pub fn enter(&mut self, phase: Phase) -> SpanToken {
+        self.enters[phase.index()] = self.enters[phase.index()].saturating_add(1);
+        SpanToken { phase, start: Instant::now() }
+    }
+
+    /// Closes `span`, recording its wall-clock duration.
+    pub fn exit(&mut self, span: SpanToken) {
+        let nanos = u64::try_from(span.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let i = span.phase.index();
+        self.exits[i] = self.exits[i].saturating_add(1);
+        self.spans[i].record(nanos);
+    }
+
+    /// Accumulates another profiler (the cross-shard aggregation path).
+    /// The label is kept from `self` unless `self` is unlabelled.
+    pub fn merge_from(&mut self, other: &PhaseProfiler) {
+        if self.label.is_empty() {
+            self.label = other.label.clone();
+        }
+        for (h, o) in self.spans.iter_mut().zip(&other.spans) {
+            h.merge_from(o);
+        }
+        for (c, &o) in self.enters.iter_mut().zip(&other.enters) {
+            *c = c.saturating_add(o);
+        }
+        for (c, &o) in self.exits.iter_mut().zip(&other.exits) {
+            *c = c.saturating_add(o);
+        }
+        self.events = self.events.saturating_add(other.events);
+    }
+
+    /// Measures the profiler's own cost: the mean wall-clock nanoseconds
+    /// one enter/exit pair spends on clock reads and histogram updates,
+    /// over `reps` probe spans against a scratch profiler. This is the
+    /// figure to subtract when interpreting per-phase sums — and the
+    /// reason the `NoopObserver` path compiles the spans out entirely.
+    #[must_use]
+    pub fn measure_self_overhead(reps: u32) -> f64 {
+        let reps = reps.max(1);
+        let mut probe = PhaseProfiler::new();
+        let start = Instant::now();
+        for _ in 0..reps {
+            let span = probe.enter(Phase::IndexLookup);
+            probe.exit(span);
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        total / f64::from(reps)
+    }
+
+    /// Renders the profiler as one JSON object: per-phase histograms
+    /// (with quantiles), span counters, and the event denominator.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"label\":\"{}\",\"events\":{},\"phases\":{{",
+            json_escape(&self.label),
+            self.events
+        );
+        let mut first = true;
+        for p in Phase::ALL {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}\":{{\"enters\":{},\"exits\":{},\"ns\":{}}}",
+                p.label(),
+                self.enters(p),
+                self.exits(p),
+                self.phase(p).to_json()
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl EngineObserver for PhaseProfiler {
+    fn event_dispatched(&mut self, _event: EventId, _binding: &Binding, _monitors_touched: usize) {
+        self.events = self.events.saturating_add(1);
+    }
+
+    fn phase_timed(&mut self, phase: Phase, nanos: u64) {
+        // One callback is one completed span: count both ends so
+        // balance checks cover the engine-instrumented phases too.
+        let i = phase.index();
+        self.enters[i] = self.enters[i].saturating_add(1);
+        self.exits[i] = self.exits[i].saturating_add(1);
+        self.spans[i].record(nanos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProvenanceLedger
+// ---------------------------------------------------------------------------
+
+/// One flagging of a monitor instance, with its cause.
+#[derive(Clone, Debug)]
+pub struct FlagEvent {
+    /// Engine event index when the flag happened.
+    pub at_event: u64,
+    /// The instance's last event (the `e` whose `ALIVENESS(e)` failed).
+    pub last_event: EventId,
+    /// The parameters that were dead at flag time.
+    pub dead: ParamSet,
+    /// Which rule flagged it.
+    pub cause: FlagCause,
+    /// The sweep (1-based ordinal) the flag happened under, if any —
+    /// `None` means it was flagged inline on the hot path.
+    pub sweep: Option<u64>,
+}
+
+/// The recorded life of one monitor instance.
+#[derive(Clone, Debug)]
+pub struct InstanceRecord {
+    /// The engine-local monitor id (slots are reused after collection;
+    /// the ledger keeps the full history anyway).
+    pub id: MonitorId,
+    /// The instance's parameter binding.
+    pub binding: Binding,
+    /// Engine event index at creation.
+    pub created_at_event: u64,
+    /// Every flagging, in order.
+    pub flags: Vec<FlagEvent>,
+    /// Engine event index at physical collection (`None` = still live).
+    pub collected_at_event: Option<u64>,
+    /// The sweep (1-based ordinal) that reclaimed it, if collection
+    /// happened inside a safepoint sweep.
+    pub collected_in_sweep: Option<u64>,
+}
+
+/// The Figure 10 row re-derived from per-instance records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProvenanceSummary {
+    /// Events observed (E).
+    pub events: u64,
+    /// Monitor instances created (M).
+    pub created: u64,
+    /// Flag events across all instances (FM).
+    pub flagged: u64,
+    /// Instances physically collected (CM).
+    pub collected: u64,
+}
+
+/// An [`EngineObserver`] recording per-monitor-instance lifecycle
+/// causality, queryable by binding and summarizable as Figure 10's
+/// E/M/FM/CM.
+#[derive(Debug, Default)]
+pub struct ProvenanceLedger {
+    events: u64,
+    sweeps: u64,
+    in_sweep: bool,
+    instances: Vec<InstanceRecord>,
+    /// Live id → index into `instances` (ids are reused; the map always
+    /// points at the *current* holder of the id).
+    live: HashMap<MonitorId, usize>,
+    names: Option<(Alphabet, EventDef)>,
+}
+
+impl ProvenanceLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> ProvenanceLedger {
+        ProvenanceLedger::default()
+    }
+
+    /// Attaches naming context so stories print event and parameter names.
+    #[must_use]
+    pub fn with_names(mut self, alphabet: Alphabet, event_def: EventDef) -> ProvenanceLedger {
+        self.names = Some((alphabet, event_def));
+        self
+    }
+
+    /// All recorded instances, in creation order.
+    #[must_use]
+    pub fn instances(&self) -> &[InstanceRecord] {
+        &self.instances
+    }
+
+    /// Re-derives E/M/FM/CM from the per-instance records. Matching
+    /// [`EngineStats`](crate::EngineStats) field-for-field is the
+    /// accounting identity the `explain` tests assert.
+    #[must_use]
+    pub fn summary(&self) -> ProvenanceSummary {
+        ProvenanceSummary {
+            events: self.events,
+            created: self.instances.len() as u64,
+            flagged: self.instances.iter().map(|r| r.flags.len() as u64).sum(),
+            collected: self.instances.iter().filter(|r| r.collected_at_event.is_some()).count()
+                as u64,
+        }
+    }
+
+    /// Accumulates another ledger (per-shard aggregation). Instances are
+    /// concatenated — ids are engine-local, so cross-shard id lookups are
+    /// meaningless after a merge, but stories and summaries still hold.
+    pub fn merge_from(&mut self, other: &ProvenanceLedger) {
+        self.events = self.events.saturating_add(other.events);
+        self.sweeps = self.sweeps.saturating_add(other.sweeps);
+        self.instances.extend(other.instances.iter().cloned());
+        if self.names.is_none() {
+            self.names = other.names.clone();
+        }
+        self.live.clear(); // ids collide across engines; stop tracking
+    }
+
+    fn render_binding(&self, b: &Binding) -> String {
+        let mut out = String::new();
+        for (i, (p, obj)) in b.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match &self.names {
+                Some((_, def)) => {
+                    let _ = write!(out, "{}={}", def.param_name(p), obj);
+                }
+                None => {
+                    let _ = write!(out, "x{}={}", p.as_usize(), obj);
+                }
+            }
+        }
+        out
+    }
+
+    fn render_event(&self, e: EventId) -> String {
+        match &self.names {
+            Some((a, _)) => a.name(e).to_owned(),
+            None => format!("e{}", e.as_usize()),
+        }
+    }
+
+    fn render_params(&self, ps: ParamSet) -> String {
+        let mut out = String::new();
+        for (i, p) in ps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match &self.names {
+                Some((_, def)) => out.push_str(def.param_name(p)),
+                None => {
+                    let _ = write!(out, "x{}", p.as_usize());
+                }
+            }
+        }
+        out
+    }
+
+    /// Records whose rendered binding contains `needle` (creation order).
+    #[must_use]
+    pub fn find(&self, needle: &str) -> Vec<&InstanceRecord> {
+        self.instances.iter().filter(|r| self.render_binding(&r.binding).contains(needle)).collect()
+    }
+
+    /// The full life story of one instance, one line per lifecycle step.
+    #[must_use]
+    pub fn story(&self, r: &InstanceRecord) -> String {
+        let mut out = format!(
+            "monitor #{} ⟨{}⟩\n  created   at event {}\n",
+            r.id.as_usize(),
+            self.render_binding(&r.binding),
+            r.created_at_event
+        );
+        for f in &r.flags {
+            let _ = write!(
+                out,
+                "  flagged   at event {} (cause: {}, dead: {{{}}}, after `{}`",
+                f.at_event,
+                f.cause.label(),
+                self.render_params(f.dead),
+                self.render_event(f.last_event)
+            );
+            match f.sweep {
+                Some(s) => {
+                    let _ = writeln!(out, ", sweep #{s})");
+                }
+                None => out.push_str(")\n"),
+            }
+        }
+        match r.collected_at_event {
+            Some(at) => {
+                let _ = write!(out, "  collected at event {at}");
+                match r.collected_in_sweep {
+                    Some(s) => {
+                        let _ = writeln!(out, " (sweep #{s})");
+                    }
+                    None => out.push('\n'),
+                }
+            }
+            None => out.push_str("  still live\n"),
+        }
+        out
+    }
+}
+
+impl EngineObserver for ProvenanceLedger {
+    fn event_dispatched(&mut self, _event: EventId, _binding: &Binding, _monitors_touched: usize) {
+        self.events = self.events.saturating_add(1);
+    }
+
+    fn monitor_created(&mut self, id: MonitorId, binding: &Binding) {
+        let idx = self.instances.len();
+        self.instances.push(InstanceRecord {
+            id,
+            binding: *binding,
+            created_at_event: self.events,
+            flags: Vec::new(),
+            collected_at_event: None,
+            collected_in_sweep: None,
+        });
+        self.live.insert(id, idx);
+    }
+
+    fn monitor_flagged(
+        &mut self,
+        id: MonitorId,
+        _binding: &Binding,
+        last_event: EventId,
+        dead: ParamSet,
+        cause: FlagCause,
+    ) {
+        let sweep = if self.in_sweep { Some(self.sweeps) } else { None };
+        if let Some(&idx) = self.live.get(&id) {
+            self.instances[idx].flags.push(FlagEvent {
+                at_event: self.events,
+                last_event,
+                dead,
+                cause,
+                sweep,
+            });
+        }
+    }
+
+    fn monitor_collected(&mut self, id: MonitorId) {
+        if let Some(idx) = self.live.remove(&id) {
+            self.instances[idx].collected_at_event = Some(self.events);
+            if self.in_sweep {
+                self.instances[idx].collected_in_sweep = Some(self.sweeps);
+            }
+        }
+    }
+
+    fn sweep_started(&mut self) {
+        self.sweeps += 1;
+        self.in_sweep = true;
+    }
+
+    fn sweep_finished(&mut self, _flagged: u64, _collected: u64) {
+        self.in_sweep = false;
+    }
+
+    fn trigger_fired(&mut self, _step: usize, _binding: &Binding, _verdict: Verdict) {}
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+fn prom_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let mut cumulative: u64 = 0;
+    for (i, &c) in h.bucket_counts().iter().enumerate() {
+        cumulative = cumulative.saturating_add(c);
+        if c == 0 && i < HISTOGRAM_BUCKETS {
+            continue; // elide empty finite buckets; +Inf always prints
+        }
+        if i < HISTOGRAM_BUCKETS {
+            let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{}\"}} {cumulative}", 1u64 << i);
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", h.count());
+    let bare = labels.trim_end_matches(',');
+    let _ = writeln!(out, "{name}_sum{{{bare}}} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{{{bare}}} {}", h.count());
+}
+
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders a merged [`MetricsRegistry`] plus per-property
+/// [`PhaseProfiler`]s in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`). Served by `rvmon serve`; also usable as
+/// a one-shot dump.
+#[must_use]
+pub fn prometheus_text(metrics: &MetricsRegistry, profilers: &[PhaseProfiler]) -> String {
+    let mut out = String::new();
+    let counters: [(&str, &str, u64); 12] = [
+        ("rvmon_events_total", "Events dispatched (Fig. 10 E)", metrics.events()),
+        ("rvmon_monitors_created_total", "Monitor instances created (M)", metrics.created()),
+        ("rvmon_monitors_flagged_total", "Monitors flagged unnecessary (FM)", metrics.flagged()),
+        ("rvmon_monitors_collected_total", "Monitors reclaimed (CM)", metrics.collected()),
+        ("rvmon_dead_keys_total", "Dead index keys discovered", metrics.dead_keys()),
+        ("rvmon_triggers_total", "Goal verdicts reported", metrics.triggers()),
+        ("rvmon_sweeps_total", "Safepoint sweeps", metrics.sweeps()),
+        ("rvmon_budget_trips_total", "Resource budget violations", metrics.budget_trips()),
+        ("rvmon_shed_total", "Monitor creations refused under pressure", metrics.shed()),
+        (
+            "rvmon_quarantined_total",
+            "Monitors quarantined by handler panics",
+            metrics.quarantined(),
+        ),
+        ("rvmon_checkpoints_total", "Checkpoints durably written", metrics.checkpoints_written()),
+        (
+            "rvmon_journal_truncated_bytes_total",
+            "Journal bytes discarded during recovery",
+            metrics.journal_bytes_truncated(),
+        ),
+    ];
+    for (name, help, value) in counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP rvmon_phase_duration_ns Wall-clock nanoseconds per hot-path phase span"
+    );
+    let _ = writeln!(out, "# TYPE rvmon_phase_duration_ns histogram");
+    for p in Phase::ALL {
+        let h = metrics.phase(p);
+        if h.count() == 0 {
+            continue;
+        }
+        let labels = format!("phase=\"{}\",", p.label());
+        prom_histogram(&mut out, "rvmon_phase_duration_ns", &labels, h);
+    }
+    if !profilers.is_empty() {
+        let _ =
+            writeln!(out, "# HELP rvmon_profile_phase_ns Per-property profiler phase spans (ns)");
+        let _ = writeln!(out, "# TYPE rvmon_profile_phase_ns histogram");
+        for prof in profilers {
+            let property = prom_escape(prof.label());
+            for p in Phase::ALL {
+                let h = prof.phase(p);
+                if h.count() == 0 {
+                    continue;
+                }
+                let labels = format!("property=\"{property}\",phase=\"{}\",", p.label());
+                prom_histogram(&mut out, "rvmon_profile_phase_ns", &labels, h);
+            }
+        }
+        let _ = writeln!(out, "# HELP rvmon_profile_spans_total Opened profiler spans per phase");
+        let _ = writeln!(out, "# TYPE rvmon_profile_spans_total counter");
+        for prof in profilers {
+            let property = prom_escape(prof.label());
+            for p in Phase::ALL {
+                if prof.enters(p) == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "rvmon_profile_spans_total{{property=\"{property}\",phase=\"{}\"}} {}",
+                    p.label(),
+                    prof.enters(p)
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP rvmon_profiler_self_overhead_ns Measured cost of one profiler span pair"
+    );
+    let _ = writeln!(out, "# TYPE rvmon_profiler_self_overhead_ns gauge");
+    let _ = writeln!(
+        out,
+        "rvmon_profiler_self_overhead_ns {}",
+        json_f64(PhaseProfiler::measure_self_overhead(4096))
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_logic::ParamId;
+
+    fn obj(bits: u64) -> rv_heap::ObjId {
+        rv_heap::ObjId::from_bits(bits)
+    }
+
+    #[test]
+    fn profiler_spans_balance_and_merge() {
+        let mut a = PhaseProfiler::new().with_label("UnsafeIter");
+        let span = a.enter(Phase::JournalAppend);
+        a.exit(span);
+        a.phase_timed(Phase::IndexLookup, 100);
+        a.phase_timed(Phase::Sweep, 2_000);
+        assert!(a.balanced());
+        assert_eq!(a.enters(Phase::JournalAppend), 1);
+        assert_eq!(a.exits(Phase::JournalAppend), 1);
+        assert_eq!(a.phase(Phase::IndexLookup).count(), 1);
+
+        let mut b = PhaseProfiler::new();
+        b.phase_timed(Phase::IndexLookup, 50);
+        let open = b.enter(Phase::ShardRoute);
+        assert!(!b.balanced(), "open span detected");
+        b.exit(open);
+
+        let mut merged = PhaseProfiler::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.label(), "UnsafeIter", "first non-empty label wins");
+        assert_eq!(merged.phase(Phase::IndexLookup).count(), 2);
+        assert_eq!(merged.enters(Phase::ShardRoute), 1);
+        assert!(merged.balanced());
+        let json = merged.to_json();
+        assert!(json.contains("\"label\":\"UnsafeIter\""), "{json}");
+        assert!(json.contains("\"index_lookup\""), "{json}");
+    }
+
+    #[test]
+    fn self_overhead_is_finite_and_positive() {
+        let ns = PhaseProfiler::measure_self_overhead(256);
+        assert!(ns.is_finite() && ns >= 0.0, "{ns}");
+    }
+
+    #[test]
+    fn ledger_reconstructs_a_life_story() {
+        let mut ledger = ProvenanceLedger::new();
+        let b = Binding::from_pairs(&[(ParamId(0), obj(5))]);
+        ledger.event_dispatched(EventId(0), &b, 0);
+        ledger.monitor_created(MonitorId::from_raw(0), &b);
+        ledger.event_dispatched(EventId(1), &b, 1);
+        ledger.sweep_started();
+        ledger.monitor_flagged(
+            MonitorId::from_raw(0),
+            &b,
+            EventId(1),
+            ParamSet::EMPTY.with(ParamId(0)),
+            FlagCause::Aliveness,
+        );
+        ledger.monitor_collected(MonitorId::from_raw(0));
+        ledger.sweep_finished(1, 1);
+        let s = ledger.summary();
+        assert_eq!(s, ProvenanceSummary { events: 2, created: 1, flagged: 1, collected: 1 });
+        let hits = ledger.find("x0=");
+        assert_eq!(hits.len(), 1);
+        let story = ledger.story(hits[0]);
+        assert!(story.contains("created   at event 1"), "{story}");
+        assert!(story.contains("cause: aliveness"), "{story}");
+        assert!(story.contains("sweep #1"), "{story}");
+        assert!(story.contains("collected at event 2"), "{story}");
+    }
+
+    #[test]
+    fn ledger_survives_monitor_id_reuse() {
+        let mut ledger = ProvenanceLedger::new();
+        let b1 = Binding::from_pairs(&[(ParamId(0), obj(1))]);
+        let b2 = Binding::from_pairs(&[(ParamId(0), obj(2))]);
+        ledger.monitor_created(MonitorId::from_raw(0), &b1);
+        ledger.monitor_collected(MonitorId::from_raw(0));
+        ledger.monitor_created(MonitorId::from_raw(0), &b2); // slot reused
+        ledger.monitor_flagged(
+            MonitorId::from_raw(0),
+            &b2,
+            EventId(0),
+            ParamSet::EMPTY,
+            FlagCause::AllParamsDead,
+        );
+        assert_eq!(ledger.instances().len(), 2);
+        assert!(ledger.instances()[0].flags.is_empty(), "first holder untouched by reuse");
+        assert_eq!(ledger.instances()[1].flags.len(), 1);
+        let s = ledger.summary();
+        assert_eq!(s.created, 2);
+        assert_eq!(s.collected, 1);
+    }
+
+    #[test]
+    fn ledger_merge_concatenates_instances() {
+        let mut a = ProvenanceLedger::new();
+        a.event_dispatched(EventId(0), &Binding::BOTTOM, 0);
+        a.monitor_created(MonitorId::from_raw(0), &Binding::BOTTOM);
+        let mut b = ProvenanceLedger::new();
+        b.event_dispatched(EventId(0), &Binding::BOTTOM, 0);
+        b.monitor_created(MonitorId::from_raw(0), &Binding::BOTTOM);
+        b.monitor_collected(MonitorId::from_raw(0));
+        a.merge_from(&b);
+        let s = a.summary();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.created, 2);
+        assert_eq!(s.collected, 1);
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_cumulative_buckets() {
+        let mut m = MetricsRegistry::new();
+        m.event_dispatched(EventId(0), &Binding::BOTTOM, 1);
+        m.phase_timed(Phase::IndexLookup, 3);
+        m.phase_timed(Phase::IndexLookup, 100);
+        let mut prof = PhaseProfiler::new().with_label("HasNext");
+        prof.phase_timed(Phase::Transition, 10);
+        let text = prometheus_text(&m, &[prof]);
+        assert!(text.contains("rvmon_events_total 1"), "{text}");
+        assert!(
+            text.contains("rvmon_phase_duration_ns_bucket{phase=\"index_lookup\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("rvmon_phase_duration_ns_count{phase=\"index_lookup\"} 2"), "{text}");
+        assert!(
+            text.contains(
+                "rvmon_profile_phase_ns_bucket{property=\"HasNext\",phase=\"transition\","
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("rvmon_profile_spans_total{property=\"HasNext\",phase=\"transition\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("rvmon_profiler_self_overhead_ns "), "{text}");
+        // Buckets are cumulative: the le=4 bucket already includes the
+        // le=1..4 samples, and +Inf equals the total count.
+        let bucket_4 = text
+            .lines()
+            .find(|l| {
+                l.starts_with("rvmon_phase_duration_ns_bucket{phase=\"index_lookup\",le=\"4\"}")
+            })
+            .expect("le=4 bucket present");
+        assert!(bucket_4.ends_with(" 1"), "{bucket_4}");
+    }
+}

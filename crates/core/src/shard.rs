@@ -53,7 +53,8 @@ use crate::binding::Binding;
 use crate::engine::{EngineConfig, GcPolicy};
 use crate::error::EngineError;
 use crate::multi::PropertyMonitor;
-use crate::obs::{EngineObserver, NoopObserver};
+use crate::obs::{EngineObserver, NoopObserver, Phase};
+use crate::profile::PhaseProfiler;
 use crate::reference::{monitor_trace, Trigger};
 use crate::stats::EngineStats;
 
@@ -308,6 +309,10 @@ pub struct ShardReport<O = NoopObserver> {
     /// Total `(shard, block)` deliveries; with a valid trace this equals
     /// the merged `stats.events`.
     pub deliveries: u64,
+    /// Coordinator-side routing/broadcast timing: one
+    /// [`Phase::ShardRoute`] span per submitted event, recorded only when
+    /// the observer type is enabled (`NoopObserver` runs compile it out).
+    pub route_profile: PhaseProfiler,
     /// First failure observed anywhere: a worker-side engine error or a
     /// disconnected shard.
     pub error: Option<EngineError>,
@@ -343,6 +348,7 @@ pub struct ShardedMonitor<O: EngineObserver + Send + Default + 'static = NoopObs
     routed: u64,
     broadcast: u64,
     deliveries: u64,
+    route_profile: PhaseProfiler,
     error: Option<EngineError>,
     alphabet: rv_logic::Alphabet,
 }
@@ -412,6 +418,7 @@ impl<O: EngineObserver + Send + Default + 'static> ShardedMonitor<O> {
             routed: 0,
             broadcast: 0,
             deliveries: 0,
+            route_profile: PhaseProfiler::new().with_label("shard-coordinator"),
             error: None,
             alphabet: spec.alphabet,
         }
@@ -477,6 +484,10 @@ impl<O: EngineObserver + Send + Default + 'static> ShardedMonitor<O> {
     }
 
     fn route(&mut self, heap: &Heap, event: EventId, binding: Binding) {
+        // Time the routing decision + batch hand-off; compiled out on
+        // NoopObserver runs like every other phase span.
+        let span =
+            if O::ENABLED { Some(self.route_profile.enter(Phase::ShardRoute)) } else { None };
         let seq = self.seq;
         self.seq += 1;
         let shards = self.shard_cfg.shards;
@@ -509,6 +520,9 @@ impl<O: EngineObserver + Send + Default + 'static> ShardedMonitor<O> {
             if self.buffers[s].len() >= self.shard_cfg.batch {
                 self.dispatch(heap, s);
             }
+        }
+        if let Some(span) = span {
+            self.route_profile.exit(span);
         }
     }
 
@@ -624,6 +638,7 @@ impl<O: EngineObserver + Send + Default + 'static> ShardedMonitor<O> {
             routed_events: self.routed,
             broadcast_events: self.broadcast,
             deliveries: self.deliveries,
+            route_profile: std::mem::take(&mut self.route_profile),
             error,
         }
     }

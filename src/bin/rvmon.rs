@@ -8,10 +8,40 @@
 //! rvmon prune   <spec.rv> <ev1,ev2,…>
 //!                           instrumentation plan, given the events the
 //!                           target program can emit
-//! rvmon trace   <spec.rv> <events-file>
+//! rvmon trace   <spec.rv> <events-file> [--kind K] [--event E]
+//!               [--binding-contains S]
 //!                           replay a textual event trace through the
 //!                           monitoring engine, dumping JSONL lifecycle
-//!                           records and a JSON metrics snapshot
+//!                           records and a JSON metrics snapshot; the
+//!                           filter flags keep only records of kind K
+//!                           (event, created, flagged, …), records that
+//!                           reference event E, or records whose binding
+//!                           rendering contains S
+//! rvmon explain <spec.rv> <events-file> [--binding SUBSTR] [--summary]
+//!                           monitor provenance: replay the trace with a
+//!                           provenance ledger on every block, printing
+//!                           the full life story (created / flagged with
+//!                           cause / collected, with sweep attribution)
+//!                           of each monitor whose binding contains
+//!                           SUBSTR, and/or the Fig. 10 E/M/FM/CM row
+//!                           re-derived from the per-instance records —
+//!                           always cross-checked against the engine's
+//!                           own statistics as an accounting identity
+//!                           (exit 1 on mismatch)
+//! rvmon serve   <spec.rv> <events-file> [--port N] [--once]
+//!                           run the trace with metrics + phase-profiler
+//!                           observers attached, then serve the merged
+//!                           Prometheus text exposition over a std-only
+//!                           HTTP endpoint on 127.0.0.1 (port 0 — the
+//!                           default — picks an ephemeral port, printed
+//!                           on stdout; --once answers one request and
+//!                           exits, for smoke tests)
+//! rvmon top     <journal-dir>
+//!                           one-shot cost table for a journaled run:
+//!                           re-execute the journal with profiler
+//!                           observers and print per-phase span counts,
+//!                           p50/p95/p99 and totals, plus the E/M/FM/CM
+//!                           counters
 //! rvmon chaos   <spec.rv> [--seed N] [--events M] [--shards K]
 //!                           deterministic fault-injection differential:
 //!                           every property block under every GC policy on
@@ -55,23 +85,27 @@ use rv_monitor::spec::{compile, parse, print, CompiledSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `recover` and `replay` operate on a journal directory, not a spec
-    // file — dispatch them before the spec-reading path below.
-    if let Some(cmd @ ("recover" | "replay")) = args.first().map(String::as_str) {
+    // `recover`, `replay`, and `top` operate on a journal directory, not
+    // a spec file — dispatch them before the spec-reading path below.
+    if let Some(cmd @ ("recover" | "replay" | "top")) = args.first().map(String::as_str) {
         let [_, dir] = args.as_slice() else {
             eprintln!("usage: rvmon {cmd} <journal-dir>");
             return ExitCode::from(2);
         };
         let dir = std::path::Path::new(dir);
-        return if cmd == "recover" { recover(dir) } else { replay(dir) };
+        return match cmd {
+            "recover" => recover(dir),
+            "replay" => replay(dir),
+            _ => top(dir),
+        };
     }
     let (cmd, path, rest) = match args.as_slice() {
         [cmd, path, rest @ ..] => (cmd.as_str(), path.as_str(), rest),
         _ => {
             eprintln!(
-                "usage: rvmon <check|analyze|fmt|dfa|prune|trace|chaos|run> <spec-file> \
-                 [emitted-events|events-file|--seed N --events M|--journal DIR] \
-                 | rvmon <recover|replay> <journal-dir>"
+                "usage: rvmon <check|analyze|fmt|dfa|prune|trace|explain|serve|chaos|run> \
+                 <spec-file> [emitted-events|events-file|--seed N --events M|--journal DIR] \
+                 | rvmon <recover|replay|top> <journal-dir>"
             );
             return ExitCode::from(2);
         }
@@ -94,7 +128,9 @@ fn main() -> ExitCode {
         "fmt" => fmt(path, &source),
         "dfa" => dfa(path, &source),
         "prune" => prune(path, &source, extra),
-        "trace" => trace(path, &source, extra),
+        "trace" => trace(path, &source, rest),
+        "explain" => explain(path, &source, rest),
+        "serve" => serve(path, &source, rest),
         "chaos" => chaos(path, &source, rest),
         "run" => run(path, &source, rest),
         other => {
@@ -218,42 +254,23 @@ fn chaos(path: &str, source: &str, rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Replays a textual event trace against the compiled spec with a
-/// `TraceRecorder` and a `MetricsRegistry` attached to every property
-/// block, then dumps what they observed.
-fn trace(path: &str, source: &str, events_path: Option<&str>) -> ExitCode {
-    use rv_monitor::core::{
-        Binding, EngineConfig, MetricsRegistry, PropertyMonitor, TraceRecorder,
-    };
-    use rv_monitor::heap::{Heap, HeapConfig};
+/// Drives a textual event trace through `monitor` — the shared core of
+/// `trace`, `explain`, and `serve`. Grammar: `event obj…` dispatches an
+/// event (objects are named and allocated pinned, in a throwaway frame,
+/// on first mention), `!free obj…` unpins, `!gc` collects the heap,
+/// `!sweep` runs a monitor-GC sweep on every block; `#` starts a comment.
+///
+/// Errors carry the `file:line: error: message` rendering ready to print.
+fn drive_trace<O: rv_monitor::core::EngineObserver>(
+    monitor: &mut rv_monitor::core::PropertyMonitor<O>,
+    heap: &mut rv_monitor::heap::Heap,
+    events_path: &str,
+    events: &str,
+) -> Result<(), String> {
+    use rv_monitor::core::Binding;
 
-    let Some(events_path) = events_path else {
-        eprintln!("usage: rvmon trace <spec-file> <events-file>");
-        return ExitCode::from(2);
-    };
-    let spec = match compile_or_report(path, source) {
-        Ok(s) => s,
-        Err(code) => return code,
-    };
-    let events = match std::fs::read_to_string(events_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("rvmon: cannot read {events_path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let alphabet = spec.alphabet.clone();
-    let event_def = spec.event_def.clone();
-    let event_params = spec.event_params.clone();
-    let config = EngineConfig::default();
-    let mut monitor = PropertyMonitor::with_observers(spec, &config, |_| {
-        (
-            TraceRecorder::new(65_536).with_names(alphabet.clone(), event_def.clone()),
-            MetricsRegistry::new(),
-        )
-    });
-
-    let mut heap = Heap::new(HeapConfig::manual());
+    let alphabet = monitor.spec().alphabet.clone();
+    let event_params = monitor.spec().event_params.clone();
     let class = heap.register_class("Obj");
     let mut objects: std::collections::HashMap<String, rv_monitor::heap::ObjId> =
         std::collections::HashMap::new();
@@ -268,42 +285,39 @@ fn trace(path: &str, source: &str, events_path: Option<&str>) -> ExitCode {
         let Some(head) = words.next() else {
             continue;
         };
-        let report_err = |msg: String| {
-            eprintln!("{events_path}:{}: error: {msg}", lineno + 1);
-            ExitCode::from(1)
-        };
+        let report_err = |msg: String| format!("{events_path}:{}: error: {msg}", lineno + 1);
         match head {
             "!gc" => {
                 heap.collect();
             }
             "!sweep" => {
                 for engine in monitor.engines_mut() {
-                    engine.full_sweep(&heap);
+                    engine.full_sweep(heap);
                 }
             }
             "!free" => {
                 for name in words {
                     match objects.get(name) {
                         Some(&obj) => heap.unpin(obj),
-                        None => return report_err(format!("unknown object `{name}`")),
+                        None => return Err(report_err(format!("unknown object `{name}`"))),
                     }
                 }
             }
             event_name => {
                 let Some(event) = alphabet.lookup(event_name) else {
-                    return report_err(format!(
+                    return Err(report_err(format!(
                         "`{event_name}` is not an event of this spec \
                          (directives are !free, !gc, !sweep)"
-                    ));
+                    )));
                 };
                 let params = &event_params[event.as_usize()];
                 let names: Vec<&str> = words.collect();
                 if names.len() != params.len() {
-                    return report_err(format!(
+                    return Err(report_err(format!(
                         "event `{event_name}` takes {} object(s), got {}",
                         params.len(),
                         names.len()
-                    ));
+                    )));
                 }
                 let pairs: Vec<_> = params
                     .iter()
@@ -322,29 +336,449 @@ fn trace(path: &str, source: &str, events_path: Option<&str>) -> ExitCode {
                         (p, obj)
                     })
                     .collect();
-                if let Err(e) = monitor.try_process(&heap, event, Binding::from_pairs(&pairs)) {
-                    return report_err(format!("engine error: {e}"));
+                if let Err(e) = monitor.try_process(heap, event, Binding::from_pairs(&pairs)) {
+                    return Err(report_err(format!("engine error: {e}")));
                 }
             }
         }
     }
+    Ok(())
+}
+
+/// Replays a textual event trace against the compiled spec with a
+/// `TraceRecorder` and a `MetricsRegistry` attached to every property
+/// block, then dumps what they observed — optionally keeping only the
+/// records that pass the `--kind` / `--event` / `--binding-contains`
+/// filters (conjunctive when combined).
+fn trace(path: &str, source: &str, rest: &[String]) -> ExitCode {
+    use rv_monitor::core::{EngineConfig, MetricsRegistry, PropertyMonitor, TraceRecorder};
+    use rv_monitor::heap::{Heap, HeapConfig};
+
+    let usage = || {
+        eprintln!(
+            "usage: rvmon trace <spec-file> <events-file> [--kind K] [--event E] \
+             [--binding-contains S]"
+        );
+        ExitCode::from(2)
+    };
+    let mut events_path: Option<&str> = None;
+    let mut kind: Option<&str> = None;
+    let mut event: Option<&str> = None;
+    let mut binding_contains: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kind" => match it.next() {
+                Some(v) => kind = Some(v.as_str()),
+                None => return usage(),
+            },
+            "--event" => match it.next() {
+                Some(v) => event = Some(v.as_str()),
+                None => return usage(),
+            },
+            "--binding-contains" => match it.next() {
+                Some(v) => binding_contains = Some(v.as_str()),
+                None => return usage(),
+            },
+            other if events_path.is_none() && !other.starts_with("--") => {
+                events_path = Some(other);
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(events_path) = events_path else {
+        return usage();
+    };
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let events = match std::fs::read_to_string(events_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {events_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let alphabet = spec.alphabet.clone();
+    let event_def = spec.event_def.clone();
+    let config = EngineConfig::default();
+    let mut monitor = PropertyMonitor::with_observers(spec, &config, |_| {
+        (
+            TraceRecorder::new(65_536).with_names(alphabet.clone(), event_def.clone()),
+            MetricsRegistry::new(),
+        )
+    });
+
+    let mut heap = Heap::new(HeapConfig::manual());
+    if let Err(msg) = drive_trace(&mut monitor, &mut heap, events_path, &events) {
+        eprintln!("{msg}");
+        return ExitCode::from(1);
+    }
     // Final sweep so CM reflects everything the engines let go of.
     monitor.finish(&heap);
+
+    // The filters work on the rendered JSONL: every record carries its
+    // `"kind"` tag, event references appear as `"name"`/`"last_event"`,
+    // and bindings as `"binding"`/`"key"` — stable, hand-rolled shapes.
+    let filters_on = kind.is_some() || event.is_some() || binding_contains.is_some();
+    let keep = |line: &str| -> bool {
+        if let Some(k) = kind {
+            if !line.contains(&format!("\"kind\":\"{k}\"")) {
+                return false;
+            }
+        }
+        if let Some(e) = event {
+            let named = |field: &str| {
+                line.split(field).nth(1).and_then(|r| r.split('"').next()).is_some_and(|v| v == e)
+            };
+            if !(named("\"name\":\"") || named("\"last_event\":\"")) {
+                return false;
+            }
+        }
+        if let Some(s) = binding_contains {
+            let within = |field: &str| {
+                line.split(field)
+                    .nth(1)
+                    .and_then(|r| r.split('"').next())
+                    .is_some_and(|v| v.contains(s))
+            };
+            if !(within("\"binding\":\"") || within("\"key\":\"")) {
+                return false;
+            }
+        }
+        true
+    };
 
     let heap_stats = heap.stats();
     for (i, engine) in monitor.engines_mut().iter_mut().enumerate() {
         let stats = engine.stats();
         let (recorder, metrics) = engine.observer_mut();
-        println!(
-            "# block {} trace ({} records, {} dropped)",
-            i + 1,
-            recorder.records().len(),
-            recorder.dropped()
-        );
-        print!("{}", recorder.dump_jsonl());
+        let lines: Vec<String> =
+            recorder.records().iter().map(|r| recorder.record_json(r)).collect();
+        let kept: Vec<&String> = lines.iter().filter(|l| keep(l)).collect();
+        if filters_on {
+            println!(
+                "# block {} trace ({} records, {} dropped, {} filtered out)",
+                i + 1,
+                kept.len(),
+                recorder.dropped(),
+                lines.len() - kept.len()
+            );
+        } else {
+            println!(
+                "# block {} trace ({} records, {} dropped)",
+                i + 1,
+                lines.len(),
+                recorder.dropped()
+            );
+        }
+        for line in kept {
+            println!("{line}");
+        }
         println!("# block {} metrics", i + 1);
         println!("{}", metrics.snapshot_json_with(Some(&stats), Some(&heap_stats)));
     }
+    ExitCode::SUCCESS
+}
+
+/// `rvmon explain` — monitor provenance. Replays the events file with a
+/// [`ProvenanceLedger`](rv_monitor::core::ProvenanceLedger) on every
+/// property block, then prints the life story of each monitor whose
+/// binding rendering contains the `--binding` substring and/or the
+/// Fig. 10 E/M/FM/CM row re-derived from the per-instance records
+/// (`--summary`; also the default with no flags). Either way, the
+/// re-derived row is cross-checked against the engine's own statistics:
+/// a mismatch is an accounting bug and exits 1.
+fn explain(path: &str, source: &str, rest: &[String]) -> ExitCode {
+    use rv_monitor::core::{EngineConfig, PropertyMonitor, ProvenanceLedger};
+    use rv_monitor::heap::{Heap, HeapConfig};
+
+    let usage = || {
+        eprintln!("usage: rvmon explain <spec-file> <events-file> [--binding SUBSTR] [--summary]");
+        ExitCode::from(2)
+    };
+    let mut events_path: Option<&str> = None;
+    let mut binding: Option<&str> = None;
+    let mut summary = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--binding" => match it.next() {
+                Some(v) => binding = Some(v.as_str()),
+                None => return usage(),
+            },
+            "--summary" => summary = true,
+            other if events_path.is_none() && !other.starts_with("--") => {
+                events_path = Some(other);
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(events_path) = events_path else {
+        return usage();
+    };
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let events = match std::fs::read_to_string(events_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {events_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let alphabet = spec.alphabet.clone();
+    let event_def = spec.event_def.clone();
+    let config = EngineConfig::default();
+    let mut monitor = PropertyMonitor::with_observers(spec, &config, |_| {
+        ProvenanceLedger::new().with_names(alphabet.clone(), event_def.clone())
+    });
+    let mut heap = Heap::new(HeapConfig::manual());
+    if let Err(msg) = drive_trace(&mut monitor, &mut heap, events_path, &events) {
+        eprintln!("{msg}");
+        return ExitCode::from(1);
+    }
+    monitor.finish(&heap);
+
+    let mut mismatches = 0u32;
+    for (i, engine) in monitor.engines().iter().enumerate() {
+        let stats = engine.stats();
+        let ledger = engine.observer();
+        let s = ledger.summary();
+        if summary || binding.is_none() {
+            println!(
+                "block {}: E={} M={} FM={} CM={} ({} still live)",
+                i + 1,
+                s.events,
+                s.created,
+                s.flagged,
+                s.collected,
+                s.created - s.collected
+            );
+        }
+        if let Some(needle) = binding {
+            let hits = ledger.find(needle);
+            if hits.is_empty() {
+                println!("block {}: no monitor instance matches `{needle}`", i + 1);
+            }
+            for r in hits {
+                print!("{}", ledger.story(r));
+            }
+        }
+        // The accounting identity: per-instance records must re-derive
+        // the engine's own E/M/FM/CM exactly (ISSUE acceptance check).
+        let engine_row = (
+            stats.events,
+            stats.monitors_created,
+            stats.monitors_flagged,
+            stats.monitors_collected,
+        );
+        let ledger_row = (s.events, s.created, s.flagged, s.collected);
+        if ledger_row != engine_row {
+            mismatches += 1;
+            eprintln!(
+                "block {}: error: provenance accounting mismatch — ledger E/M/FM/CM {ledger_row:?} \
+                 vs engine {engine_row:?}",
+                i + 1
+            );
+        }
+    }
+    if mismatches > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rvmon serve` — run the events file with a `MetricsRegistry` and a
+/// `PhaseProfiler` on every property block, then serve the merged
+/// Prometheus text exposition over a std-only HTTP endpoint
+/// (`std::net::TcpListener`; any path answers `text/plain; version=0.0.4`).
+fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
+    use std::io::{Read as _, Write as _};
+
+    use rv_monitor::core::{
+        prometheus_text, EngineConfig, MetricsRegistry, PhaseProfiler, PropertyMonitor,
+    };
+    use rv_monitor::heap::{Heap, HeapConfig};
+
+    let usage = || {
+        eprintln!("usage: rvmon serve <spec-file> <events-file> [--port N] [--once]");
+        ExitCode::from(2)
+    };
+    let mut events_path: Option<&str> = None;
+    let mut port: u16 = 0;
+    let mut once = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => match it.next().and_then(|s| s.parse::<u16>().ok()) {
+                Some(n) => port = n,
+                None => return usage(),
+            },
+            "--once" => once = true,
+            other if events_path.is_none() && !other.starts_with("--") => {
+                events_path = Some(other);
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(events_path) = events_path else {
+        return usage();
+    };
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let events = match std::fs::read_to_string(events_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {events_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec_name = spec.name.clone();
+    let config = EngineConfig::default();
+    let mut monitor = PropertyMonitor::with_observers(spec, &config, |i| {
+        (
+            MetricsRegistry::new(),
+            PhaseProfiler::new().with_label(&format!("{spec_name}/block{}", i + 1)),
+        )
+    });
+    let mut heap = Heap::new(HeapConfig::manual());
+    if let Err(msg) = drive_trace(&mut monitor, &mut heap, events_path, &events) {
+        eprintln!("{msg}");
+        return ExitCode::from(1);
+    }
+    monitor.finish(&heap);
+
+    // Merge the per-block registries into one; profilers stay per-block
+    // (the exposition labels each by property).
+    let mut merged = MetricsRegistry::new();
+    let mut profilers = Vec::new();
+    for engine in monitor.engines() {
+        let (metrics, profiler) = engine.observer();
+        merged.merge_from(metrics);
+        profilers.push(profiler.clone());
+    }
+    let body = prometheus_text(&merged, &profilers);
+
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rvmon: cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rvmon: cannot resolve listener address: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The actual port goes to stdout (flushed) so harnesses that asked
+    // for port 0 can scrape it before connecting.
+    println!(
+        "serving metrics on http://{addr}/metrics{}",
+        if once { " (one request)" } else { "" }
+    );
+    let _ = std::io::stdout().flush();
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // Drain the request head; the same exposition answers any path.
+        let mut buf = [0u8; 4096];
+        let _ = stream.read(&mut buf);
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        if once {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rvmon top` — one-shot cost table for a journaled run: re-executes
+/// the journal from sequence 0 with metrics + profiler observers and
+/// prints per-phase span counts, p50/p95/p99 and totals, plus the
+/// E/M/FM/CM counters.
+fn top(dir: &std::path::Path) -> ExitCode {
+    use rv_monitor::core::{
+        read_journal, EngineConfig, MetricsRegistry, Phase, PhaseProfiler, PropertyMonitor,
+    };
+
+    let fail = |msg: String| {
+        eprintln!("rvmon: error: {msg}");
+        ExitCode::from(2)
+    };
+    let scan = match read_journal(dir) {
+        Ok(s) => s,
+        Err(e) => return fail(e.to_string()),
+    };
+    let spec = match spec_from_scan(dir, &scan) {
+        Ok(s) => s,
+        Err(msg) => return fail(msg),
+    };
+    let event_params = spec.event_params.clone();
+    let spec_name = spec.name.clone();
+    let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+    let mut monitor = PropertyMonitor::with_observers(spec, &config, |i| {
+        (
+            MetricsRegistry::new(),
+            PhaseProfiler::new().with_label(&format!("{spec_name}/block{}", i + 1)),
+        )
+    });
+    let outcome = match replay_records(&scan, &event_params, &mut monitor, 0, None) {
+        Ok(o) => o,
+        Err(msg) => return fail(msg),
+    };
+    monitor.finish(&outcome.heap);
+
+    let mut merged = PhaseProfiler::new().with_label("ALL");
+    for engine in monitor.engines() {
+        let (_, profiler) = engine.observer();
+        merged.merge_from(profiler);
+    }
+    let stats = monitor.stats();
+    println!(
+        "rvmon top — {} event(s) replayed from {} durable record(s) in {}",
+        outcome.replayed_events,
+        scan.records.len(),
+        dir.display()
+    );
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "phase", "spans", "p50 ns", "p95 ns", "p99 ns", "total ns"
+    );
+    for p in Phase::ALL {
+        let h = merged.phase(p);
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<18} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>14}",
+            p.label(),
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.sum()
+        );
+    }
+    println!(
+        "E={} M={} FM={} CM={} triggers={}",
+        stats.events,
+        stats.monitors_created,
+        stats.monitors_flagged,
+        stats.monitors_collected,
+        stats.triggers
+    );
     ExitCode::SUCCESS
 }
 
@@ -361,6 +795,19 @@ fn run(path: &str, source: &str, rest: &[String]) -> ExitCode {
             ExitCode::from(code)
         }
     }
+}
+
+/// Appends `r` under a [`Phase::JournalAppend`] profiler span, so the
+/// journaled paths report where their write-ahead time goes.
+fn append_timed(
+    journal: &mut rv_monitor::core::JournalWriter,
+    prof: &mut rv_monitor::core::PhaseProfiler,
+    r: &rv_monitor::core::Record,
+) -> std::io::Result<u64> {
+    let span = prof.enter(rv_monitor::core::Phase::JournalAppend);
+    let res = journal.append(r);
+    prof.exit(span);
+    res
 }
 
 #[allow(clippy::too_many_lines)]
@@ -434,11 +881,17 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
 
     let io = |e: std::io::Error| (2u8, format!("journal write failed: {e}"));
     let mut journal = JournalWriter::create(journal_dir).map_err(io)?;
+    // Journal appends are timed as `journal_append` spans; the profile is
+    // part of the final stats line.
+    let mut jprof = rv_monitor::core::PhaseProfiler::new().with_label("journal");
     // Sequence 0 carries the spec source, so `recover` and `replay` are
     // self-contained: the journal directory alone reconstitutes the run.
-    journal
-        .append(&Record::Aux { tag: AUX_SPEC, bytes: source.as_bytes().to_vec() })
-        .map_err(io)?;
+    append_timed(
+        &mut journal,
+        &mut jprof,
+        &Record::Aux { tag: AUX_SPEC, bytes: source.as_bytes().to_vec() },
+    )
+    .map_err(io)?;
 
     let mut heap = Heap::new(HeapConfig::manual());
     let class = heap.register_class("Obj");
@@ -458,11 +911,21 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
         let report_err = |msg: String| (1u8, format!("{events_path}:{}: {msg}", lineno + 1));
         match head {
             "!gc" => {
-                journal.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() }).map_err(io)?;
+                append_timed(
+                    &mut journal,
+                    &mut jprof,
+                    &Record::Aux { tag: AUX_GC, bytes: Vec::new() },
+                )
+                .map_err(io)?;
                 heap.collect();
             }
             "!sweep" => {
-                journal.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() }).map_err(io)?;
+                append_timed(
+                    &mut journal,
+                    &mut jprof,
+                    &Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() },
+                )
+                .map_err(io)?;
                 for engine in monitor.engines_mut() {
                     engine.full_sweep(&heap);
                 }
@@ -477,7 +940,12 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
                     payload.extend_from_slice(&obj.to_bits().to_le_bytes());
                     freed.push(obj);
                 }
-                journal.append(&Record::Aux { tag: AUX_FREE, bytes: payload }).map_err(io)?;
+                append_timed(
+                    &mut journal,
+                    &mut jprof,
+                    &Record::Aux { tag: AUX_FREE, bytes: payload },
+                )
+                .map_err(io)?;
                 for obj in freed {
                     heap.unpin(obj);
                 }
@@ -513,7 +981,8 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
                     })
                     .collect();
                 let binding = Binding::from_pairs(&pairs);
-                let seq = journal.append(&Record::Event { event, binding }).map_err(io)?;
+                let seq = append_timed(&mut journal, &mut jprof, &Record::Event { event, binding })
+                    .map_err(io)?;
                 let before: Vec<usize> =
                     monitor.engines().iter().map(|e| e.triggers().len()).collect();
                 monitor
@@ -544,7 +1013,7 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
                     })
                     .collect();
                 for r in &fired {
-                    journal.append(r).map_err(io)?;
+                    append_timed(&mut journal, &mut jprof, r).map_err(io)?;
                 }
                 events_since_checkpoint += 1;
                 if events_since_checkpoint >= checkpoint_every {
@@ -554,9 +1023,12 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
                         let covered = journal.next_seq();
                         write_checkpoint(journal_dir, generation, covered, &payload)
                             .map_err(|e| (2, format!("checkpoint write failed: {e}")))?;
-                        journal
-                            .append(&Record::CheckpointMark { generation, seq: covered })
-                            .map_err(io)?;
+                        append_timed(
+                            &mut journal,
+                            &mut jprof,
+                            &Record::CheckpointMark { generation, seq: covered },
+                        )
+                        .map_err(io)?;
                         generation += 1;
                     }
                 }
@@ -571,7 +1043,12 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
         let covered = journal.next_seq();
         write_checkpoint(journal_dir, generation, covered, &payload)
             .map_err(|e| (2, format!("checkpoint write failed: {e}")))?;
-        journal.append(&Record::CheckpointMark { generation, seq: covered }).map_err(io)?;
+        append_timed(
+            &mut journal,
+            &mut jprof,
+            &Record::CheckpointMark { generation, seq: covered },
+        )
+        .map_err(io)?;
         journal.sync().map_err(io)?;
     }
     let jstats = journal.stats();
@@ -582,7 +1059,12 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
         generation + 1,
         journal_dir.display()
     );
-    println!("{{\"engine\":{},\"journal\":{}}}", monitor.stats().to_json(), jstats.to_json());
+    println!(
+        "{{\"engine\":{},\"journal\":{},\"profile\":{}}}",
+        monitor.stats().to_json(),
+        jstats.to_json(),
+        jprof.to_json()
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -665,9 +1147,13 @@ fn run_sharded(
 
     let io = |e: std::io::Error| (2u8, format!("journal write failed: {e}"));
     let mut journal = JournalWriter::create(journal_dir).map_err(io)?;
-    journal
-        .append(&Record::Aux { tag: AUX_SPEC, bytes: source.as_bytes().to_vec() })
-        .map_err(io)?;
+    let mut jprof = rv_monitor::core::PhaseProfiler::new().with_label("journal");
+    append_timed(
+        &mut journal,
+        &mut jprof,
+        &Record::Aux { tag: AUX_SPEC, bytes: source.as_bytes().to_vec() },
+    )
+    .map_err(io)?;
 
     let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
     let mut sharded = ShardedMonitor::new(spec, &config, ShardConfig::with_shards(shards));
@@ -681,19 +1167,24 @@ fn run_sharded(
 
     fn append_triggers(
         journal: &mut JournalWriter,
+        jprof: &mut rv_monitor::core::PhaseProfiler,
         triggers: Vec<ShardTrigger>,
         seq_of_event: &[u64],
     ) -> std::io::Result<u64> {
         let mut written = 0u64;
         for t in triggers {
-            journal.append(&Record::Trigger {
-                event_seq: seq_of_event[t.event_seq as usize],
-                ordinal: t.ordinal,
-                block: t.block as u16,
-                step: t.event_seq,
-                verdict: t.verdict,
-                binding: t.binding,
-            })?;
+            append_timed(
+                journal,
+                jprof,
+                &Record::Trigger {
+                    event_seq: seq_of_event[t.event_seq as usize],
+                    ordinal: t.ordinal,
+                    block: t.block as u16,
+                    step: t.event_seq,
+                    verdict: t.verdict,
+                    binding: t.binding,
+                },
+            )?;
             written += 1;
         }
         Ok(written)
@@ -704,12 +1195,22 @@ fn run_sharded(
     while i < steps.len() {
         match &steps[i] {
             Step::Gc => {
-                journal.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() }).map_err(io)?;
+                append_timed(
+                    &mut journal,
+                    &mut jprof,
+                    &Record::Aux { tag: AUX_GC, bytes: Vec::new() },
+                )
+                .map_err(io)?;
                 heap.collect();
                 i += 1;
             }
             Step::Sweep => {
-                journal.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() }).map_err(io)?;
+                append_timed(
+                    &mut journal,
+                    &mut jprof,
+                    &Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() },
+                )
+                .map_err(io)?;
                 sharded.sweep(&heap);
                 i += 1;
             }
@@ -726,7 +1227,12 @@ fn run_sharded(
                     payload.extend_from_slice(&obj.to_bits().to_le_bytes());
                     freed.push(obj);
                 }
-                journal.append(&Record::Aux { tag: AUX_FREE, bytes: payload }).map_err(io)?;
+                append_timed(
+                    &mut journal,
+                    &mut jprof,
+                    &Record::Aux { tag: AUX_FREE, bytes: payload },
+                )
+                .map_err(io)?;
                 for obj in freed {
                     heap.unpin(obj);
                 }
@@ -761,9 +1267,12 @@ fn run_sharded(
                             .map(|(&p, &name)| (p, objects[name]))
                             .collect();
                         let binding = Binding::from_pairs(&pairs);
-                        let seq = journal
-                            .append(&Record::Event { event: *event, binding })
-                            .map_err(io)?;
+                        let seq = append_timed(
+                            &mut journal,
+                            &mut jprof,
+                            &Record::Event { event: *event, binding },
+                        )
+                        .map_err(io)?;
                         seq_of_event.push(seq);
                         session.process(*event, binding);
                     }
@@ -771,9 +1280,13 @@ fn run_sharded(
                 if let Some(e) = sharded.last_error() {
                     return Err(engine_failed(e));
                 }
-                trigger_records +=
-                    append_triggers(&mut journal, sharded.drain_triggers(), &seq_of_event)
-                        .map_err(io)?;
+                trigger_records += append_triggers(
+                    &mut journal,
+                    &mut jprof,
+                    sharded.drain_triggers(),
+                    &seq_of_event,
+                )
+                .map_err(io)?;
                 i = j;
             }
         }
@@ -783,8 +1296,13 @@ fn run_sharded(
     if let Some(e) = report.error {
         return Err(engine_failed(&e));
     }
-    trigger_records += append_triggers(&mut journal, report.triggers, &seq_of_event).map_err(io)?;
+    trigger_records +=
+        append_triggers(&mut journal, &mut jprof, report.triggers, &seq_of_event).map_err(io)?;
     journal.sync().map_err(io)?;
+    // Fold the coordinator's routing spans (compiled out on the no-op
+    // observer path, so empty here) into the run profile for one merged
+    // figure — the same merge discipline shard aggregation uses.
+    jprof.merge_from(&report.route_profile);
     let jstats = journal.stats();
     println!(
         "journaled sharded run: {} record(s), {} byte(s), {} shard(s), no checkpoints in {}",
@@ -803,14 +1321,15 @@ fn run_sharded(
     );
     println!(
         "{{\"engine\":{},\"journal\":{},\"shards\":{{\"shards\":{},\"events\":{},\"routed\":{},\
-         \"broadcast\":{},\"deliveries\":{}}}}}",
+         \"broadcast\":{},\"deliveries\":{}}},\"profile\":{}}}",
         report.stats.to_json(),
         jstats.to_json(),
         shards,
         report.events,
         report.routed_events,
         report.broadcast_events,
-        report.deliveries
+        report.deliveries,
+        jprof.to_json()
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -826,10 +1345,10 @@ struct ReplayOutcome {
     heap: rv_monitor::heap::Heap,
 }
 
-fn replay_records(
+fn replay_records<O: rv_monitor::core::EngineObserver>(
     scan: &rv_monitor::core::JournalScan,
     event_params: &[Vec<rv_monitor::logic::ParamId>],
-    monitor: &mut rv_monitor::core::PropertyMonitor,
+    monitor: &mut rv_monitor::core::PropertyMonitor<O>,
     replay_from: u64,
     hwm: Option<(u64, u32)>,
 ) -> Result<ReplayOutcome, String> {

@@ -1,0 +1,105 @@
+//! End-to-end tests of `rvmon explain`: monitor provenance over the
+//! shipped UNSAFEITER demo. The summary row must re-derive Figure 10's
+//! E/M/FM/CM from per-instance records and agree with the engine's own
+//! statistics (the command exits 1 on any accounting mismatch), and
+//! `--binding` must print a full causal life story per matching monitor.
+
+use std::process::Command;
+
+fn rvmon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rvmon"))
+}
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn demo_args(extra: &[&str]) -> Vec<String> {
+    let mut args = vec![
+        "explain".to_string(),
+        repo_path("specs/unsafe_iter.rv"),
+        repo_path("examples/unsafe_iter.events"),
+    ];
+    args.extend(extra.iter().map(ToString::to_string));
+    args
+}
+
+/// The demo script (2 iterators, one freed mid-run, a GC and a sweep)
+/// has a known Figure 10 row; the summary must reproduce it exactly and
+/// pass the ledger-vs-engine cross-check (exit 0).
+#[test]
+fn explain_summary_reproduces_the_demo_figure10_row() {
+    let out = rvmon().args(demo_args(&["--summary"])).output().expect("run rvmon");
+    assert!(
+        out.status.success(),
+        "accounting identity must hold:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(
+        stdout.contains("block 1: E=7 M=3 FM=1 CM=2 (1 still live)"),
+        "wrong summary row:\n{stdout}"
+    );
+}
+
+/// With no flags at all, the summary is the default output.
+#[test]
+fn explain_defaults_to_the_summary() {
+    let out = rvmon().args(demo_args(&[])).output().expect("run rvmon");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("E=7 M=3 FM=1 CM=2"), "no summary row:\n{stdout}");
+}
+
+/// `--binding` prints one life story per matching instance: creation,
+/// every flagging with its cause and the dead parameter set, and the
+/// collection point with its sweep attribution.
+#[test]
+fn explain_binding_prints_causal_life_stories() {
+    // Bindings render with parameter names (`i=#2g0`), so `i=` matches
+    // the two monitors that bind an iterator; the `update`-created
+    // collection-only monitor is excluded.
+    let out = rvmon().args(demo_args(&["--binding", "i="])).output().expect("run rvmon");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(stdout.matches("monitor #").count(), 2, "two iterator monitors:\n{stdout}");
+    assert_eq!(stdout.matches("  created   at event ").count(), 2, "{stdout}");
+    // The freed iterator's monitor was flagged by the aliveness rule
+    // under a sweep, then physically collected.
+    assert!(stdout.contains("cause: aliveness"), "no aliveness flag:\n{stdout}");
+    assert!(stdout.contains("sweep #1"), "flag not attributed to the sweep:\n{stdout}");
+    assert!(stdout.contains("  collected at event "), "no collection line:\n{stdout}");
+    // Without --summary, story mode prints stories only.
+    assert!(!stdout.contains("E=7"), "story mode must not print the summary:\n{stdout}");
+
+    // `c=` matches every monitor (all bind the collection), including
+    // the one that outlives the run.
+    let out = rvmon().args(demo_args(&["--binding", "c="])).output().expect("run rvmon");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(stdout.matches("monitor #").count(), 3, "all three monitors:\n{stdout}");
+    assert!(stdout.contains("  still live"), "one monitor survives the run:\n{stdout}");
+}
+
+/// A substring matching no rendered binding says so rather than printing
+/// nothing.
+#[test]
+fn explain_binding_reports_no_matches() {
+    let out = rvmon().args(demo_args(&["--binding", "zebra="])).output().expect("run rvmon");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("block 1: no monitor instance matches `zebra=`"), "{stdout}");
+}
+
+/// Usage errors (missing events file, flag without a value) exit 2.
+#[test]
+fn explain_usage_errors_exit_2() {
+    let missing_events = vec!["explain".to_string(), repo_path("specs/unsafe_iter.rv")];
+    let flag_without_value = demo_args(&["--binding"]);
+    for args in [missing_events, flag_without_value] {
+        let out = rvmon().args(&args).output().expect("run rvmon");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage: rvmon explain"), "args {args:?}: {stderr}");
+    }
+}

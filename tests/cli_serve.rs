@@ -1,0 +1,145 @@
+//! Curl-less smoke test of `rvmon serve`: spawn the real binary on an
+//! ephemeral port in `--once` mode, scrape the bound address from its
+//! stdout, fetch `/metrics` over a raw [`std::net::TcpStream`], and
+//! check the Prometheus text exposition — counters, phase histograms and
+//! the well-formedness rules scrapers rely on.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs `rvmon serve --once --port 0` on the shipped demo and returns
+/// the full HTTP response to a GET of `path`.
+fn fetch_once(path: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rvmon"))
+        .args([
+            "serve",
+            &repo_path("specs/unsafe_iter.rv"),
+            &repo_path("examples/unsafe_iter.events"),
+            "--port",
+            "0",
+            "--once",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rvmon serve");
+
+    // The first stdout line announces the bound ephemeral port:
+    // `serving metrics on http://127.0.0.1:PORT/metrics (one request)`.
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read serve banner");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|r| r.split("/metrics").next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"));
+
+    let mut stream = TcpStream::connect(addr).expect("connect to rvmon serve");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+
+    let status = child.wait().expect("rvmon serve exits after --once");
+    assert!(status.success(), "serve exited nonzero");
+    response
+}
+
+#[test]
+fn serve_once_answers_a_prometheus_scrape() {
+    let response = fetch_once("/metrics");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "bad status line: {head}");
+    assert!(head.contains("Content-Type: text/plain; version=0.0.4"), "bad content type: {head}");
+    let advertised: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .expect("numeric Content-Length");
+    assert_eq!(advertised, body.len(), "Content-Length must match the body");
+
+    // The demo's Figure 10 row, as counters.
+    assert!(body.contains("rvmon_events_total 7"), "E: {body}");
+    assert!(body.contains("rvmon_monitors_created_total 3"), "M: {body}");
+    assert!(body.contains("rvmon_monitors_flagged_total 1"), "FM: {body}");
+    assert!(body.contains("rvmon_monitors_collected_total 2"), "CM: {body}");
+
+    // Per-property phase histograms with non-zero span counts, plus the
+    // profiler's own measured overhead as a gauge.
+    assert!(
+        body.contains(
+            "rvmon_profile_spans_total{property=\"UnsafeIter/block1\",phase=\"index_lookup\"} 7"
+        ),
+        "one index-lookup span per event: {body}"
+    );
+    assert!(body.contains("phase=\"transition\""), "no transition spans: {body}");
+    assert!(body.contains("phase=\"sweep\""), "no sweep spans: {body}");
+    assert!(body.contains("rvmon_profiler_self_overhead_ns "), "no self-overhead gauge: {body}");
+
+    // Exposition well-formedness: every metric line is `name{labels} value`
+    // or `name value`, every metric family has HELP and TYPE, histogram
+    // bucket counts are cumulative and end at +Inf == _count.
+    let mut last_bucket: Option<(String, u64)> = None;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        let (name_and_labels, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(value.parse::<f64>().is_ok(), "non-numeric sample: {line}");
+        if let Some(le_at) = name_and_labels.find("le=\"") {
+            let count: u64 = value.parse().expect("bucket counts are integers");
+            let series = &name_and_labels[..le_at];
+            if let Some((prev_series, prev_count)) = &last_bucket {
+                if prev_series == series {
+                    assert!(count >= *prev_count, "non-cumulative buckets: {line}");
+                }
+            }
+            last_bucket = Some((series.to_string(), count));
+            if name_and_labels.contains("le=\"+Inf\"") {
+                last_bucket = None;
+            }
+        }
+    }
+    for family in ["rvmon_events_total", "rvmon_phase_duration_ns", "rvmon_profile_phase_ns"] {
+        assert!(body.contains(&format!("# HELP {family} ")), "no HELP for {family}");
+        assert!(body.contains(&format!("# TYPE {family} ")), "no TYPE for {family}");
+    }
+}
+
+#[test]
+fn serve_answers_any_path_with_the_same_exposition() {
+    let response = fetch_once("/anything-at-all");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("rvmon_events_total 7"), "{response}");
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rvmon"))
+        .args([
+            "serve",
+            &repo_path("specs/unsafe_iter.rv"),
+            &repo_path("examples/unsafe_iter.events"),
+            "--port",
+            "notaport",
+        ])
+        .output()
+        .expect("run rvmon");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: rvmon serve"));
+}

@@ -102,6 +102,110 @@ fn trace_subcommand_emits_jsonl_and_matching_metrics() {
     assert!(field_u64(&metrics, "\"heap\":", "allocations") > 0);
 }
 
+/// Runs `rvmon trace` on the shipped demo with `extra` flags and returns
+/// `(trace_lines, header)` for block 1.
+fn traced(extra: &[&str]) -> (Vec<String>, String) {
+    let mut args = vec![
+        "trace".to_string(),
+        repo_path("specs/unsafe_iter.rv"),
+        repo_path("examples/unsafe_iter.events"),
+    ];
+    args.extend(extra.iter().map(ToString::to_string));
+    let out = rvmon().args(&args).output().expect("run rvmon");
+    assert!(out.status.success(), "rvmon trace failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let mut header = String::new();
+    let mut lines = Vec::new();
+    let mut in_trace = false;
+    for line in stdout.lines() {
+        if line.starts_with("# block 1 trace") {
+            header = line.to_string();
+            in_trace = true;
+        } else if line.starts_with("# block 1 metrics") {
+            in_trace = false;
+        } else if in_trace {
+            lines.push(line.to_string());
+        }
+    }
+    (lines, header)
+}
+
+#[test]
+fn trace_kind_filter_keeps_only_that_kind_and_accounts_the_rest() {
+    let (all, plain_header) = traced(&[]);
+    assert!(!plain_header.contains("filtered out"), "no filter, no filter count: {plain_header}");
+    let (kept, header) = traced(&["--kind", "flagged"]);
+    assert!(!kept.is_empty(), "the demo flags a monitor");
+    for line in &kept {
+        assert!(line.contains("\"kind\":\"flagged\""), "foreign record passed the filter: {line}");
+    }
+    assert!(
+        header.contains(&format!("({} records", kept.len())),
+        "header counts kept records: {header}"
+    );
+    assert!(
+        header.contains(&format!("{} filtered out", all.len() - kept.len())),
+        "header accounts for the filtered remainder: {header}"
+    );
+}
+
+#[test]
+fn trace_event_filter_matches_dispatch_and_flag_records() {
+    let (kept, _) = traced(&["--event", "next"]);
+    assert!(!kept.is_empty(), "the demo dispatches `next`");
+    for line in &kept {
+        let named = |field: &str| {
+            line.split(field).nth(1).and_then(|r| r.split('"').next()).is_some_and(|v| v == "next")
+        };
+        assert!(
+            named("\"name\":\"") || named("\"last_event\":\""),
+            "record does not reference `next`: {line}"
+        );
+    }
+    // Exact-match semantics: `nex` is not an event name and matches nothing.
+    let (none, _) = traced(&["--event", "nex"]);
+    assert!(none.is_empty(), "event filter must be exact, got: {none:?}");
+}
+
+#[test]
+fn trace_binding_filter_composes_with_kind() {
+    // Bindings render as `param=#index g generation`; every created/flagged/
+    // collected record for an iterator binds `i=`.
+    let (kept, _) = traced(&["--kind", "created", "--binding-contains", "i="]);
+    assert!(!kept.is_empty(), "the demo creates iterator monitors");
+    for line in &kept {
+        assert!(line.contains("\"kind\":\"created\""), "kind filter leaked: {line}");
+        let bound = line
+            .split("\"binding\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .is_some_and(|v| v.contains("i="));
+        assert!(bound, "binding filter leaked: {line}");
+    }
+    // A substring matching no rendered binding filters everything.
+    let (none, header) = traced(&["--binding-contains", "zebra="]);
+    assert!(none.is_empty(), "impossible binding must filter all: {none:?}");
+    assert!(header.contains("(0 records"), "header shows zero kept: {header}");
+}
+
+#[test]
+fn trace_filter_flags_require_values() {
+    for flag in ["--kind", "--event", "--binding-contains"] {
+        let out = rvmon()
+            .args([
+                "trace",
+                &repo_path("specs/unsafe_iter.rv"),
+                &repo_path("examples/unsafe_iter.events"),
+                flag,
+            ])
+            .output()
+            .expect("run rvmon");
+        assert_eq!(out.status.code(), Some(2), "{flag} without a value exits 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage: rvmon trace"), "{flag}: unexpected stderr: {stderr}");
+    }
+}
+
 #[test]
 fn trace_subcommand_requires_an_events_file() {
     let out =
