@@ -91,4 +91,60 @@ grep -q '"index_lookup"' "$PROF_JSON"
 rm -f "$PROF_JSON"
 cargo test -q --release --test cli_serve >/dev/null
 
+# Observability smoke: a journaled run must leave AUX_GC_CYCLE records
+# that `gc-log` can render (with its MMU curve), the Chrome-trace
+# exporter must emit JSON a real parser accepts, and a live scrape of
+# the exposition must pass the lints Prometheus scrapers depend on —
+# no duplicate series, counters suffixed `_total`. python3 does the
+# strict JSON parse and the scrape where available; the cli_timeline /
+# cli_serve integration tests cover the same ground hermetically.
+echo "== observability smoke (gc-log + timeline + exposition lint, release)"
+RVG_DIR="${TMPDIR:-/tmp}/rv-ci-gclog-$$"
+rm -rf "$RVG_DIR"
+cargo run -q --release --bin rvmon -- run specs/unsafe_iter.rv \
+    examples/unsafe_iter.events --journal "$RVG_DIR" >/dev/null
+GC_LOG="${TMPDIR:-/tmp}/rv-ci-gclog-$$.txt"
+cargo run -q --release --bin rvmon -- gc-log "$RVG_DIR" >"$GC_LOG"
+grep -q 'GC cycle' "$GC_LOG"
+grep -q 'mmu (span' "$GC_LOG"
+rm -rf "$RVG_DIR" "$GC_LOG"
+TRACE_JSON="${TMPDIR:-/tmp}/rv-ci-trace-$$.json"
+cargo run -q --release --bin rvmon -- timeline specs/unsafe_iter.rv \
+    examples/unsafe_iter.events --out "$TRACE_JSON" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["traceEvents"], "empty traceEvents"
+assert any(e.get("ph") == "X" for e in doc["traceEvents"]), "no GC cycles"
+' "$TRACE_JSON"
+else
+    grep -q '"traceEvents"' "$TRACE_JSON"
+    grep -q '"ph":"X"' "$TRACE_JSON"
+fi
+rm -f "$TRACE_JSON"
+if command -v python3 >/dev/null 2>&1; then
+    SRV_OUT="${TMPDIR:-/tmp}/rv-ci-serve-$$.txt"
+    EXPO="${TMPDIR:-/tmp}/rv-ci-expo-$$.txt"
+    cargo run -q --release --bin rvmon -- serve specs/unsafe_iter.rv \
+        examples/unsafe_iter.events --port 0 --once >"$SRV_OUT" &
+    SRV_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q 'http://' "$SRV_OUT" 2>/dev/null && break
+        sleep 0.1
+    done
+    URL=$(sed -n 's/.*\(http:\/\/[^ ]*\).*/\1/p' "$SRV_OUT" | head -1)
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1], timeout=10).read())
+' "$URL" "$EXPO"
+    wait "$SRV_PID"
+    awk '/^#/ || /^$/ { next }
+         seen[$1]++ { print "duplicate series: " $1; exit 1 }' "$EXPO"
+    awk '$2 == "TYPE" && $4 == "counter" && $3 !~ /_total$/ {
+             print "counter without _total suffix: " $3; exit 1
+         }' "$EXPO"
+    grep -q 'rvmon_events_total' "$EXPO"
+    rm -f "$SRV_OUT" "$EXPO"
+fi
+cargo test -q --release --test cli_timeline >/dev/null
+
 echo "CI OK"

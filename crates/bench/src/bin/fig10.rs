@@ -4,7 +4,8 @@
 //! (CM) — for every benchmark × evaluated property.
 //!
 //! Usage: `cargo run --release -p rv-bench --bin fig10 -- [--scale X]
-//! [--stats-json BENCH_FIG10.json] [--profile-json BENCH_PROFILE.json]`
+//! [--stats-json BENCH_FIG10.json] [--profile-json BENCH_PROFILE.json]
+//! [--gc-stats]`
 
 use rv_bench::{fmt_count, MonitorSink, StatsReport, System};
 use rv_props::Property;
@@ -48,6 +49,10 @@ fn main() {
     report.write_if_requested(args.stats_json.as_deref());
     if let Some(path) = args.profile_json.as_deref() {
         rv_bench::write_profile_report(path, "fig10", args.scale, args.reps);
+    }
+    if args.gc_stats {
+        println!();
+        rv_bench::print_gc_stats(args.scale);
     }
 
     if let Some(seed) = args.chaos_seed {

@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run --release -p rv-bench --bin fig9a -- [--scale X]
 //! [--deadline SECS] [--reps N] [--stats-json BENCH_FIG9A.json]
-//! [--profile-json BENCH_PROFILE.json]`
+//! [--profile-json BENCH_PROFILE.json] [--gc-stats]`
 //!
 //! Cells print the percent overhead versus the unmonitored run; `∞` marks
 //! cells that exceeded the deadline (the paper's non-terminating
@@ -71,6 +71,10 @@ fn main() {
     report.write_if_requested(args.stats_json.as_deref());
     if let Some(path) = args.profile_json.as_deref() {
         rv_bench::write_profile_report(path, "fig9a", args.scale, args.reps);
+    }
+    if args.gc_stats {
+        println!();
+        rv_bench::print_gc_stats(args.scale);
     }
 }
 

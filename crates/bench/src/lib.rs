@@ -18,8 +18,8 @@
 use std::time::{Duration, Instant};
 
 use rv_core::{
-    Binding, EngineConfig, EngineObserver, GcPolicy, MetricsRegistry, NoopObserver, PhaseProfiler,
-    PropertyMonitor,
+    mmu, Binding, EngineConfig, EngineObserver, GcKind, GcPolicy, GcReason, MetricsRegistry,
+    NoopObserver, PhaseProfiler, PropertyMonitor,
 };
 use rv_heap::Heap;
 use rv_logic::{AnyFormalism, EventId};
@@ -95,6 +95,7 @@ pub struct MonitorSink<O: EngineObserver = NoopObserver> {
     dispatches: Vec<Dispatch<O>>,
     deadline: Option<Instant>,
     timed_out: bool,
+    sweep_at_exit: bool,
     events_since_sample: u32,
     /// Peak monitor-side bytes observed (Fig. 9B metric).
     pub peak_bytes: usize,
@@ -196,6 +197,7 @@ impl<O: EngineObserver> MonitorSink<O> {
             dispatches,
             deadline: None,
             timed_out: false,
+            sweep_at_exit: false,
             events_since_sample: 0,
             peak_bytes: 0,
             events: 0,
@@ -205,6 +207,17 @@ impl<O: EngineObserver> MonitorSink<O> {
     /// Aborts monitoring (reporting `∞`) once `duration` has elapsed.
     pub fn with_deadline(mut self, duration: Duration) -> MonitorSink<O> {
         self.deadline = Some(Instant::now() + duration);
+        self
+    }
+
+    /// Forces a safepoint [`rv_core::Engine::full_sweep`] on every engine
+    /// block when the workload exits, so end-of-run GC telemetry (cycle
+    /// records, pause histograms, reclaim counts) reflects the terminal
+    /// collection the paper's numbers assume. Off for measured cells —
+    /// the exit sweep is observability, not overhead.
+    #[must_use]
+    pub fn with_exit_sweep(mut self) -> MonitorSink<O> {
+        self.sweep_at_exit = true;
         self
     }
 
@@ -295,7 +308,16 @@ impl<O: EngineObserver> EventSink for MonitorSink<O> {
         }
     }
 
-    fn at_exit(&mut self, _heap: &Heap) {
+    fn at_exit(&mut self, heap: &Heap) {
+        if self.sweep_at_exit {
+            for d in &mut self.dispatches {
+                if let Attached::Engine(m) = &mut d.attached {
+                    for engine in m.engines_mut() {
+                        let _ = engine.full_sweep_with(heap, GcReason::Forced);
+                    }
+                }
+            }
+        }
         self.peak_bytes = self.peak_bytes.max(self.current_bytes());
     }
 }
@@ -509,6 +531,75 @@ pub fn write_profile_report(path: &str, figure: &str, scale: f64, reps: u32) {
     eprintln!("wrote {path}");
 }
 
+/// Runs every DaCapo benchmark under both engine-backed GC policies —
+/// RV's coenable-lazy and MOP's all-params-dead — with a
+/// [`MetricsRegistry`] attached and a forced safepoint sweep at exit,
+/// then prints the GC observatory table the `--gc-stats` flag asks for:
+/// sweep cycles, pause-time quantiles, reclaim rate, and minimum mutator
+/// utilization at two window sizes. Pause clocks only run because the
+/// observer is attached; measured (overhead) cells never pay for this.
+pub fn print_gc_stats(scale: f64) {
+    println!("GC observatory (scale {scale}): monitor-sweep pauses, reclaim rate, MMU");
+    println!(
+        "{:<12} {:<9} {:>6} {:>8} {:>8} {:>9} {:>9} {:>6} {:>8} {:>8}",
+        "benchmark",
+        "policy",
+        "cycles",
+        "p50ns",
+        "p99ns",
+        "scanned",
+        "reclaim",
+        "rate%",
+        "mmu1ms",
+        "mmu10ms"
+    );
+    for profile in Profile::dacapo() {
+        for system in [System::Rv, System::Mop] {
+            let mut sink = MonitorSink::with_observers(
+                system,
+                &Property::EVALUATED,
+                EngineConfig::default(),
+                |_| MetricsRegistry::new(),
+            )
+            .with_exit_sweep();
+            let _ = rv_workloads::run(&profile, scale, &mut sink);
+            let mut metrics = MetricsRegistry::new();
+            for (_, monitor) in sink.engine_monitors() {
+                for engine in monitor.engines() {
+                    metrics.merge_from(engine.observer());
+                }
+            }
+            let kind = GcKind::MonitorSweep;
+            let pause = metrics.gc_pause(kind);
+            let scanned = metrics.gc_scanned(kind);
+            let reclaimed = metrics.gc_reclaimed(kind);
+            let rate = if scanned == 0 { 0.0 } else { 100.0 * reclaimed as f64 / scanned as f64 };
+            let span = metrics.gc_pauses().iter().map(|&(end, _)| end).max().unwrap_or(0);
+            println!(
+                "{:<12} {:<9} {:>6} {:>8.0} {:>8.0} {:>9} {:>9} {:>6.1} {:>8.3} {:>8.3}",
+                profile.name,
+                match system {
+                    System::Rv => "coenable",
+                    System::Mop => "all-dead",
+                    System::Tm => unreachable!("engine policies only"),
+                },
+                metrics.gc_cycles_total(kind),
+                pause.quantile(0.50),
+                pause.quantile(0.99),
+                scanned,
+                reclaimed,
+                rate,
+                mmu(metrics.gc_pauses(), span, 1_000_000),
+                mmu(metrics.gc_pauses(), span, 10_000_000),
+            );
+        }
+    }
+    println!(
+        "(pauses are monitor-sweep safepoints across all engine blocks; \
+         heap-collect cycles are journaled runs' territory — see `rvmon gc-log`)"
+    );
+}
+
 /// Formats an overhead cell: percentage or `∞`.
 #[must_use]
 pub fn fmt_overhead(cell: &CellResult) -> String {
@@ -582,6 +673,10 @@ pub struct HarnessArgs {
     /// When set, the harness also runs the deterministic fault-injection
     /// differential with this seed (`--chaos-seed`).
     pub chaos_seed: Option<u64>,
+    /// When set, the harness appends the GC observatory table
+    /// (`--gc-stats`): per-policy sweep-pause quantiles, reclaim rate,
+    /// and MMU — the numbers EXPERIMENTS.md's GC section reports.
+    pub gc_stats: bool,
 }
 
 impl Default for HarnessArgs {
@@ -593,6 +688,7 @@ impl Default for HarnessArgs {
             stats_json: None,
             profile_json: None,
             chaos_seed: None,
+            gc_stats: false,
         }
     }
 }
@@ -622,10 +718,11 @@ impl HarnessArgs {
                     out.chaos_seed =
                         Some(take("--chaos-seed").parse().expect("numeric --chaos-seed"));
                 }
+                "--gc-stats" => out.gc_stats = true,
                 other => panic!(
                     "unknown argument `{other}` \
                      (known: --scale, --deadline, --reps, --stats-json, --profile-json, \
-                     --chaos-seed)"
+                     --chaos-seed, --gc-stats)"
                 ),
             }
         }

@@ -50,7 +50,7 @@ use std::time::Instant;
 
 use crate::binding::Binding;
 use crate::error::EngineError;
-use crate::obs::{EngineObserver, FlagCause, NoopObserver, Phase};
+use crate::obs::{EngineObserver, FlagCause, GcCycleRecord, GcKind, GcReason, NoopObserver, Phase};
 use crate::reference::Trigger;
 use crate::stats::EngineStats;
 use crate::store::{Instance, MonitorId, MonitorStore};
@@ -236,6 +236,9 @@ pub struct Engine<F: Formalism, O: EngineObserver = NoopObserver> {
     /// The most recent error swallowed by the infallible [`Engine::process`]
     /// facade (sticky until [`Engine::take_last_error`]).
     last_error: Option<EngineError>,
+    /// Construction instant: the time origin for [`GcCycleRecord::end_ns`]
+    /// timestamps.
+    epoch: Instant,
     /// The lifecycle observer (no-op by default).
     observer: O,
 }
@@ -435,6 +438,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
             event_work: 0,
             handler: HandlerSlot::default(),
             last_error: None,
+            epoch: Instant::now(),
             observer,
         }
     }
@@ -560,6 +564,9 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         let step = self.stats.events as usize;
         self.stats.events += 1;
         self.event_work = 0;
+        // End-to-end dispatch latency: from here (post-validation) through
+        // governance, trigger delivery, and the collected-id flush.
+        let t_event = if O::ENABLED { Some(Instant::now()) } else { None };
         let domain = binding.domain();
 
         // --- update existing instances ⊒ θ (Figure 6 lookup) ------------
@@ -681,6 +688,9 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         self.end_of_event_governance(heap);
         if O::ENABLED {
             self.flush_collected();
+        }
+        if let Some(t) = t_event {
+            self.observer.event_latency(elapsed_nanos(t));
         }
         Ok(())
     }
@@ -1112,16 +1122,21 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         self.stats.budget_trips += 1;
         self.observer.budget_tripped(kind, observed, limit);
         self.clean_events = 0;
-        if self.degradation.is_none() {
+        // Sweeps run while already degraded are maintenance demanded by
+        // the ladder; the first trip's sweep is charged to the budget.
+        let sweep_reason = if self.degradation.is_some() {
+            GcReason::Degradation
+        } else {
             self.enter_degradation(DegradationPolicy::ForcedSweep);
-        }
+            GcReason::Budget
+        };
         if kind == BudgetKind::WorkPerEvent {
             // Work already spent this event cannot be re-measured, so a
             // satisfaction loop would spin: apply the current rung's remedy
             // and escalate exactly one rung per violation.
             let rung = self.degradation.unwrap_or(DegradationPolicy::ForcedSweep);
             if rung < DegradationPolicy::ShedNewMonitors {
-                self.full_sweep(heap);
+                self.full_sweep_with(heap, sweep_reason);
             }
             let next = match rung {
                 DegradationPolicy::ForcedSweep => DegradationPolicy::EagerCollect,
@@ -1133,7 +1148,7 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         loop {
             let rung = self.degradation.unwrap_or(DegradationPolicy::ForcedSweep);
             if rung < DegradationPolicy::ShedNewMonitors {
-                self.full_sweep(heap);
+                self.full_sweep_with(heap, sweep_reason);
             }
             let satisfied = match kind {
                 BudgetKind::LiveMonitors => (self.store.live() as u64) < limit,
@@ -1266,21 +1281,32 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
 
     /// Runs GC maintenance over every structure, fully expunging dead keys
     /// and compacting sets. Called by benchmarks at safepoints and by
-    /// [`Engine::finish`].
+    /// [`Engine::finish`]. Emits a [`GcReason::Forced`] cycle record (the
+    /// caller asked for the sweep explicitly).
     pub fn full_sweep(&mut self, heap: &Heap) {
+        self.full_sweep_with(heap, GcReason::Forced);
+    }
+
+    /// [`Engine::full_sweep`] with an explicit [`GcReason`], returning the
+    /// per-cycle accounting delivered to the observer — or `None` when the
+    /// observer is disabled, in which case no wall clock is read and no
+    /// record is assembled at all (the structural zero-overhead guarantee).
+    pub fn full_sweep_with(&mut self, heap: &Heap, reason: GcReason) -> Option<GcCycleRecord> {
         // Two passes: the first discovers dead keys and *flags* monitors
         // (Figure 7); the second compacts live-keyed structures, which can
         // only shed monitors once they are flagged (Figure 8). Incremental
         // operation interleaves these naturally; a safepoint sweep must
         // sequence them.
         let before = self.store.stats();
+        let live_before = self.store.live() as u64;
         self.observer.sweep_started();
         let t_sweep = if O::ENABLED { Some(Instant::now()) } else { None };
         for _ in 0..2 {
             self.sweep_once(heap);
         }
-        if let Some(t) = t_sweep {
-            self.observer.phase_timed(Phase::Sweep, elapsed_nanos(t));
+        let pause_ns = t_sweep.map(elapsed_nanos);
+        if let Some(ns) = pause_ns {
+            self.observer.phase_timed(Phase::Sweep, ns);
         }
         if O::ENABLED {
             self.flush_collected();
@@ -1288,6 +1314,21 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
         let after = self.store.stats();
         self.observer
             .sweep_finished(after.flagged - before.flagged, after.collected - before.collected);
+        let record = pause_ns.map(|ns| GcCycleRecord {
+            kind: GcKind::MonitorSweep,
+            reason,
+            end_ns: elapsed_nanos(self.epoch),
+            pause_ns: ns,
+            scanned: live_before,
+            reclaimed: after.collected - before.collected,
+            flagged: after.flagged - before.flagged,
+            occupancy_before: live_before,
+            occupancy_after: self.store.live() as u64,
+        });
+        if let Some(rec) = &record {
+            self.observer.gc_cycle(rec);
+        }
+        record
     }
 
     fn sweep_once_timed(&mut self, heap: &Heap) {
@@ -1336,6 +1377,20 @@ impl<F: Formalism, O: EngineObserver> Engine<F, O> {
     /// reflects every monitor the engine let go of.
     pub fn finish(&mut self, heap: &Heap) {
         self.full_sweep(heap);
+    }
+
+    /// Drains the heap's completed-collection log and delivers each cycle
+    /// to the observer as a [`GcKind::HeapCollect`] record. A no-op (the
+    /// log is still drained, keeping it bounded) when the observer is
+    /// disabled. Call once per heap per drain point: the heap log is
+    /// consumed, so routing it through several engines would double-count.
+    pub fn observe_heap_cycles(&mut self, heap: &mut Heap) {
+        let cycles = heap.drain_cycles();
+        if O::ENABLED {
+            for c in &cycles {
+                self.observer.gc_cycle(&GcCycleRecord::from_heap_cycle(c));
+            }
+        }
     }
 
     // --- Checkpoint/restore (crash consistency) --------------------------

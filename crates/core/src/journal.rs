@@ -93,6 +93,12 @@ pub const AUX_FREE: u8 = 1;
 pub const AUX_GC: u8 = 2;
 /// Auxiliary record tag: a trace `!sweep` directive (empty payload).
 pub const AUX_SWEEP: u8 = 3;
+/// Auxiliary record tag: one completed GC cycle, payload a
+/// `GcCycleRecord::to_bytes` body. Written *in addition to* the
+/// `AUX_GC`/`AUX_SWEEP` replay directives: those drive re-execution,
+/// this one carries the telemetry (`rvmon gc-log` reads it; replay
+/// skips it).
+pub const AUX_GC_CYCLE: u8 = 4;
 /// Auxiliary record tag: crash-harness pool initialisation (payload:
 /// pool size as `u32`).
 pub const AUX_CT_INIT: u8 = 16;

@@ -78,11 +78,12 @@ pub use crate::journal::{
 };
 pub use crate::multi::PropertyMonitor;
 pub use crate::obs::{
-    EngineObserver, FlagCause, Histogram, MetricsRegistry, NoopObserver, Phase, TraceKind,
-    TraceRecord, TraceRecorder,
+    mmu, mmu_curve, EngineObserver, FlagCause, GcCycleRecord, GcKind, GcReason, Histogram,
+    MetricsRegistry, NoopObserver, Phase, TraceKind, TraceRecord, TraceRecorder,
 };
 pub use crate::profile::{
-    prometheus_text, InstanceRecord, PhaseProfiler, ProvenanceLedger, ProvenanceSummary,
+    chrome_trace_json, prometheus_text, InstanceRecord, PhaseProfiler, ProvenanceLedger,
+    ProvenanceSummary, SpanLog, TimelineSpan,
 };
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
 pub use crate::shard::{

@@ -180,6 +180,15 @@ impl<O: EngineObserver> PropertyMonitor<O> {
         }
     }
 
+    /// Drains the heap's completed-collection log into the *first* block's
+    /// observer (the heap is shared by all blocks, so forwarding to every
+    /// engine would multiply each cycle by the block count).
+    pub fn observe_heap_cycles(&mut self, heap: &mut rv_heap::Heap) {
+        if let Some(first) = self.engines.first_mut() {
+            first.observe_heap_cycles(heap);
+        }
+    }
+
     /// Serializes every block's engine into one checkpoint payload:
     /// `[block count u32][per block: payload length u64 + payload]`.
     ///

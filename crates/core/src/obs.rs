@@ -57,6 +57,197 @@ impl FlagCause {
     }
 }
 
+/// Which collector a [`GcCycleRecord`] describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GcKind {
+    /// A stop-the-world mark-sweep collection of the simulated heap
+    /// (`rv_heap::Heap::collect`).
+    HeapCollect,
+    /// A safepoint monitor sweep
+    /// ([`Engine::full_sweep`](crate::Engine::full_sweep)): dead-key
+    /// expunge plus flagged-monitor compaction over every structure.
+    MonitorSweep,
+}
+
+impl GcKind {
+    /// Number of kinds (the length of [`GcKind::ALL`]).
+    pub const COUNT: usize = 2;
+
+    /// All kinds.
+    pub const ALL: [GcKind; GcKind::COUNT] = [GcKind::HeapCollect, GcKind::MonitorSweep];
+
+    /// The snake_case label used in traces and snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GcKind::HeapCollect => "heap",
+            GcKind::MonitorSweep => "monitor_sweep",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            GcKind::HeapCollect => 0,
+            GcKind::MonitorSweep => 1,
+        }
+    }
+}
+
+/// Why a collection cycle ran.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GcReason {
+    /// The allocation budget expired (`HeapConfig::gc_every_allocs`), or
+    /// any other schedule-driven trigger.
+    Periodic,
+    /// An explicit request: `Heap::collect`, `Engine::finish`, a `!gc` /
+    /// `!sweep` trace directive.
+    Forced,
+    /// The degradation ladder is active and demanded extra maintenance
+    /// (eager per-event sweeps while degraded).
+    Degradation,
+    /// A resource budget tripped and the trip handler swept to relieve
+    /// pressure.
+    Budget,
+}
+
+impl GcReason {
+    /// Number of reasons (the length of [`GcReason::ALL`]).
+    pub const COUNT: usize = 4;
+
+    /// All reasons.
+    pub const ALL: [GcReason; GcReason::COUNT] =
+        [GcReason::Periodic, GcReason::Forced, GcReason::Degradation, GcReason::Budget];
+
+    /// The snake_case label used in traces and snapshots.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GcReason::Periodic => "periodic",
+            GcReason::Forced => "forced",
+            GcReason::Degradation => "degradation",
+            GcReason::Budget => "budget",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            GcReason::Periodic => 0,
+            GcReason::Forced => 1,
+            GcReason::Degradation => 2,
+            GcReason::Budget => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<GcReason> {
+        GcReason::ALL.into_iter().find(|r| r.index() == usize::from(b))
+    }
+}
+
+/// One completed garbage-collection cycle — heap mark-sweep or monitor
+/// sweep — as first-class telemetry: what ran, why, how long the world
+/// stopped, and what it bought. Delivered via
+/// [`EngineObserver::gc_cycle`], journaled as `AUX_GC_CYCLE` records, and
+/// aggregated by [`MetricsRegistry`] into pause histograms and MMU
+/// inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GcCycleRecord {
+    /// Which collector ran.
+    pub kind: GcKind,
+    /// Why it ran.
+    pub reason: GcReason,
+    /// Nanoseconds since the emitter's epoch at which the pause *ended*
+    /// (so `end_ns - pause_ns` is the pause start). Epochs are
+    /// per-emitter (engine construction / heap creation / run start);
+    /// MMU math only needs them monotone within one stream.
+    pub end_ns: u64,
+    /// Stop-the-world duration of the cycle in nanoseconds.
+    pub pause_ns: u64,
+    /// Objects (heap) or live monitors (sweep) examined by the cycle.
+    pub scanned: u64,
+    /// Objects or monitors physically reclaimed.
+    pub reclaimed: u64,
+    /// Monitors newly flagged unnecessary (always 0 for heap cycles).
+    pub flagged: u64,
+    /// Live objects (heap) or live monitors (sweep) before the cycle.
+    pub occupancy_before: u64,
+    /// Live objects or monitors after the cycle.
+    pub occupancy_after: u64,
+}
+
+impl GcCycleRecord {
+    /// Encoded size of [`GcCycleRecord::to_bytes`] in bytes.
+    pub const ENCODED_LEN: usize = 2 + 7 * 8;
+
+    /// Serializes the record as a fixed-width little-endian payload (the
+    /// journal's `AUX_GC_CYCLE` body).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(GcCycleRecord::ENCODED_LEN);
+        out.push(self.kind.index() as u8);
+        out.push(self.reason.index() as u8);
+        for v in [
+            self.end_ns,
+            self.pause_ns,
+            self.scanned,
+            self.reclaimed,
+            self.flagged,
+            self.occupancy_before,
+            self.occupancy_after,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Lifts a drained [`rv_heap::HeapCycle`] into the unified record
+    /// stream (rv-heap cannot depend on this crate, so the conversion
+    /// lives here). Heap cycles never flag monitors.
+    #[must_use]
+    pub fn from_heap_cycle(c: &rv_heap::HeapCycle) -> GcCycleRecord {
+        GcCycleRecord {
+            kind: GcKind::HeapCollect,
+            reason: if c.forced { GcReason::Forced } else { GcReason::Periodic },
+            end_ns: c.end_ns,
+            pause_ns: c.pause_ns,
+            scanned: c.live_before,
+            reclaimed: c.swept,
+            flagged: 0,
+            occupancy_before: c.live_before,
+            occupancy_after: c.live_after,
+        }
+    }
+
+    /// Decodes a [`GcCycleRecord::to_bytes`] payload; `None` on any
+    /// malformed input (wrong length, unknown kind/reason byte).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<GcCycleRecord> {
+        if bytes.len() != GcCycleRecord::ENCODED_LEN {
+            return None;
+        }
+        let kind = match bytes[0] {
+            0 => GcKind::HeapCollect,
+            1 => GcKind::MonitorSweep,
+            _ => return None,
+        };
+        let reason = GcReason::from_byte(bytes[1])?;
+        let word = |i: usize| {
+            let at = 2 + i * 8;
+            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("length checked"))
+        };
+        Some(GcCycleRecord {
+            kind,
+            reason,
+            end_ns: word(0),
+            pause_ns: word(1),
+            scanned: word(2),
+            reclaimed: word(3),
+            flagged: word(4),
+            occupancy_before: word(5),
+            occupancy_after: word(6),
+        })
+    }
+}
+
 /// A timed phase of event dispatch, reported via
 /// [`EngineObserver::phase_timed`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -225,6 +416,16 @@ pub trait EngineObserver {
     /// The journal reader truncated `lost_bytes` bytes of torn or corrupt
     /// tail during recovery.
     fn records_truncated(&mut self, lost_bytes: u64) {}
+
+    /// A garbage-collection cycle (heap mark-sweep or monitor sweep)
+    /// finished. Only emitted when `Self::ENABLED` — assembling the
+    /// record costs wall-clock reads.
+    fn gc_cycle(&mut self, record: &GcCycleRecord) {}
+
+    /// One event finished end-to-end dispatch (validation through
+    /// triggers delivered) in `nanos` wall-clock nanoseconds. Only
+    /// emitted when `Self::ENABLED`.
+    fn event_latency(&mut self, nanos: u64) {}
 }
 
 /// The do-nothing observer: the engine's default. All callbacks are empty
@@ -342,6 +543,16 @@ impl<A: EngineObserver, B: EngineObserver> EngineObserver for (A, B) {
     fn records_truncated(&mut self, lost_bytes: u64) {
         self.0.records_truncated(lost_bytes);
         self.1.records_truncated(lost_bytes);
+    }
+
+    fn gc_cycle(&mut self, record: &GcCycleRecord) {
+        self.0.gc_cycle(record);
+        self.1.gc_cycle(record);
+    }
+
+    fn event_latency(&mut self, nanos: u64) {
+        self.0.event_latency(nanos);
+        self.1.event_latency(nanos);
     }
 }
 
@@ -529,6 +740,11 @@ pub enum TraceKind {
     RecordsTruncated {
         /// Bytes discarded from the journal.
         lost_bytes: u64,
+    },
+    /// A garbage-collection cycle finished.
+    GcCycle {
+        /// The full per-cycle accounting.
+        record: GcCycleRecord,
     },
 }
 
@@ -762,6 +978,23 @@ impl TraceRecorder {
             TraceKind::RecordsTruncated { lost_bytes } => {
                 let _ = write!(out, ",\"kind\":\"records_truncated\",\"lost_bytes\":{lost_bytes}");
             }
+            TraceKind::GcCycle { record } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"gc_cycle\",\"gc\":\"{}\",\"reason\":\"{}\",\"end_ns\":{},\
+                     \"pause_ns\":{},\"scanned\":{},\"reclaimed\":{},\"flagged\":{},\
+                     \"occupancy_before\":{},\"occupancy_after\":{}",
+                    record.kind.label(),
+                    record.reason.label(),
+                    record.end_ns,
+                    record.pause_ns,
+                    record.scanned,
+                    record.reclaimed,
+                    record.flagged,
+                    record.occupancy_before,
+                    record.occupancy_after
+                );
+            }
         }
         out.push('}');
         out
@@ -845,6 +1078,10 @@ impl EngineObserver for TraceRecorder {
         self.push(TraceKind::Shed { binding: *binding });
     }
 
+    fn gc_cycle(&mut self, record: &GcCycleRecord) {
+        self.push(TraceKind::GcCycle { record: *record });
+    }
+
     fn monitor_quarantined(&mut self, id: MonitorId, binding: &Binding) {
         self.push(TraceKind::Quarantined { id, binding: *binding });
     }
@@ -868,6 +1105,18 @@ impl EngineObserver for TraceRecorder {
 
 /// A fixed-bucket histogram with power-of-two bucket bounds
 /// `1, 2, 4, …, 2^(N−1)` plus an overflow bucket.
+///
+/// # Error bound
+///
+/// Only the bucket index is kept per sample, so any quantile estimate is
+/// confined to the enclosing power-of-two bucket `(2^(i−1), 2^i]`: the
+/// estimate can be off by at most the bucket's width, i.e. it is always
+/// within a factor of 2 of the true sample (relative error < 100%,
+/// typically far less thanks to the in-bucket linear interpolation).
+/// `count`, `sum`, `mean`, and `max` are exact (up to saturation).
+/// Ranks falling in the overflow bucket are clamped to the exact
+/// [`Histogram::max`], so the top quantile never fabricates a value
+/// larger than anything observed.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     /// `counts[i]` counts samples `≤ 2^i`; the last slot is overflow.
@@ -992,21 +1241,22 @@ impl Histogram {
         self.max as f64
     }
 
-    /// Renders the histogram as a JSON object (with p50/p95/p99 quantile
-    /// estimates). Empty buckets are elided from the `buckets` array to
-    /// keep snapshots small.
+    /// Renders the histogram as a JSON object (with p50/p95/p99/p99.9
+    /// quantile estimates). Empty buckets are elided from the `buckets`
+    /// array to keep snapshots small.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = format!(
             "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\
-             \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+             \"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
             self.count,
             self.sum,
             self.max,
             json_f64(self.mean()),
             json_f64(self.quantile(0.50)),
             json_f64(self.quantile(0.95)),
-            json_f64(self.quantile(0.99))
+            json_f64(self.quantile(0.99)),
+            json_f64(self.quantile(0.999))
         );
         let mut first = true;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -1064,12 +1314,34 @@ pub struct MetricsRegistry {
     sweep_batch: Histogram,
     /// Per-phase wall-clock nanoseconds (index by [`Phase::index`]).
     phase_nanos: [Histogram; Phase::COUNT],
+    /// GC cycles by `[kind][reason]` ([`GcKind::index`] ×
+    /// [`GcReason::index`]).
+    gc_cycles: [[u64; GcReason::COUNT]; GcKind::COUNT],
+    /// Objects/monitors scanned, per [`GcKind::index`].
+    gc_scanned: [u64; GcKind::COUNT],
+    /// Objects/monitors reclaimed, per [`GcKind::index`].
+    gc_reclaimed: [u64; GcKind::COUNT],
+    /// Stop-the-world pause nanoseconds, per [`GcKind::index`].
+    gc_pause_ns: [Histogram; GcKind::COUNT],
+    /// `(end_ns, pause_ns)` per cycle, the raw MMU-curve input (bounded
+    /// at [`MAX_GC_PAUSE_RECORDS`]; oldest survive — MMU wants the full
+    /// span, and early cycles anchor it).
+    gc_pauses: Vec<(u64, u64)>,
+    /// Allocation debt: monitors created since the last monitor sweep
+    /// minus monitors that sweep reclaimed (the pacer's input signal).
+    gc_debt: u64,
+    /// End-to-end per-event dispatch latency in nanoseconds.
+    event_latency_ns: Histogram,
     /// Birth event-index per live monitor id (removed on collection, so
     /// slot reuse cannot corrupt ages).
     birth: HashMap<MonitorId, u64>,
     /// Flag event-index per flagged-but-uncollected monitor id.
     flagged_at: HashMap<MonitorId, u64>,
 }
+
+/// Cap on the raw `(end_ns, pause_ns)` records a [`MetricsRegistry`]
+/// retains for MMU computation.
+pub const MAX_GC_PAUSE_RECORDS: usize = 1 << 16;
 
 impl MetricsRegistry {
     /// An empty registry.
@@ -1198,6 +1470,78 @@ impl MetricsRegistry {
         &self.phase_nanos[phase.index()]
     }
 
+    /// GC cycles observed for `kind` with `reason`.
+    #[must_use]
+    pub fn gc_cycles(&self, kind: GcKind, reason: GcReason) -> u64 {
+        self.gc_cycles[kind.index()][reason.index()]
+    }
+
+    /// Total GC cycles observed for `kind` across all reasons.
+    #[must_use]
+    pub fn gc_cycles_total(&self, kind: GcKind) -> u64 {
+        self.gc_cycles[kind.index()].iter().sum()
+    }
+
+    /// Objects/monitors scanned by `kind` cycles.
+    #[must_use]
+    pub fn gc_scanned(&self, kind: GcKind) -> u64 {
+        self.gc_scanned[kind.index()]
+    }
+
+    /// Objects/monitors reclaimed by `kind` cycles.
+    #[must_use]
+    pub fn gc_reclaimed(&self, kind: GcKind) -> u64 {
+        self.gc_reclaimed[kind.index()]
+    }
+
+    /// The stop-the-world pause histogram for `kind`.
+    #[must_use]
+    pub fn gc_pause(&self, kind: GcKind) -> &Histogram {
+        &self.gc_pause_ns[kind.index()]
+    }
+
+    /// The raw `(end_ns, pause_ns)` cycle records retained for MMU
+    /// computation (bounded; see [`MAX_GC_PAUSE_RECORDS`]).
+    #[must_use]
+    pub fn gc_pauses(&self) -> &[(u64, u64)] {
+        &self.gc_pauses
+    }
+
+    /// Current allocation debt: monitors created since the last monitor
+    /// sweep minus what that sweep reclaimed, saturating at 0.
+    #[must_use]
+    pub fn gc_debt(&self) -> u64 {
+        self.gc_debt
+    }
+
+    /// The end-to-end per-event dispatch latency histogram.
+    #[must_use]
+    pub fn event_latency_ns(&self) -> &Histogram {
+        &self.event_latency_ns
+    }
+
+    /// Mean monitor allocations per dispatched event — the windowless
+    /// allocation rate (a per-event rate, since the registry has no
+    /// clock of its own).
+    #[must_use]
+    pub fn alloc_rate_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.created as f64 / self.events as f64
+        }
+    }
+
+    /// Mean monitor flaggings per dispatched event.
+    #[must_use]
+    pub fn flag_rate_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.events as f64
+        }
+    }
+
     /// Accumulates another registry into this one — the per-shard metrics
     /// aggregation path: every counter sums (saturating) and every
     /// histogram merges via [`Histogram::merge_from`].
@@ -1237,6 +1581,24 @@ impl MetricsRegistry {
         for (h, o) in self.phase_nanos.iter_mut().zip(&other.phase_nanos) {
             h.merge_from(o);
         }
+        for (row, other_row) in self.gc_cycles.iter_mut().zip(&other.gc_cycles) {
+            for (c, &o) in row.iter_mut().zip(other_row) {
+                *c = c.saturating_add(o);
+            }
+        }
+        for (c, &o) in self.gc_scanned.iter_mut().zip(&other.gc_scanned) {
+            *c = c.saturating_add(o);
+        }
+        for (c, &o) in self.gc_reclaimed.iter_mut().zip(&other.gc_reclaimed) {
+            *c = c.saturating_add(o);
+        }
+        for (h, o) in self.gc_pause_ns.iter_mut().zip(&other.gc_pause_ns) {
+            h.merge_from(o);
+        }
+        let room = MAX_GC_PAUSE_RECORDS.saturating_sub(self.gc_pauses.len());
+        self.gc_pauses.extend(other.gc_pauses.iter().take(room));
+        self.gc_debt = self.gc_debt.saturating_add(other.gc_debt);
+        self.event_latency_ns.merge_from(&other.event_latency_ns);
     }
 
     /// Serializes every counter and histogram as one JSON object.
@@ -1283,6 +1645,20 @@ impl MetricsRegistry {
             self.recoveries,
             self.journal_bytes_truncated
         );
+        let _ = write!(out, ",\"gc_debt\":{}", self.gc_debt);
+        for kind in GcKind::ALL {
+            for reason in GcReason::ALL {
+                let _ = write!(
+                    out,
+                    ",\"gc_{}_{}_cycles\":{}",
+                    kind.label(),
+                    reason.label(),
+                    self.gc_cycles(kind, reason)
+                );
+            }
+            let _ = write!(out, ",\"gc_{}_scanned\":{}", kind.label(), self.gc_scanned(kind));
+            let _ = write!(out, ",\"gc_{}_reclaimed\":{}", kind.label(), self.gc_reclaimed(kind));
+        }
         out.push_str("},\"histograms\":{");
         let _ = write!(out, "\"monitor_lifetime_events\":{}", self.lifetime_events.to_json());
         let _ = write!(out, ",\"flag_latency_events\":{}", self.flag_latency_events.to_json());
@@ -1291,6 +1667,11 @@ impl MetricsRegistry {
         for p in Phase::ALL {
             let _ = write!(out, ",\"phase_{}_ns\":{}", p.label(), self.phase(p).to_json());
         }
+        for kind in GcKind::ALL {
+            let _ =
+                write!(out, ",\"gc_pause_{}_ns\":{}", kind.label(), self.gc_pause(kind).to_json());
+        }
+        let _ = write!(out, ",\"event_latency_ns\":{}", self.event_latency_ns.to_json());
         out.push('}');
         if let Some(s) = engine {
             let _ = write!(out, ",\"engine\":{}", s.to_json());
@@ -1311,6 +1692,7 @@ impl EngineObserver for MetricsRegistry {
 
     fn monitor_created(&mut self, id: MonitorId, _binding: &Binding) {
         self.created += 1;
+        self.gc_debt = self.gc_debt.saturating_add(1);
         self.birth.insert(id, self.events);
     }
 
@@ -1397,6 +1779,72 @@ impl EngineObserver for MetricsRegistry {
     fn records_truncated(&mut self, lost_bytes: u64) {
         self.journal_bytes_truncated += lost_bytes;
     }
+
+    fn gc_cycle(&mut self, record: &GcCycleRecord) {
+        self.gc_cycles[record.kind.index()][record.reason.index()] += 1;
+        self.gc_scanned[record.kind.index()] =
+            self.gc_scanned[record.kind.index()].saturating_add(record.scanned);
+        self.gc_reclaimed[record.kind.index()] =
+            self.gc_reclaimed[record.kind.index()].saturating_add(record.reclaimed);
+        self.gc_pause_ns[record.kind.index()].record(record.pause_ns);
+        if self.gc_pauses.len() < MAX_GC_PAUSE_RECORDS {
+            self.gc_pauses.push((record.end_ns, record.pause_ns));
+        }
+        if record.kind == GcKind::MonitorSweep {
+            self.gc_debt = self.gc_debt.saturating_sub(record.reclaimed);
+        }
+    }
+
+    fn event_latency(&mut self, nanos: u64) {
+        self.event_latency_ns.record(nanos);
+    }
+}
+
+/// Minimum mutator utilization over any window of `window_ns`
+/// nanoseconds within `[0, span_ns]`, given `(end_ns, pause_ns)` cycle
+/// records (each pause occupies `[end_ns − pause_ns, end_ns)`).
+///
+/// Utilization of a window is the fraction of it *not* spent inside a
+/// stop-the-world pause; MMU is the minimum over all window placements —
+/// the classic real-time GC metric (Cheng & Blelloch 2001). Candidate
+/// window positions need only be checked where the overlap function's
+/// derivative changes sign: at each pause's start and at each
+/// `end − window`, which this evaluates in O(n²) over the pause list.
+/// Windows wider than the span degrade to whole-span utilization.
+#[must_use]
+pub fn mmu(pauses: &[(u64, u64)], span_ns: u64, window_ns: u64) -> f64 {
+    if window_ns == 0 {
+        return 0.0;
+    }
+    let span = span_ns.max(1);
+    if window_ns >= span {
+        let total: u64 = pauses.iter().map(|&(end, p)| p.min(end).min(span)).sum();
+        return 1.0 - (total.min(span) as f64 / span as f64);
+    }
+    let overlap = |w_start: u64| -> u64 {
+        let w_end = w_start + window_ns;
+        pauses
+            .iter()
+            .map(|&(end, p)| {
+                let start = end.saturating_sub(p);
+                end.min(w_end).saturating_sub(start.max(w_start))
+            })
+            .sum()
+    };
+    let mut candidates: Vec<u64> = vec![0, span - window_ns];
+    for &(end, p) in pauses {
+        candidates.push(end.saturating_sub(p).min(span - window_ns));
+        candidates.push(end.saturating_sub(window_ns).min(span - window_ns));
+    }
+    let worst = candidates.into_iter().map(overlap).max().unwrap_or(0).min(window_ns);
+    1.0 - worst as f64 / window_ns as f64
+}
+
+/// Evaluates [`mmu`] at each window size, returning `(window_ns, mmu)`
+/// pairs — the MMU curve.
+#[must_use]
+pub fn mmu_curve(pauses: &[(u64, u64)], span_ns: u64, windows: &[u64]) -> Vec<(u64, f64)> {
+    windows.iter().map(|&w| (w, mmu(pauses, span_ns, w))).collect()
 }
 
 #[cfg(test)]
@@ -1787,5 +2235,173 @@ mod tests {
         let obj = rv_heap::ObjId::from_bits((1 << 32) | 5);
         let b = Binding::from_pairs(&[(ParamId(0), obj)]);
         assert_eq!(render_binding(&b, None), "x0=#1g5");
+    }
+
+    /// Satellite: `quantile()` edge-case battery — empty, single-sample,
+    /// and saturated-top-bucket inputs.
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(empty.quantile(q), 0.0, "empty histogram at q={q}");
+        }
+
+        // Single sample: every quantile stays inside the enclosing
+        // power-of-two bucket and never exceeds the exact max.
+        let mut single = Histogram::new();
+        single.record(100); // bucket (64, 128]
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = single.quantile(q);
+            assert!(est > 64.0 - f64::EPSILON && est <= 100.0, "q={q} gave {est}");
+        }
+        assert_eq!(single.quantile(1.0), 100.0, "p100 of one sample is that sample");
+
+        // Saturated top bucket: all mass in overflow clamps to max.
+        let mut over = Histogram::new();
+        over.record(u64::MAX);
+        over.record(u64::MAX - 7);
+        for q in [0.1, 0.5, 0.999] {
+            assert_eq!(over.quantile(q), u64::MAX as f64, "overflow clamps to max at q={q}");
+        }
+
+        // Out-of-range q clamps rather than panicking.
+        let mut h = Histogram::new();
+        h.record(4);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+
+        // The documented power-of-2 error bound: estimate within 2× of
+        // the true value for a uniform-ish fill.
+        let mut u = Histogram::new();
+        for v in 1..=1024u64 {
+            u.record(v);
+        }
+        let p50 = u.quantile(0.5);
+        assert!(p50 >= 256.0 && p50 <= 1024.0, "true p50=512, bound allows (256,1024]: {p50}");
+        assert!(u.to_json().contains("\"p999\":"), "p99.9 is exported");
+    }
+
+    #[test]
+    fn gc_cycle_record_round_trips_through_bytes() {
+        for kind in GcKind::ALL {
+            for reason in GcReason::ALL {
+                let rec = GcCycleRecord {
+                    kind,
+                    reason,
+                    end_ns: 123_456_789,
+                    pause_ns: 42_000,
+                    scanned: 1000,
+                    reclaimed: 37,
+                    flagged: 5,
+                    occupancy_before: 900,
+                    occupancy_after: 863,
+                };
+                let bytes = rec.to_bytes();
+                assert_eq!(bytes.len(), GcCycleRecord::ENCODED_LEN);
+                assert_eq!(GcCycleRecord::from_bytes(&bytes), Some(rec));
+            }
+        }
+        assert_eq!(GcCycleRecord::from_bytes(&[]), None);
+        assert_eq!(GcCycleRecord::from_bytes(&[9; GcCycleRecord::ENCODED_LEN]), None);
+        let mut short = vec![0; GcCycleRecord::ENCODED_LEN - 1];
+        short[0] = 0;
+        assert_eq!(GcCycleRecord::from_bytes(&short), None);
+    }
+
+    #[test]
+    fn metrics_registry_accounts_gc_cycles_and_debt() {
+        let mut m = MetricsRegistry::new();
+        for i in 0..3u32 {
+            m.monitor_created(MonitorId::from_raw(i), &Binding::BOTTOM);
+        }
+        assert_eq!(m.gc_debt(), 3, "creations accrue debt");
+        m.gc_cycle(&GcCycleRecord {
+            kind: GcKind::MonitorSweep,
+            reason: GcReason::Forced,
+            end_ns: 1000,
+            pause_ns: 100,
+            scanned: 3,
+            reclaimed: 2,
+            flagged: 1,
+            occupancy_before: 3,
+            occupancy_after: 1,
+        });
+        assert_eq!(m.gc_debt(), 1, "sweep reclaim pays debt down");
+        m.gc_cycle(&GcCycleRecord {
+            kind: GcKind::HeapCollect,
+            reason: GcReason::Periodic,
+            end_ns: 2000,
+            pause_ns: 50,
+            scanned: 10,
+            reclaimed: 4,
+            flagged: 0,
+            occupancy_before: 10,
+            occupancy_after: 6,
+        });
+        assert_eq!(m.gc_debt(), 1, "heap cycles do not touch monitor debt");
+        assert_eq!(m.gc_cycles(GcKind::MonitorSweep, GcReason::Forced), 1);
+        assert_eq!(m.gc_cycles(GcKind::HeapCollect, GcReason::Periodic), 1);
+        assert_eq!(m.gc_cycles_total(GcKind::MonitorSweep), 1);
+        assert_eq!(m.gc_scanned(GcKind::MonitorSweep), 3);
+        assert_eq!(m.gc_reclaimed(GcKind::HeapCollect), 4);
+        assert_eq!(m.gc_pause(GcKind::MonitorSweep).count(), 1);
+        assert_eq!(m.gc_pauses(), &[(1000, 100), (2000, 50)]);
+
+        // Merge aggregates all GC state.
+        let mut other = MetricsRegistry::new();
+        other.gc_cycle(&GcCycleRecord {
+            kind: GcKind::MonitorSweep,
+            reason: GcReason::Budget,
+            end_ns: 500,
+            pause_ns: 10,
+            scanned: 1,
+            reclaimed: 0,
+            flagged: 0,
+            occupancy_before: 1,
+            occupancy_after: 1,
+        });
+        m.merge_from(&other);
+        assert_eq!(m.gc_cycles_total(GcKind::MonitorSweep), 2);
+        assert_eq!(m.gc_pauses().len(), 3);
+        assert_eq!(m.gc_pause(GcKind::MonitorSweep).count(), 2);
+
+        let json = m.snapshot_json();
+        assert!(json.contains("\"gc_debt\":1"), "{json}");
+        assert!(json.contains("\"gc_monitor_sweep_forced_cycles\":1"), "{json}");
+        assert!(json.contains("\"gc_heap_periodic_cycles\":1"), "{json}");
+        assert!(json.contains("\"gc_pause_monitor_sweep_ns\""), "{json}");
+        assert!(json.contains("\"event_latency_ns\""), "{json}");
+    }
+
+    #[test]
+    fn mmu_matches_hand_computed_windows() {
+        // One 10 ns pause ending at t=50 in a 100 ns span.
+        let pauses = [(50u64, 10u64)];
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+        assert!(close(mmu(&pauses, 100, 100), 0.9), "whole span: 90 of 100 mutating");
+        assert!(close(mmu(&pauses, 100, 10), 0.0), "a 10 ns window fits inside the pause");
+        assert!(close(mmu(&pauses, 100, 20), 0.5), "worst 20 ns window holds the full pause");
+        assert!(close(mmu(&pauses, 100, 40), 0.75), "worst 40 ns window holds the full pause");
+
+        // Two adjacent pauses merge their effect within one window.
+        let two = [(20u64, 10u64), (40u64, 10u64)];
+        assert!(close(mmu(&two, 100, 30), 1.0 / 3.0), "window [10,40) holds both pauses");
+        assert!(close(mmu(&two, 100, 100), 0.8));
+
+        // No pauses: utilization 1 at every window.
+        assert!(close(mmu(&[], 100, 10), 1.0));
+        assert!(close(mmu(&[], 100, 1000), 1.0), "window wider than span");
+
+        // Degenerate inputs.
+        assert!(close(mmu(&pauses, 100, 0), 0.0), "zero window is defined as 0");
+
+        let curve = mmu_curve(&pauses, 100, &[10, 20, 100]);
+        assert_eq!(curve.len(), 3);
+        assert!(close(curve[0].1, 0.0) && close(curve[1].1, 0.5) && close(curve[2].1, 0.9));
+        assert!(
+            curve.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-9),
+            "MMU is monotone in window size for a single pause"
+        );
     }
 }

@@ -36,8 +36,8 @@ use rv_logic::{Alphabet, EventDef, EventId, ParamSet, Verdict};
 
 use crate::binding::Binding;
 use crate::obs::{
-    json_escape, json_f64, EngineObserver, FlagCause, Histogram, MetricsRegistry, Phase,
-    HISTOGRAM_BUCKETS,
+    json_escape, json_f64, EngineObserver, FlagCause, GcCycleRecord, GcKind, GcReason, Histogram,
+    MetricsRegistry, Phase, HISTOGRAM_BUCKETS,
 };
 use crate::store::MonitorId;
 
@@ -216,6 +216,210 @@ impl EngineObserver for PhaseProfiler {
         self.exits[i] = self.exits[i].saturating_add(1);
         self.spans[i].record(nanos);
     }
+}
+
+// ---------------------------------------------------------------------------
+// SpanLog + Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+/// One completed span on a timeline lane, in nanoseconds since the
+/// owning [`SpanLog`]'s creation.
+#[derive(Clone, Debug)]
+pub struct TimelineSpan {
+    /// Display name (a [`Phase`] label, or `gc:<kind>` for GC cycles).
+    pub name: String,
+    /// Chrome trace category: `"phase"` or `"gc"`.
+    pub cat: &'static str,
+    /// Span start, nanoseconds since the log's epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Cap on spans a [`SpanLog`] retains; later spans are counted in
+/// [`SpanLog::dropped`] instead (the timeline is then a prefix).
+pub const MAX_TIMELINE_SPANS: usize = 1 << 18;
+
+/// An [`EngineObserver`] that captures every timed phase span and GC
+/// cycle as a `(start, duration)` interval on one timeline, for Chrome
+/// trace-event export ([`chrome_trace_json`]). Each log is one lane
+/// (`tid`) in the exported trace; shard workers get one log each.
+#[derive(Debug)]
+pub struct SpanLog {
+    epoch: Instant,
+    spans: Vec<TimelineSpan>,
+    dropped: u64,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog::new()
+    }
+}
+
+impl SpanLog {
+    /// An empty log; its creation instant becomes the lane's time origin.
+    #[must_use]
+    pub fn new() -> SpanLog {
+        SpanLog { epoch: Instant::now(), spans: Vec::new(), dropped: 0 }
+    }
+
+    /// The captured spans, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> &[TimelineSpan] {
+        &self.spans
+    }
+
+    /// Spans discarded after the [`MAX_TIMELINE_SPANS`] cap was hit.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of captured spans whose name is `name`.
+    #[must_use]
+    pub fn count_named(&self, name: &str) -> u64 {
+        self.spans.iter().filter(|s| s.name == name).count() as u64
+    }
+
+    fn push(&mut self, name: String, cat: &'static str, dur_ns: u64) {
+        if self.spans.len() >= MAX_TIMELINE_SPANS {
+            self.dropped += 1;
+            return;
+        }
+        // The callback arrives at span *end*: anchor the start by
+        // subtracting the duration from now.
+        let now = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.spans.push(TimelineSpan { name, cat, start_ns: now.saturating_sub(dur_ns), dur_ns });
+    }
+}
+
+impl EngineObserver for SpanLog {
+    fn phase_timed(&mut self, phase: Phase, nanos: u64) {
+        self.push(phase.label().to_owned(), "phase", nanos);
+    }
+
+    fn gc_cycle(&mut self, record: &GcCycleRecord) {
+        self.push(
+            format!("gc:{} ({})", record.kind.label(), record.reason.label()),
+            "gc",
+            record.pause_ns,
+        );
+    }
+}
+
+/// Renders one or more [`SpanLog`] lanes as Chrome trace-event JSON
+/// (loadable in Perfetto / `chrome://tracing`). Each lane becomes a
+/// `tid` under `pid` 0, named by a thread-name metadata event; every
+/// phase span becomes a balanced `B`/`E` duration pair with microsecond
+/// timestamps, and every GC cycle becomes a single `X` complete event
+/// (GC pauses overlap the phase span that timed them without nesting,
+/// and `B`/`E` pairs on one `tid` must nest — `X` events need not).
+/// Events are ordered so equal-timestamp pairs nest correctly: at a
+/// tie, `E` events close before `B`/`X` events open, outer (longer)
+/// spans open first, and inner (shorter) spans close first.
+#[must_use]
+pub fn chrome_trace_json(lanes: &[(String, &SpanLog)]) -> String {
+    struct Ev<'a> {
+        tid: usize,
+        ts_ns: u64,
+        /// Tiebreak class: 0 = E, 1 = B/X (E first at equal ts).
+        open: bool,
+        /// `X` complete event (GC cycle) instead of a `B`/`E` pair.
+        complete: bool,
+        /// Duration for nesting tiebreaks (and the `X` event `dur`).
+        dur_ns: u64,
+        name: &'a str,
+        cat: &'a str,
+    }
+    let mut events: Vec<Ev<'_>> = Vec::new();
+    for (tid, (_, log)) in lanes.iter().enumerate() {
+        for s in log.spans() {
+            if s.cat == "gc" {
+                events.push(Ev {
+                    tid,
+                    ts_ns: s.start_ns,
+                    open: true,
+                    complete: true,
+                    dur_ns: s.dur_ns,
+                    name: &s.name,
+                    cat: s.cat,
+                });
+                continue;
+            }
+            events.push(Ev {
+                tid,
+                ts_ns: s.start_ns,
+                open: true,
+                complete: false,
+                dur_ns: s.dur_ns,
+                name: &s.name,
+                cat: s.cat,
+            });
+            events.push(Ev {
+                tid,
+                ts_ns: s.start_ns.saturating_add(s.dur_ns),
+                open: false,
+                complete: false,
+                dur_ns: s.dur_ns,
+                name: &s.name,
+                cat: s.cat,
+            });
+        }
+    }
+    events.sort_by(|a, b| {
+        a.ts_ns.cmp(&b.ts_ns).then_with(|| a.open.cmp(&b.open)).then_with(|| {
+            if a.open {
+                b.dur_ns.cmp(&a.dur_ns) // outer (longer) spans open first
+            } else {
+                a.dur_ns.cmp(&b.dur_ns) // inner (shorter) spans close first
+            }
+        })
+    });
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, (name, _)) in lanes.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        );
+    }
+    for e in &events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if e.complete {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{}}}",
+                json_escape(e.name),
+                e.cat,
+                json_f64(e.ts_ns as f64 / 1000.0),
+                json_f64(e.dur_ns as f64 / 1000.0),
+                e.tid
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                json_escape(e.name),
+                e.cat,
+                if e.open { "B" } else { "E" },
+                json_f64(e.ts_ns as f64 / 1000.0),
+                e.tid
+            );
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -496,8 +700,13 @@ fn prom_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
     }
     let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", h.count());
     let bare = labels.trim_end_matches(',');
-    let _ = writeln!(out, "{name}_sum{{{bare}}} {}", h.sum());
-    let _ = writeln!(out, "{name}_count{{{bare}}} {}", h.count());
+    if bare.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum());
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{bare}}} {}", h.sum());
+        let _ = writeln!(out, "{name}_count{{{bare}}} {}", h.count());
+    }
 }
 
 fn prom_escape(s: &str) -> String {
@@ -537,6 +746,62 @@ pub fn prometheus_text(metrics: &MetricsRegistry, profilers: &[PhaseProfiler]) -
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {value}");
+    }
+    let _ = writeln!(out, "# HELP rvmon_gc_cycles_total GC cycles by collector kind and reason");
+    let _ = writeln!(out, "# TYPE rvmon_gc_cycles_total counter");
+    for kind in GcKind::ALL {
+        for reason in GcReason::ALL {
+            let _ = writeln!(
+                out,
+                "rvmon_gc_cycles_total{{kind=\"{}\",reason=\"{}\"}} {}",
+                kind.label(),
+                reason.label(),
+                metrics.gc_cycles(kind, reason)
+            );
+        }
+    }
+    let _ = writeln!(out, "# HELP rvmon_gc_scanned_total Objects/monitors examined by GC cycles");
+    let _ = writeln!(out, "# TYPE rvmon_gc_scanned_total counter");
+    for kind in GcKind::ALL {
+        let _ = writeln!(
+            out,
+            "rvmon_gc_scanned_total{{kind=\"{}\"}} {}",
+            kind.label(),
+            metrics.gc_scanned(kind)
+        );
+    }
+    let _ =
+        writeln!(out, "# HELP rvmon_gc_reclaimed_total Objects/monitors reclaimed by GC cycles");
+    let _ = writeln!(out, "# TYPE rvmon_gc_reclaimed_total counter");
+    for kind in GcKind::ALL {
+        let _ = writeln!(
+            out,
+            "rvmon_gc_reclaimed_total{{kind=\"{}\"}} {}",
+            kind.label(),
+            metrics.gc_reclaimed(kind)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP rvmon_gc_debt Monitors created since the last sweep minus monitors it reclaimed"
+    );
+    let _ = writeln!(out, "# TYPE rvmon_gc_debt gauge");
+    let _ = writeln!(out, "rvmon_gc_debt {}", metrics.gc_debt());
+    let _ = writeln!(out, "# HELP rvmon_gc_pause_ns Stop-the-world GC pause durations (ns)");
+    let _ = writeln!(out, "# TYPE rvmon_gc_pause_ns histogram");
+    for kind in GcKind::ALL {
+        let h = metrics.gc_pause(kind);
+        if h.count() == 0 {
+            continue;
+        }
+        let labels = format!("kind=\"{}\",", kind.label());
+        prom_histogram(&mut out, "rvmon_gc_pause_ns", &labels, h);
+    }
+    let _ =
+        writeln!(out, "# HELP rvmon_event_latency_ns End-to-end per-event dispatch latency (ns)");
+    let _ = writeln!(out, "# TYPE rvmon_event_latency_ns histogram");
+    if metrics.event_latency_ns().count() > 0 {
+        prom_histogram(&mut out, "rvmon_event_latency_ns", "", metrics.event_latency_ns());
     }
     let _ = writeln!(
         out,
@@ -743,5 +1008,163 @@ mod tests {
             })
             .expect("le=4 bucket present");
         assert!(bucket_4.ends_with(" 1"), "{bucket_4}");
+    }
+
+    /// Satellite: label values are attacker-ish input (property names come
+    /// from user specs) — backslashes, quotes, and newlines must be
+    /// escaped per the exposition format.
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(prom_escape(r"a\b"), r"a\\b");
+        assert_eq!(prom_escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(prom_escape("two\nlines"), "two\\nlines");
+        let input = "\\\"\n"; // one backslash, one quote, one newline
+        let expected: String = ["\\\\", "\\\"", "\\n"].concat();
+        assert_eq!(
+            prom_escape(input),
+            expected,
+            "backslash escapes first so later escapes are not double-escaped"
+        );
+
+        let m = MetricsRegistry::new();
+        let mut prof = PhaseProfiler::new().with_label("Evil\\Prop\"v1\"\nrest");
+        prof.phase_timed(Phase::Sweep, 10);
+        let text = prometheus_text(&m, &[prof]);
+        let label_line = text
+            .lines()
+            .find(|l| l.starts_with("rvmon_profile_spans_total{"))
+            .expect("span counter rendered");
+        assert!(label_line.contains("property=\"Evil\\\\Prop\\\"v1\\\"\\nrest\""), "{label_line}");
+        assert!(!text.contains("v1\"\n"), "no raw newline survives inside a label value");
+    }
+
+    #[test]
+    fn prometheus_text_renders_gc_and_latency_series() {
+        let mut m = MetricsRegistry::new();
+        m.gc_cycle(&GcCycleRecord {
+            kind: GcKind::MonitorSweep,
+            reason: GcReason::Forced,
+            end_ns: 5_000,
+            pause_ns: 700,
+            scanned: 12,
+            reclaimed: 3,
+            flagged: 1,
+            occupancy_before: 12,
+            occupancy_after: 9,
+        });
+        m.event_latency(1234);
+        let text = prometheus_text(&m, &[]);
+        assert!(
+            text.contains("rvmon_gc_cycles_total{kind=\"monitor_sweep\",reason=\"forced\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("rvmon_gc_cycles_total{kind=\"heap\",reason=\"periodic\"} 0"));
+        assert!(text.contains("rvmon_gc_scanned_total{kind=\"monitor_sweep\"} 12"), "{text}");
+        assert!(text.contains("rvmon_gc_reclaimed_total{kind=\"monitor_sweep\"} 3"), "{text}");
+        assert!(text.contains("rvmon_gc_debt 0"), "{text}");
+        assert!(
+            text.contains("rvmon_gc_pause_ns_bucket{kind=\"monitor_sweep\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("rvmon_event_latency_ns_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("rvmon_event_latency_ns_sum 1234"), "{text}");
+        assert!(text.contains("rvmon_event_latency_ns_count 1"), "{text}");
+        // Lint invariants the ci smoke stage also checks: every counter
+        // family ends in _total and no duplicate series lines exist.
+        let mut seen = std::collections::HashSet::new();
+        let mut family_type = std::collections::HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let fam = it.next().unwrap();
+                let ty = it.next().unwrap();
+                family_type.insert(fam.to_string(), ty.to_string());
+                if ty == "counter" {
+                    assert!(fam.ends_with("_total"), "counter family without _total: {fam}");
+                }
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let series = line.rsplit_once(' ').unwrap().0;
+                assert!(seen.insert(series.to_string()), "duplicate series: {series}");
+            }
+        }
+        assert_eq!(family_type.get("rvmon_gc_debt").map(String::as_str), Some("gauge"));
+    }
+
+    #[test]
+    fn span_log_exports_a_balanced_chrome_trace() {
+        let mut log = SpanLog::new();
+        log.phase_timed(Phase::IndexLookup, 1_000);
+        log.phase_timed(Phase::Transition, 2_000);
+        log.phase_timed(Phase::Sweep, 500);
+        log.gc_cycle(&GcCycleRecord {
+            kind: GcKind::MonitorSweep,
+            reason: GcReason::Forced,
+            end_ns: 9_000,
+            pause_ns: 500,
+            scanned: 1,
+            reclaimed: 1,
+            flagged: 0,
+            occupancy_before: 1,
+            occupancy_after: 0,
+        });
+        assert_eq!(log.spans().len(), 4);
+        assert_eq!(log.count_named("index_lookup"), 1);
+        assert_eq!(log.count_named("gc:monitor_sweep (forced)"), 1);
+
+        let mut other = SpanLog::new();
+        other.phase_timed(Phase::ShardRoute, 100);
+        let json = chrome_trace_json(&[("main".to_owned(), &log), ("shard-0".to_owned(), &other)]);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"M\""), "lane metadata present: {json}");
+        assert!(json.contains("\"args\":{\"name\":\"shard-0\"}"), "{json}");
+
+        // GC cycles export as single `X` complete events (they overlap
+        // the sweep phase span without nesting); phases as B/E pairs.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1, "{json}");
+        assert!(
+            json.contains("\"name\":\"gc:monitor_sweep (forced)\",\"cat\":\"gc\",\"ph\":\"X\""),
+            "{json}"
+        );
+        assert!(json.contains("\"dur\":0.5"), "X events carry their duration: {json}");
+
+        // Balanced B/E pairs per lane, with monotone timestamps.
+        for tid in 0..2 {
+            let mut depth = 0i64;
+            let mut last_ts = f64::MIN;
+            let mut pairs = 0;
+            for chunk in json.split("},{") {
+                if !chunk.contains(&format!("\"tid\":{tid}")) || chunk.contains("\"ph\":\"M\"") {
+                    continue;
+                }
+                let ts: f64 = chunk
+                    .split("\"ts\":")
+                    .nth(1)
+                    .and_then(|r| r.split(',').next())
+                    .and_then(|v| v.parse().ok())
+                    .expect("ts field");
+                assert!(ts >= last_ts, "timestamps monotone within lane {tid}: {json}");
+                last_ts = ts;
+                if chunk.contains("\"ph\":\"B\"") {
+                    depth += 1;
+                    pairs += 1;
+                } else if chunk.contains("\"ph\":\"E\"") {
+                    depth -= 1;
+                    assert!(depth >= 0, "E before matching B in lane {tid}");
+                }
+            }
+            assert_eq!(depth, 0, "unbalanced spans in lane {tid}");
+            let expected = if tid == 0 { 3 } else { 1 };
+            assert_eq!(pairs, expected, "one B per captured phase span in lane {tid}");
+        }
+    }
+
+    #[test]
+    fn span_log_is_bounded() {
+        let mut log = SpanLog::new();
+        for _ in 0..(MAX_TIMELINE_SPANS + 10) {
+            log.phase_timed(Phase::IndexLookup, 1);
+        }
+        assert_eq!(log.spans().len(), MAX_TIMELINE_SPANS);
+        assert_eq!(log.dropped(), 10);
     }
 }

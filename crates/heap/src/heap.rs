@@ -2,9 +2,34 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use crate::object::{ClassId, ObjId, WeakRef};
 use crate::stats::HeapStats;
+
+/// One completed heap collection, kept in a bounded in-heap log so
+/// observability layers (which rv-heap cannot depend on) can drain and
+/// re-emit cycles as their own record types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapCycle {
+    /// `true` for an explicit [`Heap::collect`] call; `false` when the
+    /// allocation budget (`gc_every_allocs`) triggered the cycle.
+    pub forced: bool,
+    /// Nanoseconds since heap creation at which the pause ended.
+    pub end_ns: u64,
+    /// Stop-the-world duration of the mark-sweep in nanoseconds.
+    pub pause_ns: u64,
+    /// Live objects examined by the cycle (occupancy before).
+    pub live_before: u64,
+    /// Objects reclaimed.
+    pub swept: u64,
+    /// Live objects surviving the cycle.
+    pub live_after: u64,
+}
+
+/// Cap on the per-heap [`HeapCycle`] log; once full, further cycles are
+/// counted in [`HeapStats`] but not individually logged.
+pub const MAX_HEAP_CYCLES: usize = 1 << 16;
 
 /// Configuration for a [`Heap`].
 #[derive(Clone, Debug)]
@@ -93,6 +118,10 @@ pub struct Heap {
     mark_scratch: Vec<u32>,
     /// Armed fault injection, if any (see [`Heap::arm_doom`]).
     doom: Option<Box<DoomState>>,
+    /// Creation instant: time origin for [`HeapCycle::end_ns`].
+    epoch: Instant,
+    /// Bounded log of completed collections, drained by observers.
+    cycles: Vec<HeapCycle>,
 }
 
 impl Heap {
@@ -111,6 +140,8 @@ impl Heap {
             class_names: Vec::new(),
             mark_scratch: Vec::new(),
             doom: None,
+            epoch: Instant::now(),
+            cycles: Vec::new(),
         }
     }
 
@@ -142,7 +173,7 @@ impl Heap {
     pub fn alloc(&mut self, class: ClassId) -> ObjId {
         if let Some(period) = self.config.gc_every_allocs {
             if self.allocs_since_gc >= period {
-                self.collect();
+                self.collect_inner(false);
             }
         }
         self.allocs_since_gc += 1;
@@ -329,6 +360,12 @@ impl Heap {
     /// collection reclaims the genuinely unreachable objects, making the
     /// injected deaths real.
     pub fn collect(&mut self) -> usize {
+        self.collect_inner(true)
+    }
+
+    fn collect_inner(&mut self, forced: bool) -> usize {
+        let live_before = self.live;
+        let t_pause = Instant::now();
         self.doom = None;
         self.stats.collections += 1;
         self.allocs_since_gc = 0;
@@ -383,7 +420,26 @@ impl Heap {
         }
         self.live -= swept;
         self.stats.swept += swept as u64;
+        let pause_ns = u64::try_from(t_pause.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stats.gc_pause_ns = self.stats.gc_pause_ns.saturating_add(pause_ns);
+        if self.cycles.len() < MAX_HEAP_CYCLES {
+            self.cycles.push(HeapCycle {
+                forced,
+                end_ns: u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                pause_ns,
+                live_before: live_before as u64,
+                swept: swept as u64,
+                live_after: self.live as u64,
+            });
+        }
         swept
+    }
+
+    /// Drains the bounded log of completed collections, oldest first.
+    /// Observability layers call this after driving the heap to convert
+    /// cycles into their own telemetry records.
+    pub fn drain_cycles(&mut self) -> Vec<HeapCycle> {
+        std::mem::take(&mut self.cycles)
     }
 
     /// A snapshot of the heap statistics accumulated so far.

@@ -43,6 +43,6 @@ mod object;
 mod stats;
 
 pub use crate::chaos::{ChaosConfig, ChaosHeap, ChaosStats, SplitMix64};
-pub use crate::heap::{FrameToken, Heap, HeapConfig};
+pub use crate::heap::{FrameToken, Heap, HeapConfig, HeapCycle, MAX_HEAP_CYCLES};
 pub use crate::object::{ClassId, ObjId, WeakRef};
 pub use crate::stats::HeapStats;

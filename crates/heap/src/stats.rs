@@ -15,6 +15,8 @@ pub struct HeapStats {
     pub live: usize,
     /// Maximum number of simultaneously live objects observed.
     pub peak_live: usize,
+    /// Total stop-the-world nanoseconds spent in collections.
+    pub gc_pause_ns: u64,
 }
 
 impl HeapStats {
@@ -23,8 +25,14 @@ impl HeapStats {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"allocations\":{},\"collections\":{},\"swept\":{},\"live\":{},\"peak_live\":{}}}",
-            self.allocations, self.collections, self.swept, self.live, self.peak_live
+            "{{\"allocations\":{},\"collections\":{},\"swept\":{},\"live\":{},\"peak_live\":{},\
+             \"gc_pause_ns\":{}}}",
+            self.allocations,
+            self.collections,
+            self.swept,
+            self.live,
+            self.peak_live,
+            self.gc_pause_ns
         )
     }
 }
@@ -45,7 +53,15 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let s = HeapStats { allocations: 3, collections: 1, swept: 2, live: 1, peak_live: 3 };
+        let s = HeapStats {
+            allocations: 3,
+            collections: 1,
+            swept: 2,
+            live: 1,
+            peak_live: 3,
+            gc_pause_ns: 0,
+        };
         assert_eq!(format!("{s}"), "allocs=3 collections=1 swept=2 live=1 peak=3");
+        assert!(s.to_json().contains("\"gc_pause_ns\":0"));
     }
 }

@@ -69,6 +69,19 @@
 //! rvmon replay  <journal-dir>
 //!                           audit a journal by re-executing it from
 //!                           sequence 0, printing triggers and statistics
+//! rvmon gc-log  <journal-dir>
+//!                           GC observatory: decode the journal's GC-cycle
+//!                           telemetry records into a per-cycle table
+//!                           (kind, reason, pause, scanned/reclaimed,
+//!                           occupancy before→after), per-kind totals,
+//!                           and an MMU (minimum mutator utilization)
+//!                           summary at several window sizes
+//! rvmon timeline <spec.rv> <events-file> [--out FILE]
+//!                           run the trace with span-log observers and
+//!                           export one Chrome trace-event JSON timeline
+//!                           (Perfetto-loadable): one lane per property
+//!                           block carrying its phase spans and GC
+//!                           cycles; written to FILE or stdout
 //! ```
 //!
 //! The `trace` event file is line-oriented: `event obj…` dispatches an
@@ -85,9 +98,11 @@ use rv_monitor::spec::{compile, parse, print, CompiledSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `recover`, `replay`, and `top` operate on a journal directory, not
-    // a spec file — dispatch them before the spec-reading path below.
-    if let Some(cmd @ ("recover" | "replay" | "top")) = args.first().map(String::as_str) {
+    // `recover`, `replay`, `top`, and `gc-log` operate on a journal
+    // directory, not a spec file — dispatch them before the spec-reading
+    // path below.
+    if let Some(cmd @ ("recover" | "replay" | "top" | "gc-log")) = args.first().map(String::as_str)
+    {
         let [_, dir] = args.as_slice() else {
             eprintln!("usage: rvmon {cmd} <journal-dir>");
             return ExitCode::from(2);
@@ -96,6 +111,7 @@ fn main() -> ExitCode {
         return match cmd {
             "recover" => recover(dir),
             "replay" => replay(dir),
+            "gc-log" => gc_log(dir),
             _ => top(dir),
         };
     }
@@ -103,9 +119,9 @@ fn main() -> ExitCode {
         [cmd, path, rest @ ..] => (cmd.as_str(), path.as_str(), rest),
         _ => {
             eprintln!(
-                "usage: rvmon <check|analyze|fmt|dfa|prune|trace|explain|serve|chaos|run> \
+                "usage: rvmon <check|analyze|fmt|dfa|prune|trace|explain|serve|timeline|chaos|run> \
                  <spec-file> [emitted-events|events-file|--seed N --events M|--journal DIR] \
-                 | rvmon <recover|replay|top> <journal-dir>"
+                 | rvmon <recover|replay|top|gc-log> <journal-dir>"
             );
             return ExitCode::from(2);
         }
@@ -131,6 +147,7 @@ fn main() -> ExitCode {
         "trace" => trace(path, &source, rest),
         "explain" => explain(path, &source, rest),
         "serve" => serve(path, &source, rest),
+        "timeline" => timeline(path, &source, rest),
         "chaos" => chaos(path, &source, rest),
         "run" => run(path, &source, rest),
         other => {
@@ -594,7 +611,8 @@ fn explain(path: &str, source: &str, rest: &[String]) -> ExitCode {
 /// `rvmon serve` — run the events file with a `MetricsRegistry` and a
 /// `PhaseProfiler` on every property block, then serve the merged
 /// Prometheus text exposition over a std-only HTTP endpoint
-/// (`std::net::TcpListener`; any path answers `text/plain; version=0.0.4`).
+/// (`std::net::TcpListener`; any path answers `text/plain; version=0.0.4`,
+/// except `/healthz`, which answers a plain-text liveness summary).
 fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
     use std::io::{Read as _, Write as _};
 
@@ -663,6 +681,17 @@ fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
         profilers.push(profiler.clone());
     }
     let body = prometheus_text(&merged, &profilers);
+    // `/healthz` liveness: the engine finished the trace, so report what
+    // it processed — a scraper that sees this body knows the monitor is
+    // alive and did real work, without parsing the full exposition.
+    let stats = monitor.stats();
+    let health = format!(
+        "ok\nblocks {}\nevents {}\ntriggers {}\nmonitors_live {}\n",
+        monitor.engines().len(),
+        stats.events,
+        stats.triggers,
+        stats.monitors_created - stats.monitors_collected
+    );
 
     let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
         Ok(l) => l,
@@ -687,13 +716,35 @@ fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
     let _ = std::io::stdout().flush();
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
-        // Drain the request head; the same exposition answers any path.
+        // Drain the request head and pull the path out of the request
+        // line; the same exposition answers any path except `/healthz`.
+        // Requests may arrive in several segments, so keep reading until
+        // the blank line ends the head (or the buffer fills / EOF).
         let mut buf = [0u8; 4096];
-        let _ = stream.read(&mut buf);
+        let mut n = 0;
+        while n < buf.len() {
+            match stream.read(&mut buf[n..]) {
+                Ok(0) | Err(_) => break,
+                Ok(read) => {
+                    n += read;
+                    if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let head = String::from_utf8_lossy(&buf[..n]);
+        let req_path =
+            head.lines().next().and_then(|line| line.split_whitespace().nth(1)).unwrap_or("/");
+        let (content_type, payload) = if req_path == "/healthz" {
+            ("text/plain; charset=utf-8", health.as_str())
+        } else {
+            ("text/plain; version=0.0.4; charset=utf-8", body.as_str())
+        };
         let response = format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            payload.len()
         );
         let _ = stream.write_all(response.as_bytes());
         let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -704,13 +755,102 @@ fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `rvmon timeline` — run the events file with a [`SpanLog`] observer on
+/// every property block, then export the whole run as one Chrome
+/// trace-event JSON timeline (loadable in Perfetto or `chrome://tracing`):
+/// one lane per block, carrying its engine phase spans and GC cycles
+/// (monitor sweeps, plus the heap's own collections on the first lane).
+///
+/// [`SpanLog`]: rv_monitor::core::SpanLog
+fn timeline(path: &str, source: &str, rest: &[String]) -> ExitCode {
+    use rv_monitor::core::{chrome_trace_json, EngineConfig, PropertyMonitor, SpanLog};
+    use rv_monitor::heap::{Heap, HeapConfig};
+
+    let usage = || {
+        eprintln!("usage: rvmon timeline <spec-file> <events-file> [--out FILE]");
+        ExitCode::from(2)
+    };
+    let mut events_path: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.as_str()),
+                None => return usage(),
+            },
+            other if events_path.is_none() && !other.starts_with("--") => {
+                events_path = Some(other);
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(events_path) = events_path else {
+        return usage();
+    };
+    let spec = match compile_or_report(path, source) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let events = match std::fs::read_to_string(events_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {events_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec_name = spec.name.clone();
+    let config = EngineConfig::default();
+    let mut monitor = PropertyMonitor::with_observers(spec, &config, |_| SpanLog::new());
+    let mut heap = Heap::new(HeapConfig::manual());
+    if let Err(msg) = drive_trace(&mut monitor, &mut heap, events_path, &events) {
+        eprintln!("{msg}");
+        return ExitCode::from(1);
+    }
+    // Heap collections accumulated over the trace land on the first lane
+    // (the heap is shared, so exactly one lane may consume its log).
+    monitor.observe_heap_cycles(&mut heap);
+    monitor.finish(&heap);
+
+    let lanes: Vec<(String, &SpanLog)> = monitor
+        .engines()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (format!("{spec_name}/block{}", i + 1), e.observer()))
+        .collect();
+    let dropped: u64 = lanes.iter().map(|(_, log)| log.dropped()).sum();
+    if dropped > 0 {
+        eprintln!("rvmon: note: {dropped} span(s) beyond the per-lane cap were dropped");
+    }
+    let trace_json = chrome_trace_json(&lanes);
+    match out_path {
+        Some(file) => {
+            if let Err(e) = std::fs::write(file, &trace_json) {
+                eprintln!("rvmon: cannot write {file}: {e}");
+                return ExitCode::from(2);
+            }
+            let spans: usize = lanes.iter().map(|(_, log)| log.spans().len()).sum();
+            println!(
+                "wrote Chrome trace ({} byte(s), {} lane(s), {} span(s)) to {file}",
+                trace_json.len(),
+                lanes.len(),
+                spans
+            );
+        }
+        None => println!("{trace_json}"),
+    }
+    ExitCode::SUCCESS
+}
+
 /// `rvmon top` — one-shot cost table for a journaled run: re-executes
 /// the journal from sequence 0 with metrics + profiler observers and
 /// prints per-phase span counts, p50/p95/p99 and totals, plus the
 /// E/M/FM/CM counters.
 fn top(dir: &std::path::Path) -> ExitCode {
+    use rv_monitor::core::journal::AUX_GC_CYCLE;
     use rv_monitor::core::{
-        read_journal, EngineConfig, MetricsRegistry, Phase, PhaseProfiler, PropertyMonitor,
+        read_journal, EngineConfig, GcCycleRecord, MetricsRegistry, Phase, PhaseProfiler,
+        PropertyMonitor, Record,
     };
 
     let fail = |msg: String| {
@@ -779,6 +919,27 @@ fn top(dir: &std::path::Path) -> ExitCode {
         stats.monitors_collected,
         stats.triggers
     );
+    // The journaled GC telemetry, if the run recorded any — one line
+    // here, the full per-cycle table under `rvmon gc-log`.
+    let gc: Vec<GcCycleRecord> = scan
+        .records
+        .iter()
+        .filter_map(|sr| match &sr.record {
+            Record::Aux { tag, bytes } if *tag == AUX_GC_CYCLE => GcCycleRecord::from_bytes(bytes),
+            _ => None,
+        })
+        .collect();
+    if !gc.is_empty() {
+        let pause: u64 = gc.iter().map(|c| c.pause_ns).sum();
+        let reclaimed: u64 = gc.iter().map(|c| c.reclaimed).sum();
+        println!(
+            "gc: {} journaled cycle(s), {} ns total pause, {} reclaimed — `rvmon gc-log` \
+             has the table",
+            gc.len(),
+            pause,
+            reclaimed
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -812,9 +973,12 @@ fn append_timed(
 
 #[allow(clippy::too_many_lines)]
 fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8, String)> {
-    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_SPEC, AUX_SWEEP};
+    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_GC_CYCLE, AUX_SPEC, AUX_SWEEP};
     use rv_monitor::core::snapshot::write_checkpoint;
-    use rv_monitor::core::{Binding, EngineConfig, JournalWriter, PropertyMonitor, Record};
+    use rv_monitor::core::{
+        Binding, EngineConfig, EngineObserver as _, GcCycleRecord, GcReason, JournalWriter,
+        MetricsRegistry, PropertyMonitor, Record,
+    };
     use rv_monitor::heap::{Heap, HeapConfig};
 
     let mut events_path: Option<&str> = None;
@@ -877,7 +1041,10 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
     let alphabet = spec.alphabet.clone();
     let event_params = spec.event_params.clone();
     let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
-    let mut monitor = PropertyMonitor::new(spec, &config);
+    // A metrics observer on every block turns the GC telemetry on: with
+    // it enabled, sweeps hand back per-cycle records the journal keeps as
+    // AUX_GC_CYCLE payloads for `rvmon gc-log` to decode.
+    let mut monitor = PropertyMonitor::with_observers(spec, &config, |_| MetricsRegistry::new());
 
     let io = |e: std::io::Error| (2u8, format!("journal write failed: {e}"));
     let mut journal = JournalWriter::create(journal_dir).map_err(io)?;
@@ -918,6 +1085,21 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
                 )
                 .map_err(io)?;
                 heap.collect();
+                // The collection just finished is in the heap's cycle
+                // log: journal it as telemetry and deliver it to the
+                // first block's observer (one consumer per shared heap).
+                for c in heap.drain_cycles() {
+                    let rec = GcCycleRecord::from_heap_cycle(&c);
+                    append_timed(
+                        &mut journal,
+                        &mut jprof,
+                        &Record::Aux { tag: AUX_GC_CYCLE, bytes: rec.to_bytes() },
+                    )
+                    .map_err(io)?;
+                    if let Some(first) = monitor.engines_mut().first_mut() {
+                        first.observer_mut().gc_cycle(&rec);
+                    }
+                }
             }
             "!sweep" => {
                 append_timed(
@@ -927,7 +1109,14 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
                 )
                 .map_err(io)?;
                 for engine in monitor.engines_mut() {
-                    engine.full_sweep(&heap);
+                    if let Some(rec) = engine.full_sweep_with(&heap, GcReason::Forced) {
+                        append_timed(
+                            &mut journal,
+                            &mut jprof,
+                            &Record::Aux { tag: AUX_GC_CYCLE, bytes: rec.to_bytes() },
+                        )
+                        .map_err(io)?;
+                    }
                 }
             }
             "!free" => {
@@ -1091,9 +1280,10 @@ fn run_sharded(
     journal_dir: &std::path::Path,
     shards: usize,
 ) -> Result<ExitCode, (u8, String)> {
-    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_SPEC, AUX_SWEEP};
+    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_GC_CYCLE, AUX_SPEC, AUX_SWEEP};
     use rv_monitor::core::{
-        Binding, EngineConfig, JournalWriter, Record, ShardConfig, ShardTrigger, ShardedMonitor,
+        Binding, EngineConfig, GcCycleRecord, JournalWriter, Record, ShardConfig, ShardTrigger,
+        ShardedMonitor,
     };
     use rv_monitor::heap::{Heap, HeapConfig, ObjId};
     use rv_monitor::logic::EventId;
@@ -1202,6 +1392,19 @@ fn run_sharded(
                 )
                 .map_err(io)?;
                 heap.collect();
+                // Heap-collection telemetry is journaled at the quiesce
+                // point, same as the sequential path. (Worker-private
+                // monitor sweeps stay off the journal: their clocks live
+                // on the shard threads.)
+                for c in heap.drain_cycles() {
+                    let rec = GcCycleRecord::from_heap_cycle(&c);
+                    append_timed(
+                        &mut journal,
+                        &mut jprof,
+                        &Record::Aux { tag: AUX_GC_CYCLE, bytes: rec.to_bytes() },
+                    )
+                    .map_err(io)?;
+                }
                 i += 1;
             }
             Step::Sweep => {
@@ -1599,6 +1802,119 @@ fn replay(dir: &std::path::Path) -> ExitCode {
         }
     }
     println!("stats: {}", monitor.stats());
+    ExitCode::SUCCESS
+}
+
+/// `rvmon gc-log` — the GC observatory over a journaled run: decodes the
+/// journal's [`AUX_GC_CYCLE`] telemetry records into a per-cycle table
+/// (kind, reason, pause, scanned/reclaimed/flagged, occupancy
+/// before→after), per-kind totals, and an MMU (minimum mutator
+/// utilization) summary at several window sizes.
+///
+/// [`AUX_GC_CYCLE`]: rv_monitor::core::journal::AUX_GC_CYCLE
+fn gc_log(dir: &std::path::Path) -> ExitCode {
+    use rv_monitor::core::journal::AUX_GC_CYCLE;
+    use rv_monitor::core::{mmu_curve, read_journal, GcCycleRecord, GcKind, Record};
+
+    let fail = |msg: String| {
+        eprintln!("rvmon: error: {msg}");
+        ExitCode::from(2)
+    };
+    let scan = match read_journal(dir) {
+        Ok(s) => s,
+        Err(e) => return fail(e.to_string()),
+    };
+    let mut cycles: Vec<GcCycleRecord> = Vec::new();
+    for sr in &scan.records {
+        if let Record::Aux { tag, bytes } = &sr.record {
+            if *tag == AUX_GC_CYCLE {
+                match GcCycleRecord::from_bytes(bytes) {
+                    Some(r) => cycles.push(r),
+                    None => {
+                        return fail(format!(
+                            "journal record {} carries a malformed GC-cycle payload \
+                             ({} byte(s))",
+                            sr.seq,
+                            bytes.len()
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "rvmon gc-log — {} GC cycle(s) among {} durable record(s) in {}",
+        cycles.len(),
+        scan.records.len(),
+        dir.display()
+    );
+    if cycles.is_empty() {
+        println!("no GC-cycle telemetry — journals written by `rvmon run` record one");
+        println!("cycle per !gc heap collection and per-engine !sweep");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:<5} {:<14} {:<12} {:>12} {:>11} {:>9} {:>10} {:>8} {:>16}",
+        "cycle",
+        "kind",
+        "reason",
+        "end ns",
+        "pause ns",
+        "scanned",
+        "reclaimed",
+        "flagged",
+        "occupancy"
+    );
+    for (i, c) in cycles.iter().enumerate() {
+        println!(
+            "{:<5} {:<14} {:<12} {:>12} {:>11} {:>9} {:>10} {:>8} {:>9}\u{2192}{}",
+            i + 1,
+            c.kind.label(),
+            c.reason.label(),
+            c.end_ns,
+            c.pause_ns,
+            c.scanned,
+            c.reclaimed,
+            c.flagged,
+            c.occupancy_before,
+            c.occupancy_after
+        );
+    }
+    for kind in [GcKind::HeapCollect, GcKind::MonitorSweep] {
+        let of_kind: Vec<&GcCycleRecord> = cycles.iter().filter(|c| c.kind == kind).collect();
+        if of_kind.is_empty() {
+            continue;
+        }
+        let total_pause: u64 = of_kind.iter().map(|c| c.pause_ns).sum();
+        let max_pause = of_kind.iter().map(|c| c.pause_ns).max().unwrap_or(0);
+        let scanned: u64 = of_kind.iter().map(|c| c.scanned).sum();
+        let reclaimed: u64 = of_kind.iter().map(|c| c.reclaimed).sum();
+        println!(
+            "{}: {} cycle(s), {} ns total pause ({} ns max), {} scanned, {} reclaimed ({:.1}%)",
+            kind.label(),
+            of_kind.len(),
+            total_pause,
+            max_pause,
+            scanned,
+            reclaimed,
+            if scanned == 0 { 0.0 } else { 100.0 * reclaimed as f64 / scanned as f64 }
+        );
+    }
+    // MMU over the union of pause intervals. Heap and engine cycle clocks
+    // start within the same run setup, so one merged timeline is a fair
+    // utilization picture; span is the last recorded cycle end.
+    let pauses: Vec<(u64, u64)> = cycles.iter().map(|c| (c.end_ns, c.pause_ns)).collect();
+    let span = pauses.iter().map(|&(end, _)| end).max().unwrap_or(0);
+    let mut windows: Vec<u64> =
+        [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000]
+            .into_iter()
+            .filter(|&w| w < span)
+            .collect();
+    windows.push(span);
+    println!("mmu (span {span} ns):");
+    for (w, u) in mmu_curve(&pauses, span, &windows) {
+        println!("  window {w:>12} ns: {:.3}", u);
+    }
     ExitCode::SUCCESS
 }
 

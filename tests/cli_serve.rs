@@ -128,6 +128,32 @@ fn serve_answers_any_path_with_the_same_exposition() {
     assert!(response.contains("rvmon_events_total 7"), "{response}");
 }
 
+/// `/healthz` answers a plain-text liveness summary — 200, no Prometheus
+/// version tag, a leading `ok`, and the engine's real activity counters —
+/// instead of the exposition.
+#[test]
+fn serve_healthz_reports_engine_liveness() {
+    let response = fetch_once("/healthz");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "bad status line: {head}");
+    assert!(head.contains("Content-Type: text/plain"), "bad content type: {head}");
+    assert!(!head.contains("version=0.0.4"), "healthz is not an exposition: {head}");
+    let advertised: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .expect("numeric Content-Length");
+    assert_eq!(advertised, body.len(), "Content-Length must match the body");
+    assert!(body.starts_with("ok\n"), "liveness body must lead with ok: {body}");
+    // The demo's real counters, not a bare heartbeat.
+    assert!(body.contains("blocks 1"), "{body}");
+    assert!(body.contains("events 7"), "{body}");
+    assert!(body.contains("triggers 1"), "{body}");
+    assert!(body.contains("monitors_live 1"), "{body}");
+    assert!(!body.contains("rvmon_events_total"), "healthz must not serve metrics: {body}");
+}
+
 #[test]
 fn serve_usage_errors_exit_2() {
     let out = Command::new(env!("CARGO_BIN_EXE_rvmon"))

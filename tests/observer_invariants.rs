@@ -272,14 +272,15 @@ fn composed_observer_feeds_both_halves() {
         assert_eq!(metrics.events(), stats.events);
         assert_eq!(recorder.dropped(), 0, "capacity was ample");
         // The ring holds one record per event/created/flagged/collected/
-        // dead-key/trigger callback plus two per sweep.
+        // dead-key/trigger callback plus three per sweep (started,
+        // finished, and the GC-cycle telemetry record).
         let expected = stats.events
             + stats.monitors_created
             + stats.monitors_flagged
             + stats.monitors_collected
             + stats.dead_keys
             + stats.triggers
-            + 2 * metrics.sweeps();
+            + 3 * metrics.sweeps();
         assert_eq!(recorder.records().len() as u64, expected);
         // Every record renders as a JSON object on its own line.
         for line in recorder.dump_jsonl().lines() {
@@ -662,6 +663,170 @@ fn provenance_summary_is_an_accounting_identity_with_engine_stats() {
                 }
             }
         }
+    }
+}
+
+/// The GC observatory's accounting identity: every object death happens
+/// strictly after the last event, so once the events stop, the only way
+/// a monitor can be collected is a sweep cycle — the sum of `reclaimed`
+/// over the [`GcCycleRecord`]s must equal exactly the growth of the
+/// engine's CM counter across the sweeps (terminal-verdict monitors
+/// discarded on the hot path are CM too, but predate the records), and
+/// the provenance ledger must re-derive the same total. Occupancy
+/// deltas must chain exactly across cycles.
+///
+/// [`GcCycleRecord`]: rv_monitor::core::GcCycleRecord
+#[test]
+fn gc_cycle_records_reconcile_with_engine_stats_and_ledger() {
+    use rv_monitor::core::{GcCycleRecord, GcKind, GcReason};
+
+    for p in Property::ALL {
+        let spec = compiled(p).unwrap();
+        let event_params = spec.event_params.clone();
+        let n_params = spec.param_classes.len();
+        let n_events = spec.alphabet.len();
+        let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+        let mut monitor =
+            PropertyMonitor::with_observers(spec, &config, |_| ProvenanceLedger::new());
+        let mut heap = Heap::new(HeapConfig::manual());
+        let cls = heap.register_class("Obj");
+        let frame = heap.enter_frame();
+        let rounds: Vec<Vec<ObjId>> =
+            (0..4).map(|_| (0..n_params.max(1)).map(|_| heap.alloc(cls)).collect()).collect();
+        for objs in &rounds {
+            for e in 0..n_events {
+                let event = EventId(u16::try_from(e).unwrap());
+                let pairs: Vec<_> =
+                    event_params[e].iter().map(|&p| (p, objs[p.0 as usize])).collect();
+                monitor.process(&heap, event, Binding::from_pairs(&pairs));
+            }
+        }
+        // Everything dies only now — after the final event — so every
+        // collection from here on is attributable to a sweep cycle.
+        let cm_before_sweeps: Vec<u64> =
+            monitor.engines().iter().map(|e| e.stats().monitors_collected).collect();
+        heap.exit_frame(frame);
+        heap.collect();
+        let mut per_block: Vec<Vec<GcCycleRecord>> = Vec::new();
+        for engine in monitor.engines_mut() {
+            let mut recs = Vec::new();
+            for reason in [GcReason::Forced, GcReason::Periodic] {
+                recs.push(
+                    engine
+                        .full_sweep_with(&heap, reason)
+                        .expect("enabled observer yields a cycle record"),
+                );
+            }
+            per_block.push(recs);
+        }
+        for (bi, engine) in monitor.engines().iter().enumerate() {
+            let ctx = format!("{p:?} block {bi}");
+            let stats = engine.stats();
+            let ledger = engine.observer();
+            let recs = &per_block[bi];
+            let reclaimed: u64 = recs.iter().map(|r| r.reclaimed).sum();
+            let flagged: u64 = recs.iter().map(|r| r.flagged).sum();
+            assert_eq!(
+                reclaimed,
+                stats.monitors_collected - cm_before_sweeps[bi],
+                "{ctx}: Σ reclaimed == CM growth across the sweeps"
+            );
+            assert_eq!(
+                stats.monitors_collected,
+                ledger.summary().collected,
+                "{ctx}: ledger re-derives CM"
+            );
+            assert!(flagged <= stats.monitors_flagged, "{ctx}: sweep flags ⊆ all flags");
+            for (ci, r) in recs.iter().enumerate() {
+                assert_eq!(r.kind, GcKind::MonitorSweep, "{ctx} cycle {ci}");
+                assert_eq!(
+                    r.occupancy_before - r.reclaimed,
+                    r.occupancy_after,
+                    "{ctx} cycle {ci}: occupancy delta is the reclaim count"
+                );
+                assert_eq!(r.scanned, r.occupancy_before, "{ctx} cycle {ci}: full sweep");
+                let bytes = r.to_bytes();
+                assert_eq!(GcCycleRecord::from_bytes(&bytes).as_ref(), Some(r), "{ctx}: codec");
+            }
+            for w in recs.windows(2) {
+                assert_eq!(
+                    w[0].occupancy_after, w[1].occupancy_before,
+                    "{ctx}: occupancy chains across cycles"
+                );
+                assert!(w[0].end_ns <= w[1].end_ns, "{ctx}: cycle ends are monotone");
+            }
+            // The second (quiescent) sweep reclaimed nothing.
+            assert_eq!(recs[1].reclaimed, 0, "{ctx}: quiescent cycle");
+        }
+    }
+}
+
+/// The structural zero-overhead guarantee: with the no-op observer, a
+/// sweep must hand back *no* cycle record at all — no clock is read, no
+/// accounting is assembled, nothing allocates.
+#[test]
+fn disabled_observer_sweeps_yield_no_cycle_records() {
+    use rv_monitor::core::GcReason;
+
+    let spec = compiled(Property::UnsafeIter).unwrap();
+    let config = EngineConfig::default();
+    let mut monitor = PropertyMonitor::new(spec, &config);
+    let heap = Heap::new(HeapConfig::manual());
+    for engine in monitor.engines_mut() {
+        for reason in [GcReason::Forced, GcReason::Periodic, GcReason::Degradation] {
+            assert!(
+                engine.full_sweep_with(&heap, reason).is_none(),
+                "NoopObserver sweep must not assemble a record"
+            );
+        }
+    }
+}
+
+/// The timeline lane is a faithful transcript of the profiler: a
+/// composed `(SpanLog, PhaseProfiler)` observer must log exactly one
+/// phase span per profiler exit, name for name, and the Chrome trace
+/// export of those lanes must carry one balanced `B`/`E` pair per span.
+#[test]
+fn span_log_lanes_match_phase_profiler_counts_for_catalog() {
+    use rv_monitor::core::{chrome_trace_json, SpanLog};
+
+    for p in [Property::UnsafeIter, Property::HasNext] {
+        let spec = compiled(p).unwrap();
+        let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+        let runs = drive(spec, &config, |_| (SpanLog::new(), PhaseProfiler::new()));
+        let mut lanes: Vec<(String, SpanLog)> = Vec::new();
+        for (block, ((log, prof), _)) in runs.into_iter().enumerate() {
+            let ctx = format!("{p:?} block {block}");
+            let phase_spans: u64 = log.spans().iter().filter(|s| s.cat == "phase").count() as u64;
+            let profiler_spans: u64 = Phase::ALL.into_iter().map(|ph| prof.exits(ph)).sum();
+            assert_eq!(phase_spans, profiler_spans, "{ctx}: one span per exit");
+            for ph in Phase::ALL {
+                assert_eq!(
+                    log.count_named(ph.label()),
+                    prof.exits(ph),
+                    "{ctx}: {} span count",
+                    ph.label()
+                );
+            }
+            lanes.push((format!("block{block}"), log));
+        }
+        let borrowed: Vec<(String, &SpanLog)> = lanes.iter().map(|(n, l)| (n.clone(), l)).collect();
+        let json = chrome_trace_json(&borrowed);
+        let opens = json.matches("\"ph\":\"B\"").count();
+        let closes = json.matches("\"ph\":\"E\"").count();
+        let completes = json.matches("\"ph\":\"X\"").count();
+        let phase_spans: usize =
+            lanes.iter().map(|(_, l)| l.spans().iter().filter(|s| s.cat == "phase").count()).sum();
+        let gc_spans: usize =
+            lanes.iter().map(|(_, l)| l.spans().iter().filter(|s| s.cat == "gc").count()).sum();
+        assert_eq!(opens, phase_spans, "{p:?}: one B per phase span");
+        assert_eq!(closes, phase_spans, "{p:?}: one E per phase span");
+        assert_eq!(completes, gc_spans, "{p:?}: one X per GC cycle");
+        assert_eq!(
+            json.matches("\"ph\":\"M\"").count(),
+            lanes.len(),
+            "{p:?}: one thread-name metadata event per lane"
+        );
     }
 }
 
