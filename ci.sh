@@ -147,4 +147,68 @@ open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1], timeout=10).re
 fi
 cargo test -q --release --test cli_timeline >/dev/null
 
+# Daemon smoke: start rvmond, drive two tenants over the real socket —
+# one with a trigger handler that panics on every report — and assert
+# the healthy tenant is unaffected (fault containment), then
+# SIGTERM-drain, restart over the same root, and verify every tenant
+# recovered with its exact counters (exactly-once delivery: a drain
+# checkpoints at the journal tail, so restart replays nothing). The
+# cli_rvmond / service_isolation integration tests cover the same
+# ground hermetically, SIGKILL path included.
+echo "== daemon smoke (rvmond + loadgen + drain + restart, release)"
+if command -v python3 >/dev/null 2>&1; then
+    RVD_DIR="${TMPDIR:-/tmp}/rv-ci-rvmond-$$"
+    RVD_OUT="${TMPDIR:-/tmp}/rv-ci-rvmond-$$.out"
+    HEALTH="${TMPDIR:-/tmp}/rv-ci-rvmond-$$.health"
+    rm -rf "$RVD_DIR"
+    cargo run -q --release --bin rvmond -- --root "$RVD_DIR" \
+        --port 0 --http-port 0 >"$RVD_OUT" 2>/dev/null &
+    RVD_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q 'http://' "$RVD_OUT" 2>/dev/null && break
+        sleep 0.1
+    done
+    INGEST=$(sed -n 's/.*ingest on \([^ ]*\).*/\1/p' "$RVD_OUT" | head -1)
+    HEALTH_URL=$(sed -n 's#.*\(http://[^ ]*\)#\1#p' "$RVD_OUT" | head -1)
+    cargo run -q --release -p rv-bench --bin loadgen -- --addr "$INGEST" \
+        --tenant good=fop --tenant bad=batik,panic --events 2000 >/dev/null
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1], timeout=10).read())
+' "$HEALTH_URL" "$HEALTH"
+    grep -q '^ok$' "$HEALTH"
+    grep -q '^tenants 2$' "$HEALTH"
+    grep -q 'tenant bad state=running' "$HEALTH"
+    grep 'tenant bad ' "$HEALTH" | grep -vq 'quarantined=0 ' \
+        || { echo "panicking tenant never quarantined a monitor"; exit 1; }
+    grep 'tenant good ' "$HEALTH" | grep -q 'state=running .*quarantined=0 budget_trips=0' \
+        || { echo "faulty neighbor perturbed the healthy tenant"; exit 1; }
+    # The drain about to happen writes one more checkpoint per tenant,
+    # so the restart comparison excludes the checkpoints counter.
+    GOOD_LINE=$(grep 'tenant good ' "$HEALTH" | sed 's/ checkpoints=[0-9]*//')
+    BAD_LINE=$(grep 'tenant bad ' "$HEALTH" | sed 's/ checkpoints=[0-9]*//')
+    kill -TERM "$RVD_PID"
+    wait "$RVD_PID" || { echo "rvmond SIGTERM drain exited nonzero"; exit 1; }
+    # Restart over the same root: both tenants must come back verbatim.
+    cargo run -q --release --bin rvmond -- --root "$RVD_DIR" \
+        --port 0 --http-port 0 >"$RVD_OUT" 2>/dev/null &
+    RVD_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q 'http://' "$RVD_OUT" 2>/dev/null && break
+        sleep 0.1
+    done
+    HEALTH_URL=$(sed -n 's#.*\(http://[^ ]*\)#\1#p' "$RVD_OUT" | head -1)
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1], timeout=10).read())
+' "$HEALTH_URL" "$HEALTH"
+    grep -q '^tenants 2$' "$HEALTH"
+    test "$(grep 'tenant good ' "$HEALTH" | sed 's/ checkpoints=[0-9]*//')" = "$GOOD_LINE" \
+        || { echo "tenant good counters drifted across restart"; exit 1; }
+    test "$(grep 'tenant bad ' "$HEALTH" | sed 's/ checkpoints=[0-9]*//')" = "$BAD_LINE" \
+        || { echo "tenant bad counters drifted across restart"; exit 1; }
+    kill -TERM "$RVD_PID"
+    wait "$RVD_PID"
+    rm -rf "$RVD_DIR" "$RVD_OUT" "$HEALTH"
+fi
+cargo test -q --release --test cli_rvmond --test service_isolation >/dev/null
+
 echo "CI OK"

@@ -1,0 +1,397 @@
+//! `loadgen` — multi-tenant load generator for `rvmond`.
+//!
+//! Drives one framed TCP connection per tenant against a running
+//! `rvmond`, generating UnsafeIter event mixes whose shape (iterator
+//! fan-out, `next` density, GC cadence) is derived from the DaCapo
+//! workload profiles in `rv_workloads`. A `SYNC` barrier every
+//! `--sync-every` events measures the *end-to-end durable* latency —
+//! the round trip covers queueing, engine processing, and the journal
+//! fsync — into an [`Histogram`], and the run ends with a per-tenant
+//! SLO table (p50/p99/p99.9) plus optional JSON for EXPERIMENTS.md.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT --tenant NAME=PROFILE[,panic] ...
+//!         [--events N] [--sync-every K] [--max-live N] [--json]
+//! ```
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rv_core::service::{
+    encode_hello, read_frame, write_frame, TenantOptions, FRAME_BYE, FRAME_EVENT, FRAME_HELLO,
+    FRAME_OK, FRAME_REJECT, FRAME_STATS, FRAME_STATS_REPLY, FRAME_SYNC, FRAME_SYNCED,
+    REJECT_QUEUE_FULL, TENANT_FLAG_PANIC_HANDLER,
+};
+use rv_core::Histogram;
+use rv_workloads::Profile;
+
+/// The spec every generated tenant monitors (UnsafeIter, the paper's
+/// running example).
+const SPEC: &str = "\
+UnsafeIter(Collection c, Iterator i) {
+    event create(c, i);
+    event update(c);
+    event next(i);
+    ere: update* create next* update+ next
+    @match { report \"improper Concurrent Modification found!\"; }
+}
+";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT --tenant NAME=PROFILE[,panic] [--tenant ...] \
+         [--events N] [--sync-every K] [--max-live N] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+struct TenantPlan {
+    name: String,
+    profile: Profile,
+    panic_handler: bool,
+}
+
+struct TenantOutcome {
+    name: String,
+    profile: &'static str,
+    sent: u64,
+    shed: u64,
+    triggers: u64,
+    failed: Option<String>,
+    latency: Histogram,
+    elapsed: Duration,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the event mix from the profile: one `create` per iterator,
+/// `nexts_per_iter` `next`s per create, and an `update` rate that keeps
+/// roughly `map_fraction` of collections mutated mid-iteration.
+struct Generator {
+    rng: u64,
+    colls: u64,
+    iters: Vec<(u64, u64)>,
+    p_create: f64,
+    p_update: f64,
+    gc_period: usize,
+    emitted: usize,
+}
+
+impl Generator {
+    fn new(p: &Profile) -> Generator {
+        let nexts = p.nexts_per_iter.max(0.1);
+        // Weights: every create is followed by ~nexts `next`s, so the
+        // steady-state create share is 1/(1+nexts).
+        let p_create = 1.0 / (1.0 + nexts);
+        let p_update = (p.map_fraction.clamp(0.01, 0.9)) * p_create;
+        Generator {
+            rng: p.seed,
+            colls: 0,
+            iters: Vec::new(),
+            p_create,
+            p_update,
+            gc_period: p.gc_period.max(64),
+            emitted: 0,
+        }
+    }
+
+    fn unit(&mut self) -> f64 {
+        (splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The next trace line (events plus the occasional `!free`/`!gc`).
+    fn next_line(&mut self) -> String {
+        self.emitted += 1;
+        if self.emitted % self.gc_period == 0 && self.iters.len() > 8 {
+            // Retire the oldest half of the live iterators, then collect:
+            // the monitor GC behind dead params is part of the workload.
+            let retire: Vec<(u64, u64)> = self.iters.drain(..self.iters.len() / 2).collect();
+            let mut line = String::from("!free");
+            for (c, i) in retire {
+                line.push_str(&format!(" i{i}"));
+                let _ = c;
+            }
+            line.push_str("\n!gc");
+            return line;
+        }
+        let roll = self.unit();
+        if self.iters.is_empty() || roll < self.p_create {
+            let c = if self.colls == 0 || self.unit() < 0.5 {
+                self.colls += 1;
+                self.colls
+            } else {
+                1 + splitmix64(&mut self.rng) % self.colls
+            };
+            let i = self.emitted as u64;
+            self.iters.push((c, i));
+            format!("create c{c} i{i}")
+        } else if roll < self.p_create + self.p_update {
+            let (c, _) = self.iters[(splitmix64(&mut self.rng) as usize) % self.iters.len()];
+            format!("update c{c}")
+        } else {
+            let (_, i) = self.iters[(splitmix64(&mut self.rng) as usize) % self.iters.len()];
+            format!("next i{i}")
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn drive_tenant(
+    addr: &str,
+    plan: &TenantPlan,
+    events: u64,
+    sync_every: u64,
+    max_live: Option<u32>,
+) -> std::io::Result<TenantOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    let opts = TenantOptions {
+        flags: if plan.panic_handler { TENANT_FLAG_PANIC_HANDLER } else { 0 },
+        max_live_monitors: max_live,
+    };
+    write_frame(&mut writer, FRAME_HELLO, &encode_hello(&plan.name, SPEC, &opts))?;
+    let mut outcome = TenantOutcome {
+        name: plan.name.clone(),
+        profile: plan.profile.name,
+        sent: 0,
+        shed: 0,
+        triggers: 0,
+        failed: None,
+        latency: Histogram::new(),
+        elapsed: Duration::ZERO,
+    };
+    match read_frame(&mut reader)? {
+        Some((FRAME_OK, _)) => {}
+        Some((FRAME_REJECT, payload)) => {
+            outcome.failed = Some(reject_text(&payload));
+            return Ok(outcome);
+        }
+        other => {
+            outcome.failed = Some(format!("unexpected HELLO reply: {other:?}"));
+            return Ok(outcome);
+        }
+    }
+
+    let mut generator = Generator::new(&plan.profile);
+    let started = Instant::now();
+    'drive: while outcome.sent < events {
+        for line in generator.next_line().split('\n') {
+            write_frame(&mut writer, FRAME_EVENT, line.as_bytes())?;
+            outcome.sent += 1;
+        }
+        if outcome.sent % sync_every == 0 {
+            let token = outcome.sent;
+            let t0 = Instant::now();
+            write_frame(&mut writer, FRAME_SYNC, &token.to_le_bytes())?;
+            // Shed rejections for earlier events may arrive before the
+            // barrier reply; drain them into the shed count.
+            loop {
+                match read_frame(&mut reader)? {
+                    Some((FRAME_SYNCED, _)) => break,
+                    Some((FRAME_REJECT, payload)) if reject_code(&payload) == REJECT_QUEUE_FULL => {
+                        outcome.shed += 1;
+                    }
+                    Some((FRAME_REJECT, payload)) => {
+                        outcome.failed = Some(reject_text(&payload));
+                        break 'drive;
+                    }
+                    other => {
+                        outcome.failed = Some(format!("unexpected SYNC reply: {other:?}"));
+                        break 'drive;
+                    }
+                }
+            }
+            let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            outcome.latency.record(micros);
+        }
+    }
+    outcome.elapsed = started.elapsed();
+
+    if outcome.failed.is_none() {
+        write_frame(&mut writer, FRAME_STATS, &[])?;
+        loop {
+            match read_frame(&mut reader)? {
+                Some((FRAME_STATS_REPLY, payload)) => {
+                    let json = String::from_utf8_lossy(&payload).into_owned();
+                    outcome.triggers = json_u64(&json, "\"triggers\":").unwrap_or(0);
+                    break;
+                }
+                Some((FRAME_REJECT, payload)) if reject_code(&payload) == REJECT_QUEUE_FULL => {
+                    outcome.shed += 1;
+                }
+                Some((FRAME_REJECT, payload)) => {
+                    outcome.failed = Some(reject_text(&payload));
+                    break;
+                }
+                other => {
+                    outcome.failed = Some(format!("unexpected STATS reply: {other:?}"));
+                    break;
+                }
+            }
+        }
+        let _ = write_frame(&mut writer, FRAME_BYE, &[]);
+    }
+    Ok(outcome)
+}
+
+fn reject_code(payload: &[u8]) -> u16 {
+    payload.get(..2).and_then(|b| b.try_into().ok()).map_or(0, u16::from_le_bytes)
+}
+
+fn reject_text(payload: &[u8]) -> String {
+    let code = reject_code(payload);
+    let msg = String::from_utf8_lossy(payload.get(2..).unwrap_or(&[]));
+    format!("reject {code}: {msg}")
+}
+
+/// Pulls the first integer after `key` out of a flat JSON rendering.
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let at = json.find(key)? + key.len();
+    let digits: String = json[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut plans: Vec<TenantPlan> = Vec::new();
+    let mut events: u64 = 20_000;
+    let mut sync_every: u64 = 64;
+    let mut max_live: Option<u32> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return usage(),
+            },
+            "--tenant" => {
+                let Some(v) = it.next() else { return usage() };
+                let Some((name, rest)) = v.split_once('=') else { return usage() };
+                let (profile_name, panic_handler) = match rest.split_once(',') {
+                    Some((p, "panic")) => (p, true),
+                    Some(_) => return usage(),
+                    None => (rest, false),
+                };
+                let Some(profile) = Profile::by_name(profile_name) else {
+                    eprintln!("loadgen: unknown workload profile `{profile_name}`");
+                    return ExitCode::from(2);
+                };
+                plans.push(TenantPlan { name: name.to_owned(), profile, panic_handler });
+            }
+            "--events" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => events = n,
+                None => return usage(),
+            },
+            "--sync-every" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => sync_every = n,
+                _ => return usage(),
+            },
+            "--max-live" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => max_live = Some(n),
+                _ => return usage(),
+            },
+            "--json" => json = true,
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else { return usage() };
+    if plans.is_empty() {
+        return usage();
+    }
+
+    let handles: Vec<_> = plans
+        .into_iter()
+        .map(|plan| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                drive_tenant(&addr, &plan, events, sync_every, max_live).unwrap_or_else(|e| {
+                    TenantOutcome {
+                        name: plan.name.clone(),
+                        profile: plan.profile.name,
+                        sent: 0,
+                        shed: 0,
+                        triggers: 0,
+                        failed: Some(format!("io error: {e}")),
+                        latency: Histogram::new(),
+                        elapsed: Duration::ZERO,
+                    }
+                })
+            })
+        })
+        .collect();
+    let outcomes: Vec<TenantOutcome> =
+        handles.into_iter().map(|h| h.join().expect("tenant thread panicked")).collect();
+
+    println!(
+        "{:<10} {:<10} {:>9} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9}  status",
+        "tenant", "profile", "events", "shed", "triggers", "ev/s", "p50us", "p99us", "p999us"
+    );
+    let mut failures = 0;
+    for o in &outcomes {
+        let rate = if o.elapsed.as_secs_f64() > 0.0 {
+            (o.sent - o.shed) as f64 / o.elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:<10} {:>9} {:>7} {:>9} {:>10.0} {:>9.0} {:>9.0} {:>9.0}  {}",
+            o.name,
+            o.profile,
+            o.sent,
+            o.shed,
+            o.triggers,
+            rate,
+            o.latency.quantile(0.50),
+            o.latency.quantile(0.99),
+            o.latency.quantile(0.999),
+            o.failed.as_deref().unwrap_or("ok"),
+        );
+        if o.failed.is_some() {
+            failures += 1;
+        }
+    }
+    if json {
+        let rows: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"profile\":\"{}\",\"events\":{},\"shed\":{},\
+                     \"triggers\":{},\"elapsed_ms\":{},\"sync_p50_us\":{:.0},\
+                     \"sync_p99_us\":{:.0},\"sync_p999_us\":{:.0},\"failed\":{}}}",
+                    o.name,
+                    o.profile,
+                    o.sent,
+                    o.shed,
+                    o.triggers,
+                    o.elapsed.as_millis(),
+                    o.latency.quantile(0.50),
+                    o.latency.quantile(0.99),
+                    o.latency.quantile(0.999),
+                    o.failed.as_ref().map_or("null".into(), |f| format!("\"{f}\"")),
+                )
+            })
+            .collect();
+        println!("[{}]", rows.join(","));
+    }
+    // Panic-tenant runs expect their own failure; the caller decides by
+    // reading the table. Exit 1 only when every tenant failed.
+    if failures == outcomes.len() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

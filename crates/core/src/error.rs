@@ -74,6 +74,19 @@ pub enum EngineError {
         /// Index of the shard whose worker disconnected.
         shard: usize,
     },
+    /// A journal append failed persistently: every retry the
+    /// [`RetryPolicy`](crate::journal::RetryPolicy) allowed was spent (or
+    /// the failure was non-transient to begin with). The on-disk journal
+    /// is still a valid durable prefix — the writer repairs its tail
+    /// before reporting — but the record was not appended.
+    Journal {
+        /// The active journal segment at failure time.
+        file: String,
+        /// Write attempts made (1 = the failure was immediately fatal).
+        attempts: u32,
+        /// The underlying IO error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -103,6 +116,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::ShardDisconnected { shard } => {
                 write!(f, "shard {shard} worker disconnected")
+            }
+            EngineError::Journal { file, attempts, detail } => {
+                write!(f, "journal append failed after {attempts} attempt(s) on {file}: {detail}")
             }
         }
     }
@@ -139,5 +155,12 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("checkpoint-00000002") && s.contains("CRC mismatch"));
+        let e = EngineError::Journal {
+            file: "journal-00000003".into(),
+            attempts: 5,
+            detail: "injected transient fault".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("journal-00000003") && s.contains("5 attempt"), "{s}");
     }
 }

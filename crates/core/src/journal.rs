@@ -23,8 +23,9 @@
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io::{BufWriter, ErrorKind, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use rv_heap::ObjId;
 use rv_logic::{EventId, ParamId, Verdict};
@@ -99,6 +100,13 @@ pub const AUX_SWEEP: u8 = 3;
 /// this one carries the telemetry (`rvmon gc-log` reads it; replay
 /// skips it).
 pub const AUX_GC_CYCLE: u8 = 4;
+/// Auxiliary record tag: a first-mention object allocation in a tenant
+/// session (payload: object bits as `u64` LE, then the client-visible
+/// object name in UTF-8). The service layer journals one per allocation
+/// so recovery can rebuild the name → `ObjId` map its clients keep
+/// using; `rvmon replay` ignores the tag (allocation order is already
+/// implied by the event records).
+pub const AUX_OBJ: u8 = 5;
 /// Auxiliary record tag: crash-harness pool initialisation (payload:
 /// pool size as `u32`).
 pub const AUX_CT_INIT: u8 = 16;
@@ -333,6 +341,9 @@ pub struct JournalStats {
     pub rotations: u64,
     /// Explicit `sync` calls that reached the OS.
     pub syncs: u64,
+    /// Append attempts that failed transiently and were retried by
+    /// [`JournalWriter::append_retry`].
+    pub retries: u64,
 }
 
 impl JournalStats {
@@ -341,14 +352,149 @@ impl JournalStats {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"records\":{},\"bytes\":{},\"rotations\":{},\"syncs\":{}}}",
-            self.records, self.bytes, self.rotations, self.syncs
+            "{{\"records\":{},\"bytes\":{},\"rotations\":{},\"syncs\":{},\"retries\":{}}}",
+            self.records, self.bytes, self.rotations, self.syncs, self.retries
         )
     }
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("journal-{index:08}"))
+}
+
+// --- Fault injection (chaos harness) -------------------------------------
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic, seeded append-fault injector — the journal's chaos
+/// harness. Installed with [`JournalWriter::set_fault`], it makes a
+/// configurable fraction of append attempts fail with transient IO error
+/// kinds, optionally writing a torn frame prefix first (so the writer's
+/// tail-repair path is exercised, not just the error return), and can
+/// switch to failing *every* attempt after a scheduled point to simulate
+/// a persistently dead disk.
+#[derive(Clone, Debug)]
+pub struct FailingWriter {
+    state: u64,
+    fail_permille: u32,
+    partial_max: usize,
+    hard_fail_after: Option<u64>,
+    attempts: u64,
+    injected: u64,
+}
+
+impl FailingWriter {
+    /// A fault plan seeded with `seed` where roughly
+    /// `fail_permille`/1000 of append attempts fail transiently.
+    #[must_use]
+    pub fn new(seed: u64, fail_permille: u32) -> FailingWriter {
+        FailingWriter {
+            state: seed ^ 0xD6E8_FEB8_6659_FD93,
+            fail_permille: fail_permille.min(1000),
+            partial_max: 0,
+            hard_fail_after: None,
+            attempts: 0,
+            injected: 0,
+        }
+    }
+
+    /// On each injected failure, also write up to `max` bytes of the
+    /// frame into the sink first — a torn append the writer must repair.
+    #[must_use]
+    pub fn with_partial(mut self, max: usize) -> FailingWriter {
+        self.partial_max = max;
+        self
+    }
+
+    /// From append attempt `n` (0-based) onward, every attempt fails
+    /// with a non-transient error — a persistently failing device.
+    #[must_use]
+    pub fn with_hard_fail_after(mut self, n: u64) -> FailingWriter {
+        self.hard_fail_after = Some(n);
+        self
+    }
+
+    /// Number of faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Decides the fate of the next append attempt: `None` to let it
+    /// through, or `Some((error, torn_bytes))` to fail it after writing
+    /// `torn_bytes` of the frame.
+    fn next_fault(&mut self) -> Option<(std::io::Error, usize)> {
+        let attempt = self.attempts;
+        self.attempts += 1;
+        if self.hard_fail_after.is_some_and(|n| attempt >= n) {
+            self.injected += 1;
+            return Some((
+                std::io::Error::other("injected permanent device failure"),
+                self.partial_max.min(1),
+            ));
+        }
+        let roll = splitmix64(&mut self.state);
+        if self.fail_permille > 0 && roll % 1000 < u64::from(self.fail_permille) {
+            self.injected += 1;
+            let kind = match roll >> 32 & 3 {
+                0 => ErrorKind::Interrupted,
+                1 => ErrorKind::WouldBlock,
+                _ => ErrorKind::TimedOut,
+            };
+            let torn = if self.partial_max == 0 {
+                0
+            } else {
+                (roll >> 40) as usize % (self.partial_max + 1)
+            };
+            return Some((std::io::Error::new(kind, "injected transient write fault"), torn));
+        }
+        None
+    }
+}
+
+// --- Retry policy ---------------------------------------------------------
+
+/// Bounded retry-with-backoff for [`JournalWriter::append_retry`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total append attempts (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Ceiling on the doubled backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            backoff: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the pre-retry behavior, for callers
+    /// that want a typed error on the very first failure.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+}
+
+/// Whether an IO error kind is worth retrying: the kinds the OS hands
+/// back for contention and interruption, not for broken artifacts.
+#[must_use]
+pub fn is_transient(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
 /// An append-only writer over a journal directory.
@@ -360,6 +506,8 @@ pub struct JournalWriter {
     segment_limit: u64,
     next_seq: u64,
     stats: JournalStats,
+    fault: Option<FailingWriter>,
+    poisoned: bool,
 }
 
 impl fmt::Debug for JournalWriter {
@@ -399,6 +547,8 @@ impl JournalWriter {
             segment_limit: segment_limit.max(SEGMENT_HEADER_LEN + 64),
             next_seq: 0,
             stats: JournalStats::default(),
+            fault: None,
+            poisoned: false,
         };
         w.write_header()?;
         Ok(w)
@@ -437,8 +587,7 @@ impl JournalWriter {
         let file = OpenOptions::new().write(true).open(&path)?;
         file.set_len(last.valid_bytes)?;
         let mut file = file;
-        use std::io::Seek;
-        file.seek(std::io::SeekFrom::End(0))?;
+        file.seek(SeekFrom::End(0))?;
         Ok(JournalWriter {
             dir: dir.to_path_buf(),
             file: BufWriter::new(file),
@@ -447,7 +596,22 @@ impl JournalWriter {
             segment_limit: DEFAULT_SEGMENT_BYTES,
             next_seq: scan.next_seq,
             stats: JournalStats::default(),
+            fault: None,
+            poisoned: false,
         })
+    }
+
+    /// Installs a seeded [`FailingWriter`] fault plan — every subsequent
+    /// append consults it. Chaos-test hook; production writers carry no
+    /// plan and pay only an `Option` check.
+    pub fn set_fault(&mut self, fault: FailingWriter) {
+        self.fault = Some(fault);
+    }
+
+    /// The installed fault plan, if any (tests read its injection count).
+    #[must_use]
+    pub fn fault(&self) -> Option<&FailingWriter> {
+        self.fault.as_ref()
     }
 
     fn write_header(&mut self) -> std::io::Result<()> {
@@ -459,24 +623,49 @@ impl JournalWriter {
 
     /// Appends one record, returning its sequence number.
     ///
+    /// A failed append is *atomic*: the writer flushes what it can,
+    /// physically truncates the segment back to the last durable record
+    /// boundary (discarding any torn frame prefix), and leaves itself
+    /// ready for a retry of the same record at the same sequence number.
+    /// If even that repair fails the writer poisons itself — further
+    /// appends error immediately rather than risk a sequence gap.
+    ///
     /// # Errors
     ///
-    /// Any IO error writing to the active segment.
+    /// Any IO error writing to the active segment, or an injected fault
+    /// from a [`FailingWriter`] plan.
     pub fn append(&mut self, record: &Record) -> std::io::Result<u64> {
+        if self.poisoned {
+            return Err(std::io::Error::other("journal writer poisoned by an unrepaired tail"));
+        }
         if self.segment_bytes >= self.segment_limit {
             self.rotate()?;
         }
         let seq = self.next_seq;
-        let mut body = Vec::with_capacity(32);
-        body.extend_from_slice(&seq.to_le_bytes());
-        body.push(record.kind());
-        record.encode_payload(&mut body);
-        let len = u32::try_from(body.len()).expect("record fits u32");
-        let crc = crc32(&body);
-        self.file.write_all(&len.to_le_bytes())?;
-        self.file.write_all(&body)?;
-        self.file.write_all(&crc.to_le_bytes())?;
-        let framed = 4 + body.len() as u64 + 4;
+        let mut frame = Vec::with_capacity(40);
+        frame.extend_from_slice(&[0u8; 4]);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.push(record.kind());
+        record.encode_payload(&mut frame);
+        let body_len = u32::try_from(frame.len() - 4).expect("record fits u32");
+        frame[..4].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&frame[4..]);
+        frame.extend_from_slice(&crc.to_le_bytes());
+
+        if let Some(fault) = self.fault.as_mut() {
+            if let Some((err, torn)) = fault.next_fault() {
+                // Simulate a torn write, then repair as for a real one.
+                let torn = torn.min(frame.len());
+                let _ = self.file.write_all(&frame[..torn]);
+                self.repair_tail();
+                return Err(err);
+            }
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            self.repair_tail();
+            return Err(e);
+        }
+        let framed = frame.len() as u64;
         self.segment_bytes += framed;
         self.stats.records += 1;
         self.stats.bytes += framed;
@@ -484,11 +673,74 @@ impl JournalWriter {
         Ok(seq)
     }
 
+    /// Appends one record with bounded retry-with-backoff on transient
+    /// IO errors ([`is_transient`]). Non-transient failures and exhausted
+    /// retries surface as a typed [`EngineError::Journal`]; transient
+    /// retries are counted in [`JournalStats::retries`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Journal`] when the append could not be made
+    /// durable within `policy.max_attempts` attempts.
+    pub fn append_retry(
+        &mut self,
+        record: &Record,
+        policy: &RetryPolicy,
+    ) -> Result<u64, EngineError> {
+        let max = policy.max_attempts.max(1);
+        let mut backoff = policy.backoff;
+        for attempt in 1..=max {
+            match self.append(record) {
+                Ok(seq) => return Ok(seq),
+                Err(e) if attempt < max && is_transient(e.kind()) => {
+                    self.stats.retries += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.min(policy.backoff_cap));
+                    }
+                    backoff = (backoff * 2).min(policy.backoff_cap);
+                }
+                Err(e) => {
+                    return Err(EngineError::Journal {
+                        file: segment_path(&self.dir, self.segment_index).display().to_string(),
+                        attempts: attempt,
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+
+    /// Restores the append invariant after a failed write: every byte of
+    /// the torn frame is gone from both the buffer and the file, and the
+    /// cursor sits at the last durable record boundary.
+    fn repair_tail(&mut self) {
+        // Push whatever the buffer holds (completed records and the torn
+        // frame prefix alike) down to the file, so truncation below sees
+        // all of it. A transient flush failure gets a few tries; if the
+        // sink stays broken the writer is poisoned — appending past an
+        // unknown tail would tear the sequence order.
+        let mut flushed = false;
+        for _ in 0..3 {
+            if self.file.flush().is_ok() {
+                flushed = true;
+                break;
+            }
+        }
+        let repaired = flushed
+            && self.file.get_ref().set_len(self.segment_bytes).is_ok()
+            && self.file.seek(SeekFrom::Start(self.segment_bytes)).is_ok();
+        if !repaired {
+            self.poisoned = true;
+        }
+    }
+
     fn rotate(&mut self) -> std::io::Result<()> {
         self.file.flush()?;
         self.file.get_ref().sync_all()?;
-        self.segment_index += 1;
-        self.file = BufWriter::new(File::create(segment_path(&self.dir, self.segment_index))?);
+        let next = self.segment_index + 1;
+        self.file = BufWriter::new(File::create(segment_path(&self.dir, next))?);
+        self.segment_index = next;
         self.write_header()?;
         self.stats.rotations += 1;
         Ok(())
@@ -916,6 +1168,89 @@ mod tests {
         let scan = read_journal(&dir).unwrap();
         assert!(scan.records.is_empty());
         assert!(scan.truncation.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A zero-sleep policy so chaos tests don't spend wall-clock backing
+    /// off between injected faults.
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy { max_attempts, backoff: Duration::ZERO, backoff_cap: Duration::ZERO }
+    }
+
+    #[test]
+    fn transient_faults_with_torn_frames_leave_the_journal_byte_identical() {
+        let clean_dir = temp_dir("chaos-clean");
+        let fault_dir = temp_dir("chaos-fault");
+        let recs: Vec<Record> = (0..64).flat_map(|_| sample_records()).collect();
+
+        let mut clean = JournalWriter::create(&clean_dir).unwrap();
+        for r in &recs {
+            clean.append(r).unwrap();
+        }
+        clean.sync().unwrap();
+
+        let mut faulty = JournalWriter::create(&fault_dir).unwrap();
+        // ~30% of attempts fail, each tearing up to 64 frame bytes into
+        // the sink first — repair + retry must erase every trace.
+        faulty.set_fault(FailingWriter::new(0xC0FFEE, 300).with_partial(64));
+        for (i, r) in recs.iter().enumerate() {
+            let seq = faulty.append_retry(r, &fast_retry(50)).unwrap();
+            assert_eq!(seq, i as u64, "retries must not burn sequence numbers");
+        }
+        faulty.sync().unwrap();
+        assert!(faulty.fault().unwrap().injected() > 0, "chaos plan never fired");
+        assert!(faulty.stats().retries > 0, "retries must be counted");
+
+        let clean_bytes = std::fs::read(segment_path(&clean_dir, 0)).unwrap();
+        let fault_bytes = std::fs::read(segment_path(&fault_dir, 0)).unwrap();
+        assert_eq!(clean_bytes, fault_bytes, "fault-free and repaired journals must match");
+        let scan = read_journal(&fault_dir).unwrap();
+        assert!(scan.truncation.is_none());
+        assert_eq!(scan.records.len(), recs.len());
+        std::fs::remove_dir_all(&clean_dir).unwrap();
+        std::fs::remove_dir_all(&fault_dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_faults_surface_a_typed_journal_error() {
+        let dir = temp_dir("chaos-hard");
+        let mut w = JournalWriter::create(&dir).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        // Every attempt from here on fails with a non-transient kind:
+        // the first failure must be terminal (no useless retries).
+        w.set_fault(FailingWriter::new(7, 0).with_hard_fail_after(0).with_partial(8));
+        let rec = Record::Aux { tag: AUX_GC, bytes: vec![] };
+        match w.append_retry(&rec, &fast_retry(5)) {
+            Err(EngineError::Journal { file, attempts, detail }) => {
+                assert_eq!(attempts, 1, "non-transient failures must not retry");
+                assert!(file.contains("journal-00000000"), "{file}");
+                assert!(detail.contains("injected"), "{detail}");
+            }
+            other => panic!("expected EngineError::Journal, got {other:?}"),
+        }
+        w.sync().unwrap();
+        // The durable prefix survives intact despite the torn attempt.
+        let scan = read_journal(&dir).unwrap();
+        assert!(scan.truncation.is_none(), "{:?}", scan.truncation);
+        assert_eq!(scan.records.len(), sample_records().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_transient_retries_report_the_attempt_count() {
+        let dir = temp_dir("chaos-exhaust");
+        let mut w = JournalWriter::create(&dir).unwrap();
+        // 100% transient failure rate: every attempt fails, so a
+        // 4-attempt policy must give up with attempts == 4.
+        w.set_fault(FailingWriter::new(11, 1000));
+        let rec = Record::Aux { tag: AUX_SWEEP, bytes: vec![] };
+        match w.append_retry(&rec, &fast_retry(4)) {
+            Err(EngineError::Journal { attempts, .. }) => assert_eq!(attempts, 4),
+            other => panic!("expected EngineError::Journal, got {other:?}"),
+        }
+        assert_eq!(w.stats().retries, 3, "three of the four attempts were retries");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -62,6 +62,7 @@ pub mod multi;
 pub mod obs;
 pub mod profile;
 pub mod reference;
+pub mod service;
 pub mod shard;
 pub mod snapshot;
 pub mod stats;
@@ -74,7 +75,8 @@ pub use crate::crashtest::{crash_and_recover, CrashOutcome, KillClass};
 pub use crate::engine::{BudgetKind, DegradationPolicy, Engine, EngineConfig, GcPolicy};
 pub use crate::error::EngineError;
 pub use crate::journal::{
-    read_journal, JournalScan, JournalStats, JournalWriter, Record, SeqRecord, Truncation,
+    is_transient, read_journal, FailingWriter, JournalScan, JournalStats, JournalWriter, Record,
+    RetryPolicy, SeqRecord, Truncation,
 };
 pub use crate::multi::PropertyMonitor;
 pub use crate::obs::{
@@ -86,9 +88,13 @@ pub use crate::profile::{
     ProvenanceSummary, SpanLog, TimelineSpan,
 };
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
+pub use crate::service::{
+    read_frame, serve_connection, write_frame, Backpressure, ConnPermit, Service, ServiceConfig,
+    ServiceStats, TenantOptions, TenantSnapshot, TenantState,
+};
 pub use crate::shard::{
-    differential_run, owner_param, ShardConfig, ShardDifferential, ShardReport, ShardSession,
-    ShardTrigger, ShardedMonitor,
+    differential_run, differential_run_with, owner_param, HandlerFactory, ShardConfig,
+    ShardDifferential, ShardReport, ShardSession, ShardTrigger, ShardedMonitor,
 };
 pub use crate::snapshot::{
     load_latest_checkpoint, plan_recovery, write_checkpoint, Checkpoint, Recovery,

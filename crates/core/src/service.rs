@@ -1,0 +1,1780 @@
+//! Multi-tenant monitoring service core — the engine room of `rvmond`.
+//!
+//! The slicing engine is per-trace-slice independent, which makes hard
+//! per-tenant isolation tractable: each tenant owns a private
+//! [`PropertyMonitor`] (every property block its own engine), its own
+//! [`EngineConfig`] budgets and degradation ladder, its own write-ahead
+//! journal directory under the service root, and a panic boundary (a
+//! dedicated worker thread whose message loop runs under
+//! `catch_unwind`). A tenant whose trigger handler panics or who trips
+//! `shed_new_monitors` is quarantined or degraded *alone* — neighbor
+//! tenants' trigger streams are byte-identical to a solo run, because a
+//! tenant's journal is a pure function of its own event stream.
+//!
+//! ## Isolation domains
+//!
+//! ```text
+//!  connection threads          tenant workers (one thread each)
+//!  ┌──────────────┐  frames   ┌───────────────────────────────┐
+//!  │ serve_       │──────────▶│ tenant "a": monitor + heap +  │──▶ root/a/journal-…
+//!  │ connection   │  bounded  │   journal + budgets + ladder  │
+//!  │ (admission,  │  ingest   ├───────────────────────────────┤
+//!  │  timeouts,   │  queues   │ tenant "b": …                 │──▶ root/b/journal-…
+//!  │  backpressure│──────────▶│   (panics stay inside)        │
+//!  └──────────────┘           └───────────────────────────────┘
+//! ```
+//!
+//! ## Wire protocol
+//!
+//! Length-prefixed frames over any ordered byte stream (TCP in
+//! `rvmond`): `[len: u32 LE][kind: u8][payload: len-1 bytes]`. Clients
+//! send [`FRAME_HELLO`] (attach to a tenant, creating it with a spec on
+//! first contact), [`FRAME_EVENT`] (one line of the `rvmon trace`
+//! grammar), [`FRAME_SYNC`] (durability barrier: the reply arrives after
+//! everything enqueued before it is processed *and* fsynced),
+//! [`FRAME_STATS`] and [`FRAME_BYE`]. The server answers with
+//! [`FRAME_OK`], [`FRAME_SYNCED`], [`FRAME_STATS_REPLY`] or a typed
+//! [`FRAME_REJECT`] carrying a `429`-style code ([`REJECT_QUEUE_FULL`],
+//! [`REJECT_TOO_MANY_TENANTS`], …).
+//!
+//! ## Backpressure
+//!
+//! Each tenant has a bounded ingest queue. Under [`Backpressure::Block`]
+//! a full queue blocks the connection thread (TCP backpressure reaches
+//! the client); under [`Backpressure::Shed`] the event is dropped and
+//! the client gets a [`REJECT_QUEUE_FULL`] frame, counted in
+//! [`ServiceStats::events_shed`] and the tenant's snapshot.
+//!
+//! ## Drain protocol and recovery
+//!
+//! [`Service::drain`] stops admissions, sends every worker a drain
+//! message, and joins them; each worker fsyncs its journal and writes a
+//! final checkpoint (PR-3 RVCK), so a restarted service resumes from a
+//! near-instant restore. After a hard kill, [`Service::recover_all`]
+//! rebuilds every tenant from its journal directory: checkpoint restore
+//! plus suffix replay with `(event_seq, ordinal)` high-water-mark
+//! duplicate suppression — triggers are delivered exactly once across
+//! the crash.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rv_heap::{Heap, HeapConfig, ObjId};
+use rv_spec::CompiledSpec;
+
+use crate::binding::Binding;
+use crate::engine::EngineConfig;
+use crate::journal::{
+    read_journal, JournalScan, JournalWriter, Record, RetryPolicy, AUX_FREE, AUX_GC, AUX_OBJ,
+    AUX_SPEC, AUX_SWEEP,
+};
+use crate::multi::PropertyMonitor;
+use crate::obs::MetricsRegistry;
+use crate::snapshot::{list_checkpoints, load_latest_checkpoint, write_checkpoint};
+
+// --- Wire protocol -------------------------------------------------------
+
+/// Upper bound on a frame payload; larger length prefixes are rejected
+/// without allocating.
+pub const FRAME_MAX: u32 = 1 << 20;
+
+/// Client → server: attach to (or create) a tenant. Payload:
+/// `[flags: u8][max_live_monitors: u32 LE, 0 = unbounded][name]\n[spec]`
+/// — the spec may be empty when attaching to an existing tenant.
+pub const FRAME_HELLO: u8 = 0x01;
+/// Client → server: one line of the `rvmon trace` grammar (`event obj…`,
+/// `!free obj…`, `!gc`, `!sweep`) for the connection's tenant.
+pub const FRAME_EVENT: u8 = 0x02;
+/// Client → server: durability barrier. Payload: an opaque `u64 LE`
+/// token; the matching [`FRAME_SYNCED`] is sent only after every event
+/// enqueued before it has been processed and the journal fsynced.
+pub const FRAME_SYNC: u8 = 0x03;
+/// Client → server: request the tenant's stats JSON.
+pub const FRAME_STATS: u8 = 0x04;
+/// Client → server: graceful goodbye; the server closes the connection.
+pub const FRAME_BYE: u8 = 0x05;
+
+/// Server → client: HELLO accepted. Payload: the tenant name.
+pub const FRAME_OK: u8 = 0x80;
+/// Server → client: barrier reached. Payload: the echoed `u64` token.
+pub const FRAME_SYNCED: u8 = 0x81;
+/// Server → client: stats JSON payload.
+pub const FRAME_STATS_REPLY: u8 = 0x82;
+/// Server → client: typed rejection. Payload:
+/// `[code: u16 LE][message UTF-8]`.
+pub const FRAME_REJECT: u8 = 0x83;
+
+/// Reject code: malformed frame or a frame sent before a HELLO.
+pub const REJECT_BAD_FRAME: u16 = 400;
+/// Reject code: a HELLO for an existing tenant carried a different spec.
+pub const REJECT_SPEC_MISMATCH: u16 = 409;
+/// Reject code: the HELLO spec failed to compile.
+pub const REJECT_BAD_SPEC: u16 = 422;
+/// Reject code: the tenant table is full ([`ServiceConfig::max_tenants`]).
+pub const REJECT_TOO_MANY_TENANTS: u16 = 429;
+/// Reject code: the tenant's connection cap is reached
+/// ([`ServiceConfig::max_conns_per_tenant`]).
+pub const REJECT_TOO_MANY_CONNS: u16 = 430;
+/// Reject code: the tenant's ingest queue is full and the backpressure
+/// policy is [`Backpressure::Shed`] — the event was dropped.
+pub const REJECT_QUEUE_FULL: u16 = 431;
+/// Reject code: the tenant's worker failed (panic or persistent journal
+/// failure) and is quarantined; its neighbors are unaffected.
+pub const REJECT_TENANT_FAILED: u16 = 500;
+/// Reject code: the service is draining and admits no new work.
+pub const REJECT_DRAINING: u16 = 503;
+/// Reject code: a barrier or stats request timed out inside the service.
+pub const REJECT_TIMEOUT: u16 = 504;
+
+/// A typed rejection: the `429`-style code plus a human-readable reason.
+pub type Reject = (u16, String);
+
+/// Writes one `[len][kind][payload]` frame.
+///
+/// # Errors
+///
+/// Any IO error from the underlying stream.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len() + 1).map_err(|_| ErrorKind::InvalidInput)?;
+    if len > FRAME_MAX {
+        return Err(std::io::Error::new(ErrorKind::InvalidInput, "frame exceeds FRAME_MAX"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// IO errors from the stream (including read timeouts, surfaced as
+/// `WouldBlock`/`TimedOut`), an EOF mid-frame, or an implausible length
+/// prefix (`InvalidData`).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    let mut n = 0;
+    while n < 4 {
+        match r.read(&mut len_buf[n..])? {
+            0 if n == 0 => return Ok(None),
+            0 => return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "EOF mid-frame")),
+            read => n += read,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > FRAME_MAX {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("implausible frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let kind = body[0];
+    body.remove(0);
+    Ok(Some((kind, body)))
+}
+
+/// Encodes a HELLO payload (client-side helper shared with `loadgen`).
+#[must_use]
+pub fn encode_hello(name: &str, spec: &str, opts: &TenantOptions) -> Vec<u8> {
+    let mut p = Vec::with_capacity(6 + name.len() + 1 + spec.len());
+    p.push(opts.flags);
+    p.extend_from_slice(&opts.max_live_monitors.map_or(0, |n| n.max(1)).to_le_bytes());
+    p.extend_from_slice(name.as_bytes());
+    p.push(b'\n');
+    p.extend_from_slice(spec.as_bytes());
+    p
+}
+
+/// Decodes a HELLO payload into `(name, spec, options)`.
+#[must_use]
+pub fn decode_hello(payload: &[u8]) -> Option<(String, String, TenantOptions)> {
+    let flags = *payload.first()?;
+    let max_live = u32::from_le_bytes(payload.get(1..5)?.try_into().ok()?);
+    let rest = payload.get(5..)?;
+    let split = rest.iter().position(|&b| b == b'\n')?;
+    let name = String::from_utf8(rest[..split].to_vec()).ok()?;
+    let spec = String::from_utf8(rest[split + 1..].to_vec()).ok()?;
+    let opts = TenantOptions { flags, max_live_monitors: (max_live > 0).then_some(max_live) };
+    Some((name, spec, opts))
+}
+
+// --- Configuration -------------------------------------------------------
+
+/// What a full per-tenant ingest queue does to the next event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Backpressure {
+    /// Block the submitting connection thread until the queue drains —
+    /// TCP backpressure propagates to the client.
+    #[default]
+    Block,
+    /// Drop the event and answer a [`REJECT_QUEUE_FULL`] frame; the drop
+    /// is counted in [`ServiceStats::events_shed`].
+    Shed,
+}
+
+/// Tenant option flag: install a trigger handler that panics on every
+/// goal report — the chaos hook CI uses to prove the panic boundary.
+pub const TENANT_FLAG_PANIC_HANDLER: u8 = 0x01;
+
+/// Per-tenant options carried in the HELLO frame and persisted beside
+/// the tenant's journal for recovery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TenantOptions {
+    /// Flag bits ([`TENANT_FLAG_PANIC_HANDLER`]).
+    pub flags: u8,
+    /// Overrides [`EngineConfig::max_live_monitors`] for this tenant —
+    /// the knob that arms the degradation ladder per tenant.
+    pub max_live_monitors: Option<u32>,
+}
+
+/// Service-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Root directory; tenant `t` journals into `root/t/`.
+    pub root: PathBuf,
+    /// Admission cap on concurrently registered tenants.
+    pub max_tenants: usize,
+    /// Admission cap on concurrent connections per tenant.
+    pub max_conns_per_tenant: usize,
+    /// Bounded ingest queue depth per tenant (events in flight).
+    pub queue_depth: usize,
+    /// Full-queue policy.
+    pub backpressure: Backpressure,
+    /// Events between tenant checkpoints.
+    pub checkpoint_every: u64,
+    /// Template engine configuration for tenants (`record_triggers` is
+    /// forced on — the journal needs the reports).
+    pub engine: EngineConfig,
+    /// Retry policy for journal appends.
+    pub retry: RetryPolicy,
+    /// How long a barrier or stats round trip may take before the
+    /// service answers [`REJECT_TIMEOUT`].
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            root: PathBuf::from("rvmond-data"),
+            max_tenants: 8,
+            max_conns_per_tenant: 4,
+            queue_depth: 256,
+            backpressure: Backpressure::Block,
+            checkpoint_every: 256,
+            engine: EngineConfig::default(),
+            retry: RetryPolicy::default(),
+            reply_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+// --- Service-wide stats --------------------------------------------------
+
+/// Service-level counters (tenant-level ones live in the snapshots).
+/// All atomics: connection threads and workers bump them lock-free.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Tenants admitted (fresh creations plus recoveries).
+    pub tenants_admitted: AtomicU64,
+    /// Tenant admissions rejected (table full, bad spec, draining…).
+    pub tenants_rejected: AtomicU64,
+    /// Connection permits granted.
+    pub conns_opened: AtomicU64,
+    /// Connection permits refused (per-tenant cap).
+    pub conns_rejected: AtomicU64,
+    /// Events accepted into ingest queues.
+    pub events_submitted: AtomicU64,
+    /// Events dropped by [`Backpressure::Shed`].
+    pub events_shed: AtomicU64,
+    /// Malformed frames answered with [`REJECT_BAD_FRAME`].
+    pub bad_frames: AtomicU64,
+    /// Connections closed because a read idled past the timeout.
+    pub idle_reaped: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Renders the counters as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tenants_admitted\":{},\"tenants_rejected\":{},\"conns_opened\":{},\
+             \"conns_rejected\":{},\"events_submitted\":{},\"events_shed\":{},\
+             \"bad_frames\":{},\"idle_reaped\":{}}}",
+            self.tenants_admitted.load(Ordering::Relaxed),
+            self.tenants_rejected.load(Ordering::Relaxed),
+            self.conns_opened.load(Ordering::Relaxed),
+            self.conns_rejected.load(Ordering::Relaxed),
+            self.events_submitted.load(Ordering::Relaxed),
+            self.events_shed.load(Ordering::Relaxed),
+            self.bad_frames.load(Ordering::Relaxed),
+            self.idle_reaped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+// --- Tenant state --------------------------------------------------------
+
+/// Lifecycle state of a tenant's isolation domain.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum TenantState {
+    /// Worker alive and consuming.
+    #[default]
+    Running,
+    /// Worker stopped after a drain checkpoint — restart-ready.
+    Drained,
+    /// Worker quarantined after a panic or persistent journal failure;
+    /// the string is the failure rendering. Neighbors are unaffected.
+    Failed(String),
+}
+
+impl TenantState {
+    /// Short label for health output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantState::Running => "running",
+            TenantState::Drained => "drained",
+            TenantState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// A point-in-time public view of one tenant, maintained by its worker
+/// and read by `/healthz`, `/metrics` and the stats frames.
+#[derive(Clone, Debug, Default)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: TenantState,
+    /// Event lines processed (journaled and dispatched).
+    pub events: u64,
+    /// Goal reports delivered (journaled).
+    pub triggers: u64,
+    /// Events dropped at the ingest queue by [`Backpressure::Shed`].
+    pub shed_events: u64,
+    /// Client lines rejected as malformed (unknown event, bad arity…).
+    pub bad_lines: u64,
+    /// Monitors quarantined after trigger-handler panics.
+    pub quarantined: u64,
+    /// Budget trips counted by the engines.
+    pub budget_trips: u64,
+    /// Degradation-ladder transitions entered.
+    pub degradations: u64,
+    /// Monitor creations shed by the `shed_new_monitors` rung.
+    pub shed_monitors: u64,
+    /// Live monitor instances.
+    pub monitors_live: u64,
+    /// Checkpoints written (drain and periodic).
+    pub checkpoints: u64,
+    /// Journal records appended.
+    pub journal_records: u64,
+    /// Transient journal-append retries spent.
+    pub journal_retries: u64,
+    /// Events replayed during recovery (0 for a fresh tenant).
+    pub recovered_events: u64,
+    /// Goal reports suppressed as already-delivered during recovery.
+    pub suppressed_triggers: u64,
+}
+
+impl TenantSnapshot {
+    /// Renders the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let state = match &self.state {
+            TenantState::Failed(e) => format!("\"failed: {}\"", e.replace('"', "'")),
+            s => format!("\"{}\"", s.label()),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"state\":{state},\"events\":{},\"triggers\":{},\
+             \"shed_events\":{},\"bad_lines\":{},\"quarantined\":{},\"budget_trips\":{},\
+             \"degradations\":{},\"shed_monitors\":{},\"monitors_live\":{},\
+             \"checkpoints\":{},\"journal_records\":{},\"journal_retries\":{},\
+             \"recovered_events\":{},\"suppressed_triggers\":{}}}",
+            self.name,
+            self.events,
+            self.triggers,
+            self.shed_events,
+            self.bad_lines,
+            self.quarantined,
+            self.budget_trips,
+            self.degradations,
+            self.shed_monitors,
+            self.monitors_live,
+            self.checkpoints,
+            self.journal_records,
+            self.journal_retries,
+            self.recovered_events,
+            self.suppressed_triggers,
+        )
+    }
+}
+
+enum TenantMsg {
+    Line(String),
+    Sync { token: u64, reply: SyncSender<u64> },
+    Stats { reply: SyncSender<String> },
+    Drain,
+}
+
+struct Tenant {
+    ingest: SyncSender<TenantMsg>,
+    conns: Arc<AtomicUsize>,
+    shared: Arc<Mutex<TenantSnapshot>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A granted connection slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct ConnPermit {
+    conns: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+// --- The service ---------------------------------------------------------
+
+/// The multi-tenant service core: tenant registry, admission control,
+/// ingest routing, drain, and recovery. `rvmond` wraps it in TCP;
+/// tests drive it directly.
+pub struct Service {
+    config: ServiceConfig,
+    tenants: Mutex<HashMap<String, Tenant>>,
+    /// Service-level counters.
+    pub stats: ServiceStats,
+    draining: AtomicBool,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service").field("root", &self.config.root).finish()
+    }
+}
+
+fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+const OPTIONS_FILE: &str = "tenant.opts";
+
+fn write_options(dir: &Path, opts: &TenantOptions) -> std::io::Result<()> {
+    std::fs::write(
+        dir.join(OPTIONS_FILE),
+        format!(
+            "flags={}\nmax_live_monitors={}\n",
+            opts.flags,
+            opts.max_live_monitors.unwrap_or(0)
+        ),
+    )
+}
+
+fn read_options(dir: &Path) -> TenantOptions {
+    let mut opts = TenantOptions::default();
+    let Ok(text) = std::fs::read_to_string(dir.join(OPTIONS_FILE)) else {
+        return opts;
+    };
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("flags=") {
+            opts.flags = v.trim().parse().unwrap_or(0);
+        } else if let Some(v) = line.strip_prefix("max_live_monitors=") {
+            let n: u32 = v.trim().parse().unwrap_or(0);
+            opts.max_live_monitors = (n > 0).then_some(n);
+        }
+    }
+    opts
+}
+
+impl Service {
+    /// Creates the service, making the root directory.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error creating the root directory.
+    pub fn new(config: ServiceConfig) -> std::io::Result<Service> {
+        std::fs::create_dir_all(&config.root)?;
+        Ok(Service {
+            config,
+            tenants: Mutex::new(HashMap::new()),
+            stats: ServiceStats::default(),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Whether the service is draining (no new admissions or events).
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Admits (or attaches to) tenant `name`. A fresh tenant needs a
+    /// non-empty `spec` source; attaching to a live tenant accepts an
+    /// empty spec or the identical source. A tenant directory left by a
+    /// previous run is recovered: checkpoint restore + journal suffix
+    /// replay with duplicate-trigger suppression.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Reject`]: [`REJECT_DRAINING`], [`REJECT_BAD_FRAME`]
+    /// (bad name / missing spec), [`REJECT_TOO_MANY_TENANTS`],
+    /// [`REJECT_BAD_SPEC`], [`REJECT_SPEC_MISMATCH`] or
+    /// [`REJECT_TENANT_FAILED`] (recovery failed).
+    pub fn admit(&self, name: &str, spec: &str, opts: TenantOptions) -> Result<(), Reject> {
+        if self.is_draining() {
+            self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((REJECT_DRAINING, "service is draining".into()));
+        }
+        if !valid_tenant_name(name) {
+            self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((REJECT_BAD_FRAME, "tenant names are 1-64 chars of [A-Za-z0-9_-]".into()));
+        }
+        let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
+        if let Some(t) = tenants.get(name) {
+            let state = t.shared.lock().expect("snapshot poisoned").state.clone();
+            if let TenantState::Failed(e) = state {
+                self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err((REJECT_TENANT_FAILED, format!("tenant quarantined: {e}")));
+            }
+            return Ok(());
+        }
+        if tenants.len() >= self.config.max_tenants {
+            self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((
+                REJECT_TOO_MANY_TENANTS,
+                format!("tenant table full ({} tenants)", tenants.len()),
+            ));
+        }
+        let dir = self.config.root.join(name);
+        let has_journal = dir.join("journal-00000000").exists();
+        if !has_journal && spec.trim().is_empty() {
+            self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((REJECT_BAD_FRAME, format!("unknown tenant `{name}` and no spec given")));
+        }
+        let tenant = spawn_worker(
+            name,
+            &dir,
+            if spec.trim().is_empty() { None } else { Some(spec.to_owned()) },
+            opts,
+            &self.config,
+        )
+        .map_err(|r| {
+            self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+            r
+        })?;
+        tenants.insert(name.to_owned(), tenant);
+        self.stats.tenants_admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Recovers every tenant directory under the root (kill -9 or
+    /// post-drain restart), returning the recovered names sorted.
+    ///
+    /// # Errors
+    ///
+    /// Per-tenant failures are returned alongside the successes; the IO
+    /// error is for an unreadable root directory.
+    pub fn recover_all(&self) -> std::io::Result<(Vec<String>, Vec<(String, Reject)>)> {
+        let mut ok = Vec::new();
+        let mut failed = Vec::new();
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.config.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() && path.join("journal-00000000").exists() {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        for name in names {
+            let opts = read_options(&self.config.root.join(&name));
+            match self.admit(&name, "", opts) {
+                Ok(()) => ok.push(name),
+                Err(r) => failed.push((name, r)),
+            }
+        }
+        Ok((ok, failed))
+    }
+
+    /// Grants a connection slot for `name`, enforcing the per-tenant cap.
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_TOO_MANY_CONNS`] at the cap, or a bad-name reject for an
+    /// unknown tenant.
+    pub fn connect(&self, name: &str) -> Result<ConnPermit, Reject> {
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        let Some(t) = tenants.get(name) else {
+            return Err((REJECT_BAD_FRAME, format!("unknown tenant `{name}`")));
+        };
+        let cap = self.config.max_conns_per_tenant;
+        let granted = t
+            .conns
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| (n < cap).then_some(n + 1))
+            .is_ok();
+        if !granted {
+            self.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((
+                REJECT_TOO_MANY_CONNS,
+                format!("tenant `{name}` is at its connection cap ({cap})"),
+            ));
+        }
+        self.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(ConnPermit { conns: Arc::clone(&t.conns) })
+    }
+
+    fn ingest_of(
+        &self,
+        name: &str,
+    ) -> Result<(SyncSender<TenantMsg>, Arc<Mutex<TenantSnapshot>>), Reject> {
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        let Some(t) = tenants.get(name) else {
+            return Err((REJECT_BAD_FRAME, format!("unknown tenant `{name}`")));
+        };
+        let state = t.shared.lock().expect("snapshot poisoned").state.clone();
+        match state {
+            TenantState::Failed(e) => {
+                Err((REJECT_TENANT_FAILED, format!("tenant quarantined: {e}")))
+            }
+            TenantState::Drained => Err((REJECT_DRAINING, "tenant is drained".into())),
+            TenantState::Running => Ok((t.ingest.clone(), Arc::clone(&t.shared))),
+        }
+    }
+
+    /// Submits one trace-grammar line to tenant `name`, applying the
+    /// configured backpressure policy at a full queue.
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_QUEUE_FULL`] under [`Backpressure::Shed`],
+    /// [`REJECT_TENANT_FAILED`] / [`REJECT_DRAINING`] for dead tenants,
+    /// [`REJECT_DRAINING`] while the service drains.
+    pub fn submit(&self, name: &str, line: &str) -> Result<(), Reject> {
+        if self.is_draining() {
+            return Err((REJECT_DRAINING, "service is draining".into()));
+        }
+        let (ingest, shared) = self.ingest_of(name)?;
+        let msg = TenantMsg::Line(line.to_owned());
+        match self.config.backpressure {
+            Backpressure::Block => ingest
+                .send(msg)
+                .map_err(|_| (REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")))?,
+            Backpressure::Shed => match ingest.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.stats.events_shed.fetch_add(1, Ordering::Relaxed);
+                    shared.lock().expect("snapshot poisoned").shed_events += 1;
+                    return Err((
+                        REJECT_QUEUE_FULL,
+                        format!("tenant `{name}` ingest queue is full — event shed"),
+                    ));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err((REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")));
+                }
+            },
+        }
+        self.stats.events_submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Durability barrier: returns once everything submitted to `name`
+    /// before this call is processed and fsynced. Echoes `token`.
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_TIMEOUT`] past
+    /// [`ServiceConfig::reply_timeout`], or the dead-tenant rejects.
+    pub fn sync(&self, name: &str, token: u64) -> Result<u64, Reject> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.sync_with(name, token, reply_tx)?;
+        reply_rx
+            .recv_timeout(self.config.reply_timeout)
+            .map_err(|_| (REJECT_TIMEOUT, format!("barrier timed out for tenant `{name}`")))
+    }
+
+    /// Lower-level barrier: the reply lands on the caller's channel.
+    /// Tests use a rendezvous channel here to stall a worker
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// The dead-tenant rejects; the send itself blocks at a full queue
+    /// regardless of the backpressure policy (barriers are never shed).
+    pub fn sync_with(&self, name: &str, token: u64, reply: SyncSender<u64>) -> Result<(), Reject> {
+        let (ingest, _) = self.ingest_of(name)?;
+        ingest
+            .send(TenantMsg::Sync { token, reply })
+            .map_err(|_| (REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")))
+    }
+
+    /// The tenant's stats JSON (engine + journal + snapshot counters),
+    /// produced by the worker itself at a message boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_TIMEOUT`] or the dead-tenant rejects.
+    pub fn tenant_stats_json(&self, name: &str) -> Result<String, Reject> {
+        let (ingest, _) = self.ingest_of(name)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        ingest
+            .send(TenantMsg::Stats { reply: reply_tx })
+            .map_err(|_| (REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")))?;
+        reply_rx
+            .recv_timeout(self.config.reply_timeout)
+            .map_err(|_| (REJECT_TIMEOUT, format!("stats timed out for tenant `{name}`")))
+    }
+
+    /// Snapshots of every tenant, sorted by name.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<TenantSnapshot> {
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        let mut snaps: Vec<TenantSnapshot> =
+            tenants.values().map(|t| t.shared.lock().expect("snapshot poisoned").clone()).collect();
+        snaps.sort_by(|a, b| a.name.cmp(&b.name));
+        snaps
+    }
+
+    /// Plain-text liveness body for `/healthz`: a leading `ok` (or
+    /// `draining`), then one line per tenant.
+    #[must_use]
+    pub fn healthz(&self) -> String {
+        let snaps = self.snapshots();
+        let mut out = String::new();
+        out.push_str(if self.is_draining() { "draining\n" } else { "ok\n" });
+        out.push_str(&format!("tenants {}\n", snaps.len()));
+        for s in &snaps {
+            out.push_str(&format!(
+                "tenant {} state={} events={} triggers={} shed_events={} bad_lines={} \
+                 quarantined={} budget_trips={} shed_monitors={} monitors_live={} checkpoints={}\n",
+                s.name,
+                s.state.label(),
+                s.events,
+                s.triggers,
+                s.shed_events,
+                s.bad_lines,
+                s.quarantined,
+                s.budget_trips,
+                s.shed_monitors,
+                s.monitors_live,
+                s.checkpoints,
+            ));
+        }
+        out
+    }
+
+    /// Prometheus text exposition of the service and per-tenant counters
+    /// (`rvmond_*` namespace, tenant-labeled).
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let snaps = self.snapshots();
+        let mut out = String::new();
+        let service: &[(&str, &str, u64)] = &[
+            (
+                "rvmond_tenants_admitted_total",
+                "Tenants admitted",
+                self.stats.tenants_admitted.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_tenants_rejected_total",
+                "Tenant admissions rejected",
+                self.stats.tenants_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_conns_opened_total",
+                "Connection permits granted",
+                self.stats.conns_opened.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_conns_rejected_total",
+                "Connection permits refused",
+                self.stats.conns_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_events_submitted_total",
+                "Events accepted into ingest queues",
+                self.stats.events_submitted.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_events_shed_total",
+                "Events dropped by shed backpressure",
+                self.stats.events_shed.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_bad_frames_total",
+                "Malformed frames rejected",
+                self.stats.bad_frames.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_idle_reaped_total",
+                "Connections reaped for idling",
+                self.stats.idle_reaped.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in service {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        }
+        let per_tenant: &[(&str, &str, fn(&TenantSnapshot) -> u64)] = &[
+            ("rvmond_tenant_events_total", "Events processed", |s| s.events),
+            ("rvmond_tenant_triggers_total", "Goal reports delivered", |s| s.triggers),
+            ("rvmond_tenant_shed_events_total", "Events shed at the queue", |s| s.shed_events),
+            ("rvmond_tenant_bad_lines_total", "Malformed client lines", |s| s.bad_lines),
+            ("rvmond_tenant_quarantined_total", "Monitors quarantined", |s| s.quarantined),
+            ("rvmond_tenant_budget_trips_total", "Budget trips", |s| s.budget_trips),
+            ("rvmond_tenant_shed_monitors_total", "Monitor creations shed", |s| s.shed_monitors),
+            ("rvmond_tenant_checkpoints_total", "Checkpoints written", |s| s.checkpoints),
+            ("rvmond_tenant_journal_retries_total", "Journal append retries", |s| {
+                s.journal_retries
+            }),
+        ];
+        for (name, help, get) in per_tenant {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for s in &snaps {
+                out.push_str(&format!("{name}{{tenant=\"{}\"}} {}\n", s.name, get(s)));
+            }
+        }
+        out.push_str("# HELP rvmond_tenant_monitors_live Live monitor instances\n");
+        out.push_str("# TYPE rvmond_tenant_monitors_live gauge\n");
+        for s in &snaps {
+            out.push_str(&format!(
+                "rvmond_tenant_monitors_live{{tenant=\"{}\"}} {}\n",
+                s.name, s.monitors_live
+            ));
+        }
+        out
+    }
+
+    /// Graceful drain: stop admitting, checkpoint every running tenant,
+    /// and join the workers. Idempotent; returns the number of tenants
+    /// that drained to a checkpoint this call.
+    #[must_use]
+    pub fn drain(&self) -> usize {
+        self.draining.store(true, Ordering::Release);
+        let mut handles = Vec::new();
+        {
+            let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
+            for t in tenants.values_mut() {
+                let _ = t.ingest.send(TenantMsg::Drain);
+                if let Some(h) = t.worker.take() {
+                    handles.push(h);
+                }
+            }
+        }
+        let joined = handles.len();
+        for h in handles {
+            let _ = h.join();
+        }
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        let drained = tenants
+            .values()
+            .filter(|t| t.shared.lock().expect("snapshot poisoned").state == TenantState::Drained)
+            .count();
+        drained.min(joined.max(drained))
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Dropping without drain() is the crash path tests use: the
+        // workers see a channel disconnect and exit without a
+        // checkpoint. Join them so their journals finish flushing before
+        // the test inspects the files.
+        let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
+        let handles: Vec<_> = tenants.values_mut().filter_map(|t| t.worker.take()).collect();
+        tenants.clear();
+        drop(tenants);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+// --- Connection loop ------------------------------------------------------
+
+fn write_reject(w: &mut impl Write, code: u16, msg: &str) -> std::io::Result<()> {
+    let mut payload = Vec::with_capacity(2 + msg.len());
+    payload.extend_from_slice(&code.to_le_bytes());
+    payload.extend_from_slice(msg.as_bytes());
+    write_frame(w, FRAME_REJECT, &payload)
+}
+
+/// Serves one framed client connection against the service: HELLO →
+/// admission + connection permit, EVENT → submit with backpressure,
+/// SYNC → durability barrier, STATS → tenant JSON, BYE/EOF → close.
+/// Read timeouts (surfaced as `WouldBlock`/`TimedOut` from the stream)
+/// reap the connection and are counted in
+/// [`ServiceStats::idle_reaped`].
+///
+/// # Errors
+///
+/// The IO error that ended the connection, if it was not a clean close.
+pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> std::io::Result<()> {
+    let mut session: Option<(String, ConnPermit)> = None;
+    loop {
+        let frame = match read_frame(stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()),
+            Err(e) if crate::journal::is_transient(e.kind()) => {
+                service.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                let _ = write_reject(stream, REJECT_BAD_FRAME, "idle timeout — closing");
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        match frame {
+            (FRAME_HELLO, payload) => {
+                let Some((name, spec, opts)) = decode_hello(&payload) else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "malformed HELLO payload")?;
+                    return Ok(());
+                };
+                if let Err((code, msg)) = service.admit(&name, &spec, opts) {
+                    write_reject(stream, code, &msg)?;
+                    return Ok(());
+                }
+                match service.connect(&name) {
+                    Ok(permit) => {
+                        session = Some((name.clone(), permit));
+                        write_frame(stream, FRAME_OK, name.as_bytes())?;
+                    }
+                    Err((code, msg)) => {
+                        write_reject(stream, code, &msg)?;
+                        return Ok(());
+                    }
+                }
+            }
+            (FRAME_EVENT, payload) => {
+                let Some((name, _)) = &session else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "EVENT before HELLO")?;
+                    return Ok(());
+                };
+                let Ok(line) = String::from_utf8(payload) else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "EVENT payload is not UTF-8")?;
+                    continue;
+                };
+                match service.submit(name, &line) {
+                    Ok(()) => {}
+                    // Shed is a per-event outcome, not a connection
+                    // failure: report and keep serving.
+                    Err((code @ REJECT_QUEUE_FULL, msg)) => write_reject(stream, code, &msg)?,
+                    Err((code, msg)) => {
+                        write_reject(stream, code, &msg)?;
+                        return Ok(());
+                    }
+                }
+            }
+            (FRAME_SYNC, payload) => {
+                let Some((name, _)) = &session else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "SYNC before HELLO")?;
+                    return Ok(());
+                };
+                let token =
+                    payload.get(..8).and_then(|b| b.try_into().ok()).map_or(0, u64::from_le_bytes);
+                match service.sync(name, token) {
+                    Ok(echoed) => write_frame(stream, FRAME_SYNCED, &echoed.to_le_bytes())?,
+                    Err((code, msg)) => {
+                        write_reject(stream, code, &msg)?;
+                        return Ok(());
+                    }
+                }
+            }
+            (FRAME_STATS, _) => {
+                let Some((name, _)) = &session else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "STATS before HELLO")?;
+                    return Ok(());
+                };
+                match service.tenant_stats_json(name) {
+                    Ok(json) => write_frame(stream, FRAME_STATS_REPLY, json.as_bytes())?,
+                    Err((code, msg)) => {
+                        write_reject(stream, code, &msg)?;
+                        return Ok(());
+                    }
+                }
+            }
+            (FRAME_BYE, _) => return Ok(()),
+            (kind, _) => {
+                service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                write_reject(stream, REJECT_BAD_FRAME, &format!("unknown frame kind {kind:#x}"))?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+// --- Tenant worker --------------------------------------------------------
+
+fn spawn_worker(
+    name: &str,
+    dir: &Path,
+    spec_source: Option<String>,
+    opts: TenantOptions,
+    config: &ServiceConfig,
+) -> Result<Tenant, Reject> {
+    let (ingest_tx, ingest_rx) = sync_channel::<TenantMsg>(config.queue_depth.max(1));
+    let shared =
+        Arc::new(Mutex::new(TenantSnapshot { name: name.to_owned(), ..TenantSnapshot::default() }));
+    let (init_tx, init_rx) = sync_channel::<Result<(), Reject>>(1);
+    let worker = {
+        let name = name.to_owned();
+        let dir = dir.to_path_buf();
+        let shared = Arc::clone(&shared);
+        let config = config.clone();
+        std::thread::Builder::new()
+            .name(format!("rvmond-tenant-{name}"))
+            .spawn(move || {
+                let mut w = match Worker::init(&name, &dir, spec_source, opts, &config, &shared) {
+                    Ok(w) => {
+                        let _ = init_tx.send(Ok(()));
+                        w
+                    }
+                    Err(r) => {
+                        let _ = init_tx.send(Err(r));
+                        return;
+                    }
+                };
+                w.run(&ingest_rx);
+            })
+            .map_err(|e| (REJECT_TENANT_FAILED, format!("cannot spawn worker: {e}")))?
+    };
+    match init_rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(Ok(())) => Ok(Tenant {
+            ingest: ingest_tx,
+            conns: Arc::new(AtomicUsize::new(0)),
+            shared,
+            worker: Some(worker),
+        }),
+        Ok(Err(r)) => {
+            let _ = worker.join();
+            Err(r)
+        }
+        Err(_) => Err((REJECT_TIMEOUT, "tenant worker initialisation timed out".into())),
+    }
+}
+
+/// Everything a tenant worker owns — engines, heap, naming, journal.
+/// Lives entirely on the worker thread; nothing here is `Send`.
+struct Worker {
+    monitor: PropertyMonitor<MetricsRegistry>,
+    heap: Heap,
+    class: rv_heap::ClassId,
+    objects: HashMap<String, ObjId>,
+    journal: JournalWriter,
+    dir: PathBuf,
+    retry: RetryPolicy,
+    checkpoint_every: u64,
+    events_since_checkpoint: u64,
+    generation: u64,
+    alphabet: rv_logic::Alphabet,
+    event_params: Vec<Vec<rv_logic::ParamId>>,
+    shared: Arc<Mutex<TenantSnapshot>>,
+    bad_lines: u64,
+}
+
+/// A worker-fatal failure: the tenant quarantines, neighbors continue.
+struct Fatal(String);
+
+impl Worker {
+    #[allow(clippy::too_many_lines)]
+    fn init(
+        name: &str,
+        dir: &Path,
+        spec_source: Option<String>,
+        opts: TenantOptions,
+        config: &ServiceConfig,
+        shared: &Arc<Mutex<TenantSnapshot>>,
+    ) -> Result<Worker, Reject> {
+        let mut engine_cfg = config.engine.clone();
+        engine_cfg.record_triggers = true;
+        if let Some(n) = opts.max_live_monitors {
+            engine_cfg.max_live_monitors = Some(n as usize);
+        }
+        let internal = |msg: String| (REJECT_TENANT_FAILED, msg);
+
+        let has_journal = dir.join("journal-00000000").exists();
+        let mut recovered_events = 0u64;
+        let mut suppressed = 0u64;
+        let (monitor, heap, class, objects, journal, generation) = if has_journal {
+            let scan = read_journal(dir).map_err(|e| internal(e.to_string()))?;
+            let journaled_src = spec_source_of(&scan)
+                .ok_or_else(|| internal("journal carries no spec header".into()))?;
+            if let Some(src) = &spec_source {
+                if src != &journaled_src {
+                    return Err((
+                        REJECT_SPEC_MISMATCH,
+                        format!("tenant `{name}` already exists with a different spec"),
+                    ));
+                }
+            }
+            let spec = CompiledSpec::from_source(&journaled_src).map_err(|d| {
+                (REJECT_BAD_SPEC, format!("journaled spec no longer compiles: {}", d.message))
+            })?;
+            let mut monitor =
+                PropertyMonitor::with_observers(spec, &engine_cfg, |_| MetricsRegistry::new());
+            let (checkpoint, _skipped) = load_latest_checkpoint(dir, scan.next_seq);
+            let mut replay_from = 0u64;
+            if let Some(cp) = &checkpoint {
+                monitor
+                    .restore_snapshot(&cp.payload, &cp.file)
+                    .map_err(|e| internal(e.to_string()))?;
+                replay_from = cp.seq;
+            }
+            let hwm = scan.trigger_high_water_mark();
+            let replayed =
+                replay_tenant(&scan, &mut monitor, replay_from, hwm).map_err(|m| internal(m))?;
+            recovered_events = replayed.events;
+            suppressed = replayed.suppressed;
+            monitor.reflag_dead_keys(&replayed.heap);
+            monitor.check_invariants(&replayed.heap).map_err(|e| internal(e.to_string()))?;
+            let journal = JournalWriter::resume(dir, &scan).map_err(|e| internal(e.to_string()))?;
+            let generation = list_checkpoints(dir).last().map_or(0, |g| g + 1);
+            (monitor, replayed.heap, replayed.class, replayed.objects, journal, generation)
+        } else {
+            let source = spec_source.expect("admit() requires a spec for fresh tenants");
+            let spec = CompiledSpec::from_source(&source)
+                .map_err(|d| (REJECT_BAD_SPEC, format!("spec does not compile: {}", d.message)))?;
+            let monitor =
+                PropertyMonitor::with_observers(spec, &engine_cfg, |_| MetricsRegistry::new());
+            std::fs::create_dir_all(dir).map_err(|e| internal(e.to_string()))?;
+            write_options(dir, &opts).map_err(|e| internal(e.to_string()))?;
+            let mut journal = JournalWriter::create(dir).map_err(|e| internal(e.to_string()))?;
+            journal
+                .append_retry(
+                    &Record::Aux { tag: AUX_SPEC, bytes: source.into_bytes() },
+                    &config.retry,
+                )
+                .map_err(|e| internal(e.to_string()))?;
+            let mut heap = Heap::new(HeapConfig::manual());
+            let class = heap.register_class("Obj");
+            (monitor, heap, class, HashMap::new(), journal, 0)
+        };
+
+        let mut w = Worker {
+            alphabet: monitor.spec().alphabet.clone(),
+            event_params: monitor.spec().event_params.clone(),
+            monitor,
+            heap,
+            class,
+            objects,
+            journal,
+            dir: dir.to_path_buf(),
+            retry: config.retry,
+            checkpoint_every: config.checkpoint_every.max(1),
+            events_since_checkpoint: 0,
+            generation,
+            shared: Arc::clone(shared),
+            bad_lines: 0,
+        };
+        if opts.flags & TENANT_FLAG_PANIC_HANDLER != 0 {
+            for engine in w.monitor.engines_mut() {
+                engine.set_trigger_handler(|_, _, _| {
+                    panic!("injected rvmond tenant handler panic");
+                });
+            }
+        }
+        {
+            let mut snap = w.shared.lock().expect("snapshot poisoned");
+            snap.recovered_events = recovered_events;
+            snap.suppressed_triggers = suppressed;
+            // The checkpoint counter survives restarts: prior generations
+            // are on disk, and the exposition's `_total` series should
+            // stay monotonic across a clean drain/restart cycle.
+            snap.checkpoints = list_checkpoints(&w.dir).len() as u64;
+        }
+        w.publish();
+        Ok(w)
+    }
+
+    /// Pushes the worker's counters into the shared snapshot.
+    fn publish(&self) {
+        let stats = self.monitor.stats();
+        let jstats = self.journal.stats();
+        let mut snap = self.shared.lock().expect("snapshot poisoned");
+        snap.events = stats.events;
+        snap.triggers = stats.triggers;
+        snap.bad_lines = self.bad_lines;
+        snap.quarantined = stats.quarantined;
+        snap.budget_trips = stats.budget_trips;
+        snap.degradations = stats.degradations;
+        snap.shed_monitors = stats.shed;
+        snap.monitors_live = stats.live_monitors as u64;
+        snap.journal_records = jstats.records;
+        snap.journal_retries = jstats.retries;
+    }
+
+    fn set_state(&self, state: TenantState) {
+        self.shared.lock().expect("snapshot poisoned").state = state;
+    }
+
+    fn run(&mut self, rx: &Receiver<TenantMsg>) {
+        while let Ok(msg) = rx.recv() {
+            let drain = matches!(msg, TenantMsg::Drain);
+            // The panic boundary: anything that unwinds out of message
+            // handling — including engine internals beyond the engine's
+            // own handler quarantine — fails THIS tenant only.
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.handle(msg)));
+            match outcome {
+                Ok(Ok(())) => {
+                    self.publish();
+                    if drain {
+                        self.set_state(TenantState::Drained);
+                        return;
+                    }
+                }
+                Ok(Err(Fatal(msg))) => {
+                    self.publish();
+                    self.set_state(TenantState::Failed(msg));
+                    return;
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".into());
+                    self.set_state(TenantState::Failed(format!("panic: {msg}")));
+                    return;
+                }
+            }
+        }
+        // Channel disconnected without a drain: the crash path. No
+        // checkpoint — recovery replays the journal.
+    }
+
+    fn handle(&mut self, msg: TenantMsg) -> Result<(), Fatal> {
+        match msg {
+            TenantMsg::Line(line) => self.process_line(&line),
+            TenantMsg::Sync { token, reply } => {
+                self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+                let _ = reply.send(token);
+                Ok(())
+            }
+            TenantMsg::Stats { reply } => {
+                let json = format!(
+                    "{{\"tenant\":{},\"engine\":{},\"journal\":{}}}",
+                    self.shared.lock().expect("snapshot poisoned").to_json(),
+                    self.monitor.stats().to_json(),
+                    self.journal.stats().to_json()
+                );
+                let _ = reply.send(json);
+                Ok(())
+            }
+            TenantMsg::Drain => self.checkpoint_now(),
+        }
+    }
+
+    fn append(&mut self, record: &Record) -> Result<u64, Fatal> {
+        self.journal.append_retry(record, &self.retry).map_err(|e| Fatal(e.to_string()))
+    }
+
+    fn checkpoint_now(&mut self) -> Result<(), Fatal> {
+        self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+        if let Some(payload) = self.monitor.snapshot_bytes() {
+            let covered = self.journal.next_seq();
+            write_checkpoint(&self.dir, self.generation, covered, &payload)
+                .map_err(|e| Fatal(format!("checkpoint write failed: {e}")))?;
+            self.append(&Record::CheckpointMark { generation: self.generation, seq: covered })?;
+            self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+            self.generation += 1;
+            self.shared.lock().expect("snapshot poisoned").checkpoints += 1;
+        }
+        Ok(())
+    }
+
+    /// One line of the trace grammar. Malformed client input is counted
+    /// (`bad_lines`) and skipped — a hostile client cannot fail its
+    /// tenant with garbage, let alone a neighbor. Journal and engine
+    /// failures are fatal for this tenant only.
+    fn process_line(&mut self, raw: &str) -> Result<(), Fatal> {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let mut words = line.split_whitespace();
+        let Some(head) = words.next() else {
+            return Ok(());
+        };
+        match head {
+            "!gc" => {
+                self.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() })?;
+                self.heap.collect();
+            }
+            "!sweep" => {
+                self.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() })?;
+                for engine in self.monitor.engines_mut() {
+                    engine.full_sweep(&self.heap);
+                }
+            }
+            "!free" => {
+                let mut freed = Vec::new();
+                let mut payload = Vec::new();
+                for name in words {
+                    let Some(&obj) = self.objects.get(name) else {
+                        self.bad_lines += 1;
+                        return Ok(());
+                    };
+                    payload.extend_from_slice(&obj.to_bits().to_le_bytes());
+                    freed.push(obj);
+                }
+                self.append(&Record::Aux { tag: AUX_FREE, bytes: payload })?;
+                for obj in freed {
+                    self.heap.unpin(obj);
+                }
+            }
+            event_name => {
+                let Some(event) = self.alphabet.lookup(event_name) else {
+                    self.bad_lines += 1;
+                    return Ok(());
+                };
+                let params = self.event_params[event.as_usize()].clone();
+                let names: Vec<&str> = words.collect();
+                if names.len() != params.len() {
+                    self.bad_lines += 1;
+                    return Ok(());
+                }
+                // First-mention allocations are journaled as AUX_OBJ
+                // (object bits + client name) ahead of the event, so
+                // recovery rebuilds the same name → ObjId map.
+                let mut pairs = Vec::with_capacity(params.len());
+                let mut fresh: Vec<Record> = Vec::new();
+                for (&p, &name) in params.iter().zip(&names) {
+                    let obj = match self.objects.get(name) {
+                        Some(&o) => o,
+                        None => {
+                            let frame = self.heap.enter_frame();
+                            let o = self.heap.alloc(self.class);
+                            self.heap.pin(o);
+                            self.heap.exit_frame(frame);
+                            self.objects.insert(name.to_owned(), o);
+                            let mut bytes = o.to_bits().to_le_bytes().to_vec();
+                            bytes.extend_from_slice(name.as_bytes());
+                            fresh.push(Record::Aux { tag: AUX_OBJ, bytes });
+                            o
+                        }
+                    };
+                    pairs.push((p, obj));
+                }
+                for r in &fresh {
+                    self.append(r)?;
+                }
+                let binding = Binding::from_pairs(&pairs);
+                let seq = self.append(&Record::Event { event, binding })?;
+                let before: Vec<usize> =
+                    self.monitor.engines().iter().map(|e| e.triggers().len()).collect();
+                self.monitor
+                    .try_process(&self.heap, event, binding)
+                    .map_err(|e| Fatal(format!("engine error: {e}")))?;
+                let mut ordinal = 0u32;
+                let fired: Vec<Record> = self
+                    .monitor
+                    .engines()
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(bi, engine)| {
+                        engine.triggers()[before[bi]..].iter().map(move |t| (bi, *t))
+                    })
+                    .map(|(bi, t)| {
+                        let r = Record::Trigger {
+                            event_seq: seq,
+                            ordinal,
+                            block: bi as u16,
+                            step: t.step as u64,
+                            verdict: t.verdict,
+                            binding: t.binding,
+                        };
+                        ordinal += 1;
+                        r
+                    })
+                    .collect();
+                for r in &fired {
+                    self.append(r)?;
+                }
+                self.events_since_checkpoint += 1;
+                if self.events_since_checkpoint >= self.checkpoint_every {
+                    self.events_since_checkpoint = 0;
+                    self.checkpoint_now()?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// --- Recovery ------------------------------------------------------------
+
+/// The spec source carried in the journal's sequence-0 record.
+#[must_use]
+pub fn spec_source_of(scan: &JournalScan) -> Option<String> {
+    let first = scan.records.first()?;
+    match &first.record {
+        Record::Aux { tag, bytes } if *tag == AUX_SPEC => String::from_utf8(bytes.clone()).ok(),
+        _ => None,
+    }
+}
+
+struct Replayed {
+    heap: Heap,
+    class: rv_heap::ClassId,
+    objects: HashMap<String, ObjId>,
+    events: u64,
+    suppressed: u64,
+}
+
+/// Replays a tenant journal: rebuilds the heap and the client-visible
+/// name → `ObjId` map from `AUX_OBJ` records, feeds events with seq ≥
+/// `replay_from`, and suppresses goal reports at or below the durable
+/// high-water mark — exactly-once delivery across the crash.
+fn replay_tenant(
+    scan: &JournalScan,
+    monitor: &mut PropertyMonitor<MetricsRegistry>,
+    replay_from: u64,
+    hwm: Option<(u64, u32)>,
+) -> Result<Replayed, String> {
+    let mut heap = Heap::new(HeapConfig::manual());
+    let class = heap.register_class("Obj");
+    let mut objects: HashMap<String, ObjId> = HashMap::new();
+    let mut known: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut events = 0u64;
+    let mut suppressed = 0u64;
+    for sr in &scan.records {
+        match &sr.record {
+            Record::Aux { tag, .. } if *tag == AUX_GC => {
+                heap.collect();
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_OBJ => {
+                let Some(bits) =
+                    bytes.get(..8).and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+                else {
+                    return Err(format!("journal record {}: truncated AUX_OBJ", sr.seq));
+                };
+                let name = String::from_utf8_lossy(&bytes[8..]).into_owned();
+                let obj = ObjId::from_bits(bits);
+                if known.insert(bits) {
+                    let frame = heap.enter_frame();
+                    let fresh = heap.alloc(class);
+                    heap.pin(fresh);
+                    heap.exit_frame(frame);
+                    if fresh != obj {
+                        return Err(format!(
+                            "heap replay diverged at record {}: journal names object {bits:#x} \
+                             but the rebuilt heap allocated {:#x}",
+                            sr.seq,
+                            fresh.to_bits()
+                        ));
+                    }
+                }
+                objects.insert(name, obj);
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_FREE => {
+                for chunk in bytes.chunks_exact(8) {
+                    let bits = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                    if !known.contains(&bits) {
+                        return Err(format!(
+                            "journal record {} frees object {bits:#x} never allocated",
+                            sr.seq
+                        ));
+                    }
+                    heap.unpin(ObjId::from_bits(bits));
+                }
+            }
+            Record::Aux { tag, .. } if *tag == AUX_SWEEP => {
+                if sr.seq >= replay_from {
+                    for engine in monitor.engines_mut() {
+                        engine.full_sweep(&heap);
+                    }
+                }
+            }
+            Record::Event { event, binding } => {
+                for (_, obj) in binding.iter() {
+                    if !known.contains(&obj.to_bits()) {
+                        return Err(format!(
+                            "journal record {} references object {:#x} with no AUX_OBJ record",
+                            sr.seq,
+                            obj.to_bits()
+                        ));
+                    }
+                }
+                if sr.seq >= replay_from {
+                    let before: Vec<usize> =
+                        monitor.engines().iter().map(|e| e.triggers().len()).collect();
+                    monitor
+                        .try_process(&heap, *event, *binding)
+                        .map_err(|e| format!("engine error at record {}: {e}", sr.seq))?;
+                    let fired: usize = monitor
+                        .engines()
+                        .iter()
+                        .enumerate()
+                        .map(|(bi, e)| e.triggers().len() - before[bi])
+                        .sum();
+                    for ord in 0..fired as u32 {
+                        if hwm.is_some_and(|h| (sr.seq, ord) <= h) {
+                            suppressed += 1;
+                        }
+                    }
+                    events += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(Replayed { heap, class, objects, events, suppressed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+UnsafeIter(Collection c, Iterator i) {
+    event create(c, i);
+    event update(c);
+    event next(i);
+    ere: update* create next* update+ next
+    @match { report \"improper Concurrent Modification found!\"; }
+}
+";
+
+    fn temp_root(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("rv-svc-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(root: &Path) -> ServiceConfig {
+        ServiceConfig { root: root.to_path_buf(), ..ServiceConfig::default() }
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_codec() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_EVENT, b"create c1 i1").unwrap();
+        write_frame(&mut buf, FRAME_SYNC, &7u64.to_le_bytes()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some((FRAME_EVENT, b"create c1 i1".to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((FRAME_SYNC, 7u64.to_le_bytes().to_vec())));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+
+        // Torn length prefix is an error, not a hang or a bad parse.
+        let mut torn = &buf[..2];
+        assert!(read_frame(&mut torn).is_err());
+        // Implausible length is rejected without allocating.
+        let mut bogus: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert!(read_frame(&mut bogus).is_err());
+    }
+
+    #[test]
+    fn hello_payload_round_trips() {
+        let opts = TenantOptions { flags: TENANT_FLAG_PANIC_HANDLER, max_live_monitors: Some(8) };
+        let p = encode_hello("tenant-a", SPEC, &opts);
+        let (name, spec, got) = decode_hello(&p).unwrap();
+        assert_eq!(name, "tenant-a");
+        assert_eq!(spec, SPEC);
+        assert_eq!(got, opts);
+        assert!(decode_hello(&[1, 2]).is_none(), "truncated HELLO");
+    }
+
+    #[test]
+    fn admission_enforces_tenant_and_connection_caps() {
+        let root = temp_root("admission");
+        let svc = Service::new(ServiceConfig {
+            max_tenants: 2,
+            max_conns_per_tenant: 1,
+            ..config(&root)
+        })
+        .unwrap();
+        let (code, _) = svc.admit("bad name!", SPEC, TenantOptions::default()).unwrap_err();
+        assert_eq!(code, REJECT_BAD_FRAME);
+        let (code, _) = svc.admit("nospec", "", TenantOptions::default()).unwrap_err();
+        assert_eq!(code, REJECT_BAD_FRAME, "fresh tenant without a spec");
+        let (code, _) = svc.admit("badspec", "spec X {", TenantOptions::default()).unwrap_err();
+        assert_eq!(code, REJECT_BAD_SPEC);
+
+        svc.admit("a", SPEC, TenantOptions::default()).unwrap();
+        svc.admit("b", SPEC, TenantOptions::default()).unwrap();
+        let (code, _) = svc.admit("c", SPEC, TenantOptions::default()).unwrap_err();
+        assert_eq!(code, REJECT_TOO_MANY_TENANTS);
+        // Re-attach to an existing tenant is not an admission.
+        svc.admit("a", SPEC, TenantOptions::default()).unwrap();
+
+        let p1 = svc.connect("a").unwrap();
+        let (code, _) = svc.connect("a").unwrap_err();
+        assert_eq!(code, REJECT_TOO_MANY_CONNS);
+        drop(p1);
+        let _p2 = svc.connect("a").expect("slot freed by drop");
+        assert!(svc.stats.tenants_rejected.load(Ordering::Relaxed) >= 4);
+        let _ = svc.drain();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn shed_backpressure_rejects_when_the_queue_is_full() {
+        let root = temp_root("shed");
+        let svc = Service::new(ServiceConfig {
+            queue_depth: 2,
+            backpressure: Backpressure::Shed,
+            ..config(&root)
+        })
+        .unwrap();
+        svc.admit("t", SPEC, TenantOptions::default()).unwrap();
+        // Stall the worker deterministically: a rendezvous reply channel
+        // blocks it inside the barrier until we receive. While it is
+        // parked (or still holds the Sync message in the queue) the
+        // ingest queue can only drain by at most one slot, so submitting
+        // queue_depth + 2 events must shed at least one.
+        let (reply_tx, reply_rx) = sync_channel(0);
+        svc.sync_with("t", 1, reply_tx).unwrap();
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        for line in ["create c1 i1", "update c1", "next i1", "update c1"] {
+            match svc.submit("t", line) {
+                Ok(()) => accepted += 1,
+                Err((code, msg)) => {
+                    assert_eq!(code, REJECT_QUEUE_FULL, "{msg}");
+                    shed += 1;
+                }
+            }
+        }
+        assert!(shed >= 1, "a full queue under Shed must reject");
+        assert!(accepted >= 1, "the queue has capacity before it fills");
+        assert_eq!(svc.stats.events_shed.load(Ordering::Relaxed), shed);
+        // Unpark; the queued events flow and a barrier drains them.
+        assert_eq!(reply_rx.recv().unwrap(), 1);
+        svc.sync("t", 2).unwrap();
+        let snap = &svc.snapshots()[0];
+        assert_eq!(snap.events, accepted, "every accepted event processed");
+        assert_eq!(snap.shed_events, shed, "shed events are on the tenant's ledger");
+        let _ = svc.drain();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn draining_service_rejects_new_work() {
+        let root = temp_root("drainrej");
+        let svc = Service::new(config(&root)).unwrap();
+        svc.admit("t", SPEC, TenantOptions::default()).unwrap();
+        svc.submit("t", "create c1 i1").unwrap();
+        let drained = svc.drain();
+        assert_eq!(drained, 1);
+        let (code, _) = svc.admit("u", SPEC, TenantOptions::default()).unwrap_err();
+        assert_eq!(code, REJECT_DRAINING);
+        let (code, _) = svc.submit("t", "update c1").unwrap_err();
+        assert_eq!(code, REJECT_DRAINING);
+        assert!(svc.healthz().starts_with("draining\n"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn serve_connection_speaks_the_wire_protocol() {
+        // An in-memory duplex: requests pre-encoded, responses captured.
+        let root = temp_root("wire");
+        let svc = Service::new(config(&root)).unwrap();
+        let mut requests = Vec::new();
+        write_frame(
+            &mut requests,
+            FRAME_HELLO,
+            &encode_hello("t", SPEC, &TenantOptions::default()),
+        )
+        .unwrap();
+        for line in ["create c1 i1", "update c1", "next i1"] {
+            write_frame(&mut requests, FRAME_EVENT, line.as_bytes()).unwrap();
+        }
+        write_frame(&mut requests, FRAME_SYNC, &9u64.to_le_bytes()).unwrap();
+        write_frame(&mut requests, FRAME_STATS, &[]).unwrap();
+        write_frame(&mut requests, FRAME_BYE, &[]).unwrap();
+
+        struct Duplex<'a> {
+            input: &'a [u8],
+            output: Vec<u8>,
+        }
+        impl Read for Duplex<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.input.read(buf)
+            }
+        }
+        impl Write for Duplex<'_> {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.output.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut stream = Duplex { input: &requests, output: Vec::new() };
+        serve_connection(&svc, &mut stream).unwrap();
+
+        let mut out = &stream.output[..];
+        let (kind, payload) = read_frame(&mut out).unwrap().unwrap();
+        assert_eq!((kind, payload.as_slice()), (FRAME_OK, b"t".as_slice()));
+        let (kind, payload) = read_frame(&mut out).unwrap().unwrap();
+        assert_eq!(kind, FRAME_SYNCED);
+        assert_eq!(payload, 9u64.to_le_bytes());
+        let (kind, payload) = read_frame(&mut out).unwrap().unwrap();
+        assert_eq!(kind, FRAME_STATS_REPLY);
+        let json = String::from_utf8(payload).unwrap();
+        assert!(json.contains("\"events\":3"), "{json}");
+        assert!(json.contains("\"triggers\":1"), "{json}");
+        assert_eq!(read_frame(&mut out).unwrap(), None, "BYE closes cleanly");
+
+        // A frame before HELLO is a typed reject on a fresh connection.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, FRAME_EVENT, b"create c1 i1").unwrap();
+        let mut stream = Duplex { input: &bad, output: Vec::new() };
+        serve_connection(&svc, &mut stream).unwrap();
+        let mut out = &stream.output[..];
+        let (kind, payload) = read_frame(&mut out).unwrap().unwrap();
+        assert_eq!(kind, FRAME_REJECT);
+        let code = u16::from_le_bytes(payload[..2].try_into().unwrap());
+        assert_eq!(code, REJECT_BAD_FRAME);
+        let _ = svc.drain();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn healthz_and_prometheus_cover_every_tenant() {
+        let root = temp_root("obs");
+        let svc = Service::new(config(&root)).unwrap();
+        svc.admit("alpha", SPEC, TenantOptions::default()).unwrap();
+        svc.admit("beta", SPEC, TenantOptions::default()).unwrap();
+        for line in ["create c1 i1", "update c1", "next i1"] {
+            svc.submit("alpha", line).unwrap();
+        }
+        svc.sync("alpha", 0).unwrap();
+        let health = svc.healthz();
+        assert!(health.starts_with("ok\ntenants 2\n"), "{health}");
+        assert!(health.contains("tenant alpha state=running events=3 triggers=1"), "{health}");
+        assert!(health.contains("tenant beta state=running events=0"), "{health}");
+        let expo = svc.prometheus();
+        assert!(expo.contains("rvmond_tenant_events_total{tenant=\"alpha\"} 3"), "{expo}");
+        assert!(expo.contains("rvmond_tenant_events_total{tenant=\"beta\"} 0"), "{expo}");
+        assert!(expo.contains("# TYPE rvmond_events_submitted_total counter"), "{expo}");
+        let _ = svc.drain();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -622,12 +622,15 @@ fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
     use rv_monitor::heap::{Heap, HeapConfig};
 
     let usage = || {
-        eprintln!("usage: rvmon serve <spec-file> <events-file> [--port N] [--once]");
+        eprintln!(
+            "usage: rvmon serve <spec-file> <events-file> [--port N] [--once] [--timeout-ms N]"
+        );
         ExitCode::from(2)
     };
     let mut events_path: Option<&str> = None;
     let mut port: u16 = 0;
     let mut once = false;
+    let mut timeout_ms: u64 = 2_000;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -636,6 +639,10 @@ fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--once" => once = true,
+            "--timeout-ms" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => timeout_ms = n,
+                _ => return usage(),
+            },
             other if events_path.is_none() && !other.starts_with("--") => {
                 events_path = Some(other);
             }
@@ -714,17 +721,33 @@ fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
         if once { " (one request)" } else { "" }
     );
     let _ = std::io::stdout().flush();
+    let peer_timeout = Some(std::time::Duration::from_millis(timeout_ms));
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
+        // The accept loop is serial, so a peer that connects and then
+        // stalls must not wedge `/healthz` for everyone behind it: bound
+        // both directions and drop the connection on any timeout.
+        if stream.set_read_timeout(peer_timeout).is_err()
+            || stream.set_write_timeout(peer_timeout).is_err()
+        {
+            continue;
+        }
         // Drain the request head and pull the path out of the request
         // line; the same exposition answers any path except `/healthz`.
         // Requests may arrive in several segments, so keep reading until
         // the blank line ends the head (or the buffer fills / EOF).
         let mut buf = [0u8; 4096];
         let mut n = 0;
+        let mut reaped = false;
         while n < buf.len() {
             match stream.read(&mut buf[n..]) {
-                Ok(0) | Err(_) => break,
+                Ok(0) => break,
+                Err(_) => {
+                    // Timeout or reset: reap the peer without answering
+                    // (a `--once` serve keeps waiting for a real client).
+                    reaped = true;
+                    break;
+                }
                 Ok(read) => {
                     n += read;
                     if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
@@ -732,6 +755,10 @@ fn serve(path: &str, source: &str, rest: &[String]) -> ExitCode {
                     }
                 }
             }
+        }
+        if reaped || n == 0 {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            continue;
         }
         let head = String::from_utf8_lossy(&buf[..n]);
         let req_path =
@@ -966,7 +993,11 @@ fn append_timed(
     r: &rv_monitor::core::Record,
 ) -> std::io::Result<u64> {
     let span = prof.enter(rv_monitor::core::Phase::JournalAppend);
-    let res = journal.append(r);
+    // Transient faults (EINTR and friends) are retried with backoff;
+    // only a persistent failure (typed `EngineError::Journal`) surfaces.
+    let res = journal
+        .append_retry(r, &rv_monitor::core::RetryPolicy::default())
+        .map_err(std::io::Error::other);
     prof.exit(span);
     res
 }

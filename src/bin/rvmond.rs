@@ -1,0 +1,262 @@
+//! `rvmond` — the long-running multi-tenant monitoring daemon.
+//!
+//! A thin TCP shell around [`rv_monitor::core::Service`]: one framed
+//! ingest listener (clients speak the `FRAME_*` protocol, one tenant per
+//! connection), one plain-text HTTP listener for `/healthz` and
+//! `/metrics`, a `SIGTERM`/`SIGINT` handler that drains every tenant to
+//! a checkpoint before exiting 0, and start-up recovery that rebuilds
+//! every tenant directory found under the root — so a `kill -9` loses
+//! nothing but the un-fsynced tail and a restart is a checkpoint restore
+//! away from serving again.
+//!
+//! ```text
+//! rvmond --root DIR [--port N] [--http-port N] [--max-tenants N]
+//!        [--max-conns N] [--queue N] [--shed] [--checkpoint-every N]
+//!        [--idle-ms N] [--max-live-monitors N]
+//! ```
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rv_monitor::core::{serve_connection, Backpressure, Service, ServiceConfig};
+
+/// Set by the signal handler; the accept loops poll it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+// std links libc on every supported platform; `signal(2)` is enough for
+// a drain flag and avoids growing a dependency for sigaction niceties.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn install_signal_handlers() {
+    let handler = on_signal as extern "C" fn(i32);
+    unsafe {
+        signal(SIGTERM, handler as usize);
+        signal(SIGINT, handler as usize);
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rvmond --root DIR [--port N] [--http-port N] [--max-tenants N] \
+         [--max-conns N] [--queue N] [--shed] [--checkpoint-every N] [--idle-ms N]"
+    );
+    ExitCode::from(2)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServiceConfig::default();
+    let mut port: u16 = 0;
+    let mut http_port: u16 = 0;
+    let mut idle_ms: u64 = 5_000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => config.root = v.into(),
+                None => return usage(),
+            },
+            "--port" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => port = n,
+                None => return usage(),
+            },
+            "--http-port" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => http_port = n,
+                None => return usage(),
+            },
+            "--max-tenants" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.max_tenants = n,
+                _ => return usage(),
+            },
+            "--max-conns" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.max_conns_per_tenant = n,
+                _ => return usage(),
+            },
+            "--queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.queue_depth = n,
+                _ => return usage(),
+            },
+            "--shed" => config.backpressure = Backpressure::Shed,
+            "--block" => config.backpressure = Backpressure::Block,
+            "--checkpoint-every" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.checkpoint_every = n,
+                _ => return usage(),
+            },
+            "--idle-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => idle_ms = n,
+                _ => return usage(),
+            },
+            "--max-live-monitors" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.engine.max_live_monitors = Some(n),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    install_signal_handlers();
+    let service = match Service::new(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("rvmond: cannot create service root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Start-up recovery: every tenant directory under the root comes
+    // back before the listeners open, so the first client request sees
+    // the post-crash state, never a half-recovered one.
+    match service.recover_all() {
+        Ok((recovered, failed)) => {
+            for name in &recovered {
+                eprintln!("rvmond: recovered tenant `{name}`");
+            }
+            for (name, (code, msg)) in &failed {
+                eprintln!("rvmond: tenant `{name}` failed recovery ({code}): {msg}");
+            }
+        }
+        Err(e) => {
+            eprintln!("rvmond: cannot scan service root: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let ingest = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rvmond: cannot bind ingest port {port}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let http = match TcpListener::bind(("127.0.0.1", http_port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rvmond: cannot bind http port {http_port}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (Ok(ingest_addr), Ok(http_addr)) = (ingest.local_addr(), http.local_addr()) else {
+        eprintln!("rvmond: cannot resolve listener addresses");
+        return ExitCode::from(2);
+    };
+    // The resolved addresses go to stdout (flushed) so harnesses that
+    // asked for port 0 can scrape them before connecting.
+    println!("rvmond ingest on {ingest_addr} http on http://{http_addr}/healthz");
+    let _ = std::io::stdout().flush();
+
+    // Nonblocking accept loops so both listeners poll the drain flag.
+    if ingest.set_nonblocking(true).is_err() || http.set_nonblocking(true).is_err() {
+        eprintln!("rvmond: cannot switch listeners to nonblocking accepts");
+        return ExitCode::from(2);
+    }
+
+    let http_service = Arc::clone(&service);
+    let http_thread = std::thread::spawn(move || loop {
+        match http.accept() {
+            Ok((stream, _)) => serve_http(&http_service, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if SHUTDOWN.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    });
+
+    let idle = Duration::from_millis(idle_ms);
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match ingest.accept() {
+            Ok((stream, _)) => {
+                // Per-connection read/write timeouts: a stalled peer is
+                // reaped by the connection loop, not left holding a slot.
+                let _ = stream.set_read_timeout(Some(idle));
+                let _ = stream.set_write_timeout(Some(idle));
+                let _ = stream.set_nodelay(true);
+                let svc = Arc::clone(&service);
+                conns.push(std::thread::spawn(move || {
+                    let mut stream = stream;
+                    let _ = serve_connection(&svc, &mut stream);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }));
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if SHUTDOWN.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+
+    // Graceful drain: stop admissions, checkpoint every tenant, join the
+    // workers — the restart path is a checkpoint restore, not a replay.
+    eprintln!("rvmond: draining");
+    let drained = service.drain();
+    for h in conns {
+        let _ = h.join();
+    }
+    let _ = http_thread.join();
+    eprintln!("rvmond: drained {drained} tenant(s), exiting");
+    ExitCode::SUCCESS
+}
+
+/// One serial HTTP exchange: `/healthz` answers the liveness summary,
+/// anything else the Prometheus exposition. Timeouts bound both
+/// directions so a stalling scraper cannot wedge the health endpoint.
+fn serve_http(service: &Service, mut stream: TcpStream) {
+    use std::io::Read as _;
+
+    let timeout = Some(Duration::from_millis(2_000));
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        return;
+    }
+    let mut buf = [0u8; 4096];
+    let mut n = 0;
+    while n < buf.len() {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) | Err(_) => break,
+            Ok(read) => {
+                n += read;
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+    if n == 0 {
+        return;
+    }
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let req_path =
+        head.lines().next().and_then(|line| line.split_whitespace().nth(1)).unwrap_or("/");
+    let (content_type, payload) = if req_path == "/healthz" {
+        ("text/plain; charset=utf-8", service.healthz())
+    } else {
+        ("text/plain; version=0.0.4; charset=utf-8", service.prometheus())
+    };
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

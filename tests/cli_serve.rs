@@ -154,6 +154,64 @@ fn serve_healthz_reports_engine_liveness() {
     assert!(!body.contains("rvmon_events_total"), "healthz must not serve metrics: {body}");
 }
 
+/// Regression test for the accept-loop wedge: a client that connects
+/// and then sends nothing used to block the (serial) accept loop
+/// forever, since the stream had no read timeout. The server must reap
+/// the stalled peer after `--timeout-ms`, close it without a response,
+/// and — crucially for `--once` — still answer the next real client and
+/// exit cleanly.
+#[test]
+fn serve_reaps_a_stalling_client_instead_of_wedging() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rvmon"))
+        .args([
+            "serve",
+            &repo_path("specs/unsafe_iter.rv"),
+            &repo_path("examples/unsafe_iter.events"),
+            "--port",
+            "0",
+            "--once",
+            "--timeout-ms",
+            "250",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rvmon serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read serve banner");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|r| r.split("/metrics").next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_owned();
+
+    // The wedge: connect and go silent. Accepted first, so the server's
+    // serial loop is stuck on this peer until the read timeout fires.
+    let mut staller = TcpStream::connect(&addr).expect("connect staller");
+    staller.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // A real client queued behind the staller must still be served.
+    let mut client = TcpStream::connect(&addr).expect("connect real client");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(client, "GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    client.read_to_string(&mut response).expect("read response past the staller");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("\r\n\r\nok\n"), "{response}");
+
+    // The stalled peer was closed without a byte of response.
+    let mut leftovers = Vec::new();
+    let n = staller.read_to_end(&mut leftovers).expect("staller sees EOF, not a hang");
+    assert_eq!(n, 0, "a reaped peer must get no response: {leftovers:?}");
+
+    // And `--once` was spent on the real request, not the staller.
+    let status = child.wait().expect("serve exits after the one real request");
+    assert!(status.success(), "serve exited nonzero");
+}
+
 #[test]
 fn serve_usage_errors_exit_2() {
     let out = Command::new(env!("CARGO_BIN_EXE_rvmon"))
