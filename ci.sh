@@ -211,4 +211,140 @@ open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1], timeout=10).re
 fi
 cargo test -q --release --test cli_rvmond --test service_isolation >/dev/null
 
+# Self-healing smoke: the same seeded loadgen workload runs twice — once
+# straight into a supervised rvmond, once through `rvmon netchaos`
+# injecting seeded drops/dups/corruption — and both runs carry a
+# worker-fatal fault the supervisor must absorb. The client-observed
+# trigger hashes must be identical (exactly-once through chaos), the
+# daemons must report the supervised restart, and a SIGHUP spec reload
+# fired mid-run on the chaos side must land as spec v2 while dropping
+# zero acked events (event/trigger counters stay equal to the clean
+# run). The netchaos_differential / self_healing integration tests
+# cover the same ground hermetically.
+echo "== self-healing smoke (netchaos + supervised restart + SIGHUP reload, release)"
+NCH_CLEAN="${TMPDIR:-/tmp}/rv-ci-nch-clean-$$"
+NCH_CHAOS="${TMPDIR:-/tmp}/rv-ci-nch-chaos-$$"
+NCH_SPECS="${TMPDIR:-/tmp}/rv-ci-nch-specs-$$"
+NCH_OUT1="${TMPDIR:-/tmp}/rv-ci-nch-$$.d1"
+NCH_OUT2="${TMPDIR:-/tmp}/rv-ci-nch-$$.d2"
+NCH_PROXY="${TMPDIR:-/tmp}/rv-ci-nch-$$.proxy"
+NCH_FIFO="${TMPDIR:-/tmp}/rv-ci-nch-$$.fifo"
+NCH_J1="${TMPDIR:-/tmp}/rv-ci-nch-$$.clean.json"
+NCH_J2="${TMPDIR:-/tmp}/rv-ci-nch-$$.chaos.json"
+NCH_H1="${TMPDIR:-/tmp}/rv-ci-nch-$$.h1"
+NCH_H2="${TMPDIR:-/tmp}/rv-ci-nch-$$.h2"
+rm -rf "$NCH_CLEAN" "$NCH_CHAOS" "$NCH_SPECS"
+mkdir -p "$NCH_SPECS"
+# The reload payload: byte-identical automaton, so the SIGHUP cutover
+# exercises the full drain/checkpoint/swap path without perturbing the
+# differential. Its content token differs from the boot token (0), so
+# the reload is applied, not deduplicated.
+printf '%s\n' \
+    'UnsafeIter(Collection c, Iterator i) {' \
+    '    event create(c, i);' \
+    '    event update(c);' \
+    '    event next(i);' \
+    '    ere: update* create next* update+ next' \
+    '    @match { report "improper Concurrent Modification found!"; }' \
+    '}' >"$NCH_SPECS/t.spec"
+cp "$NCH_SPECS/t.spec" "$NCH_SPECS/u.spec"
+# The daemons run as the direct binaries (built above) so SIGHUP and
+# SIGTERM reach rvmond itself, not a cargo wrapper.
+./target/release/rvmond --root "$NCH_CLEAN" --port 0 --http-port 0 \
+    --restart-budget 5 --restart-backoff-ms 20 --spec-dir "$NCH_SPECS" \
+    >"$NCH_OUT1" 2>/dev/null &
+CLEAN_PID=$!
+./target/release/rvmond --root "$NCH_CHAOS" --port 0 --http-port 0 \
+    --restart-budget 5 --restart-backoff-ms 20 --spec-dir "$NCH_SPECS" \
+    >"$NCH_OUT2" 2>/dev/null &
+CHAOS_PID=$!
+for OUT in "$NCH_OUT1" "$NCH_OUT2"; do
+    for _ in $(seq 1 100); do
+        grep -q 'http://' "$OUT" 2>/dev/null && break
+        sleep 0.1
+    done
+done
+CLEAN_INGEST=$(sed -n 's/.*ingest on \([^ ]*\).*/\1/p' "$NCH_OUT1" | head -1)
+CHAOS_INGEST=$(sed -n 's/.*ingest on \([^ ]*\).*/\1/p' "$NCH_OUT2" | head -1)
+CLEAN_HTTP=$(sed -n 's#.*\(http://[^ ]*\)/healthz.*#\1#p' "$NCH_OUT1" | head -1)
+CHAOS_HTTP=$(sed -n 's#.*\(http://[^ ]*\)/healthz.*#\1#p' "$NCH_OUT2" | head -1)
+# The chaos proxy reads stdin to stay alive: feed it a fifo and close
+# the write end to shut it down (it prints its fault stats on exit).
+mkfifo "$NCH_FIFO"
+./target/release/rvmon netchaos --upstream "$CHAOS_INGEST" \
+    --profile 'drop=10,dup=5,corrupt=5,delay=10,delay_ms=2,seed=42' \
+    <"$NCH_FIFO" >"$NCH_PROXY" &
+NCH_PID=$!
+exec 9>"$NCH_FIFO"
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$NCH_PROXY" 2>/dev/null && break
+    sleep 0.1
+done
+PROXY_ADDR=$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$NCH_PROXY" | head -1)
+# Phase A — differential with a supervised restart: the identical
+# seeded workload (mid-run `!fatal` included) direct vs through the
+# proxy must yield byte-identical client-observed trigger streams.
+# No reload in this phase: an AUX_RELOAD shifts journal seqs, so the
+# hot-reload invariant is phase B's count-based check instead.
+cargo run -q --release -p rv-bench --bin loadgen -- --addr "$CLEAN_INGEST" \
+    --tenant t=fop --events 2400 --fatal-at 700 --json >"$NCH_J1"
+cargo run -q --release -p rv-bench --bin loadgen -- --addr "$PROXY_ADDR" \
+    --tenant t=fop --events 2400 --fatal-at 700 --json >"$NCH_J2"
+CLEAN_HASH=$(sed -n 's/.*"trigger_hash":"\([0-9a-f]*\)".*/\1/p' "$NCH_J1" | head -1)
+CHAOS_HASH=$(sed -n 's/.*"trigger_hash":"\([0-9a-f]*\)".*/\1/p' "$NCH_J2" | head -1)
+test -n "$CLEAN_HASH" || { echo "no trigger hash in clean loadgen JSON"; exit 1; }
+test "$CLEAN_HASH" = "$CHAOS_HASH" \
+    || { echo "trigger streams diverged under chaos: $CLEAN_HASH vs $CHAOS_HASH"; exit 1; }
+grep -q '"reconnects":0[,}]' "$NCH_J2" \
+    && { echo "chaos run never reconnected — proxy was not in the path"; exit 1; }
+# Phase B — SIGHUP hot reload mid-run on the chaos side (fresh tenant,
+# so session dedup marks start clean). The reload resets monitor state
+# by design, so the invariant is on the events counter: the chaos side
+# must process exactly the clean side's line count — zero acked events
+# dropped across faults plus the cutover — and land on spec v2.
+cargo run -q --release -p rv-bench --bin loadgen -- --addr "$CLEAN_INGEST" \
+    --tenant u=fop --events 1600 --json >/dev/null
+cargo run -q --release -p rv-bench --bin loadgen -- --addr "$PROXY_ADDR" \
+    --tenant u=fop --events 1600 --json >/dev/null &
+LG_PID=$!
+sleep 1
+kill -HUP "$CHAOS_PID"
+wait "$LG_PID" || { echo "chaos-side loadgen failed across the reload"; exit 1; }
+exec 9>&-
+wait "$NCH_PID" || true
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1] + "/healthz", timeout=10).read())
+' "$CLEAN_HTTP" "$NCH_H1"
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1] + "/healthz", timeout=10).read())
+' "$CHAOS_HTTP" "$NCH_H2"
+    grep 'tenant t ' "$NCH_H2" | grep -q 'state=running' \
+        || { echo "chaos tenant did not heal"; cat "$NCH_H2"; exit 1; }
+    grep 'tenant t ' "$NCH_H2" | grep -q 'restarts=[1-9]' \
+        || { echo "supervised restart not recorded"; cat "$NCH_H2"; exit 1; }
+    grep 'tenant u ' "$NCH_H2" | grep -q 'spec_version=2' \
+        || { echo "SIGHUP reload did not land as spec v2"; cat "$NCH_H2"; exit 1; }
+    # Zero events dropped: per tenant, the chaos side processed exactly
+    # the clean side's line total despite faults (and, for `u`, the
+    # mid-run reload). Phase A's tenant also keeps trigger parity.
+    for T in t u; do
+        CLEAN_EV=$(grep "tenant $T " "$NCH_H1" | sed -n 's/.* events=\([0-9]*\).*/\1/p')
+        CHAOS_EV=$(grep "tenant $T " "$NCH_H2" | sed -n 's/.* events=\([0-9]*\).*/\1/p')
+        test -n "$CLEAN_EV" && test "$CLEAN_EV" = "$CHAOS_EV" \
+            || { echo "tenant $T event counts diverged: $CLEAN_EV vs $CHAOS_EV"; exit 1; }
+    done
+    CLEAN_TR=$(grep 'tenant t ' "$NCH_H1" | sed -n 's/.* triggers=\([0-9]*\).*/\1/p')
+    CHAOS_TR=$(grep 'tenant t ' "$NCH_H2" | sed -n 's/.* triggers=\([0-9]*\).*/\1/p')
+    test "$CLEAN_TR" = "$CHAOS_TR" \
+        || { echo "trigger counts diverged: $CLEAN_TR vs $CHAOS_TR"; exit 1; }
+fi
+kill -TERM "$CLEAN_PID" "$CHAOS_PID"
+wait "$CLEAN_PID" || { echo "clean rvmond drain exited nonzero"; exit 1; }
+wait "$CHAOS_PID" || { echo "chaos rvmond drain exited nonzero"; exit 1; }
+rm -rf "$NCH_CLEAN" "$NCH_CHAOS" "$NCH_SPECS" "$NCH_OUT1" "$NCH_OUT2" \
+    "$NCH_PROXY" "$NCH_FIFO" "$NCH_J1" "$NCH_J2" "$NCH_H1" "$NCH_H2"
+cargo test -q --release --test netchaos_differential --test self_healing \
+    --test wire_reject_matrix >/dev/null
+
 echo "CI OK"

@@ -1,30 +1,35 @@
 //! `loadgen` — multi-tenant load generator for `rvmond`.
 //!
-//! Drives one framed TCP connection per tenant against a running
-//! `rvmond`, generating UnsafeIter event mixes whose shape (iterator
-//! fan-out, `next` density, GC cadence) is derived from the DaCapo
-//! workload profiles in `rv_workloads`. A `SYNC` barrier every
-//! `--sync-every` events measures the *end-to-end durable* latency —
-//! the round trip covers queueing, engine processing, and the journal
-//! fsync — into an [`Histogram`], and the run ends with a per-tenant
-//! SLO table (p50/p99/p99.9) plus optional JSON for EXPERIMENTS.md.
+//! Drives one logical session per tenant against a running `rvmond`
+//! through [`ResilientClient`], generating UnsafeIter event mixes whose
+//! shape (iterator fan-out, `next` density, GC cadence) is derived from
+//! the DaCapo workload profiles in `rv_workloads`. A `SYNC` barrier
+//! every `--sync-every` events measures the *end-to-end durable*
+//! latency — the round trip covers queueing, engine processing, and the
+//! journal fsync — into an [`Histogram`], and the run ends with a
+//! per-tenant SLO table (p50/p99/p99.9) plus optional JSON for
+//! EXPERIMENTS.md.
+//!
+//! Because the transport is the resilient client, a connection fault —
+//! or an `rvmon netchaos` proxy in the middle — costs reconnects and
+//! resends, never events: the goal-report stream is pulled exactly-once
+//! and digested into `trigger_hash`, which a differential harness can
+//! compare against a clean run. `--fatal-at N` injects a worker-fatal
+//! `!fatal` directive after N events to exercise rvmond's supervisor
+//! mid-run.
 //!
 //! ```text
 //! loadgen --addr HOST:PORT --tenant NAME=PROFILE[,panic] ...
-//!         [--events N] [--sync-every K] [--max-live N] [--json]
+//!         [--events N] [--sync-every K] [--max-live N] [--fatal-at N]
+//!         [--reload-at N] [--reload-spec FILE]
+//!         [--journal-retries N] [--journal-backoff-ms N] [--json]
 //! ```
 
-use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use rv_core::service::{
-    encode_hello, read_frame, write_frame, TenantOptions, FRAME_BYE, FRAME_EVENT, FRAME_HELLO,
-    FRAME_OK, FRAME_REJECT, FRAME_STATS, FRAME_STATS_REPLY, FRAME_SYNC, FRAME_SYNCED,
-    REJECT_QUEUE_FULL, TENANT_FLAG_PANIC_HANDLER,
-};
-use rv_core::Histogram;
+use rv_core::service::{TenantOptions, TENANT_FLAG_ALLOW_FATAL, TENANT_FLAG_PANIC_HANDLER};
+use rv_core::{ClientStats, Histogram, ReconnectPolicy, ResilientClient};
 use rv_workloads::Profile;
 
 /// The spec every generated tenant monitors (UnsafeIter, the paper's
@@ -42,7 +47,9 @@ UnsafeIter(Collection c, Iterator i) {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen --addr HOST:PORT --tenant NAME=PROFILE[,panic] [--tenant ...] \
-         [--events N] [--sync-every K] [--max-live N] [--json]"
+         [--events N] [--sync-every K] [--max-live N] [--fatal-at N] \
+         [--reload-at N] [--reload-spec FILE] \
+         [--journal-retries N] [--journal-backoff-ms N] [--json]"
     );
     ExitCode::from(2)
 }
@@ -57,11 +64,30 @@ struct TenantOutcome {
     name: String,
     profile: &'static str,
     sent: u64,
-    shed: u64,
     triggers: u64,
+    /// FNV-1a over the rendered trigger stream, in key order — two runs
+    /// observed the same reports iff the hashes match.
+    trigger_hash: u64,
+    client: ClientStats,
     failed: Option<String>,
     latency: Histogram,
     elapsed: Duration,
+}
+
+impl TenantOutcome {
+    fn empty(name: &str, profile: &'static str, failed: String) -> TenantOutcome {
+        TenantOutcome {
+            name: name.to_owned(),
+            profile,
+            sent: 0,
+            triggers: 0,
+            trigger_hash: 0,
+            client: ClientStats::default(),
+            failed: Some(failed),
+            latency: Histogram::new(),
+            elapsed: Duration::ZERO,
+        }
+    }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -70,6 +96,15 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Derives the event mix from the profile: one `create` per iterator,
@@ -143,124 +178,136 @@ impl Generator {
     }
 }
 
-#[allow(clippy::too_many_lines)]
-fn drive_tenant(
-    addr: &str,
-    plan: &TenantPlan,
+struct DriveConfig {
     events: u64,
     sync_every: u64,
     max_live: Option<u32>,
-) -> std::io::Result<TenantOutcome> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    fatal_at: Option<u64>,
+    /// After this many events: barrier to quiescence, then hot-reload
+    /// the spec through the same session. The quiescent barrier pins
+    /// the cutover to a deterministic journal position, which is what
+    /// lets a chaos run stay byte-identical to a clean one.
+    reload_at: Option<u64>,
+    reload_spec: Option<String>,
+    journal_retries: Option<u32>,
+    journal_backoff_ms: Option<u32>,
+}
 
+fn drive_tenant(addr: &str, plan: &TenantPlan, cfg: &DriveConfig) -> TenantOutcome {
+    let mut flags = if plan.panic_handler { TENANT_FLAG_PANIC_HANDLER } else { 0 };
+    if cfg.fatal_at.is_some() {
+        flags |= TENANT_FLAG_ALLOW_FATAL;
+    }
     let opts = TenantOptions {
-        flags: if plan.panic_handler { TENANT_FLAG_PANIC_HANDLER } else { 0 },
-        max_live_monitors: max_live,
+        flags,
+        max_live_monitors: cfg.max_live,
+        journal_retries: cfg.journal_retries,
+        journal_backoff_ms: cfg.journal_backoff_ms,
     };
-    write_frame(&mut writer, FRAME_HELLO, &encode_hello(&plan.name, SPEC, &opts))?;
+    // The session id only has to be stable per logical client so that a
+    // rerun of the same plan dedups identically server-side.
+    let session = fnv1a(0, plan.name.as_bytes()) | 1;
+    let policy = ReconnectPolicy { seed: plan.profile.seed | 1, ..ReconnectPolicy::default() };
+    let mut client = match ResilientClient::connect(addr, &plan.name, SPEC, opts, session, policy) {
+        Ok(c) => c,
+        Err(e) => {
+            return TenantOutcome::empty(&plan.name, plan.profile.name, format!("connect: {e}"));
+        }
+    };
+
     let mut outcome = TenantOutcome {
         name: plan.name.clone(),
         profile: plan.profile.name,
         sent: 0,
-        shed: 0,
         triggers: 0,
+        trigger_hash: 0,
+        client: ClientStats::default(),
         failed: None,
         latency: Histogram::new(),
         elapsed: Duration::ZERO,
     };
-    match read_frame(&mut reader)? {
-        Some((FRAME_OK, _)) => {}
-        Some((FRAME_REJECT, payload)) => {
-            outcome.failed = Some(reject_text(&payload));
-            return Ok(outcome);
-        }
-        other => {
-            outcome.failed = Some(format!("unexpected HELLO reply: {other:?}"));
-            return Ok(outcome);
-        }
-    }
-
     let mut generator = Generator::new(&plan.profile);
+    let mut fatal_pending = cfg.fatal_at;
+    let mut reload_pending = cfg.reload_at;
     let started = Instant::now();
-    'drive: while outcome.sent < events {
+    'drive: while outcome.sent < cfg.events {
         for line in generator.next_line().split('\n') {
-            write_frame(&mut writer, FRAME_EVENT, line.as_bytes())?;
+            if let Err(e) = client.send(line) {
+                outcome.failed = Some(format!("send: {e}"));
+                break 'drive;
+            }
             outcome.sent += 1;
-        }
-        if outcome.sent % sync_every == 0 {
-            let token = outcome.sent;
-            let t0 = Instant::now();
-            write_frame(&mut writer, FRAME_SYNC, &token.to_le_bytes())?;
-            // Shed rejections for earlier events may arrive before the
-            // barrier reply; drain them into the shed count.
-            loop {
-                match read_frame(&mut reader)? {
-                    Some((FRAME_SYNCED, _)) => break,
-                    Some((FRAME_REJECT, payload)) if reject_code(&payload) == REJECT_QUEUE_FULL => {
-                        outcome.shed += 1;
-                    }
-                    Some((FRAME_REJECT, payload)) => {
-                        outcome.failed = Some(reject_text(&payload));
-                        break 'drive;
-                    }
-                    other => {
-                        outcome.failed = Some(format!("unexpected SYNC reply: {other:?}"));
-                        break 'drive;
-                    }
+            if fatal_pending == Some(outcome.sent) {
+                // Worker-fatal fault injection: the tenant journals the
+                // directive, fsyncs, and dies — the supervisor's
+                // problem now. Our resend window replays through the
+                // restart and the server dedups it.
+                fatal_pending = None;
+                if let Err(e) = client.send("!fatal") {
+                    outcome.failed = Some(format!("send !fatal: {e}"));
+                    break 'drive;
                 }
+            }
+        }
+        if outcome.sent % cfg.sync_every == 0 {
+            let t0 = Instant::now();
+            if let Err(e) = client.sync() {
+                outcome.failed = Some(format!("sync: {e}"));
+                break 'drive;
             }
             let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
             outcome.latency.record(micros);
         }
+        if reload_pending.is_some_and(|n| outcome.sent >= n) {
+            reload_pending = None;
+            let spec = cfg.reload_spec.as_deref().unwrap_or(SPEC);
+            // Quiesce first: with every sent line acknowledged, the
+            // cutover lands at a deterministic journal position.
+            let reloaded =
+                client.sync().and_then(|_| client.reload(fnv1a(0, spec.as_bytes()) | 1, spec));
+            if let Err(e) = reloaded {
+                outcome.failed = Some(format!("reload: {e}"));
+                break 'drive;
+            }
+        }
+    }
+    if outcome.failed.is_none() {
+        if let Err(e) = client.sync() {
+            outcome.failed = Some(format!("final sync: {e}"));
+        }
     }
     outcome.elapsed = started.elapsed();
 
+    // Pull the goal-report stream exactly-once (the client filters by
+    // its (event_seq, ordinal) HWM) and digest it in key order. The
+    // final sync already made every report visible; the extra empty
+    // polls absorb stale reply frames a chaotic wire may still deliver.
     if outcome.failed.is_none() {
-        write_frame(&mut writer, FRAME_STATS, &[])?;
-        loop {
-            match read_frame(&mut reader)? {
-                Some((FRAME_STATS_REPLY, payload)) => {
-                    let json = String::from_utf8_lossy(&payload).into_owned();
-                    outcome.triggers = json_u64(&json, "\"triggers\":").unwrap_or(0);
-                    break;
+        let mut empties = 0;
+        while empties < 3 {
+            match client.poll_triggers(512) {
+                Ok(batch) if batch.is_empty() => {
+                    empties += 1;
+                    std::thread::sleep(Duration::from_millis(10));
                 }
-                Some((FRAME_REJECT, payload)) if reject_code(&payload) == REJECT_QUEUE_FULL => {
-                    outcome.shed += 1;
+                Ok(batch) => {
+                    empties = 0;
+                    for t in batch {
+                        outcome.triggers += 1;
+                        outcome.trigger_hash = fnv1a(outcome.trigger_hash, t.render().as_bytes());
+                        outcome.trigger_hash = fnv1a(outcome.trigger_hash, b"\n");
+                    }
                 }
-                Some((FRAME_REJECT, payload)) => {
-                    outcome.failed = Some(reject_text(&payload));
-                    break;
-                }
-                other => {
-                    outcome.failed = Some(format!("unexpected STATS reply: {other:?}"));
+                Err(e) => {
+                    outcome.failed = Some(format!("poll: {e}"));
                     break;
                 }
             }
         }
-        let _ = write_frame(&mut writer, FRAME_BYE, &[]);
     }
-    Ok(outcome)
-}
-
-fn reject_code(payload: &[u8]) -> u16 {
-    payload.get(..2).and_then(|b| b.try_into().ok()).map_or(0, u16::from_le_bytes)
-}
-
-fn reject_text(payload: &[u8]) -> String {
-    let code = reject_code(payload);
-    let msg = String::from_utf8_lossy(payload.get(2..).unwrap_or(&[]));
-    format!("reject {code}: {msg}")
-}
-
-/// Pulls the first integer after `key` out of a flat JSON rendering.
-fn json_u64(json: &str, key: &str) -> Option<u64> {
-    let at = json.find(key)? + key.len();
-    let digits: String = json[at..].chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
+    outcome.client = client.stats();
+    let _ = client.bye();
+    outcome
 }
 
 #[allow(clippy::too_many_lines)]
@@ -268,10 +315,17 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
     let mut plans: Vec<TenantPlan> = Vec::new();
-    let mut events: u64 = 20_000;
-    let mut sync_every: u64 = 64;
-    let mut max_live: Option<u32> = None;
     let mut json = false;
+    let mut cfg = DriveConfig {
+        events: 20_000,
+        sync_every: 64,
+        max_live: None,
+        fatal_at: None,
+        reload_at: None,
+        reload_spec: None,
+        journal_retries: None,
+        journal_backoff_ms: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -294,16 +348,40 @@ fn main() -> ExitCode {
                 plans.push(TenantPlan { name: name.to_owned(), profile, panic_handler });
             }
             "--events" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) => events = n,
+                Some(n) => cfg.events = n,
                 None => return usage(),
             },
             "--sync-every" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n > 0 => sync_every = n,
+                Some(n) if n > 0 => cfg.sync_every = n,
                 _ => return usage(),
             },
             "--max-live" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n > 0 => max_live = Some(n),
+                Some(n) if n > 0 => cfg.max_live = Some(n),
                 _ => return usage(),
+            },
+            "--fatal-at" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cfg.fatal_at = Some(n),
+                _ => return usage(),
+            },
+            "--reload-at" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cfg.reload_at = Some(n),
+                _ => return usage(),
+            },
+            "--reload-spec" => match it.next().map(std::fs::read_to_string) {
+                Some(Ok(src)) => cfg.reload_spec = Some(src),
+                Some(Err(e)) => {
+                    eprintln!("loadgen: cannot read reload spec: {e}");
+                    return ExitCode::from(2);
+                }
+                None => return usage(),
+            },
+            "--journal-retries" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cfg.journal_retries = Some(n),
+                _ => return usage(),
+            },
+            "--journal-backoff-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.journal_backoff_ms = Some(n),
+                None => return usage(),
             },
             "--json" => json = true,
             _ => return usage(),
@@ -314,24 +392,13 @@ fn main() -> ExitCode {
         return usage();
     }
 
+    let cfg = std::sync::Arc::new(cfg);
     let handles: Vec<_> = plans
         .into_iter()
         .map(|plan| {
             let addr = addr.clone();
-            std::thread::spawn(move || {
-                drive_tenant(&addr, &plan, events, sync_every, max_live).unwrap_or_else(|e| {
-                    TenantOutcome {
-                        name: plan.name.clone(),
-                        profile: plan.profile.name,
-                        sent: 0,
-                        shed: 0,
-                        triggers: 0,
-                        failed: Some(format!("io error: {e}")),
-                        latency: Histogram::new(),
-                        elapsed: Duration::ZERO,
-                    }
-                })
-            })
+            let cfg = std::sync::Arc::clone(&cfg);
+            std::thread::spawn(move || drive_tenant(&addr, &plan, &cfg))
         })
         .collect();
     let outcomes: Vec<TenantOutcome> =
@@ -339,12 +406,12 @@ fn main() -> ExitCode {
 
     println!(
         "{:<10} {:<10} {:>9} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9}  status",
-        "tenant", "profile", "events", "shed", "triggers", "ev/s", "p50us", "p99us", "p999us"
+        "tenant", "profile", "events", "reconn", "triggers", "ev/s", "p50us", "p99us", "p999us"
     );
     let mut failures = 0;
     for o in &outcomes {
         let rate = if o.elapsed.as_secs_f64() > 0.0 {
-            (o.sent - o.shed) as f64 / o.elapsed.as_secs_f64()
+            o.sent as f64 / o.elapsed.as_secs_f64()
         } else {
             0.0
         };
@@ -353,7 +420,7 @@ fn main() -> ExitCode {
             o.name,
             o.profile,
             o.sent,
-            o.shed,
+            o.client.reconnects,
             o.triggers,
             rate,
             o.latency.quantile(0.50),
@@ -370,26 +437,28 @@ fn main() -> ExitCode {
             .iter()
             .map(|o| {
                 format!(
-                    "{{\"tenant\":\"{}\",\"profile\":\"{}\",\"events\":{},\"shed\":{},\
-                     \"triggers\":{},\"elapsed_ms\":{},\"sync_p50_us\":{:.0},\
-                     \"sync_p99_us\":{:.0},\"sync_p999_us\":{:.0},\"failed\":{}}}",
+                    "{{\"tenant\":\"{}\",\"profile\":\"{}\",\"events\":{},\
+                     \"triggers\":{},\"trigger_hash\":\"{:016x}\",\"elapsed_ms\":{},\
+                     \"sync_p50_us\":{:.0},\"sync_p99_us\":{:.0},\"sync_p999_us\":{:.0},\
+                     \"client\":{},\"failed\":{}}}",
                     o.name,
                     o.profile,
                     o.sent,
-                    o.shed,
                     o.triggers,
+                    o.trigger_hash,
                     o.elapsed.as_millis(),
                     o.latency.quantile(0.50),
                     o.latency.quantile(0.99),
                     o.latency.quantile(0.999),
+                    o.client.to_json(),
                     o.failed.as_ref().map_or("null".into(), |f| format!("\"{f}\"")),
                 )
             })
             .collect();
         println!("[{}]", rows.join(","));
     }
-    // Panic-tenant runs expect their own failure; the caller decides by
-    // reading the table. Exit 1 only when every tenant failed.
+    // A partial run is still a report: exit 1 only when every tenant
+    // failed outright.
     if failures == outcomes.len() {
         return ExitCode::from(1);
     }

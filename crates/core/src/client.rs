@@ -1,0 +1,552 @@
+//! [`ResilientClient`] — the exactly-once client half of the
+//! self-healing rvmond story.
+//!
+//! The server deduplicates session-stamped lines ([`FRAME_EVENT_SEQ`])
+//! by a per-session `cseq` high-water mark *before* journaling, so this
+//! client can blindly resend its entire unacknowledged window after any
+//! disturbance — TCP faults, supervisor restarts of the tenant worker,
+//! hot spec reloads, wire-level chaos — and the tenant's journal (hence
+//! its trigger stream) stays byte-identical to an undisturbed run. On
+//! the read side, goal reports are pulled with [`FRAME_POLL`] and
+//! filtered through a client-side `(event_seq, ordinal)` high-water
+//! mark, so duplicated or delayed reply frames can never deliver a
+//! report twice. Together the two HWMs give an exactly-once *observed*
+//! trigger stream across arbitrary disconnects.
+//!
+//! The write-side guarantee leans on [`Backpressure::Block`]
+//! (the default): under `Shed` a dropped line answers a retryable 431
+//! and the resend machinery recovers it, but a client that gives up
+//! mid-retry downgrades to at-most-once.
+//!
+//! [`Backpressure::Block`]: crate::service::Backpressure::Block
+
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::service::{
+    decode_triggers, encode_hello, read_frame, write_frame, TenantOptions, TriggerRecord,
+    FRAME_BYE, FRAME_EVENT_SEQ, FRAME_HELLO, FRAME_OK, FRAME_POLL, FRAME_REJECT, FRAME_RELOAD,
+    FRAME_RELOADED, FRAME_SYNC, FRAME_SYNCED, FRAME_TRIGGERS, REJECT_BAD_SPEC, REJECT_RESUME_GONE,
+    REJECT_SPEC_MISMATCH,
+};
+
+/// Reconnect/retry policy for a [`ResilientClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReconnectPolicy {
+    /// Attempts per operation (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Ceiling on the doubled backoff.
+    pub backoff_cap: Duration,
+    /// Socket read timeout — a partitioned connection surfaces as a
+    /// timed-out read and triggers a reconnect.
+    pub read_timeout: Duration,
+    /// Seed for the deterministic (splitmix64) backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 16,
+            backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(5),
+            seed: 0x00C1_1E47,
+        }
+    }
+}
+
+/// Counters the client keeps about its own resilience machinery.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// TCP connections established (1 for an undisturbed run).
+    pub connects: u64,
+    /// Reconnections after a fault (`connects - 1`).
+    pub reconnects: u64,
+    /// Window lines blindly resent across reconnects (the server
+    /// dedups them by `(session, cseq)`).
+    pub resent_lines: u64,
+    /// Retryable rejects and transport faults absorbed by retry loops.
+    pub rejects_retried: u64,
+    /// Goal reports accepted past the client-side HWM.
+    pub triggers_observed: u64,
+    /// Reports discarded as duplicates by the client-side HWM.
+    pub deduped_triggers: u64,
+}
+
+impl ClientStats {
+    /// Renders the counters as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"connects\":{},\"reconnects\":{},\"resent_lines\":{},\"rejects_retried\":{},\
+             \"triggers_observed\":{},\"deduped_triggers\":{}}}",
+            self.connects,
+            self.reconnects,
+            self.resent_lines,
+            self.rejects_retried,
+            self.triggers_observed,
+            self.deduped_triggers,
+        )
+    }
+}
+
+/// Rejects that retrying can never fix: wrong spec (409), failed
+/// compile (422), or a resume point evicted from the trigger log (410).
+/// Everything else — including a 400, which chaos can manufacture by
+/// corrupting one of *our* frames in flight — is worth a
+/// reconnect-and-resend.
+fn is_fatal_code(code: u16) -> bool {
+    matches!(code, REJECT_SPEC_MISMATCH | REJECT_BAD_SPEC | REJECT_RESUME_GONE)
+}
+
+fn fatal(code: u16, msg: &str) -> io::Error {
+    io::Error::new(ErrorKind::Unsupported, format!("fatal reject {code}: {msg}"))
+}
+
+fn is_fatal(e: &io::Error) -> bool {
+    e.kind() == ErrorKind::Unsupported
+}
+
+fn decode_reject(p: &[u8]) -> (u16, String) {
+    let code = p.get(..2).and_then(|b| b.try_into().ok()).map_or(0, u16::from_le_bytes);
+    (code, String::from_utf8_lossy(p.get(2..).unwrap_or(&[])).into_owned())
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A reconnecting, exactly-once client for one tenant of an rvmond
+/// endpoint. See the module docs for the protocol argument.
+pub struct ResilientClient {
+    addr: String,
+    tenant: String,
+    spec: String,
+    opts: TenantOptions,
+    policy: ReconnectPolicy,
+    session: u64,
+    next_cseq: u64,
+    /// Lines sent but not yet covered by an acknowledged barrier, in
+    /// cseq order — the blind-resend window.
+    window: VecDeque<(u64, String)>,
+    /// Client-side trigger high-water mark.
+    hwm: (u64, u32),
+    stream: Option<TcpStream>,
+    rng: u64,
+    stats: ClientStats,
+    spec_sent: bool,
+}
+
+impl ResilientClient {
+    /// Connects and attaches to (or creates) `tenant` at `addr`.
+    /// `session` identifies this logical client to the server's dedup
+    /// machinery and must be non-zero (0 is coerced to 1); reuse of a
+    /// session id across client *restarts* is the caller's contract —
+    /// this struct resumes its own session across reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Connection/HELLO failures after `policy.max_attempts` tries, or
+    /// a fatal reject (bad spec, spec mismatch).
+    pub fn connect(
+        addr: &str,
+        tenant: &str,
+        spec: &str,
+        opts: TenantOptions,
+        session: u64,
+        policy: ReconnectPolicy,
+    ) -> io::Result<ResilientClient> {
+        let mut c = ResilientClient {
+            addr: addr.to_owned(),
+            tenant: tenant.to_owned(),
+            spec: spec.to_owned(),
+            opts,
+            policy,
+            session: if session == 0 { 1 } else { session },
+            next_cseq: 1,
+            window: VecDeque::new(),
+            hwm: (0, 0),
+            stream: None,
+            rng: policy.seed | 1,
+            stats: ClientStats::default(),
+            spec_sent: false,
+        };
+        c.reconnect()?;
+        Ok(c)
+    }
+
+    /// A copy of the resilience counters.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The client-side `(event_seq, ordinal)` trigger high-water mark.
+    #[must_use]
+    pub fn trigger_hwm(&self) -> (u64, u32) {
+        self.hwm
+    }
+
+    /// This client's session id.
+    #[must_use]
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    fn backoff_sleep(&mut self, attempt: u32) {
+        let base = self.policy.backoff.saturating_mul(1u32 << attempt.min(10));
+        let capped = base.min(self.policy.backoff_cap);
+        let jitter = capped.mul_f64((splitmix64(&mut self.rng) % 256) as f64 / 1024.0);
+        std::thread::sleep(capped + jitter);
+    }
+
+    /// (Re)establishes the connection with retries: HELLO (the full
+    /// spec only on the first ever connect, an empty attach afterwards
+    /// so a hot-reloaded spec doesn't 409) and a blind resend of the
+    /// unacknowledged window.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_connect() {
+                Ok(()) => return Ok(()),
+                Err(e) if is_fatal(&e) => return Err(e),
+                Err(e) => {
+                    self.stream = None;
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    self.stats.rejects_retried += 1;
+                    self.backoff_sleep(attempt - 1);
+                }
+            }
+        }
+    }
+
+    fn try_connect(&mut self) -> io::Result<()> {
+        self.stream = None;
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.policy.read_timeout))?;
+        stream.set_nodelay(true)?;
+        self.stream = Some(stream);
+        let spec = if self.spec_sent { String::new() } else { self.spec.clone() };
+        let hello = encode_hello(&self.tenant, &spec, &self.opts);
+        let s = self.stream.as_mut().expect("just connected");
+        write_frame(s, FRAME_HELLO, &hello)?;
+        loop {
+            match read_frame(s)? {
+                None => {
+                    return Err(io::Error::new(
+                        ErrorKind::ConnectionAborted,
+                        "server closed during HELLO",
+                    ))
+                }
+                Some((FRAME_OK, _)) => break,
+                Some((FRAME_REJECT, p)) => {
+                    let (code, msg) = decode_reject(&p);
+                    if is_fatal_code(code) {
+                        return Err(fatal(code, &msg));
+                    }
+                    return Err(io::Error::other(format!("HELLO reject {code}: {msg}")));
+                }
+                Some(_) => {}
+            }
+        }
+        self.spec_sent = true;
+        self.stats.connects += 1;
+        if self.stats.connects > 1 {
+            self.stats.reconnects += 1;
+        }
+        let window: Vec<(u64, String)> = self.window.iter().cloned().collect();
+        for (cseq, line) in &window {
+            self.write_line(*cseq, line)?;
+            self.stats.resent_lines += 1;
+        }
+        Ok(())
+    }
+
+    fn write_line(&mut self, cseq: u64, line: &str) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(16 + line.len());
+        payload.extend_from_slice(&self.session.to_le_bytes());
+        payload.extend_from_slice(&cseq.to_le_bytes());
+        payload.extend_from_slice(line.as_bytes());
+        let s = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(ErrorKind::NotConnected, "not connected"))?;
+        write_frame(s, FRAME_EVENT_SEQ, &payload)
+    }
+
+    /// Queues and sends one trace-grammar line. A transport error here
+    /// only drops the connection — the line stays in the window and the
+    /// next [`ResilientClient::sync`] reconnects and resends it.
+    /// Delivery is guaranteed only once a barrier returns.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal rejects; transport faults are absorbed.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        let cseq = self.next_cseq;
+        self.next_cseq += 1;
+        self.window.push_back((cseq, line.to_owned()));
+        if self.stream.is_some() {
+            if let Err(e) = self.write_line(cseq, line) {
+                if is_fatal(&e) {
+                    return Err(e);
+                }
+                self.stream = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Durability barrier: returns once every line sent so far is
+    /// processed and fsynced server-side, then clears the resend
+    /// window. Any disturbance — reconnect, retryable reject, timeout —
+    /// makes the next attempt blind-resend the whole window first; the
+    /// server's dedup keeps the journal identical regardless.
+    ///
+    /// # Errors
+    ///
+    /// Fatal rejects, or retry exhaustion.
+    pub fn sync(&mut self) -> io::Result<u64> {
+        let token = self.next_cseq - 1;
+        let mut attempt = 0u32;
+        loop {
+            match self.try_sync(token) {
+                Ok(t) => {
+                    self.window.clear();
+                    return Ok(t);
+                }
+                Err(e) if is_fatal(&e) => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(io::Error::new(
+                            ErrorKind::TimedOut,
+                            format!("sync retries exhausted: {e}"),
+                        ));
+                    }
+                    self.stats.rejects_retried += 1;
+                    self.stream = None;
+                    self.backoff_sleep(attempt - 1);
+                }
+            }
+        }
+    }
+
+    fn try_sync(&mut self, token: u64) -> io::Result<u64> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let s = self.stream.as_mut().expect("reconnected");
+        write_frame(s, FRAME_SYNC, &token.to_le_bytes())?;
+        loop {
+            let s = self.stream.as_mut().expect("reconnected");
+            match read_frame(s)? {
+                None => {
+                    return Err(io::Error::new(
+                        ErrorKind::ConnectionAborted,
+                        "server closed mid-barrier",
+                    ))
+                }
+                Some((FRAME_SYNCED, p)) => {
+                    let got =
+                        p.get(..8).and_then(|b| b.try_into().ok()).map_or(0, u64::from_le_bytes);
+                    if got == token {
+                        // The barrier echoes the server's contiguous
+                        // cseq HWM for our session. A shortfall means a
+                        // frame was lost *inside* the connection (the
+                        // server gap-discards everything past the hole)
+                        // — retry: reconnect and resend the window.
+                        let hwm =
+                            p.get(8..16).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes);
+                        if let Some(h) = hwm {
+                            if h < token {
+                                return Err(io::Error::other(format!(
+                                    "barrier shortfall: server at cseq {h} of {token}"
+                                )));
+                            }
+                        }
+                        return Ok(got);
+                    }
+                    // A stale barrier echo (duplicated or delayed frame)
+                    // from before a disturbance — ignore it.
+                }
+                Some((FRAME_REJECT, p)) => {
+                    let (code, msg) = decode_reject(&p);
+                    if is_fatal_code(code) {
+                        return Err(fatal(code, &msg));
+                    }
+                    // Some submitted line may have been dropped
+                    // server-side (restart, reload, shed): the retry
+                    // path reconnects and resends the whole window.
+                    return Err(io::Error::other(format!("reject {code}: {msg}")));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Pulls the next batch of goal reports strictly past the client's
+    /// high-water mark and advances it. Duplicates (server overlap or
+    /// chaos-duplicated reply frames) are filtered and counted.
+    ///
+    /// # Errors
+    ///
+    /// Fatal rejects (including [`REJECT_RESUME_GONE`]) or retry
+    /// exhaustion.
+    pub fn poll_triggers(&mut self, max: u32) -> io::Result<Vec<TriggerRecord>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_poll(max) {
+                Ok(batch) => {
+                    let mut fresh = Vec::with_capacity(batch.len());
+                    for t in batch {
+                        if t.key() > self.hwm {
+                            self.hwm = t.key();
+                            self.stats.triggers_observed += 1;
+                            fresh.push(t);
+                        } else {
+                            self.stats.deduped_triggers += 1;
+                        }
+                    }
+                    return Ok(fresh);
+                }
+                Err(e) if is_fatal(&e) => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(io::Error::new(
+                            ErrorKind::TimedOut,
+                            format!("poll retries exhausted: {e}"),
+                        ));
+                    }
+                    self.stats.rejects_retried += 1;
+                    self.stream = None;
+                    self.backoff_sleep(attempt - 1);
+                }
+            }
+        }
+    }
+
+    fn try_poll(&mut self, max: u32) -> io::Result<Vec<TriggerRecord>> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let (seq, ord) = self.hwm;
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&ord.to_le_bytes());
+        payload.extend_from_slice(&max.to_le_bytes());
+        let s = self.stream.as_mut().expect("reconnected");
+        write_frame(s, FRAME_POLL, &payload)?;
+        loop {
+            let s = self.stream.as_mut().expect("reconnected");
+            match read_frame(s)? {
+                None => {
+                    return Err(io::Error::new(
+                        ErrorKind::ConnectionAborted,
+                        "server closed mid-poll",
+                    ))
+                }
+                Some((FRAME_TRIGGERS, p)) => {
+                    return decode_triggers(&p).ok_or_else(|| {
+                        io::Error::new(ErrorKind::InvalidData, "malformed TRIGGERS payload")
+                    });
+                }
+                Some((FRAME_REJECT, p)) => {
+                    let (code, msg) = decode_reject(&p);
+                    if is_fatal_code(code) {
+                        return Err(fatal(code, &msg));
+                    }
+                    return Err(io::Error::other(format!("reject {code}: {msg}")));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Hot-reloads the tenant's spec, retrying with the same idempotency
+    /// `token` until the cutover is acknowledged — a lost
+    /// acknowledgement can therefore never double-apply. Returns the new
+    /// spec version.
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_BAD_SPEC`] (fatal) or retry exhaustion.
+    pub fn reload(&mut self, token: u64, spec: &str) -> io::Result<u64> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_reload(token, spec) {
+                Ok(v) => return Ok(v),
+                Err(e) if is_fatal(&e) => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(io::Error::new(
+                            ErrorKind::TimedOut,
+                            format!("reload retries exhausted: {e}"),
+                        ));
+                    }
+                    self.stats.rejects_retried += 1;
+                    self.stream = None;
+                    self.backoff_sleep(attempt - 1);
+                }
+            }
+        }
+    }
+
+    fn try_reload(&mut self, token: u64, spec: &str) -> io::Result<u64> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let mut payload = Vec::with_capacity(8 + spec.len());
+        payload.extend_from_slice(&token.to_le_bytes());
+        payload.extend_from_slice(spec.as_bytes());
+        let s = self.stream.as_mut().expect("reconnected");
+        write_frame(s, FRAME_RELOAD, &payload)?;
+        loop {
+            let s = self.stream.as_mut().expect("reconnected");
+            match read_frame(s)? {
+                None => {
+                    return Err(io::Error::new(
+                        ErrorKind::ConnectionAborted,
+                        "server closed mid-reload",
+                    ))
+                }
+                Some((FRAME_RELOADED, p)) => {
+                    return Ok(p
+                        .get(..8)
+                        .and_then(|b| b.try_into().ok())
+                        .map_or(0, u64::from_le_bytes));
+                }
+                Some((FRAME_REJECT, p)) => {
+                    let (code, msg) = decode_reject(&p);
+                    if is_fatal_code(code) {
+                        return Err(fatal(code, &msg));
+                    }
+                    return Err(io::Error::other(format!("reject {code}: {msg}")));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Graceful goodbye; returns the final counters.
+    pub fn bye(mut self) -> ClientStats {
+        if let Some(s) = self.stream.as_mut() {
+            let _ = write_frame(s, FRAME_BYE, &[]);
+        }
+        self.stats
+    }
+}

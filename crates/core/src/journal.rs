@@ -107,6 +107,29 @@ pub const AUX_GC_CYCLE: u8 = 4;
 /// using; `rvmon replay` ignores the tag (allocation order is already
 /// implied by the event records).
 pub const AUX_OBJ: u8 = 5;
+/// Auxiliary record tag: one session-scoped trace line from a
+/// `rvmond` client (payload: `session: u64 LE`, `cseq: u64 LE`, then
+/// the raw line in UTF-8). The session/cseq pair is the exactly-once
+/// key: recovery rebuilds the per-session high-water mark from these
+/// records, so a reconnecting client that resends its unacknowledged
+/// window can never double-apply a line. Carrying the cseq *inside*
+/// the line record (rather than as a sibling record) makes the
+/// dedup-state update atomic with the line itself under any crash.
+pub const AUX_SLINE: u8 = 6;
+/// Auxiliary record tag: an injected worker-fatal chaos directive
+/// (payload: `session: u64 LE`, `cseq: u64 LE`). Journaled — and
+/// fsynced — *before* the worker dies, so recovery advances the
+/// session high-water mark past it without re-dying: the fault fires
+/// exactly once even when the client's resend window still holds it.
+pub const AUX_FATAL: u8 = 7;
+/// Auxiliary record tag: a hot spec reload cutover (payload:
+/// `token: u64 LE`, then the new spec source in UTF-8). The old
+/// engine is checkpointed at its exact journal tail immediately before
+/// this record; replay swaps in a fresh engine compiled from the new
+/// source when it crosses the record. The token makes reloads
+/// idempotent: a client retrying a reload whose acknowledgement was
+/// lost in transit cannot cut over twice.
+pub const AUX_RELOAD: u8 = 8;
 /// Auxiliary record tag: crash-harness pool initialisation (payload:
 /// pool size as `u32`).
 pub const AUX_CT_INIT: u8 = 16;

@@ -54,11 +54,13 @@
 
 pub mod binding;
 pub mod chaos;
+pub mod client;
 pub mod crashtest;
 pub mod engine;
 pub mod error;
 pub mod journal;
 pub mod multi;
+pub mod netchaos;
 pub mod obs;
 pub mod profile;
 pub mod reference;
@@ -71,6 +73,7 @@ pub mod trees;
 
 pub use crate::binding::{Binding, MAX_PARAMS};
 pub use crate::chaos::{run_block, ChaosOutcome};
+pub use crate::client::{ClientStats, ReconnectPolicy, ResilientClient};
 pub use crate::crashtest::{crash_and_recover, CrashOutcome, KillClass};
 pub use crate::engine::{BudgetKind, DegradationPolicy, Engine, EngineConfig, GcPolicy};
 pub use crate::error::EngineError;
@@ -79,6 +82,7 @@ pub use crate::journal::{
     RetryPolicy, SeqRecord, Truncation,
 };
 pub use crate::multi::PropertyMonitor;
+pub use crate::netchaos::{ChaosProfile, ChaosProxy, ChaosStats};
 pub use crate::obs::{
     mmu, mmu_curve, EngineObserver, FlagCause, GcCycleRecord, GcKind, GcReason, Histogram,
     MetricsRegistry, NoopObserver, Phase, TraceKind, TraceRecord, TraceRecorder,
@@ -89,8 +93,9 @@ pub use crate::profile::{
 };
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
 pub use crate::service::{
-    read_frame, serve_connection, write_frame, Backpressure, ConnPermit, Service, ServiceConfig,
-    ServiceStats, TenantOptions, TenantSnapshot, TenantState,
+    encode_frame, read_frame, serve_connection, write_frame, Backpressure, ConnPermit, Service,
+    ServiceConfig, ServiceStats, SupervisorConfig, TenantOptions, TenantSnapshot, TenantState,
+    TriggerLog, TriggerRecord,
 };
 pub use crate::shard::{
     differential_run, differential_run_with, owner_param, HandlerFactory, ShardConfig,

@@ -66,13 +66,14 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use rv_heap::{Heap, HeapConfig, ObjId};
+use rv_logic::Verdict;
 use rv_spec::CompiledSpec;
 
 use crate::binding::Binding;
 use crate::engine::EngineConfig;
 use crate::journal::{
-    read_journal, JournalScan, JournalWriter, Record, RetryPolicy, AUX_FREE, AUX_GC, AUX_OBJ,
-    AUX_SPEC, AUX_SWEEP,
+    crc32, read_journal, JournalScan, JournalWriter, Record, RetryPolicy, AUX_FATAL, AUX_FREE,
+    AUX_GC, AUX_OBJ, AUX_RELOAD, AUX_SLINE, AUX_SPEC, AUX_SWEEP,
 };
 use crate::multi::PropertyMonitor;
 use crate::obs::MetricsRegistry;
@@ -99,6 +100,20 @@ pub const FRAME_SYNC: u8 = 0x03;
 pub const FRAME_STATS: u8 = 0x04;
 /// Client → server: graceful goodbye; the server closes the connection.
 pub const FRAME_BYE: u8 = 0x05;
+/// Client → server: hot spec reload for the connection's tenant.
+/// Payload: `[token: u64 LE][new spec source UTF-8]`. The token makes
+/// the reload idempotent — a retry after a lost acknowledgement cannot
+/// cut over twice. Token `0` always applies.
+pub const FRAME_RELOAD: u8 = 0x06;
+/// Client → server: pull the tenant's goal reports strictly after a
+/// `(event_seq, ordinal)` high-water mark. Payload:
+/// `[event_seq: u64 LE][ordinal: u32 LE][max: u32 LE]`.
+pub const FRAME_POLL: u8 = 0x07;
+/// Client → server: one session-stamped trace line. Payload:
+/// `[session: u64 LE][cseq: u64 LE][line UTF-8]`. The server applies a
+/// given `(session, cseq)` at most once, so a reconnecting client can
+/// blindly resend its unacknowledged window.
+pub const FRAME_EVENT_SEQ: u8 = 0x08;
 
 /// Server → client: HELLO accepted. Payload: the tenant name.
 pub const FRAME_OK: u8 = 0x80;
@@ -109,9 +124,20 @@ pub const FRAME_STATS_REPLY: u8 = 0x82;
 /// Server → client: typed rejection. Payload:
 /// `[code: u16 LE][message UTF-8]`.
 pub const FRAME_REJECT: u8 = 0x83;
+/// Server → client: a batch of goal reports answering [`FRAME_POLL`].
+/// Payload: `[count: u32 LE]` then `count` entries, each
+/// `[len: u16 LE][journal Trigger record payload]`.
+pub const FRAME_TRIGGERS: u8 = 0x84;
+/// Server → client: reload applied. Payload: the new spec version as
+/// `u64 LE`.
+pub const FRAME_RELOADED: u8 = 0x85;
 
 /// Reject code: malformed frame or a frame sent before a HELLO.
 pub const REJECT_BAD_FRAME: u16 = 400;
+/// Reject code: a [`FRAME_POLL`] high-water mark points below the
+/// tenant's retained trigger log — the client's resume point was
+/// evicted and exactly-once delivery can no longer be promised.
+pub const REJECT_RESUME_GONE: u16 = 410;
 /// Reject code: a HELLO for an existing tenant carried a different spec.
 pub const REJECT_SPEC_MISMATCH: u16 = 409;
 /// Reject code: the HELLO spec failed to compile.
@@ -135,7 +161,22 @@ pub const REJECT_TIMEOUT: u16 = 504;
 /// A typed rejection: the `429`-style code plus a human-readable reason.
 pub type Reject = (u16, String);
 
-/// Writes one `[len][kind][payload]` frame.
+/// Encodes one `[len][kind][payload][crc32]` frame into a byte vector.
+/// The trailing CRC-32 covers `[kind][payload]`, so a frame corrupted
+/// anywhere on the wire — length prefix included — is detected at the
+/// receiver instead of being absorbed as garbage input.
+#[must_use]
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = (payload.len() + 1) as u32;
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&out[4..]).to_le_bytes());
+    out
+}
+
+/// Writes one `[len][kind][payload][crc32]` frame.
 ///
 /// # Errors
 ///
@@ -145,9 +186,7 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Res
     if len > FRAME_MAX {
         return Err(std::io::Error::new(ErrorKind::InvalidInput, "frame exceeds FRAME_MAX"));
     }
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(&[kind])?;
-    w.write_all(payload)?;
+    w.write_all(&encode_frame(kind, payload))?;
     w.flush()
 }
 
@@ -156,8 +195,8 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Res
 /// # Errors
 ///
 /// IO errors from the stream (including read timeouts, surfaced as
-/// `WouldBlock`/`TimedOut`), an EOF mid-frame, or an implausible length
-/// prefix (`InvalidData`).
+/// `WouldBlock`/`TimedOut`), an EOF mid-frame, an implausible length
+/// prefix, or a CRC mismatch (both `InvalidData`).
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
     let mut len_buf = [0u8; 4];
     let mut n = 0;
@@ -177,17 +216,27 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    if u32::from_le_bytes(crc_buf) != crc32(&body) {
+        return Err(std::io::Error::new(ErrorKind::InvalidData, "frame CRC mismatch"));
+    }
     let kind = body[0];
     body.remove(0);
     Ok(Some((kind, body)))
 }
 
 /// Encodes a HELLO payload (client-side helper shared with `loadgen`).
+/// Layout: `[flags: u8][max_live_monitors: u32 LE][journal_retries:
+/// u32 LE][journal_backoff_ms: u32 LE][name]\n[spec]` — zeros mean
+/// "use the service default".
 #[must_use]
 pub fn encode_hello(name: &str, spec: &str, opts: &TenantOptions) -> Vec<u8> {
-    let mut p = Vec::with_capacity(6 + name.len() + 1 + spec.len());
+    let mut p = Vec::with_capacity(14 + name.len() + 1 + spec.len());
     p.push(opts.flags);
     p.extend_from_slice(&opts.max_live_monitors.map_or(0, |n| n.max(1)).to_le_bytes());
+    p.extend_from_slice(&opts.journal_retries.unwrap_or(0).to_le_bytes());
+    p.extend_from_slice(&opts.journal_backoff_ms.unwrap_or(0).to_le_bytes());
     p.extend_from_slice(name.as_bytes());
     p.push(b'\n');
     p.extend_from_slice(spec.as_bytes());
@@ -199,11 +248,18 @@ pub fn encode_hello(name: &str, spec: &str, opts: &TenantOptions) -> Vec<u8> {
 pub fn decode_hello(payload: &[u8]) -> Option<(String, String, TenantOptions)> {
     let flags = *payload.first()?;
     let max_live = u32::from_le_bytes(payload.get(1..5)?.try_into().ok()?);
-    let rest = payload.get(5..)?;
+    let retries = u32::from_le_bytes(payload.get(5..9)?.try_into().ok()?);
+    let backoff_ms = u32::from_le_bytes(payload.get(9..13)?.try_into().ok()?);
+    let rest = payload.get(13..)?;
     let split = rest.iter().position(|&b| b == b'\n')?;
     let name = String::from_utf8(rest[..split].to_vec()).ok()?;
     let spec = String::from_utf8(rest[split + 1..].to_vec()).ok()?;
-    let opts = TenantOptions { flags, max_live_monitors: (max_live > 0).then_some(max_live) };
+    let opts = TenantOptions {
+        flags,
+        max_live_monitors: (max_live > 0).then_some(max_live),
+        journal_retries: (retries > 0).then_some(retries),
+        journal_backoff_ms: (backoff_ms > 0).then_some(backoff_ms),
+    };
     Some((name, spec, opts))
 }
 
@@ -224,16 +280,68 @@ pub enum Backpressure {
 /// Tenant option flag: install a trigger handler that panics on every
 /// goal report — the chaos hook CI uses to prove the panic boundary.
 pub const TENANT_FLAG_PANIC_HANDLER: u8 = 0x01;
+/// Tenant option flag: honor the `!fatal` trace directive, which kills
+/// the tenant's worker with a worker-fatal error *after* journaling an
+/// `AUX_FATAL` marker — the chaos hook supervision tests use to prove
+/// unattended restart. Without the flag `!fatal` is a bad line.
+pub const TENANT_FLAG_ALLOW_FATAL: u8 = 0x02;
+/// Tenant option flag: sleep ~2ms per processed line — a deterministic
+/// way for tests to fill ingest queues (431) and outlive reply
+/// timeouts (504) without racing the scheduler.
+pub const TENANT_FLAG_SLOW_WORKER: u8 = 0x04;
 
 /// Per-tenant options carried in the HELLO frame and persisted beside
 /// the tenant's journal for recovery.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct TenantOptions {
-    /// Flag bits ([`TENANT_FLAG_PANIC_HANDLER`]).
+    /// Flag bits ([`TENANT_FLAG_PANIC_HANDLER`],
+    /// [`TENANT_FLAG_ALLOW_FATAL`], [`TENANT_FLAG_SLOW_WORKER`]).
     pub flags: u8,
     /// Overrides [`EngineConfig::max_live_monitors`] for this tenant —
     /// the knob that arms the degradation ladder per tenant.
     pub max_live_monitors: Option<u32>,
+    /// Overrides [`RetryPolicy::max_attempts`] for this tenant's
+    /// journal appends.
+    pub journal_retries: Option<u32>,
+    /// Overrides [`RetryPolicy::backoff`] (milliseconds) for this
+    /// tenant's journal appends.
+    pub journal_backoff_ms: Option<u32>,
+}
+
+/// Tenant supervision policy: how the service restarts Failed tenants
+/// without operator action, and when it stops trying.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Restart budget inside [`SupervisorConfig::window`]; once a
+    /// tenant has burned this many restarts within the window it
+    /// circuit-breaks to [`TenantState::FailedPermanent`]. `0` disables
+    /// supervision entirely (no supervisor thread is spawned).
+    pub max_restarts: u32,
+    /// Sliding window the restart budget is counted over.
+    pub window: Duration,
+    /// Base backoff before the first restart attempt; doubles per
+    /// restart still inside the window.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic (splitmix64) backoff jitter — up to
+    /// 25% of the computed backoff is added.
+    pub seed: u64,
+    /// Supervisor scan interval.
+    pub poll: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 0,
+            window: Duration::from_secs(60),
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            seed: 0x5EED_C11E,
+            poll: Duration::from_millis(20),
+        }
+    }
 }
 
 /// Service-wide configuration.
@@ -259,6 +367,12 @@ pub struct ServiceConfig {
     /// How long a barrier or stats round trip may take before the
     /// service answers [`REJECT_TIMEOUT`].
     pub reply_timeout: Duration,
+    /// Tenant supervision policy (`max_restarts: 0` = off).
+    pub supervisor: SupervisorConfig,
+    /// Entries retained in each tenant's in-memory trigger log (the
+    /// [`FRAME_POLL`] resume window). A client resuming below the
+    /// eviction horizon gets [`REJECT_RESUME_GONE`].
+    pub trigger_log_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -273,6 +387,8 @@ impl Default for ServiceConfig {
             engine: EngineConfig::default(),
             retry: RetryPolicy::default(),
             reply_timeout: Duration::from_secs(10),
+            supervisor: SupervisorConfig::default(),
+            trigger_log_cap: 1 << 20,
         }
     }
 }
@@ -299,6 +415,13 @@ pub struct ServiceStats {
     pub bad_frames: AtomicU64,
     /// Connections closed because a read idled past the timeout.
     pub idle_reaped: AtomicU64,
+    /// Supervised tenant restarts completed.
+    pub tenants_restarted: AtomicU64,
+    /// Tenants circuit-broken to Failed-permanent after exhausting the
+    /// restart budget.
+    pub tenants_circuit_broken: AtomicU64,
+    /// Hot spec reloads applied.
+    pub spec_reloads: AtomicU64,
 }
 
 impl ServiceStats {
@@ -308,7 +431,8 @@ impl ServiceStats {
         format!(
             "{{\"tenants_admitted\":{},\"tenants_rejected\":{},\"conns_opened\":{},\
              \"conns_rejected\":{},\"events_submitted\":{},\"events_shed\":{},\
-             \"bad_frames\":{},\"idle_reaped\":{}}}",
+             \"bad_frames\":{},\"idle_reaped\":{},\"tenants_restarted\":{},\
+             \"tenants_circuit_broken\":{},\"spec_reloads\":{}}}",
             self.tenants_admitted.load(Ordering::Relaxed),
             self.tenants_rejected.load(Ordering::Relaxed),
             self.conns_opened.load(Ordering::Relaxed),
@@ -317,6 +441,9 @@ impl ServiceStats {
             self.events_shed.load(Ordering::Relaxed),
             self.bad_frames.load(Ordering::Relaxed),
             self.idle_reaped.load(Ordering::Relaxed),
+            self.tenants_restarted.load(Ordering::Relaxed),
+            self.tenants_circuit_broken.load(Ordering::Relaxed),
+            self.spec_reloads.load(Ordering::Relaxed),
         )
     }
 }
@@ -333,7 +460,16 @@ pub enum TenantState {
     Drained,
     /// Worker quarantined after a panic or persistent journal failure;
     /// the string is the failure rendering. Neighbors are unaffected.
+    /// Under supervision this is a transient state: the supervisor
+    /// restarts the tenant after a backoff, budget permitting.
     Failed(String),
+    /// The supervisor is restarting the worker through the recovery
+    /// path; submissions get a retryable [`REJECT_DRAINING`].
+    Restarting,
+    /// The restart budget is exhausted: the supervisor circuit-broke
+    /// this tenant and only operator action (daemon restart) revives
+    /// it. The string is the last failure rendering.
+    FailedPermanent(String),
 }
 
 impl TenantState {
@@ -344,6 +480,8 @@ impl TenantState {
             TenantState::Running => "running",
             TenantState::Drained => "drained",
             TenantState::Failed(_) => "failed",
+            TenantState::Restarting => "restarting",
+            TenantState::FailedPermanent(_) => "failed-permanent",
         }
     }
 }
@@ -384,6 +522,18 @@ pub struct TenantSnapshot {
     pub recovered_events: u64,
     /// Goal reports suppressed as already-delivered during recovery.
     pub suppressed_triggers: u64,
+    /// Supervised restarts completed for this tenant.
+    pub restarts: u64,
+    /// Spec version: 1 at creation, +1 per hot reload (recovered from
+    /// the journal's `AUX_RELOAD` records after a restart).
+    pub spec_version: u64,
+    /// Session lines dropped as duplicates by the per-session
+    /// `(session, cseq)` high-water mark — the server half of
+    /// exactly-once ingestion.
+    pub deduped_events: u64,
+    /// FNV-1a hash of the tenant's current spec source; HELLO attaches
+    /// carrying a non-empty spec are checked against it (409).
+    pub spec_hash: u64,
 }
 
 impl TenantSnapshot {
@@ -392,6 +542,9 @@ impl TenantSnapshot {
     pub fn to_json(&self) -> String {
         let state = match &self.state {
             TenantState::Failed(e) => format!("\"failed: {}\"", e.replace('"', "'")),
+            TenantState::FailedPermanent(e) => {
+                format!("\"failed-permanent: {}\"", e.replace('"', "'"))
+            }
             s => format!("\"{}\"", s.label()),
         };
         format!(
@@ -399,7 +552,8 @@ impl TenantSnapshot {
              \"shed_events\":{},\"bad_lines\":{},\"quarantined\":{},\"budget_trips\":{},\
              \"degradations\":{},\"shed_monitors\":{},\"monitors_live\":{},\
              \"checkpoints\":{},\"journal_records\":{},\"journal_retries\":{},\
-             \"recovered_events\":{},\"suppressed_triggers\":{}}}",
+             \"recovered_events\":{},\"suppressed_triggers\":{},\"restarts\":{},\
+             \"spec_version\":{},\"deduped_events\":{}}}",
             self.name,
             self.events,
             self.triggers,
@@ -415,14 +569,186 @@ impl TenantSnapshot {
             self.journal_retries,
             self.recovered_events,
             self.suppressed_triggers,
+            self.restarts,
+            self.spec_version,
+            self.deduped_events,
         )
     }
 }
 
+// --- Trigger log ----------------------------------------------------------
+
+/// One delivered goal report, keyed for exactly-once resume by
+/// `(event_seq, ordinal)` — the journal sequence of the line that fired
+/// it plus the report's index within that line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TriggerRecord {
+    /// Journal sequence of the firing line.
+    pub event_seq: u64,
+    /// Index of this report within that line's reports.
+    pub ordinal: u32,
+    /// Property block that fired.
+    pub block: u16,
+    /// The engine's event counter at fire time.
+    pub step: u64,
+    /// The reported verdict.
+    pub verdict: Verdict,
+    /// The reported binding.
+    pub binding: Binding,
+}
+
+impl TriggerRecord {
+    /// The exactly-once key.
+    #[must_use]
+    pub fn key(&self) -> (u64, u32) {
+        (self.event_seq, self.ordinal)
+    }
+
+    /// A canonical single-line rendering — what the differential chaos
+    /// harness compares byte-for-byte between a clean run and a run
+    /// through `netchaos`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "t {}.{} b{} s{} v{} {:?}",
+            self.event_seq,
+            self.ordinal,
+            self.block,
+            self.step,
+            self.verdict.to_byte(),
+            self.binding,
+        )
+    }
+
+    fn to_record(self) -> Record {
+        Record::Trigger {
+            event_seq: self.event_seq,
+            ordinal: self.ordinal,
+            block: self.block,
+            step: self.step,
+            verdict: self.verdict,
+            binding: self.binding,
+        }
+    }
+
+    fn from_record(r: &Record) -> Option<TriggerRecord> {
+        match r {
+            Record::Trigger { event_seq, ordinal, block, step, verdict, binding } => {
+                Some(TriggerRecord {
+                    event_seq: *event_seq,
+                    ordinal: *ordinal,
+                    block: *block,
+                    step: *step,
+                    verdict: *verdict,
+                    binding: *binding,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a [`FRAME_TRIGGERS`] payload from a batch of reports.
+#[must_use]
+pub fn encode_triggers(batch: &[TriggerRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + batch.len() * 48);
+    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    let mut body = Vec::new();
+    for t in batch {
+        body.clear();
+        t.to_record().encode_payload(&mut body);
+        out.extend_from_slice(&(body.len() as u16).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+/// Decodes a [`FRAME_TRIGGERS`] payload; `None` on malformed bytes.
+#[must_use]
+pub fn decode_triggers(payload: &[u8]) -> Option<Vec<TriggerRecord>> {
+    let count = u32::from_le_bytes(payload.get(..4)?.try_into().ok()?) as usize;
+    let mut pos = 4usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = u16::from_le_bytes(payload.get(pos..pos + 2)?.try_into().ok()?) as usize;
+        pos += 2;
+        let body = payload.get(pos..pos + len)?;
+        pos += len;
+        out.push(TriggerRecord::from_record(&Record::decode(2, body)?)?);
+    }
+    (pos == payload.len()).then_some(out)
+}
+
+/// A tenant's in-memory, journal-backed log of delivered goal reports:
+/// the resume window [`FRAME_POLL`] serves. Entries are strictly
+/// ordered by key; the worker appends as it fires, recovery rebuilds
+/// the whole log from the journal's Trigger records.
+#[derive(Debug, Default)]
+pub struct TriggerLog {
+    entries: std::collections::VecDeque<TriggerRecord>,
+    /// Key of the newest evicted entry — polls at or below it can no
+    /// longer be served exactly-once.
+    evicted_through: Option<(u64, u32)>,
+    cap: usize,
+}
+
+impl TriggerLog {
+    fn with_cap(cap: usize) -> TriggerLog {
+        TriggerLog { cap: cap.max(1), ..TriggerLog::default() }
+    }
+
+    fn reset(&mut self, cap: usize) {
+        self.entries.clear();
+        self.evicted_through = None;
+        self.cap = cap.max(1);
+    }
+
+    fn push(&mut self, t: TriggerRecord) {
+        self.entries.push_back(t);
+        while self.entries.len() > self.cap {
+            let gone = self.entries.pop_front().expect("len > cap >= 1");
+            self.evicted_through = Some(gone.key());
+        }
+    }
+
+    /// Entries with key strictly after `after`, up to `max`; `Err(())`
+    /// when `after` lies below the eviction horizon.
+    fn poll(&self, after: (u64, u32), max: usize) -> Result<Vec<TriggerRecord>, ()> {
+        if self.evicted_through.is_some_and(|ev| after < ev) {
+            return Err(());
+        }
+        let start = self.entries.partition_point(|t| t.key() <= after);
+        Ok(self.entries.iter().skip(start).take(max).copied().collect())
+    }
+}
+
+// --- Tenant plumbing ------------------------------------------------------
+
 enum TenantMsg {
-    Line(String),
-    Sync { token: u64, reply: SyncSender<u64> },
-    Stats { reply: SyncSender<String> },
+    Line {
+        session: u64,
+        cseq: u64,
+        line: String,
+    },
+    Sync {
+        token: u64,
+        reply: SyncSender<u64>,
+    },
+    /// Barrier that also echoes the session's contiguous cseq HWM, so a
+    /// resilient client can detect gap-dropped lines and resend.
+    SyncSession {
+        token: u64,
+        session: u64,
+        reply: SyncSender<(u64, u64)>,
+    },
+    Stats {
+        reply: SyncSender<String>,
+    },
+    Reload {
+        token: u64,
+        source: String,
+        reply: SyncSender<Result<u64, Reject>>,
+    },
     Drain,
 }
 
@@ -431,6 +757,17 @@ struct Tenant {
     conns: Arc<AtomicUsize>,
     shared: Arc<Mutex<TenantSnapshot>>,
     worker: Option<std::thread::JoinHandle<()>>,
+    triggers: Arc<Mutex<TriggerLog>>,
+    /// Set by [`Service::reload`] around the cutover round trip;
+    /// submissions answer a retryable 503 while it holds.
+    reloading: Arc<AtomicBool>,
+    dir: PathBuf,
+    opts: TenantOptions,
+    /// Completion times of supervised restarts still inside the budget
+    /// window.
+    restart_times: Vec<std::time::Instant>,
+    /// When the next restart attempt is due (backoff already applied).
+    next_restart: Option<std::time::Instant>,
 }
 
 /// A granted connection slot; dropping it releases the slot.
@@ -452,10 +789,12 @@ impl Drop for ConnPermit {
 /// tests drive it directly.
 pub struct Service {
     config: ServiceConfig,
-    tenants: Mutex<HashMap<String, Tenant>>,
+    tenants: Arc<Mutex<HashMap<String, Tenant>>>,
     /// Service-level counters.
-    pub stats: ServiceStats,
-    draining: AtomicBool,
+    pub stats: Arc<ServiceStats>,
+    draining: Arc<AtomicBool>,
+    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    supervisor_stop: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for Service {
@@ -476,9 +815,11 @@ fn write_options(dir: &Path, opts: &TenantOptions) -> std::io::Result<()> {
     std::fs::write(
         dir.join(OPTIONS_FILE),
         format!(
-            "flags={}\nmax_live_monitors={}\n",
+            "flags={}\nmax_live_monitors={}\njournal_retries={}\njournal_backoff_ms={}\n",
             opts.flags,
-            opts.max_live_monitors.unwrap_or(0)
+            opts.max_live_monitors.unwrap_or(0),
+            opts.journal_retries.unwrap_or(0),
+            opts.journal_backoff_ms.unwrap_or(0),
         ),
     )
 }
@@ -494,9 +835,34 @@ fn read_options(dir: &Path) -> TenantOptions {
         } else if let Some(v) = line.strip_prefix("max_live_monitors=") {
             let n: u32 = v.trim().parse().unwrap_or(0);
             opts.max_live_monitors = (n > 0).then_some(n);
+        } else if let Some(v) = line.strip_prefix("journal_retries=") {
+            let n: u32 = v.trim().parse().unwrap_or(0);
+            opts.journal_retries = (n > 0).then_some(n);
+        } else if let Some(v) = line.strip_prefix("journal_backoff_ms=") {
+            let n: u32 = v.trim().parse().unwrap_or(0);
+            opts.journal_backoff_ms = (n > 0).then_some(n);
         }
     }
     opts
+}
+
+/// FNV-1a over a spec source — the cheap fingerprint HELLO attaches are
+/// checked against.
+fn spec_hash(source: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in source.trim().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Service {
@@ -507,12 +873,40 @@ impl Service {
     /// Any IO error creating the root directory.
     pub fn new(config: ServiceConfig) -> std::io::Result<Service> {
         std::fs::create_dir_all(&config.root)?;
+        let tenants = Arc::new(Mutex::new(HashMap::new()));
+        let stats = Arc::new(ServiceStats::default());
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let supervisor = if config.supervisor.max_restarts > 0 {
+            let tenants = Arc::clone(&tenants);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&supervisor_stop);
+            let config = config.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("rvmond-supervisor".into())
+                    .spawn(move || supervisor_loop(&tenants, &stats, &stop, &config))
+                    .map_err(std::io::Error::other)?,
+            )
+        } else {
+            None
+        };
         Ok(Service {
             config,
-            tenants: Mutex::new(HashMap::new()),
-            stats: ServiceStats::default(),
-            draining: AtomicBool::new(false),
+            tenants,
+            stats,
+            draining: Arc::new(AtomicBool::new(false)),
+            supervisor: Mutex::new(supervisor),
+            supervisor_stop,
         })
+    }
+
+    /// Stops the supervisor thread (idempotent); drain and drop call
+    /// this before joining workers so a restart cannot race them.
+    fn stop_supervisor(&self) {
+        self.supervisor_stop.store(true, Ordering::Release);
+        if let Some(h) = self.supervisor.lock().expect("supervisor handle poisoned").take() {
+            let _ = h.join();
+        }
     }
 
     /// The service configuration.
@@ -550,10 +944,33 @@ impl Service {
         }
         let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
         if let Some(t) = tenants.get(name) {
-            let state = t.shared.lock().expect("snapshot poisoned").state.clone();
-            if let TenantState::Failed(e) = state {
+            let (state, hash) = {
+                let snap = t.shared.lock().expect("snapshot poisoned");
+                (snap.state.clone(), snap.spec_hash)
+            };
+            match state {
+                TenantState::Failed(e) if self.config.supervisor.max_restarts == 0 => {
+                    self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err((REJECT_TENANT_FAILED, format!("tenant quarantined: {e}")));
+                }
+                TenantState::FailedPermanent(e) => {
+                    self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err((
+                        REJECT_TENANT_FAILED,
+                        format!("tenant circuit-broken after restart budget: {e}"),
+                    ));
+                }
+                // Failed-under-supervision and Restarting both accept
+                // the attach: the client's next submission gets a
+                // retryable reject until the worker is back.
+                _ => {}
+            }
+            if !spec.trim().is_empty() && spec_hash(spec) != hash {
                 self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
-                return Err((REJECT_TENANT_FAILED, format!("tenant quarantined: {e}")));
+                return Err((
+                    REJECT_SPEC_MISMATCH,
+                    format!("tenant `{name}` already exists with a different spec"),
+                ));
             }
             return Ok(());
         }
@@ -576,6 +993,7 @@ impl Service {
             if spec.trim().is_empty() { None } else { Some(spec.to_owned()) },
             opts,
             &self.config,
+            None,
         )
         .map_err(|r| {
             self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
@@ -652,10 +1070,21 @@ impl Service {
         let Some(t) = tenants.get(name) else {
             return Err((REJECT_BAD_FRAME, format!("unknown tenant `{name}`")));
         };
+        if t.reloading.load(Ordering::Acquire) {
+            return Err((REJECT_DRAINING, format!("tenant `{name}` is reloading its spec")));
+        }
         let state = t.shared.lock().expect("snapshot poisoned").state.clone();
         match state {
-            TenantState::Failed(e) => {
+            TenantState::Failed(e) if self.config.supervisor.max_restarts == 0 => {
                 Err((REJECT_TENANT_FAILED, format!("tenant quarantined: {e}")))
+            }
+            // Under supervision a failure is transient: answer the
+            // retryable 503 until the restart lands.
+            TenantState::Failed(_) | TenantState::Restarting => {
+                Err((REJECT_DRAINING, format!("tenant `{name}` is restarting")))
+            }
+            TenantState::FailedPermanent(e) => {
+                Err((REJECT_TENANT_FAILED, format!("tenant circuit-broken: {e}")))
             }
             TenantState::Drained => Err((REJECT_DRAINING, "tenant is drained".into())),
             TenantState::Running => Ok((t.ingest.clone(), Arc::clone(&t.shared))),
@@ -671,11 +1100,29 @@ impl Service {
     /// [`REJECT_TENANT_FAILED`] / [`REJECT_DRAINING`] for dead tenants,
     /// [`REJECT_DRAINING`] while the service drains.
     pub fn submit(&self, name: &str, line: &str) -> Result<(), Reject> {
+        self.submit_seq(name, 0, 0, line)
+    }
+
+    /// Submits one session-stamped line: the tenant applies a given
+    /// `(session, cseq)` at most once, so resends after a reconnect are
+    /// deduplicated *before* journaling. Session `0` is the legacy
+    /// no-dedup path ([`FRAME_EVENT`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit`].
+    pub fn submit_seq(
+        &self,
+        name: &str,
+        session: u64,
+        cseq: u64,
+        line: &str,
+    ) -> Result<(), Reject> {
         if self.is_draining() {
             return Err((REJECT_DRAINING, "service is draining".into()));
         }
         let (ingest, shared) = self.ingest_of(name)?;
-        let msg = TenantMsg::Line(line.to_owned());
+        let msg = TenantMsg::Line { session, cseq, line: line.to_owned() };
         match self.config.backpressure {
             Backpressure::Block => ingest
                 .send(msg)
@@ -729,6 +1176,27 @@ impl Service {
             .map_err(|_| (REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")))
     }
 
+    /// Session-aware barrier: like [`Service::sync`], but the reply also
+    /// carries the contiguous cseq high-water mark of `session`, so a
+    /// resilient client can compare it against the highest cseq it sent
+    /// and detect lines lost to an in-connection frame drop (which the
+    /// worker gap-discards rather than letting them poison the mark).
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_TIMEOUT`] past [`ServiceConfig::reply_timeout`], or the
+    /// dead-tenant rejects.
+    pub fn sync_session(&self, name: &str, token: u64, session: u64) -> Result<(u64, u64), Reject> {
+        let (ingest, _) = self.ingest_of(name)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        ingest
+            .send(TenantMsg::SyncSession { token, session, reply: reply_tx })
+            .map_err(|_| (REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")))?;
+        reply_rx
+            .recv_timeout(self.config.reply_timeout)
+            .map_err(|_| (REJECT_TIMEOUT, format!("barrier timed out for tenant `{name}`")))
+    }
+
     /// The tenant's stats JSON (engine + journal + snapshot counters),
     /// produced by the worker itself at a message boundary.
     ///
@@ -744,6 +1212,111 @@ impl Service {
         reply_rx
             .recv_timeout(self.config.reply_timeout)
             .map_err(|_| (REJECT_TIMEOUT, format!("stats timed out for tenant `{name}`")))
+    }
+
+    /// Hot spec reload: compiles `source`, drains the tenant's old
+    /// engine to a checkpoint at its exact journal tail, journals the
+    /// `AUX_RELOAD` cutover, and swaps in a fresh engine — all at a
+    /// message boundary inside the worker, so no event ever straddles
+    /// two spec versions. While the round trip is in flight submissions
+    /// get a retryable [`REJECT_DRAINING`]. A non-zero `token` equal to
+    /// the last applied one makes the call an idempotent no-op (the
+    /// retry path for clients whose acknowledgement was lost).
+    ///
+    /// Returns the tenant's spec version after the call.
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_BAD_SPEC`] when `source` does not compile,
+    /// [`REJECT_TIMEOUT`], or the dead-tenant rejects.
+    pub fn reload(&self, name: &str, token: u64, source: &str) -> Result<u64, Reject> {
+        if self.is_draining() {
+            return Err((REJECT_DRAINING, "service is draining".into()));
+        }
+        if source.trim().is_empty() {
+            return Err((REJECT_BAD_SPEC, "reload needs a non-empty spec".into()));
+        }
+        // Fast typed 422 without disturbing the worker; the worker
+        // revalidates before cutting over.
+        CompiledSpec::from_source(source).map_err(|d| {
+            (REJECT_BAD_SPEC, format!("reload spec does not compile: {}", d.message))
+        })?;
+        let (ingest, reloading) = {
+            let tenants = self.tenants.lock().expect("tenant registry poisoned");
+            let Some(t) = tenants.get(name) else {
+                return Err((REJECT_BAD_FRAME, format!("unknown tenant `{name}`")));
+            };
+            let state = t.shared.lock().expect("snapshot poisoned").state.clone();
+            match state {
+                TenantState::Running => {}
+                TenantState::Failed(_) | TenantState::Restarting => {
+                    return Err((REJECT_DRAINING, format!("tenant `{name}` is restarting")));
+                }
+                TenantState::FailedPermanent(e) => {
+                    return Err((REJECT_TENANT_FAILED, format!("tenant circuit-broken: {e}")));
+                }
+                TenantState::Drained => {
+                    return Err((REJECT_DRAINING, "tenant is drained".into()));
+                }
+            }
+            (t.ingest.clone(), Arc::clone(&t.reloading))
+        };
+        reloading.store(true, Ordering::Release);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let outcome = if ingest
+            .send(TenantMsg::Reload { token, source: source.to_owned(), reply: reply_tx })
+            .is_err()
+        {
+            Err((REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")))
+        } else {
+            reply_rx
+                .recv_timeout(self.config.reply_timeout)
+                .map_err(|_| (REJECT_TIMEOUT, format!("reload timed out for tenant `{name}`")))
+                .and_then(|r| r)
+        };
+        reloading.store(false, Ordering::Release);
+        if outcome.is_ok() {
+            self.stats.spec_reloads.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Pulls tenant `name`'s goal reports strictly after the
+    /// `(event_seq, ordinal)` high-water mark `after`, up to `max`.
+    /// Served straight from the tenant's journal-backed trigger log —
+    /// no worker round trip, so it works while the tenant is Failed or
+    /// mid-restart.
+    ///
+    /// # Errors
+    ///
+    /// [`REJECT_RESUME_GONE`] when `after` lies below the log's
+    /// eviction horizon, or an unknown-tenant reject.
+    pub fn poll_triggers(
+        &self,
+        name: &str,
+        after: (u64, u32),
+        max: usize,
+    ) -> Result<Vec<TriggerRecord>, Reject> {
+        let triggers = {
+            let tenants = self.tenants.lock().expect("tenant registry poisoned");
+            let Some(t) = tenants.get(name) else {
+                return Err((REJECT_BAD_FRAME, format!("unknown tenant `{name}`")));
+            };
+            Arc::clone(&t.triggers)
+        };
+        let log = triggers.lock().expect("trigger log poisoned");
+        log.poll(after, max.clamp(1, 4096)).map_err(|()| {
+            (REJECT_RESUME_GONE, format!("resume point {after:?} was evicted from the trigger log"))
+        })
+    }
+
+    /// Names of every registered tenant, sorted.
+    #[must_use]
+    pub fn tenant_names(&self) -> Vec<String> {
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        let mut names: Vec<String> = tenants.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Snapshots of every tenant, sorted by name.
@@ -767,7 +1340,8 @@ impl Service {
         for s in &snaps {
             out.push_str(&format!(
                 "tenant {} state={} events={} triggers={} shed_events={} bad_lines={} \
-                 quarantined={} budget_trips={} shed_monitors={} monitors_live={} checkpoints={}\n",
+                 quarantined={} budget_trips={} shed_monitors={} monitors_live={} checkpoints={} \
+                 restarts={} spec_version={} deduped_events={}\n",
                 s.name,
                 s.state.label(),
                 s.events,
@@ -779,6 +1353,9 @@ impl Service {
                 s.shed_monitors,
                 s.monitors_live,
                 s.checkpoints,
+                s.restarts,
+                s.spec_version,
+                s.deduped_events,
             ));
         }
         out
@@ -831,6 +1408,21 @@ impl Service {
                 "Connections reaped for idling",
                 self.stats.idle_reaped.load(Ordering::Relaxed),
             ),
+            (
+                "rvmond_tenants_restarted_total",
+                "Supervised tenant restarts completed",
+                self.stats.tenants_restarted.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_tenants_circuit_broken_total",
+                "Tenants circuit-broken after exhausting the restart budget",
+                self.stats.tenants_circuit_broken.load(Ordering::Relaxed),
+            ),
+            (
+                "rvmond_spec_reloads_total",
+                "Hot spec reloads applied",
+                self.stats.spec_reloads.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in service {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
@@ -847,6 +1439,10 @@ impl Service {
             ("rvmond_tenant_journal_retries_total", "Journal append retries", |s| {
                 s.journal_retries
             }),
+            ("rvmond_tenant_restarts_total", "Supervised restarts of this tenant", |s| s.restarts),
+            ("rvmond_tenant_deduped_events_total", "Duplicate session lines suppressed", |s| {
+                s.deduped_events
+            }),
         ];
         for (name, help, get) in per_tenant {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
@@ -862,6 +1458,14 @@ impl Service {
                 s.name, s.monitors_live
             ));
         }
+        out.push_str("# HELP rvmond_tenant_spec_version Spec version (1 + reloads)\n");
+        out.push_str("# TYPE rvmond_tenant_spec_version gauge\n");
+        for s in &snaps {
+            out.push_str(&format!(
+                "rvmond_tenant_spec_version{{tenant=\"{}\"}} {}\n",
+                s.name, s.spec_version
+            ));
+        }
         out
     }
 
@@ -871,6 +1475,9 @@ impl Service {
     #[must_use]
     pub fn drain(&self) -> usize {
         self.draining.store(true, Ordering::Release);
+        // Stop the supervisor before joining workers: a restart landing
+        // mid-drain would leave an unjoined worker behind.
+        self.stop_supervisor();
         let mut handles = Vec::new();
         {
             let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
@@ -900,6 +1507,7 @@ impl Drop for Service {
         // workers see a channel disconnect and exit without a
         // checkpoint. Join them so their journals finish flushing before
         // the test inspects the files.
+        self.stop_supervisor();
         let mut tenants = self.tenants.lock().expect("tenant registry poisoned");
         let handles: Vec<_> = tenants.values_mut().filter_map(|t| t.worker.take()).collect();
         tenants.clear();
@@ -931,6 +1539,9 @@ fn write_reject(w: &mut impl Write, code: u16, msg: &str) -> std::io::Result<()>
 /// The IO error that ended the connection, if it was not a clean close.
 pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> std::io::Result<()> {
     let mut session: Option<(String, ConnPermit)> = None;
+    // The dedup session id of the last EVENT_SEQ frame: barriers on this
+    // connection echo that session's cseq HWM (0 = legacy clients).
+    let mut last_session: u64 = 0;
     loop {
         let frame = match read_frame(stream) {
             Ok(Some(f)) => f,
@@ -938,6 +1549,14 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
             Err(e) if crate::journal::is_transient(e.kind()) => {
                 service.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
                 let _ = write_reject(stream, REJECT_BAD_FRAME, "idle timeout — closing");
+                return Ok(());
+            }
+            // A torn or corrupt frame (bad length, CRC mismatch, EOF
+            // mid-frame) is a client/wire fault, never a server one: the
+            // framer answers a typed 400 and closes instead of erroring.
+            Err(e) if matches!(e.kind(), ErrorKind::InvalidData | ErrorKind::UnexpectedEof) => {
+                service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = write_reject(stream, REJECT_BAD_FRAME, &format!("malformed frame: {e}"));
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -977,13 +1596,90 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                 };
                 match service.submit(name, &line) {
                     Ok(()) => {}
-                    // Shed is a per-event outcome, not a connection
-                    // failure: report and keep serving.
-                    Err((code @ REJECT_QUEUE_FULL, msg)) => write_reject(stream, code, &msg)?,
+                    // Shed (431) and reload/restart pauses (503) are
+                    // per-event, retryable outcomes, not connection
+                    // failures: report and keep serving.
+                    Err((code @ (REJECT_QUEUE_FULL | REJECT_DRAINING), msg)) => {
+                        write_reject(stream, code, &msg)?;
+                    }
                     Err((code, msg)) => {
                         write_reject(stream, code, &msg)?;
                         return Ok(());
                     }
+                }
+            }
+            (FRAME_EVENT_SEQ, payload) => {
+                let Some((name, _)) = &session else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "EVENT_SEQ before HELLO")?;
+                    return Ok(());
+                };
+                let parsed = payload.get(..8).zip(payload.get(8..16)).and_then(|(s, c)| {
+                    let sess = u64::from_le_bytes(s.try_into().ok()?);
+                    let cseq = u64::from_le_bytes(c.try_into().ok()?);
+                    let line = String::from_utf8(payload.get(16..)?.to_vec()).ok()?;
+                    Some((sess, cseq, line))
+                });
+                let Some((sess, cseq, line)) = parsed else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "malformed EVENT_SEQ payload")?;
+                    continue;
+                };
+                last_session = sess;
+                match service.submit_seq(name, sess, cseq, &line) {
+                    Ok(()) => {}
+                    Err((code @ (REJECT_QUEUE_FULL | REJECT_DRAINING), msg)) => {
+                        write_reject(stream, code, &msg)?;
+                    }
+                    Err((code, msg)) => {
+                        write_reject(stream, code, &msg)?;
+                        return Ok(());
+                    }
+                }
+            }
+            (FRAME_RELOAD, payload) => {
+                let Some((name, _)) = &session else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "RELOAD before HELLO")?;
+                    return Ok(());
+                };
+                let parsed = payload.get(..8).and_then(|t| {
+                    let token = u64::from_le_bytes(t.try_into().ok()?);
+                    let source = String::from_utf8(payload.get(8..)?.to_vec()).ok()?;
+                    Some((token, source))
+                });
+                let Some((token, source)) = parsed else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "malformed RELOAD payload")?;
+                    continue;
+                };
+                // Reload is a retryable control operation: rejects keep
+                // the connection so the client can back off and retry.
+                match service.reload(name, token, &source) {
+                    Ok(version) => write_frame(stream, FRAME_RELOADED, &version.to_le_bytes())?,
+                    Err((code, msg)) => write_reject(stream, code, &msg)?,
+                }
+            }
+            (FRAME_POLL, payload) => {
+                let Some((name, _)) = &session else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "POLL before HELLO")?;
+                    return Ok(());
+                };
+                let parsed = payload.get(..8).zip(payload.get(8..12)).zip(payload.get(12..16));
+                let Some(((seq, ord), max)) = parsed else {
+                    service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    write_reject(stream, REJECT_BAD_FRAME, "malformed POLL payload")?;
+                    continue;
+                };
+                let after = (
+                    u64::from_le_bytes(seq.try_into().expect("8 bytes")),
+                    u32::from_le_bytes(ord.try_into().expect("4 bytes")),
+                );
+                let max = u32::from_le_bytes(max.try_into().expect("4 bytes")) as usize;
+                match service.poll_triggers(name, after, max) {
+                    Ok(batch) => write_frame(stream, FRAME_TRIGGERS, &encode_triggers(&batch))?,
+                    Err((code, msg)) => write_reject(stream, code, &msg)?,
                 }
             }
             (FRAME_SYNC, payload) => {
@@ -994,11 +1690,28 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                 };
                 let token =
                     payload.get(..8).and_then(|b| b.try_into().ok()).map_or(0, u64::from_le_bytes);
-                match service.sync(name, token) {
-                    Ok(echoed) => write_frame(stream, FRAME_SYNCED, &echoed.to_le_bytes())?,
-                    Err((code, msg)) => {
-                        write_reject(stream, code, &msg)?;
-                        return Ok(());
+                // Session traffic gets the HWM-echoing barrier; the
+                // 8-byte legacy echo is kept for session-0 clients.
+                if last_session != 0 {
+                    match service.sync_session(name, token, last_session) {
+                        Ok((echoed, hwm)) => {
+                            let mut p = Vec::with_capacity(16);
+                            p.extend_from_slice(&echoed.to_le_bytes());
+                            p.extend_from_slice(&hwm.to_le_bytes());
+                            write_frame(stream, FRAME_SYNCED, &p)?;
+                        }
+                        Err((code, msg)) => {
+                            write_reject(stream, code, &msg)?;
+                            return Ok(());
+                        }
+                    }
+                } else {
+                    match service.sync(name, token) {
+                        Ok(echoed) => write_frame(stream, FRAME_SYNCED, &echoed.to_le_bytes())?,
+                        Err((code, msg)) => {
+                            write_reject(stream, code, &msg)?;
+                            return Ok(());
+                        }
                     }
                 }
             }
@@ -1028,35 +1741,57 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
 
 // --- Tenant worker --------------------------------------------------------
 
+/// Pre-existing per-tenant shared state a restarted worker must keep
+/// using: the snapshot (so `restarts` and friends survive), the
+/// connection counter (live permits stay valid), and the trigger log
+/// Arc (pollers keep their handle across the restart).
+struct Wiring {
+    shared: Arc<Mutex<TenantSnapshot>>,
+    conns: Arc<AtomicUsize>,
+    triggers: Arc<Mutex<TriggerLog>>,
+    reloading: Arc<AtomicBool>,
+}
+
 fn spawn_worker(
     name: &str,
     dir: &Path,
     spec_source: Option<String>,
     opts: TenantOptions,
     config: &ServiceConfig,
+    wiring: Option<Wiring>,
 ) -> Result<Tenant, Reject> {
     let (ingest_tx, ingest_rx) = sync_channel::<TenantMsg>(config.queue_depth.max(1));
-    let shared =
-        Arc::new(Mutex::new(TenantSnapshot { name: name.to_owned(), ..TenantSnapshot::default() }));
+    let Wiring { shared, conns, triggers, reloading } = wiring.unwrap_or_else(|| Wiring {
+        shared: Arc::new(Mutex::new(TenantSnapshot {
+            name: name.to_owned(),
+            ..TenantSnapshot::default()
+        })),
+        conns: Arc::new(AtomicUsize::new(0)),
+        triggers: Arc::new(Mutex::new(TriggerLog::with_cap(config.trigger_log_cap))),
+        reloading: Arc::new(AtomicBool::new(false)),
+    });
     let (init_tx, init_rx) = sync_channel::<Result<(), Reject>>(1);
     let worker = {
         let name = name.to_owned();
         let dir = dir.to_path_buf();
         let shared = Arc::clone(&shared);
+        let triggers = Arc::clone(&triggers);
         let config = config.clone();
         std::thread::Builder::new()
             .name(format!("rvmond-tenant-{name}"))
             .spawn(move || {
-                let mut w = match Worker::init(&name, &dir, spec_source, opts, &config, &shared) {
-                    Ok(w) => {
-                        let _ = init_tx.send(Ok(()));
-                        w
-                    }
-                    Err(r) => {
-                        let _ = init_tx.send(Err(r));
-                        return;
-                    }
-                };
+                let mut w =
+                    match Worker::init(&name, &dir, spec_source, opts, &config, &shared, &triggers)
+                    {
+                        Ok(w) => {
+                            let _ = init_tx.send(Ok(()));
+                            w
+                        }
+                        Err(r) => {
+                            let _ = init_tx.send(Err(r));
+                            return;
+                        }
+                    };
                 w.run(&ingest_rx);
             })
             .map_err(|e| (REJECT_TENANT_FAILED, format!("cannot spawn worker: {e}")))?
@@ -1064,15 +1799,173 @@ fn spawn_worker(
     match init_rx.recv_timeout(Duration::from_secs(60)) {
         Ok(Ok(())) => Ok(Tenant {
             ingest: ingest_tx,
-            conns: Arc::new(AtomicUsize::new(0)),
+            conns,
             shared,
             worker: Some(worker),
+            triggers,
+            reloading,
+            dir: dir.to_path_buf(),
+            opts,
+            restart_times: Vec::new(),
+            next_restart: None,
         }),
         Ok(Err(r)) => {
             let _ = worker.join();
             Err(r)
         }
         Err(_) => Err((REJECT_TIMEOUT, "tenant worker initialisation timed out".into())),
+    }
+}
+
+// --- Supervisor -----------------------------------------------------------
+
+/// The supervision loop: scans for Failed tenants, schedules restarts
+/// with bounded exponential backoff plus deterministic jitter, respawns
+/// workers through the recovery path (outside the registry lock — init
+/// replays the journal), and circuit-breaks a tenant to
+/// [`TenantState::FailedPermanent`] once it burns
+/// [`SupervisorConfig::max_restarts`] restarts inside the window.
+fn supervisor_loop(
+    tenants: &Arc<Mutex<HashMap<String, Tenant>>>,
+    stats: &Arc<ServiceStats>,
+    stop: &Arc<AtomicBool>,
+    config: &ServiceConfig,
+) {
+    let sup = config.supervisor;
+    let mut rng = sup.seed | 1;
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(sup.poll);
+        // Pass 1 (under the lock): prune windows, circuit-break over
+        // budget, schedule backoffs, and claim tenants whose backoff
+        // expired by taking their worker handle.
+        struct Job {
+            name: String,
+            dir: PathBuf,
+            opts: TenantOptions,
+            wiring: Wiring,
+            old_worker: Option<std::thread::JoinHandle<()>>,
+        }
+        let mut due: Vec<Job> = Vec::new();
+        {
+            let mut reg = tenants.lock().expect("tenant registry poisoned");
+            let now = std::time::Instant::now();
+            for (name, t) in reg.iter_mut() {
+                let state = t.shared.lock().expect("snapshot poisoned").state.clone();
+                let TenantState::Failed(err) = state else { continue };
+                t.restart_times.retain(|&at| now.duration_since(at) < sup.window);
+                if t.restart_times.len() >= sup.max_restarts as usize {
+                    t.shared.lock().expect("snapshot poisoned").state =
+                        TenantState::FailedPermanent(err);
+                    t.next_restart = None;
+                    stats.tenants_circuit_broken.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let due_at = *t.next_restart.get_or_insert_with(|| {
+                    let exp = u32::try_from(t.restart_times.len()).unwrap_or(16).min(16);
+                    let base = sup.backoff.saturating_mul(1u32 << exp.min(12));
+                    let capped = base.min(sup.backoff_cap);
+                    // Up to 25% deterministic jitter so a herd of
+                    // failing tenants doesn't restart in lockstep.
+                    let jitter = capped.mul_f64((splitmix64(&mut rng) % 256) as f64 / 1024.0);
+                    now + capped + jitter
+                });
+                if now >= due_at {
+                    t.shared.lock().expect("snapshot poisoned").state = TenantState::Restarting;
+                    due.push(Job {
+                        name: name.clone(),
+                        dir: t.dir.clone(),
+                        opts: t.opts,
+                        wiring: Wiring {
+                            shared: Arc::clone(&t.shared),
+                            conns: Arc::clone(&t.conns),
+                            triggers: Arc::clone(&t.triggers),
+                            reloading: Arc::clone(&t.reloading),
+                        },
+                        old_worker: t.worker.take(),
+                    });
+                }
+            }
+        }
+        // Pass 2 (outside the lock): join the dead worker and respawn
+        // through the recovery path — journal replay can take a while
+        // and must not block admissions.
+        for job in due {
+            if let Some(h) = job.old_worker {
+                let _ = h.join();
+            }
+            let respawned =
+                spawn_worker(&job.name, &job.dir, None, job.opts, config, Some(job.wiring));
+            let mut reg = tenants.lock().expect("tenant registry poisoned");
+            let Some(t) = reg.get_mut(&job.name) else { continue };
+            t.restart_times.push(std::time::Instant::now());
+            t.next_restart = None;
+            match respawned {
+                Ok(fresh) => {
+                    t.ingest = fresh.ingest;
+                    t.worker = fresh.worker;
+                    let mut snap = t.shared.lock().expect("snapshot poisoned");
+                    snap.restarts += 1;
+                    snap.state = TenantState::Running;
+                    stats.tenants_restarted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err((_, msg)) => {
+                    // Recovery itself failed: back to Failed so the next
+                    // scan retries (or circuit-breaks) it.
+                    t.shared.lock().expect("snapshot poisoned").state =
+                        TenantState::Failed(format!("restart failed: {msg}"));
+                }
+            }
+        }
+    }
+}
+
+/// Cumulative engine counters carried across hot reloads (and, via the
+/// `AUX_RELOAD` journal payload, across daemon restarts): a reload
+/// folds the outgoing engine's totals into this base so the tenant's
+/// public counters stay monotonic while the engine itself starts fresh.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+struct BaseCounters {
+    events: u64,
+    triggers: u64,
+    quarantined: u64,
+    budget_trips: u64,
+    degradations: u64,
+    shed: u64,
+}
+
+impl BaseCounters {
+    /// `AUX_RELOAD` payload: `[token][6 × u64 counters][spec source]`.
+    fn encode_reload(self, token: u64, source: &str) -> Vec<u8> {
+        let mut out = Vec::with_capacity(56 + source.len());
+        for v in [
+            token,
+            self.events,
+            self.triggers,
+            self.quarantined,
+            self.budget_trips,
+            self.degradations,
+            self.shed,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(source.as_bytes());
+        out
+    }
+
+    fn decode_reload(bytes: &[u8]) -> Option<(u64, BaseCounters, String)> {
+        if bytes.len() < 56 {
+            return None;
+        }
+        let u = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let base = BaseCounters {
+            events: u(1),
+            triggers: u(2),
+            quarantined: u(3),
+            budget_trips: u(4),
+            degradations: u(5),
+            shed: u(6),
+        };
+        Some((u(0), base, String::from_utf8(bytes[56..].to_vec()).ok()?))
     }
 }
 
@@ -1093,6 +1986,28 @@ struct Worker {
     event_params: Vec<Vec<rv_logic::ParamId>>,
     shared: Arc<Mutex<TenantSnapshot>>,
     bad_lines: u64,
+    /// Per-session `cseq` high-water marks — the server half of
+    /// exactly-once ingestion. Rebuilt from `AUX_SLINE`/`AUX_FATAL`
+    /// records on recovery.
+    sessions: HashMap<u64, u64>,
+    /// Session lines dropped as duplicates by this incarnation.
+    deduped: u64,
+    /// Session lines discarded because they arrived *past* a cseq gap
+    /// (a frame lost inside a live connection) — accepting them would
+    /// poison the contiguous HWM. The client resends after the barrier
+    /// echo reveals the shortfall.
+    gap_dropped: u64,
+    /// `deduped_events` carried over from the previous incarnation's
+    /// snapshot — supervised restarts keep the snapshot Arc, so the
+    /// public counter stays monotonic.
+    deduped_base: u64,
+    /// Counter base folded in from pre-reload engines.
+    base: BaseCounters,
+    spec_version: u64,
+    reload_token: u64,
+    engine_cfg: EngineConfig,
+    opts: TenantOptions,
+    triggers: Arc<Mutex<TriggerLog>>,
 }
 
 /// A worker-fatal failure: the tenant quarantines, neighbors continue.
@@ -1107,52 +2022,134 @@ impl Worker {
         opts: TenantOptions,
         config: &ServiceConfig,
         shared: &Arc<Mutex<TenantSnapshot>>,
+        triggers: &Arc<Mutex<TriggerLog>>,
     ) -> Result<Worker, Reject> {
         let mut engine_cfg = config.engine.clone();
         engine_cfg.record_triggers = true;
         if let Some(n) = opts.max_live_monitors {
             engine_cfg.max_live_monitors = Some(n as usize);
         }
+        let mut retry = config.retry;
+        if let Some(n) = opts.journal_retries {
+            retry.max_attempts = n.max(1);
+        }
+        if let Some(ms) = opts.journal_backoff_ms {
+            retry.backoff = Duration::from_millis(u64::from(ms));
+        }
         let internal = |msg: String| (REJECT_TENANT_FAILED, msg);
 
         let has_journal = dir.join("journal-00000000").exists();
         let mut recovered_events = 0u64;
         let mut suppressed = 0u64;
-        let (monitor, heap, class, objects, journal, generation) = if has_journal {
+        let (mut w, current_source) = if has_journal {
             let scan = read_journal(dir).map_err(|e| internal(e.to_string()))?;
-            let journaled_src = spec_source_of(&scan)
+            // Every spec the journal ever carried: creation (`AUX_SPEC`,
+            // seq 0) plus one entry per hot reload.
+            let specs = spec_records_of(&scan);
+            let current_source = specs
+                .last()
+                .map(|s| s.source.clone())
                 .ok_or_else(|| internal("journal carries no spec header".into()))?;
             if let Some(src) = &spec_source {
-                if src != &journaled_src {
+                if spec_hash(src) != spec_hash(&current_source) {
                     return Err((
                         REJECT_SPEC_MISMATCH,
                         format!("tenant `{name}` already exists with a different spec"),
                     ));
                 }
             }
-            let spec = CompiledSpec::from_source(&journaled_src).map_err(|d| {
+            let (checkpoint, _skipped) = load_latest_checkpoint(dir, scan.next_seq);
+            let replay_from = checkpoint.as_ref().map_or(0, |cp| cp.seq);
+            // The monitor to restore into must speak the spec in force
+            // at the checkpoint — the last cutover at or before
+            // `replay_from`; replay swaps in later reloads as it
+            // crosses their `AUX_RELOAD` records.
+            let initial = specs.iter().rev().find(|s| s.seq <= replay_from).unwrap_or(&specs[0]);
+            let spec = CompiledSpec::from_source(&initial.source).map_err(|d| {
                 (REJECT_BAD_SPEC, format!("journaled spec no longer compiles: {}", d.message))
             })?;
             let mut monitor =
                 PropertyMonitor::with_observers(spec, &engine_cfg, |_| MetricsRegistry::new());
-            let (checkpoint, _skipped) = load_latest_checkpoint(dir, scan.next_seq);
-            let mut replay_from = 0u64;
             if let Some(cp) = &checkpoint {
                 monitor
                     .restore_snapshot(&cp.payload, &cp.file)
                     .map_err(|e| internal(e.to_string()))?;
-                replay_from = cp.seq;
             }
             let hwm = scan.trigger_high_water_mark();
-            let replayed =
-                replay_tenant(&scan, &mut monitor, replay_from, hwm).map_err(|m| internal(m))?;
-            recovered_events = replayed.events;
-            suppressed = replayed.suppressed;
-            monitor.reflag_dead_keys(&replayed.heap);
-            monitor.check_invariants(&replayed.heap).map_err(|e| internal(e.to_string()))?;
-            let journal = JournalWriter::resume(dir, &scan).map_err(|e| internal(e.to_string()))?;
+            let Replayed {
+                monitor: mut replayed_monitor,
+                heap,
+                class,
+                objects,
+                events,
+                suppressed: replay_suppressed,
+                refired,
+                sessions,
+                spec_version,
+                reload_token,
+                base,
+            } = replay_tenant(&scan, monitor, &engine_cfg, replay_from, hwm).map_err(internal)?;
+            recovered_events = events;
+            suppressed = replay_suppressed;
+            replayed_monitor.reflag_dead_keys(&heap);
+            replayed_monitor.check_invariants(&heap).map_err(|e| internal(e.to_string()))?;
+            let mut journal =
+                JournalWriter::resume(dir, &scan).map_err(|e| internal(e.to_string()))?;
+            // Reports that fired past the durable HWM during replay were
+            // lost between dispatch and trigger-journaling before the
+            // crash. They are first-time deliveries — journal them now
+            // so the *next* recovery suppresses them.
+            for t in &refired {
+                journal
+                    .append_retry(&t.to_record(), &retry)
+                    .map_err(|e| internal(e.to_string()))?;
+            }
+            if !refired.is_empty() {
+                journal.sync().map_err(|e| internal(e.to_string()))?;
+            }
             let generation = list_checkpoints(dir).last().map_or(0, |g| g + 1);
-            (monitor, replayed.heap, replayed.class, replayed.objects, journal, generation)
+            // Rebuild the poll window: every journaled report in key
+            // order, then the refired tail (their keys all sit past the
+            // journaled HWM).
+            {
+                let mut log = triggers.lock().expect("trigger log poisoned");
+                log.reset(config.trigger_log_cap);
+                for sr in &scan.records {
+                    if let Some(t) = TriggerRecord::from_record(&sr.record) {
+                        log.push(t);
+                    }
+                }
+                for t in &refired {
+                    log.push(*t);
+                }
+            }
+            let w = Worker {
+                alphabet: replayed_monitor.spec().alphabet.clone(),
+                event_params: replayed_monitor.spec().event_params.clone(),
+                monitor: replayed_monitor,
+                heap,
+                class,
+                objects,
+                journal,
+                dir: dir.to_path_buf(),
+                retry,
+                checkpoint_every: config.checkpoint_every.max(1),
+                events_since_checkpoint: 0,
+                generation,
+                shared: Arc::clone(shared),
+                bad_lines: 0,
+                sessions,
+                deduped: 0,
+                gap_dropped: 0,
+                deduped_base: 0,
+                base,
+                spec_version,
+                reload_token,
+                engine_cfg,
+                opts,
+                triggers: Arc::clone(triggers),
+            };
+            (w, current_source)
         } else {
             let source = spec_source.expect("admit() requires a spec for fresh tenants");
             let spec = CompiledSpec::from_source(&source)
@@ -1164,38 +2161,43 @@ impl Worker {
             let mut journal = JournalWriter::create(dir).map_err(|e| internal(e.to_string()))?;
             journal
                 .append_retry(
-                    &Record::Aux { tag: AUX_SPEC, bytes: source.into_bytes() },
-                    &config.retry,
+                    &Record::Aux { tag: AUX_SPEC, bytes: source.clone().into_bytes() },
+                    &retry,
                 )
                 .map_err(|e| internal(e.to_string()))?;
             let mut heap = Heap::new(HeapConfig::manual());
             let class = heap.register_class("Obj");
-            (monitor, heap, class, HashMap::new(), journal, 0)
+            triggers.lock().expect("trigger log poisoned").reset(config.trigger_log_cap);
+            let w = Worker {
+                alphabet: monitor.spec().alphabet.clone(),
+                event_params: monitor.spec().event_params.clone(),
+                monitor,
+                heap,
+                class,
+                objects: HashMap::new(),
+                journal,
+                dir: dir.to_path_buf(),
+                retry,
+                checkpoint_every: config.checkpoint_every.max(1),
+                events_since_checkpoint: 0,
+                generation: 0,
+                shared: Arc::clone(shared),
+                bad_lines: 0,
+                sessions: HashMap::new(),
+                deduped: 0,
+                gap_dropped: 0,
+                deduped_base: 0,
+                base: BaseCounters::default(),
+                spec_version: 1,
+                reload_token: 0,
+                engine_cfg,
+                opts,
+                triggers: Arc::clone(triggers),
+            };
+            (w, source)
         };
 
-        let mut w = Worker {
-            alphabet: monitor.spec().alphabet.clone(),
-            event_params: monitor.spec().event_params.clone(),
-            monitor,
-            heap,
-            class,
-            objects,
-            journal,
-            dir: dir.to_path_buf(),
-            retry: config.retry,
-            checkpoint_every: config.checkpoint_every.max(1),
-            events_since_checkpoint: 0,
-            generation,
-            shared: Arc::clone(shared),
-            bad_lines: 0,
-        };
-        if opts.flags & TENANT_FLAG_PANIC_HANDLER != 0 {
-            for engine in w.monitor.engines_mut() {
-                engine.set_trigger_handler(|_, _, _| {
-                    panic!("injected rvmond tenant handler panic");
-                });
-            }
-        }
+        w.install_flags();
         {
             let mut snap = w.shared.lock().expect("snapshot poisoned");
             snap.recovered_events = recovered_events;
@@ -1204,9 +2206,25 @@ impl Worker {
             // are on disk, and the exposition's `_total` series should
             // stay monotonic across a clean drain/restart cycle.
             snap.checkpoints = list_checkpoints(&w.dir).len() as u64;
+            snap.spec_hash = spec_hash(&current_source);
+            // A supervised restart reuses the snapshot: dedup totals
+            // already on it become this incarnation's base.
+            w.deduped_base = snap.deduped_events;
         }
         w.publish();
         Ok(w)
+    }
+
+    /// Installs the behaviors the tenant's option flags request on the
+    /// current monitor — called at init and again after a reload swap.
+    fn install_flags(&mut self) {
+        if self.opts.flags & TENANT_FLAG_PANIC_HANDLER != 0 {
+            for engine in self.monitor.engines_mut() {
+                engine.set_trigger_handler(|_, _, _| {
+                    panic!("injected rvmond tenant handler panic");
+                });
+            }
+        }
     }
 
     /// Pushes the worker's counters into the shared snapshot.
@@ -1214,16 +2232,18 @@ impl Worker {
         let stats = self.monitor.stats();
         let jstats = self.journal.stats();
         let mut snap = self.shared.lock().expect("snapshot poisoned");
-        snap.events = stats.events;
-        snap.triggers = stats.triggers;
+        snap.events = self.base.events + stats.events;
+        snap.triggers = self.base.triggers + stats.triggers;
         snap.bad_lines = self.bad_lines;
-        snap.quarantined = stats.quarantined;
-        snap.budget_trips = stats.budget_trips;
-        snap.degradations = stats.degradations;
-        snap.shed_monitors = stats.shed;
+        snap.quarantined = self.base.quarantined + stats.quarantined;
+        snap.budget_trips = self.base.budget_trips + stats.budget_trips;
+        snap.degradations = self.base.degradations + stats.degradations;
+        snap.shed_monitors = self.base.shed + stats.shed;
         snap.monitors_live = stats.live_monitors as u64;
         snap.journal_records = jstats.records;
         snap.journal_retries = jstats.retries;
+        snap.spec_version = self.spec_version;
+        snap.deduped_events = self.deduped_base + self.deduped;
     }
 
     fn set_state(&self, state: TenantState) {
@@ -1267,10 +2287,16 @@ impl Worker {
 
     fn handle(&mut self, msg: TenantMsg) -> Result<(), Fatal> {
         match msg {
-            TenantMsg::Line(line) => self.process_line(&line),
+            TenantMsg::Line { session, cseq, line } => self.process_line(session, cseq, &line),
             TenantMsg::Sync { token, reply } => {
                 self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
                 let _ = reply.send(token);
+                Ok(())
+            }
+            TenantMsg::SyncSession { token, session, reply } => {
+                self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+                let hwm = self.sessions.get(&session).copied().unwrap_or(0);
+                let _ = reply.send((token, hwm));
                 Ok(())
             }
             TenantMsg::Stats { reply } => {
@@ -1283,8 +2309,68 @@ impl Worker {
                 let _ = reply.send(json);
                 Ok(())
             }
+            TenantMsg::Reload { token, source, reply } => self.reload(token, &source, &reply),
             TenantMsg::Drain => self.checkpoint_now(),
         }
+    }
+
+    /// The hot-reload cutover, at a message boundary so no event
+    /// straddles spec versions: checkpoint the old engine at its exact
+    /// journal tail, journal the `AUX_RELOAD` cutover (token + counter
+    /// base + new source, fsynced), then swap in a fresh engine.
+    ///
+    /// Crash safety: if the worker dies after the `AUX_RELOAD` fsync but
+    /// before the acknowledgement reaches the client, recovery rebuilds
+    /// `reload_token` from the journal and the client's retry with the
+    /// same token lands in the idempotent branch — the cutover can never
+    /// apply twice.
+    fn reload(
+        &mut self,
+        token: u64,
+        source: &str,
+        reply: &SyncSender<Result<u64, Reject>>,
+    ) -> Result<(), Fatal> {
+        if token != 0 && token == self.reload_token {
+            let _ = reply.send(Ok(self.spec_version));
+            return Ok(());
+        }
+        let spec = match CompiledSpec::from_source(source) {
+            Ok(s) => s,
+            Err(d) => {
+                let _ = reply.send(Err((
+                    REJECT_BAD_SPEC,
+                    format!("reload spec does not compile: {}", d.message),
+                )));
+                return Ok(());
+            }
+        };
+        self.checkpoint_now()?;
+        let stats = self.monitor.stats();
+        let base = BaseCounters {
+            events: self.base.events + stats.events,
+            triggers: self.base.triggers + stats.triggers,
+            quarantined: self.base.quarantined + stats.quarantined,
+            budget_trips: self.base.budget_trips + stats.budget_trips,
+            degradations: self.base.degradations + stats.degradations,
+            shed: self.base.shed + stats.shed,
+        };
+        self.append(&Record::Aux { tag: AUX_RELOAD, bytes: base.encode_reload(token, source) })?;
+        self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+        self.monitor =
+            PropertyMonitor::with_observers(spec, &self.engine_cfg, |_| MetricsRegistry::new());
+        self.install_flags();
+        self.alphabet = self.monitor.spec().alphabet.clone();
+        self.event_params = self.monitor.spec().event_params.clone();
+        self.base = base;
+        self.spec_version += 1;
+        self.reload_token = token;
+        self.events_since_checkpoint = 0;
+        self.shared.lock().expect("snapshot poisoned").spec_hash = spec_hash(source);
+        // Publish before acknowledging: once the client sees RELOADED,
+        // every observability surface must already show the new version.
+        self.publish();
+        let _ = reply.send(Ok(self.spec_version));
+        Ok(())
     }
 
     fn append(&mut self, record: &Record) -> Result<u64, Fatal> {
@@ -1305,29 +2391,106 @@ impl Worker {
         Ok(())
     }
 
+    /// Records `cseq` as seen for `session` (0 = the no-dedup path).
+    fn note_session(&mut self, session: u64, cseq: u64) {
+        if session != 0 {
+            let hwm = self.sessions.entry(session).or_insert(0);
+            if cseq > *hwm {
+                *hwm = cseq;
+            }
+        }
+    }
+
+    /// Journals one session-stamped line as a single atomic `AUX_SLINE`
+    /// record — the line and its dedup `(session, cseq)` commit
+    /// together, so a crash can never tear the dedup mark from its
+    /// effects.
+    fn append_sline(&mut self, session: u64, cseq: u64, line: &str) -> Result<u64, Fatal> {
+        let mut bytes = Vec::with_capacity(16 + line.len());
+        bytes.extend_from_slice(&session.to_le_bytes());
+        bytes.extend_from_slice(&cseq.to_le_bytes());
+        bytes.extend_from_slice(line.as_bytes());
+        self.append(&Record::Aux { tag: AUX_SLINE, bytes })
+    }
+
     /// One line of the trace grammar. Malformed client input is counted
     /// (`bad_lines`) and skipped — a hostile client cannot fail its
     /// tenant with garbage, let alone a neighbor. Journal and engine
     /// failures are fatal for this tenant only.
-    fn process_line(&mut self, raw: &str) -> Result<(), Fatal> {
+    ///
+    /// `session`/`cseq` implement the server half of exactly-once
+    /// ingestion: a `(session, cseq)` at or below the session's
+    /// high-water mark is dropped *before* journaling, so a
+    /// reconnecting client's blind resends leave the journal —
+    /// and therefore the trigger stream — byte-identical to an
+    /// undisturbed run. The HWM advances only *contiguously*: a line
+    /// past `hwm + 1` means something in between was lost in transit
+    /// (a dropped frame inside a live connection), and accepting it
+    /// would poison the mark — the later resend of the missing line
+    /// would be wrongly deduped. Such lines are discarded; the client
+    /// learns the shortfall from the barrier's HWM echo and resends.
+    /// Session `0` is the legacy no-dedup path.
+    #[allow(clippy::too_many_lines)]
+    fn process_line(&mut self, session: u64, cseq: u64, raw: &str) -> Result<(), Fatal> {
+        if self.opts.flags & TENANT_FLAG_SLOW_WORKER != 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if session != 0 {
+            let hwm = self.sessions.get(&session).copied().unwrap_or(0);
+            if cseq <= hwm {
+                self.deduped += 1;
+                return Ok(());
+            }
+            if cseq > hwm + 1 {
+                self.gap_dropped += 1;
+                return Ok(());
+            }
+        }
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
+            self.note_session(session, cseq);
             return Ok(());
         }
         let mut words = line.split_whitespace();
         let Some(head) = words.next() else {
+            self.note_session(session, cseq);
             return Ok(());
         };
         match head {
             "!gc" => {
-                self.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() })?;
+                if session == 0 {
+                    self.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() })?;
+                } else {
+                    self.append_sline(session, cseq, line)?;
+                }
                 self.heap.collect();
             }
             "!sweep" => {
-                self.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() })?;
+                if session == 0 {
+                    self.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() })?;
+                } else {
+                    self.append_sline(session, cseq, line)?;
+                }
                 for engine in self.monitor.engines_mut() {
                     engine.full_sweep(&self.heap);
                 }
+            }
+            "!fatal" => {
+                if self.opts.flags & TENANT_FLAG_ALLOW_FATAL == 0 {
+                    self.bad_lines += 1;
+                    self.note_session(session, cseq);
+                    return Ok(());
+                }
+                // Journal + fsync the kill marker BEFORE dying: the
+                // restarted worker rebuilds the session HWM past this
+                // cseq, so the client's resend of `!fatal` dedups
+                // instead of re-killing the tenant in a loop.
+                let mut bytes = Vec::with_capacity(16);
+                bytes.extend_from_slice(&session.to_le_bytes());
+                bytes.extend_from_slice(&cseq.to_le_bytes());
+                self.append(&Record::Aux { tag: AUX_FATAL, bytes })?;
+                self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+                return Err(Fatal("injected worker-fatal fault (!fatal)".into()));
             }
             "!free" => {
                 let mut freed = Vec::new();
@@ -1335,12 +2498,17 @@ impl Worker {
                 for name in words {
                     let Some(&obj) = self.objects.get(name) else {
                         self.bad_lines += 1;
+                        self.note_session(session, cseq);
                         return Ok(());
                     };
                     payload.extend_from_slice(&obj.to_bits().to_le_bytes());
                     freed.push(obj);
                 }
-                self.append(&Record::Aux { tag: AUX_FREE, bytes: payload })?;
+                if session == 0 {
+                    self.append(&Record::Aux { tag: AUX_FREE, bytes: payload })?;
+                } else {
+                    self.append_sline(session, cseq, line)?;
+                }
                 for obj in freed {
                     self.heap.unpin(obj);
                 }
@@ -1348,12 +2516,14 @@ impl Worker {
             event_name => {
                 let Some(event) = self.alphabet.lookup(event_name) else {
                     self.bad_lines += 1;
+                    self.note_session(session, cseq);
                     return Ok(());
                 };
                 let params = self.event_params[event.as_usize()].clone();
                 let names: Vec<&str> = words.collect();
                 if names.len() != params.len() {
                     self.bad_lines += 1;
+                    self.note_session(session, cseq);
                     return Ok(());
                 }
                 // First-mention allocations are journaled as AUX_OBJ
@@ -1382,7 +2552,11 @@ impl Worker {
                     self.append(r)?;
                 }
                 let binding = Binding::from_pairs(&pairs);
-                let seq = self.append(&Record::Event { event, binding })?;
+                let seq = if session == 0 {
+                    self.append(&Record::Event { event, binding })?
+                } else {
+                    self.append_sline(session, cseq, line)?
+                };
                 let before: Vec<usize> =
                     self.monitor.engines().iter().map(|e| e.triggers().len()).collect();
                 self.monitor
@@ -1413,6 +2587,14 @@ impl Worker {
                 for r in &fired {
                     self.append(r)?;
                 }
+                if !fired.is_empty() {
+                    let mut log = self.triggers.lock().expect("trigger log poisoned");
+                    for r in &fired {
+                        if let Some(t) = TriggerRecord::from_record(r) {
+                            log.push(t);
+                        }
+                    }
+                }
                 self.events_since_checkpoint += 1;
                 if self.events_since_checkpoint >= self.checkpoint_every {
                     self.events_since_checkpoint = 0;
@@ -1420,37 +2602,114 @@ impl Worker {
                 }
             }
         }
+        self.note_session(session, cseq);
         Ok(())
     }
 }
 
 // --- Recovery ------------------------------------------------------------
 
-/// The spec source carried in the journal's sequence-0 record.
+/// One spec the journal carries: the creation `AUX_SPEC` (seq 0) or a
+/// hot-reload `AUX_RELOAD` cutover.
+struct SpecRec {
+    seq: u64,
+    source: String,
+}
+
+fn spec_records_of(scan: &JournalScan) -> Vec<SpecRec> {
+    let mut out = Vec::new();
+    for sr in &scan.records {
+        match &sr.record {
+            Record::Aux { tag, bytes } if *tag == AUX_SPEC => {
+                if let Ok(source) = String::from_utf8(bytes.clone()) {
+                    out.push(SpecRec { seq: sr.seq, source });
+                }
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_RELOAD => {
+                if let Some((_, _, source)) = BaseCounters::decode_reload(bytes) {
+                    out.push(SpecRec { seq: sr.seq, source });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The spec source currently in force per the journal: the newest of
+/// the creation `AUX_SPEC` record and any `AUX_RELOAD` cutovers.
 #[must_use]
 pub fn spec_source_of(scan: &JournalScan) -> Option<String> {
-    let first = scan.records.first()?;
-    match &first.record {
-        Record::Aux { tag, bytes } if *tag == AUX_SPEC => String::from_utf8(bytes.clone()).ok(),
-        _ => None,
-    }
+    spec_records_of(scan).pop().map(|s| s.source)
 }
 
 struct Replayed {
+    monitor: PropertyMonitor<MetricsRegistry>,
     heap: Heap,
     class: rv_heap::ClassId,
     objects: HashMap<String, ObjId>,
     events: u64,
     suppressed: u64,
+    /// Reports that fired during replay with keys past the journaled
+    /// HWM — first-time deliveries the crash tore from the journal.
+    refired: Vec<TriggerRecord>,
+    /// Per-session `cseq` high-water marks from `AUX_SLINE`/`AUX_FATAL`.
+    sessions: HashMap<u64, u64>,
+    spec_version: u64,
+    reload_token: u64,
+    base: BaseCounters,
+}
+
+/// Dispatches one replayed event and classifies every report it fires:
+/// at or below the durable HWM → already delivered, suppress; past it →
+/// a refired first-time delivery.
+fn replay_dispatch(
+    monitor: &mut PropertyMonitor<MetricsRegistry>,
+    heap: &Heap,
+    seq: u64,
+    event: rv_logic::EventId,
+    binding: Binding,
+    hwm: Option<(u64, u32)>,
+    suppressed: &mut u64,
+    refired: &mut Vec<TriggerRecord>,
+) -> Result<(), String> {
+    let before: Vec<usize> = monitor.engines().iter().map(|e| e.triggers().len()).collect();
+    monitor
+        .try_process(heap, event, binding)
+        .map_err(|e| format!("engine error at record {seq}: {e}"))?;
+    let mut ordinal = 0u32;
+    for (bi, engine) in monitor.engines().iter().enumerate() {
+        for t in &engine.triggers()[before[bi]..] {
+            if hwm.is_some_and(|h| (seq, ordinal) <= h) {
+                *suppressed += 1;
+            } else {
+                refired.push(TriggerRecord {
+                    event_seq: seq,
+                    ordinal,
+                    block: bi as u16,
+                    step: t.step as u64,
+                    verdict: t.verdict,
+                    binding: t.binding,
+                });
+            }
+            ordinal += 1;
+        }
+    }
+    Ok(())
 }
 
 /// Replays a tenant journal: rebuilds the heap and the client-visible
-/// name → `ObjId` map from `AUX_OBJ` records, feeds events with seq ≥
-/// `replay_from`, and suppresses goal reports at or below the durable
-/// high-water mark — exactly-once delivery across the crash.
+/// name → `ObjId` map from `AUX_OBJ` records, the per-session dedup
+/// HWMs from `AUX_SLINE`/`AUX_FATAL`, and the spec lineage from
+/// `AUX_RELOAD` (swapping in a fresh engine at each cutover past
+/// `replay_from`); feeds events with seq ≥ `replay_from`, suppressing
+/// goal reports at or below the durable high-water mark — exactly-once
+/// delivery across the crash.
+#[allow(clippy::too_many_lines)]
 fn replay_tenant(
     scan: &JournalScan,
-    monitor: &mut PropertyMonitor<MetricsRegistry>,
+    mut monitor: PropertyMonitor<MetricsRegistry>,
+    engine_cfg: &EngineConfig,
     replay_from: u64,
     hwm: Option<(u64, u32)>,
 ) -> Result<Replayed, String> {
@@ -1460,6 +2719,19 @@ fn replay_tenant(
     let mut known: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut events = 0u64;
     let mut suppressed = 0u64;
+    let mut refired: Vec<TriggerRecord> = Vec::new();
+    let mut sessions: HashMap<u64, u64> = HashMap::new();
+    let mut spec_version = 1u64;
+    let mut reload_token = 0u64;
+    let mut base = BaseCounters::default();
+    let note = |sessions: &mut HashMap<u64, u64>, session: u64, cseq: u64| {
+        if session != 0 {
+            let hwm = sessions.entry(session).or_insert(0);
+            if cseq > *hwm {
+                *hwm = cseq;
+            }
+        }
+    };
     for sr in &scan.records {
         match &sr.record {
             Record::Aux { tag, .. } if *tag == AUX_GC => {
@@ -1508,6 +2780,110 @@ fn replay_tenant(
                     }
                 }
             }
+            Record::Aux { tag, bytes } if *tag == AUX_SLINE => {
+                if bytes.len() < 16 {
+                    return Err(format!("journal record {}: truncated AUX_SLINE", sr.seq));
+                }
+                let session = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+                let cseq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+                let line = String::from_utf8_lossy(&bytes[16..]).into_owned();
+                note(&mut sessions, session, cseq);
+                let mut words = line.split_whitespace();
+                match words.next() {
+                    Some("!gc") => {
+                        heap.collect();
+                    }
+                    Some("!sweep") => {
+                        if sr.seq >= replay_from {
+                            for engine in monitor.engines_mut() {
+                                engine.full_sweep(&heap);
+                            }
+                        }
+                    }
+                    Some("!free") => {
+                        for name in words {
+                            let Some(&obj) = objects.get(name) else {
+                                return Err(format!(
+                                    "journal record {} frees unknown object `{name}`",
+                                    sr.seq
+                                ));
+                            };
+                            heap.unpin(obj);
+                        }
+                    }
+                    Some(event_name) => {
+                        let Some(event) = monitor.spec().alphabet.lookup(event_name) else {
+                            return Err(format!(
+                                "journal record {}: unknown event `{event_name}`",
+                                sr.seq
+                            ));
+                        };
+                        let params = monitor.spec().event_params[event.as_usize()].clone();
+                        let mut pairs = Vec::with_capacity(params.len());
+                        for (&p, name) in params.iter().zip(words) {
+                            let Some(&obj) = objects.get(name) else {
+                                return Err(format!(
+                                    "journal record {} references `{name}` with no AUX_OBJ \
+                                     record",
+                                    sr.seq
+                                ));
+                            };
+                            pairs.push((p, obj));
+                        }
+                        if pairs.len() != params.len() {
+                            return Err(format!(
+                                "journal record {}: event arity mismatch in `{line}`",
+                                sr.seq
+                            ));
+                        }
+                        let binding = Binding::from_pairs(&pairs);
+                        if sr.seq >= replay_from {
+                            replay_dispatch(
+                                &mut monitor,
+                                &heap,
+                                sr.seq,
+                                event,
+                                binding,
+                                hwm,
+                                &mut suppressed,
+                                &mut refired,
+                            )?;
+                            events += 1;
+                        }
+                    }
+                    None => {}
+                }
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_FATAL => {
+                if bytes.len() < 16 {
+                    return Err(format!("journal record {}: truncated AUX_FATAL", sr.seq));
+                }
+                let session = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+                let cseq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+                // The dedup mark of a `!fatal` that already killed one
+                // incarnation: advancing the HWM here is what turns the
+                // client's resend into a no-op instead of a kill loop.
+                note(&mut sessions, session, cseq);
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_RELOAD => {
+                let Some((token, reload_base, source)) = BaseCounters::decode_reload(bytes) else {
+                    return Err(format!("journal record {}: malformed AUX_RELOAD", sr.seq));
+                };
+                spec_version += 1;
+                reload_token = token;
+                base = reload_base;
+                if sr.seq > replay_from {
+                    let spec = CompiledSpec::from_source(&source).map_err(|d| {
+                        format!(
+                            "journal record {}: reloaded spec no longer compiles: {}",
+                            sr.seq, d.message
+                        )
+                    })?;
+                    monitor = PropertyMonitor::with_observers(spec, engine_cfg, |_| {
+                        MetricsRegistry::new()
+                    });
+                }
+            }
             Record::Event { event, binding } => {
                 for (_, obj) in binding.iter() {
                     if !known.contains(&obj.to_bits()) {
@@ -1519,29 +2895,35 @@ fn replay_tenant(
                     }
                 }
                 if sr.seq >= replay_from {
-                    let before: Vec<usize> =
-                        monitor.engines().iter().map(|e| e.triggers().len()).collect();
-                    monitor
-                        .try_process(&heap, *event, *binding)
-                        .map_err(|e| format!("engine error at record {}: {e}", sr.seq))?;
-                    let fired: usize = monitor
-                        .engines()
-                        .iter()
-                        .enumerate()
-                        .map(|(bi, e)| e.triggers().len() - before[bi])
-                        .sum();
-                    for ord in 0..fired as u32 {
-                        if hwm.is_some_and(|h| (sr.seq, ord) <= h) {
-                            suppressed += 1;
-                        }
-                    }
+                    replay_dispatch(
+                        &mut monitor,
+                        &heap,
+                        sr.seq,
+                        *event,
+                        *binding,
+                        hwm,
+                        &mut suppressed,
+                        &mut refired,
+                    )?;
                     events += 1;
                 }
             }
             _ => {}
         }
     }
-    Ok(Replayed { heap, class, objects, events, suppressed })
+    Ok(Replayed {
+        monitor,
+        heap,
+        class,
+        objects,
+        events,
+        suppressed,
+        refired,
+        sessions,
+        spec_version,
+        reload_token,
+        base,
+    })
 }
 
 #[cfg(test)]
@@ -1591,7 +2973,12 @@ UnsafeIter(Collection c, Iterator i) {
 
     #[test]
     fn hello_payload_round_trips() {
-        let opts = TenantOptions { flags: TENANT_FLAG_PANIC_HANDLER, max_live_monitors: Some(8) };
+        let opts = TenantOptions {
+            flags: TENANT_FLAG_PANIC_HANDLER,
+            max_live_monitors: Some(8),
+            journal_retries: Some(3),
+            journal_backoff_ms: Some(7),
+        };
         let p = encode_hello("tenant-a", SPEC, &opts);
         let (name, spec, got) = decode_hello(&p).unwrap();
         assert_eq!(name, "tenant-a");

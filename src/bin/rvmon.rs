@@ -101,6 +101,10 @@ fn main() -> ExitCode {
     // `recover`, `replay`, `top`, and `gc-log` operate on a journal
     // directory, not a spec file — dispatch them before the spec-reading
     // path below.
+    // `netchaos` is a pure network tool — no spec file, no journal.
+    if args.first().map(String::as_str) == Some("netchaos") {
+        return netchaos(&args[1..]);
+    }
     if let Some(cmd @ ("recover" | "replay" | "top" | "gc-log")) = args.first().map(String::as_str)
     {
         let [_, dir] = args.as_slice() else {
@@ -155,6 +159,73 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// `rvmon netchaos` — a deterministic seeded TCP fault-injection proxy
+/// between a wire client and an rvmond ingest listener. Prints the
+/// proxied listen address on stdout (scrape it like rvmond's banner),
+/// runs until `--duration-ms` elapses or stdin reaches EOF, then prints
+/// the fault counters as JSON.
+fn netchaos(rest: &[String]) -> ExitCode {
+    use rv_monitor::core::{ChaosProfile, ChaosProxy};
+
+    let usage = || {
+        eprintln!(
+            "usage: rvmon netchaos --upstream HOST:PORT [--profile k=v,...] [--duration-ms N]\n\
+             profile keys: drop dup corrupt truncate reset partition delay (permille), \
+             delay_ms, seed"
+        );
+        ExitCode::from(2)
+    };
+    let mut upstream: Option<&str> = None;
+    let mut profile = ChaosProfile::default();
+    let mut duration_ms: u64 = 0;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--upstream" => match it.next() {
+                Some(v) => upstream = Some(v),
+                None => return usage(),
+            },
+            "--profile" => match it.next().map(|s| ChaosProfile::parse(s)) {
+                Some(Ok(p)) => profile = p,
+                Some(Err(e)) => {
+                    eprintln!("rvmon: bad chaos profile: {e}");
+                    return ExitCode::from(2);
+                }
+                None => return usage(),
+            },
+            "--duration-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => duration_ms = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(upstream) = upstream else {
+        return usage();
+    };
+    let mut proxy = match ChaosProxy::start(upstream, profile) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rvmon: cannot start netchaos proxy: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("netchaos listening on {} -> {upstream}", proxy.addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    if duration_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    } else {
+        // Foreground mode: live until the parent closes our stdin.
+        let mut sink = String::new();
+        while std::io::stdin().read_line(&mut sink).map_or(false, |n| n > 0) {
+            sink.clear();
+        }
+    }
+    proxy.shutdown();
+    println!("{}", proxy.stats().to_json());
+    ExitCode::SUCCESS
 }
 
 /// The deterministic fault-injection differential: every property block of
@@ -985,6 +1056,12 @@ fn run(path: &str, source: &str, rest: &[String]) -> ExitCode {
     }
 }
 
+/// The journal-append retry policy for this run, set once from
+/// `--journal-retries`/`--journal-backoff-ms` before the journal opens;
+/// the defaults apply when the flags are absent.
+static JOURNAL_RETRY: std::sync::OnceLock<rv_monitor::core::RetryPolicy> =
+    std::sync::OnceLock::new();
+
 /// Appends `r` under a [`Phase::JournalAppend`] profiler span, so the
 /// journaled paths report where their write-ahead time goes.
 fn append_timed(
@@ -995,9 +1072,8 @@ fn append_timed(
     let span = prof.enter(rv_monitor::core::Phase::JournalAppend);
     // Transient faults (EINTR and friends) are retried with backoff;
     // only a persistent failure (typed `EngineError::Journal`) surfaces.
-    let res = journal
-        .append_retry(r, &rv_monitor::core::RetryPolicy::default())
-        .map_err(std::io::Error::other);
+    let retry = JOURNAL_RETRY.get().copied().unwrap_or_default();
+    let res = journal.append_retry(r, &retry).map_err(std::io::Error::other);
     prof.exit(span);
     res
 }
@@ -1016,11 +1092,13 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
     let mut journal_dir: Option<&str> = None;
     let mut checkpoint_every: Option<usize> = None;
     let mut shards: usize = 1;
+    let mut journal_retries: Option<u32> = None;
+    let mut journal_backoff_ms: Option<u64> = None;
     let usage = || {
         (
             2u8,
             "usage: rvmon run <spec-file> <events-file> --journal DIR [--checkpoint-every N] \
-             [--shards K]"
+             [--shards K] [--journal-retries N] [--journal-backoff-ms N]"
                 .to_owned(),
         )
     };
@@ -1028,6 +1106,18 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--journal" => journal_dir = Some(it.next().ok_or_else(usage)?.as_str()),
+            "--journal-retries" => {
+                journal_retries = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<u32>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(usage)?,
+                );
+            }
+            "--journal-backoff-ms" => {
+                journal_backoff_ms =
+                    Some(it.next().and_then(|s| s.parse::<u64>().ok()).ok_or_else(usage)?);
+            }
             "--checkpoint-every" => {
                 checkpoint_every = Some(
                     it.next()
@@ -1052,6 +1142,16 @@ fn run_inner(path: &str, source: &str, rest: &[String]) -> Result<ExitCode, (u8,
     let (Some(events_path), Some(journal_dir)) = (events_path, journal_dir) else {
         return Err(usage());
     };
+    if journal_retries.is_some() || journal_backoff_ms.is_some() {
+        let mut rp = rv_monitor::core::RetryPolicy::default();
+        if let Some(n) = journal_retries {
+            rp.max_attempts = n;
+        }
+        if let Some(ms) = journal_backoff_ms {
+            rp.backoff = std::time::Duration::from_millis(ms);
+        }
+        let _ = JOURNAL_RETRY.set(rp);
+    }
     let journal_dir = std::path::Path::new(journal_dir);
     let events = std::fs::read_to_string(events_path)
         .map_err(|e| (2, format!("cannot read {events_path}: {e}")))?;

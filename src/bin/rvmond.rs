@@ -9,14 +9,24 @@
 //! nothing but the un-fsynced tail and a restart is a checkpoint restore
 //! away from serving again.
 //!
+//! Self-healing: `--restart-budget` arms the in-service supervisor
+//! (restart Failed tenants with backoff, circuit-break after the budget
+//! is spent inside the window), and `SIGHUP` hot-reloads every tenant's
+//! spec from `--spec-dir` (default: the service root) without dropping
+//! an acknowledged event — the old engine drains to a checkpoint at its
+//! exact journal tail and the new spec cuts over atomically.
+//!
 //! ```text
 //! rvmond --root DIR [--port N] [--http-port N] [--max-tenants N]
 //!        [--max-conns N] [--queue N] [--shed] [--checkpoint-every N]
 //!        [--idle-ms N] [--max-live-monitors N]
+//!        [--restart-budget N] [--restart-window-ms N] [--restart-backoff-ms N]
+//!        [--spec-dir DIR]
 //! ```
 
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,9 +36,15 @@ use rv_monitor::core::{serve_connection, Backpressure, Service, ServiceConfig};
 
 /// Set by the signal handler; the accept loops poll it.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Set by SIGHUP; the ingest loop performs the spec reload.
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
-extern "C" fn on_signal(_sig: i32) {
-    SHUTDOWN.store(true, Ordering::SeqCst);
+extern "C" fn on_signal(sig: i32) {
+    if sig == SIGHUP {
+        RELOAD.store(true, Ordering::SeqCst);
+    } else {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
 }
 
 // std links libc on every supported platform; `signal(2)` is enough for
@@ -37,6 +53,7 @@ extern "C" {
     fn signal(signum: i32, handler: usize) -> usize;
 }
 
+const SIGHUP: i32 = 1;
 const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
@@ -45,15 +62,53 @@ fn install_signal_handlers() {
     unsafe {
         signal(SIGTERM, handler as usize);
         signal(SIGINT, handler as usize);
+        signal(SIGHUP, handler as usize);
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvmond --root DIR [--port N] [--http-port N] [--max-tenants N] \
-         [--max-conns N] [--queue N] [--shed] [--checkpoint-every N] [--idle-ms N]"
+         [--max-conns N] [--queue N] [--shed] [--checkpoint-every N] [--idle-ms N] \
+         [--restart-budget N] [--restart-window-ms N] [--restart-backoff-ms N] \
+         [--spec-dir DIR]"
     );
     ExitCode::from(2)
+}
+
+/// FNV-1a over the spec text: the SIGHUP reload's idempotency token, so
+/// re-sending the signal with an unchanged file is a no-op cutover.
+fn content_token(tenant: &str, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes().chain([0u8]).chain(source.trim().bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h | 1
+}
+
+/// SIGHUP handler body: every live tenant whose `<name>.spec` exists
+/// under `spec_dir` is hot-reloaded to that file's contents.
+fn reload_from_dir(service: &Service, spec_dir: &std::path::Path) {
+    for name in service.tenant_names() {
+        let path = spec_dir.join(format!("{name}.spec"));
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!(
+                    "rvmond: reload: no spec at {} — tenant `{name}` unchanged",
+                    path.display()
+                );
+                continue;
+            }
+        };
+        match service.reload(&name, content_token(&name, &source), &source) {
+            Ok(version) => eprintln!("rvmond: reloaded tenant `{name}` to spec v{version}"),
+            Err((code, msg)) => {
+                eprintln!("rvmond: reload of tenant `{name}` rejected ({code}): {msg}");
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -63,6 +118,7 @@ fn main() -> ExitCode {
     let mut port: u16 = 0;
     let mut http_port: u16 = 0;
     let mut idle_ms: u64 = 5_000;
+    let mut spec_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -104,9 +160,45 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => config.engine.max_live_monitors = Some(n),
                 _ => return usage(),
             },
+            "--restart-budget" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config.supervisor.max_restarts = n,
+                None => return usage(),
+            },
+            "--restart-window-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.supervisor.window = Duration::from_millis(n),
+                _ => return usage(),
+            },
+            "--restart-backoff-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.supervisor.backoff = Duration::from_millis(n),
+                _ => return usage(),
+            },
+            "--spec-dir" => match it.next() {
+                Some(v) => spec_dir = Some(v.into()),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
+    let spec_dir = spec_dir.unwrap_or_else(|| config.root.clone());
+
+    // Fail fast on bound ports: claim both listeners *before* the
+    // (possibly slow) service-root recovery, so a misconfigured port is
+    // a crisp exit-2 naming the port, not a panic after seconds of
+    // replay work.
+    let ingest = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rvmond: error[port-bound]: cannot bind ingest port {port}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let http = match TcpListener::bind(("127.0.0.1", http_port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rvmond: error[port-bound]: cannot bind http port {http_port}: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     install_signal_handlers();
     let service = match Service::new(config) {
@@ -135,20 +227,6 @@ fn main() -> ExitCode {
         }
     }
 
-    let ingest = match TcpListener::bind(("127.0.0.1", port)) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("rvmond: cannot bind ingest port {port}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let http = match TcpListener::bind(("127.0.0.1", http_port)) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("rvmond: cannot bind http port {http_port}: {e}");
-            return ExitCode::from(2);
-        }
-    };
     let (Ok(ingest_addr), Ok(http_addr)) = (ingest.local_addr(), http.local_addr()) else {
         eprintln!("rvmond: cannot resolve listener addresses");
         return ExitCode::from(2);
@@ -199,6 +277,9 @@ fn main() -> ExitCode {
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 if SHUTDOWN.load(Ordering::SeqCst) {
                     break;
+                }
+                if RELOAD.swap(false, Ordering::SeqCst) {
+                    reload_from_dir(&service, &spec_dir);
                 }
                 std::thread::sleep(Duration::from_millis(25));
             }

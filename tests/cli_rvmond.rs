@@ -152,6 +152,30 @@ fn drive(client: &mut Client, prefix: &str, n: usize) {
     client.sync(0xB0B);
 }
 
+/// A daemon asked to bind a port that is already taken must fail fast
+/// — before recovery, with exit code 2 and a typed error naming the
+/// port — not limp along half-listening.
+#[test]
+fn rvmond_fails_fast_on_bound_port() {
+    let root = scratch();
+    let daemon = Daemon::spawn(&root);
+    let taken = daemon.ingest.rsplit(':').next().expect("port in ingest addr").to_owned();
+
+    let other_root = scratch();
+    let output = Command::new(env!("CARGO_BIN_EXE_rvmond"))
+        .args(["--root", other_root.to_str().unwrap(), "--port", &taken, "--http-port", "0"])
+        .output()
+        .expect("run rvmond against a taken port");
+    assert_eq!(output.status.code(), Some(2), "typed exit for a bound port");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error[port-bound]"), "{stderr}");
+    assert!(stderr.contains(&taken), "diagnostic must name the port: {stderr}");
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&other_root);
+}
+
 #[test]
 fn rvmond_survives_sigkill_and_drains_on_sigterm() {
     let root = scratch();

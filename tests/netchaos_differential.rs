@@ -1,0 +1,270 @@
+//! Differential chaos proof: the trigger stream a [`ResilientClient`]
+//! observes through a fault-injecting [`ChaosProxy`] is byte-identical
+//! to a clean solo run — exactly-once, no gaps, no reorders — across
+//! seeds and fault profiles up to 5%, *including* a mid-stream
+//! worker-fatal supervised restart and a hot spec reload.
+//!
+//! Both sides of every differential run the identical workload and
+//! daemon configuration; only the wire between them differs.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use rv_monitor::core::service::TENANT_FLAG_ALLOW_FATAL;
+use rv_monitor::core::{
+    serve_connection, Backpressure, ChaosProfile, ChaosProxy, ClientStats, ReconnectPolicy,
+    ResilientClient, Service, ServiceConfig, SupervisorConfig, TenantOptions,
+};
+
+const SPEC: &str = r#"
+UnsafeIter(Collection c, Iterator i) {
+    event create(c, i);
+    event update(c);
+    event next(i);
+    ere: update* create next* update+ next
+    @match { report "improper Concurrent Modification found!"; }
+}
+"#;
+
+const SPEC_V2: &str = r#"
+UnsafeIter(Collection c, Iterator i) {
+    event create(c, i);
+    event update(c);
+    event next(i);
+    ere: update* create next* update+ next
+    @match { report "v2: still an improper Concurrent Modification!"; }
+}
+"#;
+
+const EVENTS: usize = 600;
+const SYNC_EVERY: usize = 48;
+const FATAL_AT: usize = 220;
+const RELOAD_AT: usize = 400;
+const RELOAD_TOKEN: u64 = 0xD00B_1E51;
+const SESSION: u64 = 0x5E55_1011;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let nanos = SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_nanos();
+    let dir = std::env::temp_dir().join(format!("rv-chaosdiff-{tag}-{nanos}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic trace both sides replay: a seeded create/update/
+/// next mix over a rolling window of iterators, with periodic `!free`s
+/// so the GC machinery stays exercised under chaos too.
+fn workload() -> Vec<String> {
+    let mut rng: u64 = 0x10AD_0001;
+    let mut iters: Vec<u64> = Vec::new();
+    let mut next_iter = 0u64;
+    let mut lines = Vec::with_capacity(EVENTS);
+    while lines.len() < EVENTS {
+        let roll = splitmix64(&mut rng) % 100;
+        if iters.is_empty() || roll < 25 {
+            next_iter += 1;
+            iters.push(next_iter);
+            lines.push(format!("create c{} i{next_iter}", next_iter % 7));
+        } else if roll < 40 {
+            lines.push(format!("update c{}", splitmix64(&mut rng) % 7));
+        } else if roll < 90 {
+            let pick = iters[(splitmix64(&mut rng) as usize) % iters.len()];
+            lines.push(format!("next i{pick}"));
+        } else {
+            let victim = iters.remove((splitmix64(&mut rng) as usize) % iters.len());
+            lines.push(format!("!free i{victim}"));
+        }
+    }
+    lines
+}
+
+/// An in-process supervised service behind a real TCP listener.
+struct Server {
+    _svc: Arc<Service>,
+    addr: String,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    fn start(root: &std::path::Path) -> Server {
+        let config = ServiceConfig {
+            root: root.to_path_buf(),
+            backpressure: Backpressure::Block,
+            reply_timeout: Duration::from_secs(10),
+            supervisor: SupervisorConfig {
+                max_restarts: 5,
+                backoff: Duration::from_millis(10),
+                backoff_cap: Duration::from_millis(100),
+                poll: Duration::from_millis(5),
+                ..SupervisorConfig::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let svc = Arc::new(Service::new(config).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        listener.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((mut s, _)) => {
+                            let svc = Arc::clone(&svc);
+                            std::thread::spawn(move || {
+                                let _ = s.set_nodelay(true);
+                                let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+                                let _ = serve_connection(&svc, &mut s);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Server { _svc: svc, addr, stop, accept: Some(accept) }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs the full workload — mid-stream `!fatal`, quiescent hot reload,
+/// final barrier, trigger drain — against a fresh supervised service,
+/// optionally through a chaos proxy. Returns the rendered trigger
+/// stream in delivery order plus the client's counters.
+fn run_once(tag: &str, chaos: Option<ChaosProfile>) -> (Vec<String>, ClientStats) {
+    let root = scratch(tag);
+    let server = Server::start(&root);
+    let mut proxy = chaos.map(|p| ChaosProxy::start(&server.addr, p).unwrap());
+    let addr = proxy.as_ref().map_or_else(|| server.addr.clone(), |p| p.addr());
+
+    let opts = TenantOptions { flags: TENANT_FLAG_ALLOW_FATAL, ..TenantOptions::default() };
+    let policy = ReconnectPolicy {
+        max_attempts: 64,
+        backoff: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(200),
+        read_timeout: Duration::from_millis(1500),
+        ..ReconnectPolicy::default()
+    };
+    let mut client = ResilientClient::connect(&addr, "t", SPEC, opts, SESSION, policy).unwrap();
+
+    for (i, line) in workload().iter().enumerate() {
+        if i == FATAL_AT {
+            client.send("!fatal").unwrap();
+        }
+        if i == RELOAD_AT {
+            // Quiesce, then cut over: the barrier pins the reload to a
+            // deterministic journal position on both sides.
+            client.sync().unwrap();
+            assert_eq!(client.reload(RELOAD_TOKEN, SPEC_V2).unwrap(), 2);
+        }
+        client.send(line).unwrap();
+        if (i + 1) % SYNC_EVERY == 0 {
+            client.sync().unwrap();
+        }
+    }
+    client.sync().unwrap();
+
+    let mut rendered = Vec::new();
+    let mut empties = 0;
+    while empties < 2 {
+        let batch = client.poll_triggers(256).unwrap();
+        if batch.is_empty() {
+            empties += 1;
+        } else {
+            empties = 0;
+            rendered.extend(batch.iter().map(|t| t.render()));
+        }
+    }
+    let stats = client.bye();
+    if let Some(p) = proxy.as_mut() {
+        p.shutdown();
+    }
+    drop(proxy);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&root);
+    (rendered, stats)
+}
+
+/// Asserts the chaos-side stream is byte-identical to the clean one.
+fn assert_identical(clean: &[String], chaos: &[String], label: &str, stats: &ClientStats) {
+    assert!(!clean.is_empty(), "workload produced no triggers");
+    assert_eq!(
+        chaos.len(),
+        clean.len(),
+        "{label}: trigger count diverged ({} vs {}); client: {}",
+        chaos.len(),
+        clean.len(),
+        stats.to_json()
+    );
+    for (i, (c, k)) in clean.iter().zip(chaos.iter()).enumerate() {
+        assert_eq!(c, k, "{label}: trigger {i} diverged; client: {}", stats.to_json());
+    }
+}
+
+#[test]
+fn clean_runs_are_deterministic() {
+    let (a, _) = run_once("clean-a", None);
+    let (b, stats) = run_once("clean-b", None);
+    assert_identical(&a, &b, "clean vs clean", &stats);
+}
+
+#[test]
+fn one_percent_loss_is_exactly_once() {
+    let (clean, _) = run_once("c1", None);
+    for seed in [1u64, 2] {
+        let profile = ChaosProfile::lossy(10, seed);
+        let (chaos, stats) = run_once(&format!("l1-s{seed}"), Some(profile));
+        assert_identical(&clean, &chaos, &format!("1% loss seed {seed}"), &stats);
+    }
+}
+
+#[test]
+fn five_percent_loss_is_exactly_once() {
+    let (clean, _) = run_once("c5", None);
+    for seed in [3u64, 4] {
+        let profile = ChaosProfile::lossy(50, seed);
+        let (chaos, stats) = run_once(&format!("l5-s{seed}"), Some(profile));
+        assert_identical(&clean, &chaos, &format!("5% loss seed {seed}"), &stats);
+        assert!(
+            stats.reconnects > 0,
+            "5% loss should force reconnects; client: {}",
+            stats.to_json()
+        );
+    }
+}
+
+#[test]
+fn mixed_fault_profile_is_exactly_once() {
+    let (clean, _) = run_once("cm", None);
+    // Every fault class at once — drops, dups, corruption, truncation,
+    // resets, and delay — still under the 5% ceiling.
+    let profile = ChaosProfile::parse(
+        "drop=10,dup=10,corrupt=10,truncate=5,reset=5,delay=10,delay_ms=2,seed=9",
+    )
+    .unwrap();
+    let (chaos, stats) = run_once("mixed", Some(profile));
+    assert_identical(&clean, &chaos, "mixed faults", &stats);
+}

@@ -115,10 +115,12 @@ fn faulty_tenants_do_not_perturb_a_healthy_neighbor() {
         .admit(
             "a",
             SPEC,
-            TenantOptions { flags: TENANT_FLAG_PANIC_HANDLER, max_live_monitors: None },
+            TenantOptions { flags: TENANT_FLAG_PANIC_HANDLER, ..TenantOptions::default() },
         )
         .unwrap();
-    multi.admit("b", SPEC, TenantOptions { flags: 0, max_live_monitors: Some(4) }).unwrap();
+    multi
+        .admit("b", SPEC, TenantOptions { max_live_monitors: Some(4), ..TenantOptions::default() })
+        .unwrap();
     multi.admit("c", SPEC, TenantOptions::default()).unwrap();
     // Interleave the tenants line by line — isolation must hold under
     // concurrent progress, not just sequential per-tenant batches.
@@ -186,7 +188,13 @@ fn drain_and_restart_preserve_every_tenant() {
     let before = {
         let service = Service::new(config(&root)).unwrap();
         service.admit("x", SPEC, TenantOptions::default()).unwrap();
-        service.admit("y", SPEC, TenantOptions { flags: 0, max_live_monitors: Some(4) }).unwrap();
+        service
+            .admit(
+                "y",
+                SPEC,
+                TenantOptions { max_live_monitors: Some(4), ..TenantOptions::default() },
+            )
+            .unwrap();
         drive(&service, "x", &lines);
         drive(&service, "y", &lines);
         let snaps = service.snapshots();
