@@ -347,4 +347,77 @@ rm -rf "$NCH_CLEAN" "$NCH_CHAOS" "$NCH_SPECS" "$NCH_OUT1" "$NCH_OUT2" \
 cargo test -q --release --test netchaos_differential --test self_healing \
     --test wire_reject_matrix >/dev/null
 
+# Tracing smoke: rvmond runs with SLO objectives under loadgen traffic
+# that injects a mid-run worker fatal. The scrape must expose the
+# rvmond_slo_* / rvmond_stage_* / rvmond_build_info series, the worker
+# failure must leave a flight-recorder dump that `rvmon flight` renders
+# with the per-stage breakdown, and `rvmon timeline --daemon` must turn
+# the same dump into Chrome-trace JSON a real parser accepts. The
+# observability integration test covers the same ground hermetically.
+echo "== tracing smoke (slo scrape + flight dump + daemon timeline, release)"
+if command -v python3 >/dev/null 2>&1; then
+    TRC_DIR="${TMPDIR:-/tmp}/rv-ci-trace-$$"
+    TRC_OUT="${TMPDIR:-/tmp}/rv-ci-trace-$$.out"
+    TRC_EXPO="${TMPDIR:-/tmp}/rv-ci-trace-$$.expo"
+    TRC_HEALTH="${TMPDIR:-/tmp}/rv-ci-trace-$$.health"
+    TRC_CHROME="${TMPDIR:-/tmp}/rv-ci-trace-$$.chrome.json"
+    TRC_JSON="${TMPDIR:-/tmp}/rv-ci-trace-$$.loadgen.json"
+    TRC_FLIGHT="${TMPDIR:-/tmp}/rv-ci-trace-$$.flight.txt"
+    rm -rf "$TRC_DIR"
+    ./target/release/rvmond --root "$TRC_DIR" --port 0 --http-port 0 \
+        --restart-budget 5 --restart-backoff-ms 20 \
+        --slo 'latency_target_us=500000,latency_goal=0.9,availability=0.99,window=256' \
+        >"$TRC_OUT" 2>/dev/null &
+    TRC_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q 'http://' "$TRC_OUT" 2>/dev/null && break
+        sleep 0.1
+    done
+    TRC_INGEST=$(sed -n 's/.*ingest on \([^ ]*\).*/\1/p' "$TRC_OUT" | head -1)
+    TRC_HTTP=$(sed -n 's#.*\(http://[^ ]*\)/healthz.*#\1#p' "$TRC_OUT" | head -1)
+    cargo run -q --release -p rv-bench --bin loadgen -- --addr "$TRC_INGEST" \
+        --tenant t=fop --events 1500 --fatal-at 500 --json >"$TRC_JSON"
+    grep -q '"stages":{' "$TRC_JSON" \
+        || { echo "loadgen --json carries no server stage stats"; exit 1; }
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1] + "/metrics", timeout=10).read())
+' "$TRC_HTTP" "$TRC_EXPO"
+    grep -q '^rvmond_build_info{' "$TRC_EXPO"
+    grep -q '^rvmond_slo_error_budget_remaining{tenant="t",objective="latency"}' "$TRC_EXPO"
+    grep -q '^rvmond_slo_burn_rate{tenant="t",objective="availability"}' "$TRC_EXPO"
+    grep -q '^rvmond_stage_latency_us{tenant="t",stage="engine",quantile="0.99"}' "$TRC_EXPO"
+    awk '/^#/ || /^$/ { next }
+         seen[$1]++ { print "duplicate series: " $1; exit 1 }' "$TRC_EXPO"
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(urllib.request.urlopen(sys.argv[1] + "/healthz", timeout=10).read())
+' "$TRC_HTTP" "$TRC_HEALTH"
+    grep -q '^slo t ' "$TRC_HEALTH" \
+        || { echo "/healthz carries no slo line"; cat "$TRC_HEALTH"; exit 1; }
+    # The --fatal-at worker panic must have left a black-box dump; a
+    # SIGQUIT adds the whole-service one next to it.
+    TRC_DUMP=$(ls "$TRC_DIR"/flight-t-worker-fatal-*.rvfr 2>/dev/null | head -1)
+    test -n "$TRC_DUMP" || { echo "worker fatal left no flight dump"; exit 1; }
+    kill -QUIT "$TRC_PID"
+    for _ in $(seq 1 100); do
+        ls "$TRC_DIR"/flight-sigquit-*.rvfr >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    ls "$TRC_DIR"/flight-sigquit-*.rvfr >/dev/null 2>&1 \
+        || { echo "SIGQUIT produced no flight dump"; exit 1; }
+    ./target/release/rvmon flight "$TRC_DUMP" >"$TRC_FLIGHT"
+    grep -q 'wire_read=' "$TRC_FLIGHT" \
+        || { echo "rvmon flight lost the stage breakdown"; exit 1; }
+    ./target/release/rvmon timeline --daemon "$TRC_DUMP" --out "$TRC_CHROME" >/dev/null
+    python3 -c 'import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["traceEvents"], "empty traceEvents"
+assert any(e.get("ph") == "X" for e in doc["traceEvents"]), "no stage spans"
+' "$TRC_CHROME"
+    kill -TERM "$TRC_PID"
+    wait "$TRC_PID" || { echo "rvmond drain exited nonzero"; exit 1; }
+    rm -rf "$TRC_DIR" "$TRC_OUT" "$TRC_EXPO" "$TRC_HEALTH" "$TRC_CHROME" \
+        "$TRC_JSON" "$TRC_FLIGHT"
+fi
+cargo test -q --release --test observability >/dev/null
+
 echo "CI OK"

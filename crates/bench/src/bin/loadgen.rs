@@ -72,6 +72,10 @@ struct TenantOutcome {
     failed: Option<String>,
     latency: Histogram,
     elapsed: Duration,
+    /// The server's STATS reply for this tenant — carries per-stage
+    /// latency percentiles and the SLO budget alongside engine/journal
+    /// counters. `None` when the tenant never got far enough to ask.
+    server_stats: Option<String>,
 }
 
 impl TenantOutcome {
@@ -86,8 +90,40 @@ impl TenantOutcome {
             failed: Some(failed),
             latency: Histogram::new(),
             elapsed: Duration::ZERO,
+            server_stats: None,
         }
     }
+}
+
+/// Extracts the balanced `{...}` object value of `"key":` from a flat
+/// hand-rolled JSON document (no strings containing braces, which holds
+/// for every producer in this workspace).
+fn json_object_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":{{");
+    let start = json.find(&needle)? + needle.len() - 1;
+    let mut depth = 0usize;
+    for (i, b) in json[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts a bare numeric field `"key":<number>`.
+fn json_number_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -225,6 +261,7 @@ fn drive_tenant(addr: &str, plan: &TenantPlan, cfg: &DriveConfig) -> TenantOutco
         failed: None,
         latency: Histogram::new(),
         elapsed: Duration::ZERO,
+        server_stats: None,
     };
     let mut generator = Generator::new(&plan.profile);
     let mut fatal_pending = cfg.fatal_at;
@@ -304,6 +341,12 @@ fn drive_tenant(addr: &str, plan: &TenantPlan, cfg: &DriveConfig) -> TenantOutco
                 }
             }
         }
+    }
+    // Pull the server-side view last: the stage histograms now cover
+    // every line this run pushed through the pipeline, so the reported
+    // percentiles attribute the SYNC round trip we measured client-side.
+    if outcome.failed.is_none() {
+        outcome.server_stats = client.server_stats_json().ok();
     }
     outcome.client = client.stats();
     let _ = client.bye();
@@ -432,6 +475,42 @@ fn main() -> ExitCode {
             failures += 1;
         }
     }
+    // Server-side stage attribution: where the SYNC round trip actually
+    // went, per tenant, from the daemon's own stage histograms.
+    if outcomes.iter().any(|o| o.server_stats.is_some()) {
+        println!();
+        println!(
+            "{:<10} {:<16} {:>9} {:>9} {:>9} {:>9}",
+            "tenant", "stage", "count", "p50us", "p99us", "maxus"
+        );
+        for o in &outcomes {
+            let Some(stats) = o.server_stats.as_deref() else { continue };
+            let Some(stages) = json_object_field(stats, "stages") else { continue };
+            for stage in [
+                "wire_read",
+                "admission",
+                "queue_wait",
+                "engine",
+                "journal_append",
+                "journal_fsync",
+                "trigger_delivery",
+            ] {
+                let count = json_number_field(stages, &format!("{stage}_count")).unwrap_or(0.0);
+                if count == 0.0 {
+                    continue;
+                }
+                println!(
+                    "{:<10} {:<16} {:>9.0} {:>9.1} {:>9.1} {:>9.1}",
+                    o.name,
+                    stage,
+                    count,
+                    json_number_field(stages, &format!("{stage}_p50_us")).unwrap_or(0.0),
+                    json_number_field(stages, &format!("{stage}_p99_us")).unwrap_or(0.0),
+                    json_number_field(stages, &format!("{stage}_max_us")).unwrap_or(0.0),
+                );
+            }
+        }
+    }
     if json {
         let rows: Vec<String> = outcomes
             .iter()
@@ -440,7 +519,7 @@ fn main() -> ExitCode {
                     "{{\"tenant\":\"{}\",\"profile\":\"{}\",\"events\":{},\
                      \"triggers\":{},\"trigger_hash\":\"{:016x}\",\"elapsed_ms\":{},\
                      \"sync_p50_us\":{:.0},\"sync_p99_us\":{:.0},\"sync_p999_us\":{:.0},\
-                     \"client\":{},\"failed\":{}}}",
+                     \"client\":{},\"stages\":{},\"slo\":{},\"failed\":{}}}",
                     o.name,
                     o.profile,
                     o.sent,
@@ -451,6 +530,14 @@ fn main() -> ExitCode {
                     o.latency.quantile(0.99),
                     o.latency.quantile(0.999),
                     o.client.to_json(),
+                    o.server_stats
+                        .as_deref()
+                        .and_then(|s| json_object_field(s, "stages"))
+                        .unwrap_or("null"),
+                    o.server_stats
+                        .as_deref()
+                        .and_then(|s| json_object_field(s, "slo"))
+                        .unwrap_or("null"),
                     o.failed.as_ref().map_or("null".into(), |f| format!("\"{f}\"")),
                 )
             })

@@ -28,8 +28,8 @@ use std::time::Duration;
 use crate::service::{
     decode_triggers, encode_hello, read_frame, write_frame, TenantOptions, TriggerRecord,
     FRAME_BYE, FRAME_EVENT_SEQ, FRAME_HELLO, FRAME_OK, FRAME_POLL, FRAME_REJECT, FRAME_RELOAD,
-    FRAME_RELOADED, FRAME_SYNC, FRAME_SYNCED, FRAME_TRIGGERS, REJECT_BAD_SPEC, REJECT_RESUME_GONE,
-    REJECT_SPEC_MISMATCH,
+    FRAME_RELOADED, FRAME_STATS, FRAME_STATS_REPLY, FRAME_SYNC, FRAME_SYNCED, FRAME_TRIGGERS,
+    REJECT_BAD_SPEC, REJECT_RESUME_GONE, REJECT_SPEC_MISMATCH,
 };
 
 /// Reconnect/retry policy for a [`ResilientClient`].
@@ -529,6 +529,66 @@ impl ResilientClient {
                         .get(..8)
                         .and_then(|b| b.try_into().ok())
                         .map_or(0, u64::from_le_bytes));
+                }
+                Some((FRAME_REJECT, p)) => {
+                    let (code, msg) = decode_reject(&p);
+                    if is_fatal_code(code) {
+                        return Err(fatal(code, &msg));
+                    }
+                    return Err(io::Error::other(format!("reject {code}: {msg}")));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Fetches the server-side tenant stats JSON (engine, journal,
+    /// per-stage latency histograms and SLO budget for this tenant) via
+    /// [`FRAME_STATS`], with the usual reconnect-and-retry machinery.
+    ///
+    /// # Errors
+    ///
+    /// Fatal rejects or retry exhaustion.
+    pub fn server_stats_json(&mut self) -> io::Result<String> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_stats() {
+                Ok(json) => return Ok(json),
+                Err(e) if is_fatal(&e) => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts {
+                        return Err(io::Error::new(
+                            ErrorKind::TimedOut,
+                            format!("stats retries exhausted: {e}"),
+                        ));
+                    }
+                    self.stats.rejects_retried += 1;
+                    self.stream = None;
+                    self.backoff_sleep(attempt - 1);
+                }
+            }
+        }
+    }
+
+    fn try_stats(&mut self) -> io::Result<String> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        let s = self.stream.as_mut().expect("reconnected");
+        write_frame(s, FRAME_STATS, &[])?;
+        loop {
+            let s = self.stream.as_mut().expect("reconnected");
+            match read_frame(s)? {
+                None => {
+                    return Err(io::Error::new(
+                        ErrorKind::ConnectionAborted,
+                        "server closed mid-stats",
+                    ))
+                }
+                Some((FRAME_STATS_REPLY, p)) => {
+                    return String::from_utf8(p)
+                        .map_err(|_| io::Error::new(ErrorKind::InvalidData, "non-UTF8 stats"));
                 }
                 Some((FRAME_REJECT, p)) => {
                     let (code, msg) = decode_reject(&p);

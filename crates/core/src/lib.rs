@@ -58,6 +58,7 @@ pub mod client;
 pub mod crashtest;
 pub mod engine;
 pub mod error;
+pub mod flight;
 pub mod journal;
 pub mod multi;
 pub mod netchaos;
@@ -66,6 +67,7 @@ pub mod profile;
 pub mod reference;
 pub mod service;
 pub mod shard;
+pub mod slo;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -77,6 +79,10 @@ pub use crate::client::{ClientStats, ReconnectPolicy, ResilientClient};
 pub use crate::crashtest::{crash_and_recover, CrashOutcome, KillClass};
 pub use crate::engine::{BudgetKind, DegradationPolicy, Engine, EngineConfig, GcPolicy};
 pub use crate::error::EngineError;
+pub use crate::flight::{
+    render_dump, FlightDump, FlightEvent, FlightKind, FlightRecorder, RequestTrace,
+    RequestTraceRing, Stage, StageStats, STAGE_COUNT,
+};
 pub use crate::journal::{
     is_transient, read_journal, FailingWriter, JournalScan, JournalStats, JournalWriter, Record,
     RetryPolicy, SeqRecord, Truncation,
@@ -93,14 +99,15 @@ pub use crate::profile::{
 };
 pub use crate::reference::{monitor_trace, ReferenceRun, Trigger};
 pub use crate::service::{
-    encode_frame, read_frame, serve_connection, write_frame, Backpressure, ConnPermit, Service,
-    ServiceConfig, ServiceStats, SupervisorConfig, TenantOptions, TenantSnapshot, TenantState,
-    TriggerLog, TriggerRecord,
+    encode_frame, read_frame, read_frame_timed, serve_connection, write_frame, Backpressure,
+    ConnPermit, Service, ServiceConfig, ServiceStats, SupervisorConfig, TenantOptions,
+    TenantSnapshot, TenantState, TriggerLog, TriggerRecord,
 };
 pub use crate::shard::{
     differential_run, differential_run_with, owner_param, HandlerFactory, ShardConfig,
     ShardDifferential, ShardReport, ShardSession, ShardTrigger, ShardedMonitor,
 };
+pub use crate::slo::{Objective, ObjectiveSnapshot, SloConfig, SloSnapshot, SloTracker};
 pub use crate::snapshot::{
     load_latest_checkpoint, plan_recovery, write_checkpoint, Checkpoint, Recovery,
 };

@@ -292,6 +292,19 @@ impl SpanLog {
         let now = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.spans.push(TimelineSpan { name, cat, start_ns: now.saturating_sub(dur_ns), dur_ns });
     }
+
+    /// Records a span at an explicit offset, for offline timeline
+    /// reconstruction (the flight recorder rebuilds lanes from a dump's
+    /// stored timestamps rather than live `Instant`s). Spans with a
+    /// `cat` other than `"phase"` render as `X` complete events in
+    /// [`chrome_trace_json`]. Honors the [`MAX_TIMELINE_SPANS`] cap.
+    pub fn record_at(&mut self, name: String, cat: &'static str, start_ns: u64, dur_ns: u64) {
+        if self.spans.len() >= MAX_TIMELINE_SPANS {
+            self.dropped += 1;
+            return;
+        }
+        self.spans.push(TimelineSpan { name, cat, start_ns, dur_ns });
+    }
 }
 
 impl EngineObserver for SpanLog {
@@ -335,7 +348,10 @@ pub fn chrome_trace_json(lanes: &[(String, &SpanLog)]) -> String {
     let mut events: Vec<Ev<'_>> = Vec::new();
     for (tid, (_, log)) in lanes.iter().enumerate() {
         for s in log.spans() {
-            if s.cat == "gc" {
+            // Anything that isn't a nesting phase span ("gc" cycles,
+            // flight-recorder "mark" events) renders as a standalone
+            // X complete event.
+            if s.cat != "phase" {
                 events.push(Ev {
                     tid,
                     ts_ns: s.start_ns,

@@ -63,7 +63,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rv_heap::{Heap, HeapConfig, ObjId};
 use rv_logic::Verdict;
@@ -71,12 +71,17 @@ use rv_spec::CompiledSpec;
 
 use crate::binding::Binding;
 use crate::engine::EngineConfig;
+use crate::flight::{
+    render_dump, FlightEvent, FlightKind, FlightRecorder, RequestTrace, RequestTraceRing, Stage,
+    StageStats, FLIGHT_CAP,
+};
 use crate::journal::{
     crc32, read_journal, JournalScan, JournalWriter, Record, RetryPolicy, AUX_FATAL, AUX_FREE,
     AUX_GC, AUX_OBJ, AUX_RELOAD, AUX_SLINE, AUX_SPEC, AUX_SWEEP,
 };
 use crate::multi::PropertyMonitor;
 use crate::obs::MetricsRegistry;
+use crate::slo::{SloConfig, SloSnapshot, SloTracker};
 use crate::snapshot::{list_checkpoints, load_latest_checkpoint, write_checkpoint};
 
 // --- Wire protocol -------------------------------------------------------
@@ -226,6 +231,49 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>)>> {
     Ok(Some((kind, body)))
 }
 
+/// [`read_frame`] plus a wire-read span: the returned `u64` is the
+/// nanoseconds spent reading and decoding the frame *after its first
+/// byte arrived* — inter-frame idle (a client thinking) is not wire
+/// time and would otherwise dominate every trace.
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_timed(r: &mut impl Read) -> std::io::Result<Option<(u8, Vec<u8>, u64)>> {
+    let mut len_buf = [0u8; 4];
+    let mut n = 0;
+    let mut started: Option<Instant> = None;
+    while n < 4 {
+        match r.read(&mut len_buf[n..])? {
+            0 if n == 0 => return Ok(None),
+            0 => return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "EOF mid-frame")),
+            read => {
+                started.get_or_insert_with(Instant::now);
+                n += read;
+            }
+        }
+    }
+    let t0 = started.unwrap_or_else(Instant::now);
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > FRAME_MAX {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("implausible frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    if u32::from_le_bytes(crc_buf) != crc32(&body) {
+        return Err(std::io::Error::new(ErrorKind::InvalidData, "frame CRC mismatch"));
+    }
+    let kind = body[0];
+    body.remove(0);
+    let wire_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Ok(Some((kind, body, wire_ns)))
+}
+
 /// Encodes a HELLO payload (client-side helper shared with `loadgen`).
 /// Layout: `[flags: u8][max_live_monitors: u32 LE][journal_retries:
 /// u32 LE][journal_backoff_ms: u32 LE][name]\n[spec]` — zeros mean
@@ -373,6 +421,18 @@ pub struct ServiceConfig {
     /// [`FRAME_POLL`] resume window). A client resuming below the
     /// eviction horizon gets [`REJECT_RESUME_GONE`].
     pub trigger_log_cap: usize,
+    /// Per-tenant SLO objectives (latency target + goals + window).
+    pub slo: SloConfig,
+    /// Recent request traces retained per tenant; `0` disables the
+    /// trace ring entirely (the disabled path records nothing).
+    pub trace_ring: usize,
+    /// Slowest-request exemplars retained per tenant with full
+    /// per-stage breakdowns.
+    pub trace_exemplars: usize,
+    /// Daemon version string for `rvmond_build_info` and `/healthz`.
+    pub version: String,
+    /// Build commit identifier for `rvmond_build_info` and `/healthz`.
+    pub commit: String,
 }
 
 impl Default for ServiceConfig {
@@ -389,6 +449,11 @@ impl Default for ServiceConfig {
             reply_timeout: Duration::from_secs(10),
             supervisor: SupervisorConfig::default(),
             trigger_log_cap: 1 << 20,
+            slo: SloConfig::default(),
+            trace_ring: 256,
+            trace_exemplars: 8,
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            commit: "unknown".to_owned(),
         }
     }
 }
@@ -724,11 +789,57 @@ impl TriggerLog {
 
 // --- Tenant plumbing ------------------------------------------------------
 
+/// Per-tenant observability state: stage-latency histograms, the
+/// bounded request-trace ring with slowest-exemplar capture, and the
+/// SLO tracker. Shared between the worker (records), connection
+/// threads (availability errors on rejects), and the exposition
+/// surfaces (reads). Like the snapshot it lives in the tenant's
+/// wiring, so supervised restarts keep the series monotonic and the
+/// label set frozen.
+struct TenantObs {
+    /// Time origin shared with the service's flight recorder, so trace
+    /// `at_ns` stamps and black-box events sit on one timeline.
+    epoch: Instant,
+    stages: Mutex<StageStats>,
+    ring: Mutex<RequestTraceRing>,
+    slo: Mutex<SloTracker>,
+}
+
+impl TenantObs {
+    fn new(config: &ServiceConfig, epoch: Instant) -> TenantObs {
+        TenantObs {
+            epoch,
+            stages: Mutex::new(StageStats::default()),
+            ring: Mutex::new(RequestTraceRing::new(config.trace_ring, config.trace_exemplars)),
+            slo: Mutex::new(SloTracker::new(config.slo)),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Charges one failed request against the availability objective.
+    fn note_error(&self) {
+        self.slo.lock().expect("slo poisoned").record_error();
+    }
+}
+
 enum TenantMsg {
     Line {
         session: u64,
         cseq: u64,
         line: String,
+        /// When the line was accepted into the ingest queue — the
+        /// worker derives queue wait from it at dequeue.
+        enqueued: Instant,
+        /// Time spent reading + decoding the frame off the wire
+        /// (excludes inter-frame idle).
+        wire_ns: u64,
+        /// Time spent in admission (registry lookup + state checks)
+        /// before the enqueue; queue-block stalls under
+        /// [`Backpressure::Block`] land in queue wait instead.
+        admission_ns: u64,
     },
     Sync {
         token: u64,
@@ -758,6 +869,7 @@ struct Tenant {
     shared: Arc<Mutex<TenantSnapshot>>,
     worker: Option<std::thread::JoinHandle<()>>,
     triggers: Arc<Mutex<TriggerLog>>,
+    obs: Arc<TenantObs>,
     /// Set by [`Service::reload`] around the cutover round trip;
     /// submissions answer a retryable 503 while it holds.
     reloading: Arc<AtomicBool>,
@@ -795,6 +907,14 @@ pub struct Service {
     draining: Arc<AtomicBool>,
     supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
     supervisor_stop: Arc<AtomicBool>,
+    /// Service start — the shared epoch for uptime, trace stamps, and
+    /// the flight recorder's timeline.
+    started: Instant,
+    /// The always-on black box: GC cycles, rejects, restarts, reload
+    /// cutovers, state changes — dumped post-mortem.
+    flight: Arc<Mutex<FlightRecorder>>,
+    /// Sequence for on-disk flight dump filenames.
+    flight_dumps: AtomicU64,
 }
 
 impl std::fmt::Debug for Service {
@@ -846,6 +966,54 @@ fn read_options(dir: &Path) -> TenantOptions {
     opts
 }
 
+/// Filesystem-safe rendering of a flight-dump reason.
+fn sanitize_reason(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Writes a tenant-scoped post-mortem flight dump beside the service
+/// root: the daemon black box plus this tenant's retained traces.
+/// Dump failures are swallowed — the black box must never turn a
+/// failing tenant into a failing daemon.
+fn write_tenant_flight_dump(
+    dir: &Path,
+    reason: &str,
+    tenant: &str,
+    err: &str,
+    flight: &Arc<Mutex<FlightRecorder>>,
+    obs: &Arc<TenantObs>,
+) -> Option<PathBuf> {
+    let events: Vec<FlightEvent> =
+        flight.lock().expect("flight recorder poisoned").events().cloned().collect();
+    let mut traces: Vec<(String, RequestTrace)> = Vec::new();
+    {
+        let ring = obs.ring.lock().expect("trace ring poisoned");
+        for t in ring.recent() {
+            traces.push((tenant.to_owned(), *t));
+        }
+        for t in ring.slowest() {
+            traces.push((tenant.to_owned(), *t));
+        }
+    }
+    let meta = [("tenant".to_owned(), tenant.to_owned()), ("error".to_owned(), err.to_owned())];
+    let body = render_dump(reason, &meta, &events, &traces);
+    let root = dir.parent().unwrap_or(dir);
+    for k in 0..10_000u32 {
+        let path = root.join(format!(
+            "flight-{}-{}-{k}.rvfr",
+            sanitize_reason(tenant),
+            sanitize_reason(reason)
+        ));
+        if !path.exists() {
+            return std::fs::write(&path, &body).ok().map(|()| path);
+        }
+    }
+    None
+}
+
 /// FNV-1a over a spec source — the cheap fingerprint HELLO attaches are
 /// checked against.
 fn spec_hash(source: &str) -> u64 {
@@ -876,15 +1044,18 @@ impl Service {
         let tenants = Arc::new(Mutex::new(HashMap::new()));
         let stats = Arc::new(ServiceStats::default());
         let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let flight = Arc::new(Mutex::new(FlightRecorder::with_epoch(FLIGHT_CAP, started)));
         let supervisor = if config.supervisor.max_restarts > 0 {
             let tenants = Arc::clone(&tenants);
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&supervisor_stop);
             let config = config.clone();
+            let flight = Arc::clone(&flight);
             Some(
                 std::thread::Builder::new()
                     .name("rvmond-supervisor".into())
-                    .spawn(move || supervisor_loop(&tenants, &stats, &stop, &config))
+                    .spawn(move || supervisor_loop(&tenants, &stats, &stop, &config, &flight))
                     .map_err(std::io::Error::other)?,
             )
         } else {
@@ -897,6 +1068,9 @@ impl Service {
             draining: Arc::new(AtomicBool::new(false)),
             supervisor: Mutex::new(supervisor),
             supervisor_stop,
+            started,
+            flight,
+            flight_dumps: AtomicU64::new(0),
         })
     }
 
@@ -919,6 +1093,90 @@ impl Service {
     #[must_use]
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Seconds since the service started.
+    #[must_use]
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Appends one event to the flight recorder's black box.
+    fn flight_note(&self, tenant: &str, kind: FlightKind, dur_ns: u64, detail: &str) {
+        self.flight.lock().expect("flight recorder poisoned").note(tenant, kind, dur_ns, detail);
+    }
+
+    fn obs_of(&self, name: &str) -> Option<Arc<TenantObs>> {
+        let tenants = self.tenants.lock().expect("tenant registry poisoned");
+        tenants.get(name).map(|t| Arc::clone(&t.obs))
+    }
+
+    /// Charges one failed request against `name`'s availability
+    /// objective and black-boxes the reject. Connection loops call this
+    /// on malformed frames and non-retryable submit rejects, so error
+    /// budget burns when the wire misbehaves — not only when the worker
+    /// does.
+    pub fn note_request_error(&self, name: &str, code: u16, msg: &str) {
+        if let Some(obs) = self.obs_of(name) {
+            obs.note_error();
+        }
+        self.flight_note(name, FlightKind::Reject, 0, &format!("{code} {msg}"));
+    }
+
+    /// Per-tenant `(name, stage stats, slo snapshot, traces recorded)`
+    /// for the exposition surfaces, sorted by name.
+    fn obs_snapshots(&self) -> Vec<(String, StageStats, SloSnapshot, u64)> {
+        let mut out: Vec<_> = {
+            let tenants = self.tenants.lock().expect("tenant registry poisoned");
+            tenants
+                .iter()
+                .map(|(name, t)| {
+                    let stages = t.obs.stages.lock().expect("stage stats poisoned").clone();
+                    let slo = t.obs.slo.lock().expect("slo poisoned").snapshot();
+                    let recorded = t.obs.ring.lock().expect("trace ring poisoned").recorded();
+                    (name.clone(), stages, slo, recorded)
+                })
+                .collect()
+        };
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Writes a post-mortem flight dump — the black box plus every
+    /// tenant's retained traces (recent ring + slowest exemplars) — to
+    /// `<root>/flight-<reason>-<n>.rvfr` and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Any IO error writing the dump file.
+    pub fn dump_flight(&self, reason: &str) -> std::io::Result<PathBuf> {
+        let events: Vec<FlightEvent> =
+            self.flight.lock().expect("flight recorder poisoned").events().cloned().collect();
+        let mut traces: Vec<(String, RequestTrace)> = Vec::new();
+        {
+            let tenants = self.tenants.lock().expect("tenant registry poisoned");
+            let mut names: Vec<&String> = tenants.keys().collect();
+            names.sort();
+            for name in names {
+                let ring = tenants[name].obs.ring.lock().expect("trace ring poisoned");
+                for t in ring.recent() {
+                    traces.push((name.clone(), *t));
+                }
+                for t in ring.slowest() {
+                    traces.push((name.clone(), *t));
+                }
+            }
+        }
+        let meta = [
+            ("version".to_owned(), self.config.version.clone()),
+            ("commit".to_owned(), self.config.commit.clone()),
+            ("uptime_s".to_owned(), self.uptime_seconds().to_string()),
+        ];
+        let body = render_dump(reason, &meta, &events, &traces);
+        let n = self.flight_dumps.fetch_add(1, Ordering::Relaxed);
+        let path = self.config.root.join(format!("flight-{}-{n}.rvfr", sanitize_reason(reason)));
+        std::fs::write(&path, body)?;
+        Ok(path)
     }
 
     /// Admits (or attaches to) tenant `name`. A fresh tenant needs a
@@ -994,6 +1252,8 @@ impl Service {
             opts,
             &self.config,
             None,
+            &self.flight,
+            self.started,
         )
         .map_err(|r| {
             self.stats.tenants_rejected.fetch_add(1, Ordering::Relaxed);
@@ -1062,10 +1322,11 @@ impl Service {
         Ok(ConnPermit { conns: Arc::clone(&t.conns) })
     }
 
+    #[allow(clippy::type_complexity)]
     fn ingest_of(
         &self,
         name: &str,
-    ) -> Result<(SyncSender<TenantMsg>, Arc<Mutex<TenantSnapshot>>), Reject> {
+    ) -> Result<(SyncSender<TenantMsg>, Arc<Mutex<TenantSnapshot>>, Arc<TenantObs>), Reject> {
         let tenants = self.tenants.lock().expect("tenant registry poisoned");
         let Some(t) = tenants.get(name) else {
             return Err((REJECT_BAD_FRAME, format!("unknown tenant `{name}`")));
@@ -1087,7 +1348,9 @@ impl Service {
                 Err((REJECT_TENANT_FAILED, format!("tenant circuit-broken: {e}")))
             }
             TenantState::Drained => Err((REJECT_DRAINING, "tenant is drained".into())),
-            TenantState::Running => Ok((t.ingest.clone(), Arc::clone(&t.shared))),
+            TenantState::Running => {
+                Ok((t.ingest.clone(), Arc::clone(&t.shared), Arc::clone(&t.obs)))
+            }
         }
     }
 
@@ -1118,11 +1381,50 @@ impl Service {
         cseq: u64,
         line: &str,
     ) -> Result<(), Reject> {
+        self.submit_traced(name, session, cseq, line, 0)
+    }
+
+    /// [`Service::submit_seq`] with a trace context: `wire_ns` is the
+    /// time the connection loop spent reading the frame off the wire,
+    /// and the admission span (registry lookup + state checks) is
+    /// measured here. Both ride the ingest message so the worker can
+    /// assemble the full wire-to-trigger breakdown.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::submit`]. Sheds and dead-tenant rejects are also
+    /// charged against the tenant's availability objective.
+    pub fn submit_traced(
+        &self,
+        name: &str,
+        session: u64,
+        cseq: u64,
+        line: &str,
+        wire_ns: u64,
+    ) -> Result<(), Reject> {
+        let admit_start = Instant::now();
         if self.is_draining() {
             return Err((REJECT_DRAINING, "service is draining".into()));
         }
-        let (ingest, shared) = self.ingest_of(name)?;
-        let msg = TenantMsg::Line { session, cseq, line: line.to_owned() };
+        let (ingest, shared, obs) = self.ingest_of(name).inspect_err(|r| {
+            // Dead-tenant submissions are failed requests: burn budget
+            // (the obs Arc survives the worker, so Failed tenants keep
+            // accounting) — but not for retryable restart/reload 503s,
+            // which the resilient client absorbs.
+            if r.0 != REJECT_DRAINING {
+                if let Some(obs) = self.obs_of(name) {
+                    obs.note_error();
+                }
+            }
+        })?;
+        let msg = TenantMsg::Line {
+            session,
+            cseq,
+            line: line.to_owned(),
+            enqueued: Instant::now(),
+            wire_ns,
+            admission_ns: u64::try_from(admit_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        };
         match self.config.backpressure {
             Backpressure::Block => ingest
                 .send(msg)
@@ -1132,12 +1434,15 @@ impl Service {
                 Err(TrySendError::Full(_)) => {
                     self.stats.events_shed.fetch_add(1, Ordering::Relaxed);
                     shared.lock().expect("snapshot poisoned").shed_events += 1;
+                    obs.note_error();
+                    self.flight_note(name, FlightKind::Reject, 0, "431 ingest queue full");
                     return Err((
                         REJECT_QUEUE_FULL,
                         format!("tenant `{name}` ingest queue is full — event shed"),
                     ));
                 }
                 Err(TrySendError::Disconnected(_)) => {
+                    obs.note_error();
                     return Err((REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")));
                 }
             },
@@ -1170,7 +1475,7 @@ impl Service {
     /// The dead-tenant rejects; the send itself blocks at a full queue
     /// regardless of the backpressure policy (barriers are never shed).
     pub fn sync_with(&self, name: &str, token: u64, reply: SyncSender<u64>) -> Result<(), Reject> {
-        let (ingest, _) = self.ingest_of(name)?;
+        let (ingest, _, _) = self.ingest_of(name)?;
         ingest
             .send(TenantMsg::Sync { token, reply })
             .map_err(|_| (REJECT_TENANT_FAILED, format!("tenant `{name}` worker is gone")))
@@ -1187,7 +1492,7 @@ impl Service {
     /// [`REJECT_TIMEOUT`] past [`ServiceConfig::reply_timeout`], or the
     /// dead-tenant rejects.
     pub fn sync_session(&self, name: &str, token: u64, session: u64) -> Result<(u64, u64), Reject> {
-        let (ingest, _) = self.ingest_of(name)?;
+        let (ingest, _, _) = self.ingest_of(name)?;
         let (reply_tx, reply_rx) = sync_channel(1);
         ingest
             .send(TenantMsg::SyncSession { token, session, reply: reply_tx })
@@ -1204,7 +1509,7 @@ impl Service {
     ///
     /// [`REJECT_TIMEOUT`] or the dead-tenant rejects.
     pub fn tenant_stats_json(&self, name: &str) -> Result<String, Reject> {
-        let (ingest, _) = self.ingest_of(name)?;
+        let (ingest, _, _) = self.ingest_of(name)?;
         let (reply_tx, reply_rx) = sync_channel(1);
         ingest
             .send(TenantMsg::Stats { reply: reply_tx })
@@ -1330,12 +1635,21 @@ impl Service {
     }
 
     /// Plain-text liveness body for `/healthz`: a leading `ok` (or
-    /// `draining`), then one line per tenant.
+    /// `draining`), the daemon's version and uptime, one `tenant` line
+    /// per tenant, then one `slo` line per tenant (error budgets and
+    /// burn rates). The `tenant` lines carry only restart-stable
+    /// counters — SLO state deliberately rides separate lines.
     #[must_use]
     pub fn healthz(&self) -> String {
         let snaps = self.snapshots();
         let mut out = String::new();
         out.push_str(if self.is_draining() { "draining\n" } else { "ok\n" });
+        out.push_str(&format!(
+            "version {} commit {}\nuptime_s {}\n",
+            self.config.version,
+            self.config.commit,
+            self.uptime_seconds()
+        ));
         out.push_str(&format!("tenants {}\n", snaps.len()));
         for s in &snaps {
             out.push_str(&format!(
@@ -1356,6 +1670,19 @@ impl Service {
                 s.restarts,
                 s.spec_version,
                 s.deduped_events,
+            ));
+        }
+        for (name, _, slo, recorded) in self.obs_snapshots() {
+            out.push_str(&format!(
+                "slo {name} latency_budget={:.4} latency_burn={:.2} \
+                 availability_budget={:.4} availability_burn={:.2} good={} bad={} traces={}\n",
+                slo.latency.budget_remaining,
+                slo.latency.burn_rate,
+                slo.availability.budget_remaining,
+                slo.availability.burn_rate,
+                slo.availability.good_total,
+                slo.availability.bad_total,
+                recorded,
             ));
         }
         out
@@ -1466,6 +1793,81 @@ impl Service {
                 s.name, s.spec_version
             ));
         }
+        out.push_str("# HELP rvmond_build_info Daemon build information\n");
+        out.push_str("# TYPE rvmond_build_info gauge\n");
+        out.push_str(&format!(
+            "rvmond_build_info{{version=\"{}\",commit=\"{}\"}} 1\n",
+            self.config.version, self.config.commit
+        ));
+        out.push_str("# HELP rvmond_uptime_seconds Seconds since the daemon started\n");
+        out.push_str("# TYPE rvmond_uptime_seconds gauge\n");
+        out.push_str(&format!("rvmond_uptime_seconds {}\n", self.uptime_seconds()));
+        let obs = self.obs_snapshots();
+        out.push_str("# HELP rvmond_stage_events_total Stage samples recorded\n");
+        out.push_str("# TYPE rvmond_stage_events_total counter\n");
+        for (name, stages, _, _) in &obs {
+            for stage in Stage::ALL {
+                out.push_str(&format!(
+                    "rvmond_stage_events_total{{tenant=\"{name}\",stage=\"{}\"}} {}\n",
+                    stage.label(),
+                    stages.stage(stage).count(),
+                ));
+            }
+        }
+        out.push_str("# HELP rvmond_stage_latency_us Per-stage latency quantiles\n");
+        out.push_str("# TYPE rvmond_stage_latency_us gauge\n");
+        for (name, stages, _, _) in &obs {
+            for stage in Stage::ALL {
+                let h = stages.stage(stage);
+                for (q, v) in
+                    [("0.5", h.quantile(0.5)), ("0.9", h.quantile(0.9)), ("0.99", h.quantile(0.99))]
+                {
+                    out.push_str(&format!(
+                        "rvmond_stage_latency_us{{tenant=\"{name}\",stage=\"{}\",quantile=\"{q}\"}} {:.1}\n",
+                        stage.label(),
+                        v / 1000.0,
+                    ));
+                }
+            }
+        }
+        out.push_str(
+            "# HELP rvmond_slo_error_budget_remaining Fraction of the error budget left\n",
+        );
+        out.push_str("# TYPE rvmond_slo_error_budget_remaining gauge\n");
+        for (name, _, slo, _) in &obs {
+            out.push_str(&format!(
+                "rvmond_slo_error_budget_remaining{{tenant=\"{name}\",objective=\"latency\"}} {:.4}\n",
+                slo.latency.budget_remaining
+            ));
+            out.push_str(&format!(
+                "rvmond_slo_error_budget_remaining{{tenant=\"{name}\",objective=\"availability\"}} {:.4}\n",
+                slo.availability.budget_remaining
+            ));
+        }
+        out.push_str("# HELP rvmond_slo_burn_rate Error budget burn rate (1 = exactly at goal)\n");
+        out.push_str("# TYPE rvmond_slo_burn_rate gauge\n");
+        for (name, _, slo, _) in &obs {
+            out.push_str(&format!(
+                "rvmond_slo_burn_rate{{tenant=\"{name}\",objective=\"latency\"}} {:.2}\n",
+                slo.latency.burn_rate
+            ));
+            out.push_str(&format!(
+                "rvmond_slo_burn_rate{{tenant=\"{name}\",objective=\"availability\"}} {:.2}\n",
+                slo.availability.burn_rate
+            ));
+        }
+        out.push_str("# HELP rvmond_slo_requests_total Requests by SLO outcome\n");
+        out.push_str("# TYPE rvmond_slo_requests_total counter\n");
+        for (name, _, slo, _) in &obs {
+            out.push_str(&format!(
+                "rvmond_slo_requests_total{{tenant=\"{name}\",outcome=\"good\"}} {}\n",
+                slo.availability.good_total
+            ));
+            out.push_str(&format!(
+                "rvmond_slo_requests_total{{tenant=\"{name}\",outcome=\"bad\"}} {}\n",
+                slo.availability.bad_total
+            ));
+        }
         out
     }
 
@@ -1543,7 +1945,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
     // connection echo that session's cseq HWM (0 = legacy clients).
     let mut last_session: u64 = 0;
     loop {
-        let frame = match read_frame(stream) {
+        let frame = match read_frame_timed(stream) {
             Ok(Some(f)) => f,
             Ok(None) => return Ok(()),
             Err(e) if crate::journal::is_transient(e.kind()) => {
@@ -1554,15 +1956,20 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
             // A torn or corrupt frame (bad length, CRC mismatch, EOF
             // mid-frame) is a client/wire fault, never a server one: the
             // framer answers a typed 400 and closes instead of erroring.
+            // With an attached session it is also a failed request — the
+            // tenant's availability budget burns when its wire degrades.
             Err(e) if matches!(e.kind(), ErrorKind::InvalidData | ErrorKind::UnexpectedEof) => {
                 service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                if let Some((name, _)) = &session {
+                    service.note_request_error(name, REJECT_BAD_FRAME, "malformed frame");
+                }
                 let _ = write_reject(stream, REJECT_BAD_FRAME, &format!("malformed frame: {e}"));
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
         match frame {
-            (FRAME_HELLO, payload) => {
+            (FRAME_HELLO, payload, _) => {
                 let Some((name, spec, opts)) = decode_hello(&payload) else {
                     service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                     write_reject(stream, REJECT_BAD_FRAME, "malformed HELLO payload")?;
@@ -1583,7 +1990,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     }
                 }
             }
-            (FRAME_EVENT, payload) => {
+            (FRAME_EVENT, payload, wire_ns) => {
                 let Some((name, _)) = &session else {
                     service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                     write_reject(stream, REJECT_BAD_FRAME, "EVENT before HELLO")?;
@@ -1594,7 +2001,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     write_reject(stream, REJECT_BAD_FRAME, "EVENT payload is not UTF-8")?;
                     continue;
                 };
-                match service.submit(name, &line) {
+                match service.submit_traced(name, 0, 0, &line, wire_ns) {
                     Ok(()) => {}
                     // Shed (431) and reload/restart pauses (503) are
                     // per-event, retryable outcomes, not connection
@@ -1608,7 +2015,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     }
                 }
             }
-            (FRAME_EVENT_SEQ, payload) => {
+            (FRAME_EVENT_SEQ, payload, wire_ns) => {
                 let Some((name, _)) = &session else {
                     service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                     write_reject(stream, REJECT_BAD_FRAME, "EVENT_SEQ before HELLO")?;
@@ -1626,7 +2033,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     continue;
                 };
                 last_session = sess;
-                match service.submit_seq(name, sess, cseq, &line) {
+                match service.submit_traced(name, sess, cseq, &line, wire_ns) {
                     Ok(()) => {}
                     Err((code @ (REJECT_QUEUE_FULL | REJECT_DRAINING), msg)) => {
                         write_reject(stream, code, &msg)?;
@@ -1637,7 +2044,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     }
                 }
             }
-            (FRAME_RELOAD, payload) => {
+            (FRAME_RELOAD, payload, _) => {
                 let Some((name, _)) = &session else {
                     service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                     write_reject(stream, REJECT_BAD_FRAME, "RELOAD before HELLO")?;
@@ -1660,7 +2067,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     Err((code, msg)) => write_reject(stream, code, &msg)?,
                 }
             }
-            (FRAME_POLL, payload) => {
+            (FRAME_POLL, payload, _) => {
                 let Some((name, _)) = &session else {
                     service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                     write_reject(stream, REJECT_BAD_FRAME, "POLL before HELLO")?;
@@ -1682,7 +2089,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     Err((code, msg)) => write_reject(stream, code, &msg)?,
                 }
             }
-            (FRAME_SYNC, payload) => {
+            (FRAME_SYNC, payload, _) => {
                 let Some((name, _)) = &session else {
                     service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                     write_reject(stream, REJECT_BAD_FRAME, "SYNC before HELLO")?;
@@ -1715,7 +2122,7 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     }
                 }
             }
-            (FRAME_STATS, _) => {
+            (FRAME_STATS, _, _) => {
                 let Some((name, _)) = &session else {
                     service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                     write_reject(stream, REJECT_BAD_FRAME, "STATS before HELLO")?;
@@ -1729,8 +2136,8 @@ pub fn serve_connection<S: Read + Write>(service: &Service, stream: &mut S) -> s
                     }
                 }
             }
-            (FRAME_BYE, _) => return Ok(()),
-            (kind, _) => {
+            (FRAME_BYE, _, _) => return Ok(()),
+            (kind, _, _) => {
                 service.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
                 write_reject(stream, REJECT_BAD_FRAME, &format!("unknown frame kind {kind:#x}"))?;
                 return Ok(());
@@ -1750,8 +2157,10 @@ struct Wiring {
     conns: Arc<AtomicUsize>,
     triggers: Arc<Mutex<TriggerLog>>,
     reloading: Arc<AtomicBool>,
+    obs: Arc<TenantObs>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker(
     name: &str,
     dir: &Path,
@@ -1759,9 +2168,11 @@ fn spawn_worker(
     opts: TenantOptions,
     config: &ServiceConfig,
     wiring: Option<Wiring>,
+    flight: &Arc<Mutex<FlightRecorder>>,
+    epoch: Instant,
 ) -> Result<Tenant, Reject> {
     let (ingest_tx, ingest_rx) = sync_channel::<TenantMsg>(config.queue_depth.max(1));
-    let Wiring { shared, conns, triggers, reloading } = wiring.unwrap_or_else(|| Wiring {
+    let Wiring { shared, conns, triggers, reloading, obs } = wiring.unwrap_or_else(|| Wiring {
         shared: Arc::new(Mutex::new(TenantSnapshot {
             name: name.to_owned(),
             ..TenantSnapshot::default()
@@ -1769,6 +2180,7 @@ fn spawn_worker(
         conns: Arc::new(AtomicUsize::new(0)),
         triggers: Arc::new(Mutex::new(TriggerLog::with_cap(config.trigger_log_cap))),
         reloading: Arc::new(AtomicBool::new(false)),
+        obs: Arc::new(TenantObs::new(config, epoch)),
     });
     let (init_tx, init_rx) = sync_channel::<Result<(), Reject>>(1);
     let worker = {
@@ -1776,22 +2188,32 @@ fn spawn_worker(
         let dir = dir.to_path_buf();
         let shared = Arc::clone(&shared);
         let triggers = Arc::clone(&triggers);
+        let obs = Arc::clone(&obs);
+        let flight = Arc::clone(flight);
         let config = config.clone();
         std::thread::Builder::new()
             .name(format!("rvmond-tenant-{name}"))
             .spawn(move || {
-                let mut w =
-                    match Worker::init(&name, &dir, spec_source, opts, &config, &shared, &triggers)
-                    {
-                        Ok(w) => {
-                            let _ = init_tx.send(Ok(()));
-                            w
-                        }
-                        Err(r) => {
-                            let _ = init_tx.send(Err(r));
-                            return;
-                        }
-                    };
+                let mut w = match Worker::init(
+                    &name,
+                    &dir,
+                    spec_source,
+                    opts,
+                    &config,
+                    &shared,
+                    &triggers,
+                    &obs,
+                    &flight,
+                ) {
+                    Ok(w) => {
+                        let _ = init_tx.send(Ok(()));
+                        w
+                    }
+                    Err(r) => {
+                        let _ = init_tx.send(Err(r));
+                        return;
+                    }
+                };
                 w.run(&ingest_rx);
             })
             .map_err(|e| (REJECT_TENANT_FAILED, format!("cannot spawn worker: {e}")))?
@@ -1803,6 +2225,7 @@ fn spawn_worker(
             shared,
             worker: Some(worker),
             triggers,
+            obs,
             reloading,
             dir: dir.to_path_buf(),
             opts,
@@ -1830,6 +2253,7 @@ fn supervisor_loop(
     stats: &Arc<ServiceStats>,
     stop: &Arc<AtomicBool>,
     config: &ServiceConfig,
+    flight: &Arc<Mutex<FlightRecorder>>,
 ) {
     let sup = config.supervisor;
     let mut rng = sup.seed | 1;
@@ -1855,9 +2279,26 @@ fn supervisor_loop(
                 t.restart_times.retain(|&at| now.duration_since(at) < sup.window);
                 if t.restart_times.len() >= sup.max_restarts as usize {
                     t.shared.lock().expect("snapshot poisoned").state =
-                        TenantState::FailedPermanent(err);
+                        TenantState::FailedPermanent(err.clone());
                     t.next_restart = None;
                     stats.tenants_circuit_broken.fetch_add(1, Ordering::Relaxed);
+                    flight.lock().expect("flight recorder poisoned").note(
+                        name,
+                        FlightKind::State,
+                        0,
+                        format!("circuit-broken: {err}"),
+                    );
+                    // Circuit-break is the end of the line for this
+                    // tenant: leave a post-mortem dump beside its
+                    // journal while the trace ring is still warm.
+                    let _ = write_tenant_flight_dump(
+                        &t.dir,
+                        "circuit-break",
+                        name,
+                        &err,
+                        flight,
+                        &t.obs,
+                    );
                     continue;
                 }
                 let due_at = *t.next_restart.get_or_insert_with(|| {
@@ -1880,6 +2321,7 @@ fn supervisor_loop(
                             conns: Arc::clone(&t.conns),
                             triggers: Arc::clone(&t.triggers),
                             reloading: Arc::clone(&t.reloading),
+                            obs: Arc::clone(&t.obs),
                         },
                         old_worker: t.worker.take(),
                     });
@@ -1893,8 +2335,17 @@ fn supervisor_loop(
             if let Some(h) = job.old_worker {
                 let _ = h.join();
             }
-            let respawned =
-                spawn_worker(&job.name, &job.dir, None, job.opts, config, Some(job.wiring));
+            let restart_start = Instant::now();
+            let respawned = spawn_worker(
+                &job.name,
+                &job.dir,
+                None,
+                job.opts,
+                config,
+                Some(job.wiring),
+                flight,
+                restart_start,
+            );
             let mut reg = tenants.lock().expect("tenant registry poisoned");
             let Some(t) = reg.get_mut(&job.name) else { continue };
             t.restart_times.push(std::time::Instant::now());
@@ -1904,9 +2355,17 @@ fn supervisor_loop(
                     t.ingest = fresh.ingest;
                     t.worker = fresh.worker;
                     let mut snap = t.shared.lock().expect("snapshot poisoned");
-                    snap.restarts += 1;
+                    let n = snap.restarts + 1;
+                    snap.restarts = n;
                     snap.state = TenantState::Running;
+                    drop(snap);
                     stats.tenants_restarted.fetch_add(1, Ordering::Relaxed);
+                    flight.lock().expect("flight recorder poisoned").note(
+                        &job.name,
+                        FlightKind::Restart,
+                        u64::try_from(restart_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        format!("restart #{n}"),
+                    );
                 }
                 Err((_, msg)) => {
                     // Recovery itself failed: back to Failed so the next
@@ -1972,6 +2431,7 @@ impl BaseCounters {
 /// Everything a tenant worker owns — engines, heap, naming, journal.
 /// Lives entirely on the worker thread; nothing here is `Send`.
 struct Worker {
+    name: String,
     monitor: PropertyMonitor<MetricsRegistry>,
     heap: Heap,
     class: rv_heap::ClassId,
@@ -2008,13 +2468,28 @@ struct Worker {
     engine_cfg: EngineConfig,
     opts: TenantOptions,
     triggers: Arc<Mutex<TriggerLog>>,
+    /// Shared per-tenant observability: stage histograms, trace ring,
+    /// SLO tracker.
+    obs: Arc<TenantObs>,
+    /// The daemon-wide black box this worker notes GC cycles, reload
+    /// cutovers and failures into.
+    flight: Arc<Mutex<FlightRecorder>>,
 }
 
 /// A worker-fatal failure: the tenant quarantines, neighbors continue.
 struct Fatal(String);
 
+/// The trace context a [`TenantMsg::Line`] carries into the worker:
+/// spans measured before dequeue, completed per-line by the worker.
+#[derive(Clone, Copy, Default)]
+struct LineCtx {
+    wire_ns: u64,
+    admission_ns: u64,
+    queue_ns: u64,
+}
+
 impl Worker {
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn init(
         name: &str,
         dir: &Path,
@@ -2023,6 +2498,8 @@ impl Worker {
         config: &ServiceConfig,
         shared: &Arc<Mutex<TenantSnapshot>>,
         triggers: &Arc<Mutex<TriggerLog>>,
+        obs: &Arc<TenantObs>,
+        flight: &Arc<Mutex<FlightRecorder>>,
     ) -> Result<Worker, Reject> {
         let mut engine_cfg = config.engine.clone();
         engine_cfg.record_triggers = true;
@@ -2124,6 +2601,7 @@ impl Worker {
                 }
             }
             let w = Worker {
+                name: name.to_owned(),
                 alphabet: replayed_monitor.spec().alphabet.clone(),
                 event_params: replayed_monitor.spec().event_params.clone(),
                 monitor: replayed_monitor,
@@ -2148,6 +2626,8 @@ impl Worker {
                 engine_cfg,
                 opts,
                 triggers: Arc::clone(triggers),
+                obs: Arc::clone(obs),
+                flight: Arc::clone(flight),
             };
             (w, current_source)
         } else {
@@ -2169,6 +2649,7 @@ impl Worker {
             let class = heap.register_class("Obj");
             triggers.lock().expect("trigger log poisoned").reset(config.trigger_log_cap);
             let w = Worker {
+                name: name.to_owned(),
                 alphabet: monitor.spec().alphabet.clone(),
                 event_params: monitor.spec().event_params.clone(),
                 monitor,
@@ -2193,6 +2674,8 @@ impl Worker {
                 engine_cfg,
                 opts,
                 triggers: Arc::clone(triggers),
+                obs: Arc::clone(obs),
+                flight: Arc::clone(flight),
             };
             (w, source)
         };
@@ -2250,6 +2733,20 @@ impl Worker {
         self.shared.lock().expect("snapshot poisoned").state = state;
     }
 
+    /// Black-boxes a tenant failure and drops a post-mortem flight dump
+    /// beside the service root — the trace ring is still warm, so the
+    /// dump carries the failing request's full stage breakdown.
+    fn note_failure(&self, reason: &str, err: &str) {
+        self.flight.lock().expect("flight recorder poisoned").note(
+            &self.name,
+            FlightKind::State,
+            0,
+            format!("{reason}: {err}"),
+        );
+        let _ =
+            write_tenant_flight_dump(&self.dir, reason, &self.name, err, &self.flight, &self.obs);
+    }
+
     fn run(&mut self, rx: &Receiver<TenantMsg>) {
         while let Ok(msg) = rx.recv() {
             let drain = matches!(msg, TenantMsg::Drain);
@@ -2267,6 +2764,7 @@ impl Worker {
                 }
                 Ok(Err(Fatal(msg))) => {
                     self.publish();
+                    self.note_failure("worker-fatal", &msg);
                     self.set_state(TenantState::Failed(msg));
                     return;
                 }
@@ -2276,6 +2774,7 @@ impl Worker {
                         .map(|s| (*s).to_owned())
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "worker panicked".into());
+                    self.note_failure("panic", &msg);
                     self.set_state(TenantState::Failed(format!("panic: {msg}")));
                     return;
                 }
@@ -2287,21 +2786,30 @@ impl Worker {
 
     fn handle(&mut self, msg: TenantMsg) -> Result<(), Fatal> {
         match msg {
-            TenantMsg::Line { session, cseq, line } => self.process_line(session, cseq, &line),
+            TenantMsg::Line { session, cseq, line, enqueued, wire_ns, admission_ns } => {
+                let ctx = LineCtx {
+                    wire_ns,
+                    admission_ns,
+                    queue_ns: u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                };
+                self.process_line(session, cseq, &line, ctx)
+            }
             TenantMsg::Sync { token, reply } => {
-                self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+                self.sync_timed()?;
                 let _ = reply.send(token);
                 Ok(())
             }
             TenantMsg::SyncSession { token, session, reply } => {
-                self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+                self.sync_timed()?;
                 let hwm = self.sessions.get(&session).copied().unwrap_or(0);
                 let _ = reply.send((token, hwm));
                 Ok(())
             }
             TenantMsg::Stats { reply } => {
+                let stages = self.obs.stages.lock().expect("stage stats poisoned").to_json();
+                let slo = self.obs.slo.lock().expect("slo poisoned").snapshot().to_json();
                 let json = format!(
-                    "{{\"tenant\":{},\"engine\":{},\"journal\":{}}}",
+                    "{{\"tenant\":{},\"engine\":{},\"journal\":{},\"stages\":{stages},\"slo\":{slo}}}",
                     self.shared.lock().expect("snapshot poisoned").to_json(),
                     self.monitor.stats().to_json(),
                     self.journal.stats().to_json()
@@ -2312,6 +2820,20 @@ impl Worker {
             TenantMsg::Reload { token, source, reply } => self.reload(token, &source, &reply),
             TenantMsg::Drain => self.checkpoint_now(),
         }
+    }
+
+    /// `journal.sync()` with the fsync span recorded into the stage
+    /// histograms. Fsync batches many lines behind one barrier, so it
+    /// is attributed here rather than split across per-request traces
+    /// (whose `journal_fsync` column reads 0 by design).
+    fn sync_timed(&mut self) -> Result<(), Fatal> {
+        let t0 = Instant::now();
+        self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+        self.obs.stages.lock().expect("stage stats poisoned").record(
+            Stage::JournalFsync,
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        Ok(())
     }
 
     /// The hot-reload cutover, at a message boundary so no event
@@ -2355,7 +2877,7 @@ impl Worker {
             shed: self.base.shed + stats.shed,
         };
         self.append(&Record::Aux { tag: AUX_RELOAD, bytes: base.encode_reload(token, source) })?;
-        self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+        self.sync_timed()?;
         self.monitor =
             PropertyMonitor::with_observers(spec, &self.engine_cfg, |_| MetricsRegistry::new());
         self.install_flags();
@@ -2369,6 +2891,12 @@ impl Worker {
         // Publish before acknowledging: once the client sees RELOADED,
         // every observability surface must already show the new version.
         self.publish();
+        self.flight.lock().expect("flight recorder poisoned").note(
+            &self.name,
+            FlightKind::Reload,
+            0,
+            format!("spec v{}", self.spec_version),
+        );
         let _ = reply.send(Ok(self.spec_version));
         Ok(())
     }
@@ -2378,13 +2906,13 @@ impl Worker {
     }
 
     fn checkpoint_now(&mut self) -> Result<(), Fatal> {
-        self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+        self.sync_timed()?;
         if let Some(payload) = self.monitor.snapshot_bytes() {
             let covered = self.journal.next_seq();
             write_checkpoint(&self.dir, self.generation, covered, &payload)
                 .map_err(|e| Fatal(format!("checkpoint write failed: {e}")))?;
             self.append(&Record::CheckpointMark { generation: self.generation, seq: covered })?;
-            self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+            self.sync_timed()?;
             self.generation += 1;
             self.shared.lock().expect("snapshot poisoned").checkpoints += 1;
         }
@@ -2431,7 +2959,13 @@ impl Worker {
     /// learns the shortfall from the barrier's HWM echo and resends.
     /// Session `0` is the legacy no-dedup path.
     #[allow(clippy::too_many_lines)]
-    fn process_line(&mut self, session: u64, cseq: u64, raw: &str) -> Result<(), Fatal> {
+    fn process_line(
+        &mut self,
+        session: u64,
+        cseq: u64,
+        raw: &str,
+        ctx: LineCtx,
+    ) -> Result<(), Fatal> {
         if self.opts.flags & TENANT_FLAG_SLOW_WORKER != 0 {
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -2456,28 +2990,65 @@ impl Worker {
             self.note_session(session, cseq);
             return Ok(());
         };
+        // The wire-to-trigger trace for this line: the connection-side
+        // spans arrive in `ctx`, the worker fills in the rest as the
+        // line flows through the engine and the journal.
+        let mut trace = RequestTrace {
+            session,
+            cseq,
+            seq: 0,
+            at_ns: 0,
+            stages: [0; crate::flight::STAGE_COUNT],
+        };
+        trace.stages[Stage::WireRead.idx()] = ctx.wire_ns;
+        trace.stages[Stage::Admission.idx()] = ctx.admission_ns;
+        trace.stages[Stage::QueueWait.idx()] = ctx.queue_ns;
+        let span_ns = |t0: Instant| u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         match head {
             "!gc" => {
+                let t0 = Instant::now();
                 if session == 0 {
                     self.append(&Record::Aux { tag: AUX_GC, bytes: Vec::new() })?;
                 } else {
                     self.append_sline(session, cseq, line)?;
                 }
+                trace.stages[Stage::JournalAppend.idx()] = span_ns(t0);
+                let t0 = Instant::now();
                 self.heap.collect();
+                let dur = span_ns(t0);
+                trace.stages[Stage::Engine.idx()] = dur;
+                self.flight.lock().expect("flight recorder poisoned").note(
+                    &self.name,
+                    FlightKind::GcCycle,
+                    dur,
+                    "heap collect (!gc)",
+                );
             }
             "!sweep" => {
+                let t0 = Instant::now();
                 if session == 0 {
                     self.append(&Record::Aux { tag: AUX_SWEEP, bytes: Vec::new() })?;
                 } else {
                     self.append_sline(session, cseq, line)?;
                 }
+                trace.stages[Stage::JournalAppend.idx()] = span_ns(t0);
+                let t0 = Instant::now();
                 for engine in self.monitor.engines_mut() {
                     engine.full_sweep(&self.heap);
                 }
+                let dur = span_ns(t0);
+                trace.stages[Stage::Engine.idx()] = dur;
+                self.flight.lock().expect("flight recorder poisoned").note(
+                    &self.name,
+                    FlightKind::GcCycle,
+                    dur,
+                    "full sweep (!sweep)",
+                );
             }
             "!fatal" => {
                 if self.opts.flags & TENANT_FLAG_ALLOW_FATAL == 0 {
                     self.bad_lines += 1;
+                    self.obs.note_error();
                     self.note_session(session, cseq);
                     return Ok(());
                 }
@@ -2489,7 +3060,7 @@ impl Worker {
                 bytes.extend_from_slice(&session.to_le_bytes());
                 bytes.extend_from_slice(&cseq.to_le_bytes());
                 self.append(&Record::Aux { tag: AUX_FATAL, bytes })?;
-                self.journal.sync().map_err(|e| Fatal(format!("journal sync failed: {e}")))?;
+                self.sync_timed()?;
                 return Err(Fatal("injected worker-fatal fault (!fatal)".into()));
             }
             "!free" => {
@@ -2498,24 +3069,30 @@ impl Worker {
                 for name in words {
                     let Some(&obj) = self.objects.get(name) else {
                         self.bad_lines += 1;
+                        self.obs.note_error();
                         self.note_session(session, cseq);
                         return Ok(());
                     };
                     payload.extend_from_slice(&obj.to_bits().to_le_bytes());
                     freed.push(obj);
                 }
+                let t0 = Instant::now();
                 if session == 0 {
                     self.append(&Record::Aux { tag: AUX_FREE, bytes: payload })?;
                 } else {
                     self.append_sline(session, cseq, line)?;
                 }
+                trace.stages[Stage::JournalAppend.idx()] = span_ns(t0);
+                let t0 = Instant::now();
                 for obj in freed {
                     self.heap.unpin(obj);
                 }
+                trace.stages[Stage::Engine.idx()] = span_ns(t0);
             }
             event_name => {
                 let Some(event) = self.alphabet.lookup(event_name) else {
                     self.bad_lines += 1;
+                    self.obs.note_error();
                     self.note_session(session, cseq);
                     return Ok(());
                 };
@@ -2523,6 +3100,7 @@ impl Worker {
                 let names: Vec<&str> = words.collect();
                 if names.len() != params.len() {
                     self.bad_lines += 1;
+                    self.obs.note_error();
                     self.note_session(session, cseq);
                     return Ok(());
                 }
@@ -2548,6 +3126,7 @@ impl Worker {
                     };
                     pairs.push((p, obj));
                 }
+                let t0 = Instant::now();
                 for r in &fresh {
                     self.append(r)?;
                 }
@@ -2557,11 +3136,15 @@ impl Worker {
                 } else {
                     self.append_sline(session, cseq, line)?
                 };
+                trace.stages[Stage::JournalAppend.idx()] = span_ns(t0);
+                trace.seq = seq;
                 let before: Vec<usize> =
                     self.monitor.engines().iter().map(|e| e.triggers().len()).collect();
+                let t0 = Instant::now();
                 self.monitor
                     .try_process(&self.heap, event, binding)
                     .map_err(|e| Fatal(format!("engine error: {e}")))?;
+                trace.stages[Stage::Engine.idx()] = span_ns(t0);
                 let mut ordinal = 0u32;
                 let fired: Vec<Record> = self
                     .monitor
@@ -2584,6 +3167,7 @@ impl Worker {
                         r
                     })
                     .collect();
+                let t0 = Instant::now();
                 for r in &fired {
                     self.append(r)?;
                 }
@@ -2594,6 +3178,7 @@ impl Worker {
                             log.push(t);
                         }
                     }
+                    trace.stages[Stage::TriggerDelivery.idx()] = span_ns(t0);
                 }
                 self.events_since_checkpoint += 1;
                 if self.events_since_checkpoint >= self.checkpoint_every {
@@ -2603,6 +3188,18 @@ impl Worker {
             }
         }
         self.note_session(session, cseq);
+        // The line made it wire-to-trigger: close out its trace.
+        trace.at_ns = self.obs.now_ns();
+        let total_us = trace.total_ns() / 1_000;
+        {
+            let mut stages = self.obs.stages.lock().expect("stage stats poisoned");
+            stages.record_trace(&trace);
+        }
+        {
+            let mut ring = self.obs.ring.lock().expect("trace ring poisoned");
+            ring.push(trace);
+        }
+        self.obs.slo.lock().expect("slo poisoned").record_request(total_us);
         Ok(())
     }
 }
@@ -3154,13 +3751,29 @@ UnsafeIter(Collection c, Iterator i) {
         }
         svc.sync("alpha", 0).unwrap();
         let health = svc.healthz();
-        assert!(health.starts_with("ok\ntenants 2\n"), "{health}");
+        assert!(health.starts_with("ok\nversion "), "{health}");
+        assert!(health.contains("\ntenants 2\n"), "{health}");
+        assert!(health.lines().any(|l| l.starts_with("uptime_s ")), "{health}");
         assert!(health.contains("tenant alpha state=running events=3 triggers=1"), "{health}");
         assert!(health.contains("tenant beta state=running events=0"), "{health}");
+        assert!(health.contains("slo alpha "), "{health}");
+        assert!(health.contains("slo beta "), "{health}");
         let expo = svc.prometheus();
         assert!(expo.contains("rvmond_tenant_events_total{tenant=\"alpha\"} 3"), "{expo}");
         assert!(expo.contains("rvmond_tenant_events_total{tenant=\"beta\"} 0"), "{expo}");
         assert!(expo.contains("# TYPE rvmond_events_submitted_total counter"), "{expo}");
+        assert!(expo.contains("rvmond_build_info{version="), "{expo}");
+        assert!(expo.contains("rvmond_uptime_seconds "), "{expo}");
+        assert!(
+            expo.contains(
+                "rvmond_slo_error_budget_remaining{tenant=\"alpha\",objective=\"latency\"}"
+            ),
+            "{expo}"
+        );
+        assert!(
+            expo.contains("rvmond_stage_events_total{tenant=\"alpha\",stage=\"engine\"} 3"),
+            "{expo}"
+        );
         let _ = svc.drain();
         std::fs::remove_dir_all(&root).unwrap();
     }

@@ -1,0 +1,496 @@
+//! Per-tenant SLO engine: declarative latency/availability objectives
+//! with windowed error-budget accounting and burn-rate computation.
+//!
+//! An SLO here is a pair of objectives over a count-based sliding
+//! window of recent requests:
+//!
+//! * **latency** — a fraction `latency_goal` of requests must complete
+//!   end-to-end (wire read through trigger delivery) within
+//!   `latency_target_us` microseconds;
+//! * **availability** — a fraction `availability_goal` of requests must
+//!   succeed (a shed line, gap-discarded frame, REJECT, or tenant
+//!   failure counts against it).
+//!
+//! The **error budget** of an objective over a window of `n` requests
+//! with goal `g` is the `n·(1−g)` violations the objective tolerates;
+//! [`Objective::budget_remaining`] reports the unspent fraction of that
+//! allowance and [`Objective::burn_rate`] the current spend rate (1.0 =
+//! exactly on budget, >1 = burning toward exhaustion). Count-based
+//! windows were chosen over wall-clock windows so the math is exact,
+//! deterministic under test, and independent of event arrival rate —
+//! a idle tenant neither burns nor repairs its budget.
+//!
+//! Objectives arrive from the daemon-wide `--slo` flag (`rvmond
+//! --slo latency_target_us=5000,availability=0.999,window=512`) parsed
+//! by [`SloConfig::parse`]; the HELLO wire format is deliberately left
+//! untouched so old clients keep working — per-tenant overrides can
+//! ride a future HELLO flag without changing this module.
+//!
+//! Surfaced as `rvmond_slo_*` Prometheus series, `slo` lines on
+//! `/healthz`, the `"slo"` object in STATS replies (see
+//! `rvmonctl slo`), and the flight recorder's post-mortem dumps.
+
+use std::collections::VecDeque;
+
+use crate::obs::json_f64;
+
+/// Ceiling on the sliding-window length accepted from configuration;
+/// keeps per-tenant memory bounded (one bit per request would be nicer
+/// but a `VecDeque<bool>` at 64 KiB worst-case is plenty cheap).
+pub const MAX_SLO_WINDOW: usize = 65_536;
+
+/// Declarative SLO targets for one tenant (or the daemon default).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Per-request end-to-end latency target, microseconds.
+    pub latency_target_us: u64,
+    /// Fraction of windowed requests that must meet the latency target.
+    pub latency_goal: f64,
+    /// Fraction of windowed requests that must succeed.
+    pub availability_goal: f64,
+    /// Sliding-window length, in requests.
+    pub window: usize,
+}
+
+impl Default for SloConfig {
+    /// Lenient defaults: 50 ms p99-style latency target and three-nines
+    /// availability over the last 1024 requests — a clean local run
+    /// should never burn budget out of the box.
+    fn default() -> Self {
+        SloConfig {
+            latency_target_us: 50_000,
+            latency_goal: 0.99,
+            availability_goal: 0.999,
+            window: 1024,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Parses a `key=value,key=value` objective list. Keys:
+    /// `latency_target_us`, `latency_goal`, `availability` (or
+    /// `availability_goal`), `window`. Unset keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keys, unparsable numbers, goals outside `(0, 1)`, a zero
+    /// latency target, or a window outside `[1, MAX_SLO_WINDOW]`.
+    pub fn parse(s: &str) -> Result<SloConfig, String> {
+        let mut cfg = SloConfig::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("slo: expected key=value, got {part:?}"))?;
+            match key.trim() {
+                "latency_target_us" => {
+                    cfg.latency_target_us = value
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|e| format!("slo: latency_target_us: {e}"))?;
+                    if cfg.latency_target_us == 0 {
+                        return Err("slo: latency_target_us must be positive".to_owned());
+                    }
+                }
+                "latency_goal" => cfg.latency_goal = parse_goal(value, "latency_goal")?,
+                "availability" | "availability_goal" => {
+                    cfg.availability_goal = parse_goal(value, "availability")?;
+                }
+                "window" => {
+                    let w =
+                        value.trim().parse::<usize>().map_err(|e| format!("slo: window: {e}"))?;
+                    if w == 0 || w > MAX_SLO_WINDOW {
+                        return Err(format!("slo: window must be in 1..={MAX_SLO_WINDOW}"));
+                    }
+                    cfg.window = w;
+                }
+                other => return Err(format!("slo: unknown key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Renders the configuration as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"latency_target_us\":{},\"latency_goal\":{},\"availability_goal\":{},\
+             \"window\":{}}}",
+            self.latency_target_us,
+            json_f64(self.latency_goal),
+            json_f64(self.availability_goal),
+            self.window,
+        )
+    }
+}
+
+fn parse_goal(value: &str, key: &str) -> Result<f64, String> {
+    let g = value.trim().parse::<f64>().map_err(|e| format!("slo: {key}: {e}"))?;
+    if !(g > 0.0 && g < 1.0) {
+        return Err(format!("slo: {key} must be strictly between 0 and 1"));
+    }
+    Ok(g)
+}
+
+/// One objective's sliding window plus monotonic lifetime totals.
+#[derive(Clone, Debug)]
+pub struct Objective {
+    goal: f64,
+    cap: usize,
+    /// `true` per windowed request that *violated* the objective.
+    window: VecDeque<bool>,
+    window_bad: u64,
+    good_total: u64,
+    bad_total: u64,
+}
+
+impl Objective {
+    /// An empty objective; `goal` must lie in `(0, 1)` (enforced at
+    /// [`SloConfig::parse`]) and `cap` bounds the window length.
+    #[must_use]
+    pub fn new(goal: f64, cap: usize) -> Objective {
+        Objective {
+            goal,
+            cap: cap.max(1),
+            window: VecDeque::new(),
+            window_bad: 0,
+            good_total: 0,
+            bad_total: 0,
+        }
+    }
+
+    /// Records one request outcome, evicting the oldest once the window
+    /// is full.
+    pub fn record(&mut self, ok: bool) {
+        if self.window.len() == self.cap && self.window.pop_front() == Some(true) {
+            self.window_bad = self.window_bad.saturating_sub(1);
+        }
+        self.window.push_back(!ok);
+        if ok {
+            self.good_total += 1;
+        } else {
+            self.window_bad += 1;
+            self.bad_total += 1;
+        }
+    }
+
+    /// The objective's target fraction.
+    #[must_use]
+    pub fn goal(&self) -> f64 {
+        self.goal
+    }
+
+    /// Requests currently in the window.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Violations currently in the window.
+    #[must_use]
+    pub fn window_bad(&self) -> u64 {
+        self.window_bad
+    }
+
+    /// Lifetime conforming requests.
+    #[must_use]
+    pub fn good_total(&self) -> u64 {
+        self.good_total
+    }
+
+    /// Lifetime violations.
+    #[must_use]
+    pub fn bad_total(&self) -> u64 {
+        self.bad_total
+    }
+
+    /// Fraction of the window's error budget still unspent, in `[0, 1]`.
+    /// An empty window has a full budget. The allowance is
+    /// `window_len · (1 − goal)`; when the window is still so short that
+    /// the allowance rounds below one request, any violation zeroes the
+    /// budget (strictest consistent reading).
+    #[must_use]
+    pub fn budget_remaining(&self) -> f64 {
+        if self.window.is_empty() {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let allowed = self.window.len() as f64 * (1.0 - self.goal);
+        #[allow(clippy::cast_precision_loss)]
+        let bad = self.window_bad as f64;
+        if allowed <= 0.0 {
+            return if self.window_bad == 0 { 1.0 } else { 0.0 };
+        }
+        (1.0 - bad / allowed).clamp(0.0, 1.0)
+    }
+
+    /// Current burn rate: observed violation fraction over the allowed
+    /// violation fraction. 0 = pristine, 1 = spending exactly on
+    /// budget, >1 = burning toward exhaustion. Empty window burns 0.
+    #[must_use]
+    pub fn burn_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let frac = self.window_bad as f64 / self.window.len() as f64;
+        frac / (1.0 - self.goal)
+    }
+}
+
+/// Point-in-time reading of one objective, cheap to copy out of a lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObjectiveSnapshot {
+    /// Target fraction.
+    pub goal: f64,
+    /// Requests in the window.
+    pub window_len: u64,
+    /// Violations in the window.
+    pub window_bad: u64,
+    /// Lifetime conforming requests.
+    pub good_total: u64,
+    /// Lifetime violations.
+    pub bad_total: u64,
+    /// Unspent budget fraction, `[0, 1]`.
+    pub budget_remaining: f64,
+    /// Current burn rate.
+    pub burn_rate: f64,
+}
+
+impl ObjectiveSnapshot {
+    fn of(o: &Objective) -> ObjectiveSnapshot {
+        ObjectiveSnapshot {
+            goal: o.goal(),
+            window_len: o.window_len() as u64,
+            window_bad: o.window_bad(),
+            good_total: o.good_total(),
+            bad_total: o.bad_total(),
+            budget_remaining: o.budget_remaining(),
+            burn_rate: o.burn_rate(),
+        }
+    }
+}
+
+/// Both objectives for one tenant. The worker records a latency sample
+/// (which doubles as an availability success) per processed line;
+/// admission rejects, sheds, gap-discards, and tenant failures record
+/// availability errors from the service side.
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    latency: Objective,
+    availability: Objective,
+}
+
+impl SloTracker {
+    /// A tracker with empty windows for `config`'s objectives.
+    #[must_use]
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            config,
+            latency: Objective::new(config.latency_goal, config.window),
+            availability: Objective::new(config.availability_goal, config.window),
+        }
+    }
+
+    /// The configured targets.
+    #[must_use]
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one successfully processed request with its end-to-end
+    /// latency in microseconds.
+    pub fn record_request(&mut self, latency_us: u64) {
+        self.latency.record(latency_us <= self.config.latency_target_us);
+        self.availability.record(true);
+    }
+
+    /// Records one failed request (shed, gap-discarded, rejected, or
+    /// lost to a tenant failure). Errors have no meaningful latency, so
+    /// only the availability objective is charged.
+    pub fn record_error(&mut self) {
+        self.availability.record(false);
+    }
+
+    /// A copyable point-in-time reading of both objectives.
+    #[must_use]
+    pub fn snapshot(&self) -> SloSnapshot {
+        SloSnapshot {
+            latency_target_us: self.config.latency_target_us,
+            latency: ObjectiveSnapshot::of(&self.latency),
+            availability: ObjectiveSnapshot::of(&self.availability),
+        }
+    }
+}
+
+/// Point-in-time reading of a tenant's SLO state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SloSnapshot {
+    /// The latency objective's per-request target, microseconds.
+    pub latency_target_us: u64,
+    /// The latency objective.
+    pub latency: ObjectiveSnapshot,
+    /// The availability objective.
+    pub availability: ObjectiveSnapshot,
+}
+
+impl SloSnapshot {
+    /// Renders the snapshot as a flat JSON object (flat keys so shallow
+    /// consumers — `loadgen`, `rvmonctl slo` — can extract fields
+    /// without a JSON parser).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"latency_target_us\":{},\"latency_goal\":{},\"latency_window\":{},\
+             \"latency_breaches\":{},\"latency_budget_remaining\":{},\"latency_burn_rate\":{},\
+             \"availability_goal\":{},\"availability_window\":{},\"availability_errors\":{},\
+             \"availability_budget_remaining\":{},\"availability_burn_rate\":{},\
+             \"good_total\":{},\"bad_total\":{}}}",
+            self.latency_target_us,
+            json_f64(self.latency.goal),
+            self.latency.window_len,
+            self.latency.window_bad,
+            json_f64(self.latency.budget_remaining),
+            json_f64(self.latency.burn_rate),
+            json_f64(self.availability.goal),
+            self.availability.window_len,
+            self.availability.window_bad,
+            json_f64(self.availability.budget_remaining),
+            json_f64(self.availability.burn_rate),
+            self.availability.good_total,
+            self.availability.bad_total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_lenient_and_parse_overrides_them() {
+        let d = SloConfig::default();
+        assert_eq!(d.latency_target_us, 50_000);
+        assert_eq!(d.window, 1024);
+        let c = SloConfig::parse("latency_target_us=5000,availability=0.99,window=64").unwrap();
+        assert_eq!(c.latency_target_us, 5000);
+        assert_eq!(c.availability_goal, 0.99);
+        assert_eq!(c.window, 64);
+        assert_eq!(c.latency_goal, d.latency_goal, "unset keys keep defaults");
+        assert_eq!(SloConfig::parse("").unwrap(), d);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(SloConfig::parse("bogus=1").is_err());
+        assert!(SloConfig::parse("latency_goal=1.5").is_err());
+        assert!(SloConfig::parse("availability=0").is_err());
+        assert!(SloConfig::parse("window=0").is_err());
+        assert!(SloConfig::parse(&format!("window={}", MAX_SLO_WINDOW + 1)).is_err());
+        assert!(SloConfig::parse("latency_target_us=0").is_err());
+        assert!(SloConfig::parse("latency_target_us").is_err());
+    }
+
+    #[test]
+    fn empty_window_has_full_budget_and_zero_burn() {
+        let o = Objective::new(0.999, 16);
+        assert_eq!(o.budget_remaining(), 1.0);
+        assert_eq!(o.burn_rate(), 0.0);
+    }
+
+    #[test]
+    fn budget_burns_linearly_with_violations() {
+        // goal 0.9 over a window of 100 → budget allows 10 violations.
+        let mut o = Objective::new(0.9, 100);
+        for _ in 0..95 {
+            o.record(true);
+        }
+        for _ in 0..5 {
+            o.record(false);
+        }
+        assert_eq!(o.window_len(), 100);
+        assert!((o.budget_remaining() - 0.5).abs() < 1e-9, "5 of 10 allowed spent");
+        assert!((o.burn_rate() - 0.5).abs() < 1e-9);
+        for _ in 0..5 {
+            o.record(false);
+        }
+        // The 5 evicted requests were all good, so all 10 bad remain.
+        assert!(o.budget_remaining().abs() < 1e-9, "budget exhausted");
+        assert!((o.burn_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_eviction_repairs_the_budget() {
+        let mut o = Objective::new(0.5, 4);
+        for _ in 0..4 {
+            o.record(false);
+        }
+        assert_eq!(o.budget_remaining(), 0.0);
+        for _ in 0..4 {
+            o.record(true);
+        }
+        assert_eq!(o.window_bad(), 0);
+        assert_eq!(o.budget_remaining(), 1.0);
+        assert_eq!(o.bad_total(), 4, "lifetime totals never shrink");
+        assert_eq!(o.good_total(), 4);
+    }
+
+    #[test]
+    fn short_window_with_sub_request_allowance_is_strict() {
+        // 1 request at goal 0.999: allowance is 0.001 requests.
+        let mut o = Objective::new(0.999, 64);
+        o.record(false);
+        assert!(o.budget_remaining() < 1e-9);
+        o.record(true);
+        assert!(o.budget_remaining() < 1.0, "the violation still dominates the tiny allowance");
+    }
+
+    #[test]
+    fn tracker_routes_latency_and_availability() {
+        let cfg = SloConfig::parse("latency_target_us=100,latency_goal=0.5,window=8").unwrap();
+        let mut t = SloTracker::new(cfg);
+        t.record_request(50); // fast: both objectives happy
+        t.record_request(500); // slow: latency breach, availability ok
+        t.record_error(); // availability breach only
+        let s = t.snapshot();
+        assert_eq!(s.latency.window_len, 2);
+        assert_eq!(s.latency.window_bad, 1);
+        assert_eq!(s.availability.window_len, 3);
+        assert_eq!(s.availability.window_bad, 1);
+        assert_eq!(s.availability.good_total, 2);
+        assert_eq!(s.availability.bad_total, 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_flat_and_complete() {
+        let t = SloTracker::new(SloConfig::default());
+        let j = t.snapshot().to_json();
+        for key in [
+            "latency_target_us",
+            "latency_goal",
+            "latency_window",
+            "latency_breaches",
+            "latency_budget_remaining",
+            "latency_burn_rate",
+            "availability_goal",
+            "availability_window",
+            "availability_errors",
+            "availability_budget_remaining",
+            "availability_burn_rate",
+            "good_total",
+            "bad_total",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn config_json_round_trips_the_fields() {
+        let c = SloConfig::parse("latency_target_us=7,latency_goal=0.25,window=9").unwrap();
+        let j = c.to_json();
+        assert!(j.contains("\"latency_target_us\":7"));
+        assert!(j.contains("\"latency_goal\":0.25"));
+        assert!(j.contains("\"window\":9"));
+    }
+}

@@ -82,6 +82,17 @@
 //!                           (Perfetto-loadable): one lane per property
 //!                           block carrying its phase spans and GC
 //!                           cycles; written to FILE or stdout
+//! rvmon timeline --daemon <dump.rvfr> [--out FILE]
+//!                           convert an rvmond flight-recorder dump into
+//!                           the same Chrome trace-event JSON: one lane
+//!                           per tenant carrying its request stage spans,
+//!                           plus GC cycles, rejects, restarts and
+//!                           reloads as instant/complete events
+//! rvmon flight  <dump.rvfr>
+//!                           render an rvmond flight-recorder dump
+//!                           (written on tenant failure, circuit-break,
+//!                           or SIGQUIT) as a black-box narrative: the
+//!                           event tail plus per-trace stage breakdowns
 //! ```
 //!
 //! The `trace` event file is line-oriented: `event obj…` dispatches an
@@ -104,6 +115,14 @@ fn main() -> ExitCode {
     // `netchaos` is a pure network tool — no spec file, no journal.
     if args.first().map(String::as_str) == Some("netchaos") {
         return netchaos(&args[1..]);
+    }
+    // `flight` and `timeline --daemon` operate on a flight-recorder dump
+    // file, not a spec — dispatch them before the spec-reading path too.
+    if args.first().map(String::as_str) == Some("flight") {
+        return flight(&args[1..]);
+    }
+    if args.len() >= 2 && args[0] == "timeline" && args[1] == "--daemon" {
+        return timeline_daemon(&args[2..]);
     }
     if let Some(cmd @ ("recover" | "replay" | "top" | "gc-log")) = args.first().map(String::as_str)
     {
@@ -940,6 +959,98 @@ fn timeline(path: &str, source: &str, rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `rvmon flight` — renders an rvmond flight-recorder dump (the
+/// `flight-*.rvfr` black box written on tenant failure, circuit-break,
+/// or SIGQUIT) as a human narrative: dump metadata, the bounded event
+/// tail, and per-request stage breakdowns for the captured exemplars.
+fn flight(rest: &[String]) -> ExitCode {
+    use rv_monitor::core::FlightDump;
+
+    let [path] = rest else {
+        eprintln!("usage: rvmon flight <dump.rvfr>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match FlightDump::parse(&text) {
+        Ok(dump) => {
+            print!("{}", dump.render_text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rvmon: {path} is not a flight dump: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `rvmon timeline --daemon` — converts a flight-recorder dump into the
+/// same Chrome trace-event JSON the spec-driven `timeline` emits: one
+/// lane per tenant carrying its request stage spans, with GC cycles,
+/// rejects, restarts, reloads and state changes as timeline events.
+fn timeline_daemon(rest: &[String]) -> ExitCode {
+    use rv_monitor::core::FlightDump;
+
+    let usage = || {
+        eprintln!("usage: rvmon timeline --daemon <dump.rvfr> [--out FILE]");
+        ExitCode::from(2)
+    };
+    let mut dump_path: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.as_str()),
+                None => return usage(),
+            },
+            other if dump_path.is_none() && !other.starts_with("--") => {
+                dump_path = Some(other);
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(dump_path) = dump_path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(dump_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rvmon: cannot read {dump_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dump = match FlightDump::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rvmon: {dump_path} is not a flight dump: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace_json = dump.chrome_trace();
+    match out_path {
+        Some(file) => {
+            if let Err(e) = std::fs::write(file, &trace_json) {
+                eprintln!("rvmon: cannot write {file}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote Chrome trace ({} byte(s), {} event(s), {} trace(s)) to {file}",
+                trace_json.len(),
+                dump.events.len(),
+                dump.traces.len()
+            );
+        }
+        None => println!("{trace_json}"),
+    }
+    ExitCode::SUCCESS
+}
+
 /// `rvmon top` — one-shot cost table for a journaled run: re-executes
 /// the journal from sequence 0 with metrics + profiler observers and
 /// prints per-phase span counts, p50/p95/p99 and totals, plus the
@@ -950,6 +1061,27 @@ fn top(dir: &std::path::Path) -> ExitCode {
         read_journal, EngineConfig, GcCycleRecord, MetricsRegistry, Phase, PhaseProfiler,
         PropertyMonitor, Record,
     };
+
+    // A daemon root has no journal of its own — each tenant subdirectory
+    // carries one. Attribute costs per tenant instead of erroring out
+    // (or, worse, folding every tenant into one row).
+    if !dir.join("journal-00000000").exists() {
+        let mut tenants: Vec<(String, std::path::PathBuf)> = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.join("journal-00000000").exists())
+                    .filter_map(|p| {
+                        p.file_name().map(|n| (n.to_string_lossy().into_owned(), p.clone()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        tenants.sort();
+        if !tenants.is_empty() {
+            return top_daemon(dir, &tenants);
+        }
+    }
 
     let fail = |msg: String| {
         eprintln!("rvmon: error: {msg}");
@@ -1037,6 +1169,97 @@ fn top(dir: &std::path::Path) -> ExitCode {
             pause,
             reclaimed
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rvmon top` over a daemon root: one cost table per tenant, each row
+/// tagged with the tenant name. The engine phases come from a per-tenant
+/// replay; the `journal_append` row comes from re-appending that
+/// tenant's decoded records to a throwaway scratch journal, so the
+/// write-ahead cost is attributed per tenant rather than folded across
+/// the daemon.
+fn top_daemon(root: &std::path::Path, tenants: &[(String, std::path::PathBuf)]) -> ExitCode {
+    use rv_monitor::core::{
+        read_journal, EngineConfig, JournalWriter, MetricsRegistry, Phase, PhaseProfiler,
+        PropertyMonitor,
+    };
+
+    println!("rvmon top — daemon root {} with {} tenant(s)", root.display(), tenants.len());
+    println!(
+        "{:<12} {:<18} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "tenant", "phase", "spans", "p50 ns", "p95 ns", "p99 ns", "total ns"
+    );
+    let mut failures = 0usize;
+    for (name, dir) in tenants {
+        let result = (|| -> Result<(), String> {
+            let scan = read_journal(dir).map_err(|e| e.to_string())?;
+            let spec = spec_from_scan(dir, &scan)?;
+            let event_params = spec.event_params.clone();
+            let config = EngineConfig { record_triggers: true, ..EngineConfig::default() };
+            let mut monitor = PropertyMonitor::with_observers(spec, &config, |i| {
+                (
+                    MetricsRegistry::new(),
+                    PhaseProfiler::new().with_label(&format!("{name}/block{}", i + 1)),
+                )
+            });
+            let outcome = replay_records(&scan, &event_params, &mut monitor, 0, None)?;
+            monitor.finish(&outcome.heap);
+            let mut merged = PhaseProfiler::new().with_label(name);
+            for engine in monitor.engines() {
+                let (_, profiler) = engine.observer();
+                merged.merge_from(profiler);
+            }
+            // Scratch re-append: same records, fresh journal, timed spans.
+            let scratch =
+                std::env::temp_dir().join(format!("rvmon-top-{}-{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&scratch);
+            let mut journal = JournalWriter::create(&scratch)
+                .map_err(|e| format!("cannot create scratch journal: {e}"))?;
+            for sr in &scan.records {
+                let span = merged.enter(Phase::JournalAppend);
+                journal.append(&sr.record).map_err(|e| format!("scratch append failed: {e}"))?;
+                merged.exit(span);
+            }
+            drop(journal);
+            let _ = std::fs::remove_dir_all(&scratch);
+            for p in Phase::ALL {
+                let h = merged.phase(p);
+                if h.count() == 0 {
+                    continue;
+                }
+                println!(
+                    "{:<12} {:<18} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>14}",
+                    name,
+                    p.label(),
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.sum()
+                );
+            }
+            let stats = monitor.stats();
+            println!(
+                "{:<12} E={} M={} FM={} CM={} triggers={} ({} event(s) from {} record(s))",
+                name,
+                stats.events,
+                stats.monitors_created,
+                stats.monitors_flagged,
+                stats.monitors_collected,
+                stats.triggers,
+                outcome.replayed_events,
+                scan.records.len()
+            );
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            eprintln!("rvmon: tenant `{name}`: {msg}");
+            failures += 1;
+        }
+    }
+    if failures == tenants.len() {
+        return ExitCode::from(2);
     }
     ExitCode::SUCCESS
 }
@@ -1686,17 +1909,118 @@ fn replay_records<O: rv_monitor::core::EngineObserver>(
     replay_from: u64,
     hwm: Option<(u64, u32)>,
 ) -> Result<ReplayOutcome, String> {
-    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_SPEC, AUX_SWEEP};
-    use rv_monitor::core::Record;
+    use rv_monitor::core::journal::{AUX_FREE, AUX_GC, AUX_OBJ, AUX_SLINE, AUX_SPEC, AUX_SWEEP};
+    use rv_monitor::core::{Binding, Record};
     use rv_monitor::heap::{Heap, HeapConfig, ObjId};
 
     let mut heap = Heap::new(HeapConfig::manual());
     let class = heap.register_class("Obj");
     let mut known: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    // Daemon journals name objects (`AUX_OBJ`) and carry session-stamped
+    // raw lines (`AUX_SLINE`) instead of pre-bound `Event` records; the
+    // name → ObjId map makes those replayable here too.
+    let mut objects: std::collections::HashMap<String, ObjId> = std::collections::HashMap::new();
     let mut replayed_events = 0u64;
     let mut suppressed_triggers = 0u64;
     for sr in &scan.records {
         match &sr.record {
+            Record::Aux { tag, bytes } if *tag == AUX_OBJ => {
+                let Some(bits) =
+                    bytes.get(..8).and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+                else {
+                    return Err(format!("journal record {}: truncated AUX_OBJ", sr.seq));
+                };
+                let name = String::from_utf8_lossy(bytes.get(8..).unwrap_or(&[])).into_owned();
+                let frame = heap.enter_frame();
+                let fresh = heap.alloc(class);
+                heap.pin(fresh);
+                heap.exit_frame(frame);
+                if fresh.to_bits() != bits {
+                    return Err(format!(
+                        "heap replay diverged at record {}: journal names object {bits:#x} \
+                         but the rebuilt heap allocated {:#x}",
+                        sr.seq,
+                        fresh.to_bits()
+                    ));
+                }
+                known.insert(bits);
+                objects.insert(name, fresh);
+            }
+            Record::Aux { tag, bytes } if *tag == AUX_SLINE => {
+                if bytes.len() < 16 {
+                    return Err(format!("journal record {}: truncated AUX_SLINE", sr.seq));
+                }
+                let line = String::from_utf8_lossy(&bytes[16..]).into_owned();
+                let mut words = line.split_whitespace();
+                match words.next() {
+                    Some("!gc") => {
+                        heap.collect();
+                    }
+                    Some("!sweep") if sr.seq >= replay_from => {
+                        for engine in monitor.engines_mut() {
+                            engine.full_sweep(&heap);
+                        }
+                    }
+                    Some("!free") => {
+                        for name in words {
+                            let Some(&obj) = objects.get(name) else {
+                                return Err(format!(
+                                    "journal record {} frees unknown object `{name}`",
+                                    sr.seq
+                                ));
+                            };
+                            heap.unpin(obj);
+                        }
+                    }
+                    Some(directive) if directive.starts_with('!') => {}
+                    Some(event_name) => {
+                        let Some(event) = monitor.spec().alphabet.lookup(event_name) else {
+                            return Err(format!(
+                                "journal record {}: unknown event `{event_name}`",
+                                sr.seq
+                            ));
+                        };
+                        let params = &event_params[event.as_usize()];
+                        let mut pairs = Vec::with_capacity(params.len());
+                        for (&p, name) in params.iter().zip(words) {
+                            let Some(&obj) = objects.get(name) else {
+                                return Err(format!(
+                                    "journal record {} names unknown object `{name}`",
+                                    sr.seq
+                                ));
+                            };
+                            pairs.push((p, obj));
+                        }
+                        if pairs.len() != params.len() {
+                            return Err(format!(
+                                "journal record {}: event `{event_name}` is missing parameters",
+                                sr.seq
+                            ));
+                        }
+                        if sr.seq >= replay_from {
+                            let binding = Binding::from_pairs(&pairs);
+                            let before: Vec<usize> =
+                                monitor.engines().iter().map(|e| e.triggers().len()).collect();
+                            monitor
+                                .try_process(&heap, event, binding)
+                                .map_err(|e| format!("engine error at record {}: {e}", sr.seq))?;
+                            let fired: usize = monitor
+                                .engines()
+                                .iter()
+                                .enumerate()
+                                .map(|(bi, e)| e.triggers().len() - before[bi])
+                                .sum();
+                            for ord in 0..fired as u32 {
+                                if hwm.is_some_and(|h| (sr.seq, ord) <= h) {
+                                    suppressed_triggers += 1;
+                                }
+                            }
+                            replayed_events += 1;
+                        }
+                    }
+                    None => {}
+                }
+            }
             Record::Aux { tag, .. } if *tag == AUX_SPEC || *tag == AUX_GC => {
                 if *tag == AUX_GC {
                     heap.collect();

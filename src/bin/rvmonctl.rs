@@ -8,6 +8,7 @@
 //! ```text
 //! rvmonctl reload --addr HOST:PORT --tenant NAME --spec FILE [--token N]
 //! rvmonctl status --addr HOST:PORT --tenant NAME
+//! rvmonctl slo    --addr HOST:PORT --tenant NAME
 //! ```
 
 use std::net::TcpStream;
@@ -27,7 +28,8 @@ const FRAME_REJECT: u8 = 0x83;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rvmonctl reload --addr HOST:PORT --tenant NAME --spec FILE [--token N]\n\
-         \x20      rvmonctl status --addr HOST:PORT --tenant NAME"
+         \x20      rvmonctl status --addr HOST:PORT --tenant NAME\n\
+         \x20      rvmonctl slo    --addr HOST:PORT --tenant NAME"
     );
     ExitCode::from(2)
 }
@@ -109,35 +111,36 @@ fn cmd_reload(args: &Args) -> ExitCode {
     }
 }
 
-fn cmd_status(args: &Args) -> ExitCode {
-    // One shot, raw frames: HELLO (empty attach) then STATS.
-    let run = || -> std::io::Result<String> {
-        let mut s = TcpStream::connect(&args.addr)?;
-        s.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
-        let hello =
-            rv_monitor::core::service::encode_hello(&args.tenant, "", &TenantOptions::default());
-        write_frame(&mut s, FRAME_HELLO, &hello)?;
-        match read_frame(&mut s)? {
-            Some((FRAME_OK, _)) => {}
-            Some((FRAME_REJECT, p)) => {
-                let code = p.get(..2).and_then(|b| b.try_into().ok()).map_or(0, u16::from_le_bytes);
-                let msg = String::from_utf8_lossy(p.get(2..).unwrap_or(&[])).into_owned();
-                return Err(std::io::Error::other(format!("reject {code}: {msg}")));
-            }
-            _ => return Err(std::io::Error::other("unexpected HELLO reply")),
+/// One shot, raw frames: HELLO (empty attach) then STATS.
+fn fetch_stats(args: &Args) -> std::io::Result<String> {
+    let mut s = TcpStream::connect(&args.addr)?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let hello =
+        rv_monitor::core::service::encode_hello(&args.tenant, "", &TenantOptions::default());
+    write_frame(&mut s, FRAME_HELLO, &hello)?;
+    match read_frame(&mut s)? {
+        Some((FRAME_OK, _)) => {}
+        Some((FRAME_REJECT, p)) => {
+            let code = p.get(..2).and_then(|b| b.try_into().ok()).map_or(0, u16::from_le_bytes);
+            let msg = String::from_utf8_lossy(p.get(2..).unwrap_or(&[])).into_owned();
+            return Err(std::io::Error::other(format!("reject {code}: {msg}")));
         }
-        write_frame(&mut s, FRAME_STATS, &[])?;
-        let reply = loop {
-            match read_frame(&mut s)? {
-                Some((FRAME_STATS_REPLY, p)) => break String::from_utf8_lossy(&p).into_owned(),
-                Some(_) => {}
-                None => return Err(std::io::Error::other("closed before STATS_REPLY")),
-            }
-        };
-        let _ = write_frame(&mut s, FRAME_BYE, &[]);
-        Ok(reply)
+        _ => return Err(std::io::Error::other("unexpected HELLO reply")),
+    }
+    write_frame(&mut s, FRAME_STATS, &[])?;
+    let reply = loop {
+        match read_frame(&mut s)? {
+            Some((FRAME_STATS_REPLY, p)) => break String::from_utf8_lossy(&p).into_owned(),
+            Some(_) => {}
+            None => return Err(std::io::Error::other("closed before STATS_REPLY")),
+        }
     };
-    match run() {
+    let _ = write_frame(&mut s, FRAME_BYE, &[]);
+    Ok(reply)
+}
+
+fn cmd_status(args: &Args) -> ExitCode {
+    match fetch_stats(args) {
         Ok(json) => {
             println!("{json}");
             ExitCode::SUCCESS
@@ -147,6 +150,93 @@ fn cmd_status(args: &Args) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Extracts the balanced `{...}` object value of `"key":` from the flat
+/// hand-rolled STATS JSON (no strings containing braces).
+fn json_object_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":{{");
+    let start = json.find(&needle)? + needle.len() - 1;
+    let mut depth = 0usize;
+    for (i, b) in json[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn json_number_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// `rvmonctl slo` — renders the tenant's SLO budget and per-stage
+/// latency attribution from the same STATS reply `status` dumps raw.
+fn cmd_slo(args: &Args) -> ExitCode {
+    let json = match fetch_stats(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("rvmonctl: slo failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(slo) = json_object_field(&json, "slo") else {
+        eprintln!("rvmonctl: STATS reply carries no slo section (old server?)");
+        return ExitCode::FAILURE;
+    };
+    let num = |key: &str| json_number_field(slo, key).unwrap_or(0.0);
+    println!("tenant {}", args.tenant);
+    println!("  latency objective: p{:.0} <= {:.0}us", num("latency_goal") * 100.0, {
+        num("latency_target_us")
+    });
+    println!(
+        "  latency budget:    {:.4} remaining (burn {:.2}x)",
+        num("latency_budget_remaining"),
+        num("latency_burn_rate")
+    );
+    println!("  availability:      goal {:.4}", num("availability_goal"));
+    println!(
+        "  avail budget:      {:.4} remaining (burn {:.2}x)",
+        num("availability_budget_remaining"),
+        num("availability_burn_rate")
+    );
+    println!("  requests:          good {:.0} bad {:.0}", num("good_total"), num("bad_total"));
+    if let Some(stages) = json_object_field(&json, "stages") {
+        println!("  {:<16} {:>9} {:>9} {:>9} {:>9}", "stage", "count", "p50us", "p99us", "maxus");
+        for stage in [
+            "wire_read",
+            "admission",
+            "queue_wait",
+            "engine",
+            "journal_append",
+            "journal_fsync",
+            "trigger_delivery",
+        ] {
+            let f = |suffix: &str| {
+                json_number_field(stages, &format!("{stage}_{suffix}")).unwrap_or(0.0)
+            };
+            println!(
+                "  {:<16} {:>9.0} {:>9.1} {:>9.1} {:>9.1}",
+                stage,
+                f("count"),
+                f("p50_us"),
+                f("p99_us"),
+                f("max_us")
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -160,6 +250,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "reload" => cmd_reload(&parsed),
         "status" => cmd_status(&parsed),
+        "slo" => cmd_slo(&parsed),
         _ => usage(),
     }
 }

@@ -16,12 +16,19 @@
 //! an acknowledged event — the old engine drains to a checkpoint at its
 //! exact journal tail and the new spec cuts over atomically.
 //!
+//! Observability: every ingested line is traced through the wire →
+//! admission → queue → engine → journal → trigger pipeline (scraped as
+//! `rvmond_stage_*` and `rvmond_slo_*` on `/metrics`), `--slo` sets the
+//! per-tenant latency/availability objectives, and `SIGQUIT` dumps the
+//! always-on flight recorder to `flight-sigquit-N.rvfr` under the root
+//! without disturbing the daemon (render it with `rvmon flight`).
+//!
 //! ```text
 //! rvmond --root DIR [--port N] [--http-port N] [--max-tenants N]
 //!        [--max-conns N] [--queue N] [--shed] [--checkpoint-every N]
 //!        [--idle-ms N] [--max-live-monitors N]
 //!        [--restart-budget N] [--restart-window-ms N] [--restart-backoff-ms N]
-//!        [--spec-dir DIR]
+//!        [--spec-dir DIR] [--slo SPEC] [--trace-ring N] [--trace-exemplars K]
 //! ```
 
 use std::io::Write as _;
@@ -32,16 +39,20 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rv_monitor::core::{serve_connection, Backpressure, Service, ServiceConfig};
+use rv_monitor::core::{serve_connection, Backpressure, Service, ServiceConfig, SloConfig};
 
 /// Set by the signal handler; the accept loops poll it.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 /// Set by SIGHUP; the ingest loop performs the spec reload.
 static RELOAD: AtomicBool = AtomicBool::new(false);
+/// Set by SIGQUIT; the ingest loop dumps the flight recorder.
+static FLIGHT: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(sig: i32) {
     if sig == SIGHUP {
         RELOAD.store(true, Ordering::SeqCst);
+    } else if sig == SIGQUIT {
+        FLIGHT.store(true, Ordering::SeqCst);
     } else {
         SHUTDOWN.store(true, Ordering::SeqCst);
     }
@@ -55,6 +66,7 @@ extern "C" {
 
 const SIGHUP: i32 = 1;
 const SIGINT: i32 = 2;
+const SIGQUIT: i32 = 3;
 const SIGTERM: i32 = 15;
 
 fn install_signal_handlers() {
@@ -63,6 +75,7 @@ fn install_signal_handlers() {
         signal(SIGTERM, handler as usize);
         signal(SIGINT, handler as usize);
         signal(SIGHUP, handler as usize);
+        signal(SIGQUIT, handler as usize);
     }
 }
 
@@ -71,7 +84,7 @@ fn usage() -> ExitCode {
         "usage: rvmond --root DIR [--port N] [--http-port N] [--max-tenants N] \
          [--max-conns N] [--queue N] [--shed] [--checkpoint-every N] [--idle-ms N] \
          [--restart-budget N] [--restart-window-ms N] [--restart-backoff-ms N] \
-         [--spec-dir DIR]"
+         [--spec-dir DIR] [--slo SPEC] [--trace-ring N] [--trace-exemplars K]"
     );
     ExitCode::from(2)
 }
@@ -176,6 +189,22 @@ fn main() -> ExitCode {
                 Some(v) => spec_dir = Some(v.into()),
                 None => return usage(),
             },
+            "--slo" => match it.next().map(|s| SloConfig::parse(s)) {
+                Some(Ok(slo)) => config.slo = slo,
+                Some(Err(e)) => {
+                    eprintln!("rvmond: bad --slo spec: {e}");
+                    return ExitCode::from(2);
+                }
+                None => return usage(),
+            },
+            "--trace-ring" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config.trace_ring = n,
+                None => return usage(),
+            },
+            "--trace-exemplars" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config.trace_exemplars = n,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -201,6 +230,11 @@ fn main() -> ExitCode {
     };
 
     install_signal_handlers();
+    // Build identity for `rvmond_build_info` and flight-dump headers.
+    // The commit comes from the environment at compile time (CI sets
+    // RVMOND_COMMIT); a plain `cargo build` reports "unknown".
+    config.version = env!("CARGO_PKG_VERSION").to_owned();
+    config.commit = option_env!("RVMOND_COMMIT").unwrap_or("unknown").to_owned();
     let service = match Service::new(config) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -280,6 +314,12 @@ fn main() -> ExitCode {
                 }
                 if RELOAD.swap(false, Ordering::SeqCst) {
                     reload_from_dir(&service, &spec_dir);
+                }
+                if FLIGHT.swap(false, Ordering::SeqCst) {
+                    match service.dump_flight("sigquit") {
+                        Ok(path) => eprintln!("rvmond: flight dump at {}", path.display()),
+                        Err(e) => eprintln!("rvmond: flight dump failed: {e}"),
+                    }
                 }
                 std::thread::sleep(Duration::from_millis(25));
             }
